@@ -1,0 +1,312 @@
+(* Microbenchmarks for the LIPSIN reproduction, one group per paper
+   table/figure plus the design-choice ablations DESIGN.md calls out.
+
+   Groups:
+   - alg1        per-decision cost of the forwarding primitive (Table 4/5's
+                 inner loop), vs the LPM IP baselines
+   - construct   zFilter construction + candidate selection (Sec. 3.2),
+                 the sender-side cost behind Tables 2/3 and Fig. 5
+   - header      wire encode/decode (the per-hop rewrite of Table 4)
+   - delivery    whole-tree simulated deliveries (the unit of work behind
+                 Tables 2/3 and Fig. 6)
+   - ablation-m  Algorithm 1 at m = 120 / 248 / 504 (Sec. 4.2 discussion)
+   - topology    tree computation + graph generation (the topology layer) *)
+
+open Bechamel
+open Toolkit
+module Rng = Lipsin_util.Rng
+module Bitvec = Lipsin_bitvec.Bitvec
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Generator = Lipsin_topology.Generator
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Node_engine = Lipsin_forwarding.Node_engine
+module Header = Lipsin_packet.Header
+module Lpm = Lipsin_baseline.Lpm
+
+(* Shared fixtures, built once. *)
+
+let graph = As_presets.as6461 ()
+let assignment = Assignment.make Lit.default (Rng.of_int 1) graph
+let net = Net.make ~loop_prevention:false assignment
+
+let tree_of users =
+  let rng = Rng.of_int (users * 131) in
+  let picks = Rng.sample rng users (Graph.node_count graph) in
+  ( picks.(0),
+    Spt.delivery_tree graph ~root:picks.(0)
+      ~subscribers:(Array.to_list (Array.sub picks 1 (users - 1))) )
+
+let src16, tree16 = tree_of 16
+let candidate16 = Candidate.build_one assignment ~tree:tree16 ~table:0
+let zfilter16 = candidate16.Candidate.zfilter
+let test_set16 = Select.default_test_set assignment ~tree:tree16
+
+(* The hub's port LITs for the bare Algorithm 1 loop. *)
+let hub =
+  Graph.fold_nodes graph ~init:0 ~f:(fun best v ->
+      if Graph.out_degree graph v > Graph.out_degree graph best then v else best)
+
+let hub_lits =
+  Array.of_list
+    (List.map
+       (fun l -> Assignment.tag assignment l ~table:0)
+       (Graph.out_links graph hub))
+
+let hub_engine = Node_engine.create assignment hub
+let fib5 = Lpm.reference_fib ()
+
+let fib_full =
+  let fib = Lpm.create () in
+  let rng = Rng.of_int 2 in
+  for _ = 1 to 200_000 do
+    let len = 16 + Rng.int rng 9 in
+    Lpm.add fib ~prefix:(Int64.to_int32 (Rng.int64 rng)) ~len
+      ~next_hop:(Rng.int rng 16)
+  done;
+  fib
+
+let alg1 =
+  Test.make_grouped ~name:"alg1"
+    [
+      Test.make ~name:"zfilter-match-per-port"
+        (Staged.stage (fun () -> Zfilter.matches zfilter16 ~lit:hub_lits.(0)));
+      Test.make ~name:"alg1-all-ports"
+        (Staged.stage (fun () ->
+             Array.iter (fun lit -> ignore (Zfilter.matches zfilter16 ~lit)) hub_lits));
+      Test.make ~name:"fill-limit-gate"
+        (Staged.stage (fun () -> Zfilter.within_fill_limit zfilter16 ~limit:0.7));
+      Test.make ~name:"engine-forward-full"
+        (Staged.stage (fun () ->
+             Node_engine.forward hub_engine ~table:0 ~zfilter:zfilter16
+               ~in_link:None));
+      Test.make ~name:"lpm-5-routes"
+        (Staged.stage (fun () -> Lpm.lookup fib5 0xC0A80142l));
+      Test.make ~name:"lpm-200k-routes"
+        (Staged.stage (fun () -> Lpm.lookup fib_full 0xC0A80142l));
+    ]
+
+let construct =
+  Test.make_grouped ~name:"construct"
+    [
+      Test.make ~name:"zfilter-build-16-users"
+        (Staged.stage (fun () -> Candidate.build_one assignment ~tree:tree16 ~table:0));
+      Test.make ~name:"candidates-d8"
+        (Staged.stage (fun () -> Candidate.build assignment ~tree:tree16));
+      Test.make ~name:"select-fpa"
+        (let candidates = Candidate.build assignment ~tree:tree16 in
+         Staged.stage (fun () -> Select.select_fpa candidates));
+      Test.make ~name:"select-fpr"
+        (let candidates = Candidate.build assignment ~tree:tree16 in
+         Staged.stage (fun () ->
+             Select.select_fpr assignment candidates ~test:test_set16));
+    ]
+
+let header =
+  let h = Header.make ~d_index:0 ~zfilter:zfilter16 "0123456789abcdef" in
+  let encoded = Header.encode h in
+  Test.make_grouped ~name:"header"
+    [
+      Test.make ~name:"encode" (Staged.stage (fun () -> Header.encode h));
+      Test.make ~name:"decode" (Staged.stage (fun () -> Header.decode encoded));
+    ]
+
+let delivery =
+  let src4, tree4 = tree_of 4 in
+  let c4 = Candidate.build_one assignment ~tree:tree4 ~table:0 in
+  let src32, tree32 = tree_of 32 in
+  let c32 = Candidate.build_one assignment ~tree:tree32 ~table:0 in
+  Test.make_grouped ~name:"delivery"
+    [
+      Test.make ~name:"deliver-4-users"
+        (Staged.stage (fun () ->
+             Run.deliver net ~src:src4 ~table:0 ~zfilter:c4.Candidate.zfilter
+               ~tree:tree4));
+      Test.make ~name:"deliver-16-users"
+        (Staged.stage (fun () ->
+             Run.deliver net ~src:src16 ~table:0 ~zfilter:zfilter16 ~tree:tree16));
+      Test.make ~name:"deliver-32-users"
+        (Staged.stage (fun () ->
+             Run.deliver net ~src:src32 ~table:0 ~zfilter:c32.Candidate.zfilter
+               ~tree:tree32));
+    ]
+
+let ablation_m =
+  let bench_for m =
+    let params = Lit.constant_k ~m ~d:1 ~k:5 in
+    let asg = Assignment.make params (Rng.of_int 3) graph in
+    let c = Candidate.build_one asg ~tree:tree16 ~table:0 in
+    let lits =
+      Array.of_list
+        (List.map (fun l -> Assignment.tag asg l ~table:0) (Graph.out_links graph hub))
+    in
+    Test.make
+      ~name:(Printf.sprintf "alg1-m%d" m)
+      (Staged.stage (fun () ->
+           Array.iter
+             (fun lit -> ignore (Zfilter.matches c.Candidate.zfilter ~lit))
+             lits))
+  in
+  Test.make_grouped ~name:"ablation-m" [ bench_for 120; bench_for 248; bench_for 504 ]
+
+let topology =
+  Test.make_grouped ~name:"topology"
+    [
+      Test.make ~name:"delivery-tree-16"
+        (Staged.stage (fun () ->
+             let rng = Rng.of_int 5 in
+             let picks = Rng.sample rng 16 (Graph.node_count graph) in
+             Spt.delivery_tree graph ~root:picks.(0)
+               ~subscribers:(Array.to_list (Array.sub picks 1 15))));
+      Test.make ~name:"generate-pref-attach-100"
+        (Staged.stage (fun () ->
+             Generator.pref_attach ~rng:(Rng.of_int 7) ~nodes:100 ~edges:170
+               ~max_degree:16 ()));
+    ]
+
+let extensions =
+  let module Split = Lipsin_core.Split in
+  let module Adaptive = Lipsin_core.Adaptive in
+  let module Message = Lipsin_control.Message in
+  let module Store = Lipsin_cache.Store in
+  let module Discovery = Lipsin_bootstrap.Discovery in
+  let module Timed = Lipsin_sim.Timed in
+  let _, tree40 =
+    let rng = Rng.of_int 211 in
+    let picks = Rng.sample rng 40 (Graph.node_count graph) in
+    ( picks.(0),
+      Spt.delivery_tree graph ~root:picks.(0)
+        ~subscribers:(Array.to_list (Array.sub picks 1 39)) )
+  in
+  let adaptive = Adaptive.make ~d:4 ~k:5 (Rng.of_int 223) graph in
+  let activate_msg =
+    let lit = Lit.fresh Lit.default (Rng.of_int 227) in
+    Message.Vlid_activate { nonce = Lit.nonce lit; tags = Lit.tags lit }
+  in
+  let encoded_msg = Message.encode activate_msg in
+  let store = Store.create ~capacity:256 in
+  for i = 0 to 255 do
+    Store.insert store ~topic:(Int64.of_int i) ~payload:"seed"
+  done;
+  Test.make_grouped ~name:"extensions"
+    [
+      Test.make ~name:"split-plan-40-subs"
+        (Staged.stage (fun () ->
+             Split.plan ~fill_limit:0.4 assignment ~root:0
+               ~subscribers:(Lipsin_topology.Spt.tree_nodes tree40)));
+      Test.make ~name:"adaptive-choose"
+        (Staged.stage (fun () ->
+             Adaptive.choose adaptive ~tree:tree16 ~target_fpa:0.001 ()));
+      Test.make ~name:"control-msg-encode"
+        (Staged.stage (fun () -> Message.encode activate_msg));
+      Test.make ~name:"control-msg-decode"
+        (Staged.stage (fun () -> Message.decode encoded_msg));
+      Test.make ~name:"cache-lookup-hit"
+        (Staged.stage (fun () -> Store.lookup store ~topic:128L));
+      Test.make ~name:"cache-insert-evict"
+        (let counter = ref 1000 in
+         Staged.stage (fun () ->
+             incr counter;
+             Store.insert store ~topic:(Int64.of_int !counter) ~payload:"x"));
+      Test.make ~name:"discovery-full-run-ta2"
+        (Staged.stage (fun () ->
+             let d = Discovery.create (As_presets.ta2 ()) in
+             Discovery.run d));
+      Test.make ~name:"timed-deliver-16-users"
+        (Staged.stage (fun () ->
+             Timed.deliver net ~src:src16 ~table:0 ~zfilter:zfilter16));
+    ]
+
+let more_extensions =
+  let module Multipath = Lipsin_core.Multipath in
+  let module Persist = Lipsin_core.Persist in
+  let module Fragment = Lipsin_packet.Fragment in
+  let module Xor_code = Lipsin_fec.Xor_code in
+  let persisted = Persist.to_string assignment in
+  let message = String.init 4000 (fun i -> Char.chr (i mod 256)) in
+  let fragments = Fragment.split ~mtu:1500 ~m:248 ~message_id:1l message in
+  let window = List.init 8 (fun i -> String.make 1400 (Char.chr (65 + i))) in
+  let repair_frame = Xor_code.repair window in
+  let received = List.filteri (fun i _ -> i <> 3) (List.mapi (fun i p -> (i, p)) window) in
+  Test.make_grouped ~name:"more-extensions"
+    [
+      Test.make ~name:"multipath-plan"
+        (Staged.stage (fun () -> Multipath.plan assignment ~src:0 ~dst:100));
+      Test.make ~name:"persist-encode"
+        (Staged.stage (fun () -> Persist.to_string assignment));
+      Test.make ~name:"persist-decode"
+        (Staged.stage (fun () -> Persist.of_string graph persisted));
+      Test.make ~name:"fragment-split-4k"
+        (Staged.stage (fun () ->
+             Fragment.split ~mtu:1500 ~m:248 ~message_id:1l message));
+      Test.make ~name:"fragment-reassemble-4k"
+        (Staged.stage (fun () ->
+             let r = Fragment.reassembler () in
+             List.iter (fun f -> ignore (Fragment.offer r f)) fragments));
+      Test.make ~name:"xor-repair-8x1400"
+        (Staged.stage (fun () -> Xor_code.repair window));
+      Test.make ~name:"xor-recover-8x1400"
+        (Staged.stage (fun () ->
+             Xor_code.recover ~window_size:8 ~received ~repair:repair_frame));
+    ]
+
+let layering =
+  let module Weights = Lipsin_topology.Weights in
+  let module Overlay = Lipsin_recursive.Overlay in
+  let weights = Weights.random graph (Rng.of_int 401) ~min:1.0 ~max:10.0 in
+  let overlay =
+    match
+      Overlay.create ~underlay:assignment
+        ~attach:(Rng.sample (Rng.of_int 409) 6 (Graph.node_count graph))
+        ~edges:[ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ]
+        ()
+    with
+    | Ok o -> o
+    | Error e -> failwith e
+  in
+  Test.make_grouped ~name:"layering"
+    [
+      Test.make ~name:"dijkstra-tree-16"
+        (Staged.stage (fun () ->
+             let rng = Rng.of_int 419 in
+             let picks = Rng.sample rng 16 (Graph.node_count graph) in
+             Weights.delivery_tree weights ~root:picks.(0)
+               ~subscribers:(Array.to_list (Array.sub picks 1 15))));
+      Test.make ~name:"overlay-publish-3-subs"
+        (Staged.stage (fun () ->
+             Overlay.publish overlay ~src:0 ~subscribers:[ 2; 4 ]));
+    ]
+
+let benchmark tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  results
+
+let print_results results =
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+      in
+      Printf.printf "%-40s %12.1f ns/run\n%!" name ns)
+    (List.sort compare rows)
+
+let () =
+  Printf.printf "LIPSIN benchmarks (Bechamel, monotonic clock)\n%!";
+  List.iter
+    (fun tests -> print_results (benchmark tests))
+    [ alg1; construct; header; delivery; ablation_m; topology; extensions;
+      more_extensions; layering ]

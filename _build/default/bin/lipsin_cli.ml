@@ -1,0 +1,231 @@
+(* Command-line front end: regenerate any of the paper's tables and
+   figures, or run the extension experiments.  `lipsin_cli all` is what
+   EXPERIMENTS.md records. *)
+
+open Cmdliner
+module E = Lipsin_experiments
+
+let ppf = Format.std_formatter
+
+let trials_arg default =
+  let doc = "Number of Monte-Carlo trials per data point." in
+  Arg.(value & opt int default & info [ "trials" ] ~docv:"N" ~doc)
+
+let simple name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> f ppf) $ const ())
+
+let with_trials name doc f =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (fun trials -> f ?trials:(Some trials) ppf) $ trials_arg 500)
+
+let table1 = simple "table1" "Graph characterization of the five topologies." E.Table1.run
+let table2 = with_trials "table2" "Stateless forwarding: links/efficiency/fpr." E.Table2.run
+let table3 = with_trials "table3" "Mean fpr per selection and k configuration." E.Table3.run
+
+let fig5 =
+  let csv_flag =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit a plot-ready CSV series.")
+  in
+  Cmd.v (Cmd.info "fig5" ~doc:"fpr and efficiency vs users on AS6461.")
+    Term.(
+      const (fun trials csv -> E.Fig5.run ~trials ~csv ppf)
+      $ trials_arg 300 $ csv_flag)
+
+let fig6 =
+  Cmd.v (Cmd.info "fig6" ~doc:"Stateful dense multicast efficiency.")
+    Term.(const (fun trials -> E.Fig6.run ~trials ppf) $ trials_arg 100)
+
+let table4 = simple "table4" "Latency vs number of forwarding nodes." (E.Table4.run ?samples:None)
+let table5 = simple "table5" "Echo latency: wire vs IP router vs LIPSIN." (E.Table5.run ?batches:None ?batch_size:None)
+let ftmem = simple "ftmem" "Forwarding-table memory (Eq. 4)." E.Ftmem.run
+let security = simple "security" "Contamination, probing and LIT-learning attacks." E.Security_exp.run
+
+let recovery =
+  Cmd.v (Cmd.info "recovery" ~doc:"Fast recovery: VLId and zFilter-rewrite schemes.")
+    Term.(const (fun trials -> E.Recovery_exp.run ~trials ppf) $ trials_arg 100)
+
+let interdomain = simple "interdomain" "8-domain inter-domain forwarding." (E.Interdomain_exp.run ?publications:None)
+let workload = simple "workload" "Zipf topic workload: state vs stateless." (E.Workload_exp.run ?topics:None)
+
+let ablation =
+  Cmd.v (Cmd.info "ablation" ~doc:"m / d / Xcast-crossover ablations.")
+    Term.(const (fun trials -> E.Ablation.run ~trials ppf) $ trials_arg 300)
+
+let splitting =
+  Cmd.v (Cmd.info "splitting" ~doc:"Multiple sending vs virtual links (Sec 4.3).")
+    Term.(const (fun trials -> E.Splitting_exp.run ~trials ppf) $ trials_arg 50)
+
+let adaptive = simple "adaptive" "Variable filter width per packet (Sec 4.2 future work)." (E.Adaptive_exp.run ?topics:None)
+let caching = simple "caching" "In-network opportunistic caching (Sec 5.4)." (E.Caching_exp.run ?fetches:None)
+let congestion = simple "congestion" "Congestion-aware candidate selection (Sec 3.2)." (E.Congestion_exp.run ?publications:None)
+let bootstrap = simple "bootstrap" "Topology bootstrap convergence cost (Sec 2.2)." E.Bootstrap_exp.run
+
+let latency =
+  Cmd.v (Cmd.info "latency" ~doc:"Native multicast latency vs application overlay.")
+    Term.(const (fun trials -> E.Latency_exp.run ~trials ppf) $ trials_arg 200)
+
+let goodput = simple "goodput" "Delivery ratio vs offered load (fluid model)." (E.Goodput_exp.run ?topics:None)
+
+let multipath =
+  Cmd.v (Cmd.info "multipath" ~doc:"Disjoint-path spraying and failover (Sec 4.4 future work).")
+    Term.(const (fun trials -> E.Multipath_exp.run ~trials ppf) $ trials_arg 200)
+
+let directory = simple "directory" "Rendezvous directory resources and caching (Sec 5.2)." (E.Directory_exp.run ?lookups:None)
+let fec = simple "fec" "Lateral error correction over a lossy fabric." (E.Fec_exp.run ?windows:None)
+let churn = simple "churn" "Join churn: state changes avoided (Sec 4.3)." (E.Churn_exp.run ?joins:None)
+let loops = simple "loops" "Loop prevention vs adversarial cycles (Sec 3.3.3)." (E.Loops_exp.run ?trials:None)
+let recursive = simple "recursive" "LIPSIN over LIPSIN + weighted trees (Sec 2.1)." (E.Recursive_exp.run ?trials:None)
+
+let all =
+  let doc = "Run every experiment (what EXPERIMENTS.md records)." in
+  let run () =
+    let rule title =
+      Format.fprintf ppf "@.=== %s ===@." title
+    in
+    rule "Table 1"; E.Table1.run ppf;
+    rule "Table 2"; E.Table2.run ppf;
+    rule "Table 3"; E.Table3.run ppf;
+    rule "Figure 5"; E.Fig5.run ppf;
+    rule "Figure 6"; E.Fig6.run ppf;
+    rule "Table 4"; E.Table4.run ppf;
+    rule "Table 5"; E.Table5.run ppf;
+    rule "Eq. 4 memory"; E.Ftmem.run ppf;
+    rule "Workload (Sec 4.3)"; E.Workload_exp.run ppf;
+    rule "Security (Sec 4.4)"; E.Security_exp.run ppf;
+    rule "Recovery (Sec 3.3.2)"; E.Recovery_exp.run ppf;
+    rule "Inter-domain (Sec 5)"; E.Interdomain_exp.run ppf;
+    rule "Ablations"; E.Ablation.run ppf;
+    rule "Splitting vs virtual links (Sec 4.3)"; E.Splitting_exp.run ppf;
+    rule "Adaptive filter width (Sec 4.2, future work)"; E.Adaptive_exp.run ppf;
+    rule "In-network caching (Sec 5.4)"; E.Caching_exp.run ppf;
+    rule "Congestion-aware selection (Sec 3.2)"; E.Congestion_exp.run ppf;
+    rule "Bootstrap (Sec 2.2)"; E.Bootstrap_exp.run ppf;
+    rule "Multicast latency vs overlay"; E.Latency_exp.run ppf;
+    rule "Goodput under load (fluid model)"; E.Goodput_exp.run ppf;
+    rule "Multipath (Sec 4.4, future work)"; E.Multipath_exp.run ppf;
+    rule "Rendezvous directory (Sec 5.2)"; E.Directory_exp.run ppf;
+    rule "Lateral error correction"; E.Fec_exp.run ppf;
+    rule "Join churn (Sec 4.3)"; E.Churn_exp.run ppf;
+    rule "Loop prevention (Sec 3.3.3)"; E.Loops_exp.run ppf;
+    rule "Recursive layering + weighted trees"; E.Recursive_exp.run ppf
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+
+(* ---- operator tooling: topology + assignment files ---- *)
+
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module Edge_list = Lipsin_topology.Edge_list
+module Metrics = Lipsin_topology.Metrics
+module As_presets = Lipsin_topology.As_presets
+module Lit = Lipsin_bloom.Lit
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Persist = Lipsin_core.Persist
+module Spt = Lipsin_topology.Spt
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Rng = Lipsin_util.Rng
+
+let file_arg ~doc name = Arg.(required & opt (some string) None & info [ name ] ~docv:"FILE" ~doc)
+
+let topo_gen =
+  let doc = "Generate a topology file (preferential-attachment or preset)." in
+  let run nodes edges max_degree seed preset out =
+    let graph =
+      match preset with
+      | Some name -> As_presets.by_name name
+      | None ->
+        Generator.pref_attach ~rng:(Rng.of_int seed) ~nodes ~edges ~max_degree ()
+    in
+    Edge_list.save graph out;
+    Format.fprintf ppf "wrote %s: %a@." out Metrics.pp (Metrics.compute graph)
+  in
+  Cmd.v (Cmd.info "topo-gen" ~doc)
+    Term.(
+      const run
+      $ Arg.(value & opt int 50 & info [ "nodes" ] ~docv:"N" ~doc:"Node count.")
+      $ Arg.(value & opt int 85 & info [ "edges" ] ~docv:"E" ~doc:"Undirected edge count.")
+      $ Arg.(value & opt int 12 & info [ "max-degree" ] ~docv:"D" ~doc:"Degree cap.")
+      $ Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+      $ Arg.(value & opt (some string) None & info [ "preset" ] ~docv:"AS" ~doc:"Use a Table 1 preset (AS1221...TA2) instead of generating.")
+      $ file_arg ~doc:"Output edge-list file." "out")
+
+let topo_stats =
+  let doc = "Print Table 1-style statistics of a topology file." in
+  let run path =
+    let graph = Edge_list.load path in
+    Format.fprintf ppf "%a@." Metrics.pp (Metrics.compute graph)
+  in
+  Cmd.v (Cmd.info "topo-stats" ~doc)
+    Term.(const run $ file_arg ~doc:"Edge-list file." "topo")
+
+let assign_gen =
+  let doc = "Draw and persist a LIT assignment for a topology file." in
+  let run topo out seed =
+    let graph = Edge_list.load topo in
+    let assignment = Assignment.make Lit.default (Rng.of_int seed) graph in
+    Persist.save assignment out;
+    Format.fprintf ppf "wrote %s: %d link identities (m=248, d=8, k=5)@." out
+      (Assignment.link_count assignment)
+  in
+  Cmd.v (Cmd.info "assign-gen" ~doc)
+    Term.(
+      const run
+      $ file_arg ~doc:"Edge-list file." "topo"
+      $ file_arg ~doc:"Output assignment file." "out"
+      $ Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Identity seed."))
+
+let forward_cmd =
+  let doc = "Simulate one delivery over persisted topology + assignment." in
+  let run topo assignment_file src subscribers =
+    let graph = Edge_list.load topo in
+    match Persist.load graph assignment_file with
+    | Error e -> Format.fprintf ppf "error: %s@." e
+    | Ok assignment -> (
+      let subscribers =
+        List.filter_map int_of_string_opt (String.split_on_char ',' subscribers)
+      in
+      let tree = Spt.delivery_tree graph ~root:src ~subscribers in
+      match Select.select_fpa (Candidate.build assignment ~tree) with
+      | None -> Format.fprintf ppf "error: tree overfills every candidate@."
+      | Some c ->
+        let net = Net.make assignment in
+        let o =
+          Run.deliver net ~src ~table:c.Candidate.table
+            ~zfilter:c.Candidate.zfilter ~tree
+        in
+        Format.fprintf ppf
+          "table %d, fill %.3f; delivered %d/%d; %d traversals (eff %.1f%%), fpr %.2f%%@."
+          c.Candidate.table
+          (Candidate.fill_factor c)
+          (List.length (List.filter (fun v -> o.Run.reached.(v)) subscribers))
+          (List.length subscribers) o.Run.link_traversals
+          (100.0 *. Run.forwarding_efficiency o ~tree)
+          (100.0 *. Run.false_positive_rate o);
+        Format.fprintf ppf "zFilter: %s@."
+          (Lipsin_bloom.Zfilter.to_hex c.Candidate.zfilter))
+  in
+  Cmd.v (Cmd.info "forward" ~doc)
+    Term.(
+      const run
+      $ file_arg ~doc:"Edge-list file." "topo"
+      $ file_arg ~doc:"Assignment file." "assignment"
+      $ Arg.(value & opt int 0 & info [ "src" ] ~docv:"NODE" ~doc:"Publisher node.")
+      $ Arg.(value & opt string "1" & info [ "subscribers" ] ~docv:"A,B,C" ~doc:"Comma-separated subscriber nodes."))
+
+let () =
+  let info =
+    Cmd.info "lipsin_cli" ~version:"1.0.0"
+      ~doc:"Reproduce the LIPSIN (SIGCOMM 2009) evaluation."
+  in
+  let group =
+    Cmd.group info
+      [ table1; table2; table3; fig5; fig6; table4; table5; ftmem; security;
+        recovery; interdomain; workload; ablation; splitting; adaptive;
+        caching; congestion; bootstrap; latency; goodput; multipath;
+        directory; fec; churn; loops; recursive; all; topo_gen; topo_stats; assign_gen;
+        forward_cmd ]
+  in
+  exit (Cmd.eval group)

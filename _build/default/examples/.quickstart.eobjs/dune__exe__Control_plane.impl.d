@@ -1,0 +1,1 @@
+examples/control_plane.ml: Array Lipsin_bloom Lipsin_control Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util List Printf

@@ -1,0 +1,1 @@
+examples/datacenter.ml: Array Lipsin_baseline Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util List Printf

@@ -1,0 +1,1 @@
+examples/end_nodes.ml: Lipsin_node Lipsin_topology List Option Printf String

@@ -1,0 +1,1 @@
+examples/end_nodes.mli:

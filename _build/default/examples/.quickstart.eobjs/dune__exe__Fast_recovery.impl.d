@@ -1,0 +1,1 @@
+examples/fast_recovery.ml: Array Lipsin_bloom Lipsin_core Lipsin_forwarding Lipsin_sim Lipsin_topology Lipsin_util List Printf String

@@ -1,0 +1,1 @@
+examples/interdomain_demo.ml: Array Lipsin_interdomain Lipsin_topology Lipsin_util List Printf String

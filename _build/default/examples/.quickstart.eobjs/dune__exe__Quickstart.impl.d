@@ -1,0 +1,1 @@
+examples/quickstart.ml: Lipsin_bloom Lipsin_packet Lipsin_pubsub Lipsin_sim Lipsin_topology List Printf

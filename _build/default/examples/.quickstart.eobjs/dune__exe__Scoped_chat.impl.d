@@ -1,0 +1,1 @@
+examples/scoped_chat.ml: Lipsin_pubsub Lipsin_topology List Printf String

@@ -1,0 +1,1 @@
+examples/scoped_chat.mli:

@@ -1,0 +1,51 @@
+(* The end-node API (Sec. 6.1): hosts with publication file systems and
+   mailboxes — the application programmer's view of LIPSIN, mirroring
+   the FreeBSD prototype's create/publish/subscribe system calls.
+
+     dune exec examples/end_nodes.exe *)
+
+module Host = Lipsin_node.Host
+module Pubfs = Lipsin_node.Pubfs
+module As_presets = Lipsin_topology.As_presets
+
+let () =
+  let cluster = Host.create_cluster ~seed:9 (As_presets.ta2 ()) in
+  let newsroom = Host.endpoint cluster 12 in
+  let reader_a = Host.endpoint cluster 33 in
+  let reader_b = Host.endpoint cluster 57 in
+
+  (* The newsroom reserves a publication (a /pub/... file in its own
+     Pubfs) and readers subscribe by name. *)
+  ignore (Host.create_publication newsroom ~name:"headlines" ~content:"issue #1");
+  ignore (Host.subscribe reader_a ~name:"headlines");
+  ignore (Host.subscribe reader_b ~name:"headlines");
+
+  let show_delivery = function
+    | Error e -> Printf.printf "publish failed: %s\n" e
+    | Ok d ->
+      Printf.printf "published to %d readers over %d link traversals\n"
+        (List.length d.Host.delivered_to)
+        d.Host.link_traversals
+  in
+  show_delivery (Host.publish newsroom ~name:"headlines");
+
+  (* Readers poll their mailboxes like an event loop would. *)
+  List.iteri
+    (fun i reader ->
+      List.iter
+        (fun ev ->
+          Printf.printf "  reader %d got %S -> %S\n" i ev.Host.name ev.Host.payload)
+        (Host.poll reader))
+    [ reader_a; reader_b ];
+
+  (* Updates create new versions of the backing file; each publish
+     snapshots the newest one, and receivers keep version history. *)
+  Host.update_publication newsroom ~name:"headlines" ~content:"issue #2";
+  show_delivery (Host.publish newsroom ~name:"headlines");
+  Printf.printf "reader A newest copy: %s\n"
+    (Option.value ~default:"-" (Host.read_received reader_a ~name:"headlines"));
+  Printf.printf "reader A retained v1: %s\n"
+    (Option.value ~default:"-"
+       (Pubfs.read_version (Host.fs reader_a) ~path:"/net/headlines" ~version:1));
+  Printf.printf "reader A's files: %s\n"
+    (String.concat ", " (Pubfs.list (Host.fs reader_a) ()))

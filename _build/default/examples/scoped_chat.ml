@@ -1,0 +1,54 @@
+(* Scoped pub/sub: a chat service built on hierarchical rendezvous
+   scopes (the PSIRP-style namespace LIPSIN plugs into).  Users join
+   rooms (topics) or whole floors (scopes covering every room under
+   them, present and future).
+
+     dune exec examples/scoped_chat.exe *)
+
+module Scope = Lipsin_pubsub.Scope
+module System = Lipsin_pubsub.System
+module Generator = Lipsin_topology.Generator
+
+let () =
+  let g = Generator.grid ~rows:6 ~cols:6 in
+  let sys = System.create ~seed:17 g in
+  let scopes = Scope.create () in
+
+  (* Rooms are topic paths; floors are scopes. *)
+  let rooms =
+    [ [ "chat"; "ocaml"; "beginners" ]; [ "chat"; "ocaml"; "compilers" ];
+      [ "chat"; "networking"; "lipsin" ] ]
+  in
+  let topics = List.map (fun room -> (room, Scope.declare scopes room)) rooms in
+
+  (* alice (node 0) reads everything under /chat/ocaml; bob (node 17)
+     only the lipsin room; carol (node 35) everything. *)
+  Scope.subscribe_scope scopes [ "chat"; "ocaml" ] ~subscriber:0;
+  Scope.subscribe_scope scopes [ "chat"; "networking"; "lipsin" ] ~subscriber:17;
+  Scope.subscribe_scope scopes [ "chat" ] ~subscriber:35;
+  Scope.sync_rendezvous scopes (System.rendezvous sys);
+
+  let post room message ~from =
+    let topic = List.assoc room topics in
+    System.advertise sys topic ~publisher:from;
+    match System.publish sys topic ~publisher:from ~payload:message with
+    | Ok r ->
+      Printf.printf "%-30s %-22s -> nodes %s\n" (Scope.to_string room) message
+        (String.concat "," (List.map string_of_int (List.sort compare r.System.delivered_to)))
+    | Error e -> Printf.printf "%-30s %s\n" (Scope.to_string room) e
+  in
+  post [ "chat"; "ocaml"; "beginners" ] "\"how do i gadt\"" ~from:5;
+  post [ "chat"; "ocaml"; "compilers" ] "\"flambda2 is neat\"" ~from:12;
+  post [ "chat"; "networking"; "lipsin" ] "\"zFilters!\"" ~from:30;
+
+  (* A room created later is still covered by the floor scopes. *)
+  print_endline "\n(new room appears under /chat/ocaml)";
+  let late = [ "chat"; "ocaml"; "jobs" ] in
+  let late_topic = Scope.declare scopes late in
+  Scope.sync_rendezvous scopes (System.rendezvous sys);
+  System.advertise sys late_topic ~publisher:20;
+  (match System.publish sys late_topic ~publisher:20 ~payload:"\"hiring\"" with
+  | Ok r ->
+    Printf.printf "%-30s %-22s -> nodes %s\n" (Scope.to_string late) "\"hiring\""
+      (String.concat "," (List.map string_of_int (List.sort compare r.System.delivered_to)))
+  | Error e -> print_endline e)

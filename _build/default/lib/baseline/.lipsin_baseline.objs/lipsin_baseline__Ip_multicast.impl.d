@@ -1,0 +1,1 @@
+lib/baseline/ip_multicast.ml: Int Lipsin_topology List Map Option Set

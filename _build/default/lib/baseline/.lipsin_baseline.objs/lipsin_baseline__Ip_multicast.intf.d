@@ -1,0 +1,1 @@
+lib/baseline/ip_multicast.mli: Lipsin_topology

@@ -1,0 +1,1 @@
+lib/baseline/unicast.ml: Array Lipsin_topology List

@@ -1,0 +1,1 @@
+lib/baseline/unicast.mli: Lipsin_topology

@@ -1,0 +1,1 @@
+lib/baseline/xcast.ml: Hashtbl Lipsin_topology List Option

@@ -1,0 +1,1 @@
+lib/baseline/xcast.mli: Lipsin_topology

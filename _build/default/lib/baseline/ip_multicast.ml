@@ -1,0 +1,59 @@
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+
+type group = { source : Graph.node; group_id : int }
+
+module Group_map = Map.Make (struct
+  type t = group
+
+  let compare = compare
+end)
+
+module Node_set = Set.Make (Int)
+
+type t = {
+  graph : Graph.t;
+  mutable members : Node_set.t Group_map.t;
+}
+
+let create graph = { graph; members = Group_map.empty }
+
+let receivers_set t group =
+  Option.value ~default:Node_set.empty (Group_map.find_opt group t.members)
+
+let join t group ~receiver =
+  t.members <-
+    Group_map.add group (Node_set.add receiver (receivers_set t group)) t.members
+
+let leave t group ~receiver =
+  let remaining = Node_set.remove receiver (receivers_set t group) in
+  t.members <-
+    (if Node_set.is_empty remaining then Group_map.remove group t.members
+     else Group_map.add group remaining t.members)
+
+let receivers t group = Node_set.elements (receivers_set t group)
+
+let tree_links t group =
+  let members =
+    Node_set.elements (Node_set.remove group.source (receivers_set t group))
+  in
+  if members = [] then []
+  else Spt.delivery_tree t.graph ~root:group.source ~subscribers:members
+
+(* A router holds (S,G) state when it forwards for the group: it is the
+   source of some tree link, or a pure receiver leaf (IGMP state). *)
+let routers_with_state t group =
+  let links = tree_links t group in
+  let nodes = Spt.tree_nodes links in
+  List.sort_uniq compare (group.source :: nodes)
+
+let state_at t node =
+  Group_map.fold
+    (fun group _ acc ->
+      if List.mem node (routers_with_state t group) then acc + 1 else acc)
+    t.members 0
+
+let total_state t =
+  Group_map.fold
+    (fun group _ acc -> acc + List.length (routers_with_state t group))
+    t.members 0

@@ -1,0 +1,38 @@
+(** Source-specific multicast (SSM) state model.
+
+    The functional comparator of Sec. 2.4/7: SSM delivers on exactly
+    the shortest-path tree (100% forwarding efficiency, zero false
+    positives) but every on-tree router holds an (S, G) entry per
+    group.  LIPSIN's stateless trees hold zero.  This model counts that
+    state so experiments can put numbers on the trade-off for
+    Zipf-distributed group populations. *)
+
+type t
+
+val create : Lipsin_topology.Graph.t -> t
+
+type group = {
+  source : Lipsin_topology.Graph.node;
+  group_id : int;
+}
+
+val join :
+  t -> group -> receiver:Lipsin_topology.Graph.node -> unit
+(** Adds the receiver and installs (S,G) state along the shortest path
+    towards the source's tree.  Idempotent. *)
+
+val leave : t -> group -> receiver:Lipsin_topology.Graph.node -> unit
+(** Removes the receiver and prunes state no longer on any member
+    path. *)
+
+val receivers : t -> group -> Lipsin_topology.Graph.node list
+
+val state_at : t -> Lipsin_topology.Graph.node -> int
+(** Number of (S,G) entries held by a router. *)
+
+val total_state : t -> int
+(** Sum over all routers — the forwarding state the network carries. *)
+
+val tree_links : t -> group -> Lipsin_topology.Graph.link list
+(** The current delivery tree of the group (empty when no
+    receivers). *)

@@ -1,0 +1,70 @@
+type node = {
+  mutable next_hop : int option;
+  mutable zero : node option;
+  mutable one : node option;
+}
+
+type t = { root : node; mutable routes : int }
+
+let fresh_node () = { next_hop = None; zero = None; one = None }
+let create () = { root = fresh_node (); routes = 0 }
+
+let bit_at addr i = Int32.logand (Int32.shift_right_logical addr (31 - i)) 1l = 1l
+
+let check_len len =
+  if len < 0 || len > 32 then invalid_arg "Lpm: prefix length outside [0,32]"
+
+let add t ~prefix ~len ~next_hop =
+  check_len len;
+  let rec descend node i =
+    if i = len then begin
+      if node.next_hop = None then t.routes <- t.routes + 1;
+      node.next_hop <- Some next_hop
+    end
+    else if bit_at prefix i then begin
+      (match node.one with None -> node.one <- Some (fresh_node ()) | Some _ -> ());
+      descend (Option.get node.one) (i + 1)
+    end
+    else begin
+      (match node.zero with None -> node.zero <- Some (fresh_node ()) | Some _ -> ());
+      descend (Option.get node.zero) (i + 1)
+    end
+  in
+  descend t.root 0
+
+let lookup t addr =
+  let rec descend node i best =
+    let best = match node.next_hop with Some h -> Some h | None -> best in
+    if i = 32 then best
+    else
+      let child = if bit_at addr i then node.one else node.zero in
+      match child with None -> best | Some c -> descend c (i + 1) best
+  in
+  descend t.root 0 None
+
+let remove t ~prefix ~len =
+  check_len len;
+  let rec descend node i =
+    if i = len then
+      match node.next_hop with
+      | Some _ ->
+        node.next_hop <- None;
+        t.routes <- t.routes - 1;
+        true
+      | None -> false
+    else
+      let child = if bit_at prefix i then node.one else node.zero in
+      match child with None -> false | Some c -> descend c (i + 1)
+  in
+  descend t.root 0
+
+let size t = t.routes
+
+let reference_fib () =
+  let t = create () in
+  add t ~prefix:0l ~len:0 ~next_hop:0;
+  add t ~prefix:0x0A000000l ~len:8 ~next_hop:1;
+  add t ~prefix:0xC0A80000l ~len:16 ~next_hop:2;
+  add t ~prefix:0xC0A80100l ~len:24 ~next_hop:3;
+  add t ~prefix:0xC0A80101l ~len:32 ~next_hop:4;
+  t

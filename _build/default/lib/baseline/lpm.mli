@@ -1,0 +1,29 @@
+(** Longest-prefix-match IP forwarding — the Table 5 comparator.
+
+    A binary trie over 32-bit IPv4 prefixes, as a conventional software
+    router would use.  The paper pings through "the reference IP router
+    with five entries in the forwarding table"; `lipsin_cli table5` and
+    the bench suite reproduce that comparison against the zFilter
+    decision. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> prefix:int32 -> len:int -> next_hop:int -> unit
+(** Installs a route.  Bits of [prefix] below the mask are ignored.
+    Re-adding a prefix overwrites its next hop.
+    @raise Invalid_argument if [len] outside \[0, 32\]. *)
+
+val lookup : t -> int32 -> int option
+(** Longest matching prefix's next hop. *)
+
+val remove : t -> prefix:int32 -> len:int -> bool
+(** [true] if a route was present and removed. *)
+
+val size : t -> int
+(** Number of installed routes. *)
+
+val reference_fib : unit -> t
+(** The 5-entry table used by the Table 5 experiment: a default route
+    plus /8, /16, /24 and /32 entries. *)

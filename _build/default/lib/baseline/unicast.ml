@@ -1,0 +1,19 @@
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+
+let link_uses g ~root ~subscribers =
+  let dist = Spt.distances g ~root in
+  List.fold_left
+    (fun acc s ->
+      if s = root then acc
+      else if dist.(s) = max_int then
+        invalid_arg "Unicast.link_uses: subscriber unreachable"
+      else acc + dist.(s))
+    0 subscribers
+
+let efficiency g ~root ~subscribers =
+  let uses = link_uses g ~root ~subscribers in
+  if uses = 0 then 1.0
+  else
+    let tree = Spt.delivery_tree g ~root ~subscribers in
+    float_of_int (List.length tree) /. float_of_int uses

@@ -1,0 +1,37 @@
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+
+let header_bytes ~destinations = 4 + (4 * destinations)
+let zfilter_header_bytes ~m = 5 + ((m + 7) / 8)
+
+let crossover_destinations ~m =
+  let z = zfilter_header_bytes ~m in
+  (* smallest n with 4 + 4n > z *)
+  ((z - 4) / 4) + 1
+
+(* For each tree link, the set of subscribers reached through it is the
+   set whose root-path contains the link. *)
+let downstream_counts g ~root ~subscribers =
+  let parents = Spt.bfs_parents g ~root in
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun sub ->
+      if sub <> root then
+        List.iter
+          (fun l ->
+            Hashtbl.replace counts l.Graph.index
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts l.Graph.index)))
+          (Spt.path_to g parents sub))
+    subscribers;
+  counts
+
+let delivery_header_cost g ~root ~subscribers =
+  let counts = downstream_counts g ~root ~subscribers in
+  Hashtbl.fold (fun _ n acc -> acc + header_bytes ~destinations:n) counts 0
+
+let rewrite_operations g ~root ~subscribers =
+  let counts = downstream_counts g ~root ~subscribers in
+  (* Each router receiving a header with n destinations performs n
+     next-hop lookups to partition the list; receivers of each tree
+     link do this once per packet. *)
+  Hashtbl.fold (fun _ n acc -> acc + n) counts 0

@@ -1,0 +1,35 @@
+(** Xcast header-cost model (related work, Sec. 7).
+
+    Xcast (RFC 5058) carries the explicit destination list in the
+    packet; every router parses the list, partitions it by next hop and
+    rewrites the header.  The model quantifies the two costs the paper
+    contrasts with the fixed-size zFilter: header bytes growing
+    linearly in the destination count, and per-hop rewrite work. *)
+
+val header_bytes : destinations:int -> int
+(** 4 bytes of fixed header plus a 4-byte address per destination. *)
+
+val zfilter_header_bytes : m:int -> int
+(** The LIPSIN equivalent: the in-packet filter plus 5 fixed bytes
+    (matches [Lipsin_packet.Header.header_size]). *)
+
+val crossover_destinations : m:int -> int
+(** Smallest destination count at which the Xcast header becomes
+    larger than the zFilter header. *)
+
+val delivery_header_cost :
+  Lipsin_topology.Graph.t ->
+  root:Lipsin_topology.Graph.node ->
+  subscribers:Lipsin_topology.Graph.node list ->
+  int
+(** Total header bytes transmitted over all links of an Xcast
+    delivery: on each tree link the header carries only the
+    destinations downstream of that link. *)
+
+val rewrite_operations :
+  Lipsin_topology.Graph.t ->
+  root:Lipsin_topology.Graph.node ->
+  subscribers:Lipsin_topology.Graph.node list ->
+  int
+(** Number of per-router destination partition steps (one per
+    destination per traversed branching router). *)

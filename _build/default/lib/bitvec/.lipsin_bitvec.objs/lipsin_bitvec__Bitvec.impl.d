@@ -1,0 +1,1 @@
+lib/bitvec/bitvec.ml: Array Buffer Bytes Char Format Hashtbl Int64 List Printf Stdlib String

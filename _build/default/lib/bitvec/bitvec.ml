@@ -1,0 +1,211 @@
+type t = { bits : int; data : Bytes.t }
+
+(* Bytes rather than an int array keeps the representation identical to
+   the wire format; the padding bits in the final byte are kept at zero
+   as an invariant so that byte-wise comparison and popcount need no
+   masking. *)
+
+let bytes_for bits = (bits + 7) / 8
+
+let create bits =
+  if bits <= 0 then invalid_arg "Bitvec.create: length must be positive";
+  { bits; data = Bytes.make (bytes_for bits) '\000' }
+
+let length t = t.bits
+let copy t = { bits = t.bits; data = Bytes.copy t.data }
+
+let check_index t i =
+  if i < 0 || i >= t.bits then invalid_arg "Bitvec: index out of range"
+
+let get t i =
+  check_index t i;
+  Char.code (Bytes.get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check_index t i;
+  let b = i lsr 3 in
+  Bytes.set t.data b (Char.chr (Char.code (Bytes.get t.data b) lor (1 lsl (i land 7))))
+
+let clear t i =
+  check_index t i;
+  let b = i lsr 3 in
+  Bytes.set t.data b (Char.chr (Char.code (Bytes.get t.data b) land lnot (1 lsl (i land 7)) land 0xff))
+
+let mask_padding t =
+  (* Keep bits beyond [t.bits] in the last byte at zero. *)
+  let rem = t.bits land 7 in
+  if rem <> 0 then begin
+    let last = Bytes.length t.data - 1 in
+    let m = (1 lsl rem) - 1 in
+    Bytes.set t.data last (Char.chr (Char.code (Bytes.get t.data last) land m))
+  end
+
+let set_all t =
+  Bytes.fill t.data 0 (Bytes.length t.data) '\255';
+  mask_padding t
+
+let reset t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'
+
+let popcount_byte =
+  let table = Array.make 256 0 in
+  for i = 1 to 255 do
+    table.(i) <- table.(i lsr 1) + (i land 1)
+  done;
+  fun c -> table.(Char.code c)
+
+let popcount64 x =
+  (* SWAR popcount on a 64-bit word. *)
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x = add (logand x 0x3333333333333333L)
+            (logand (shift_right_logical x 2) 0x3333333333333333L) in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let popcount t =
+  let n = Bytes.length t.data in
+  let words = n / 8 in
+  let count = ref 0 in
+  for w = 0 to words - 1 do
+    count := !count + popcount64 (Bytes.get_int64_le t.data (8 * w))
+  done;
+  for i = 8 * words to n - 1 do
+    count := !count + popcount_byte (Bytes.get t.data i)
+  done;
+  !count
+
+let fill_ratio t = float_of_int (popcount t) /. float_of_int t.bits
+
+let check_same_length a b =
+  if a.bits <> b.bits then invalid_arg "Bitvec: length mismatch"
+
+let logor a b =
+  check_same_length a b;
+  let out = copy a in
+  for i = 0 to Bytes.length out.data - 1 do
+    Bytes.set out.data i
+      (Char.chr (Char.code (Bytes.get out.data i) lor Char.code (Bytes.get b.data i)))
+  done;
+  out
+
+let logand a b =
+  check_same_length a b;
+  let out = copy a in
+  for i = 0 to Bytes.length out.data - 1 do
+    Bytes.set out.data i
+      (Char.chr (Char.code (Bytes.get out.data i) land Char.code (Bytes.get b.data i)))
+  done;
+  out
+
+let logor_into ~dst src =
+  check_same_length dst src;
+  for i = 0 to Bytes.length dst.data - 1 do
+    Bytes.set dst.data i
+      (Char.chr (Char.code (Bytes.get dst.data i) lor Char.code (Bytes.get src.data i)))
+  done
+
+let subset a ~of_ =
+  check_same_length a of_;
+  let n = Bytes.length a.data in
+  let words = n / 8 in
+  let rec word_loop w =
+    if w >= words then true
+    else
+      let x = Bytes.get_int64_le a.data (8 * w) in
+      let y = Bytes.get_int64_le of_.data (8 * w) in
+      if Int64.logand x y <> x then false else word_loop (w + 1)
+  in
+  let rec byte_loop i =
+    if i >= n then true
+    else
+      let x = Char.code (Bytes.get a.data i) in
+      let y = Char.code (Bytes.get of_.data i) in
+      if x land y <> x then false else byte_loop (i + 1)
+  in
+  word_loop 0 && byte_loop (8 * words)
+
+let intersects a b =
+  check_same_length a b;
+  let n = Bytes.length a.data in
+  let words = n / 8 in
+  let rec word_loop w =
+    if w >= words then false
+    else if
+      Int64.logand (Bytes.get_int64_le a.data (8 * w)) (Bytes.get_int64_le b.data (8 * w))
+      <> 0L
+    then true
+    else word_loop (w + 1)
+  in
+  let rec byte_loop i =
+    if i >= n then false
+    else if Char.code (Bytes.get a.data i) land Char.code (Bytes.get b.data i) <> 0 then
+      true
+    else byte_loop (i + 1)
+  in
+  word_loop 0 || byte_loop (8 * words)
+
+let equal a b = a.bits = b.bits && Bytes.equal a.data b.data
+
+let compare a b =
+  let c = Stdlib.compare a.bits b.bits in
+  if c <> 0 then c else Bytes.compare a.data b.data
+
+let iter_set t f =
+  for i = 0 to t.bits - 1 do
+    if Char.code (Bytes.get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+  done
+
+let set_positions t =
+  let acc = ref [] in
+  iter_set t (fun i -> acc := i :: !acc);
+  List.rev !acc
+
+let of_positions n ps =
+  let t = create n in
+  List.iter (fun p -> set t p) ps;
+  t
+
+let to_hex t =
+  let n = Bytes.length t.data in
+  let buf = Buffer.create (2 * n) in
+  for i = n - 1 downto 0 do
+    Buffer.add_string buf (Printf.sprintf "%02x" (Char.code (Bytes.get t.data i)))
+  done;
+  Buffer.contents buf
+
+let of_hex n s =
+  let bytes = bytes_for n in
+  if String.length s <> 2 * bytes then invalid_arg "Bitvec.of_hex: length mismatch";
+  let t = create n in
+  let hex_val c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Bitvec.of_hex: not a hex digit"
+  in
+  for i = 0 to bytes - 1 do
+    let hi = hex_val s.[2 * i] and lo = hex_val s.[(2 * i) + 1] in
+    Bytes.set t.data (bytes - 1 - i) (Char.chr ((hi lsl 4) lor lo))
+  done;
+  let padded = copy t in
+  mask_padding padded;
+  if not (Bytes.equal padded.data t.data) then
+    invalid_arg "Bitvec.of_hex: padding bits set";
+  t
+
+let to_bytes t = Bytes.copy t.data
+
+let of_bytes n b =
+  if Bytes.length b <> bytes_for n then invalid_arg "Bitvec.of_bytes: size mismatch";
+  let t = { bits = n; data = Bytes.copy b } in
+  let masked = copy t in
+  mask_padding masked;
+  if not (Bytes.equal masked.data t.data) then
+    invalid_arg "Bitvec.of_bytes: padding bits set";
+  t
+
+let hash t = Hashtbl.hash (t.bits, Bytes.to_string t.data)
+
+let pp ppf t =
+  Format.fprintf ppf "<%d bits, %d set: %s>" t.bits (popcount t) (to_hex t)

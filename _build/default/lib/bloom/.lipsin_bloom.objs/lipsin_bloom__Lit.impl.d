@@ -1,0 +1,1 @@
+lib/bloom/lit.ml: Array Format Int64 Lipsin_bitvec Lipsin_util

@@ -1,0 +1,1 @@
+lib/bloom/lit.mli: Format Lipsin_bitvec Lipsin_util

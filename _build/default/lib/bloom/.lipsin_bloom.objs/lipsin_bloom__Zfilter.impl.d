@@ -1,0 +1,1 @@
+lib/bloom/zfilter.ml: Lipsin_bitvec List

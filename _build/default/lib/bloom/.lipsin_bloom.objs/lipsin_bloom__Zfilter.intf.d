@@ -1,0 +1,1 @@
+lib/bloom/zfilter.mli: Format Lipsin_bitvec

@@ -1,0 +1,63 @@
+module Rng = Lipsin_util.Rng
+module Bitvec = Lipsin_bitvec.Bitvec
+
+type params = { m : int; d : int; k_for_table : int array }
+
+let validate p =
+  if p.m <= 0 then invalid_arg "Lit.params: m must be positive";
+  if p.d <= 0 then invalid_arg "Lit.params: d must be positive";
+  if Array.length p.k_for_table <> p.d then
+    invalid_arg "Lit.params: k_for_table length must equal d";
+  Array.iter
+    (fun k ->
+      if k <= 0 || k > p.m then invalid_arg "Lit.params: k outside (0, m]")
+    p.k_for_table
+
+let constant_k ~m ~d ~k =
+  let p = { m; d; k_for_table = Array.make d k } in
+  validate p;
+  p
+
+let variable_k ~m ~d ~ks =
+  if Array.length ks = 0 then invalid_arg "Lit.variable_k: empty k list";
+  let p = { m; d; k_for_table = Array.init d (fun i -> ks.(i mod Array.length ks)) } in
+  validate p;
+  p
+
+let default = constant_k ~m:248 ~d:8 ~k:5
+let paper_variable = variable_k ~m:248 ~d:8 ~ks:[| 3; 3; 4; 4; 5; 5; 6; 6 |]
+
+type t = { params : params; nonce : int64; tags : Bitvec.t array }
+
+let generate params ~nonce =
+  validate params;
+  let tag_for_table i =
+    (* An independent position stream per (nonce, table): mixing the
+       table index through SplitMix64 decorrelates the d tags of a
+       link. *)
+    let seed = Rng.mix64 (Int64.logxor nonce (Rng.mix64 (Int64.of_int (i + 1)))) in
+    let rng = Rng.create seed in
+    let k = params.k_for_table.(i) in
+    let positions = Rng.sample rng k params.m in
+    Bitvec.of_positions params.m (Array.to_list positions)
+  in
+  { params; nonce; tags = Array.init params.d tag_for_table }
+
+let fresh params rng = generate params ~nonce:(Rng.int64 rng)
+let params t = t.params
+let nonce t = t.nonce
+
+let tag t i =
+  if i < 0 || i >= t.params.d then invalid_arg "Lit.tag: table index out of range";
+  t.tags.(i)
+
+let tags t = Array.copy t.tags
+let link_id t = t.tags.(0)
+
+let equal a b =
+  Int64.equal a.nonce b.nonce
+  && a.params.m = b.params.m && a.params.d = b.params.d
+  && a.params.k_for_table = b.params.k_for_table
+
+let pp ppf t =
+  Format.fprintf ppf "lit(nonce=%Lx, m=%d, d=%d)" t.nonce t.params.m t.params.d

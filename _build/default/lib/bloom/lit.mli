@@ -1,0 +1,63 @@
+(** Link IDs and Link ID Tags (LITs).
+
+    Every unidirectional link carries d distinct identities (Sec. 3.2,
+    Fig. 3): forwarding table i holds the link's i-th tag, and a packet's
+    header says which table to use, so the d tags give d "equivalent"
+    candidate zFilters for the same delivery tree.
+
+    A tag is an m-bit vector with k bits set, derived deterministically
+    from the link's 64-bit nonce and the table index, so two nodes never
+    need to agree on tag assignment — statistical uniqueness does the
+    work (m = 248, k = 5 gives ~9*10^11 distinct Link IDs). *)
+
+type params = {
+  m : int;  (** Filter width in bits (paper default 248). *)
+  d : int;  (** Number of forwarding tables / candidate filters. *)
+  k_for_table : int array;  (** [k_for_table.(i)] = bits set in table i's tags; length [d]. *)
+}
+
+val constant_k : m:int -> d:int -> k:int -> params
+(** All tables use the same k (the paper's kc = 5 configuration). *)
+
+val variable_k : m:int -> d:int -> ks:int array -> params
+(** Table i uses [ks.(i mod Array.length ks)] — the paper's kd
+    configuration uses ks = \[|3;3;4;4;5;5;6;6|\].
+    @raise Invalid_argument if [ks] is empty. *)
+
+val default : params
+(** m = 248, d = 8, constant k = 5. *)
+
+val paper_variable : params
+(** m = 248, d = 8, variable k = \[3;3;4;4;5;5;6;6\]. *)
+
+val validate : params -> unit
+(** @raise Invalid_argument unless [m > 0], [d > 0],
+    [Array.length k_for_table = d] and every k is in (0, m\]. *)
+
+type t
+(** The full identity of one unidirectional link: its nonce and its d
+    tags. *)
+
+val generate : params -> nonce:int64 -> t
+(** Deterministically derives the d tags from [nonce].  Each tag has
+    exactly [k_for_table.(i)] distinct bits set. *)
+
+val fresh : params -> Lipsin_util.Rng.t -> t
+(** Draws a random nonce from the generator, then {!generate}. *)
+
+val params : t -> params
+val nonce : t -> int64
+
+val tag : t -> int -> Lipsin_bitvec.Bitvec.t
+(** [tag t i] is the LIT for forwarding table [i].  The result is the
+    module's private copy: callers must not mutate it.
+    @raise Invalid_argument if [i] outside \[0, d). *)
+
+val tags : t -> Lipsin_bitvec.Bitvec.t array
+(** Fresh array of (shared) tags, index = table. *)
+
+val link_id : t -> Lipsin_bitvec.Bitvec.t
+(** The plain Link ID — by convention the tag of table 0. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+module Bitvec = Lipsin_bitvec.Bitvec
+
+type t = Bitvec.t
+
+let create ~m = Bitvec.create m
+let of_bitvec v = v
+let to_bitvec t = t
+let copy = Bitvec.copy
+let m = Bitvec.length
+let add t lit = Bitvec.logor_into ~dst:t lit
+
+let of_tags ~m tags =
+  let t = create ~m in
+  List.iter (add t) tags;
+  t
+
+let matches t ~lit = Bitvec.subset lit ~of_:t
+let fill_factor = Bitvec.fill_ratio
+let fpa t ~k = fill_factor t ** float_of_int k
+let within_fill_limit t ~limit = fill_factor t <= limit
+let equal = Bitvec.equal
+let popcount = Bitvec.popcount
+let to_hex = Bitvec.to_hex
+let of_hex ~m s = Bitvec.of_hex m s
+let pp = Bitvec.pp

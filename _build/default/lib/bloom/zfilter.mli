@@ -1,0 +1,49 @@
+(** In-packet Bloom filters — zFilters.
+
+    A zFilter is the OR of the LITs of the links of a delivery tree, for
+    one forwarding-table index.  This module wraps the bit vector with
+    the metrics the paper defines: fill factor ρ and the
+    false-positive-after-hashing estimate fpa = ρ^k (Eq. 1). *)
+
+type t
+(** A zFilter; carries its width m.  Mutable (construction ORs tags in
+    place). *)
+
+val create : m:int -> t
+(** All-zero filter of width [m]. *)
+
+val of_bitvec : Lipsin_bitvec.Bitvec.t -> t
+(** Adopts (does not copy) the given vector. *)
+
+val to_bitvec : t -> Lipsin_bitvec.Bitvec.t
+(** The underlying vector (shared, not a copy). *)
+
+val copy : t -> t
+val m : t -> int
+
+val add : t -> Lipsin_bitvec.Bitvec.t -> unit
+(** ORs a LIT into the filter.  @raise Invalid_argument on width
+    mismatch. *)
+
+val of_tags : m:int -> Lipsin_bitvec.Bitvec.t list -> t
+(** Builds a filter holding all the given tags. *)
+
+val matches : t -> lit:Lipsin_bitvec.Bitvec.t -> bool
+(** Algorithm 1's test: [zFilter AND LIT = LIT]. *)
+
+val fill_factor : t -> float
+(** ρ — fraction of bits set. *)
+
+val fpa : t -> k:int -> float
+(** Eq. (1): ρ^k, the expected false-positive probability for a
+    membership test with k bits. *)
+
+val within_fill_limit : t -> limit:float -> bool
+(** Security check of Sec. 4.4: [fill_factor <= limit].  Forwarding
+    nodes drop packets over the limit to defeat contamination attacks. *)
+
+val equal : t -> t -> bool
+val popcount : t -> int
+val to_hex : t -> string
+val of_hex : m:int -> string -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/bootstrap/discovery.ml: Array Hashtbl Lipsin_topology List

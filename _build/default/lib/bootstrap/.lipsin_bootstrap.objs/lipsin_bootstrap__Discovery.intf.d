@@ -1,0 +1,1 @@
+lib/bootstrap/discovery.mli: Lipsin_topology

@@ -1,0 +1,187 @@
+module Graph = Lipsin_topology.Graph
+
+type lsa = {
+  origin : Graph.node;
+  seq : int;
+  neighbors : Graph.node list;  (* sorted *)
+  is_rendezvous : bool;
+}
+
+type node_state = {
+  lsdb : (Graph.node, lsa) Hashtbl.t;
+  (* LSAs this node has accepted but not yet flooded onward. *)
+  mutable pending : lsa list;
+}
+
+type t = {
+  graph : Graph.t;
+  states : node_state array;
+  (* Physical liveness of links, by directed link index; both
+     directions fail together. *)
+  alive : bool array;
+  mutable total_messages : int;
+}
+
+let live_neighbors t v =
+  List.filter_map
+    (fun l -> if t.alive.(l.Graph.index) then Some l.Graph.dst else None)
+    (Graph.out_links t.graph v)
+
+let originate t v ~rendezvous =
+  let state = t.states.(v) in
+  let seq =
+    match Hashtbl.find_opt state.lsdb v with Some l -> l.seq + 1 | None -> 0
+  in
+  let lsa =
+    {
+      origin = v;
+      seq;
+      neighbors = List.sort compare (live_neighbors t v);
+      is_rendezvous = List.mem v rendezvous;
+    }
+  in
+  Hashtbl.replace state.lsdb v lsa;
+  state.pending <- lsa :: state.pending
+
+let create ?(rendezvous = []) graph =
+  let n = Graph.node_count graph in
+  let t =
+    {
+      graph;
+      states =
+        Array.init n (fun _ -> { lsdb = Hashtbl.create 16; pending = [] });
+      alive = Array.make (Graph.link_count graph) true;
+      total_messages = 0;
+    }
+  in
+  for v = 0 to n - 1 do
+    originate t v ~rendezvous
+  done;
+  t
+
+(* Accept an LSA at a node: newer sequence wins; accepted LSAs queue
+   for onward flooding. *)
+let accept state lsa =
+  let fresher =
+    match Hashtbl.find_opt state.lsdb lsa.origin with
+    | Some existing -> lsa.seq > existing.seq
+    | None -> true
+  in
+  if fresher then begin
+    Hashtbl.replace state.lsdb lsa.origin lsa;
+    state.pending <- lsa :: state.pending
+  end
+
+let step t =
+  (* Collect this round's floods first so an LSA travels exactly one
+     hop per round (synchronous model). *)
+  let outbox =
+    Array.mapi
+      (fun v state ->
+        let msgs = state.pending in
+        state.pending <- [];
+        (v, msgs))
+      t.states
+  in
+  let carried = ref 0 in
+  Array.iter
+    (fun (v, msgs) ->
+      if msgs <> [] then
+        List.iter
+          (fun neighbor ->
+            List.iter
+              (fun lsa ->
+                incr carried;
+                accept t.states.(neighbor) lsa)
+              msgs)
+          (live_neighbors t v))
+    outbox;
+  t.total_messages <- t.total_messages + !carried;
+  !carried
+
+let converged t =
+  let n = Graph.node_count t.graph in
+  (* Convergence = every node holds every origin's authoritative
+     (self-held) LSA. *)
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    for origin = 0 to n - 1 do
+      let authoritative = Hashtbl.find_opt t.states.(origin).lsdb origin in
+      let seen = Hashtbl.find_opt t.states.(v).lsdb origin in
+      match (authoritative, seen) with
+      | Some a, Some s when s.seq = a.seq && s.neighbors = a.neighbors -> ()
+      | _ -> ok := false
+    done
+  done;
+  !ok
+
+let quiescent t =
+  Array.for_all (fun state -> state.pending = []) t.states
+
+let run ?max_rounds t =
+  let limit =
+    match max_rounds with Some r -> r | None -> 4 * Graph.node_count t.graph
+  in
+  (* Convergence alone is not enough: accepted-but-unflooded LSAs would
+     still chatter on the next step, so drain to quiescence. *)
+  let rec go rounds =
+    if converged t && quiescent t then Ok rounds
+    else if rounds >= limit then Error "discovery did not converge"
+    else begin
+      ignore (step t);
+      go (rounds + 1)
+    end
+  in
+  go 0
+
+let messages_sent t = t.total_messages
+
+let map_of t v =
+  let n = Graph.node_count t.graph in
+  let g = Graph.create ~nodes:n in
+  let lsdb = t.states.(v).lsdb in
+  let claims u w =
+    match Hashtbl.find_opt lsdb u with
+    | Some lsa -> List.mem w lsa.neighbors
+    | None -> false
+  in
+  for u = 0 to n - 1 do
+    match Hashtbl.find_opt lsdb u with
+    | None -> ()
+    | Some lsa ->
+      List.iter
+        (fun w ->
+          (* Add each undirected edge once, only when both endpoint
+             LSAs agree (two-way connectivity check, as in OSPF). *)
+          if u < w && claims w u && not (Graph.has_edge g u w) then
+            Graph.add_edge g u w)
+        lsa.neighbors
+  done;
+  g
+
+let rendezvous_known_at t v =
+  Hashtbl.fold
+    (fun origin lsa acc -> if lsa.is_rendezvous then origin :: acc else acc)
+    t.states.(v).lsdb []
+  |> List.sort compare
+
+let fail_link t link =
+  let reverse = Graph.reverse_link t.graph link in
+  if t.alive.(link.Graph.index) || t.alive.(reverse.Graph.index) then begin
+    t.alive.(link.Graph.index) <- false;
+    t.alive.(reverse.Graph.index) <- false;
+    (* Endpoints detect the loss and re-originate; rendezvous flags are
+       sticky in their own LSAs. *)
+    let rendezvous =
+      List.filter_map
+        (fun v ->
+          match Hashtbl.find_opt t.states.(v).lsdb v with
+          | Some lsa when lsa.is_rendezvous -> Some v
+          | Some _ | None -> None)
+        [ link.Graph.src; link.Graph.dst ]
+    in
+    originate t link.Graph.src ~rendezvous;
+    originate t link.Graph.dst ~rendezvous
+  end
+
+let link_alive t link = t.alive.(link.Graph.index)

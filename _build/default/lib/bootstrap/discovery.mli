@@ -1,0 +1,56 @@
+(** Recursive bootstrap of the topology function (Sec. 2.2).
+
+    "During the bootstrap process, the topology management functions on
+    each node learn their local connectivity [...] Then, in a manner
+    similar to the current routing protocols, they exchange information
+    about their perceived local connectivity, creating a map of the
+    network graph structure.  The same messages are also used to
+    bootstrap the rendezvous system."
+
+    This module simulates that protocol in synchronous rounds: each
+    node starts knowing only its own adjacency (the layer below
+    delivers to direct neighbours for free), floods sequence-numbered
+    link-state advertisements (LSAs), and converges on the full map in
+    O(diameter) rounds.  Rendezvous nodes set a flag in their LSA, so
+    convergence also tells every node where the rendezvous system
+    lives.
+
+    Link failures are modelled by re-originating the endpoint LSAs with
+    the link removed; the deltas re-flood and the maps re-converge. *)
+
+type t
+
+val create : ?rendezvous:Lipsin_topology.Graph.node list -> Lipsin_topology.Graph.t -> t
+(** Fresh protocol state over the (physical) topology; every node knows
+    its own neighbours, nothing else. *)
+
+val step : t -> int
+(** One synchronous round: every node floods LSAs its neighbours have
+    not acknowledged yet.  Returns the number of LSA messages carried
+    this round (0 once converged and quiescent). *)
+
+val converged : t -> bool
+(** Every node's link-state database contains every node's newest
+    LSA. *)
+
+val run : ?max_rounds:int -> t -> (int, string) result
+(** Steps until {!converged}; returns the number of rounds taken.
+    [Error] if [max_rounds] (default 4 × node count) elapse first —
+    which would indicate a protocol bug, not a slow network. *)
+
+val messages_sent : t -> int
+(** Total LSA messages carried since creation (protocol overhead). *)
+
+val map_of : t -> Lipsin_topology.Graph.node -> Lipsin_topology.Graph.t
+(** The network map as node [v] currently sees it: an edge exists when
+    both endpoint LSAs in [v]'s database agree on it.  Nodes [v] has
+    never heard of appear isolated. *)
+
+val rendezvous_known_at : t -> Lipsin_topology.Graph.node -> Lipsin_topology.Graph.node list
+(** Which rendezvous nodes [v] has learned about, ascending. *)
+
+val fail_link : t -> Lipsin_topology.Graph.link -> unit
+(** Both endpoints re-originate their LSAs without the link; the
+    protocol must be stepped again to re-converge.  Idempotent. *)
+
+val link_alive : t -> Lipsin_topology.Graph.link -> bool

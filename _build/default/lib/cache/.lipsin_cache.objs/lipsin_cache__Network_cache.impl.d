@@ -1,0 +1,1 @@
+lib/cache/network_cache.ml: Array Lipsin_topology List Store

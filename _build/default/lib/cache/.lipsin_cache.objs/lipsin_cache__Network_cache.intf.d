@@ -1,0 +1,1 @@
+lib/cache/network_cache.mli: Lipsin_topology Store

@@ -1,0 +1,1 @@
+lib/cache/store.ml: Hashtbl

@@ -1,0 +1,47 @@
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+
+type t = { graph : Graph.t; stores : Store.t array }
+
+let create graph ~capacity =
+  {
+    graph;
+    stores = Array.init (Graph.node_count graph) (fun _ -> Store.create ~capacity);
+  }
+
+let graph t = t.graph
+
+let on_delivery t ~tree ~topic ~payload =
+  List.iter
+    (fun node -> Store.insert t.stores.(node) ~topic ~payload)
+    (Spt.tree_nodes tree)
+
+let store_at t node = t.stores.(node)
+
+type fetched = {
+  payload : string;
+  served_by : Graph.node;
+  hops : int;
+  full_hops : int;
+}
+
+let fetch t ~subscriber ~publisher ~topic =
+  let parents = Spt.bfs_parents t.graph ~root:publisher in
+  if parents.(subscriber) = -1 && subscriber <> publisher then None
+  else begin
+    (* The path publisher -> subscriber, walked from the subscriber
+       end. *)
+    let path = Spt.path_to t.graph parents subscriber in
+    let towards_publisher =
+      subscriber :: List.rev_map (fun l -> l.Graph.src) path
+    in
+    let full_hops = List.length path in
+    let rec probe hops = function
+      | [] -> None
+      | node :: rest -> (
+        match Store.lookup t.stores.(node) ~topic with
+        | Some payload -> Some { payload; served_by = node; hops; full_hops }
+        | None -> probe (hops + 1) rest)
+    in
+    probe 0 towards_publisher
+  end

@@ -1,0 +1,39 @@
+(** Network-wide opportunistic caching (Sec. 5.4).
+
+    Every node that forwards a publication keeps a copy in its packet
+    cache; a subscriber that later asks for the data by topic name
+    walks its shortest path towards the publisher and is served by the
+    first cache hit, decoupling it from the publisher in time — the
+    "in-network caching" leg of the pub/sub triad. *)
+
+type t
+
+val create : Lipsin_topology.Graph.t -> capacity:int -> t
+(** One {!Store} of [capacity] entries per node. *)
+
+val graph : t -> Lipsin_topology.Graph.t
+
+val on_delivery :
+  t -> tree:Lipsin_topology.Graph.link list -> topic:int64 -> payload:string -> unit
+(** Opportunistic fill: every node the delivery tree touches caches the
+    publication. *)
+
+val store_at : t -> Lipsin_topology.Graph.node -> Store.t
+
+type fetched = {
+  payload : string;
+  served_by : Lipsin_topology.Graph.node;  (** Cache (or publisher) that answered. *)
+  hops : int;       (** Request hops actually travelled. *)
+  full_hops : int;  (** Hops to the publisher — the cost without caching. *)
+}
+
+val fetch :
+  t ->
+  subscriber:Lipsin_topology.Graph.node ->
+  publisher:Lipsin_topology.Graph.node ->
+  topic:int64 ->
+  fetched option
+(** Walks the shortest path subscriber → publisher, stopping at the
+    first cache holding the topic; [None] when nobody (not even the
+    path's publisher end) has it.  The subscriber's own cache counts
+    (0 hops). *)

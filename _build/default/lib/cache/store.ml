@@ -1,0 +1,74 @@
+(* LRU over a doubly-linked recency list + hashtable.  Capacities here
+   are packet-queue sized (tens to thousands), but keep it O(1)
+   anyway. *)
+
+type entry = {
+  topic : int64;
+  mutable payload : string;
+  mutable prev : entry option;  (* towards most-recent *)
+  mutable next : entry option;  (* towards least-recent *)
+}
+
+type t = {
+  capacity : int;
+  table : (int64, entry) Hashtbl.t;
+  mutable head : entry option;  (* most recent *)
+  mutable tail : entry option;  (* least recent *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Store.create: capacity must be positive";
+  { capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  e.prev <- None;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let touch t e =
+  if t.head != Some e then begin
+    unlink t e;
+    push_front t e
+  end
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some e ->
+    unlink t e;
+    Hashtbl.remove t.table e.topic
+
+let insert t ~topic ~payload =
+  match Hashtbl.find_opt t.table topic with
+  | Some e ->
+    e.payload <- payload;
+    touch t e
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    let e = { topic; payload; prev = None; next = None } in
+    Hashtbl.replace t.table topic e;
+    push_front t e
+
+let lookup t ~topic =
+  match Hashtbl.find_opt t.table topic with
+  | Some e ->
+    touch t e;
+    Some e.payload
+  | None -> None
+
+let mem t ~topic = Hashtbl.mem t.table topic
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

@@ -1,0 +1,29 @@
+(** A node's opportunistic packet cache (Sec. 5.4).
+
+    "Combining data-oriented naming and caching, we can turn the
+    traditional packet queues and the sibling recipient memories into
+    opportunistic indexable caches, allowing, for example, any node to
+    ask for recent copies of any missed or garbled packets."
+
+    A bounded LRU keyed by topic id: whatever publications recently
+    passed through the node are retrievable by name. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+val size : t -> int
+
+val insert : t -> topic:int64 -> payload:string -> unit
+(** Caches (or refreshes) the newest payload for the topic, evicting
+    the least-recently-used entry when full. *)
+
+val lookup : t -> topic:int64 -> string option
+(** Refreshes recency on hit. *)
+
+val mem : t -> topic:int64 -> bool
+(** Does not refresh recency. *)
+
+val clear : t -> unit

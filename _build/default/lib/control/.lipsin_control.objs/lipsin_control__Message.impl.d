@@ -1,0 +1,1 @@
+lib/control/message.ml: Array Buffer Bytes Char Format Int64 Lipsin_bitvec String

@@ -1,0 +1,1 @@
+lib/control/message.mli: Format Lipsin_bitvec

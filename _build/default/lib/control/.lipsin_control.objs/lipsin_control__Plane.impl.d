@@ -1,0 +1,1 @@
+lib/control/plane.ml: Array Lipsin_bitvec Lipsin_bloom Lipsin_core Lipsin_forwarding Lipsin_sim Lipsin_topology List Message Queue

@@ -1,0 +1,1 @@
+lib/control/plane.mli: Lipsin_bloom Lipsin_sim Lipsin_topology

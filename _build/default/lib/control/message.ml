@@ -1,0 +1,142 @@
+module Bitvec = Lipsin_bitvec.Bitvec
+
+type t =
+  | Vlid_activate of { nonce : int64; tags : Bitvec.t array }
+  | Vlid_deactivate of { nonce : int64 }
+  | Block_request of { blocked : Bitvec.t; table : int }
+  | Reverse_collect of { collected : Bitvec.t; table : int }
+
+let tag_activate = '\x01'
+let tag_deactivate = '\x02'
+let tag_block = '\x03'
+let tag_reverse = '\x04'
+
+let put_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u64 buf v =
+  for byte = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr
+         (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * byte)) 0xffL)))
+  done
+
+let put_bitvec buf v =
+  put_u16 buf (Bitvec.length v);
+  Buffer.add_bytes buf (Bitvec.to_bytes v)
+
+let encode t =
+  let buf = Buffer.create 64 in
+  (match t with
+  | Vlid_activate { nonce; tags } ->
+    Buffer.add_char buf tag_activate;
+    put_u64 buf nonce;
+    Buffer.add_char buf (Char.chr (Array.length tags));
+    Array.iter (put_bitvec buf) tags
+  | Vlid_deactivate { nonce } ->
+    Buffer.add_char buf tag_deactivate;
+    put_u64 buf nonce
+  | Block_request { blocked; table } ->
+    Buffer.add_char buf tag_block;
+    Buffer.add_char buf (Char.chr (table land 0xff));
+    put_bitvec buf blocked
+  | Reverse_collect { collected; table } ->
+    Buffer.add_char buf tag_reverse;
+    Buffer.add_char buf (Char.chr (table land 0xff));
+    put_bitvec buf collected);
+  Buffer.contents buf
+
+(* A tiny cursor-based reader; every accessor checks remaining length. *)
+type reader = { src : string; mutable pos : int }
+
+exception Malformed of string
+
+let need r n =
+  if r.pos + n > String.length r.src then raise (Malformed "truncated control message")
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  let hi = get_u8 r in
+  let lo = get_u8 r in
+  (hi lsl 8) lor lo
+
+let get_u64 r =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_u8 r))
+  done;
+  !v
+
+let get_bitvec r =
+  let bits = get_u16 r in
+  if bits = 0 then raise (Malformed "zero-width vector");
+  let len = (bits + 7) / 8 in
+  need r len;
+  let bytes = Bytes.of_string (String.sub r.src r.pos len) in
+  r.pos <- r.pos + len;
+  match Bitvec.of_bytes bits bytes with
+  | v -> v
+  | exception Invalid_argument msg -> raise (Malformed msg)
+
+let finish r v =
+  if r.pos <> String.length r.src then raise (Malformed "trailing bytes");
+  v
+
+let decode s =
+  let r = { src = s; pos = 0 } in
+  match
+    let tag = Char.chr (get_u8 r) in
+    if tag = tag_activate then begin
+      let nonce = get_u64 r in
+      let count = get_u8 r in
+      if count = 0 then raise (Malformed "activation without tags");
+      let tags = Array.init count (fun _ -> get_bitvec r) in
+      finish r (Vlid_activate { nonce; tags })
+    end
+    else if tag = tag_deactivate then
+      let nonce = get_u64 r in
+      finish r (Vlid_deactivate { nonce })
+    else if tag = tag_block then begin
+      let table = get_u8 r in
+      let blocked = get_bitvec r in
+      finish r (Block_request { blocked; table })
+    end
+    else if tag = tag_reverse then begin
+      let table = get_u8 r in
+      let collected = get_bitvec r in
+      finish r (Reverse_collect { collected; table })
+    end
+    else raise (Malformed "unknown message type")
+  with
+  | v -> Ok v
+  | exception Malformed msg -> Error msg
+
+let equal a b =
+  match (a, b) with
+  | Vlid_activate x, Vlid_activate y ->
+    Int64.equal x.nonce y.nonce
+    && Array.length x.tags = Array.length y.tags
+    && Array.for_all2 Bitvec.equal x.tags y.tags
+  | Vlid_deactivate x, Vlid_deactivate y -> Int64.equal x.nonce y.nonce
+  | Block_request x, Block_request y ->
+    x.table = y.table && Bitvec.equal x.blocked y.blocked
+  | Reverse_collect x, Reverse_collect y ->
+    x.table = y.table && Bitvec.equal x.collected y.collected
+  | ( (Vlid_activate _ | Vlid_deactivate _ | Block_request _ | Reverse_collect _),
+      _ ) ->
+    false
+
+let pp ppf = function
+  | Vlid_activate { nonce; tags } ->
+    Format.fprintf ppf "vlid-activate(nonce=%Lx, %d tags)" nonce (Array.length tags)
+  | Vlid_deactivate { nonce } -> Format.fprintf ppf "vlid-deactivate(nonce=%Lx)" nonce
+  | Block_request { table; _ } -> Format.fprintf ppf "block-request(table=%d)" table
+  | Reverse_collect { table; collected } ->
+    Format.fprintf ppf "reverse-collect(table=%d, %d bits set)" table
+      (Bitvec.popcount collected)

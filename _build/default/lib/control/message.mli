@@ -1,0 +1,47 @@
+(** Control-plane messages (Sec. 3.4).
+
+    Control messages ride the same forwarding fabric as data — their
+    zFilter steers them, their payload addresses node slow paths:
+
+    - {b Vlid_activate}: sent along a pre-configured backup path when a
+      link fails; every node on the path installs the failed link's
+      identity as a virtual entry towards the next backup hop
+      (Sec. 3.3.2).  Carries the failed link's full tag set because the
+      backup nodes never saw that link's identity.
+    - {b Vlid_deactivate}: tears the state back down on repair.
+    - {b Block_request}: sent upstream over a physical link, asking the
+      upstream node to install a negative Link ID blocking a specific
+      zFilter over that link (Sec. 3.3.4).
+    - {b Reverse_collect}: hop-by-hop accumulation of reverse-direction
+      LITs; when it reaches the subscriber, the payload is a valid
+      zFilter back to the publisher, built without consulting the
+      topology system (Sec. 3.4).
+
+    The wire format is a 1-byte type tag followed by type-specific
+    fields, all lengths explicit — no trust in the payload. *)
+
+type t =
+  | Vlid_activate of {
+      nonce : int64;  (** The failed link's identity nonce. *)
+      tags : Lipsin_bitvec.Bitvec.t array;  (** Its d LITs. *)
+    }
+  | Vlid_deactivate of { nonce : int64 }
+  | Block_request of {
+      blocked : Lipsin_bitvec.Bitvec.t;
+          (** The (table-specific) filter pattern to block: a match of
+              this pattern vetoes forwarding. *)
+      table : int;
+    }
+  | Reverse_collect of {
+      collected : Lipsin_bitvec.Bitvec.t;  (** Reverse LITs so far. *)
+      table : int;
+    }
+
+val encode : t -> string
+(** Serialises to a packet payload. *)
+
+val decode : string -> (t, string) result
+(** Total: malformed payloads yield [Error]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,181 @@
+module Bitvec = Lipsin_bitvec.Bitvec
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Assignment = Lipsin_core.Assignment
+module Net = Lipsin_sim.Net
+module Node_engine = Lipsin_forwarding.Node_engine
+module Recovery = Lipsin_forwarding.Recovery
+
+type trace = { visited : Graph.node list; hops : int }
+
+(* Walk a control packet hop-by-hop along the links its zFilter
+   matches, expand-once, invoking [handler] at every visited node with
+   the decoded message, the arrival link and the links the packet
+   leaves over.  The handler may rewrite the message (hop-by-hop
+   mutation is the whole point of Reverse_collect). *)
+let walk net ~src ~table ~zfilter ~message ~handler =
+  Net.tick net;
+  let graph = Net.graph net in
+  let seen_link = Array.make (Graph.link_count graph) false in
+  let visited = ref [] in
+  let hops = ref 0 in
+  let queue = Queue.create () in
+  Queue.add (src, None, message) queue;
+  while not (Queue.is_empty queue) do
+    let node, in_link, msg = Queue.take queue in
+    visited := node :: !visited;
+    let verdict =
+      Node_engine.forward (Net.engine net node) ~table ~zfilter ~in_link
+    in
+    let next = verdict.Node_engine.forward_on in
+    let msg' = handler node ~in_link ~next msg in
+    List.iter
+      (fun l ->
+        if not seen_link.(l.Graph.index) then begin
+          seen_link.(l.Graph.index) <- true;
+          incr hops;
+          Queue.add (l.Graph.dst, Some l, msg') queue
+        end)
+      next
+  done;
+  { visited = List.rev !visited; hops = !hops }
+
+(* Round-trip every hop's message through the wire format: the
+   simulation must not be able to smuggle richer state than the
+   encoding carries. *)
+let reencode msg =
+  match Message.decode (Message.encode msg) with
+  | Ok m -> m
+  | Error e -> invalid_arg ("control message does not survive its encoding: " ^ e)
+
+let backup_zfilter net ~backup ~table =
+  let assignment = Net.assignment net in
+  let params = Assignment.params assignment in
+  let z = Zfilter.create ~m:params.Lit.m in
+  List.iter (fun l -> Zfilter.add z (Assignment.tag assignment l ~table)) backup;
+  z
+
+let activate_backup net ~failed =
+  let graph = Net.graph net in
+  let assignment = Net.assignment net in
+  match Recovery.backup_path graph ~link:failed with
+  | None -> Error "no backup path: failed link is a bridge"
+  | Some backup ->
+    let identity = Assignment.lit assignment failed in
+    let message =
+      Message.Vlid_activate
+        { nonce = Lit.nonce identity; tags = Lit.tags identity }
+    in
+    Node_engine.fail_link (Net.engine net failed.Graph.src) failed;
+    let table = 0 in
+    let zfilter = backup_zfilter net ~backup ~table in
+    let handler node ~in_link:_ ~next msg =
+      (match reencode msg with
+      | Message.Vlid_activate { nonce; tags } when next <> [] ->
+        (* Reconstitute the identity from the wire payload and install
+           it towards the hops the message itself leaves over. *)
+        let params = Assignment.params assignment in
+        (* Reconstitute the identity deterministically from the wire
+           nonce; the explicit tags cross-check the reconstruction. *)
+        let identity = Lit.generate params ~nonce in
+        (* The wire tags are authoritative; check they round-tripped. *)
+        if
+          Array.length tags = params.Lit.d
+          && Array.for_all2 Bitvec.equal tags (Lit.tags identity)
+        then
+          Node_engine.install_virtual (Net.engine net node) identity
+            ~out_links:next
+        else
+          (* Identity nonce unknown to this fabric: install from raw
+             tags is impossible through the Lit API, so reject. *)
+          invalid_arg "activation tags do not match their nonce"
+      | Message.Vlid_activate _ (* leaf of the backup path *)
+      | Message.Vlid_deactivate _ | Message.Block_request _
+      | Message.Reverse_collect _ ->
+        ());
+      msg
+    in
+    let trace = walk net ~src:failed.Graph.src ~table ~zfilter ~message ~handler in
+    Ok trace
+
+let deactivate_backup net ~failed =
+  let graph = Net.graph net in
+  let assignment = Net.assignment net in
+  match Recovery.backup_path graph ~link:failed with
+  | None -> Error "no backup path: failed link is a bridge"
+  | Some backup ->
+    let identity = Assignment.lit assignment failed in
+    let message = Message.Vlid_deactivate { nonce = Lit.nonce identity } in
+    let table = 0 in
+    let zfilter = backup_zfilter net ~backup ~table in
+    (* Removal must happen while the virtual entries still steer the
+       message, so remove AFTER computing each hop's next links — the
+       handler sees [next] already resolved. *)
+    let handler node ~in_link:_ ~next:_ msg =
+      (match reencode msg with
+      | Message.Vlid_deactivate { nonce } ->
+        let params = Assignment.params assignment in
+        Node_engine.remove_virtual (Net.engine net node)
+          (Lit.generate params ~nonce)
+      | Message.Vlid_activate _ | Message.Block_request _
+      | Message.Reverse_collect _ ->
+        ());
+      msg
+    in
+    let trace = walk net ~src:failed.Graph.src ~table ~zfilter ~message ~handler in
+    Node_engine.restore_link (Net.engine net failed.Graph.src) failed;
+    Ok trace
+
+let collect_reverse_path net ~publisher ~subscriber ~table =
+  let graph = Net.graph net in
+  let assignment = Net.assignment net in
+  let params = Assignment.params assignment in
+  let parents = Spt.bfs_parents graph ~root:publisher in
+  if parents.(subscriber) = -1 && subscriber <> publisher then
+    Error "subscriber unreachable from publisher"
+  else begin
+    let path = Spt.path_to graph parents subscriber in
+    let zfilter = backup_zfilter net ~backup:path ~table in
+    let message =
+      Message.Reverse_collect
+        { collected = Bitvec.create params.Lit.m; table }
+    in
+    let result = ref (Bitvec.create params.Lit.m) in
+    let handler node ~in_link ~next:_ msg =
+      match reencode msg with
+      | Message.Reverse_collect { collected; table } ->
+        let collected =
+          match in_link with
+          | None -> collected
+          | Some l ->
+            let reverse = Graph.reverse_link graph l in
+            Bitvec.logor collected (Assignment.tag assignment reverse ~table)
+        in
+        if node = subscriber then result := collected;
+        Message.Reverse_collect { collected; table }
+      | (Message.Vlid_activate _ | Message.Vlid_deactivate _
+        | Message.Block_request _) as other ->
+        other
+    in
+    let trace = walk net ~src:publisher ~table ~zfilter ~message ~handler in
+    if List.mem subscriber trace.visited then
+      Ok (Zfilter.of_bitvec !result, trace)
+    else Error "control packet never reached the subscriber"
+  end
+
+let request_block net ~over ~blocked ~table =
+  (* One hop upstream: the message is processed directly at the
+     upstream node's slow path. *)
+  let message =
+    Message.Block_request { blocked = Zfilter.to_bitvec blocked; table }
+  in
+  match reencode message with
+  | Message.Block_request { blocked; table } ->
+    Node_engine.install_block_pattern
+      (Net.engine net over.Graph.src)
+      over ~table blocked
+  | Message.Vlid_activate _ | Message.Vlid_deactivate _
+  | Message.Reverse_collect _ ->
+    ()

@@ -1,0 +1,51 @@
+(** In-band control-plane operations (Secs. 3.3.2, 3.3.4, 3.4).
+
+    Each operation is realised as an actual control packet pushed
+    hop-by-hop through the forwarding fabric: the packet's zFilter
+    steers it, and every node it visits decodes the payload on its slow
+    path, acts, and re-encodes — no out-of-band state mutation.  These
+    are the message flows the paper describes around its forwarding
+    design; the direct-call equivalents live in
+    {!Lipsin_forwarding.Recovery} for callers that do not need the
+    signalling itself. *)
+
+type trace = {
+  visited : Lipsin_topology.Graph.node list;  (** Slow-path stops, in order. *)
+  hops : int;  (** Link traversals of the control packet. *)
+}
+
+val activate_backup :
+  Lipsin_sim.Net.t -> failed:Lipsin_topology.Graph.link -> (trace, string) result
+(** VLId-based recovery, in-band: the node detecting the failure marks
+    the port down, encodes the failed link's identity into a
+    [Vlid_activate] message, and sends it over the pre-computed backup
+    path; every node along the way installs the identity as a virtual
+    entry towards its next hop.  Fails when the link is a bridge. *)
+
+val deactivate_backup :
+  Lipsin_sim.Net.t -> failed:Lipsin_topology.Graph.link -> (trace, string) result
+(** Tears the backup state down with a [Vlid_deactivate] sweep and
+    restores the physical port. *)
+
+val collect_reverse_path :
+  Lipsin_sim.Net.t ->
+  publisher:Lipsin_topology.Graph.node ->
+  subscriber:Lipsin_topology.Graph.node ->
+  table:int ->
+  (Lipsin_bloom.Zfilter.t * trace, string) result
+(** Sec. 3.4 feedback-path collection: the publisher launches a
+    [Reverse_collect] control packet towards the subscriber along the
+    shortest path; each traversed hop ORs in the reverse LIT of the
+    link the packet arrived over.  Returns the zFilter the subscriber
+    ends up holding — valid for subscriber → publisher traffic. *)
+
+val request_block :
+  Lipsin_sim.Net.t ->
+  over:Lipsin_topology.Graph.link ->
+  blocked:Lipsin_bloom.Zfilter.t ->
+  table:int ->
+  unit
+(** Sec. 3.3.4 upstream quench: the downstream node of [over] signals
+    the upstream node to stop forwarding packets whose zFilter contains
+    [blocked]'s pattern over that link.  One-hop message; takes effect
+    immediately. *)

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Assignment Candidate Lipsin_bloom Lipsin_topology Lipsin_util List Select

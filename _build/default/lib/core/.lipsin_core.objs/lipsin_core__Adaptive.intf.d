@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Assignment Candidate Lipsin_topology Lipsin_util

@@ -1,0 +1,1 @@
+lib/core/assignment.ml: Array Lipsin_bloom Lipsin_topology Lipsin_util

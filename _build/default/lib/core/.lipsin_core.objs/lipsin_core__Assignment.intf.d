@@ -1,0 +1,1 @@
+lib/core/assignment.mli: Lipsin_bitvec Lipsin_bloom Lipsin_topology Lipsin_util

@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Array Assignment Lipsin_bloom Lipsin_topology List

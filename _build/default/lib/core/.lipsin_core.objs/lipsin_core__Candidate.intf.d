@@ -1,0 +1,1 @@
+lib/core/candidate.mli: Assignment Lipsin_bloom Lipsin_topology

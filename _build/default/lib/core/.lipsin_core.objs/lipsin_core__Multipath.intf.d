@@ -1,0 +1,1 @@
+lib/core/multipath.mli: Assignment Candidate Lipsin_bloom Lipsin_topology

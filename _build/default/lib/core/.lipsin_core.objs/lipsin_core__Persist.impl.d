@@ -1,0 +1,1 @@
+lib/core/persist.ml: Array Assignment Buffer Fun In_channel Int64 Lipsin_bloom Lipsin_topology List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/rotation.ml: Array Assignment Hashtbl Int64 Lipsin_bloom Lipsin_topology Lipsin_util

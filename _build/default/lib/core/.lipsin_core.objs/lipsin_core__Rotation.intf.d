@@ -1,0 +1,1 @@
+lib/core/rotation.mli: Assignment Lipsin_bloom Lipsin_topology Lipsin_util

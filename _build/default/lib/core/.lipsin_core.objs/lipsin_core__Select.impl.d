@@ -1,0 +1,1 @@
+lib/core/select.ml: Array Assignment Candidate Hashtbl Lipsin_bloom Lipsin_topology List Option

@@ -1,0 +1,1 @@
+lib/core/select.mli: Assignment Candidate Lipsin_topology

@@ -1,0 +1,1 @@
+lib/core/split.ml: Array Assignment Candidate Hashtbl Lipsin_topology List Select

@@ -1,0 +1,1 @@
+lib/core/split.mli: Assignment Candidate Lipsin_topology

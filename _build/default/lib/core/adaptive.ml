@@ -1,0 +1,53 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+
+type t = {
+  widths : int list;  (* ascending *)
+  views : (int * Assignment.t) list;
+}
+
+let make ?(widths = [ 120; 248; 504 ]) ~d ~k rng graph =
+  if widths = [] then invalid_arg "Adaptive.make: empty width list";
+  if List.sort compare widths <> widths then
+    invalid_arg "Adaptive.make: widths must be ascending";
+  (* One nonce per directed link, shared by every width. *)
+  let nonces = Array.init (Graph.link_count graph) (fun _ -> Rng.int64 rng) in
+  let views =
+    List.map
+      (fun m ->
+        (m, Assignment.make_with_nonces (Lit.constant_k ~m ~d ~k) nonces graph))
+      widths
+  in
+  { widths; views }
+
+let widths t = t.widths
+
+let assignment t ~m =
+  match List.assoc_opt m t.views with
+  | Some a -> a
+  | None -> invalid_arg "Adaptive.assignment: unsupported width"
+
+type choice = { m : int; candidate : Candidate.t; header_bytes : int }
+
+let header_bytes m = 5 + ((m + 7) / 8)
+
+let best_at t ~m ~tree ~fill_limit =
+  let asg = assignment t ~m in
+  Select.select_fpa ~fill_limit (Candidate.build asg ~tree)
+
+let choose t ~tree ~target_fpa ?(fill_limit = 0.7) () =
+  let rec scan = function
+    | [] -> None
+    | m :: rest -> (
+      match best_at t ~m ~tree ~fill_limit with
+      | Some c when Candidate.fpa c <= target_fpa ->
+        Some { m; candidate = c; header_bytes = header_bytes m }
+      | Some c when rest = [] ->
+        (* Widest width: take its best in-limit candidate even above
+           the target — better a few false positives than no
+           delivery. *)
+        Some { m; candidate = c; header_bytes = header_bytes m }
+      | Some _ | None -> scan rest)
+  in
+  scan t.widths

@@ -1,0 +1,48 @@
+(** Variable filter width per packet — the paper's "more flexible
+    design, allowing m to vary per packet, is left for further study"
+    (Sec. 4.2), implemented.
+
+    Every link keeps ONE nonce but derives tag sets at several widths;
+    the packet header already carries m (see
+    {!Lipsin_packet.Header}), so a sender can pick the narrowest width
+    whose best candidate still meets a false-positive target, and
+    forwarding nodes select the width-matched table set.  Small trees
+    ride in 120-bit headers; only large ones pay for 504 bits. *)
+
+type t
+
+val make :
+  ?widths:int list ->
+  d:int ->
+  k:int ->
+  Lipsin_util.Rng.t ->
+  Lipsin_topology.Graph.t ->
+  t
+(** Default widths: 120, 248, 504 (ascending order enforced).  All
+    widths share per-link nonces, so a node stores one nonce per link
+    and derives any width's tags.
+    @raise Invalid_argument on an empty or unsorted width list. *)
+
+val widths : t -> int list
+
+val assignment : t -> m:int -> Assignment.t
+(** The width-m view of the shared assignment.
+    @raise Invalid_argument for an unsupported width. *)
+
+type choice = {
+  m : int;
+  candidate : Candidate.t;
+  header_bytes : int;  (** Wire cost of this width. *)
+}
+
+val choose :
+  t ->
+  tree:Lipsin_topology.Graph.link list ->
+  target_fpa:float ->
+  ?fill_limit:float ->
+  unit ->
+  choice option
+(** The narrowest width whose fpa-best candidate has
+    [fpa <= target_fpa] and respects the fill limit; falls back to the
+    widest width's best in-limit candidate if none meets the target.
+    [None] if even the widest width overfills. *)

@@ -1,0 +1,41 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+
+type t = {
+  params : Lit.params;
+  graph : Graph.t;
+  lits : Lit.t array;  (* indexed by directed-link index *)
+}
+
+let make params rng graph =
+  let n = Graph.link_count graph in
+  let lits = Array.init n (fun _ -> Lit.fresh params rng) in
+  { params; graph; lits }
+
+let make_with_nonces params nonces graph =
+  if Array.length nonces <> Graph.link_count graph then
+    invalid_arg "Assignment.make_with_nonces: one nonce per directed link";
+  let lits = Array.map (fun nonce -> Lit.generate params ~nonce) nonces in
+  { params; graph; lits }
+
+let nonces t = Array.map Lit.nonce t.lits
+
+let params t = t.params
+let graph t = t.graph
+let link_count t = Array.length t.lits
+
+let lit_by_index t i =
+  if i < 0 || i >= Array.length t.lits then
+    invalid_arg "Assignment.lit_by_index: link index out of range";
+  t.lits.(i)
+
+let lit t (l : Graph.link) = lit_by_index t l.Graph.index
+let tag t l ~table = Lit.tag (lit t l) table
+
+let rekey t rng = make t.params rng t.graph
+
+let rekey_link t (l : Graph.link) rng =
+  let lits = Array.copy t.lits in
+  lits.(l.Graph.index) <- Lit.fresh t.params rng;
+  { t with lits }

@@ -1,0 +1,46 @@
+(** LIT assignment: binding link identities to a topology.
+
+    The topology system assigns each unidirectional link its Link ID and
+    d LITs (Sec. 2.3).  No coordination is needed — identities are drawn
+    independently per link — but the assignment is the shared context
+    that zFilter construction (sender side) and forwarding tables (node
+    side) must agree on, so it is materialised as a value. *)
+
+type t
+
+val make : Lipsin_bloom.Lit.params -> Lipsin_util.Rng.t -> Lipsin_topology.Graph.t -> t
+(** Draws a fresh identity for every directed link of the graph. *)
+
+val make_with_nonces :
+  Lipsin_bloom.Lit.params -> int64 array -> Lipsin_topology.Graph.t -> t
+(** Derives identities from the given per-directed-link nonces (index =
+    link index).  Used to build multiple same-nonce views of one
+    network — e.g. the several filter widths of {!Adaptive}.
+    @raise Invalid_argument on a length mismatch. *)
+
+val nonces : t -> int64 array
+(** The per-link nonces, by link index (fresh array). *)
+
+val params : t -> Lipsin_bloom.Lit.params
+val graph : t -> Lipsin_topology.Graph.t
+
+val lit : t -> Lipsin_topology.Graph.link -> Lipsin_bloom.Lit.t
+(** Identity of a link.  @raise Invalid_argument if the link does not
+    belong to the bound graph. *)
+
+val lit_by_index : t -> int -> Lipsin_bloom.Lit.t
+
+val tag : t -> Lipsin_topology.Graph.link -> table:int -> Lipsin_bitvec.Bitvec.t
+(** [tag t l ~table] — the LIT of link [l] in forwarding table
+    [table]. *)
+
+val link_count : t -> int
+
+val rekey : t -> Lipsin_util.Rng.t -> t
+(** Fresh identities for every link over the same graph — the paper's
+    "slowly changing the Link IDs over time" security countermeasure
+    (Sec. 4.4).  Old zFilters stop matching. *)
+
+val rekey_link : t -> Lipsin_topology.Graph.link -> Lipsin_util.Rng.t -> t
+(** Changes one link's identity only (e.g. an uplink under a LIT
+    learning attack).  Returns a new assignment sharing the rest. *)

@@ -1,0 +1,34 @@
+module Zfilter = Lipsin_bloom.Zfilter
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+
+type t = {
+  table : int;
+  zfilter : Zfilter.t;
+  k : int;
+  tree_links : Graph.link list;
+}
+
+let fill_factor t = Zfilter.fill_factor t.zfilter
+let fpa t = Zfilter.fpa t.zfilter ~k:t.k
+
+let build_one assignment ~tree ~table =
+  if tree = [] then invalid_arg "Candidate.build_one: empty tree";
+  let params = Assignment.params assignment in
+  if table < 0 || table >= params.Lit.d then
+    invalid_arg "Candidate.build_one: table index out of range";
+  let zfilter = Zfilter.create ~m:params.Lit.m in
+  List.iter
+    (fun l -> Zfilter.add zfilter (Assignment.tag assignment l ~table))
+    tree;
+  { table; zfilter; k = params.Lit.k_for_table.(table); tree_links = tree }
+
+let build assignment ~tree =
+  let params = Assignment.params assignment in
+  Array.init params.Lit.d (fun table -> build_one assignment ~tree ~table)
+
+let matches_all_tree_links assignment t =
+  List.for_all
+    (fun l ->
+      Zfilter.matches t.zfilter ~lit:(Assignment.tag assignment l ~table:t.table))
+    t.tree_links

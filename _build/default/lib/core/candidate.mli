@@ -1,0 +1,30 @@
+(** Candidate zFilter construction (Sec. 3.2, "Construction").
+
+    Given a delivery tree — a set of unidirectional links — ORing the
+    links' table-i LITs yields candidate Bloom filter i; the d
+    candidates are "equivalent" representations of the same tree and
+    differ only in their false-positive behaviour, which {!Select}
+    exploits. *)
+
+type t = {
+  table : int;  (** Forwarding-table index this candidate is valid for. *)
+  zfilter : Lipsin_bloom.Zfilter.t;
+  k : int;      (** Bits per element in this table (for fpa). *)
+  tree_links : Lipsin_topology.Graph.link list;  (** The encoded tree. *)
+}
+
+val fill_factor : t -> float
+val fpa : t -> float
+(** Eq. (1): ρ^k. *)
+
+val build : Assignment.t -> tree:Lipsin_topology.Graph.link list -> t array
+(** All d candidates for the given tree.  @raise Invalid_argument on an
+    empty tree or links foreign to the assignment's graph. *)
+
+val build_one : Assignment.t -> tree:Lipsin_topology.Graph.link list -> table:int -> t
+(** A single candidate (the d = 1 "standard" configuration uses table
+    0). *)
+
+val matches_all_tree_links : Assignment.t -> t -> bool
+(** Sanity invariant: every tree link's LIT is contained in the
+    candidate (always true by construction; exposed for tests). *)

@@ -1,0 +1,95 @@
+module Graph = Lipsin_topology.Graph
+module Lit = Lipsin_bloom.Lit
+
+type t = {
+  primary : Graph.link list;
+  secondary : Graph.link list;
+  disjoint : bool;
+  primary_candidate : Candidate.t;
+  secondary_candidate : Candidate.t;
+}
+
+(* BFS shortest path avoiding a set of directed links. *)
+let path_avoiding graph ~src ~dst ~avoid =
+  let blocked = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace blocked l.Graph.index ()) avoid;
+  let n = Graph.node_count graph in
+  let parent_link = Array.make n None in
+  let visited = Array.make n false in
+  visited.(src) <- true;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  let found = ref (src = dst) in
+  while (not !found) && not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    List.iter
+      (fun l ->
+        let v = l.Graph.dst in
+        if (not (Hashtbl.mem blocked l.Graph.index)) && not visited.(v) then begin
+          visited.(v) <- true;
+          parent_link.(v) <- Some l;
+          if v = dst then found := true;
+          Queue.add v queue
+        end)
+      (Graph.out_links graph u)
+  done;
+  if not visited.(dst) then None
+  else begin
+    let rec climb v acc =
+      match parent_link.(v) with
+      | None -> acc
+      | Some l -> climb l.Graph.src (l :: acc)
+    in
+    Some (climb dst [])
+  end
+
+let plan ?(table_primary = 0) ?(table_secondary = 1) assignment ~src ~dst =
+  let params = Assignment.params assignment in
+  if table_primary = table_secondary then
+    invalid_arg "Multipath.plan: tables must differ";
+  if
+    table_primary < 0 || table_primary >= params.Lit.d || table_secondary < 0
+    || table_secondary >= params.Lit.d
+  then invalid_arg "Multipath.plan: table index out of range";
+  let graph = Assignment.graph assignment in
+  match path_avoiding graph ~src ~dst ~avoid:[] with
+  | None -> Error "destination unreachable"
+  | Some primary ->
+    let secondary, disjoint =
+      match path_avoiding graph ~src ~dst ~avoid:primary with
+      | Some p -> (p, true)
+      | None -> (primary, false)
+    in
+    if primary = [] then Error "source equals destination"
+    else
+      Ok
+        {
+          primary;
+          secondary;
+          disjoint;
+          primary_candidate =
+            Candidate.build_one assignment ~tree:primary ~table:table_primary;
+          secondary_candidate =
+            Candidate.build_one assignment ~tree:secondary ~table:table_secondary;
+        }
+
+let spray t ~packet_index =
+  if packet_index mod 2 = 0 then
+    (t.primary_candidate.Candidate.table, t.primary_candidate.Candidate.zfilter)
+  else
+    (t.secondary_candidate.Candidate.table, t.secondary_candidate.Candidate.zfilter)
+
+let load_split t ~packets =
+  let counts = Hashtbl.create 16 in
+  let bump link n =
+    Hashtbl.replace counts link.Graph.index
+      (match Hashtbl.find_opt counts link.Graph.index with
+      | Some (l, c) -> (l, c + n)
+      | None -> (link, n))
+  in
+  let primary_packets = (packets + 1) / 2 in
+  let secondary_packets = packets / 2 in
+  List.iter (fun l -> bump l primary_packets) t.primary;
+  List.iter (fun l -> bump l secondary_packets) t.secondary;
+  Hashtbl.fold (fun _ pair acc -> pair :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> compare a.Graph.index b.Graph.index)

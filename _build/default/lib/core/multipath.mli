@@ -1,0 +1,41 @@
+(** Multipath delivery over candidate zFilters (Sec. 4.4: "additional
+    future work will consider how legitimate traffic can exploit the
+    multi-path capabilities of the zFilters", implemented).
+
+    Because the d-index travels in the packet, a sender can hold
+    several zFilters for the same destination over *different physical
+    paths* and spray packets across them — spreading load, and keeping
+    a live path when one fails without any recovery protocol at all.
+
+    Paths are made maximally disjoint by construction: the second path
+    is computed in the graph with the first path's links removed
+    (falling back to the shortest path when the cut disconnects). *)
+
+type t = {
+  primary : Lipsin_topology.Graph.link list;
+  secondary : Lipsin_topology.Graph.link list;
+  disjoint : bool;  (** The two paths share no directed link. *)
+  primary_candidate : Candidate.t;
+  secondary_candidate : Candidate.t;
+}
+
+val plan :
+  ?table_primary:int ->
+  ?table_secondary:int ->
+  Assignment.t ->
+  src:Lipsin_topology.Graph.node ->
+  dst:Lipsin_topology.Graph.node ->
+  (t, string) result
+(** Two unicast paths src → dst encoded in two different forwarding
+    tables (defaults 0 and 1).  [Error] when dst is unreachable.
+    @raise Invalid_argument if the two table indexes are equal or out
+    of range. *)
+
+val spray : t -> packet_index:int -> int * Lipsin_bloom.Zfilter.t
+(** Round-robin selector: (table, zFilter) for the n-th packet. *)
+
+val load_split :
+  t -> packets:int -> (Lipsin_topology.Graph.link * int) list
+(** Per-link packet counts when [packets] packets are sprayed —
+    ascending by link index; links on both paths carry roughly half
+    each when disjoint. *)

@@ -1,0 +1,79 @@
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+
+let to_string assignment =
+  let params = Assignment.params assignment in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "lipsin-assignment v1\n";
+  Buffer.add_string buf (Printf.sprintf "m %d\n" params.Lit.m);
+  Buffer.add_string buf
+    (Printf.sprintf "k %s\n"
+       (String.concat ","
+          (Array.to_list (Array.map string_of_int params.Lit.k_for_table))));
+  Array.iter
+    (fun nonce -> Buffer.add_string buf (Printf.sprintf "%016Lx\n" nonce))
+    (Assignment.nonces assignment);
+  Buffer.contents buf
+
+let of_string graph s =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+  in
+  match lines with
+  | magic :: m_line :: k_line :: nonce_lines ->
+    if String.trim magic <> "lipsin-assignment v1" then
+      Error "bad magic line"
+    else begin
+      let parse_m () =
+        match String.split_on_char ' ' (String.trim m_line) with
+        | [ "m"; v ] -> int_of_string_opt v
+        | _ -> None
+      in
+      let parse_k () =
+        match String.split_on_char ' ' (String.trim k_line) with
+        | [ "k"; ks ] -> (
+          let parts = String.split_on_char ',' ks in
+          let parsed = List.filter_map int_of_string_opt parts in
+          if List.length parsed = List.length parts then
+            Some (Array.of_list parsed)
+          else None)
+        | _ -> None
+      in
+      match (parse_m (), parse_k ()) with
+      | Some m, Some k_for_table when Array.length k_for_table > 0 -> (
+        let params = { Lit.m; d = Array.length k_for_table; k_for_table } in
+        match Lit.validate params with
+        | exception Invalid_argument msg -> Error msg
+        | () ->
+          if List.length nonce_lines <> Graph.link_count graph then
+            Error "nonce count does not match the graph's links"
+          else begin
+            let parse_nonce line =
+              let trimmed = String.trim line in
+              if String.length trimmed = 16 then
+                Int64.of_string_opt ("0x" ^ trimmed)
+              else None
+            in
+            let nonces = List.map parse_nonce nonce_lines in
+            if List.exists Option.is_none nonces then Error "malformed nonce line"
+            else
+              Ok
+                (Assignment.make_with_nonces params
+                   (Array.of_list (List.map Option.get nonces))
+                   graph)
+          end)
+      | _ -> Error "malformed parameter lines"
+    end
+  | _ -> Error "truncated assignment file"
+
+let save assignment path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string assignment))
+
+let load graph path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string graph (In_channel.input_all ic))

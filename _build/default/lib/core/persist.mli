@@ -1,0 +1,22 @@
+(** Persistence of LIT assignments.
+
+    A deployment's link identities must survive restarts — zFilters in
+    flight and pre-computed FIB entries reference them.  The format is
+    a plain-text header (version, m, d, k per table) followed by one
+    hex nonce per directed link in index order; the graph itself is
+    stored separately ({!Lipsin_topology.Edge_list}). *)
+
+val to_string : Assignment.t -> string
+
+val of_string :
+  Lipsin_topology.Graph.t -> string -> (Assignment.t, string) result
+(** Rebinds a stored assignment to (an identical copy of) its graph.
+    Errors on version/parameter malformations or a nonce-count
+    mismatch with the graph. *)
+
+val save : Assignment.t -> string -> unit
+(** Writes [to_string] to a file. *)
+
+val load :
+  Lipsin_topology.Graph.t -> string -> (Assignment.t, string) result
+(** Reads and parses; I/O failures raise [Sys_error]. *)

@@ -1,0 +1,49 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+
+type t = {
+  secret : int64;
+  params : Lit.params;
+  graph : Graph.t;
+  base_nonces : int64 array;
+  cache : (int, Assignment.t) Hashtbl.t;
+}
+
+let make ~secret params rng graph =
+  Lit.validate params;
+  {
+    secret;
+    params;
+    graph;
+    base_nonces = Array.init (Graph.link_count graph) (fun _ -> Rng.int64 rng);
+    cache = Hashtbl.create 4;
+  }
+
+let epoch_nonce t ~link_index ~epoch =
+  if link_index < 0 || link_index >= Array.length t.base_nonces then
+    invalid_arg "Rotation.epoch_nonce: link index out of range";
+  if epoch < 0 then invalid_arg "Rotation: negative epoch";
+  (* PRF(secret, base, epoch) as a chain of SplitMix64 finalisers: each
+     stage fully diffuses, so epochs and links are uncorrelated without
+     the secret. *)
+  Rng.mix64
+    (Int64.logxor
+       (Rng.mix64 (Int64.logxor t.secret (Int64.of_int (epoch + 1))))
+       (Rng.mix64 t.base_nonces.(link_index)))
+
+let assignment_at t ~epoch =
+  if epoch < 0 then invalid_arg "Rotation: negative epoch";
+  match Hashtbl.find_opt t.cache epoch with
+  | Some a -> a
+  | None ->
+    let nonces =
+      Array.init (Array.length t.base_nonces) (fun link_index ->
+          epoch_nonce t ~link_index ~epoch)
+    in
+    let a = Assignment.make_with_nonces t.params nonces t.graph in
+    Hashtbl.replace t.cache epoch a;
+    a
+
+let graph t = t.graph
+let params t = t.params

@@ -1,0 +1,36 @@
+(** Epoch-based Link ID rotation (Sec. 4.4, "ongoing work").
+
+    "We can avoid many of the known, and probably a number of still
+    unknown attacks, by slowly changing the Link IDs over time.  Our
+    on-going work is focusing on hash chains and pseudo-random
+    sequences [...] with a shared secret between the individual
+    forwarding nodes and the topology system the control overhead of
+    communicating the changes could be kept at a minimum."
+
+    Implemented: every link's epoch-e nonce is a pseudo-random function
+    of (master secret, base nonce, e).  A forwarding node holding the
+    secret derives the current tags locally — zero messages per
+    rotation — while zFilters built for epoch e stop matching in epoch
+    e+1 and must be re-requested, bounding the usable lifetime of any
+    stolen or leaked filter. *)
+
+type t
+
+val make :
+  secret:int64 ->
+  Lipsin_bloom.Lit.params ->
+  Lipsin_util.Rng.t ->
+  Lipsin_topology.Graph.t ->
+  t
+(** Draws per-link base nonces; the secret never appears in any
+    derived tag directly. *)
+
+val assignment_at : t -> epoch:int -> Assignment.t
+(** The network's LIT assignment during [epoch] (memoised).
+    @raise Invalid_argument on a negative epoch. *)
+
+val epoch_nonce : t -> link_index:int -> epoch:int -> int64
+(** The PRF output itself, for tests and node-local derivation. *)
+
+val graph : t -> Lipsin_topology.Graph.t
+val params : t -> Lipsin_bloom.Lit.params

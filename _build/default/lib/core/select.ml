@@ -1,0 +1,72 @@
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+
+type link = Graph.link
+
+let default_fill_limit = 0.7
+
+let default_test_set assignment ~tree =
+  let graph = Assignment.graph assignment in
+  let on_tree = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace on_tree l.Graph.index ()) tree;
+  let nodes = Spt.tree_nodes tree in
+  List.concat_map
+    (fun node ->
+      List.filter
+        (fun l -> not (Hashtbl.mem on_tree l.Graph.index))
+        (Graph.out_links graph node))
+    nodes
+
+let count_false_positives assignment candidate ~test =
+  List.fold_left
+    (fun acc l ->
+      let lit = Assignment.tag assignment l ~table:candidate.Candidate.table in
+      if Zfilter.matches candidate.Candidate.zfilter ~lit then acc + 1 else acc)
+    0 test
+
+let weighted_false_positives assignment candidate ~test ~weight =
+  List.fold_left
+    (fun acc l ->
+      let lit = Assignment.tag assignment l ~table:candidate.Candidate.table in
+      if Zfilter.matches candidate.Candidate.zfilter ~lit then acc +. weight l
+      else acc)
+    0.0 test
+
+let within_limit fill_limit c = Candidate.fill_factor c <= fill_limit
+
+(* Pick the in-limit candidate minimising [score]; ties break on fpa,
+   then table index (candidates arrive in table order). *)
+let best ?(fill_limit = default_fill_limit) candidates ~score =
+  let chosen = ref None in
+  let consider c =
+    if within_limit fill_limit c then begin
+      let s = score c and f = Candidate.fpa c in
+      match !chosen with
+      | None -> chosen := Some (s, f, c)
+      | Some (s0, f0, _) ->
+        if s < s0 || (s = s0 && f < f0) then chosen := Some (s, f, c)
+    end
+  in
+  Array.iter consider candidates;
+  Option.map (fun (_, _, c) -> c) !chosen
+
+let select_fpa ?fill_limit candidates =
+  best ?fill_limit candidates ~score:Candidate.fpa
+
+let select_fpr ?fill_limit assignment candidates ~test =
+  best ?fill_limit candidates ~score:(fun c ->
+      float_of_int (count_false_positives assignment c ~test))
+
+let select_weighted ?fill_limit assignment candidates ~test ~weight =
+  best ?fill_limit candidates ~score:(fun c ->
+      weighted_false_positives assignment c ~test ~weight)
+
+let standard candidates =
+  if Array.length candidates = 0 then invalid_arg "Select.standard: no candidates";
+  candidates.(0)
+
+let avoid_set links =
+  let avoided = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace avoided l.Graph.index ()) links;
+  fun l -> if Hashtbl.mem avoided l.Graph.index then 1000.0 else 1.0

@@ -1,0 +1,64 @@
+(** Candidate zFilter selection (Sec. 3.2, "Selection").
+
+    Two base strategies:
+    - {b fpa}: lowest predicted false-positive probability after
+      hashing, min ρ^k over the d candidates — cheap, topology-blind;
+    - {b fpr}: lowest *observed* false-positive count against a test
+      set of LITs — costlier, better, because it evaluates the actual
+      neighbourhood the packet will traverse.
+
+    The fpr family generalises to *link avoidance*: weighting false
+    positives by where they land (routing policy, congestion, security
+    — Sec. 3.2), implemented here as a per-link penalty function.
+
+    Selection also enforces the fill-factor limit of Sec. 4.4: a
+    candidate whose fill exceeds the limit is discarded, and if all d
+    candidates exceed it the tree is too large for one zFilter — the
+    caller must split the tree or install virtual links (Sec. 4.3). *)
+
+type link = Lipsin_topology.Graph.link
+
+val default_test_set : Assignment.t -> tree:link list -> link list
+(** The membership tests the delivery will actually perform: every
+    outgoing link of every node on the tree, minus the tree links
+    themselves. *)
+
+val count_false_positives : Assignment.t -> Candidate.t -> test:link list -> int
+(** How many of the test links' LITs (in the candidate's table) falsely
+    match the candidate. *)
+
+val weighted_false_positives :
+  Assignment.t -> Candidate.t -> test:link list -> weight:(link -> float) -> float
+(** Penalty-weighted count, for link avoidance. *)
+
+val select_fpa : ?fill_limit:float -> Candidate.t array -> Candidate.t option
+(** Lowest ρ^k among candidates within the fill limit (default limit
+    0.7); ties break on the lower table index.  [None] if every
+    candidate is over the limit. *)
+
+val select_fpr :
+  ?fill_limit:float ->
+  Assignment.t ->
+  Candidate.t array ->
+  test:link list ->
+  Candidate.t option
+(** Lowest observed false-positive count; ties break on fpa. *)
+
+val select_weighted :
+  ?fill_limit:float ->
+  Assignment.t ->
+  Candidate.t array ->
+  test:link list ->
+  weight:(link -> float) ->
+  Candidate.t option
+(** Lowest weighted penalty; ties break on fpa.  [weight] returning
+    [infinity] makes a link a hard constraint. *)
+
+val standard : Candidate.t array -> Candidate.t
+(** The non-optimised baseline: always table 0 (the paper's d = 1
+    "Standard zFilter").  @raise Invalid_argument on an empty array. *)
+
+val avoid_set : link list -> link -> float
+(** [avoid_set links] is a weight function: 1000.0 on the given links,
+    1.0 elsewhere — the simple policy/congestion/security avoidance
+    criterion. *)

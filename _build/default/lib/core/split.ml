@@ -1,0 +1,73 @@
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+
+type part = {
+  subscribers : Graph.node list;
+  tree : Graph.link list;
+  candidate : Candidate.t;
+}
+
+let default_select candidates = Select.select_fpa candidates
+
+let plan ?(fill_limit = 0.7) ?(select = default_select) assignment ~root
+    ~subscribers =
+  let graph = Assignment.graph assignment in
+  let subscribers =
+    List.sort_uniq compare (List.filter (fun s -> s <> root) subscribers)
+  in
+  if subscribers = [] then Error "no subscribers to split over"
+  else begin
+    (* Order subscribers by BFS discovery from the root so contiguous
+       slices share prefix paths: splitting then separates far-apart
+       subtrees rather than interleaving them. *)
+    let dist = Spt.distances graph ~root in
+    let ordered =
+      List.sort
+        (fun a b ->
+          let c = compare dist.(a) dist.(b) in
+          if c <> 0 then c else compare a b)
+        subscribers
+    in
+    let encode subs =
+      let tree = Spt.delivery_tree graph ~root ~subscribers:subs in
+      match select (Candidate.build assignment ~tree) with
+      | Some c when Candidate.fill_factor c <= fill_limit ->
+        Some { subscribers = subs; tree; candidate = c }
+      | Some _ | None -> None
+    in
+    let rec solve subs =
+      match encode subs with
+      | Some part -> Some [ part ]
+      | None -> (
+        match subs with
+        | [] | [ _ ] -> None  (* a single subscriber that cannot fit *)
+        | _ ->
+          let half = List.length subs / 2 in
+          let left = List.filteri (fun i _ -> i < half) subs in
+          let right = List.filteri (fun i _ -> i >= half) subs in
+          (match (solve left, solve right) with
+          | Some a, Some b -> Some (a @ b)
+          | None, _ | _, None -> None))
+    in
+    match solve ordered with
+    | Some parts -> Ok parts
+    | None -> Error "a single subscriber path exceeds the fill limit"
+  end
+
+let total_traversals parts =
+  List.fold_left (fun acc p -> acc + List.length p.tree) 0 parts
+
+let duplicate_traversals parts =
+  let seen = Hashtbl.create 64 in
+  let union = ref 0 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem seen l.Graph.index) then begin
+            Hashtbl.replace seen l.Graph.index ();
+            incr union
+          end)
+        p.tree)
+    parts;
+  total_traversals parts - !union

@@ -1,0 +1,38 @@
+(** Multiple sending — splitting trees that overfill one zFilter
+    (Sec. 4.3).
+
+    "Instead of building one large multicast tree we can build several
+    smaller ones, thereby keeping zFilters' fill factor reasonable.
+    The packets will follow the desired route [...] but exact copies
+    will pass through certain links where the delivery trees overlap."
+
+    The splitter partitions the subscriber set until every part's tree
+    admits a candidate under the fill limit, preferring partitions that
+    keep nearby subscribers together (BFS order from the root) so the
+    trees overlap as little as possible. *)
+
+type part = {
+  subscribers : Lipsin_topology.Graph.node list;
+  tree : Lipsin_topology.Graph.link list;
+  candidate : Candidate.t;
+}
+
+val plan :
+  ?fill_limit:float ->
+  ?select:(Candidate.t array -> Candidate.t option) ->
+  Assignment.t ->
+  root:Lipsin_topology.Graph.node ->
+  subscribers:Lipsin_topology.Graph.node list ->
+  (part list, string) result
+(** Partition + encode.  Default [fill_limit] 0.7, default [select]
+    fpa.  Returns one part when a single zFilter suffices.  [Error]
+    only when even a single subscriber's path overflows the limit (the
+    tree is then undeliverable at this m). *)
+
+val total_traversals : part list -> int
+(** Σ tree sizes — the bandwidth actually spent, duplicates on shared
+    links included. *)
+
+val duplicate_traversals : part list -> int
+(** Traversals in excess of the union of the part trees — the
+    multiple-sending overhead the paper warns about. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Format Lipsin_baseline Lipsin_bloom Lipsin_topology Lipsin_util List Trial

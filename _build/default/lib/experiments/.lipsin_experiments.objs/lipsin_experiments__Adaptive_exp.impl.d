@@ -1,0 +1,1 @@
+lib/experiments/adaptive_exp.ml: Array Format Hashtbl Lipsin_core Lipsin_topology Lipsin_util Lipsin_workload List Option

@@ -1,0 +1,1 @@
+lib/experiments/bootstrap_exp.ml: Array Format Lipsin_bootstrap Lipsin_forwarding Lipsin_topology List String

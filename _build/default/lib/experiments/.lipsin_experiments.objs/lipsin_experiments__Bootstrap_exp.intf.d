@@ -1,0 +1,1 @@
+lib/experiments/bootstrap_exp.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/caching_exp.ml: Array Format Hashtbl Int64 Lipsin_cache Lipsin_topology Lipsin_util Lipsin_workload List String

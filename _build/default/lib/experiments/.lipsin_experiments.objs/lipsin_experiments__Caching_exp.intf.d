@@ -1,0 +1,1 @@
+lib/experiments/caching_exp.mli: Format

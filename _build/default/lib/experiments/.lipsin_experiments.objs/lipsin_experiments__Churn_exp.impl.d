@@ -1,0 +1,1 @@
+lib/experiments/churn_exp.ml: Array Format Hashtbl Lipsin_bloom Lipsin_core Lipsin_stateful Lipsin_topology Lipsin_util List String

@@ -1,0 +1,1 @@
+lib/experiments/congestion_exp.mli: Format

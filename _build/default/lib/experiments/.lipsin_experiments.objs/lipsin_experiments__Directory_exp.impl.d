@@ -1,0 +1,1 @@
+lib/experiments/directory_exp.ml: Format Int64 Lipsin_interdomain Lipsin_util

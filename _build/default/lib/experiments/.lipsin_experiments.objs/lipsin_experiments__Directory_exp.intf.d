@@ -1,0 +1,1 @@
+lib/experiments/directory_exp.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/fec_exp.ml: Array Format Lipsin_bloom Lipsin_core Lipsin_fec Lipsin_sim Lipsin_topology Lipsin_util List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/fec_exp.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Format Lipsin_topology List String Trial

@@ -1,0 +1,1 @@
+lib/experiments/ftmem.ml: Format Lipsin_bloom Lipsin_core Lipsin_forwarding Lipsin_topology Lipsin_util

@@ -1,0 +1,1 @@
+lib/experiments/ftmem.mli: Format

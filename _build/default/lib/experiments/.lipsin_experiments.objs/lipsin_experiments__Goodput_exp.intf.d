@@ -1,0 +1,1 @@
+lib/experiments/goodput_exp.mli: Format

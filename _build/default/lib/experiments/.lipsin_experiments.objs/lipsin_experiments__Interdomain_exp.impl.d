@@ -1,0 +1,1 @@
+lib/experiments/interdomain_exp.ml: Array Format Int64 Lipsin_interdomain Lipsin_topology Lipsin_util List

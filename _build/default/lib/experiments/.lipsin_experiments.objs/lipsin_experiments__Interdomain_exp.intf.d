@@ -1,0 +1,1 @@
+lib/experiments/interdomain_exp.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/loops_exp.ml: Array Format Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util List

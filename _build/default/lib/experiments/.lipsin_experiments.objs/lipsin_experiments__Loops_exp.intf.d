@@ -1,0 +1,1 @@
+lib/experiments/loops_exp.mli: Format

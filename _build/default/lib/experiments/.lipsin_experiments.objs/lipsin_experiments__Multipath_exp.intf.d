@@ -1,0 +1,1 @@
+lib/experiments/multipath_exp.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/pipeline.ml: Array Int32 Int64 Lipsin_baseline Lipsin_bloom Lipsin_core Lipsin_forwarding Lipsin_packet Lipsin_sim Lipsin_topology Lipsin_util List Unix

@@ -1,0 +1,1 @@
+lib/experiments/pipeline.mli: Lipsin_util

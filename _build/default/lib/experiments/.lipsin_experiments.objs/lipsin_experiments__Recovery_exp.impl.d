@@ -1,0 +1,1 @@
+lib/experiments/recovery_exp.ml: Array Format Lipsin_bloom Lipsin_core Lipsin_forwarding Lipsin_sim Lipsin_topology Lipsin_util List Printf

@@ -1,0 +1,1 @@
+lib/experiments/recovery_exp.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/recursive_exp.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/security_exp.ml: Format Lipsin_bloom Lipsin_core Lipsin_security Lipsin_sim Lipsin_topology Lipsin_util List

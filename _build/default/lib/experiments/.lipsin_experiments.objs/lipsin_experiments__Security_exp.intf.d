@@ -1,0 +1,1 @@
+lib/experiments/security_exp.mli: Format

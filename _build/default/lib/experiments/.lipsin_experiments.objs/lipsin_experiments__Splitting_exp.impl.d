@@ -1,0 +1,1 @@
+lib/experiments/splitting_exp.ml: Array Format Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_stateful Lipsin_topology Lipsin_util List String

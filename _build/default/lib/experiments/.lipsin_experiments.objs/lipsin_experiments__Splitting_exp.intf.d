@@ -1,0 +1,1 @@
+lib/experiments/splitting_exp.mli: Format

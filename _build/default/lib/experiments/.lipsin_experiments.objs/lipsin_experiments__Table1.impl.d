@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Format Lipsin_topology List String

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Format Lipsin_bloom Lipsin_topology List Printf String Trial

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Format Lipsin_bloom Lipsin_topology List String Trial

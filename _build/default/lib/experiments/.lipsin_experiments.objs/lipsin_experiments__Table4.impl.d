@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Format Lipsin_sim Lipsin_util List Pipeline String

@@ -1,0 +1,1 @@
+lib/experiments/table5.ml: Format Lipsin_util List Pipeline String

@@ -1,0 +1,1 @@
+lib/experiments/trial.ml: Array Lipsin_baseline Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util List

@@ -1,0 +1,1 @@
+lib/experiments/trial.mli: Lipsin_bloom Lipsin_topology

@@ -1,0 +1,9 @@
+(** Design-choice ablations the paper discusses but does not tabulate:
+
+    - filter width m ∈ {120, 248, 504} (Sec. 4.2: 120 "abandoned due to
+      poor performance", 504 "relatively small overall gains" for its
+      per-packet cost);
+    - number of candidate tables d ∈ {1, 2, 4, 8, 16};
+    - the Xcast header-size crossover (Sec. 7). *)
+
+val run : ?trials:int -> Format.formatter -> unit

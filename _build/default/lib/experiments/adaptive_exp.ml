@@ -1,0 +1,51 @@
+module Rng = Lipsin_util.Rng
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module As_presets = Lipsin_topology.As_presets
+module Adaptive = Lipsin_core.Adaptive
+module Candidate = Lipsin_core.Candidate
+module Scenario = Lipsin_workload.Scenario
+
+let run ?(topics = 500) ppf =
+  let g = As_presets.as6461 () in
+  let adaptive = Adaptive.make ~d:8 ~k:5 (Rng.of_int 101) g in
+  let config =
+    { Scenario.default with Scenario.topics = 20_000; max_subscribers = 32; seed = 103 }
+  in
+  let loads = Scenario.sample config g ~n:topics in
+  let by_width = Hashtbl.create 4 in
+  let bytes_adaptive = ref 0 and bytes_fixed = ref 0 and unencodable = ref 0 in
+  let fpa_acc = ref 0.0 and chosen = ref 0 in
+  Array.iter
+    (fun load ->
+      let tree =
+        Spt.delivery_tree g ~root:load.Scenario.publisher
+          ~subscribers:load.Scenario.subscribers
+      in
+      match Adaptive.choose adaptive ~tree ~target_fpa:0.001 () with
+      | None -> incr unencodable
+      | Some c ->
+        incr chosen;
+        Hashtbl.replace by_width c.Adaptive.m
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_width c.Adaptive.m));
+        bytes_adaptive := !bytes_adaptive + c.Adaptive.header_bytes;
+        bytes_fixed := !bytes_fixed + 36;
+        fpa_acc := !fpa_acc +. Candidate.fpa c.Adaptive.candidate)
+    loads;
+  Format.fprintf ppf
+    "Adaptive filter width on AS6461 Zipf workload (%d topics, fpa target 0.1%%)@."
+    topics;
+  List.iter
+    (fun m ->
+      let count = Option.value ~default:0 (Hashtbl.find_opt by_width m) in
+      Format.fprintf ppf "  m=%3d chosen for %4d topics (%.1f%%), header %d bytes@."
+        m count
+        (100.0 *. float_of_int count /. float_of_int (max 1 !chosen))
+        (5 + ((m + 7) / 8)))
+    (Adaptive.widths adaptive);
+  Format.fprintf ppf "  undeliverable at any width: %d@." !unencodable;
+  Format.fprintf ppf "  mean header: %.1f bytes adaptive vs 36 fixed (%.1f%% saved)@."
+    (float_of_int !bytes_adaptive /. float_of_int (max 1 !chosen))
+    (100.0 *. (1.0 -. (float_of_int !bytes_adaptive /. float_of_int (max 1 !bytes_fixed))));
+  Format.fprintf ppf "  mean predicted fpa of chosen candidates: %.5f@."
+    (!fpa_acc /. float_of_int (max 1 !chosen))

@@ -1,0 +1,7 @@
+(** Variable filter width per packet (the Sec. 4.2 "left for further
+    study" design, implemented as {!Lipsin_core.Adaptive}): over a Zipf
+    workload, how often each width is chosen and how many header bytes
+    the adaptivity saves against fixed m = 248 — without giving up the
+    false-positive target. *)
+
+val run : ?topics:int -> Format.formatter -> unit

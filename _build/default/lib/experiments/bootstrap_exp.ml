@@ -1,0 +1,50 @@
+module Discovery = Lipsin_bootstrap.Discovery
+module Graph = Lipsin_topology.Graph
+module Metrics = Lipsin_topology.Metrics
+module As_presets = Lipsin_topology.As_presets
+module Recovery = Lipsin_forwarding.Recovery
+
+(* A bridge's failure partitions the graph, making full convergence
+   impossible by definition; re-convergence is measured on the first
+   link that has an alternative path. *)
+let first_non_bridge graph =
+  let links = Graph.links graph in
+  let found = ref None in
+  Array.iter
+    (fun l ->
+      if !found = None && Recovery.backup_path graph ~link:l <> None then
+        found := Some l)
+    links;
+  !found
+
+let run ppf =
+  Format.fprintf ppf
+    "Topology/rendezvous bootstrap (link-state flooding, synchronous rounds)@.";
+  Format.fprintf ppf "%-8s | %5s %5s | %7s %9s | %9s %10s@." "AS" "nodes"
+    "diam" "rounds" "messages" "re-rounds" "re-msgs";
+  Format.fprintf ppf "%s@." (String.make 72 '-');
+  List.iter
+    (fun (name, graph) ->
+      let m = Metrics.compute graph in
+      let d = Discovery.create ~rendezvous:[ 0 ] graph in
+      match Discovery.run d with
+      | Error e -> Format.fprintf ppf "%-8s | %s@." name e
+      | Ok rounds ->
+        let baseline_messages = Discovery.messages_sent d in
+        let link =
+          match first_non_bridge graph with
+          | Some l -> l
+          | None -> Graph.link graph 0
+        in
+        Discovery.fail_link d link;
+        (match Discovery.run d with
+        | Error e -> Format.fprintf ppf "%-8s | %s@." name e
+        | Ok re_rounds ->
+          Format.fprintf ppf "%-8s | %5d %5d | %7d %9d | %9d %10d@." name
+            m.Metrics.nodes m.Metrics.diameter rounds baseline_messages
+            re_rounds
+            (Discovery.messages_sent d - baseline_messages)))
+    (As_presets.all ());
+  Format.fprintf ppf
+    "(full bootstrap floods O(n) LSAs over O(links); a single link failure@.";
+  Format.fprintf ppf " re-floods only the two endpoint LSAs.)@."

@@ -1,0 +1,6 @@
+(** Control-plane bootstrap cost (Sec. 2.2): rounds and LSA messages
+    for the topology/rendezvous functions to converge on each
+    evaluation topology, and re-convergence cost after a link
+    failure. *)
+
+val run : Format.formatter -> unit

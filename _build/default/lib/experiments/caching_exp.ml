@@ -1,0 +1,69 @@
+module Rng = Lipsin_util.Rng
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module As_presets = Lipsin_topology.As_presets
+module Network_cache = Lipsin_cache.Network_cache
+module Scenario = Lipsin_workload.Scenario
+
+let run ?(fetches = 2000) ppf =
+  let g = As_presets.as1221 () in
+  let config =
+    { Scenario.default with Scenario.topics = 500; max_subscribers = 24; seed = 107 }
+  in
+  let publications = 300 in
+  Format.fprintf ppf
+    "In-network caching on AS1221: %d Zipf publications seed the caches,@."
+    publications;
+  Format.fprintf ppf "then %d named fetches from random nodes:@." fetches;
+  Format.fprintf ppf "%9s | %8s | %10s | %10s | %9s@." "capacity" "hit rate"
+    "mean hops" "full hops" "saved";
+  Format.fprintf ppf "%s@." (String.make 58 '-');
+  List.iter
+    (fun capacity ->
+      let nc = Network_cache.create g ~capacity in
+      let loads = Scenario.sample config g ~n:publications in
+      (* Publication i of topic rank r: topic id = rank, so popular
+         topics are published (and re-cached) repeatedly. *)
+      let publisher_of = Hashtbl.create 64 in
+      Array.iter
+        (fun load ->
+          let topic = Int64.of_int load.Scenario.rank in
+          Hashtbl.replace publisher_of topic load.Scenario.publisher;
+          let tree =
+            Spt.delivery_tree g ~root:load.Scenario.publisher
+              ~subscribers:load.Scenario.subscribers
+          in
+          Network_cache.on_delivery nc ~tree ~topic ~payload:"payload")
+        loads;
+      let rng = Rng.of_int (109 + capacity) in
+      let zipf = Lipsin_util.Zipf.create ~n:config.Scenario.topics ~s:1.0 in
+      let hits = ref 0 and asked = ref 0 in
+      let hops_acc = ref 0 and full_acc = ref 0 in
+      for _ = 1 to fetches do
+        let topic = Int64.of_int (Lipsin_util.Zipf.draw zipf rng) in
+        match Hashtbl.find_opt publisher_of topic with
+        | None -> ()  (* topic never published *)
+        | Some publisher -> (
+          incr asked;
+          let subscriber = Rng.int rng (Graph.node_count g) in
+          match Network_cache.fetch nc ~subscriber ~publisher ~topic with
+          | Some f ->
+            incr hits;
+            hops_acc := !hops_acc + f.Network_cache.hops;
+            full_acc := !full_acc + f.Network_cache.full_hops
+          | None ->
+            (* Cache miss everywhere: pay the full path. *)
+            let dist = (Spt.distances g ~root:publisher).(subscriber) in
+            hops_acc := !hops_acc + dist;
+            full_acc := !full_acc + dist)
+      done;
+      let asked_f = float_of_int (max 1 !asked) in
+      Format.fprintf ppf "%9d | %7.1f%% | %10.2f | %10.2f | %8.1f%%@." capacity
+        (100.0 *. float_of_int !hits /. asked_f)
+        (float_of_int !hops_acc /. asked_f)
+        (float_of_int !full_acc /. asked_f)
+        (100.0
+        *. (1.0 -. (float_of_int !hops_acc /. float_of_int (max 1 !full_acc)))))
+    [ 2; 8; 32; 128 ];
+  Format.fprintf ppf
+    "(larger per-node caches serve popular topics closer to the consumer.)@."

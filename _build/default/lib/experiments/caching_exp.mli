@@ -1,0 +1,6 @@
+(** In-network caching (Sec. 5.4): after Zipf-popular publications have
+    seeded the opportunistic caches along their delivery trees, how
+    many hops does a late subscriber's fetch travel versus fetching
+    from the publisher, across cache capacities? *)
+
+val run : ?fetches:int -> Format.formatter -> unit

@@ -1,0 +1,71 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Dense = Lipsin_stateful.Dense
+module Virtual_link = Lipsin_stateful.Virtual_link
+
+let run ?(joins = 300) ppf =
+  let g = As_presets.as3257 () in
+  let assignment = Assignment.make Lit.default (Rng.of_int 257) g in
+  let rng = Rng.of_int 263 in
+  let nodes = Graph.node_count g in
+  Format.fprintf ppf
+    "Join churn on a popular topic (AS3257, %d joins per row)@." joins;
+  Format.fprintf ppf "%9s | %9s %11s %11s | %10s@." "coverage" "covered"
+    "stateless" "needs state" "IP state/join";
+  Format.fprintf ppf "%s@." (String.make 62 '-');
+  List.iter
+    (fun coverage ->
+      let count = int_of_float (coverage *. float_of_int nodes) in
+      let picks = Rng.sample rng (count + 1) nodes in
+      let publisher = picks.(0) in
+      let subscribers = Array.to_list (Array.sub picks 1 count) in
+      let plan =
+        Dense.plan assignment rng ~publisher ~subscribers
+          ~cores:(max 2 (count / 8))
+      in
+      (* Nodes already inside some installed virtual tree. *)
+      let covered_nodes = Hashtbl.create 64 in
+      List.iter
+        (fun v ->
+          List.iter
+            (fun l ->
+              Hashtbl.replace covered_nodes l.Graph.src ();
+              Hashtbl.replace covered_nodes l.Graph.dst ())
+            v.Virtual_link.links)
+        plan.Dense.virtuals;
+      let base_filter = Dense.zfilter assignment plan ~table:0 in
+      let covered = ref 0 and stateless = ref 0 and needs_state = ref 0 in
+      let ip_state = ref 0 in
+      let dist_from_pub = Spt.distances g ~root:publisher in
+      for _ = 1 to joins do
+        let joiner = Rng.int rng nodes in
+        (* IP multicast pays join-path state regardless. *)
+        ip_state := !ip_state + max 1 dist_from_pub.(joiner);
+        if Hashtbl.mem covered_nodes joiner then incr covered
+        else begin
+          (* Try absorbing the join statelessly: OR its path into the
+             current zFilter and check the fill limit. *)
+          let path = Spt.delivery_tree g ~root:publisher ~subscribers:[ joiner ] in
+          let extended = Zfilter.copy base_filter in
+          List.iter
+            (fun l -> Zfilter.add extended (Assignment.tag assignment l ~table:0))
+            path;
+          if Zfilter.within_fill_limit extended ~limit:0.7 then incr stateless
+          else incr needs_state
+        end
+      done;
+      Format.fprintf ppf "%8.0f%% | %8.1f%% %10.1f%% %10.1f%% | %10.1f@."
+        (100.0 *. coverage)
+        (100.0 *. float_of_int !covered /. float_of_int joins)
+        (100.0 *. float_of_int !stateless /. float_of_int joins)
+        (100.0 *. float_of_int !needs_state /. float_of_int joins)
+        (float_of_int !ip_state /. float_of_int joins))
+    [ 0.1; 0.25; 0.5 ];
+  Format.fprintf ppf
+    "(covered + stateless joins need no network signalling at all; IP@.";
+  Format.fprintf ppf " multicast installs state on every join's path.)@."

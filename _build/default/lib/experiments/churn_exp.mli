@@ -1,0 +1,13 @@
+(** Subscriber churn (Sec. 4.3): "as we can freely combine the stateful
+    and stateless methods, we can readily accommodate a number of
+    changes in the popular topics before needing to signal a state
+    change in the network".
+
+    For a popular topic served by core-rooted virtual links, each join
+    is classified: already covered by an installed virtual tree (zero
+    network change), absorbable by the sender's stateless zFilter (no
+    signalling, only the publisher's filter changes), or requiring a
+    virtual-link extension (signalling).  IP multicast, by contrast,
+    installs state on every join's path. *)
+
+val run : ?joins:int -> Format.formatter -> unit

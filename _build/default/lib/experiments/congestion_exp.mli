@@ -1,0 +1,6 @@
+(** Link avoidance as traffic engineering (Sec. 3.2): with the hottest
+    links as a dynamic avoidance Tset, does weighted candidate
+    selection reduce the load concentration of a publication series
+    compared to plain fpa selection? *)
+
+val run : ?publications:int -> Format.formatter -> unit

@@ -1,0 +1,43 @@
+module Rng = Lipsin_util.Rng
+module Zipf = Lipsin_util.Zipf
+module Directory = Lipsin_interdomain.Directory
+
+let run ?(lookups = 50_000) ppf =
+  Format.fprintf ppf "Sec. 5.2 resource consumption:@.";
+  Format.fprintf ppf
+    "  10^11 topics x (40B name + 34B forwarding header) = %.1f TB (paper: ~10 TB)@."
+    (Directory.resource_estimate ~topics:1e11 ~topic_bytes:40 ~header_bytes:34);
+  Format.fprintf ppf
+    "  per-domain active slice, 10^9 topics: %.1f GB (DRAM of a few servers)@."
+    (1e3 *. Directory.resource_estimate ~topics:1e9 ~topic_bytes:40 ~header_bytes:34);
+  let population = 200_000 in
+  let dir =
+    Directory.create ~rendezvous_nodes:8 ~edge_nodes:4
+      ~edge_cache_capacity:4096
+  in
+  for i = 1 to population do
+    Directory.install dir ~topic:(Int64.of_int i) ~zfilter:"zf"
+  done;
+  let zipf = Zipf.create ~n:population ~s:1.0 in
+  let rng = Rng.of_int 197 in
+  for _ = 1 to lookups do
+    let topic = Int64.of_int (Zipf.draw zipf rng) in
+    let edge = Rng.int rng 4 in
+    ignore (Directory.lookup dir ~edge ~topic)
+  done;
+  let s = Directory.stats dir in
+  Format.fprintf ppf
+    "Multi-level lookup cache: %d-topic directory, 8 rendezvous nodes, 4 edges@."
+    population;
+  Format.fprintf ppf
+    "  %d Zipf lookups: %.1f%% served at the edge, %.1f%% at rendezvous, %d misses@."
+    s.Directory.lookups
+    (100.0 *. float_of_int s.Directory.edge_hits /. float_of_int s.Directory.lookups)
+    (100.0
+    *. float_of_int s.Directory.rendezvous_hits
+    /. float_of_int s.Directory.lookups)
+    s.Directory.misses;
+  Format.fprintf ppf
+    "  (the paper: \"a few million most active topics\" cached at edges make@.";
+  Format.fprintf ppf
+    "   one or a few server PCs enough for the typical lookup load.)@."

@@ -1,0 +1,6 @@
+(** The Sec. 5.2 rendezvous resource analysis: the paper's storage
+    arithmetic reproduced from parameters, plus a simulation of the
+    multi-level lookup caching it proposes (edge caches over
+    partitioned rendezvous nodes) under Zipf lookup traffic. *)
+
+val run : ?lookups:int -> Format.formatter -> unit

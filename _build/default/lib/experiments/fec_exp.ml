@@ -1,0 +1,49 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Lateral = Lipsin_fec.Lateral
+
+let run ?(windows = 60) ppf =
+  let g = As_presets.ta2 () in
+  let assignment = Assignment.make Lit.default (Rng.of_int 239) g in
+  let net = Net.make assignment in
+  let rng = Rng.of_int 241 in
+  let picks = Rng.sample rng 9 (Graph.node_count g) in
+  let src = picks.(0) in
+  let subscribers = Array.to_list (Array.sub picks 1 8) in
+  let tree = Spt.delivery_tree g ~root:src ~subscribers in
+  let c = Candidate.build_one assignment ~tree ~table:0 in
+  let window = List.init 8 (fun i -> Printf.sprintf "pkt-%d" i) in
+  Format.fprintf ppf
+    "Lateral error correction on TA2 (8 subscribers, 8-packet windows + 1 XOR@.";
+  Format.fprintf ppf " repair, %d windows per point):@." windows;
+  Format.fprintf ppf "%8s | %14s | %14s@." "loss" "complete raw" "complete +FEC";
+  Format.fprintf ppf "%s@." (String.make 44 '-');
+  List.iter
+    (fun probability ->
+      let loss_rng = Rng.of_int (251 + int_of_float (probability *. 1000.0)) in
+      let raw = ref 0 and fec = ref 0 in
+      for _ = 1 to windows do
+        let report =
+          Lateral.send_window net ~src ~table:0 ~zfilter:c.Candidate.zfilter
+            ~tree ~subscribers ~window
+            ~loss:{ Run.probability; rng = loss_rng }
+        in
+        raw := !raw + report.Lateral.complete_without_fec;
+        fec := !fec + report.Lateral.complete_with_fec
+      done;
+      let total = float_of_int (windows * List.length subscribers) in
+      Format.fprintf ppf "%7.1f%% | %13.1f%% | %13.1f%%@."
+        (100.0 *. probability)
+        (100.0 *. float_of_int !raw /. total)
+        (100.0 *. float_of_int !fec /. total))
+    [ 0.001; 0.005; 0.01; 0.02; 0.05 ];
+  Format.fprintf ppf
+    "(one parity packet per window repairs any single loss locally,@.";
+  Format.fprintf ppf " with no retransmission round trip to the publisher.)@."

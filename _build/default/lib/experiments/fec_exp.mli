@@ -1,0 +1,5 @@
+(** Lateral error correction (Fig. 1 "more" functions): over a lossy
+    fabric, the fraction of subscribers receiving complete windows with
+    and without the XOR repair packet, across loss rates. *)
+
+val run : ?windows:int -> Format.formatter -> unit

@@ -1,0 +1,9 @@
+(** Figure 5 reproduction: false-positive rate and forwarding
+    efficiency versus the number of users in AS6461 (d = 8, k = 5) for
+    the standard, fpa-optimised and fpr-optimised zFilters.  Prints the
+    three curve pairs as a text table (one row per user count). *)
+
+val run : ?trials:int -> ?step:int -> ?csv:bool -> Format.formatter -> unit
+(** With [csv], emits a plot-ready
+    [users,std_fpr,fpa_fpr,fpr_fpr,std_eff,fpa_eff,fpr_eff] series
+    instead of the text table. *)

@@ -1,0 +1,28 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module Assignment = Lipsin_core.Assignment
+module Node_engine = Lipsin_forwarding.Node_engine
+
+let run ppf =
+  let d = 8 and links = 128 and m = 248 and port_bits = 8 and k = 5 in
+  let dense = d * links * (m + port_bits) in
+  let log2m = 8 (* ceil log2 248 *) in
+  let sparse = d * links * ((k * log2m) + port_bits) in
+  Format.fprintf ppf "Forwarding table memory (Eq. 4), d=%d, %d links, %d-bit LITs:@."
+    d links m;
+  Format.fprintf ppf "  dense  : %d Kbit   (paper: 256 Kbit)@." (dense / 1024);
+  Format.fprintf ppf "  sparse : %d Kbit   (paper: ~48 Kbit)@." (sparse / 1024);
+  (* Cross-check against a real engine: a star with 128 spokes. *)
+  let g = Graph.create ~nodes:(links + 1) in
+  for spoke = 1 to links do
+    Graph.add_edge g 0 spoke
+  done;
+  let assignment = Assignment.make Lit.default (Rng.of_int 5) g in
+  let engine = Node_engine.create assignment 0 in
+  let dense_engine = Node_engine.forwarding_table_bits engine ~sparse:false in
+  let sparse_engine = Node_engine.forwarding_table_bits engine ~sparse:true in
+  Format.fprintf ppf "  engine cross-check: dense %d Kbit, sparse %d Kbit@."
+    (dense_engine / 1024) (sparse_engine / 1024);
+  assert (dense_engine = dense);
+  assert (sparse_engine = sparse)

@@ -1,0 +1,9 @@
+(** Forwarding-table memory (Sec. 4.2, Eq. 4).
+
+    The paper's arithmetic: d = 8 tables, 128 links (physical +
+    virtual), 248-bit LITs and an 8-bit out port give 256 Kbit dense —
+    on-chip territory — and ≈48 Kbit with the sparse set-bit-position
+    representation.  We print the closed-form values and cross-check
+    them against an actual engine instance on a 128-port node. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,8 @@
+(** Capacity-domain comparison: delivery ratio vs offered load for
+    zFilter multicast (shared links loaded once, false-positive links
+    loaded uselessly) against per-subscriber unicast (shared links
+    loaded per subscriber).  Quantifies the Sec. 1 claim that the
+    fabric "achieves both low latency and efficient use of
+    resources". *)
+
+val run : ?topics:int -> Format.formatter -> unit

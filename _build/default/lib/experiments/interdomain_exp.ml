@@ -1,0 +1,56 @@
+module Rng = Lipsin_util.Rng
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module Internet = Lipsin_interdomain.Internet
+
+let build_internet () =
+  (* 8 domains in a loose mesh. *)
+  let domain_graph = Graph.create ~nodes:8 in
+  List.iter
+    (fun (u, v) -> Graph.add_edge domain_graph u v)
+    [ (0, 1); (1, 2); (2, 3); (3, 0); (1, 4); (4, 5); (5, 6); (6, 7); (7, 4); (2, 6) ];
+  let rng = Rng.of_int 61 in
+  let intra =
+    Array.init 8 (fun i ->
+        Generator.pref_attach ~rng:(Rng.split rng) ~nodes:(20 + (3 * i))
+          ~edges:(30 + (4 * i)) ~max_degree:8 ())
+  in
+  Internet.create ~domain_graph ~intra ()
+
+let run ?(publications = 20) ppf =
+  let net = build_internet () in
+  let rng = Rng.of_int 67 in
+  Format.fprintf ppf
+    "Inter-domain forwarding: 8 domains, %d publications@." publications;
+  let delivered_total = ref 0 and wanted_total = ref 0 in
+  let intra_total = ref 0 and inter_total = ref 0 and false_entries = ref 0 in
+  for p = 1 to publications do
+    let topic = Int64.of_int (1000 + p) in
+    (* 2-12 subscribers spread over random domains. *)
+    let n_subs = 2 + Rng.int rng 11 in
+    for _ = 1 to n_subs do
+      let domain = Rng.int rng (Internet.domain_count net) in
+      let node = Rng.int rng (Graph.node_count (Internet.intra_graph net domain)) in
+      Internet.subscribe net ~topic { Internet.domain; node }
+    done;
+    let pub_domain = Rng.int rng (Internet.domain_count net) in
+    let pub_node =
+      Rng.int rng (Graph.node_count (Internet.intra_graph net pub_domain))
+    in
+    let publisher = { Internet.domain = pub_domain; node = pub_node } in
+    match Internet.publish net ~topic ~publisher with
+    | Error _ -> ()
+    | Ok d ->
+      delivered_total := !delivered_total + List.length d.Internet.delivered;
+      wanted_total :=
+        !wanted_total
+        + List.length d.Internet.delivered
+        + List.length d.Internet.missed;
+      intra_total := !intra_total + d.Internet.intra_traversals;
+      inter_total := !inter_total + d.Internet.inter_traversals;
+      false_entries := !false_entries + d.Internet.false_domain_entries
+  done;
+  Format.fprintf ppf "  subscribers reached : %d/%d@." !delivered_total !wanted_total;
+  Format.fprintf ppf "  intra-domain link traversals: %d@." !intra_total;
+  Format.fprintf ppf "  domain boundary crossings   : %d@." !inter_total;
+  Format.fprintf ppf "  false-positive domain entries: %d@." !false_entries

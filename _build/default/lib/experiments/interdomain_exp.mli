@@ -1,0 +1,6 @@
+(** Inter-domain forwarding demonstration (Sec. 5): an 8-domain
+    internet of small intra-domain topologies; subscribers spread
+    across domains; publications forwarded by IdLId matching with
+    intra-domain header swaps at each boundary. *)
+
+val run : ?publications:int -> Format.formatter -> unit

@@ -1,0 +1,62 @@
+module Rng = Lipsin_util.Rng
+module Stats = Lipsin_util.Stats
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Net = Lipsin_sim.Net
+module Timed = Lipsin_sim.Timed
+
+let run ?(trials = 200) ppf =
+  let g = As_presets.as6461 () in
+  let assignment = Assignment.make Lit.default (Rng.of_int 131) g in
+  let net = Net.make assignment in
+  let rng = Rng.of_int 137 in
+  Format.fprintf ppf
+    "Multicast latency, AS6461 (%d trials; 3us/node, 0.5us/link; overlay@."
+    trials;
+  Format.fprintf ppf " relays pay a 60us end-host bounce):@.";
+  Format.fprintf ppf "%5s | %12s %12s | %14s@." "users" "native mu(us)"
+    "native p95" "overlay mu(us)";
+  Format.fprintf ppf "%s@." (String.make 56 '-');
+  List.iter
+    (fun users ->
+      let native = ref [] and overlay = ref [] in
+      for _ = 1 to trials do
+        let picks = Rng.sample rng users (Graph.node_count g) in
+        let src = picks.(0) in
+        let subscribers = Array.to_list (Array.sub picks 1 (users - 1)) in
+        let tree = Spt.delivery_tree g ~root:src ~subscribers in
+        match Select.select_fpa (Candidate.build assignment ~tree) with
+        | None -> ()
+        | Some c ->
+          let arrivals =
+            Timed.deliver net ~src ~table:c.Candidate.table
+              ~zfilter:c.Candidate.zfilter
+          in
+          (match Timed.subscriber_latencies arrivals subscribers with
+          | Some s ->
+            native := s.Stats.mean :: !native;
+            (* Overlay: the source relays through the first subscriber,
+               which re-sends to the rest (a 2-level application tree). *)
+            let relay = List.hd subscribers in
+            let per_sub =
+              List.map
+                (fun dst ->
+                  if dst = relay then
+                    Timed.overlay_equivalent_latency g ~src ~relays:[] ~dst
+                  else
+                    Timed.overlay_equivalent_latency g ~src ~relays:[ relay ] ~dst)
+                subscribers
+            in
+            overlay := Stats.mean (Array.of_list per_sub) :: !overlay
+          | None -> ())
+      done;
+      let native = Stats.summarize (Array.of_list !native) in
+      let overlay = Stats.summarize (Array.of_list !overlay) in
+      Format.fprintf ppf "%5d | %12.1f %12.1f | %14.1f@." users
+        native.Stats.mean native.Stats.p95 overlay.Stats.mean)
+    [ 4; 8; 16 ]

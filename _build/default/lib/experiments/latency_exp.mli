@@ -1,0 +1,7 @@
+(** Multicast latency in the time domain: per-subscriber first-copy
+    latency of zFilter delivery (hardware fan-out, 3 µs/hop) against an
+    application-layer overlay relaying through end hosts — the
+    "overlay-based multicast systems are inherently inefficient"
+    motivation of Sec. 1, quantified. *)
+
+val run : ?trials:int -> Format.formatter -> unit

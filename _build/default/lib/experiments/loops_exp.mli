@@ -1,0 +1,7 @@
+(** Loop prevention (Sec. 3.3.3): adversarial zFilters that close a
+    cycle through false-positive-like extra links, delivered in TTL
+    mode with and without the incoming-LIT cache.  The paper's claim:
+    "a small caching memory does not penalize the performance" while
+    stopping endless loops. *)
+
+val run : ?trials:int -> Format.formatter -> unit

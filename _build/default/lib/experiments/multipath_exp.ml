@@ -1,0 +1,54 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Multipath = Lipsin_core.Multipath
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+
+let run ?(trials = 200) ppf =
+  Format.fprintf ppf
+    "Multipath spraying: disjoint path availability and failover (%d pairs/AS)@."
+    trials;
+  Format.fprintf ppf "%-8s | %9s | %10s | %12s@." "AS" "disjoint"
+    "stretch" "failover ok";
+  Format.fprintf ppf "%s@." (String.make 50 '-');
+  List.iter
+    (fun (name, graph) ->
+      let assignment = Assignment.make Lit.default (Rng.of_int 191) graph in
+      let rng = Rng.of_int 193 in
+      let disjoint = ref 0 and stretch_acc = ref 0.0 in
+      let failover_ok = ref 0 and failover_tried = ref 0 in
+      for _ = 1 to trials do
+        let picks = Rng.sample rng 2 (Graph.node_count graph) in
+        match Multipath.plan assignment ~src:picks.(0) ~dst:picks.(1) with
+        | Error _ -> ()
+        | Ok mp ->
+          if mp.Multipath.disjoint then begin
+            incr disjoint;
+            stretch_acc :=
+              !stretch_acc
+              +. (float_of_int (List.length mp.Multipath.secondary)
+                 /. float_of_int (List.length mp.Multipath.primary));
+            (* Failover: kill the primary's first link, odd packets
+               must still arrive. *)
+            incr failover_tried;
+            let net = Net.make assignment in
+            Net.fail_link net (List.hd mp.Multipath.primary);
+            let table, zfilter = Multipath.spray mp ~packet_index:1 in
+            let o =
+              Run.deliver net ~src:picks.(0) ~table ~zfilter
+                ~tree:mp.Multipath.secondary
+            in
+            if o.Run.reached.(picks.(1)) then incr failover_ok
+          end
+      done;
+      Format.fprintf ppf "%-8s | %7.1f%% | %9.2fx | %7d/%d@." name
+        (100.0 *. float_of_int !disjoint /. float_of_int trials)
+        (if !disjoint = 0 then 0.0 else !stretch_acc /. float_of_int !disjoint)
+        !failover_ok !failover_tried)
+    (As_presets.all ());
+  Format.fprintf ppf
+    "(odd packets survive a primary-path failure with no signalling at all;@.";
+  Format.fprintf ppf " stretch = secondary/primary path length.)@."

@@ -1,0 +1,6 @@
+(** Multipath spraying (Sec. 4.4 future work, implemented as
+    {!Lipsin_core.Multipath}): how often disjoint path pairs exist on
+    the evaluation topologies, the load-splitting they achieve, and
+    survival of single-link failures with zero recovery actions. *)
+
+val run : ?trials:int -> Format.formatter -> unit

@@ -1,0 +1,165 @@
+module Rng = Lipsin_util.Rng
+module Stats = Lipsin_util.Stats
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Net = Lipsin_sim.Net
+module Node_engine = Lipsin_forwarding.Node_engine
+module Header = Lipsin_packet.Header
+module Lpm = Lipsin_baseline.Lpm
+
+type chain = {
+  hops : int;
+  net : Net.t;
+  path : Graph.link list;  (* node 0 -> node hops+1 *)
+  zfilter : Zfilter.t;
+  table : int;
+}
+
+let make_chain ~hops =
+  if hops < 0 then invalid_arg "Pipeline.make_chain: negative hops";
+  (* Line topology: end hosts are 0 and hops+1, forwarding nodes are
+     1..hops.  Give each forwarding node a couple of stub neighbours so
+     the per-hop decision tests a realistic port count (4 ports, as in
+     the NetFPGA prototype). *)
+  let nodes = hops + 2 + (2 * hops) in
+  let g = Graph.create ~nodes in
+  for v = 0 to hops do
+    Graph.add_edge g v (v + 1)
+  done;
+  let stub = ref (hops + 2) in
+  for v = 1 to hops do
+    Graph.add_edge g v !stub;
+    Graph.add_edge g v (!stub + 1);
+    stub := !stub + 2
+  done;
+  let assignment = Assignment.make Lit.default (Rng.of_int 3) g in
+  let net = Net.make ~loop_prevention:false assignment in
+  let path =
+    Spt.delivery_tree g ~root:0 ~subscribers:[ hops + 1 ]
+  in
+  let candidate = Candidate.build_one assignment ~tree:path ~table:0 in
+  {
+    hops;
+    net;
+    path;
+    zfilter = candidate.Candidate.zfilter;
+    table = candidate.Candidate.table;
+  }
+
+let send_through chain ~payload =
+  let header = Header.make ~d_index:chain.table ~zfilter:chain.zfilter payload in
+  let wire = ref (Header.encode header) in
+  let forwarded = ref 0 in
+  let rec hop node in_link =
+    if node <> 0 && node > chain.hops then ()  (* reached the far end host *)
+    else
+      match Header.decode !wire with
+      | Error _ -> ()
+      | Ok h -> (
+        match Header.decrement_ttl h with
+        | None -> ()
+        | Some h ->
+          let verdict =
+            Node_engine.forward
+              (Net.engine chain.net node)
+              ~table:h.Header.d_index ~zfilter:h.Header.zfilter ~in_link
+          in
+          (* A chain has exactly one matching next hop. *)
+          (match verdict.Node_engine.forward_on with
+          | l :: _ ->
+            if node > 0 then incr forwarded;
+            wire := Header.encode h;
+            hop l.Graph.dst (Some l)
+          | [] -> ()))
+  in
+  hop 0 None;
+  !forwarded
+
+let now_us () = Unix.gettimeofday () *. 1_000_000.0
+
+let batch_means ~batches ~batch_size f =
+  (* Warm up allocators and caches before measuring. *)
+  for _ = 1 to batch_size do
+    f ()
+  done;
+  Array.init batches (fun _ ->
+      let start = now_us () in
+      for _ = 1 to batch_size do
+        f ()
+      done;
+      (now_us () -. start) /. float_of_int batch_size)
+
+let measure_one_way chain ~payload ~batches ~batch_size =
+  Stats.summarize
+    (batch_means ~batches ~batch_size (fun () ->
+         ignore (send_through chain ~payload)))
+
+type echo_path = Wire | Ip_router | Ip_router_full | Lipsin_switch
+
+(* The three echo paths do identical end-host and header work — encode
+   at the sender, decode + TTL rewrite + re-encode at the middle box,
+   decode at the receiver, then the same back — and differ only in the
+   middle box's decision: nothing (wire), one LPM lookup (IP), or one
+   zFilter table scan (LIPSIN).  That isolates exactly what the
+   paper's Table 5 compares. *)
+let measure_echo path ~payload ~batches ~batch_size =
+  let chain = make_chain ~hops:1 in
+  let assignment = Net.assignment chain.net in
+  (* The middle box's port LITs, as the hardware holds them: one tag
+     per outgoing interface for the table in use. *)
+  let port_lits =
+    Array.of_list
+      (List.map
+         (fun l -> Assignment.tag assignment l ~table:chain.table)
+         (Graph.out_links (Net.graph chain.net) 1))
+  in
+  let fib =
+    match path with
+    | Ip_router_full ->
+      (* A BGP-scale FIB: 200k random prefixes of length 16..24. *)
+      let fib = Lpm.create () in
+      let rng = Rng.of_int 1009 in
+      for _ = 1 to 200_000 do
+        let len = 16 + Rng.int rng 9 in
+        let prefix = Int64.to_int32 (Rng.int64 rng) in
+        Lpm.add fib ~prefix ~len ~next_hop:(Rng.int rng 16)
+      done;
+      fib
+    | Wire | Ip_router | Lipsin_switch -> Lpm.reference_fib ()
+  in
+  let addr = ref 0l in
+  let decision h =
+    match path with
+    | Wire -> ()
+    | Ip_router | Ip_router_full ->
+      addr := Int32.add !addr 0x9E3779B1l;
+      ignore (Lpm.lookup fib !addr)
+    | Lipsin_switch ->
+      (* Algorithm 1 exactly as the NetFPGA prototype runs it: the
+         fill-limit gate, then AND+compare against every port's LIT. *)
+      let z = h.Header.zfilter in
+      if Zfilter.within_fill_limit z ~limit:0.7 then
+        Array.iter
+          (fun lit -> ignore (Zfilter.matches z ~lit))
+          port_lits
+  in
+  let one_leg wire =
+    match Header.decode wire with
+    | Error _ -> wire
+    | Ok h -> (
+      match Header.decrement_ttl h with
+      | None -> wire
+      | Some h ->
+        decision h;
+        Header.encode h)
+  in
+  let header = Header.make ~d_index:chain.table ~zfilter:chain.zfilter payload in
+  let request = Header.encode header in
+  Stats.summarize
+    (batch_means ~batches ~batch_size (fun () ->
+         let at_receiver = one_leg request in
+         ignore (one_leg at_receiver)))

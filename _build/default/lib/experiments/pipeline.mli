@@ -1,0 +1,36 @@
+(** The measured software forwarding pipeline.
+
+    The NetFPGA substitute: a chain of real {!Lipsin_forwarding.Node_engine}
+    instances driven in-process, timed with the monotonic wall clock.
+    Each hop performs exactly what the hardware does per packet —
+    parse the header, run Algorithm 1 over every port, rewrite the
+    TTL — so the per-hop cost scales the way the paper's Table 4
+    latencies do, and the Table 5 comparison (wire vs LPM IP router vs
+    LIPSIN) exercises the actual decision code of both fabrics. *)
+
+type chain
+(** A linear topology end-host → h forwarding nodes → end-host, with a
+    zFilter encoding the path. *)
+
+val make_chain : hops:int -> chain
+(** @raise Invalid_argument if [hops < 0]. *)
+
+val send_through : chain -> payload:string -> int
+(** Pushes one packet through the chain (encode, then per hop: decode,
+    forward, TTL rewrite); returns the number of hops that forwarded
+    it (sanity: = hops). *)
+
+val measure_one_way :
+  chain -> payload:string -> batches:int -> batch_size:int -> Lipsin_util.Stats.summary
+(** Wall-clock microseconds per packet; each sample is the mean of one
+    batch (sub-µs work is not measurable per packet). *)
+
+type echo_path =
+  | Wire             (** Header encode/decode only — no forwarding. *)
+  | Ip_router        (** One LPM lookup (5-entry FIB) each way. *)
+  | Ip_router_full   (** LPM against a 200k-route BGP-scale FIB. *)
+  | Lipsin_switch    (** One zFilter forwarding decision each way. *)
+
+val measure_echo :
+  echo_path -> payload:string -> batches:int -> batch_size:int -> Lipsin_util.Stats.summary
+(** Round-trip microseconds through the given path. *)

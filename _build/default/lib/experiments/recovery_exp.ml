@@ -1,0 +1,105 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Recovery = Lipsin_forwarding.Recovery
+
+type tally = {
+  mutable attempts : int;
+  mutable recovered : int;
+  mutable no_backup : int;
+  mutable stretch_acc : float;
+  mutable fill_acc : float;
+}
+
+let fresh_tally () =
+  { attempts = 0; recovered = 0; no_backup = 0; stretch_acc = 0.0; fill_acc = 0.0 }
+
+let run ?(trials = 100) ppf =
+  let graph = As_presets.as1221 () in
+  let assignment = Assignment.make Lit.default (Rng.of_int 41) graph in
+  let rng = Rng.of_int 43 in
+  let vlid = fresh_tally () and rewrite = fresh_tally () in
+  for _ = 1 to trials do
+    (* Fresh net per trial so installed state does not leak across
+       trials. *)
+    let net = Net.make assignment in
+    let picks = Rng.sample rng 8 (Graph.node_count graph) in
+    let publisher = picks.(0) in
+    let subscribers = Array.to_list (Array.sub picks 1 7) in
+    let tree = Spt.delivery_tree graph ~root:publisher ~subscribers in
+    let candidates = Candidate.build assignment ~tree in
+    match Select.select_fpa candidates with
+    | None -> ()
+    | Some c ->
+      let table = c.Candidate.table and zfilter = c.Candidate.zfilter in
+      (* Fail a random tree link. *)
+      let tree_arr = Array.of_list tree in
+      let failed = tree_arr.(Rng.int rng (Array.length tree_arr)) in
+      (match Recovery.backup_path graph ~link:failed with
+      | None ->
+        vlid.no_backup <- vlid.no_backup + 1;
+        rewrite.no_backup <- rewrite.no_backup + 1
+      | Some backup ->
+        (* Scheme 1: VLId-based. *)
+        vlid.attempts <- vlid.attempts + 1;
+        (match
+           Recovery.vlid_activate assignment ~engine_of:(Net.engine net) ~failed
+         with
+        | Error _ -> ()
+        | Ok () ->
+          let o = Run.deliver net ~src:publisher ~table ~zfilter ~tree in
+          if Run.all_reached o subscribers then begin
+            vlid.recovered <- vlid.recovered + 1;
+            vlid.stretch_acc <-
+              vlid.stretch_acc
+              +. (float_of_int o.Run.link_traversals /. float_of_int (List.length tree))
+          end;
+          Recovery.vlid_deactivate assignment ~engine_of:(Net.engine net) ~failed);
+        (* Scheme 2: zFilter rewrite, on a clean net. *)
+        let net2 = Net.make assignment in
+        Net.fail_link net2 failed;
+        rewrite.attempts <- rewrite.attempts + 1;
+        let patch = Recovery.zfilter_patch assignment ~table ~backup in
+        let patched = Recovery.apply_patch zfilter patch in
+        let tree_patched =
+          (* The intended links now include the backup path. *)
+          backup @ List.filter (fun l -> l.Graph.index <> failed.Graph.index) tree
+        in
+        let o2 =
+          Run.deliver net2 ~src:publisher ~table ~zfilter:patched ~tree:tree_patched
+        in
+        if Run.all_reached o2 subscribers then begin
+          rewrite.recovered <- rewrite.recovered + 1;
+          rewrite.stretch_acc <-
+            rewrite.stretch_acc
+            +. (float_of_int o2.Run.link_traversals /. float_of_int (List.length tree));
+          rewrite.fill_acc <-
+            rewrite.fill_acc
+            +. (Zfilter.fill_factor patched -. Zfilter.fill_factor zfilter)
+        end)
+  done;
+  Format.fprintf ppf "Fast recovery on AS1221, 8-user trees, %d trials@." trials;
+  let report name t ~fill =
+    Format.fprintf ppf
+      "  %-16s recovered %d/%d (bridges skipped: %d), mean stretch %.2fx%s@."
+      name t.recovered t.attempts t.no_backup
+      (if t.recovered = 0 then 0.0 else t.stretch_acc /. float_of_int t.recovered)
+      (if fill then
+         Printf.sprintf ", mean fill increase %.3f"
+           (if t.recovered = 0 then 0.0 else t.fill_acc /. float_of_int t.recovered)
+       else "")
+  in
+  report "VLId-based" vlid ~fill:false;
+  report "zFilter-rewrite" rewrite ~fill:true;
+  Format.fprintf ppf
+    "(paper: both reroute single link/node failures with zero convergence@.";
+  Format.fprintf ppf
+    " time; such failures are ~85%% of unplanned outages.)@."

@@ -1,0 +1,7 @@
+(** Fast-recovery evaluation (Sec. 3.3.2): fail each link of sampled
+    delivery trees and verify both schemes — VLId-based virtual backup
+    paths and zFilter rewriting — restore delivery with zero
+    convergence time; report success rates, path stretch and the fill
+    increase of the rewrite scheme. *)
+
+val run : ?trials:int -> Format.formatter -> unit

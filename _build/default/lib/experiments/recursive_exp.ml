@@ -1,0 +1,100 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module Weights = Lipsin_topology.Weights
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Overlay = Lipsin_recursive.Overlay
+
+let overlay_part ppf ~trials =
+  let underlay_graph = As_presets.ta2 () in
+  let underlay = Assignment.make Lit.default (Rng.of_int 359) underlay_graph in
+  Format.fprintf ppf "LIPSIN over LIPSIN on TA2 (ring overlays, %d publications each)@."
+    trials;
+  Format.fprintf ppf "%7s | %9s | %10s | %8s@." "overlay" "delivered"
+    "underlay/pub" "stretch";
+  Format.fprintf ppf "%s@." (String.make 46 '-');
+  List.iter
+    (fun size ->
+      let rng = Rng.of_int (367 + size) in
+      let attach = Rng.sample rng size (Graph.node_count underlay_graph) in
+      let edges = List.init size (fun i -> (i, (i + 1) mod size)) in
+      match Overlay.create ~underlay ~attach ~edges () with
+      | Error e -> Format.fprintf ppf "%7d | %s@." size e
+      | Ok o ->
+        let delivered = ref 0 and wanted = ref 0 in
+        let traversals = ref 0 and stretch_acc = ref 0.0 and ok = ref 0 in
+        for _ = 1 to trials do
+          let picks = Rng.sample rng (min size 4) size in
+          let src = picks.(0) in
+          let subscribers =
+            Array.to_list (Array.sub picks 1 (Array.length picks - 1))
+          in
+          match Overlay.publish o ~src ~subscribers with
+          | Error _ -> ()
+          | Ok d ->
+            incr ok;
+            delivered := !delivered + List.length d.Overlay.delivered;
+            wanted := !wanted + List.length subscribers;
+            traversals := !traversals + d.Overlay.underlay_traversals;
+            stretch_acc := !stretch_acc +. d.Overlay.stretch
+        done;
+        Format.fprintf ppf "%7d | %4d/%-4d | %12.1f | %7.2fx@." size !delivered
+          !wanted
+          (float_of_int !traversals /. float_of_int (max 1 !ok))
+          (!stretch_acc /. float_of_int (max 1 !ok)))
+    [ 4; 6; 8 ]
+
+let weighted_part ppf ~trials =
+  Format.fprintf ppf
+    "@.Weighted (IGP-cost) trees vs hop-count trees, 16 users, fpa selection@.";
+  Format.fprintf ppf "%-8s | %14s %9s | %14s %9s@." "AS" "hop-count eff"
+    "fpr" "weighted eff" "fpr";
+  Format.fprintf ppf "%s@." (String.make 64 '-');
+  List.iter
+    (fun (name, graph) ->
+      let assignment = Assignment.make Lit.default (Rng.of_int 373) graph in
+      let weights = Weights.random graph (Rng.of_int 379) ~min:1.0 ~max:10.0 in
+      let net = Net.make assignment in
+      let run_with tree_of =
+        let rng = Rng.of_int 383 in
+        let eff = ref 0.0 and fpr = ref 0.0 and n = ref 0 in
+        for _ = 1 to trials do
+          let picks = Rng.sample rng 16 (Graph.node_count graph) in
+          let subscribers = Array.to_list (Array.sub picks 1 15) in
+          let tree = tree_of picks.(0) subscribers in
+          match Select.select_fpa (Candidate.build assignment ~tree) with
+          | None -> ()
+          | Some c ->
+            incr n;
+            let o =
+              Run.deliver net ~src:picks.(0) ~table:c.Candidate.table
+                ~zfilter:c.Candidate.zfilter ~tree
+            in
+            eff := !eff +. (100.0 *. Run.forwarding_efficiency o ~tree);
+            fpr := !fpr +. (100.0 *. Run.false_positive_rate o)
+        done;
+        (!eff /. float_of_int (max 1 !n), !fpr /. float_of_int (max 1 !n))
+      in
+      let hop_eff, hop_fpr =
+        run_with (fun root subscribers ->
+            Lipsin_topology.Spt.delivery_tree graph ~root ~subscribers)
+      in
+      let w_eff, w_fpr =
+        run_with (fun root subscribers ->
+            Weights.delivery_tree weights ~root ~subscribers)
+      in
+      Format.fprintf ppf "%-8s | %13.2f%% %8.2f%% | %13.2f%% %8.2f%%@." name
+        hop_eff hop_fpr w_eff w_fpr)
+    [ ("AS1221", As_presets.as1221 ()); ("AS6461", As_presets.as6461 ()) ];
+  Format.fprintf ppf
+    "(weighted trees are a little longer, so fills and fprs rise slightly;@.";
+  Format.fprintf ppf " the paper's conclusions are insensitive to IGP weighting.)@."
+
+let run ?(trials = 100) ppf =
+  overlay_part ppf ~trials;
+  weighted_part ppf ~trials

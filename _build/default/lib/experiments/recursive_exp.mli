@@ -1,0 +1,7 @@
+(** Recursive layering (Sec. 2.1): LIPSIN-over-LIPSIN overlays of
+    increasing size on TA2, with weighted underlay trees — measuring
+    what a stacked layer costs (underlay traversals vs direct
+    delivery) and confirming the evaluation results are robust to
+    Rocketfuel-style link weights. *)
+
+val run : ?trials:int -> Format.formatter -> unit

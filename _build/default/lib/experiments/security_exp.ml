@@ -1,0 +1,59 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Net = Lipsin_sim.Net
+module Attacks = Lipsin_security.Attacks
+
+let run ppf =
+  let graph = As_presets.as6461 () in
+  let assignment = Assignment.make Lit.default (Rng.of_int 17) graph in
+  let net = Net.make assignment in
+  (* Attack the highest-degree node: the worst case for flooding. *)
+  let hub =
+    Graph.fold_nodes graph ~init:0 ~f:(fun best v ->
+        if Graph.out_degree graph v > Graph.out_degree graph best then v
+        else best)
+  in
+  Format.fprintf ppf "Security (Sec 4.4) on AS6461, hub node degree %d@."
+    (Graph.out_degree graph hub);
+  Format.fprintf ppf "-- zFilter contamination vs fill limit 0.7:@.";
+  Format.fprintf ppf "%6s | %12s | %8s@." "fill" "links match" "dropped";
+  let rng = Rng.of_int 31 in
+  List.iter
+    (fun fill ->
+      let o = Attacks.contamination net ~node:hub ~fill ~rng in
+      Format.fprintf ppf "%6.2f | %6d/%-5d | %8b@." o.Attacks.fill
+        o.Attacks.links_matched o.Attacks.total_links o.Attacks.dropped_by_limit)
+    [ 0.2; 0.4; 0.6; 0.7; 0.8; 0.95; 1.0 ];
+  Format.fprintf ppf "-- random probe match rate vs rho^k prediction (k=5):@.";
+  List.iter
+    (fun fill ->
+      let measured = Attacks.random_probe_match_rate assignment ~fill ~trials:20 ~rng in
+      Format.fprintf ppf "  rho=%.2f  measured=%.5f  rho^k=%.5f@." fill measured
+        (fill ** 5.0))
+    [ 0.3; 0.5; 0.7 ];
+  Format.fprintf ppf "-- LIT learning attack (AND of observed zFilters):@.";
+  let uplink = List.hd (Graph.out_links graph hub) in
+  List.iter
+    (fun n ->
+      let o = Attacks.lit_learning assignment ~uplink ~table:0 ~observations:n ~rng in
+      Format.fprintf ppf "  observations=%3d  exact=%b  surplus_bits=%d@." n
+        o.Attacks.inferred_exactly o.Attacks.surplus_bits)
+    [ 1; 2; 4; 8; 16; 32 ];
+  let defended = Attacks.rekey_defeats_learning assignment ~uplink ~table:0 ~rng in
+  Format.fprintf ppf "-- re-keying the uplink defeats the learned tag: %b@." defended;
+  (* zFilter re-use: how long does a stolen filter stay useful? *)
+  let tree = Lipsin_topology.Spt.delivery_tree graph ~root:hub ~subscribers:[ 0; 1 ] in
+  let stolen =
+    (Lipsin_core.Candidate.build_one assignment ~tree ~table:0)
+      .Lipsin_core.Candidate.zfilter
+  in
+  let rekeyed = Lipsin_core.Assignment.rekey assignment (Rng.of_int 43) in
+  Format.fprintf ppf
+    "-- zFilter re-use: stolen filter reaches %.0f%% of its tree at capture,@."
+    (100.0 *. Attacks.replay_reach assignment ~zfilter:stolen ~tree);
+  Format.fprintf ppf "   %.0f%% after the periodic Link ID change (Sec 4.4)@."
+    (100.0 *. Attacks.replay_reach rekeyed ~zfilter:stolen ~tree)

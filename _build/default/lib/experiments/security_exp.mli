@@ -1,0 +1,5 @@
+(** Security evaluation (Sec. 4.4): contamination vs the fill limit,
+    random-probe match rates against the ρ^k prediction, the LIT
+    learning attack's observation budget, and the re-keying defence. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,63 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Split = Lipsin_core.Split
+module Net = Lipsin_sim.Net
+module Dense = Lipsin_stateful.Dense
+module Virtual_link = Lipsin_stateful.Virtual_link
+
+let run ?(trials = 50) ppf =
+  let g = As_presets.as3257 () in
+  let assignment = Assignment.make Lit.default (Rng.of_int 91) g in
+  let net = Net.make assignment in
+  Format.fprintf ppf
+    "Multiple sending vs virtual links (AS3257, fill limit 0.4, %d trials)@."
+    trials;
+  Format.fprintf ppf "%5s | %6s %10s | %9s %9s@." "subs" "parts"
+    "dup ovhd %" "vlink eff" "vlink state";
+  Format.fprintf ppf "%s@." (String.make 56 '-');
+  List.iter
+    (fun subs ->
+      let rng = Rng.of_int (97 + subs) in
+      let parts_acc = ref 0 and overhead_acc = ref 0.0 and split_ok = ref 0 in
+      let vl_eff = ref 0.0 and vl_state = ref 0 in
+      for _ = 1 to trials do
+        let picks = Rng.sample rng (subs + 1) (Graph.node_count g) in
+        let publisher = picks.(0) in
+        let subscribers = Array.to_list (Array.sub picks 1 subs) in
+        (match Split.plan ~fill_limit:0.4 assignment ~root:publisher ~subscribers with
+        | Ok parts ->
+          incr split_ok;
+          parts_acc := !parts_acc + List.length parts;
+          let union = Split.total_traversals parts - Split.duplicate_traversals parts in
+          overhead_acc :=
+            !overhead_acc
+            +. (100.0 *. float_of_int (Split.duplicate_traversals parts)
+               /. float_of_int (max 1 union))
+        | Error _ -> ());
+        let plan =
+          Dense.plan assignment rng ~publisher ~subscribers
+            ~cores:(max 2 (subs / 8))
+        in
+        let result = Dense.execute net plan ~table:0 in
+        vl_eff := !vl_eff +. (100.0 *. result.Dense.efficiency);
+        vl_state :=
+          !vl_state
+          + List.fold_left
+              (fun acc v -> acc + List.length (Virtual_link.source_nodes v))
+              0 plan.Dense.virtuals
+      done;
+      let ok = max 1 !split_ok in
+      Format.fprintf ppf "%5d | %6.1f %10.1f | %8.1f%% %9.1f@." subs
+        (float_of_int !parts_acc /. float_of_int ok)
+        (!overhead_acc /. float_of_int ok)
+        (!vl_eff /. float_of_int trials)
+        (float_of_int !vl_state /. float_of_int trials))
+    [ 24; 40; 56; 80 ];
+  Format.fprintf ppf
+    "(splitting keeps the network stateless at the price of duplicate@.";
+  Format.fprintf ppf
+    " traversals on shared links; virtual links buy efficiency with state.)@."

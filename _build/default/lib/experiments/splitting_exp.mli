@@ -1,0 +1,6 @@
+(** The Sec. 4.3 trade-off, quantified: for dense subscriber sets,
+    stateless multiple sending (several smaller zFilters, duplicate
+    traversals where trees overlap) versus stateful virtual links
+    (near-perfect efficiency, but forwarding state in core nodes). *)
+
+val run : ?trials:int -> Format.formatter -> unit

@@ -1,0 +1,20 @@
+module Metrics = Lipsin_topology.Metrics
+module As_presets = Lipsin_topology.As_presets
+
+let run ppf =
+  Format.fprintf ppf "Table 1: graph characterization (ours vs paper)@.";
+  Format.fprintf ppf
+    "%-8s | %5s %6s %4s %4s %9s | %5s %6s %4s %4s %9s@." "AS" "nodes" "links"
+    "diam" "rad" "avg(max)" "nodes" "links" "diam" "rad" "avg(max)";
+  Format.fprintf ppf "%s@." (String.make 100 '-');
+  List.iter2
+    (fun (name, graph) spec ->
+      let m = Metrics.compute graph in
+      Format.fprintf ppf
+        "%-8s | %5d %6d %4d %4d %4.0f (%2d)  | %5d %6d %4d %4d %4d (%2d)@."
+        name m.Metrics.nodes m.Metrics.edges m.Metrics.diameter
+        m.Metrics.radius m.Metrics.avg_degree m.Metrics.max_degree
+        spec.As_presets.nodes spec.As_presets.edges spec.As_presets.diameter
+        spec.As_presets.radius spec.As_presets.avg_degree
+        spec.As_presets.max_degree)
+    (As_presets.all ()) As_presets.paper_table1

@@ -1,0 +1,5 @@
+(** Table 1 reproduction: graph characterization of the evaluation
+    topologies, printed side by side with the paper's published
+    values. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,51 @@
+module Lit = Lipsin_bloom.Lit
+module As_presets = Lipsin_topology.As_presets
+
+(* Paper values for the side-by-side: (users, AS, eff_mean, fpr_mean). *)
+let paper =
+  [
+    (4, "TA2", 99.92, 0.02); (4, "AS1221", 98.08, 0.37); (4, "AS3257", 99.83, 0.02);
+    (8, "TA2", 99.6, 0.2); (8, "AS1221", 97.78, 0.54); (8, "AS3257", 98.95, 0.28);
+    (16, "TA2", 97.92, 0.83); (16, "AS1221", 95.51, 1.28); (16, "AS3257", 92.37, 1.76);
+    (24, "TA2", 95.2, 1.95); (24, "AS1221", 92.06, 2.65); (24, "AS3257", 82.27, 4.17);
+    (32, "TA2", 92.04, 3.46); (32, "AS1221", 88.22, 4.32); (32, "AS3257", 71.47, 7.3);
+  ]
+
+let paper_for users name =
+  List.find_opt (fun (u, n, _, _) -> u = users && n = name) paper
+
+let run ?(trials = 500) ppf =
+  let config =
+    {
+      Trial.default_config with
+      Trial.params = Lit.paper_variable;
+      selection = Trial.Fpa;
+      trials;
+    }
+  in
+  Format.fprintf ppf
+    "Table 2: stateless forwarding, d=8, variable k, fpa selection (%d trials)@."
+    trials;
+  Format.fprintf ppf "%5s %-8s | %13s | %15s | %13s | %8s | %8s@." "users" "AS"
+    "links mu/95th" "effic%% mu/95th" "fpr%% mu/95th" "unicast%" "paper e/f";
+  Format.fprintf ppf "%s@." (String.make 100 '-');
+  let topologies = [ ("TA2", As_presets.ta2 ()); ("AS1221", As_presets.as1221 ());
+                     ("AS3257", As_presets.as3257 ()) ] in
+  List.iter
+    (fun users ->
+      List.iter
+        (fun (name, graph) ->
+          let p = Trial.run config graph ~users in
+          let paper_str =
+            match paper_for users name with
+            | Some (_, _, e, f) -> Printf.sprintf "%5.1f/%4.2f" e f
+            | None -> "-"
+          in
+          Format.fprintf ppf
+            "%5d %-8s | %6.1f %6.1f | %7.2f %7.2f | %6.2f %6.2f | %8.1f | %s@."
+            users name p.Trial.links_mean p.Trial.links_p95
+            p.Trial.efficiency_mean p.Trial.efficiency_p95 p.Trial.fpr_mean
+            p.Trial.fpr_p95 p.Trial.unicast_efficiency paper_str)
+        topologies;
+      Format.fprintf ppf "%s@." (String.make 100 '-'))
+    [ 4; 8; 16; 24; 32 ]

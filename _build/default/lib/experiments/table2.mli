@@ -1,0 +1,7 @@
+(** Table 2 reproduction: stateless zFilter forwarding with d = 8 and
+    the variable k distribution, fpa selection — links used,
+    forwarding efficiency and fpr (mean and 95th percentile) for 4–32
+    users on TA2, AS1221 and AS3257; plus the Sec. 4.2 multiple-unicast
+    comparison. *)
+
+val run : ?trials:int -> Format.formatter -> unit

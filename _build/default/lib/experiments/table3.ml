@@ -1,0 +1,59 @@
+module Lit = Lipsin_bloom.Lit
+module As_presets = Lipsin_topology.As_presets
+
+(* Paper values: users, AS -> (fpa_kc, fpa_kd, fpr_kc, fpr_kd, std). *)
+let paper =
+  [
+    ((8, "TA2"), (0.12, 0.2, 0.0, 0.0, 0.18));
+    ((8, "AS1221"), (0.44, 0.54, 0.26, 0.26, 0.55));
+    ((8, "AS3967"), (0.28, 0.33, 0.03, 0.03, 0.48));
+    ((8, "AS6461"), (0.32, 0.39, 0.06, 0.07, 0.36));
+    ((16, "TA2"), (0.54, 0.83, 0.01, 0.03, 0.8));
+    ((16, "AS1221"), (1.17, 1.28, 0.36, 0.45, 1.57));
+    ((16, "AS3967"), (1.13, 1.29, 0.24, 0.34, 1.48));
+    ((16, "AS6461"), (1.55, 1.57, 0.71, 0.83, 1.89));
+    ((24, "TA2"), (1.65, 1.95, 0.38, 0.58, 2.03));
+    ((24, "AS1221"), (2.48, 2.65, 1.21, 1.33, 3.55));
+    ((24, "AS3967"), (2.55, 2.78, 1.31, 1.48, 3.22));
+    ((24, "AS6461"), (3.72, 3.79, 2.81, 2.86, 4.86));
+  ]
+
+let run ?(trials = 500) ppf =
+  let base = { Trial.default_config with Trial.trials } in
+  let kc = Lit.default in
+  let kd = Lit.paper_variable in
+  let standard_params = Lit.constant_k ~m:248 ~d:1 ~k:5 in
+  let topologies =
+    [ ("TA2", As_presets.ta2 ()); ("AS1221", As_presets.as1221 ());
+      ("AS3967", As_presets.as3967 ()); ("AS6461", As_presets.as6461 ()) ]
+  in
+  Format.fprintf ppf
+    "Table 3: mean fpr%% per configuration (%d trials; paper in parens)@."
+    trials;
+  Format.fprintf ppf "%5s %-8s | %12s %12s | %12s %12s | %12s@." "users" "AS"
+    "fpa/kc" "fpa/kd" "fpr/kc" "fpr/kd" "std k=5";
+  Format.fprintf ppf "%s@." (String.make 92 '-');
+  let fpr_of config graph users =
+    (Trial.run config graph ~users).Trial.fpr_mean
+  in
+  List.iter
+    (fun users ->
+      List.iter
+        (fun (name, graph) ->
+          let fpa_kc = fpr_of { base with Trial.params = kc; selection = Trial.Fpa } graph users in
+          let fpa_kd = fpr_of { base with Trial.params = kd; selection = Trial.Fpa } graph users in
+          let fpr_kc = fpr_of { base with Trial.params = kc; selection = Trial.Fpr } graph users in
+          let fpr_kd = fpr_of { base with Trial.params = kd; selection = Trial.Fpr } graph users in
+          let std = fpr_of { base with Trial.params = standard_params; selection = Trial.Standard } graph users in
+          let p_fpa_kc, p_fpa_kd, p_fpr_kc, p_fpr_kd, p_std =
+            match List.assoc_opt (users, name) paper with
+            | Some v -> v
+            | None -> (nan, nan, nan, nan, nan)
+          in
+          Format.fprintf ppf
+            "%5d %-8s | %4.2f (%4.2f) %4.2f (%4.2f) | %4.2f (%4.2f) %4.2f (%4.2f) | %4.2f (%4.2f)@."
+            users name fpa_kc p_fpa_kc fpa_kd p_fpa_kd fpr_kc p_fpr_kc fpr_kd
+            p_fpr_kd std p_std)
+        topologies;
+      Format.fprintf ppf "%s@." (String.make 92 '-'))
+    [ 8; 16; 24 ]

@@ -1,0 +1,7 @@
+(** Table 3 reproduction: mean fpr for different configurations —
+    fpa- and fpr-optimised selection, each with constant k = 5 (kc)
+    and the variable k distribution (kd), against the non-optimised
+    d = 1 standard filter; users 8/16/24 on TA2, AS1221, AS3967,
+    AS6461. *)
+
+val run : ?trials:int -> Format.formatter -> unit

@@ -1,0 +1,28 @@
+module Rng = Lipsin_util.Rng
+module Latency = Lipsin_sim.Latency
+
+let paper = [ (0, 16.0, 1.0); (1, 19.0, 2.0); (2, 21.0, 2.0); (3, 24.0, 2.0) ]
+
+let run ?(samples = 10_000) ppf =
+  Format.fprintf ppf
+    "Table 4: latency vs forwarding nodes (model calibrated to paper; pipeline measured)@.";
+  Format.fprintf ppf "%5s | %18s | %22s | %14s@." "hops" "model mu/sd (us)"
+    "sw pipeline mu/sd (us)" "paper mu/sd";
+  Format.fprintf ppf "%s@." (String.make 72 '-');
+  let rng = Rng.of_int 99 in
+  List.iter
+    (fun (hops, paper_mu, paper_sd) ->
+      let model = Latency.sample_one_way rng Latency.default ~hops ~samples in
+      let chain = Pipeline.make_chain ~hops in
+      let measured =
+        Pipeline.measure_one_way chain ~payload:"ping" ~batches:50
+          ~batch_size:200
+      in
+      Format.fprintf ppf
+        "%5d | %8.1f %8.2f | %10.2f %10.2f | %6.0f %6.0f@." hops
+        model.Lipsin_util.Stats.mean model.Lipsin_util.Stats.stddev
+        measured.Lipsin_util.Stats.mean measured.Lipsin_util.Stats.stddev
+        paper_mu paper_sd)
+    paper;
+  Format.fprintf ppf
+    "(paper: ~3us extra per NetFPGA hop; BF matching itself is 56ns of that.)@."

@@ -1,0 +1,9 @@
+(** Table 4 reproduction: latency through 0–3 forwarding nodes.
+
+    Two columns per row: the calibrated event-driven model (the paper's
+    16 µs end-host cost + 3 µs per NetFPGA) and the actual software
+    pipeline measured in-process.  The claim under test is the shape —
+    latency is affine in the hop count with a small constant per-hop
+    cost — not the absolute microseconds. *)
+
+val run : ?samples:int -> Format.formatter -> unit

@@ -1,0 +1,7 @@
+(** Table 5 reproduction: echo ("ping") latency through a plain wire,
+    an IP router (5-entry LPM FIB) and a LIPSIN forwarding node.  The
+    paper's finding: LIPSIN adds essentially nothing over the wire
+    (96 µs vs 94 µs) while the IP router costs measurably more
+    (102 µs).  We test the same ordering on the software pipeline. *)
+
+val run : ?batches:int -> ?batch_size:int -> Format.formatter -> unit

@@ -1,0 +1,102 @@
+module Rng = Lipsin_util.Rng
+module Stats = Lipsin_util.Stats
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Unicast = Lipsin_baseline.Unicast
+
+type selection = Standard | Fpa | Fpr
+
+type config = {
+  params : Lit.params;
+  selection : selection;
+  trials : int;
+  seed : int;
+  fill_limit : float;
+}
+
+let default_config =
+  { params = Lit.default; selection = Fpa; trials = 500; seed = 1; fill_limit = 0.7 }
+
+type point = {
+  users : int;
+  links_mean : float;
+  links_p95 : float;
+  efficiency_mean : float;
+  efficiency_p95 : float;
+  fpr_mean : float;
+  fpr_p95 : float;
+  unicast_efficiency : float;
+  over_limit : int;
+  efficiency_ci95 : float;
+  fpr_ci95 : float;
+}
+
+let select config assignment candidates ~tree =
+  match config.selection with
+  | Standard ->
+    let c = Select.standard candidates in
+    if Candidate.fill_factor c <= config.fill_limit then Some c else None
+  | Fpa -> Select.select_fpa ~fill_limit:config.fill_limit candidates
+  | Fpr ->
+    let test = Select.default_test_set assignment ~tree in
+    Select.select_fpr ~fill_limit:config.fill_limit assignment candidates ~test
+
+(* Half-width of the normal-approximation 95% confidence interval of
+   the sample mean. *)
+let ci95 xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0 else 1.96 *. Stats.stddev xs /. sqrt (float_of_int n)
+
+let run config graph ~users =
+  if users < 2 then invalid_arg "Trial.run: users must be at least 2";
+  let assignment = Assignment.make config.params (Rng.of_int config.seed) graph in
+  let net = Net.make ~fill_limit:config.fill_limit assignment in
+  let rng = Rng.of_int (config.seed + (users * 7919)) in
+  let links = ref [] and effs = ref [] and fprs = ref [] in
+  let uni_acc = ref 0.0 in
+  let over_limit = ref 0 in
+  let completed = ref 0 in
+  for _ = 1 to config.trials do
+    let picks = Rng.sample rng users (Graph.node_count graph) in
+    let publisher = picks.(0) in
+    let subscribers = Array.to_list (Array.sub picks 1 (users - 1)) in
+    let tree = Spt.delivery_tree graph ~root:publisher ~subscribers in
+    let candidates = Candidate.build assignment ~tree in
+    match select config assignment candidates ~tree with
+    | None -> incr over_limit
+    | Some c ->
+      let outcome =
+        Run.deliver net ~src:publisher ~table:c.Candidate.table
+          ~zfilter:c.Candidate.zfilter ~tree
+      in
+      incr completed;
+      links := float_of_int (List.length tree) :: !links;
+      effs := (100.0 *. Run.forwarding_efficiency outcome ~tree) :: !effs;
+      fprs := (100.0 *. Run.false_positive_rate outcome) :: !fprs;
+      uni_acc := !uni_acc +. (100.0 *. Unicast.efficiency graph ~root:publisher ~subscribers)
+  done;
+  let links = Array.of_list !links in
+  let effs = Array.of_list !effs in
+  let fprs = Array.of_list !fprs in
+  let n = max 1 !completed in
+  {
+    users;
+    links_mean = Stats.mean links;
+    links_p95 = (if Array.length links = 0 then 0.0 else Stats.percentile links 95.0);
+    efficiency_mean = Stats.mean effs;
+    efficiency_p95 = (if Array.length effs = 0 then 0.0 else Stats.percentile effs 5.0);
+    fpr_mean = Stats.mean fprs;
+    fpr_p95 = (if Array.length fprs = 0 then 0.0 else Stats.percentile fprs 95.0);
+    unicast_efficiency = !uni_acc /. float_of_int n;
+    over_limit = !over_limit;
+    efficiency_ci95 = ci95 effs;
+    fpr_ci95 = ci95 fprs;
+  }
+
+let run_curve config graph ~users = List.map (fun u -> run config graph ~users:u) users

@@ -1,0 +1,42 @@
+(** Shared Monte-Carlo harness for the evaluation experiments.
+
+    Mirrors the paper's ns-3 methodology (Sec. 4.2): for each data
+    point, repeatedly draw a publisher plus n−1 distinct subscribers
+    uniformly at random, compute the shortest-path delivery tree, build
+    the d candidate zFilters, select one by the configured strategy,
+    deliver through the simulated fabric, and aggregate links used,
+    forwarding efficiency (Eq. 3) and false-positive rate (Eq. 2). *)
+
+type selection = Standard | Fpa | Fpr
+
+type config = {
+  params : Lipsin_bloom.Lit.params;
+  selection : selection;
+  trials : int;
+  seed : int;          (** Drives both LIT assignment and trial draws. *)
+  fill_limit : float;
+}
+
+val default_config : config
+(** Paper defaults: m = 248, d = 8, k = 5, fpa selection, 500 trials,
+    fill limit 0.7. *)
+
+type point = {
+  users : int;
+  links_mean : float;       (** Mean tree size (links). *)
+  links_p95 : float;
+  efficiency_mean : float;  (** Percent. *)
+  efficiency_p95 : float;   (** 5th percentile of efficiency — the
+                                "95th" badness column of Table 2. *)
+  fpr_mean : float;         (** Percent. *)
+  fpr_p95 : float;
+  unicast_efficiency : float;  (** Same trials, multiple unicast (%). *)
+  over_limit : int;  (** Trials where no candidate passed the limit. *)
+  efficiency_ci95 : float;  (** Half-width of the 95% CI of the mean. *)
+  fpr_ci95 : float;
+}
+
+val run : config -> Lipsin_topology.Graph.t -> users:int -> point
+(** One data point: [users] − 1 subscribers per trial. *)
+
+val run_curve : config -> Lipsin_topology.Graph.t -> users:int list -> point list

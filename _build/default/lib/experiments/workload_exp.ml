@@ -1,0 +1,26 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Scenario = Lipsin_workload.Scenario
+
+let run ?(topics = 2000) ppf =
+  let graph = As_presets.as3257 () in
+  let assignment = Assignment.make Lit.default (Rng.of_int 71) graph in
+  let config = { Scenario.default with Scenario.topics = 100_000; seed = 73 } in
+  let agg = Scenario.evaluate config assignment ~n:topics () in
+  Format.fprintf ppf
+    "Zipf workload on AS3257: %d sampled topics from a %d-topic population@."
+    agg.Scenario.sampled config.Scenario.topics;
+  Format.fprintf ppf "  mean subscribers/topic : %.2f@." agg.Scenario.mean_subscribers;
+  Format.fprintf ppf "  stateless (one zFilter): %d (%.1f%%)@."
+    agg.Scenario.stateless_ok
+    (100.0 *. float_of_int agg.Scenario.stateless_ok /. float_of_int agg.Scenario.sampled);
+  Format.fprintf ppf "  needs state/splitting  : %d@." agg.Scenario.needs_state;
+  Format.fprintf ppf "  mean efficiency (stateless): %.2f%%@."
+    (100.0 *. agg.Scenario.mean_efficiency);
+  Format.fprintf ppf "  mean fpr (stateless)       : %.3f%%@."
+    (100.0 *. agg.Scenario.mean_fpr);
+  Format.fprintf ppf
+    "  IP SSM (S,G) state entries for the same workload: %d (LIPSIN: 0 for stateless topics)@."
+    agg.Scenario.ssm_state_entries

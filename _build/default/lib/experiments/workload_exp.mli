@@ -1,0 +1,6 @@
+(** Zipf workload accounting (Sec. 4.3): over a Zipf-popularity topic
+    population, how many topics are deliverable fully stateless vs the
+    popular tail that needs virtual links or multiple sending, and the
+    (S,G) router-state bill IP SSM would pay for the same workload. *)
+
+val run : ?topics:int -> Format.formatter -> unit

@@ -1,0 +1,1 @@
+lib/fec/lateral.ml: Array Lipsin_sim Lipsin_topology List Xor_code

@@ -1,0 +1,1 @@
+lib/fec/lateral.mli: Lipsin_bloom Lipsin_sim Lipsin_topology

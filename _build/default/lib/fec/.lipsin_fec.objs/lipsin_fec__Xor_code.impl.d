@@ -1,0 +1,1 @@
+lib/fec/xor_code.ml: Bytes Char Hashtbl List String

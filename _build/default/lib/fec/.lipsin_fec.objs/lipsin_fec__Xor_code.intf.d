@@ -1,0 +1,1 @@
+lib/fec/xor_code.mli:

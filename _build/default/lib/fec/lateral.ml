@@ -1,0 +1,65 @@
+module Graph = Lipsin_topology.Graph
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+
+type subscriber_report = {
+  node : Graph.node;
+  received : int;
+  recovered : int;
+  missing : int;
+}
+
+type report = {
+  window_size : int;
+  subscribers : subscriber_report list;
+  complete_without_fec : int;
+  complete_with_fec : int;
+}
+
+let send_window net ~src ~table ~zfilter ~tree ~subscribers ~window ~loss =
+  if window = [] then invalid_arg "Lateral.send_window: empty window";
+  let window_size = List.length window in
+  (* One simulated delivery per packet: W data + 1 repair. *)
+  let outcomes =
+    List.map
+      (fun _payload -> Run.deliver ~loss net ~src ~table ~zfilter ~tree)
+      window
+  in
+  let repair_outcome = Run.deliver ~loss net ~src ~table ~zfilter ~tree in
+  let repair_frame = Xor_code.repair window in
+  let indexed = List.mapi (fun i payload -> (i, payload)) window in
+  let per_subscriber node =
+    let received =
+      List.concat
+        (List.map2
+           (fun (i, payload) outcome ->
+             if outcome.Run.reached.(node) then [ (i, payload) ] else [])
+           indexed outcomes)
+    in
+    let got_repair = repair_outcome.Run.reached.(node) in
+    let received_count = List.length received in
+    let recovered =
+      if received_count = window_size || not got_repair then 0
+      else
+        match
+          Xor_code.recover ~window_size ~received ~repair:repair_frame
+        with
+        | Some _ -> 1
+        | None -> 0
+    in
+    {
+      node;
+      received = received_count;
+      recovered;
+      missing = window_size - received_count - recovered;
+    }
+  in
+  let reports = List.map per_subscriber subscribers in
+  {
+    window_size;
+    subscribers = reports;
+    complete_without_fec =
+      List.length (List.filter (fun r -> r.received = window_size) reports);
+    complete_with_fec =
+      List.length (List.filter (fun r -> r.missing = 0) reports);
+  }

@@ -1,0 +1,34 @@
+(** Lateral error correction over the (lossy) fabric.
+
+    The sender multicasts a window of W data packets followed by one
+    XOR repair packet over the same delivery tree; each subscriber
+    recovers a single lost data packet locally from the repair, without
+    any retransmission round-trip to the publisher. *)
+
+type subscriber_report = {
+  node : Lipsin_topology.Graph.node;
+  received : int;   (** Data packets that arrived directly. *)
+  recovered : int;  (** 0 or 1: restored from the repair packet. *)
+  missing : int;    (** Still missing after repair. *)
+}
+
+type report = {
+  window_size : int;
+  subscribers : subscriber_report list;
+  complete_without_fec : int;  (** Subscribers needing no repair. *)
+  complete_with_fec : int;     (** Subscribers whole after repair. *)
+}
+
+val send_window :
+  Lipsin_sim.Net.t ->
+  src:Lipsin_topology.Graph.node ->
+  table:int ->
+  zfilter:Lipsin_bloom.Zfilter.t ->
+  tree:Lipsin_topology.Graph.link list ->
+  subscribers:Lipsin_topology.Graph.node list ->
+  window:string list ->
+  loss:Lipsin_sim.Run.loss ->
+  report
+(** Delivers every data packet and the repair packet as independent
+    simulated publications under the loss model, then runs recovery at
+    each subscriber.  @raise Invalid_argument on an empty window. *)

@@ -1,0 +1,81 @@
+(* Frame = 4-byte big-endian length + payload, zero-padded to the
+   window maximum; XOR of frames is associative/commutative, so the
+   repair equals the XOR of all frames and any single frame equals the
+   XOR of the repair with the others. *)
+
+let frame_length payload = 4 + String.length payload
+
+let write_frame buf payload =
+  let n = String.length payload in
+  Bytes.set buf 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set buf 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set buf 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set buf 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 buf 4 n
+
+let xor_into ~dst src =
+  for i = 0 to Bytes.length src - 1 do
+    Bytes.set dst i
+      (Char.chr (Char.code (Bytes.get dst i) lxor Char.code (Bytes.get src i)))
+  done
+
+let frames_xor width payloads =
+  let acc = Bytes.make width '\000' in
+  let tmp = Bytes.make width '\000' in
+  List.iter
+    (fun payload ->
+      Bytes.fill tmp 0 width '\000';
+      write_frame tmp payload;
+      xor_into ~dst:acc tmp)
+    payloads;
+  acc
+
+let repair payloads =
+  if payloads = [] then invalid_arg "Xor_code.repair: empty window";
+  let width =
+    List.fold_left (fun acc p -> max acc (frame_length p)) 0 payloads
+  in
+  Bytes.to_string (frames_xor width payloads)
+
+let parse_frame bytes =
+  let len =
+    (Char.code (Bytes.get bytes 0) lsl 24)
+    lor (Char.code (Bytes.get bytes 1) lsl 16)
+    lor (Char.code (Bytes.get bytes 2) lsl 8)
+    lor Char.code (Bytes.get bytes 3)
+  in
+  if len + 4 > Bytes.length bytes then
+    invalid_arg "Xor_code: repair frame inconsistent with received payloads";
+  Bytes.sub_string bytes 4 len
+
+let recover ~window_size ~received ~repair =
+  if window_size <= 0 then invalid_arg "Xor_code.recover: window_size <= 0";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= window_size then
+        invalid_arg "Xor_code.recover: index out of range";
+      if Hashtbl.mem seen i then invalid_arg "Xor_code.recover: duplicate index";
+      Hashtbl.replace seen i ())
+    received;
+  if List.length received = window_size then None
+  else if List.length received < window_size - 1 then None
+  else begin
+    let missing = ref (-1) in
+    for i = 0 to window_size - 1 do
+      if not (Hashtbl.mem seen i) then missing := i
+    done;
+    let width = String.length repair in
+    (* Padding with shorter frames is fine; a longer frame than the
+       repair means corruption or a foreign window. *)
+    List.iter
+      (fun (_, p) ->
+        if frame_length p > width then
+          invalid_arg "Xor_code: repair frame inconsistent with received payloads")
+      received;
+    let acc = Bytes.of_string repair in
+    xor_into ~dst:acc (frames_xor width (List.map snd received));
+    Some (!missing, parse_frame acc)
+  end
+
+let verify payloads ~repair:r = String.equal (repair payloads) r

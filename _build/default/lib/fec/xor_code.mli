@@ -1,0 +1,31 @@
+(** XOR parity coding for lateral error correction.
+
+    The architecture's data plane envisions "lateral error correction"
+    (Fig. 1, citing Ricochet): alongside every window of W data packets
+    the sender emits one repair packet, the XOR of the window, letting
+    a receiver reconstruct any single lost packet without contacting
+    the publisher.
+
+    Payloads may differ in length: each is framed as a 32-bit length
+    prefix plus its bytes, zero-padded to the window's longest frame
+    before XOR, so recovery restores the exact original payload. *)
+
+val repair : string list -> string
+(** The repair frame for a window of payloads.
+    @raise Invalid_argument on an empty window. *)
+
+val recover :
+  window_size:int ->
+  received:(int * string) list ->
+  repair:string ->
+  (int * string) option
+(** [recover ~window_size ~received ~repair] reconstructs the one
+    missing (index, payload) when exactly [window_size - 1] distinct
+    indexes in \[0, window_size) were received; [None] when nothing is
+    missing or more than one packet was lost (XOR parity cannot fix
+    multi-loss).
+    @raise Invalid_argument on out-of-range or duplicate indexes, or a
+    repair frame inconsistent with the received payloads. *)
+
+val verify : string list -> repair:string -> bool
+(** Does the repair frame match the window (no corruption)? *)

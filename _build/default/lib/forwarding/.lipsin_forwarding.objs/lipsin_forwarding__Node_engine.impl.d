@@ -1,0 +1,1 @@
+lib/forwarding/node_engine.ml: Array Bytes Hashtbl Int64 Lipsin_bitvec Lipsin_bloom Lipsin_core Lipsin_topology Lipsin_util List Option Queue

@@ -1,0 +1,1 @@
+lib/forwarding/node_engine.mli: Lipsin_bitvec Lipsin_bloom Lipsin_core Lipsin_topology

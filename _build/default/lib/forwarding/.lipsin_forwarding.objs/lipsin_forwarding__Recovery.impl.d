@@ -1,0 +1,1 @@
+lib/forwarding/recovery.ml: Array Lipsin_bitvec Lipsin_bloom Lipsin_core Lipsin_topology List Node_engine Queue

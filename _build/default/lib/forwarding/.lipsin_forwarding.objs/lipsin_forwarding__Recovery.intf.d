@@ -1,0 +1,1 @@
+lib/forwarding/recovery.mli: Lipsin_bitvec Lipsin_bloom Lipsin_core Lipsin_topology Node_engine

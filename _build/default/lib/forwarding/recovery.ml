@@ -1,0 +1,184 @@
+module Bitvec = Lipsin_bitvec.Bitvec
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Assignment = Lipsin_core.Assignment
+
+type link = Graph.link
+
+(* BFS from src to dst skipping the failed physical link in both
+   directions. *)
+let backup_path g ~link =
+  let avoid = link.Graph.index in
+  let avoid_rev = (Graph.reverse_link g link).Graph.index in
+  let n = Graph.node_count g in
+  let parent_link = Array.make n None in
+  let visited = Array.make n false in
+  let src = link.Graph.src and dst = link.Graph.dst in
+  visited.(src) <- true;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  let finished = ref false in
+  while (not !finished) && not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    let try_link l =
+      let skip = l.Graph.index = avoid || l.Graph.index = avoid_rev in
+      let v = l.Graph.dst in
+      if (not skip) && not visited.(v) then begin
+        visited.(v) <- true;
+        parent_link.(v) <- Some l;
+        if v = dst then finished := true;
+        Queue.add v queue
+      end
+    in
+    List.iter try_link (Graph.out_links g u)
+  done;
+  if not visited.(dst) then None
+  else begin
+    let rec climb v acc =
+      match parent_link.(v) with
+      | None -> acc
+      | Some l -> climb l.Graph.src (l :: acc)
+    in
+    Some (climb dst [])
+  end
+
+let vlid_activate assignment ~engine_of ~failed =
+  let g = Assignment.graph assignment in
+  match backup_path g ~link:failed with
+  | None -> Error "no backup path: failed link is a bridge"
+  | Some path ->
+    let identity = Assignment.lit assignment failed in
+    (* The detecting node stops using the physical port... *)
+    Node_engine.fail_link (engine_of failed.Graph.src) failed;
+    (* ...and the activation message installs the failed link's
+       identity as a virtual entry pointing at the next backup hop, at
+       every node along the path. *)
+    List.iter
+      (fun l ->
+        Node_engine.install_virtual (engine_of l.Graph.src) identity
+          ~out_links:[ l ])
+      path;
+    Ok ()
+
+let vlid_deactivate assignment ~engine_of ~failed =
+  let g = Assignment.graph assignment in
+  let identity = Assignment.lit assignment failed in
+  Node_engine.restore_link (engine_of failed.Graph.src) failed;
+  match backup_path g ~link:failed with
+  | None -> ()
+  | Some path ->
+    List.iter
+      (fun l -> Node_engine.remove_virtual (engine_of l.Graph.src) identity)
+      path
+
+let zfilter_patch assignment ~table ~backup =
+  let params = Assignment.params assignment in
+  let patch = Bitvec.create params.Lipsin_bloom.Lit.m in
+  List.iter
+    (fun l -> Bitvec.logor_into ~dst:patch (Assignment.tag assignment l ~table))
+    backup;
+  patch
+
+let apply_patch zfilter patch =
+  let fresh = Zfilter.copy zfilter in
+  Zfilter.add fresh patch;
+  fresh
+
+(* BFS path u -> w that never touches node [banned]. *)
+let path_avoiding_node g ~src ~dst ~banned =
+  if src = banned || dst = banned then None
+  else begin
+    let n = Graph.node_count g in
+    let parent_link = Array.make n None in
+    let visited = Array.make n false in
+    visited.(src) <- true;
+    let queue = Queue.create () in
+    Queue.add src queue;
+    let found = ref (src = dst) in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.take queue in
+      List.iter
+        (fun l ->
+          let v = l.Graph.dst in
+          if v <> banned && not visited.(v) then begin
+            visited.(v) <- true;
+            parent_link.(v) <- Some l;
+            if v = dst then found := true;
+            Queue.add v queue
+          end)
+        (Graph.out_links g u)
+    done;
+    if not visited.(dst) then None
+    else begin
+      let rec climb v acc =
+        match parent_link.(v) with
+        | None -> acc
+        | Some l -> climb l.Graph.src (l :: acc)
+      in
+      Some (climb dst [])
+    end
+  end
+
+let node_backup_paths g ~failed =
+  let neighbors = Graph.neighbors g failed in
+  List.concat_map
+    (fun u ->
+      List.filter_map
+        (fun w ->
+          if u = w then None
+          else
+            match Graph.find_link g ~src:failed ~dst:w with
+            | None -> None
+            | Some out_link -> (
+              match path_avoiding_node g ~src:u ~dst:w ~banned:failed with
+              | Some detour -> Some (out_link, detour)
+              | None -> None))
+        neighbors)
+    neighbors
+
+let node_failure_activate assignment ~engine_of ~failed =
+  let g = Assignment.graph assignment in
+  let neighbors = Graph.neighbors g failed in
+  if neighbors = [] then Error "failed node has no neighbours"
+  else begin
+    (* Stop feeding the dead node. *)
+    List.iter
+      (fun u ->
+        match Graph.find_link g ~src:u ~dst:failed with
+        | Some l -> Node_engine.fail_link (engine_of u) l
+        | None -> ())
+      neighbors;
+    let pairs = node_backup_paths g ~failed in
+    if pairs = [] then
+      Error "no transit pair survives without the node"
+    else begin
+      List.iter
+        (fun (out_link, detour) ->
+          (* The detour impersonates the dead node's outgoing link so
+             in-flight zFilters (which contain f->w) keep working. *)
+          let identity = Assignment.lit assignment out_link in
+          List.iter
+            (fun l ->
+              Node_engine.install_virtual (engine_of l.Graph.src) identity
+                ~out_links:[ l ])
+            detour)
+        pairs;
+      Ok (List.length pairs)
+    end
+  end
+
+let node_failure_deactivate assignment ~engine_of ~failed =
+  let g = Assignment.graph assignment in
+  List.iter
+    (fun u ->
+      match Graph.find_link g ~src:u ~dst:failed with
+      | Some l -> Node_engine.restore_link (engine_of u) l
+      | None -> ())
+    (Graph.neighbors g failed);
+  List.iter
+    (fun (out_link, detour) ->
+      let identity = Assignment.lit assignment out_link in
+      List.iter
+        (fun l -> Node_engine.remove_virtual (engine_of l.Graph.src) identity)
+        detour)
+    (node_backup_paths g ~failed)

@@ -1,0 +1,78 @@
+(** Fast re-routing around failures (Sec. 3.3.2).
+
+    Two schemes, both with zero convergence time:
+
+    - {b VLId-based}: every physical link has a pre-configured virtual
+      backup path carrying the *same* Link ID and LITs; on failure the
+      detecting node activates it and unmodified packets flow over the
+      replacement path.
+    - {b zFilter rewrite}: the detecting node ORs a pre-computed
+      backup-path LIT set into the packet's zFilter — no signalling, no
+      node state, at the price of a higher fill factor.
+
+    Backup paths are computed as shortest paths in the graph with the
+    failed link (both directions) removed. *)
+
+type link = Lipsin_topology.Graph.link
+
+val backup_path : Lipsin_topology.Graph.t -> link:link -> link list option
+(** Shortest path from [link.src] to [link.dst] avoiding the link
+    itself (either direction); [None] when the link is a bridge. *)
+
+val vlid_activate :
+  Lipsin_core.Assignment.t ->
+  engine_of:(Lipsin_topology.Graph.node -> Node_engine.t) ->
+  failed:link ->
+  (unit, string) result
+(** VLId-based recovery: marks [failed] down at its source node and
+    installs, at every node along the backup path, a virtual entry
+    whose identity *is* the failed link's identity, forwarding to the
+    next backup hop.  Packets built before the failure keep working. *)
+
+val vlid_deactivate :
+  Lipsin_core.Assignment.t ->
+  engine_of:(Lipsin_topology.Graph.node -> Node_engine.t) ->
+  failed:link ->
+  unit
+(** Removes the virtual entries and restores the physical link. *)
+
+val zfilter_patch :
+  Lipsin_core.Assignment.t -> table:int -> backup:link list -> Lipsin_bitvec.Bitvec.t
+(** The LIT union to OR into a packet's zFilter so that it follows
+    [backup] (zFilter-rewrite recovery).  The caller typically obtains
+    [backup] from {!backup_path} at pre-computation time. *)
+
+val apply_patch :
+  Lipsin_bloom.Zfilter.t -> Lipsin_bitvec.Bitvec.t -> Lipsin_bloom.Zfilter.t
+(** Fresh zFilter with the patch ORed in (the in-flight packet is
+    rewritten, not mutated in place). *)
+
+val node_backup_paths :
+  Lipsin_topology.Graph.t -> failed:Lipsin_topology.Graph.node -> (link * link list) list
+(** For a whole-node failure: for every link INTO the failed node, the
+    backup route its traffic needs — a path from the link's source to
+    the failed node's other neighbours' side... concretely, per the
+    paper, "multiple backup paths or a backup tree towards all the
+    neighbours of the failed node": for each transit pair (in-link
+    u→f, out-link f→w) a path u→w avoiding f.  Entries are
+    (replaced in-link, path) for each neighbour pair that remains
+    connected without f. *)
+
+val node_failure_activate :
+  Lipsin_core.Assignment.t ->
+  engine_of:(Lipsin_topology.Graph.node -> Node_engine.t) ->
+  failed:Lipsin_topology.Graph.node ->
+  (int, string) result
+(** Node-failure recovery (Sec. 3.3.2): marks every link towards the
+    failed node down at its neighbours and installs, for each transit
+    pair that survives without the node, a virtual path impersonating
+    the two-link identity through it (the identity of the f→w link is
+    installed along u's detour, so in-flight zFilters keep working).
+    Returns the number of transit pairs protected; [Error] when the
+    node's removal disconnects all pairs. *)
+
+val node_failure_deactivate :
+  Lipsin_core.Assignment.t ->
+  engine_of:(Lipsin_topology.Graph.node -> Node_engine.t) ->
+  failed:Lipsin_topology.Graph.node ->
+  unit

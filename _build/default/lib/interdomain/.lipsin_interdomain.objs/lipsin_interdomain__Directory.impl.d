@@ -1,0 +1,1 @@
+lib/interdomain/directory.ml: Array Hashtbl Int64 Lipsin_cache Lipsin_util

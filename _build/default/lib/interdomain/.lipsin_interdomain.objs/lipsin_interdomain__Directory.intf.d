@@ -1,0 +1,1 @@
+lib/interdomain/directory.mli:

@@ -1,0 +1,1 @@
+lib/interdomain/internet.ml: Array Hashtbl Int64 Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util List Queue

@@ -1,0 +1,1 @@
+lib/interdomain/internet.mli: Lipsin_bloom Lipsin_topology

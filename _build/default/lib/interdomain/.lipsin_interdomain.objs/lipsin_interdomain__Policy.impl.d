@@ -1,0 +1,1 @@
+lib/interdomain/policy.ml: Hashtbl Lipsin_topology List Option

@@ -1,0 +1,1 @@
+lib/interdomain/policy.mli: Lipsin_topology

@@ -1,0 +1,91 @@
+module Rng = Lipsin_util.Rng
+module Store = Lipsin_cache.Store
+
+type t = {
+  rendezvous : (int64, string * int) Hashtbl.t array;
+      (* per rendezvous node: topic -> (record, version) *)
+  edge_caches : Store.t array;
+  edge_versions : (int64, int) Hashtbl.t array;
+      (* version each edge cached, for lazy invalidation *)
+  mutable lookups : int;
+  mutable edge_hits : int;
+  mutable rendezvous_hits : int;
+  mutable misses : int;
+}
+
+let create ~rendezvous_nodes ~edge_nodes ~edge_cache_capacity =
+  if rendezvous_nodes <= 0 || edge_nodes <= 0 || edge_cache_capacity <= 0 then
+    invalid_arg "Directory.create: counts must be positive";
+  {
+    rendezvous = Array.init rendezvous_nodes (fun _ -> Hashtbl.create 256);
+    edge_caches =
+      Array.init edge_nodes (fun _ -> Store.create ~capacity:edge_cache_capacity);
+    edge_versions = Array.init edge_nodes (fun _ -> Hashtbl.create 256);
+    lookups = 0;
+    edge_hits = 0;
+    rendezvous_hits = 0;
+    misses = 0;
+  }
+
+let home_of t ~topic =
+  Int64.to_int
+    (Int64.rem
+       (Int64.logand (Rng.mix64 topic) 0x7FFFFFFFFFFFFFFFL)
+       (Int64.of_int (Array.length t.rendezvous)))
+
+let install t ~topic ~zfilter =
+  let home = t.rendezvous.(home_of t ~topic) in
+  let version =
+    match Hashtbl.find_opt home topic with Some (_, v) -> v + 1 | None -> 1
+  in
+  Hashtbl.replace home topic (zfilter, version)
+
+type source = Edge_cache | Rendezvous of int
+
+type stats = {
+  lookups : int;
+  edge_hits : int;
+  rendezvous_hits : int;
+  misses : int;
+}
+
+let lookup t ~edge ~topic =
+  if edge < 0 || edge >= Array.length t.edge_caches then
+    invalid_arg "Directory.lookup: edge out of range";
+  t.lookups <- t.lookups + 1;
+  let home_index = home_of t ~topic in
+  let authoritative = Hashtbl.find_opt t.rendezvous.(home_index) topic in
+  let cached =
+    match
+      ( Store.lookup t.edge_caches.(edge) ~topic,
+        Hashtbl.find_opt t.edge_versions.(edge) topic )
+    with
+    | Some record, Some cached_version -> Some (record, cached_version)
+    | _ -> None
+  in
+  match (cached, authoritative) with
+  | Some (record, cached_version), Some (_, version)
+    when cached_version = version ->
+    t.edge_hits <- t.edge_hits + 1;
+    Some (record, Edge_cache)
+  | _, Some (record, version) ->
+    (* Stale or absent at the edge: fetch from the home node and
+       refresh the cache-like forwarding map. *)
+    t.rendezvous_hits <- t.rendezvous_hits + 1;
+    Store.insert t.edge_caches.(edge) ~topic ~payload:record;
+    Hashtbl.replace t.edge_versions.(edge) topic version;
+    Some (record, Rendezvous home_index)
+  | _, None ->
+    t.misses <- t.misses + 1;
+    None
+
+let stats (t : t) =
+  {
+    lookups = t.lookups;
+    edge_hits = t.edge_hits;
+    rendezvous_hits = t.rendezvous_hits;
+    misses = t.misses;
+  }
+
+let resource_estimate ~topics ~topic_bytes ~header_bytes =
+  topics *. float_of_int (topic_bytes + header_bytes) /. 1e12

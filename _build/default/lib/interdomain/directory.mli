@@ -1,0 +1,49 @@
+(** The topic directory of Sec. 5.1–5.2.
+
+    "The subscriber information may be divided between a set of
+    intra-domain rendezvous nodes, providing load distribution.
+    Eventually, a rendezvous node looks up the intra-domain zFilter by
+    using the topic identifier.  [...] the rendezvous nodes can
+    construct cache-like forwarding maps and distribute them to the
+    edge nodes."
+
+    A topic's record lives on exactly one rendezvous node (hash
+    partitioning); edge nodes keep LRU caches of the hottest topics so
+    most lookups never leave the edge.  {!resource_estimate} reproduces
+    the paper's back-of-envelope storage arithmetic. *)
+
+type t
+
+val create : rendezvous_nodes:int -> edge_nodes:int -> edge_cache_capacity:int -> t
+(** @raise Invalid_argument if any count is not positive. *)
+
+val install : t -> topic:int64 -> zfilter:string -> unit
+(** Installs/updates the topic's intra-domain forwarding record on its
+    home rendezvous node (and invalidates stale edge-cache copies
+    lazily on the next lookup). *)
+
+type source =
+  | Edge_cache       (** Served locally at the edge node. *)
+  | Rendezvous of int  (** Served by the topic's home rendezvous node. *)
+
+val lookup : t -> edge:int -> topic:int64 -> (string * source) option
+(** Resolves a topic at an edge node, filling the edge's cache on a
+    rendezvous hit; [None] for unknown topics. *)
+
+type stats = {
+  lookups : int;
+  edge_hits : int;
+  rendezvous_hits : int;
+  misses : int;
+}
+
+val stats : t -> stats
+
+val home_of : t -> topic:int64 -> int
+(** The rendezvous node responsible for a topic. *)
+
+val resource_estimate :
+  topics:float -> topic_bytes:int -> header_bytes:int -> float
+(** Sec. 5.2's storage bill in terabytes: topics × (name + forwarding
+    header).  The paper's numbers: 10^11 topics × (40 + ~34) bytes ≈
+    10 TB. *)

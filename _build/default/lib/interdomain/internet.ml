@@ -1,0 +1,260 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+
+type address = { domain : int; node : Graph.node }
+
+type domain = {
+  graph : Graph.t;
+  assignment : Assignment.t;
+  net : Net.t;
+  (* topic -> local subscriber nodes *)
+  local_subs : (int64, Graph.node list ref) Hashtbl.t;
+}
+
+type t = {
+  params : Lit.params;
+  domain_graph : Graph.t;
+  domains : domain array;
+  inter_assignment : Assignment.t;  (* IdLIds over the domain graph *)
+  local_lits : Lit.t array;  (* per-domain "local receivers" IdLId *)
+  borders : (int * int, Graph.node) Hashtbl.t;  (* (src,dst) domain pair *)
+}
+
+let create ?(params = Lit.default) ?(seed = 7) ~domain_graph ~intra () =
+  if Graph.node_count domain_graph <> Array.length intra then
+    invalid_arg "Internet.create: domain graph size <> number of intra graphs";
+  let rng = Rng.of_int seed in
+  let domains =
+    Array.map
+      (fun graph ->
+        let assignment = Assignment.make params (Rng.split rng) graph in
+        {
+          graph;
+          assignment;
+          net = Net.make assignment;
+          local_subs = Hashtbl.create 16;
+        })
+      intra
+  in
+  let inter_assignment = Assignment.make params (Rng.split rng) domain_graph in
+  let local_lits =
+    Array.init (Array.length intra) (fun _ -> Lit.fresh params (Rng.split rng))
+  in
+  let borders = Hashtbl.create 64 in
+  Graph.iter_links domain_graph (fun l ->
+      let src = l.Graph.src and dst = l.Graph.dst in
+      (* Deterministic border choice inside the source domain. *)
+      let n = Graph.node_count intra.(src) in
+      let pick =
+        Int64.to_int
+          (Int64.rem
+             (Int64.logand
+                (Rng.mix64 (Int64.of_int ((src * 65_537) + dst + 1)))
+                0x7FFFFFFFFFFFFFFFL)
+             (Int64.of_int n))
+      in
+      Hashtbl.replace borders (src, dst) pick);
+  { params; domain_graph; domains; inter_assignment; local_lits; borders }
+
+let domain_count t = Array.length t.domains
+let intra_graph t i = t.domains.(i).graph
+
+let border t ~src_domain ~dst_domain =
+  match Hashtbl.find_opt t.borders (src_domain, dst_domain) with
+  | Some b -> b
+  | None -> invalid_arg "Internet.border: domains do not peer"
+
+let subs_ref t ~topic domain =
+  let d = t.domains.(domain) in
+  match Hashtbl.find_opt d.local_subs topic with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace d.local_subs topic r;
+    r
+
+let subscribe t ~topic addr =
+  let r = subs_ref t ~topic addr.domain in
+  if not (List.mem addr.node !r) then r := addr.node :: !r
+
+let unsubscribe t ~topic addr =
+  let r = subs_ref t ~topic addr.domain in
+  r := List.filter (fun n -> n <> addr.node) !r
+
+let subscribers t ~topic =
+  let acc = ref [] in
+  Array.iteri
+    (fun domain d ->
+      match Hashtbl.find_opt d.local_subs topic with
+      | Some r -> List.iter (fun node -> acc := { domain; node } :: !acc) !r
+      | None -> ())
+    t.domains;
+  List.rev !acc
+
+type delivery = {
+  delivered : address list;
+  missed : address list;
+  domains_visited : int list;
+  intra_traversals : int;
+  inter_traversals : int;
+  false_domain_entries : int;
+  intra_false_positives : int;
+}
+
+(* Intra-domain leg: deliver from [entry] to [targets] inside domain
+   [d]; returns (traversals, false positives, reached targets). *)
+let intra_leg t domain_index ~entry ~targets =
+  let d = t.domains.(domain_index) in
+  let targets = List.sort_uniq compare (List.filter (fun v -> v <> entry) targets) in
+  if targets = [] then (0, 0, [ entry ])
+  else begin
+    let tree = Spt.delivery_tree d.graph ~root:entry ~subscribers:targets in
+    let candidates = Candidate.build d.assignment ~tree in
+    match Select.select_fpa candidates with
+    | None ->
+      (* Tree too large for a single intra zFilter: fall back to
+         per-target unicast legs (the paper's multiple-sending
+         escape hatch). *)
+      let total = ref 0 and fps = ref 0 and reached = ref [ entry ] in
+      List.iter
+        (fun target ->
+          let path = Spt.delivery_tree d.graph ~root:entry ~subscribers:[ target ] in
+          let candidates = Candidate.build d.assignment ~tree:path in
+          match Select.select_fpa candidates with
+          | None -> ()
+          | Some c ->
+            let o =
+              Run.deliver d.net ~src:entry ~table:c.Candidate.table
+                ~zfilter:c.Candidate.zfilter ~tree:path
+            in
+            total := !total + o.Run.link_traversals;
+            fps := !fps + o.Run.false_positives;
+            if o.Run.reached.(target) then reached := target :: !reached)
+        targets;
+      (!total, !fps, !reached)
+    | Some c ->
+      let o =
+        Run.deliver d.net ~src:entry ~table:c.Candidate.table
+          ~zfilter:c.Candidate.zfilter ~tree
+      in
+      let reached = List.filter (fun v -> o.Run.reached.(v)) targets in
+      (o.Run.link_traversals, o.Run.false_positives, entry :: reached)
+  end
+
+let interdomain_tree t ~publisher_domain ~sub_domains =
+  let others = List.filter (fun d -> d <> publisher_domain) sub_domains in
+  if others = [] then []
+  else Spt.delivery_tree t.domain_graph ~root:publisher_domain ~subscribers:others
+
+let build_inter_zfilter t ~tree ~sub_domains ~table =
+  let z = Zfilter.create ~m:t.params.Lit.m in
+  List.iter
+    (fun l -> Zfilter.add z (Assignment.tag t.inter_assignment l ~table))
+    tree;
+  List.iter
+    (fun d -> Zfilter.add z (Lit.tag t.local_lits.(d) table))
+    sub_domains;
+  z
+
+let publish t ~topic ~publisher =
+  let subs = subscribers t ~topic in
+  let subs = List.filter (fun a -> a <> publisher) subs in
+  if subs = [] then Error "topic has no remote subscribers"
+  else begin
+    let sub_domains =
+      List.sort_uniq compare (List.map (fun a -> a.domain) subs)
+    in
+    let table = 0 in
+    let tree = interdomain_tree t ~publisher_domain:publisher.domain ~sub_domains in
+    let inter_z = build_inter_zfilter t ~tree ~sub_domains ~table in
+    let on_tree = Hashtbl.create 16 in
+    List.iter (fun l -> Hashtbl.replace on_tree l.Graph.index ()) tree;
+    let visited = Array.make (domain_count t) false in
+    let order = ref [] in
+    let intra_traversals = ref 0 in
+    let inter_traversals = ref 0 in
+    let false_entries = ref 0 in
+    let intra_fps = ref 0 in
+    let delivered = ref [] in
+    let queue = Queue.create () in
+    Queue.add (publisher.domain, publisher.node, true) queue;
+    visited.(publisher.domain) <- true;
+    while not (Queue.is_empty queue) do
+      let domain_index, entry, genuine = Queue.take queue in
+      order := domain_index :: !order;
+      if not genuine then incr false_entries;
+      (* Local delivery when the domain's local-receivers IdLId is in
+         the inter zFilter. *)
+      let local_lit = Lit.tag t.local_lits.(domain_index) table in
+      let local_targets =
+        if Zfilter.matches inter_z ~lit:local_lit then
+          match Hashtbl.find_opt t.domains.(domain_index).local_subs topic with
+          | Some r -> !r
+          | None -> []
+        else []
+      in
+      let next_hops = ref [] in
+      (* Outgoing IdLIds: where must the packet go next? *)
+      List.iter
+        (fun l ->
+          let lit = Assignment.tag t.inter_assignment l ~table in
+          if Zfilter.matches inter_z ~lit then begin
+            let next = l.Graph.dst in
+            if not visited.(next) then begin
+              visited.(next) <- true;
+              incr inter_traversals;
+              let exit_border = border t ~src_domain:domain_index ~dst_domain:next in
+              let entry_border = border t ~src_domain:next ~dst_domain:domain_index in
+              next_hops := (exit_border, next, entry_border, Hashtbl.mem on_tree l.Graph.index) :: !next_hops
+            end
+          end)
+        (Graph.out_links t.domain_graph domain_index);
+      (* One intra leg covers local subscribers and all exit borders. *)
+      let targets =
+        local_targets @ List.map (fun (exit_border, _, _, _) -> exit_border) !next_hops
+      in
+      let traversals, fps, reached = intra_leg t domain_index ~entry ~targets in
+      intra_traversals := !intra_traversals + traversals;
+      intra_fps := !intra_fps + fps;
+      List.iter
+        (fun node ->
+          if List.mem node local_targets then
+            delivered := { domain = domain_index; node } :: !delivered)
+        reached;
+      List.iter
+        (fun (exit_border, next, entry_border, genuine) ->
+          if List.mem exit_border reached then
+            Queue.add (next, entry_border, genuine) queue)
+        !next_hops
+    done;
+    let delivered = List.sort_uniq compare !delivered in
+    let missed = List.filter (fun a -> not (List.mem a delivered)) subs in
+    Ok
+      {
+        delivered;
+        missed;
+        domains_visited = List.rev !order;
+        intra_traversals = !intra_traversals;
+        inter_traversals = !inter_traversals;
+        false_domain_entries = !false_entries;
+        intra_false_positives = !intra_fps;
+      }
+  end
+
+let interdomain_fill t ~topic ~publisher =
+  let subs = List.filter (fun a -> a <> publisher) (subscribers t ~topic) in
+  if subs = [] then None
+  else begin
+    let sub_domains = List.sort_uniq compare (List.map (fun a -> a.domain) subs) in
+    let tree = interdomain_tree t ~publisher_domain:publisher.domain ~sub_domains in
+    let z = build_inter_zfilter t ~tree ~sub_domains ~table:0 in
+    Some (Zfilter.fill_factor z)
+  end

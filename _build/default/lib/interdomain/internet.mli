@@ -1,0 +1,62 @@
+(** Inter-domain forwarding by recursive layering (Sec. 5.1).
+
+    Every packet carries two forwarding headers: an inter-domain
+    zFilter over {e IdLIds} — one inter-domain Link ID per neighbouring
+    domain pair plus one "local receivers" IdLId per domain — and an
+    intra-domain zFilter that is replaced at each domain boundary.
+
+    A domain receiving a packet:
+    + optionally verifies the incoming IdLId is present (policy check);
+    + if its local-receivers IdLId matches, asks its rendezvous for the
+      topic's local subscriber set and delivers intra-domain;
+    + for each outgoing IdLId that matches, forwards the packet to the
+      next domain over the intra path from the entry border to the
+      exit border, with a freshly looked-up intra zFilter.
+
+    Domains are visited at most once per publication (the domain-level
+    analogue of expand-once). *)
+
+type address = { domain : int; node : Lipsin_topology.Graph.node }
+
+type t
+
+val create :
+  ?params:Lipsin_bloom.Lit.params ->
+  ?seed:int ->
+  domain_graph:Lipsin_topology.Graph.t ->
+  intra:Lipsin_topology.Graph.t array ->
+  unit ->
+  t
+(** [create ~domain_graph ~intra ()] builds an internet of
+    [Array.length intra] domains whose peerings are the edges of
+    [domain_graph].  Border routers for each peering are chosen
+    deterministically inside each domain.
+    @raise Invalid_argument if the domain graph's node count differs
+    from the number of intra graphs. *)
+
+val domain_count : t -> int
+val intra_graph : t -> int -> Lipsin_topology.Graph.t
+val border : t -> src_domain:int -> dst_domain:int -> Lipsin_topology.Graph.node
+(** The border router of [src_domain] facing [dst_domain].
+    @raise Invalid_argument if the domains do not peer. *)
+
+val subscribe : t -> topic:int64 -> address -> unit
+val unsubscribe : t -> topic:int64 -> address -> unit
+val subscribers : t -> topic:int64 -> address list
+
+type delivery = {
+  delivered : address list;
+  missed : address list;
+  domains_visited : int list;  (** In visit order, publisher first. *)
+  intra_traversals : int;      (** Total intra-domain link traversals. *)
+  inter_traversals : int;      (** Domain-boundary crossings. *)
+  false_domain_entries : int;  (** Domains entered on IdLId false positives. *)
+  intra_false_positives : int;
+}
+
+val publish : t -> topic:int64 -> publisher:address -> (delivery, string) result
+(** Delivers to the topic's current subscribers across domains. *)
+
+val interdomain_fill : t -> topic:int64 -> publisher:address -> float option
+(** Fill factor of the inter-domain zFilter a publication would use
+    ([None] when the topic has no subscribers). *)

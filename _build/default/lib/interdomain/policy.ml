@@ -1,0 +1,93 @@
+module Graph = Lipsin_topology.Graph
+
+type relation = Customer_of | Provider_of | Peer_of
+
+let inverse = function
+  | Customer_of -> Provider_of
+  | Provider_of -> Customer_of
+  | Peer_of -> Peer_of
+
+type t = { graph : Graph.t; relations : (int * int, relation) Hashtbl.t }
+
+let create graph rels =
+  let relations = Hashtbl.create 64 in
+  let label src dst r =
+    match Hashtbl.find_opt relations (src, dst) with
+    | Some existing when existing <> r ->
+      invalid_arg "Policy.create: inconsistent relabelling"
+    | Some _ -> ()
+    | None -> Hashtbl.replace relations (src, dst) r
+  in
+  List.iter
+    (fun (src, dst, r) ->
+      if Graph.find_link graph ~src ~dst = None then
+        invalid_arg "Policy.create: labelled pair is not a domain link";
+      label src dst r;
+      label dst src (inverse r))
+    rels;
+  { graph; relations }
+
+let infer_by_degree graph =
+  let rels = ref [] in
+  Graph.iter_links graph (fun l ->
+      if l.Graph.src < l.Graph.dst then begin
+        let ds = Graph.out_degree graph l.Graph.src in
+        let dd = Graph.out_degree graph l.Graph.dst in
+        let r =
+          if ds < dd then Customer_of
+          else if ds > dd then Provider_of
+          else Peer_of
+        in
+        rels := (l.Graph.src, l.Graph.dst, r) :: !rels
+      end);
+  create graph !rels
+
+let relation t ~src ~dst =
+  if Graph.find_link t.graph ~src ~dst = None then
+    invalid_arg "Policy.relation: domains do not peer";
+  Option.value ~default:Peer_of (Hashtbl.find_opt t.relations (src, dst))
+
+(* Valley-free = up* peer? down*.  Track the phase; climbing or peering
+   after a peer/descent is a valley. *)
+let valley_free t path =
+  let rec check phase = function
+    | a :: (b :: _ as rest) ->
+      let r = relation t ~src:a ~dst:b in
+      (match (phase, r) with
+      | `Up, Customer_of -> check `Up rest
+      | `Up, Peer_of -> check `Down rest
+      | `Up, Provider_of -> check `Down rest
+      | `Down, Provider_of -> check `Down rest
+      | `Down, (Customer_of | Peer_of) -> false)
+    | [ _ ] | [] -> true
+  in
+  check `Up path
+
+let check_tree t graph ~root ~tree =
+  (* Children per node within the tree. *)
+  let children = Hashtbl.create 16 in
+  ignore graph;
+  List.iter
+    (fun l ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt children l.Graph.src)
+      in
+      Hashtbl.replace children l.Graph.src (l.Graph.dst :: existing))
+    tree;
+  let violations = ref [] in
+  let rec walk node path_rev =
+    let path = List.rev (node :: path_rev) in
+    match Hashtbl.find_opt children node with
+    | None | Some [] ->
+      if not (valley_free t path) then violations := path :: !violations
+    | Some kids ->
+      if not (valley_free t path) then violations := path :: !violations
+      else List.iter (fun kid -> walk kid (node :: path_rev)) kids
+  in
+  walk root [];
+  if !violations = [] then Ok () else Error (List.rev !violations)
+
+let filter_links t ~from_relation links =
+  List.filter
+    (fun l -> relation t ~src:l.Graph.src ~dst:l.Graph.dst = from_relation)
+    links

@@ -1,0 +1,52 @@
+(** Inter-domain routing policy (Sec. 5.3, and the valley-free loop
+    prevention alternative of Sec. 3.3.3).
+
+    Domain links are classified by business relationship; a packet path
+    is {e valley-free} when it climbs customer→provider links first,
+    crosses at most one peering link at the top, and then only descends
+    provider→customer — i.e. matches [up* peer? down*].  Policy
+    compliance of a delivery tree means every root-to-leaf path is
+    valley-free. *)
+
+type relation =
+  | Customer_of  (** src pays dst: traversing src→dst goes "up". *)
+  | Provider_of  (** dst pays src: traversing src→dst goes "down". *)
+  | Peer_of      (** settlement-free: "across". *)
+
+type t
+
+val create :
+  Lipsin_topology.Graph.t -> (int * int * relation) list -> t
+(** [create g rels] labels each listed (src, dst) domain pair; the
+    reverse direction is derived automatically.  Unlabelled links
+    default to peering.
+    @raise Invalid_argument if a pair is not an edge of [g] or is
+    labelled twice inconsistently. *)
+
+val infer_by_degree : Lipsin_topology.Graph.t -> t
+(** The standard heuristic: across each link, the higher-degree domain
+    is the provider; equal degrees peer. *)
+
+val relation : t -> src:int -> dst:int -> relation
+(** @raise Invalid_argument if the domains do not peer. *)
+
+val valley_free : t -> int list -> bool
+(** Is the given domain path (node sequence) valley-free?  Paths of
+    length ≤ 1 trivially are. *)
+
+val check_tree :
+  t ->
+  Lipsin_topology.Graph.t ->
+  root:int ->
+  tree:Lipsin_topology.Graph.link list ->
+  (unit, int list list) result
+(** Checks every root-to-leaf path of the delivery tree; [Error]
+    carries the violating paths.  Used to vet inter-domain zFilters
+    before installation. *)
+
+val filter_links :
+  t -> from_relation:relation -> Lipsin_topology.Graph.link list ->
+  Lipsin_topology.Graph.link list
+(** The sub-list whose traversal has the given relation — e.g. the
+    "links to be avoided due to routing policies" Tset handed to
+    {!Lipsin_core.Select.select_weighted}. *)

@@ -1,0 +1,1 @@
+lib/ip/underlay.ml: Array Hashtbl Lipsin_baseline Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util List

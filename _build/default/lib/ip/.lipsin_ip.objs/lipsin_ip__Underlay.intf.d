@@ -1,0 +1,1 @@
+lib/ip/underlay.mli: Lipsin_bloom Lipsin_topology

@@ -1,0 +1,153 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Lpm = Lipsin_baseline.Lpm
+
+type route = { egress : Graph.node; table : int; zfilter : Zfilter.t }
+
+module Group_key = struct
+  type t = int * Graph.node  (* group, source ingress *)
+end
+
+type t = {
+  graph : Graph.t;
+  assignment : Assignment.t;
+  net : Net.t;
+  edge_list : Graph.node list;
+  is_edge : bool array;
+  (* Unicast: per-ingress LPM, next_hop indexes into the route table. *)
+  fibs : (Graph.node, Lpm.t * route array ref) Hashtbl.t;
+  (* SSM: joins tracked only at the source's ingress edge. *)
+  ssm : (Group_key.t, Graph.node list ref) Hashtbl.t;
+}
+
+let create ?(params = Lit.default) ?(seed = 5) graph ~edges =
+  if edges = [] then invalid_arg "Underlay.create: no edge routers";
+  let is_edge = Array.make (Graph.node_count graph) false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Graph.node_count graph then
+        invalid_arg "Underlay.create: edge router out of range";
+      is_edge.(v) <- true)
+    edges;
+  let assignment = Assignment.make params (Rng.of_int seed) graph in
+  {
+    graph;
+    assignment;
+    net = Net.make assignment;
+    edge_list = List.sort_uniq compare edges;
+    is_edge;
+    fibs = Hashtbl.create 8;
+    ssm = Hashtbl.create 32;
+  }
+
+let edges t = t.edge_list
+
+let check_edge t v =
+  if not t.is_edge.(v) then invalid_arg "Underlay: node is not an edge router"
+
+let path_zfilter t ~src ~dst =
+  let tree = Spt.delivery_tree t.graph ~root:src ~subscribers:[ dst ] in
+  let candidates = Candidate.build t.assignment ~tree in
+  match Select.select_fpa candidates with
+  | Some c -> (c.Candidate.table, c.Candidate.zfilter, List.length tree)
+  | None -> invalid_arg "Underlay: path overfills every candidate"
+
+let fib_of t ingress =
+  match Hashtbl.find_opt t.fibs ingress with
+  | Some entry -> entry
+  | None ->
+    let entry = (Lpm.create (), ref [||]) in
+    Hashtbl.replace t.fibs ingress entry;
+    entry
+
+let add_unicast_route t ~ingress ~prefix ~len ~egress =
+  check_edge t ingress;
+  check_edge t egress;
+  let lpm, routes = fib_of t ingress in
+  let table, zfilter, _ = path_zfilter t ~src:ingress ~dst:egress in
+  let index = Array.length !routes in
+  routes := Array.append !routes [| { egress; table; zfilter } |];
+  Lpm.add lpm ~prefix ~len ~next_hop:index
+
+type unicast_result = { egress : Graph.node; delivered : bool; hops : int }
+
+let forward_unicast t ~ingress ~dst =
+  check_edge t ingress;
+  match Hashtbl.find_opt t.fibs ingress with
+  | None -> None
+  | Some (lpm, routes) -> (
+    match Lpm.lookup lpm dst with
+    | None -> None
+    | Some index ->
+      let route = !routes.(index) in
+      let tree =
+        Spt.delivery_tree t.graph ~root:ingress ~subscribers:[ route.egress ]
+      in
+      let outcome =
+        Run.deliver t.net ~src:ingress ~table:route.table ~zfilter:route.zfilter
+          ~tree
+      in
+      Some
+        {
+          egress = route.egress;
+          delivered = outcome.Run.reached.(route.egress);
+          hops = outcome.Run.link_traversals;
+        })
+
+let members t ~group ~source_ingress =
+  match Hashtbl.find_opt t.ssm (group, source_ingress) with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace t.ssm (group, source_ingress) r;
+    r
+
+let ssm_join t ~group ~source_ingress ~egress =
+  check_edge t source_ingress;
+  check_edge t egress;
+  let r = members t ~group ~source_ingress in
+  if not (List.mem egress !r) then r := egress :: !r
+
+let ssm_leave t ~group ~source_ingress ~egress =
+  let r = members t ~group ~source_ingress in
+  r := List.filter (fun e -> e <> egress) !r
+
+type ssm_result = {
+  reached : Graph.node list;
+  missed : Graph.node list;
+  traversals : int;
+}
+
+let forward_ssm t ~group ~source_ingress =
+  check_edge t source_ingress;
+  let targets =
+    List.filter
+      (fun e -> e <> source_ingress)
+      !(members t ~group ~source_ingress)
+  in
+  if targets = [] then Error "group has no (remote) members"
+  else begin
+    let tree = Spt.delivery_tree t.graph ~root:source_ingress ~subscribers:targets in
+    match Select.select_fpa (Candidate.build t.assignment ~tree) with
+    | None -> Error "group tree overfills every candidate zFilter"
+    | Some c ->
+      let outcome =
+        Run.deliver t.net ~src:source_ingress ~table:c.Candidate.table
+          ~zfilter:c.Candidate.zfilter ~tree
+      in
+      let reached, missed =
+        List.partition (fun e -> outcome.Run.reached.(e)) targets
+      in
+      Ok { reached; missed; traversals = outcome.Run.link_traversals }
+  end
+
+let ssm_state_entries t =
+  Hashtbl.fold (fun _ r acc -> if !r = [] then acc else acc + 1) t.ssm 0

@@ -1,0 +1,78 @@
+(** LIPSIN as a forwarding fabric under TCP/IP (Sec. 2.4).
+
+    "From the IP point of view, LIPSIN can be considered as another
+    underlying forwarding fabric, similar to Ethernet or MPLS.  When an
+    IP packet enters a LIPSIN fabric, the edge router prepends a header
+    containing a suitable zFilter; the header is removed at the egress
+    edge.  For unicast traffic, the forwarding entry simply contains a
+    pre-computed zFilter [...] For SSM, the ingress router of the
+    source needs to keep track of the joins received [...] it can
+    construct a suitable zFilter from the combination of physical or
+    virtual links."
+
+    This module models exactly that: per-ingress LPM tables whose
+    entries carry pre-computed zFilters to the route's egress edge, and
+    per-(source, group) SSM state held only at the ingress. *)
+
+type t
+
+val create :
+  ?params:Lipsin_bloom.Lit.params ->
+  ?seed:int ->
+  Lipsin_topology.Graph.t ->
+  edges:Lipsin_topology.Graph.node list ->
+  t
+(** A LIPSIN domain whose listed nodes are IP edge routers.
+    @raise Invalid_argument on an empty or out-of-range edge list. *)
+
+val edges : t -> Lipsin_topology.Graph.node list
+
+val add_unicast_route :
+  t -> ingress:Lipsin_topology.Graph.node -> prefix:int32 -> len:int ->
+  egress:Lipsin_topology.Graph.node -> unit
+(** Installs prefix → egress at the ingress edge, pre-computing the
+    zFilter for the ingress → egress path.
+    @raise Invalid_argument if either node is not an edge router. *)
+
+type unicast_result = {
+  egress : Lipsin_topology.Graph.node;
+  delivered : bool;
+  hops : int;
+}
+
+val forward_unicast :
+  t -> ingress:Lipsin_topology.Graph.node -> dst:int32 -> unicast_result option
+(** One IP packet through the fabric: LPM at the ingress picks the
+    entry, the pre-computed zFilter carries the packet, the egress
+    strips the header.  [None] when no route matches. *)
+
+val ssm_join :
+  t ->
+  group:int ->
+  source_ingress:Lipsin_topology.Graph.node ->
+  egress:Lipsin_topology.Graph.node ->
+  unit
+(** Registers the egress edge's interest in (source, group); only the
+    ingress keeps state.  Idempotent. *)
+
+val ssm_leave :
+  t -> group:int -> source_ingress:Lipsin_topology.Graph.node ->
+  egress:Lipsin_topology.Graph.node -> unit
+
+type ssm_result = {
+  reached : Lipsin_topology.Graph.node list;  (** Egresses that got the packet. *)
+  missed : Lipsin_topology.Graph.node list;
+  traversals : int;
+}
+
+val forward_ssm :
+  t -> group:int -> source_ingress:Lipsin_topology.Graph.node ->
+  (ssm_result, string) result
+(** Multicasts to the group's current egress set with a zFilter built
+    from the joins; [Error] when the group has no members or the tree
+    overfills every candidate. *)
+
+val ssm_state_entries : t -> int
+(** Total (source, group) state entries across ALL routers — for
+    LIPSIN-under-IP this counts ingress edges only, the "typically less
+    state than in current forwarding fabrics" claim. *)

@@ -1,0 +1,1 @@
+lib/node/host.ml: Hashtbl Lipsin_pubsub Lipsin_sim Lipsin_topology List Pubfs Queue

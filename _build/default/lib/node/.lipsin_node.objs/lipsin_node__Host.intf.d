@@ -1,0 +1,1 @@
+lib/node/host.mli: Lipsin_pubsub Lipsin_topology Pubfs

@@ -1,0 +1,1 @@
+lib/node/pubfs.mli:

@@ -1,0 +1,110 @@
+module Graph = Lipsin_topology.Graph
+module System = Lipsin_pubsub.System
+module Topic = Lipsin_pubsub.Topic
+module Run = Lipsin_sim.Run
+
+type event = { topic : Topic.t; name : string; payload : string }
+
+type endpoint = {
+  node : Graph.node;
+  fs : Pubfs.t;
+  mailbox : event Queue.t;
+  cluster : cluster;
+}
+
+and cluster = {
+  system : System.t;
+  endpoints : (Graph.node, endpoint) Hashtbl.t;
+  (* topic id -> human name, so receivers can file payloads by name *)
+  names : (int64, string) Hashtbl.t;
+}
+
+let create_cluster ?selection ?seed graph =
+  let system =
+    match (selection, seed) with
+    | Some selection, Some seed -> System.create ~selection ~seed graph
+    | Some selection, None -> System.create ~selection graph
+    | None, Some seed -> System.create ~seed graph
+    | None, None -> System.create graph
+  in
+  { system; endpoints = Hashtbl.create 32; names = Hashtbl.create 64 }
+
+let system cluster = cluster.system
+
+let endpoint cluster node =
+  match Hashtbl.find_opt cluster.endpoints node with
+  | Some e -> e
+  | None ->
+    let graph = System.graph cluster.system in
+    if node < 0 || node >= Graph.node_count graph then
+      invalid_arg "Host.endpoint: node out of range";
+    let e = { node; fs = Pubfs.create (); mailbox = Queue.create (); cluster } in
+    Hashtbl.replace cluster.endpoints node e;
+    e
+
+let node e = e.node
+let fs e = e.fs
+
+let pub_path name = "/pub/" ^ name
+let net_path name = "/net/" ^ name
+
+let register_name cluster topic name =
+  Hashtbl.replace cluster.names (Topic.id topic) name
+
+let create_publication e ~name ~content =
+  let topic = Topic.of_string name in
+  ignore (Pubfs.write e.fs ~path:(pub_path name) content);
+  register_name e.cluster topic name;
+  System.advertise e.cluster.system topic ~publisher:e.node;
+  topic
+
+let update_publication e ~name ~content =
+  if not (Pubfs.exists e.fs ~path:(pub_path name)) then
+    invalid_arg "Host.update_publication: publication was never created";
+  ignore (Pubfs.write e.fs ~path:(pub_path name) content)
+
+let subscribe e ~name =
+  let topic = Topic.of_string name in
+  register_name e.cluster topic name;
+  System.subscribe e.cluster.system topic ~subscriber:e.node;
+  topic
+
+let unsubscribe e ~name =
+  System.unsubscribe e.cluster.system (Topic.of_string name) ~subscriber:e.node
+
+type delivery = {
+  topic : Topic.t;
+  delivered_to : Graph.node list;
+  missed : Graph.node list;
+  link_traversals : int;
+}
+
+let publish e ~name =
+  match Pubfs.read e.fs ~path:(pub_path name) with
+  | None -> Error "publication was never created at this host"
+  | Some payload -> (
+    let topic = Topic.of_string name in
+    match System.publish e.cluster.system topic ~publisher:e.node ~payload with
+    | Error err -> Error err
+    | Ok r ->
+      (* Hand the payload to every host the fabric reached. *)
+      List.iter
+        (fun subscriber ->
+          let receiver = endpoint e.cluster subscriber in
+          ignore (Pubfs.write receiver.fs ~path:(net_path name) payload);
+          Queue.add { topic; name; payload } receiver.mailbox)
+        r.System.delivered_to;
+      Ok
+        {
+          topic;
+          delivered_to = r.System.delivered_to;
+          missed = r.System.missed;
+          link_traversals = r.System.outcome.Run.link_traversals;
+        })
+
+let poll e =
+  let events = List.of_seq (Queue.to_seq e.mailbox) in
+  Queue.clear e.mailbox;
+  events
+
+let read_received e ~name = Pubfs.read e.fs ~path:(net_path name)

@@ -1,0 +1,59 @@
+(** End-node hosts over the pub/sub fabric (Sec. 6.1).
+
+    Mirrors the FreeBSD end-node prototype's structure: each host owns
+    a {!Pubfs} (its publications and received data, each backed by a
+    virtual file) and an event mailbox; the I/O-module system calls —
+    create, publish, subscribe — map to the functions below.  A
+    {!cluster} binds the hosts of one network to a shared
+    {!Lipsin_pubsub.System}. *)
+
+type cluster
+type endpoint
+
+val create_cluster :
+  ?selection:Lipsin_pubsub.System.selection ->
+  ?seed:int ->
+  Lipsin_topology.Graph.t ->
+  cluster
+
+val system : cluster -> Lipsin_pubsub.System.t
+
+val endpoint : cluster -> Lipsin_topology.Graph.node -> endpoint
+(** The host attached at a node (created on first use; one per node). *)
+
+val node : endpoint -> Lipsin_topology.Graph.node
+val fs : endpoint -> Pubfs.t
+
+val create_publication :
+  endpoint -> name:string -> content:string -> Lipsin_pubsub.Topic.t
+(** Reserves the memory area (a [/pub/<name>] file), advertises the
+    topic, returns its id.  Re-creating overwrites the content. *)
+
+val update_publication : endpoint -> name:string -> content:string -> unit
+(** New version of the backing file; does not send anything.
+    @raise Invalid_argument if the publication was never created. *)
+
+val subscribe : endpoint -> name:string -> Lipsin_pubsub.Topic.t
+(** Registers interest in the topic of [name]. *)
+
+val unsubscribe : endpoint -> name:string -> unit
+
+type delivery = {
+  topic : Lipsin_pubsub.Topic.t;
+  delivered_to : Lipsin_topology.Graph.node list;
+  missed : Lipsin_topology.Graph.node list;
+  link_traversals : int;
+}
+
+val publish : endpoint -> name:string -> (delivery, string) result
+(** Snapshots the publication's current content and disseminates it:
+    every subscribed host that the fabric reaches stores the payload
+    under [/net/<name>] in its own Pubfs and queues a mailbox event. *)
+
+type event = { topic : Lipsin_pubsub.Topic.t; name : string; payload : string }
+
+val poll : endpoint -> event list
+(** Drains the mailbox (oldest first). *)
+
+val read_received : endpoint -> name:string -> string option
+(** Newest received payload for a topic name ([/net/<name>]). *)

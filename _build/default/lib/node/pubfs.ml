@@ -1,0 +1,52 @@
+type file = {
+  mutable newest : int;  (* version number of the head *)
+  (* (version, content), newest first, length <= history_limit *)
+  mutable versions : (int * string) list;
+}
+
+type t = { history_limit : int; files : (string, file) Hashtbl.t }
+
+let create ?(history_limit = 16) () =
+  if history_limit < 1 then invalid_arg "Pubfs.create: history_limit must be >= 1";
+  { history_limit; files = Hashtbl.create 64 }
+
+let write t ~path content =
+  let file =
+    match Hashtbl.find_opt t.files path with
+    | Some f -> f
+    | None ->
+      let f = { newest = 0; versions = [] } in
+      Hashtbl.replace t.files path f;
+      f
+  in
+  file.newest <- file.newest + 1;
+  let keep = List.filteri (fun i _ -> i < t.history_limit - 1) file.versions in
+  file.versions <- (file.newest, content) :: keep;
+  file.newest
+
+let read t ~path =
+  match Hashtbl.find_opt t.files path with
+  | Some { versions = (_, content) :: _; _ } -> Some content
+  | Some { versions = []; _ } | None -> None
+
+let read_version t ~path ~version =
+  match Hashtbl.find_opt t.files path with
+  | None -> None
+  | Some file -> List.assoc_opt version file.versions
+
+let version t ~path =
+  match Hashtbl.find_opt t.files path with Some f -> f.newest | None -> 0
+
+let exists t ~path = Hashtbl.mem t.files path
+
+let remove t ~path =
+  let existed = Hashtbl.mem t.files path in
+  Hashtbl.remove t.files path;
+  existed
+
+let list t ?(prefix = "") () =
+  Hashtbl.fold
+    (fun path _ acc ->
+      if String.starts_with ~prefix path then path :: acc else acc)
+    t.files []
+  |> List.sort compare

@@ -1,0 +1,33 @@
+(** The publication filesystem (Sec. 6.1).
+
+    The FreeBSD prototype backs every publication with "a virtual file,
+    located in a separate virtual file system running under FUSE":
+    creating a publication reserves a named memory area, publishing
+    snapshots it, and received publications land in the same store.
+    This is that store — an in-memory versioned file tree. *)
+
+type t
+
+val create : ?history_limit:int -> unit -> t
+(** [history_limit] bounds retained versions per file (default 16,
+    oldest dropped first).  @raise Invalid_argument if < 1. *)
+
+val write : t -> path:string -> string -> int
+(** Appends a new version; returns its (1-based) version number. *)
+
+val read : t -> path:string -> string option
+(** Newest version. *)
+
+val read_version : t -> path:string -> version:int -> string option
+(** A specific retained version; [None] if dropped or never written. *)
+
+val version : t -> path:string -> int
+(** Newest version number; 0 when the file does not exist. *)
+
+val exists : t -> path:string -> bool
+
+val remove : t -> path:string -> bool
+(** [true] if the file existed. *)
+
+val list : t -> ?prefix:string -> unit -> string list
+(** Paths, sorted; [prefix] filters (e.g. ["/pub/"]). *)

@@ -1,0 +1,1 @@
+lib/packet/fragment.ml: Array Buffer Char Hashtbl Header Int32 List String

@@ -1,0 +1,1 @@
+lib/packet/header.ml: Bytes Char Format Lipsin_bitvec Lipsin_bloom String

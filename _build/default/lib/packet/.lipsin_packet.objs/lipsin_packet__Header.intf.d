@@ -1,0 +1,1 @@
+lib/packet/header.mli: Format Lipsin_bloom

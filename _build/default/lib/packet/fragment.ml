@@ -1,0 +1,111 @@
+let header_bytes = 8
+
+let max_chunk ~mtu ~m =
+  let available = mtu - Header.header_size ~m - header_bytes in
+  if available < 1 then invalid_arg "Fragment.max_chunk: MTU too small";
+  available
+
+type fragment = {
+  message_id : int32;
+  index : int;
+  count : int;
+  chunk : string;
+}
+
+let frame ~message_id ~index ~count chunk =
+  let buf = Buffer.create (header_bytes + String.length chunk) in
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical message_id 24) land 0xff));
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical message_id 16) land 0xff));
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.shift_right_logical message_id 8) land 0xff));
+  Buffer.add_char buf (Char.chr (Int32.to_int message_id land 0xff));
+  Buffer.add_char buf (Char.chr ((index lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (index land 0xff));
+  Buffer.add_char buf (Char.chr ((count lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (count land 0xff));
+  Buffer.add_string buf chunk;
+  Buffer.contents buf
+
+let split ~mtu ~m ~message_id message =
+  let chunk_size = max_chunk ~mtu ~m in
+  let total = String.length message in
+  let count = max 1 ((total + chunk_size - 1) / chunk_size) in
+  if count > 0xffff then invalid_arg "Fragment.split: message needs too many fragments";
+  List.init count (fun index ->
+      let start = index * chunk_size in
+      let len = min chunk_size (total - start) in
+      frame ~message_id ~index ~count (String.sub message start len))
+
+let parse payload =
+  if String.length payload < header_bytes then Error "fragment too short"
+  else begin
+    let byte i = Char.code payload.[i] in
+    let message_id =
+      Int32.logor
+        (Int32.shift_left (Int32.of_int (byte 0)) 24)
+        (Int32.of_int ((byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3))
+    in
+    let index = (byte 4 lsl 8) lor byte 5 in
+    let count = (byte 6 lsl 8) lor byte 7 in
+    if count = 0 then Error "zero fragment count"
+    else if index >= count then Error "fragment index out of range"
+    else
+      Ok
+        {
+          message_id;
+          index;
+          count;
+          chunk = String.sub payload header_bytes (String.length payload - header_bytes);
+        }
+  end
+
+type partial = {
+  p_count : int;
+  chunks : string option array;
+  mutable have : int;
+}
+
+type reassembler = (int32, partial) Hashtbl.t
+
+let reassembler () = Hashtbl.create 16
+
+let offer t payload =
+  match parse payload with
+  | Error e -> Error e
+  | Ok fragment -> (
+    let partial =
+      match Hashtbl.find_opt t fragment.message_id with
+      | Some p -> p
+      | None ->
+        let p =
+          {
+            p_count = fragment.count;
+            chunks = Array.make fragment.count None;
+            have = 0;
+          }
+        in
+        Hashtbl.replace t fragment.message_id p;
+        p
+    in
+    if partial.p_count <> fragment.count then
+      Error "conflicting fragment count for message"
+    else
+      match partial.chunks.(fragment.index) with
+      | Some existing when not (String.equal existing fragment.chunk) ->
+        Error "conflicting duplicate fragment"
+      | Some _ -> Ok None  (* harmless duplicate *)
+      | None ->
+        partial.chunks.(fragment.index) <- Some fragment.chunk;
+        partial.have <- partial.have + 1;
+        if partial.have = partial.p_count then begin
+          Hashtbl.remove t fragment.message_id;
+          let buf = Buffer.create 256 in
+          Array.iter
+            (function
+              | Some chunk -> Buffer.add_string buf chunk
+              | None -> assert false)
+            partial.chunks;
+          Ok (Some (Buffer.contents buf))
+        end
+        else Ok None)
+
+let pending t = Hashtbl.length t

@@ -1,0 +1,47 @@
+(** Fragmentation and reassembly (a Fig. 1 "more" function).
+
+    zFilter networks carry variable payloads over links with an MTU;
+    a publication larger than one packet is split into fragments that
+    all ride the same zFilter, each framed as
+
+    {v 4B message id | 2B index | 2B count | chunk v}
+
+    inside the normal packet payload, and reassembled at subscribers.
+    Fragments may arrive in any order; duplicates are ignored;
+    conflicting frames for the same (id, index) are rejected. *)
+
+val header_bytes : int
+(** Fragment framing overhead (8 bytes). *)
+
+val max_chunk : mtu:int -> m:int -> int
+(** Payload bytes per fragment for a given link MTU and filter width
+    (MTU minus packet header minus fragment framing).
+    @raise Invalid_argument when the MTU cannot fit even 1 byte. *)
+
+val split : mtu:int -> m:int -> message_id:int32 -> string -> string list
+(** Fragment payloads, in order.  A message that fits yields one
+    fragment (count = 1).  The empty message yields one empty
+    fragment.  @raise Invalid_argument if the message needs more than
+    65535 fragments. *)
+
+type fragment = {
+  message_id : int32;
+  index : int;
+  count : int;
+  chunk : string;
+}
+
+val parse : string -> (fragment, string) result
+
+type reassembler
+
+val reassembler : unit -> reassembler
+
+val offer : reassembler -> string -> (string option, string) result
+(** Feeds one received fragment payload; [Ok (Some message)] when its
+    message just completed (the message's state is then released),
+    [Ok None] while incomplete, [Error _] on malformed or conflicting
+    frames. *)
+
+val pending : reassembler -> int
+(** Messages with at least one fragment still waiting. *)

@@ -1,0 +1,66 @@
+module Bitvec = Lipsin_bitvec.Bitvec
+module Zfilter = Lipsin_bloom.Zfilter
+
+type t = {
+  d_index : int;
+  ttl : int;
+  zfilter : Zfilter.t;
+  payload : string;
+}
+
+let magic = '\xC5'
+
+let make ?(ttl = 64) ~d_index ~zfilter payload =
+  if d_index < 0 || d_index > 255 then invalid_arg "Header.make: d_index outside 0..255";
+  if ttl < 0 || ttl > 255 then invalid_arg "Header.make: ttl outside 0..255";
+  { d_index; ttl; zfilter; payload }
+
+let header_size ~m = 5 + ((m + 7) / 8)
+let size t = header_size ~m:(Zfilter.m t.zfilter) + String.length t.payload
+
+let decrement_ttl t = if t.ttl <= 0 then None else Some { t with ttl = t.ttl - 1 }
+
+let encode t =
+  let m = Zfilter.m t.zfilter in
+  let filter_bytes = Bitvec.to_bytes (Zfilter.to_bitvec t.zfilter) in
+  let out = Bytes.create (size t) in
+  Bytes.set out 0 magic;
+  Bytes.set out 1 (Char.chr t.d_index);
+  Bytes.set out 2 (Char.chr t.ttl);
+  Bytes.set out 3 (Char.chr ((m lsr 8) land 0xff));
+  Bytes.set out 4 (Char.chr (m land 0xff));
+  Bytes.blit filter_bytes 0 out 5 (Bytes.length filter_bytes);
+  Bytes.blit_string t.payload 0 out (5 + Bytes.length filter_bytes)
+    (String.length t.payload);
+  out
+
+let decode buf =
+  let len = Bytes.length buf in
+  if len < 5 then Error "packet shorter than fixed header"
+  else if Bytes.get buf 0 <> magic then Error "bad magic byte"
+  else
+    let d_index = Char.code (Bytes.get buf 1) in
+    let ttl = Char.code (Bytes.get buf 2) in
+    let m = (Char.code (Bytes.get buf 3) lsl 8) lor Char.code (Bytes.get buf 4) in
+    if m = 0 then Error "zero filter width"
+    else
+      let filter_len = (m + 7) / 8 in
+      if len < 5 + filter_len then Error "packet truncated inside zFilter"
+      else
+        match Bitvec.of_bytes m (Bytes.sub buf 5 filter_len) with
+        | exception Invalid_argument msg -> Error msg
+        | bits ->
+          let payload =
+            Bytes.sub_string buf (5 + filter_len) (len - 5 - filter_len)
+          in
+          Ok { d_index; ttl; zfilter = Zfilter.of_bitvec bits; payload }
+
+let equal a b =
+  a.d_index = b.d_index && a.ttl = b.ttl
+  && Zfilter.equal a.zfilter b.zfilter
+  && String.equal a.payload b.payload
+
+let pp ppf t =
+  Format.fprintf ppf "packet(d=%d ttl=%d fill=%.3f payload=%dB)" t.d_index t.ttl
+    (Zfilter.fill_factor t.zfilter)
+    (String.length t.payload)

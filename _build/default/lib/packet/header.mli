@@ -1,0 +1,48 @@
+(** LIPSIN packet wire format.
+
+    Layout (network byte order):
+    {v
+      0      1      2      3      4      5        5+ceil(m/8)
+      +------+------+------+------+------+--- ... ---+----------+
+      |magic |d idx | TTL  |   m (16-bit BE)  | zFilter | payload |
+      +------+------+------+------+------+--- ... ---+----------+
+    v}
+
+    With the paper's m = 248 the header is 5 + 31 = 36 bytes —
+    comparable to the 32 bytes of IPv6 source+destination that the
+    paper benchmarks against.  The d index selects the forwarding
+    table (Sec. 3.2, Fig. 4); TTL is the paper's final fallback
+    loop-prevention method (Sec. 3.3.3). *)
+
+type t = {
+  d_index : int;  (** Forwarding-table index, 0..255. *)
+  ttl : int;      (** Hops remaining, 0..255. *)
+  zfilter : Lipsin_bloom.Zfilter.t;
+  payload : string;
+}
+
+val magic : char
+(** First byte of every LIPSIN packet. *)
+
+val make :
+  ?ttl:int -> d_index:int -> zfilter:Lipsin_bloom.Zfilter.t -> string -> t
+(** [make ~d_index ~zfilter payload]; default [ttl] = 64.
+    @raise Invalid_argument if [d_index] or [ttl] outside 0..255. *)
+
+val header_size : m:int -> int
+(** Bytes of header preceding the payload. *)
+
+val size : t -> int
+(** Total encoded size in bytes. *)
+
+val decrement_ttl : t -> t option
+(** [None] when the TTL is exhausted (packet must be dropped). *)
+
+val encode : t -> bytes
+
+val decode : bytes -> (t, string) result
+(** Parses a full packet.  Returns [Error _] on short input, bad magic,
+    or an m that does not match the remaining length. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/pubsub/rendezvous.ml: Int Lipsin_topology Set Topic

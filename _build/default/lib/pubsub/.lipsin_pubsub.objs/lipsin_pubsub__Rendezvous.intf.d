@@ -1,0 +1,1 @@
+lib/pubsub/rendezvous.mli: Lipsin_topology Topic

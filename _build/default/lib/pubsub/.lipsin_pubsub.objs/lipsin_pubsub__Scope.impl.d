@@ -1,0 +1,1 @@
+lib/pubsub/scope.ml: Int Lipsin_topology List Rendezvous Set String Topic

@@ -1,0 +1,1 @@
+lib/pubsub/scope.mli: Lipsin_topology Rendezvous Topic

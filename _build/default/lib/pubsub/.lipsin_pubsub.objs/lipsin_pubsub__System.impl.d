@@ -1,0 +1,1 @@
+lib/pubsub/system.ml: Array Hashtbl Int64 Lipsin_bloom Lipsin_core Lipsin_packet Lipsin_sim Lipsin_topology Lipsin_util List Rendezvous Topic

@@ -1,0 +1,1 @@
+lib/pubsub/system.mli: Lipsin_bloom Lipsin_core Lipsin_packet Lipsin_sim Lipsin_topology Rendezvous Topic

@@ -1,0 +1,1 @@
+lib/pubsub/topic.ml: Char Format Hashtbl Int64 Lipsin_util String

@@ -1,0 +1,1 @@
+lib/pubsub/topic.mli: Format Hashtbl

@@ -1,0 +1,53 @@
+module Graph = Lipsin_topology.Graph
+
+module Node_set = Set.Make (Int)
+
+type entry = {
+  mutable pubs : Node_set.t;
+  mutable subs : Node_set.t;
+  mutable generation : int;
+}
+
+type t = entry Topic.Table.t
+
+let create () = Topic.Table.create 64
+
+let entry t topic =
+  match Topic.Table.find_opt t topic with
+  | Some e -> e
+  | None ->
+    let e = { pubs = Node_set.empty; subs = Node_set.empty; generation = 0 } in
+    Topic.Table.replace t topic e;
+    e
+
+let advertise t topic ~publisher =
+  let e = entry t topic in
+  e.pubs <- Node_set.add publisher e.pubs
+
+let withdraw t topic ~publisher =
+  let e = entry t topic in
+  e.pubs <- Node_set.remove publisher e.pubs
+
+let subscribe t topic ~subscriber =
+  let e = entry t topic in
+  if not (Node_set.mem subscriber e.subs) then begin
+    e.subs <- Node_set.add subscriber e.subs;
+    e.generation <- e.generation + 1
+  end
+
+let unsubscribe t topic ~subscriber =
+  let e = entry t topic in
+  if Node_set.mem subscriber e.subs then begin
+    e.subs <- Node_set.remove subscriber e.subs;
+    e.generation <- e.generation + 1
+  end
+
+let subscribers t topic = Node_set.elements (entry t topic).subs
+let publishers t topic = Node_set.elements (entry t topic).pubs
+
+let active t topic =
+  let e = entry t topic in
+  (not (Node_set.is_empty e.pubs)) && not (Node_set.is_empty e.subs)
+
+let topics t = Topic.Table.fold (fun topic _ acc -> topic :: acc) t []
+let generation t topic = (entry t topic).generation

@@ -1,0 +1,34 @@
+(** The rendezvous function: matching publishers to subscribers.
+
+    Tracks, per topic, the advertising publishers and the subscribed
+    nodes (Sec. 2.1).  When a topic has both a publisher and at least
+    one subscriber, the rendezvous asks the topology function for a
+    delivery tree and hands the publisher suitable forwarding
+    information — in this implementation, via {!System}. *)
+
+type t
+
+val create : unit -> t
+
+val advertise : t -> Topic.t -> publisher:Lipsin_topology.Graph.node -> unit
+val withdraw : t -> Topic.t -> publisher:Lipsin_topology.Graph.node -> unit
+
+val subscribe : t -> Topic.t -> subscriber:Lipsin_topology.Graph.node -> unit
+(** Idempotent. *)
+
+val unsubscribe : t -> Topic.t -> subscriber:Lipsin_topology.Graph.node -> unit
+
+val subscribers : t -> Topic.t -> Lipsin_topology.Graph.node list
+(** Sorted, deduplicated. *)
+
+val publishers : t -> Topic.t -> Lipsin_topology.Graph.node list
+
+val active : t -> Topic.t -> bool
+(** A topic is active when it has at least one publisher and one
+    subscriber — only then is forwarding state worth building. *)
+
+val topics : t -> Topic.t list
+
+val generation : t -> Topic.t -> int
+(** Bumped on every subscription change; lets caches of forwarding
+    information detect staleness. *)

@@ -1,0 +1,103 @@
+module Graph = Lipsin_topology.Graph
+
+type path = string list
+
+let validate_component c =
+  if c = "" || String.contains c '/' then
+    invalid_arg "Scope: path components must be non-empty and '/'-free"
+
+let to_string path = "/" ^ String.concat "/" path
+
+let topic_of_path path =
+  if path = [] then invalid_arg "Scope.topic_of_path: empty path";
+  List.iter validate_component path;
+  Topic.of_string (to_string path)
+
+let parse s =
+  if s = "" then invalid_arg "Scope.parse: empty string";
+  let parts = String.split_on_char '/' s in
+  let parts = List.filter (fun p -> p <> "") parts in
+  if parts = [] then invalid_arg "Scope.parse: no components";
+  List.iter validate_component parts;
+  parts
+
+module Node_set = Set.Make (Int)
+
+type scope_node = {
+  mutable children : (string * scope_node) list;
+  mutable is_topic : bool;
+  mutable subscribers : Node_set.t;
+}
+
+type t = { root : scope_node }
+
+let fresh_node () =
+  { children = []; is_topic = false; subscribers = Node_set.empty }
+
+let create () = { root = fresh_node () }
+
+let rec descend node ~create_missing = function
+  | [] -> Some node
+  | component :: rest -> (
+    validate_component component;
+    match List.assoc_opt component node.children with
+    | Some child -> descend child ~create_missing rest
+    | None ->
+      if create_missing then begin
+        let child = fresh_node () in
+        node.children <- (component, child) :: node.children;
+        descend child ~create_missing rest
+      end
+      else None)
+
+let declare t path =
+  let topic = topic_of_path path in
+  (match descend t.root ~create_missing:true path with
+  | Some node -> node.is_topic <- true
+  | None -> assert false);
+  topic
+
+let subscribe_scope t path ~subscriber =
+  match descend t.root ~create_missing:true path with
+  | Some node -> node.subscribers <- Node_set.add subscriber node.subscribers
+  | None -> assert false
+
+let unsubscribe_scope t path ~subscriber =
+  match descend t.root ~create_missing:false path with
+  | Some node -> node.subscribers <- Node_set.remove subscriber node.subscribers
+  | None -> ()
+
+let subscribers_of t path =
+  List.iter validate_component path;
+  let rec walk node acc = function
+    | [] -> Node_set.union acc node.subscribers
+    | component :: rest -> (
+      let acc = Node_set.union acc node.subscribers in
+      match List.assoc_opt component node.children with
+      | Some child -> walk child acc rest
+      | None -> acc)
+  in
+  Node_set.elements (walk t.root Node_set.empty path)
+
+let topics_under t path =
+  match descend t.root ~create_missing:false path with
+  | None -> []
+  | Some start ->
+    let acc = ref [] in
+    let rec collect node prefix =
+      if node.is_topic then acc := List.rev prefix :: !acc;
+      List.iter
+        (fun (name, child) -> collect child (name :: prefix))
+        node.children
+    in
+    collect start (List.rev path);
+    List.sort compare !acc
+
+let sync_rendezvous t rendezvous =
+  List.iter
+    (fun topic_path ->
+      let topic = topic_of_path topic_path in
+      List.iter
+        (fun subscriber -> Rendezvous.subscribe rendezvous topic ~subscriber)
+        (subscribers_of t topic_path))
+    (topics_under t [])

@@ -1,0 +1,54 @@
+(** Hierarchical rendezvous scopes.
+
+    The rendezvous architecture LIPSIN plugs into (PSIRP/RTFM, the
+    paper's refs [32, 39, 41]) organises topics under nested *scopes* —
+    information namespaces like [/sports/football/scores].  A
+    subscription to a scope covers every topic at or below it, present
+    and future.  This module maps scope paths onto the flat topic ids
+    the forwarding layer uses, and expands scope subscriptions into the
+    per-topic subscriptions {!Rendezvous} tracks. *)
+
+type path = string list
+(** E.g. [["sports"; "football"; "scores"]].  Components must be
+    non-empty and must not contain ['/']. *)
+
+val topic_of_path : path -> Topic.t
+(** Deterministic topic id for the path itself.
+    @raise Invalid_argument on an empty or malformed path. *)
+
+val parse : string -> path
+(** ["/sports/football"] → [["sports"; "football"]].
+    @raise Invalid_argument on empty input or empty components. *)
+
+val to_string : path -> string
+
+type t
+(** A scope tree tracking which topic paths exist and who subscribes at
+    which scope. *)
+
+val create : unit -> t
+
+val declare : t -> path -> Topic.t
+(** Registers a topic path (creating intermediate scopes) and returns
+    its flat topic id.  Idempotent. *)
+
+val subscribe_scope : t -> path -> subscriber:Lipsin_topology.Graph.node -> unit
+(** Subscribes at a scope: covers all current AND future topics under
+    it (the root path [[]] is allowed and covers everything). *)
+
+val unsubscribe_scope : t -> path -> subscriber:Lipsin_topology.Graph.node -> unit
+
+val subscribers_of : t -> path -> Lipsin_topology.Graph.node list
+(** Everyone whose scope subscription covers the given topic path
+    (sorted, deduplicated): subscribers at the path itself or at any
+    ancestor scope. *)
+
+val topics_under : t -> path -> path list
+(** Declared topic paths at or below a scope, sorted. *)
+
+val sync_rendezvous : t -> Rendezvous.t -> unit
+(** Expands the scope tree into the flat per-topic subscriptions the
+    forwarding layer consumes: for every declared topic, every covering
+    subscriber is subscribed to its flat topic id.  Idempotent; newly
+    declared topics and new scope subscriptions appear on the next
+    sync. *)

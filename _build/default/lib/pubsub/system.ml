@@ -1,0 +1,140 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Header = Lipsin_packet.Header
+
+type selection = Standard | Fpa | Fpr | Avoid of Graph.link list
+
+type cache_entry = {
+  generation : int;
+  table : int;
+  zfilter : Zfilter.t;
+  tree : Graph.link list;
+}
+
+type t = {
+  graph : Graph.t;
+  assignment : Assignment.t;
+  net : Net.t;
+  rendezvous : Rendezvous.t;
+  selection : selection;
+  fill_limit : float;
+  cache : (Int64.t * int, cache_entry) Hashtbl.t;  (* (topic id, publisher) *)
+}
+
+let create ?(params = Lit.default) ?(selection = Fpa) ?(fill_limit = 0.7)
+    ?(seed = 1) graph =
+  let assignment = Assignment.make params (Rng.of_int seed) graph in
+  {
+    graph;
+    assignment;
+    net = Net.make ~fill_limit assignment;
+    rendezvous = Rendezvous.create ();
+    selection;
+    fill_limit;
+    cache = Hashtbl.create 64;
+  }
+
+let graph t = t.graph
+let assignment t = t.assignment
+let net t = t.net
+let rendezvous t = t.rendezvous
+
+let advertise t topic ~publisher = Rendezvous.advertise t.rendezvous topic ~publisher
+let subscribe t topic ~subscriber = Rendezvous.subscribe t.rendezvous topic ~subscriber
+
+let unsubscribe t topic ~subscriber =
+  Rendezvous.unsubscribe t.rendezvous topic ~subscriber
+
+type publish_result = {
+  header : Header.t;
+  tree : Graph.link list;
+  outcome : Run.outcome;
+  delivered_to : Graph.node list;
+  missed : Graph.node list;
+  from_cache : bool;
+}
+
+let select t candidates ~tree =
+  match t.selection with
+  | Standard ->
+    let c = Select.standard candidates in
+    if Candidate.fill_factor c <= t.fill_limit then Some c else None
+  | Fpa -> Select.select_fpa ~fill_limit:t.fill_limit candidates
+  | Fpr ->
+    let test = Select.default_test_set t.assignment ~tree in
+    Select.select_fpr ~fill_limit:t.fill_limit t.assignment candidates ~test
+  | Avoid links ->
+    let test = Select.default_test_set t.assignment ~tree in
+    Select.select_weighted ~fill_limit:t.fill_limit t.assignment candidates ~test
+      ~weight:(Select.avoid_set links)
+
+let forwarding_info t topic ~publisher ~subscribers =
+  let key = (Topic.id topic, publisher) in
+  let generation = Rendezvous.generation t.rendezvous topic in
+  match Hashtbl.find_opt t.cache key with
+  | Some entry when entry.generation = generation ->
+    Ok (entry.table, entry.zfilter, entry.tree, true)
+  | Some _ | None ->
+    let tree = Spt.delivery_tree t.graph ~root:publisher ~subscribers in
+    if tree = [] then Error "delivery tree is empty"
+    else begin
+      let candidates = Candidate.build t.assignment ~tree in
+      match select t candidates ~tree with
+      | None -> Error "every candidate zFilter exceeds the fill limit"
+      | Some c ->
+        Hashtbl.replace t.cache key
+          {
+            generation;
+            table = c.Candidate.table;
+            zfilter = c.Candidate.zfilter;
+            tree;
+          };
+        Ok (c.Candidate.table, c.Candidate.zfilter, tree, false)
+    end
+
+let publish t topic ~publisher ~payload =
+  if not (List.mem publisher (Rendezvous.publishers t.rendezvous topic)) then
+    Error "publisher has not advertised this topic"
+  else
+    let subscribers =
+      List.filter
+        (fun s -> s <> publisher)
+        (Rendezvous.subscribers t.rendezvous topic)
+    in
+    if subscribers = [] then Error "topic has no remote subscribers"
+    else
+      match forwarding_info t topic ~publisher ~subscribers with
+      | Error e -> Error e
+      | Ok (table, zfilter, tree, from_cache) ->
+        let header = Header.make ~d_index:table ~zfilter payload in
+        let outcome = Run.deliver t.net ~src:publisher ~table ~zfilter ~tree in
+        let delivered_to, missed =
+          List.partition (fun s -> outcome.Run.reached.(s)) subscribers
+        in
+        Ok { header; tree; outcome; delivered_to; missed; from_cache }
+
+let collect_reverse_path t ~subscriber ~publisher ~table =
+  let parents = Spt.bfs_parents t.graph ~root:publisher in
+  if parents.(subscriber) = -1 && subscriber <> publisher then
+    invalid_arg "System.collect_reverse_path: subscriber unreachable";
+  let forward = Spt.path_to t.graph parents subscriber in
+  let params = Assignment.params t.assignment in
+  let zfilter = Zfilter.create ~m:params.Lit.m in
+  (* Each intermediate node ORs in the LIT of the reverse direction of
+     the link the control message arrived on (Sec. 3.4). *)
+  List.iter
+    (fun l ->
+      let reverse = Graph.reverse_link t.graph l in
+      Zfilter.add zfilter (Assignment.tag t.assignment reverse ~table))
+    forward;
+  zfilter
+
+let cache_size t = Hashtbl.length t.cache

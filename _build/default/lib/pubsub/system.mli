@@ -1,0 +1,72 @@
+(** The pub/sub system: rendezvous + topology + forwarding in concert
+    (Fig. 1).
+
+    This is the substrate the paper's FreeBSD end-node prototype
+    provides: nodes advertise, subscribe and publish; the topology
+    function computes shortest-path delivery trees; zFilters are
+    constructed, selected, cached per (topic, publisher) and
+    invalidated when the subscriber set changes; packets are delivered
+    through the simulated forwarding fabric. *)
+
+type selection =
+  | Standard  (** Table 0, no optimisation (d = 1 baseline). *)
+  | Fpa       (** Lowest ρ^k candidate. *)
+  | Fpr       (** Lowest observed false positives on the tree test set. *)
+  | Avoid of Lipsin_topology.Graph.link list
+      (** Fpr with heavy penalties on the given links. *)
+
+type t
+
+val create :
+  ?params:Lipsin_bloom.Lit.params ->
+  ?selection:selection ->
+  ?fill_limit:float ->
+  ?seed:int ->
+  Lipsin_topology.Graph.t ->
+  t
+(** Builds the whole stack over a topology.  Defaults: paper params
+    (m = 248, d = 8, k = 5), [Fpa] selection, fill limit 0.7,
+    seed 1. *)
+
+val graph : t -> Lipsin_topology.Graph.t
+val assignment : t -> Lipsin_core.Assignment.t
+val net : t -> Lipsin_sim.Net.t
+val rendezvous : t -> Rendezvous.t
+
+val advertise : t -> Topic.t -> publisher:Lipsin_topology.Graph.node -> unit
+val subscribe : t -> Topic.t -> subscriber:Lipsin_topology.Graph.node -> unit
+val unsubscribe : t -> Topic.t -> subscriber:Lipsin_topology.Graph.node -> unit
+
+type publish_result = {
+  header : Lipsin_packet.Header.t;   (** The packet as sent. *)
+  tree : Lipsin_topology.Graph.link list;  (** Intended delivery tree. *)
+  outcome : Lipsin_sim.Run.outcome;
+  delivered_to : Lipsin_topology.Graph.node list;  (** Subscribers reached. *)
+  missed : Lipsin_topology.Graph.node list;  (** Subscribers not reached. *)
+  from_cache : bool;  (** zFilter reused from the forwarding cache. *)
+}
+
+val publish :
+  t ->
+  Topic.t ->
+  publisher:Lipsin_topology.Graph.node ->
+  payload:string ->
+  (publish_result, string) result
+(** Delivers one publication to the topic's current subscribers.
+    Errors: the topic has no subscribers; the publisher has not
+    advertised; every candidate exceeds the fill limit (tree too big
+    for one zFilter — split or install virtual links). *)
+
+val collect_reverse_path :
+  t ->
+  subscriber:Lipsin_topology.Graph.node ->
+  publisher:Lipsin_topology.Graph.node ->
+  table:int ->
+  Lipsin_bloom.Zfilter.t
+(** Sec. 3.4: the control message walks the forward path and each node
+    ORs in the reverse LIT, leaving the subscriber with a valid zFilter
+    towards the publisher — built without consulting the topology
+    system.  @raise Invalid_argument if unreachable. *)
+
+val cache_size : t -> int
+(** Number of live (topic, publisher) zFilter cache entries. *)

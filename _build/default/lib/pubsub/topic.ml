@@ -1,0 +1,30 @@
+module Rng = Lipsin_util.Rng
+
+type t = int64
+
+let of_string name =
+  (* Fold the name through the SplitMix64 mixer 8 bytes at a time; a
+     simple, dependency-free stable hash with good diffusion. *)
+  let acc = ref 0x7097_5EED_0000_0001L in
+  String.iteri
+    (fun i c ->
+      acc :=
+        Rng.mix64
+          (Int64.logxor !acc
+             (Int64.of_int ((Char.code c lsl (8 * (i mod 7))) + i))))
+    name;
+  Rng.mix64 !acc
+
+let of_id id = id
+let id t = t
+let equal = Int64.equal
+let compare = Int64.compare
+let hash t = Int64.to_int t land max_int
+let pp ppf t = Format.fprintf ppf "topic:%Lx" t
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

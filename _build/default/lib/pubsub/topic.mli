@@ -1,0 +1,22 @@
+(** Topic identifiers.
+
+    Topics are the rendezvous names of the architecture (Sec. 2.1): a
+    publication is named by a topic, and the rendezvous system matches
+    publishers and subscribers per topic.  A topic id is a 64-bit value
+    derived from a human-readable name by hashing, mirroring the flat,
+    location-independent data naming the paper advocates. *)
+
+type t
+
+val of_string : string -> t
+(** Deterministic id for a topic name. *)
+
+val of_id : int64 -> t
+val id : t -> int64
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Table : Hashtbl.S with type key = t

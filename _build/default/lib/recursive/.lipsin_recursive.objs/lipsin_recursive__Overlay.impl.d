@@ -1,0 +1,1 @@
+lib/recursive/overlay.ml: Array Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util List

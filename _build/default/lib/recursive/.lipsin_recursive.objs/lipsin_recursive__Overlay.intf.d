@@ -1,0 +1,1 @@
+lib/recursive/overlay.mli: Lipsin_bloom Lipsin_core Lipsin_topology

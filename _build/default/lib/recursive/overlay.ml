@@ -1,0 +1,167 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+
+type leg = {
+  table : int;
+  zfilter : Zfilter.t;
+  tree : Graph.link list;
+  dst_attach : Graph.node;
+}
+
+type t = {
+  underlay_net : Net.t;
+  overlay_graph : Graph.t;
+  overlay_assignment : Assignment.t;
+  overlay_net : Net.t;
+  attach : Graph.node array;
+  legs : leg array;  (* by overlay directed link index *)
+}
+
+let create ?(params = Lit.default) ?(seed = 313) ~underlay ~attach ~edges () =
+  let underlay_graph = Assignment.graph underlay in
+  let n = Array.length attach in
+  if n < 2 then Error "overlay needs at least two nodes"
+  else if
+    Array.exists
+      (fun v -> v < 0 || v >= Graph.node_count underlay_graph)
+      attach
+  then Error "attach point outside the underlay"
+  else begin
+    let overlay_graph = Graph.create ~nodes:n in
+    match
+      List.iter (fun (u, v) -> Graph.add_edge overlay_graph u v) edges
+    with
+    | exception Invalid_argument msg -> Error msg
+    | () ->
+      let overlay_assignment =
+        Assignment.make params (Rng.of_int seed) overlay_graph
+      in
+      let make_leg (l : Graph.link) =
+        let src_attach = attach.(l.Graph.src) in
+        let dst_attach = attach.(l.Graph.dst) in
+        if src_attach = dst_attach then
+          (* Co-located overlay nodes: a zero-cost leg. *)
+          Ok { table = 0; zfilter = Zfilter.create ~m:1; tree = []; dst_attach }
+        else begin
+          let tree =
+            match
+              Spt.delivery_tree underlay_graph ~root:src_attach
+                ~subscribers:[ dst_attach ]
+            with
+            | tree -> tree
+            | exception Invalid_argument _ -> []
+          in
+          if tree = [] then Error "overlay edge's attach points are disconnected"
+          else
+            match Select.select_fpa (Candidate.build underlay ~tree) with
+            | Some c ->
+              Ok
+                {
+                  table = c.Candidate.table;
+                  zfilter = c.Candidate.zfilter;
+                  tree;
+                  dst_attach;
+                }
+            | None -> Error "overlay edge's underlay path overfills"
+        end
+      in
+      let links = Graph.links overlay_graph in
+      let legs = Array.map make_leg links in
+      (match
+         Array.fold_left
+           (fun acc leg -> match (acc, leg) with
+             | Error e, _ -> Error e
+             | Ok (), Error e -> Error e
+             | Ok (), Ok _ -> Ok ())
+           (Ok ()) legs
+       with
+      | Error e -> Error e
+      | Ok () ->
+        Ok
+          {
+            underlay_net = Net.make underlay;
+            overlay_graph;
+            overlay_assignment;
+            overlay_net = Net.make overlay_assignment;
+            attach;
+            legs =
+              Array.map
+                (function Ok leg -> leg | Error _ -> assert false)
+                legs;
+          })
+  end
+
+let overlay_graph t = t.overlay_graph
+let assignment t = t.overlay_assignment
+let attach_point t i = t.attach.(i)
+
+type delivery = {
+  delivered : int list;
+  missed : int list;
+  overlay_traversals : int;
+  underlay_traversals : int;
+  stretch : float;
+}
+
+let publish t ~src ~subscribers =
+  let subscribers =
+    List.sort_uniq compare (List.filter (fun s -> s <> src) subscribers)
+  in
+  if subscribers = [] then Error "no overlay subscribers"
+  else begin
+    let tree = Spt.delivery_tree t.overlay_graph ~root:src ~subscribers in
+    match Select.select_fpa (Candidate.build t.overlay_assignment ~tree) with
+    | None -> Error "overlay tree overfills"
+    | Some c ->
+      (* Overlay-level forwarding... *)
+      let overlay_outcome =
+        Run.deliver t.overlay_net ~src ~table:c.Candidate.table
+          ~zfilter:c.Candidate.zfilter ~tree
+      in
+      (* ...and every overlay hop executed as an underlay delivery. *)
+      let underlay = ref 0 in
+      let all_legs_ok = ref true in
+      List.iter
+        (fun (l : Graph.link) ->
+          let leg = t.legs.(l.Graph.index) in
+          if leg.tree <> [] then begin
+            let o =
+              Run.deliver t.underlay_net
+                ~src:t.attach.(l.Graph.src)
+                ~table:leg.table ~zfilter:leg.zfilter ~tree:leg.tree
+            in
+            underlay := !underlay + o.Run.link_traversals;
+            if not o.Run.reached.(leg.dst_attach) then all_legs_ok := false
+          end)
+        overlay_outcome.Run.traversed;
+      let delivered, missed =
+        List.partition
+          (fun s -> !all_legs_ok && overlay_outcome.Run.reached.(s))
+          subscribers
+      in
+      (* The stacking-cost reference: delivering directly in the
+         underlay to the same attach points. *)
+      let direct_tree =
+        Spt.delivery_tree (Net.graph t.underlay_net) ~root:t.attach.(src)
+          ~subscribers:
+            (List.sort_uniq compare (List.map (fun s -> t.attach.(s)) subscribers))
+      in
+      Ok
+        {
+          delivered;
+          missed;
+          overlay_traversals = overlay_outcome.Run.link_traversals;
+          underlay_traversals = !underlay;
+          stretch =
+            (if direct_tree = [] then 1.0
+             else float_of_int !underlay /. float_of_int (List.length direct_tree));
+        }
+  end

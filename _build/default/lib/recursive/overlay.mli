@@ -1,0 +1,51 @@
+(** Recursive layering: LIPSIN over LIPSIN (Sec. 2.1, Fig. 1).
+
+    "The same architecture is applied in a recursive manner on the top
+    of itself, each higher layer utilising the rendezvous, topology,
+    and forwarding functions offered by the lower layers."
+
+    An overlay is a graph whose nodes attach to underlay nodes and
+    whose links are underlay unicast deliveries: each overlay link owns
+    a pre-computed underlay zFilter for its attach-point-to-attach-point
+    path.  The overlay gets its own independent LIT assignment, so
+    overlay zFilters are ordinary zFilters one layer up — and an
+    overlay delivery executes as overlay forwarding decisions whose
+    every hop is an underlay packet. *)
+
+type t
+
+val create :
+  ?params:Lipsin_bloom.Lit.params ->
+  ?seed:int ->
+  underlay:Lipsin_core.Assignment.t ->
+  attach:Lipsin_topology.Graph.node array ->
+  edges:(int * int) list ->
+  unit ->
+  (t, string) result
+(** [create ~underlay ~attach ~edges ()] builds an overlay of
+    [Array.length attach] nodes; overlay node i lives at underlay node
+    [attach.(i)].  Every overlay edge is realised by underlay unicast
+    paths in both directions (pre-computed zFilters).  Errors when an
+    attach point is unreachable or an edge's path overfills. *)
+
+val overlay_graph : t -> Lipsin_topology.Graph.t
+val assignment : t -> Lipsin_core.Assignment.t
+(** The OVERLAY's own LIT assignment. *)
+
+val attach_point : t -> int -> Lipsin_topology.Graph.node
+
+type delivery = {
+  delivered : int list;  (** Overlay subscribers reached. *)
+  missed : int list;
+  overlay_traversals : int;   (** Overlay links used. *)
+  underlay_traversals : int;  (** Physical links used, total. *)
+  stretch : float;
+      (** underlay traversals / direct underlay tree size — the cost
+          of stacking a layer. *)
+}
+
+val publish :
+  t -> src:int -> subscribers:int list -> (delivery, string) result
+(** Builds the overlay delivery tree (overlay zFilter, fpa selection),
+    forwards it overlay-hop by overlay-hop, executing each overlay link
+    as an underlay delivery. *)

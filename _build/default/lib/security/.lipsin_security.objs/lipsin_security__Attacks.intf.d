@@ -1,0 +1,1 @@
+lib/security/attacks.mli: Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util

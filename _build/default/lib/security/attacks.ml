@@ -1,0 +1,125 @@
+module Rng = Lipsin_util.Rng
+module Bitvec = Lipsin_bitvec.Bitvec
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Assignment = Lipsin_core.Assignment
+module Net = Lipsin_sim.Net
+module Node_engine = Lipsin_forwarding.Node_engine
+
+let random_filter ~m ~fill rng =
+  let target = int_of_float (fill *. float_of_int m) in
+  let positions = Rng.sample rng (min m target) m in
+  Zfilter.of_bitvec (Bitvec.of_positions m (Array.to_list positions))
+
+type contamination_outcome = {
+  fill : float;
+  links_matched : int;
+  total_links : int;
+  dropped_by_limit : bool;
+}
+
+let contamination net ~node ~fill ~rng =
+  let assignment = Net.assignment net in
+  let params = Assignment.params assignment in
+  let attack = random_filter ~m:params.Lit.m ~fill rng in
+  let graph = Net.graph net in
+  let out = Graph.out_links graph node in
+  (* Raw Algorithm 1, as if no fill limit existed. *)
+  let links_matched =
+    List.length
+      (List.filter
+         (fun l ->
+           Zfilter.matches attack ~lit:(Assignment.tag assignment l ~table:0))
+         out)
+  in
+  let verdict =
+    Node_engine.forward (Net.engine net node) ~table:0 ~zfilter:attack
+      ~in_link:None
+  in
+  {
+    fill = Zfilter.fill_factor attack;
+    links_matched;
+    total_links = List.length out;
+    dropped_by_limit =
+      verdict.Node_engine.drop = Some Node_engine.Fill_limit_exceeded;
+  }
+
+let random_probe_match_rate assignment ~fill ~trials ~rng =
+  let params = Assignment.params assignment in
+  let graph = Assignment.graph assignment in
+  let links = Graph.links graph in
+  let matched = ref 0 and tested = ref 0 in
+  for _ = 1 to trials do
+    let probe = random_filter ~m:params.Lit.m ~fill rng in
+    Array.iter
+      (fun l ->
+        incr tested;
+        if Zfilter.matches probe ~lit:(Assignment.tag assignment l ~table:0) then
+          incr matched)
+      links
+  done;
+  if !tested = 0 then 0.0 else float_of_int !matched /. float_of_int !tested
+
+type learning_outcome = {
+  observations : int;
+  inferred_exactly : bool;
+  surplus_bits : int;
+}
+
+(* One legitimate zFilter through the uplink: its LIT ORed with those
+   of a handful of other random links (the rest of some delivery
+   tree). *)
+let observed_zfilter assignment ~uplink ~table rng =
+  let params = Assignment.params assignment in
+  let graph = Assignment.graph assignment in
+  let links = Graph.links graph in
+  let z = Zfilter.create ~m:params.Lit.m in
+  Zfilter.add z (Assignment.tag assignment uplink ~table);
+  let extra = 1 + Rng.int rng 8 in
+  for _ = 1 to extra do
+    let l = links.(Rng.int rng (Array.length links)) in
+    Zfilter.add z (Assignment.tag assignment l ~table)
+  done;
+  z
+
+let lit_learning assignment ~uplink ~table ~observations ~rng =
+  if observations <= 0 then invalid_arg "Attacks.lit_learning: need observations";
+  let acc =
+    ref (Zfilter.to_bitvec (observed_zfilter assignment ~uplink ~table rng))
+  in
+  for _ = 2 to observations do
+    let z = observed_zfilter assignment ~uplink ~table rng in
+    acc := Bitvec.logand !acc (Zfilter.to_bitvec z)
+  done;
+  let true_lit = Assignment.tag assignment uplink ~table in
+  let surplus = Bitvec.popcount !acc - Bitvec.popcount true_lit in
+  {
+    observations;
+    inferred_exactly = Bitvec.equal !acc true_lit;
+    surplus_bits = max 0 surplus;
+  }
+
+let replay_reach assignment ~zfilter ~tree =
+  match tree with
+  | [] -> 0.0
+  | _ ->
+    let matched =
+      List.length
+        (List.filter
+           (fun l ->
+             Zfilter.matches zfilter ~lit:(Assignment.tag assignment l ~table:0))
+           tree)
+    in
+    float_of_int matched /. float_of_int (List.length tree)
+
+let rekey_defeats_learning assignment ~uplink ~table ~rng =
+  let stolen_tag = Assignment.tag assignment uplink ~table in
+  let rekeyed = Assignment.rekey_link assignment uplink rng in
+  let params = Assignment.params rekeyed in
+  (* A fresh legitimate zFilter that traverses the uplink under the new
+     keys... *)
+  let z = Zfilter.create ~m:params.Lit.m in
+  Zfilter.add z (Assignment.tag rekeyed uplink ~table);
+  (* ...no longer matches the tag the attacker learned. *)
+  not (Zfilter.matches z ~lit:stolen_tag)

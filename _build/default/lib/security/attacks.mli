@@ -1,0 +1,79 @@
+(** Attack models and defences (Sec. 4.4).
+
+    Three attacks the paper analyses, each with its measured defence:
+
+    - {b zFilter contamination}: inject filters dense in 1s so they
+      match (almost) every link.  Defence: the forwarding-node fill
+      limit.
+    - {b random probing}: guess zFilters without topology knowledge;
+      a ρ-full random filter matches a k-bit LIT with probability
+      ≈ ρ^k.
+    - {b LIT learning}: a publisher collects many valid zFilters
+      rooted at itself and ANDs them to recover its uplinks' LITs.
+      Defences: re-keying the uplink Link IDs, and varying candidate
+      selection. *)
+
+type contamination_outcome = {
+  fill : float;
+  links_matched : int;      (** Out-links the attack filter matches. *)
+  total_links : int;
+  dropped_by_limit : bool;  (** The engine discarded the packet. *)
+}
+
+val contamination :
+  Lipsin_sim.Net.t ->
+  node:Lipsin_topology.Graph.node ->
+  fill:float ->
+  rng:Lipsin_util.Rng.t ->
+  contamination_outcome
+(** Builds a random filter of the given fill factor, presents it to the
+    node's engine and reports what would have been flooded.
+    [links_matched] is counted against raw Algorithm 1 (no fill
+    limit); [dropped_by_limit] tells whether the engine's limit
+    stopped it. *)
+
+val random_probe_match_rate :
+  Lipsin_core.Assignment.t -> fill:float -> trials:int -> rng:Lipsin_util.Rng.t -> float
+(** Fraction of (random ρ-full filter, link) pairs that match across
+    the whole assignment — empirically ≈ ρ^k. *)
+
+type learning_outcome = {
+  observations : int;
+  inferred_exactly : bool;
+      (** The AND of observed zFilters equals the uplink's LIT — the
+          attacker has the usable tag. *)
+  surplus_bits : int;
+      (** Extra bits in the AND beyond the true LIT (0 = exact). *)
+}
+
+val lit_learning :
+  Lipsin_core.Assignment.t ->
+  uplink:Lipsin_topology.Graph.link ->
+  table:int ->
+  observations:int ->
+  rng:Lipsin_util.Rng.t ->
+  learning_outcome
+(** Simulates an attacker observing [observations] legitimate zFilters
+    that all traverse [uplink] (random 1–8 extra tree links each) and
+    ANDing them. *)
+
+val replay_reach :
+  Lipsin_core.Assignment.t ->
+  zfilter:Lipsin_bloom.Zfilter.t ->
+  tree:Lipsin_topology.Graph.link list ->
+  float
+(** The zFilter re-use attack's payoff: the fraction of the original
+    tree's links a replayed (possibly stolen) filter still matches
+    under the given assignment.  1.0 right after capture; ~0.0 after
+    {!Lipsin_core.Assignment.rekey} or an epoch change
+    ({!Lipsin_core.Rotation}). *)
+
+val rekey_defeats_learning :
+  Lipsin_core.Assignment.t ->
+  uplink:Lipsin_topology.Graph.link ->
+  table:int ->
+  rng:Lipsin_util.Rng.t ->
+  bool
+(** After {!Lipsin_core.Assignment.rekey_link}, does a tag inferred
+    from the old assignment still match a zFilter built from the new
+    one?  [true] when the defence works (it no longer matches). *)

@@ -1,0 +1,1 @@
+lib/sim/fluid.ml: Array Float Lipsin_topology List

@@ -1,0 +1,1 @@
+lib/sim/fluid.mli: Lipsin_topology

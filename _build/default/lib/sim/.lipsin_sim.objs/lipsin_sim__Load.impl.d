@@ -1,0 +1,1 @@
+lib/sim/load.ml: Array Lipsin_topology List Run

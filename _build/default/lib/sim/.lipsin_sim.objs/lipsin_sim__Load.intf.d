@@ -1,0 +1,1 @@
+lib/sim/load.mli: Lipsin_topology Run

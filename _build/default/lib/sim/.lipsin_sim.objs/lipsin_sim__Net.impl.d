@@ -1,0 +1,1 @@
+lib/sim/net.ml: Array Lipsin_core Lipsin_forwarding Lipsin_topology

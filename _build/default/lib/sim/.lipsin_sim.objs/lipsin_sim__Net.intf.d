@@ -1,0 +1,1 @@
+lib/sim/net.mli: Lipsin_core Lipsin_forwarding Lipsin_topology

@@ -1,0 +1,1 @@
+lib/sim/run.mli: Lipsin_bloom Lipsin_topology Lipsin_util Net

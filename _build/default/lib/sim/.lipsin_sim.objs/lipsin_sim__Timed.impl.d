@@ -1,0 +1,1 @@
+lib/sim/timed.ml: Array Lipsin_forwarding Lipsin_topology Lipsin_util List Net Option

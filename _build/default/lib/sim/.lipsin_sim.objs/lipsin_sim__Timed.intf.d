@@ -1,0 +1,1 @@
+lib/sim/timed.mli: Lipsin_bloom Lipsin_topology Lipsin_util Net

@@ -1,0 +1,61 @@
+module Graph = Lipsin_topology.Graph
+
+type flow = {
+  rate : float;
+  links : Graph.link list;
+  paths : (Graph.node * Graph.link list) list;
+}
+
+type t = {
+  graph : Graph.t;
+  capacity : float;
+  load : float array;  (* per directed link index *)
+  mutable flows : flow list;
+}
+
+let create graph ~capacity =
+  if capacity <= 0.0 then invalid_arg "Fluid.create: capacity must be positive";
+  {
+    graph;
+    capacity;
+    load = Array.make (Graph.link_count graph) 0.0;
+    flows = [];
+  }
+
+let add_flow t flow =
+  t.flows <- flow :: t.flows;
+  List.iter
+    (fun l -> t.load.(l.Graph.index) <- t.load.(l.Graph.index) +. flow.rate)
+    flow.links
+
+let utilization t l = t.load.(l.Graph.index) /. t.capacity
+
+let max_utilization t =
+  Array.fold_left (fun acc load -> Float.max acc (load /. t.capacity)) 0.0 t.load
+
+let throttle t l =
+  let u = utilization t l in
+  if u <= 1.0 then 1.0 else 1.0 /. u
+
+let goodput t flow subscriber =
+  match List.assoc_opt subscriber flow.paths with
+  | None -> invalid_arg "Fluid.goodput: node is not a subscriber of the flow"
+  | Some path ->
+    flow.rate *. List.fold_left (fun acc l -> acc *. throttle t l) 1.0 path
+
+let total_goodput t =
+  List.fold_left
+    (fun acc flow ->
+      List.fold_left
+        (fun acc (subscriber, _) -> acc +. goodput t flow subscriber)
+        acc flow.paths)
+    0.0 t.flows
+
+let total_demand t =
+  List.fold_left
+    (fun acc flow -> acc +. (flow.rate *. float_of_int (List.length flow.paths)))
+    0.0 t.flows
+
+let delivery_ratio t =
+  let demand = total_demand t in
+  if demand = 0.0 then 1.0 else total_goodput t /. demand

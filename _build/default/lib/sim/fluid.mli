@@ -1,0 +1,49 @@
+(** Fluid traffic model: capacities, utilization and goodput.
+
+    The packet-level {!Run} answers "where does one packet go"; this
+    model answers "what happens under sustained load".  Each topic
+    contributes a publication rate; every link it crosses — including
+    links reached only through false positives, the bandwidth waste
+    Eq. 3 measures — carries that rate.  Links have finite capacity;
+    an over-subscribed link throttles every flow crossing it by its
+    over-subscription factor (max-min-free fluid approximation), and a
+    subscriber's goodput is its rate times the product of the throttle
+    factors along its path.
+
+    This quantifies the system-level cost of false positives and the
+    earlier saturation of multiple-unicast delivery. *)
+
+type flow = {
+  rate : float;  (** Publications/second (or Mb/s — any consistent unit). *)
+  links : Lipsin_topology.Graph.link list;
+      (** Links the flow actually crosses (duplicates allowed for
+          unicast; each occurrence adds load). *)
+  paths : (Lipsin_topology.Graph.node * Lipsin_topology.Graph.link list) list;
+      (** Per-subscriber path (subscriber, links root→subscriber). *)
+}
+
+type t
+
+val create : Lipsin_topology.Graph.t -> capacity:float -> t
+(** Uniform link capacity.  @raise Invalid_argument if not positive. *)
+
+val add_flow : t -> flow -> unit
+
+val utilization : t -> Lipsin_topology.Graph.link -> float
+(** Offered load / capacity on a link; > 1 means over-subscribed. *)
+
+val max_utilization : t -> float
+
+val goodput : t -> flow -> Lipsin_topology.Graph.node -> float
+(** Delivered rate at one subscriber of the flow: rate × Π min(1, 1/u)
+    over its path links.  @raise Invalid_argument if the node is not a
+    subscriber of the flow. *)
+
+val total_goodput : t -> float
+(** Σ over all flows and subscribers. *)
+
+val total_demand : t -> float
+(** Σ rate × subscribers — goodput when nothing saturates. *)
+
+val delivery_ratio : t -> float
+(** total_goodput / total_demand; 1.0 while the network keeps up. *)

@@ -1,0 +1,39 @@
+module Rng = Lipsin_util.Rng
+module Stats = Lipsin_util.Stats
+
+type config = {
+  endhost_us : float;
+  per_hop_us : float;
+  wire_us : float;
+  jitter_us : float;
+}
+
+let default = { endhost_us = 16.0; per_hop_us = 3.0; wire_us = 0.05; jitter_us = 1.0 }
+
+(* Box-Muller; one gaussian per call is plenty here. *)
+let gaussian rng =
+  let u1 = max epsilon_float (Rng.float rng 1.0) in
+  let u2 = Rng.float rng 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let one_way rng config ~hops =
+  if hops < 0 then invalid_arg "Latency.one_way: negative hop count";
+  let deterministic =
+    config.endhost_us
+    +. (float_of_int hops *. config.per_hop_us)
+    +. (float_of_int (hops + 1) *. config.wire_us)
+  in
+  let noisy = deterministic +. (gaussian rng *. config.jitter_us) in
+  Float.max 0.0 noisy
+
+let round_trip rng config ~hops = one_way rng config ~hops +. one_way rng config ~hops
+
+let collect f ~samples =
+  if samples <= 0 then invalid_arg "Latency: samples must be positive";
+  Stats.summarize (Array.init samples (fun _ -> f ()))
+
+let sample_one_way rng config ~hops ~samples =
+  collect (fun () -> one_way rng config ~hops) ~samples
+
+let sample_round_trip rng config ~hops ~samples =
+  collect (fun () -> round_trip rng config ~hops) ~samples

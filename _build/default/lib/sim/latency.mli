@@ -1,0 +1,33 @@
+(** Event-driven latency modelling (Tables 4 and 5 substrate).
+
+    The paper measures packets through chains of 0–3 NetFPGA forwarding
+    nodes and ping round-trips through a wire, an IP router, and the
+    LIPSIN switch.  Hardware is out of reach here, so this module keeps
+    the *model* — end-host cost plus a per-hop forwarding cost with
+    jitter — and the experiment harness feeds it per-hop costs measured
+    from the real software pipeline (see bench/main.ml and
+    Experiments.Table4). *)
+
+type config = {
+  endhost_us : float;  (** Send+receive cost, both ends combined. *)
+  per_hop_us : float;  (** One forwarding node's processing cost. *)
+  wire_us : float;     (** Propagation per segment. *)
+  jitter_us : float;   (** Std-dev of gaussian noise added per sample. *)
+}
+
+val default : config
+(** Calibrated to the paper's measurement: 16 µs end-host cost, 3 µs
+    per NetFPGA hop, 1 µs jitter. *)
+
+val one_way : Lipsin_util.Rng.t -> config -> hops:int -> float
+(** One sampled latency through [hops] forwarding nodes ([hops] + 1
+    wire segments; [hops] = 0 is the plain wire). *)
+
+val round_trip : Lipsin_util.Rng.t -> config -> hops:int -> float
+(** Echo request + reply through the same chain. *)
+
+val sample_one_way :
+  Lipsin_util.Rng.t -> config -> hops:int -> samples:int -> Lipsin_util.Stats.summary
+
+val sample_round_trip :
+  Lipsin_util.Rng.t -> config -> hops:int -> samples:int -> Lipsin_util.Stats.summary

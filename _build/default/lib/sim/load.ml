@@ -1,0 +1,40 @@
+module Graph = Lipsin_topology.Graph
+
+type t = { graph : Graph.t; counts : int array }
+
+let create graph = { graph; counts = Array.make (Graph.link_count graph) 0 }
+
+let record t (outcome : Run.outcome) =
+  List.iter
+    (fun l -> t.counts.(l.Graph.index) <- t.counts.(l.Graph.index) + 1)
+    outcome.Run.traversed
+
+let record_tree t tree =
+  List.iter
+    (fun l -> t.counts.(l.Graph.index) <- t.counts.(l.Graph.index) + 1)
+    tree
+
+let of_link t l = t.counts.(l.Graph.index)
+let total t = Array.fold_left ( + ) 0 t.counts
+let max_load t = Array.fold_left max 0 t.counts
+
+let hottest t ~count =
+  let links = Graph.links t.graph in
+  let indexed = Array.mapi (fun i load -> (load, i)) t.counts in
+  Array.sort (fun (la, ia) (lb, ib) ->
+      if la <> lb then compare lb la else compare ia ib)
+    indexed;
+  Array.to_list (Array.sub indexed 0 (min count (Array.length indexed)))
+  |> List.map (fun (_, i) -> links.(i))
+
+let congested t ~threshold =
+  let m = max_load t in
+  if m = 0 then []
+  else begin
+    let cutoff = threshold *. float_of_int m in
+    let links = Graph.links t.graph in
+    Array.to_list links
+    |> List.filter (fun l -> float_of_int t.counts.(l.Graph.index) >= cutoff)
+  end
+
+let reset t = Array.fill t.counts 0 (Array.length t.counts) 0

@@ -1,0 +1,36 @@
+(** Per-link traffic accounting for congestion-aware selection
+    (Sec. 3.2's "dynamic Tset of congested links").
+
+    Record the outcomes of delivered publications; the busiest links
+    form the avoidance test set handed to
+    {!Lipsin_core.Select.select_weighted}, steering later candidate
+    choices away from hot spots. *)
+
+type t
+
+val create : Lipsin_topology.Graph.t -> t
+(** All counters zero. *)
+
+val record : t -> Run.outcome -> unit
+(** Adds every traversal of the outcome to the counters. *)
+
+val record_tree : t -> Lipsin_topology.Graph.link list -> unit
+(** Accounts a tree directly (one traversal per link). *)
+
+val of_link : t -> Lipsin_topology.Graph.link -> int
+
+val total : t -> int
+(** Sum over all links. *)
+
+val max_load : t -> int
+
+val hottest :
+  t -> count:int -> Lipsin_topology.Graph.link list
+(** The [count] most-loaded links, descending (ties by link index). *)
+
+val congested :
+  t -> threshold:float -> Lipsin_topology.Graph.link list
+(** Links whose load exceeds [threshold] × max load, max itself
+    included; empty when nothing has flowed. *)
+
+val reset : t -> unit

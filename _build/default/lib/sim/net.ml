@@ -1,0 +1,41 @@
+module Graph = Lipsin_topology.Graph
+module Assignment = Lipsin_core.Assignment
+module Node_engine = Lipsin_forwarding.Node_engine
+
+type t = {
+  assignment : Assignment.t;
+  fill_limit : float option;
+  loop_prevention : bool;
+  engines : Node_engine.t option array;
+}
+
+let make ?fill_limit ?(loop_prevention = true) assignment =
+  let n = Graph.node_count (Assignment.graph assignment) in
+  { assignment; fill_limit; loop_prevention; engines = Array.make n None }
+
+let assignment t = t.assignment
+let graph t = Assignment.graph t.assignment
+
+let engine t node =
+  match t.engines.(node) with
+  | Some e -> e
+  | None ->
+    let e =
+      match t.fill_limit with
+      | Some fill_limit ->
+        Node_engine.create ~fill_limit ~loop_prevention:t.loop_prevention
+          t.assignment node
+      | None ->
+        Node_engine.create ~loop_prevention:t.loop_prevention t.assignment node
+    in
+    t.engines.(node) <- Some e;
+    e
+
+let engine_of = engine
+
+let tick t =
+  Array.iter
+    (function Some e -> Node_engine.tick e | None -> ())
+    t.engines
+let fail_link t link = Node_engine.fail_link (engine t link.Graph.src) link
+let restore_link t link = Node_engine.restore_link (engine t link.Graph.src) link

@@ -1,0 +1,31 @@
+(** A network instance: one forwarding engine per topology node, all
+    bound to the same LIT assignment.  Engines are created lazily and
+    cached, so building a Net over a large graph is cheap until nodes
+    are actually visited. *)
+
+type t
+
+val make :
+  ?fill_limit:float ->
+  ?loop_prevention:bool ->
+  Lipsin_core.Assignment.t ->
+  t
+
+val assignment : t -> Lipsin_core.Assignment.t
+val graph : t -> Lipsin_topology.Graph.t
+
+val engine : t -> Lipsin_topology.Graph.node -> Lipsin_forwarding.Node_engine.t
+(** The node's engine (created on first use). *)
+
+val engine_of : t -> Lipsin_topology.Graph.node -> Lipsin_forwarding.Node_engine.t
+(** Alias of {!engine} matching the callback shape Recovery expects. *)
+
+val tick : t -> unit
+(** Advances every instantiated engine's clock (ages loop caches).
+    {!Run.deliver}, {!Timed.deliver} and the control plane call this
+    once per packet flight. *)
+
+val fail_link : t -> Lipsin_topology.Graph.link -> unit
+(** Convenience: marks the link down at its source engine. *)
+
+val restore_link : t -> Lipsin_topology.Graph.link -> unit

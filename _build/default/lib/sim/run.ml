@@ -1,0 +1,119 @@
+module Rng = Lipsin_util.Rng
+module Graph = Lipsin_topology.Graph
+module Node_engine = Lipsin_forwarding.Node_engine
+
+type mode = Expand_once | Ttl of int
+
+type loss = { probability : float; rng : Rng.t }
+
+type outcome = {
+  reached : bool array;
+  traversed : Graph.link list;
+  link_traversals : int;
+  false_positives : int;
+  membership_tests : int;
+  fill_drops : int;
+  loop_drops : int;
+  local_deliveries : int;
+  lost : int;
+}
+
+type event = {
+  node : Graph.node;
+  in_link : Graph.link option;
+  ttl : int;
+}
+
+let ttl_event_cap = 200_000
+
+let deliver ?(mode = Expand_once) ?loss net ~src ~table ~zfilter ~tree =
+  (match loss with
+  | Some { probability; _ } when probability < 0.0 || probability >= 1.0 ->
+    invalid_arg "Run.deliver: loss probability outside [0,1)"
+  | Some _ | None -> ());
+  Net.tick net;
+  let graph = Net.graph net in
+  let n_nodes = Graph.node_count graph in
+  let n_links = Graph.link_count graph in
+  let on_tree = Array.make n_links false in
+  List.iter (fun l -> on_tree.(l.Graph.index) <- true) tree;
+  let reached = Array.make n_nodes false in
+  let seen_link = Array.make n_links false in
+  let traversed = ref [] in
+  let link_traversals = ref 0 in
+  let false_positives = ref 0 in
+  let membership_tests = ref 0 in
+  let fill_drops = ref 0 in
+  let loop_drops = ref 0 in
+  let local_deliveries = ref 0 in
+  let lost_packets = ref 0 in
+  let queue = Queue.create () in
+  let initial_ttl = match mode with Expand_once -> max_int | Ttl t -> t in
+  Queue.add { node = src; in_link = None; ttl = initial_ttl } queue;
+  reached.(src) <- true;
+  while not (Queue.is_empty queue) do
+    let { node; in_link; ttl } = Queue.take queue in
+    let verdict =
+      Node_engine.forward (Net.engine net node) ~table ~zfilter ~in_link
+    in
+    membership_tests := !membership_tests + verdict.Node_engine.false_positive_tests;
+    if verdict.Node_engine.deliver_local then incr local_deliveries;
+    (match verdict.Node_engine.drop with
+    | Some Node_engine.Fill_limit_exceeded -> incr fill_drops
+    | Some Node_engine.Loop_detected -> incr loop_drops
+    | Some Node_engine.Bad_table | None -> ());
+    let propagate l =
+      if not on_tree.(l.Graph.index) then incr false_positives;
+      let should_traverse =
+        match mode with
+        | Expand_once ->
+          if seen_link.(l.Graph.index) then false
+          else begin
+            seen_link.(l.Graph.index) <- true;
+            true
+          end
+        | Ttl _ ->
+          (* A looping filter can replicate exponentially in TTL mode;
+             the event cap bounds the simulation the way finite link
+             capacity bounds a real network. *)
+          ttl > 0 && !link_traversals < ttl_event_cap
+      in
+      if should_traverse then begin
+        incr link_traversals;
+        traversed := l :: !traversed;
+        let lost =
+          match loss with
+          | Some { probability; rng } -> Rng.float rng 1.0 < probability
+          | None -> false
+        in
+        if lost then incr lost_packets
+        else begin
+          reached.(l.Graph.dst) <- true;
+          Queue.add { node = l.Graph.dst; in_link = Some l; ttl = ttl - 1 } queue
+        end
+      end
+    in
+    List.iter propagate verdict.Node_engine.forward_on
+  done;
+  {
+    reached;
+    traversed = List.rev !traversed;
+    link_traversals = !link_traversals;
+    false_positives = !false_positives;
+    membership_tests = !membership_tests;
+    fill_drops = !fill_drops;
+    loop_drops = !loop_drops;
+    local_deliveries = !local_deliveries;
+    lost = !lost_packets;
+  }
+
+let forwarding_efficiency outcome ~tree =
+  if outcome.link_traversals = 0 then 1.0
+  else float_of_int (List.length tree) /. float_of_int outcome.link_traversals
+
+let false_positive_rate outcome =
+  if outcome.membership_tests = 0 then 0.0
+  else float_of_int outcome.false_positives /. float_of_int outcome.membership_tests
+
+let all_reached outcome subscribers =
+  List.for_all (fun s -> outcome.reached.(s)) subscribers

@@ -1,0 +1,64 @@
+(** Packet delivery simulation and the paper's performance indicators.
+
+    A delivery starts at the source node and fans out hop by hop: each
+    visited node runs its forwarding decision and the packet is copied
+    onto every matching link.  Two propagation modes:
+
+    - {b expand-once} (default): each directed link carries the packet
+      at most once — the steady state of a multicast delivery, matching
+      how the paper counts "links during delivery" (Eq. 3);
+    - {b ttl}: links may be re-traversed and each traversal counts;
+      propagation is bounded by the packet TTL.  This mode exercises
+      loop formation and the loop-prevention machinery.
+
+    False positives are counted per Eq. (2): every membership test a
+    visited node performs is a "tested element"; a match on a link
+    outside the intended tree is a false positive. *)
+
+type mode = Expand_once | Ttl of int
+
+type loss = {
+  probability : float;  (** Per-traversal drop probability, \[0, 1). *)
+  rng : Lipsin_util.Rng.t;
+}
+
+type outcome = {
+  reached : bool array;  (** [reached.(v)] — the packet visited node v. *)
+  traversed : Lipsin_topology.Graph.link list;
+      (** Links that carried the packet, in traversal order; in TTL
+          mode a link may appear multiple times. *)
+  link_traversals : int;  (** Total traversals = bandwidth cost. *)
+  false_positives : int;
+  membership_tests : int;
+  fill_drops : int;   (** Packets discarded by the fill-factor limit. *)
+  loop_drops : int;   (** Packets discarded by loop detection. *)
+  local_deliveries : int;  (** Slow-path (control processor) hits. *)
+  lost : int;  (** Traversals dropped by the loss model. *)
+}
+
+val deliver :
+  ?mode:mode ->
+  ?loss:loss ->
+  Net.t ->
+  src:Lipsin_topology.Graph.node ->
+  table:int ->
+  zfilter:Lipsin_bloom.Zfilter.t ->
+  tree:Lipsin_topology.Graph.link list ->
+  outcome
+(** Simulates one publication.  [tree] is the *intended* delivery tree,
+    used only for false-positive classification (pass [] to classify
+    every match as false, e.g. for attack traffic).  With [loss], each
+    link traversal is dropped independently with the given probability
+    (seeded — repeatable); a lost copy still counts as a traversal
+    (the bandwidth was spent) but does not propagate. *)
+
+val forwarding_efficiency : outcome -> tree:Lipsin_topology.Graph.link list -> float
+(** Eq. (3): tree links / links during delivery, in \[0, 1\]; 1.0 when
+    nothing was delivered (no bandwidth wasted). *)
+
+val false_positive_rate : outcome -> float
+(** Eq. (2): observed false positives / tested elements; 0 when no
+    tests ran. *)
+
+val all_reached : outcome -> Lipsin_topology.Graph.node list -> bool
+(** Did every listed subscriber receive the packet? *)

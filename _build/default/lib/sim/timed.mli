@@ -1,0 +1,55 @@
+(** Time-domain delivery: per-subscriber latency of a multicast
+    (the ns-3 view the paper's simulations take, with store-and-forward
+    timing).
+
+    The packet leaves the source at t = 0; each hop adds the node's
+    processing cost plus the link's serialization + propagation delay.
+    Branching is free (hardware replicates to all matching ports in the
+    same pipeline pass), so a subscriber's latency is its tree depth
+    times the per-hop cost — the low-latency property the paper claims
+    over overlay multicast, where each overlay hop re-crosses the
+    kernel. *)
+
+type config = {
+  node_us : float;  (** Per-hop forwarding cost. *)
+  link_us : float;  (** Per-link serialization + propagation. *)
+}
+
+val default : config
+(** 3 µs per node (the paper's NetFPGA figure), 0.5 µs per link. *)
+
+type arrival = {
+  node : Lipsin_topology.Graph.node;
+  time_us : float;
+  depth : int;  (** Hops from the source. *)
+}
+
+val deliver :
+  ?config:config ->
+  Net.t ->
+  src:Lipsin_topology.Graph.node ->
+  table:int ->
+  zfilter:Lipsin_bloom.Zfilter.t ->
+  arrival list
+(** Arrival time of the packet's first copy at every node it reaches,
+    ascending by time.  The source itself arrives at t = 0. *)
+
+val latency_to :
+  arrival list -> Lipsin_topology.Graph.node -> float option
+(** First-copy latency at one node. *)
+
+val subscriber_latencies :
+  arrival list -> Lipsin_topology.Graph.node list -> Lipsin_util.Stats.summary option
+(** Summary over the given subscribers; [None] if any is unreached. *)
+
+val overlay_equivalent_latency :
+  ?config:config ->
+  Lipsin_topology.Graph.t ->
+  src:Lipsin_topology.Graph.node ->
+  relays:Lipsin_topology.Graph.node list ->
+  dst:Lipsin_topology.Graph.node ->
+  float
+(** The comparison point: the same delivery through an application
+    overlay that detours via the relay nodes, paying end-host
+    processing (20 × node_us) at each relay.  Used by the latency
+    experiments to show the fabric's advantage. *)

@@ -1,0 +1,1 @@
+lib/stateful/dense.ml: Array Hashtbl Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_topology List Option Virtual_link

@@ -1,0 +1,1 @@
+lib/stateful/dense.mli: Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util Virtual_link

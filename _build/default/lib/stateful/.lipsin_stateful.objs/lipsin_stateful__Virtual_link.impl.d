@@ -1,0 +1,1 @@
+lib/stateful/virtual_link.ml: Array Hashtbl Lipsin_bloom Lipsin_core Lipsin_forwarding Lipsin_sim Lipsin_topology Lipsin_util List

@@ -1,0 +1,117 @@
+module Zfilter = Lipsin_bloom.Zfilter
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Assignment = Lipsin_core.Assignment
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+
+type plan = {
+  publisher : Graph.node;
+  subscribers : Graph.node list;
+  cores : Graph.node list;
+  core_links : Graph.link list;
+  virtuals : Virtual_link.t list;
+  reference_tree : Graph.link list;
+}
+
+let top_degree_nodes graph ~count ~excluding =
+  let nodes =
+    List.init (Graph.node_count graph) (fun v -> (Graph.out_degree graph v, v))
+  in
+  nodes
+  |> List.filter (fun (_, v) -> v <> excluding)
+  |> List.sort (fun (da, va) (db, vb) ->
+         if da <> db then compare db da else compare va vb)
+  |> List.filteri (fun i _ -> i < count)
+  |> List.map snd
+
+let plan assignment rng ~publisher ~subscribers ~cores =
+  if subscribers = [] then invalid_arg "Dense.plan: no subscribers";
+  if cores <= 0 then invalid_arg "Dense.plan: cores must be positive";
+  let graph = Assignment.graph assignment in
+  let core_nodes = top_degree_nodes graph ~count:cores ~excluding:publisher in
+  (* Hop distance from every core, for nearest-core assignment. *)
+  let core_distances =
+    List.map (fun c -> (c, Spt.distances graph ~root:c)) core_nodes
+  in
+  let nearest_core sub =
+    List.fold_left
+      (fun (best_core, best_dist) (core, dists) ->
+        if dists.(sub) < best_dist then (core, dists.(sub))
+        else (best_core, best_dist))
+      (-1, max_int) core_distances
+    |> fst
+  in
+  let by_core = Hashtbl.create 8 in
+  List.iter
+    (fun sub ->
+      if sub <> publisher then begin
+        let core = nearest_core sub in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt by_core core) in
+        Hashtbl.replace by_core core (sub :: existing)
+      end)
+    subscribers;
+  let vrng = rng in
+  let virtuals =
+    Hashtbl.fold
+      (fun core subs acc ->
+        let members = List.filter (fun s -> s <> core) subs in
+        if members = [] then acc
+        else
+          let links = Spt.delivery_tree graph ~root:core ~subscribers:members in
+          Virtual_link.define assignment vrng ~links :: acc)
+      by_core []
+  in
+  let used_cores =
+    Hashtbl.fold (fun core _ acc -> core :: acc) by_core [] |> List.sort compare
+  in
+  let core_links =
+    Spt.delivery_tree graph ~root:publisher ~subscribers:used_cores
+  in
+  let reference_tree = Spt.delivery_tree graph ~root:publisher ~subscribers in
+  { publisher; subscribers; cores = used_cores; core_links; virtuals; reference_tree }
+
+let zfilter assignment plan ~table =
+  let params = Assignment.params assignment in
+  let z = Zfilter.create ~m:params.Lit.m in
+  List.iter (fun l -> Zfilter.add z (Assignment.tag assignment l ~table)) plan.core_links;
+  List.iter (fun v -> Zfilter.add z (Virtual_link.tag v ~table)) plan.virtuals;
+  z
+
+type result = {
+  outcome : Run.outcome;
+  efficiency : float;
+  all_delivered : bool;
+  fill : float;
+  stateless_fill : float;
+}
+
+let execute net plan ~table =
+  let assignment = Net.assignment net in
+  let z = zfilter assignment plan ~table in
+  List.iter (Virtual_link.install net) plan.virtuals;
+  let intended =
+    (* For false-positive classification, the intended links are the
+       core paths plus everything the virtual links cover. *)
+    plan.core_links @ List.concat_map (fun v -> v.Virtual_link.links) plan.virtuals
+  in
+  let outcome =
+    Run.deliver net ~src:plan.publisher ~table ~zfilter:z ~tree:intended
+  in
+  List.iter (Virtual_link.uninstall net) plan.virtuals;
+  let stateless_fill =
+    let params = Assignment.params assignment in
+    let full = Zfilter.create ~m:params.Lit.m in
+    List.iter
+      (fun l -> Zfilter.add full (Assignment.tag assignment l ~table))
+      plan.reference_tree;
+    Zfilter.fill_factor full
+  in
+  {
+    outcome;
+    efficiency = Run.forwarding_efficiency outcome ~tree:plan.reference_tree;
+    all_delivered = Run.all_reached outcome plan.subscribers;
+    fill = Zfilter.fill_factor z;
+    stateless_fill;
+  }

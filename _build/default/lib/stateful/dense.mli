@@ -1,0 +1,48 @@
+(** Stateful dense multicast (Sec. 4.2 "Stateful forwarding", Fig. 6).
+
+    For dense subscriber sets a single zFilter would be hopelessly
+    full.  The paper's winning configuration installs virtual links
+    rooted at high-degree core nodes, each covering the subscribers
+    nearest to it; the packet's zFilter then only needs the
+    publisher→core paths plus one LIT per core tree, keeping the fill
+    factor low while the virtual links fan the packet out statefully. *)
+
+type plan = {
+  publisher : Lipsin_topology.Graph.node;
+  subscribers : Lipsin_topology.Graph.node list;
+  cores : Lipsin_topology.Graph.node list;
+  core_links : Lipsin_topology.Graph.link list;
+      (** Publisher → cores shortest-path links (encoded per-link). *)
+  virtuals : Virtual_link.t list;  (** One per core with subscribers. *)
+  reference_tree : Lipsin_topology.Graph.link list;
+      (** The plain SPT publisher → subscribers, the Eq. 3 numerator. *)
+}
+
+val plan :
+  Lipsin_core.Assignment.t ->
+  Lipsin_util.Rng.t ->
+  publisher:Lipsin_topology.Graph.node ->
+  subscribers:Lipsin_topology.Graph.node list ->
+  cores:int ->
+  plan
+(** Chooses the [cores] highest-degree nodes, assigns each subscriber
+    to its hop-nearest core, and defines one virtual link per core
+    covering the core→assigned-subscribers tree.
+    @raise Invalid_argument on an empty subscriber list or
+    [cores <= 0]. *)
+
+val zfilter : Lipsin_core.Assignment.t -> plan -> table:int -> Lipsin_bloom.Zfilter.t
+(** Core-path LITs ORed with the virtual links' LITs. *)
+
+type result = {
+  outcome : Lipsin_sim.Run.outcome;
+  efficiency : float;  (** Eq. 3 against the reference SPT. *)
+  all_delivered : bool;
+  fill : float;  (** Fill factor of the stateful zFilter. *)
+  stateless_fill : float;
+      (** Fill factor a single stateless zFilter of the full tree would
+          have had (for comparison). *)
+}
+
+val execute : Lipsin_sim.Net.t -> plan -> table:int -> result
+(** Installs the virtual links, delivers, uninstalls, reports. *)

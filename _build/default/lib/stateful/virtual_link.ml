@@ -1,0 +1,49 @@
+module Rng = Lipsin_util.Rng
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module Assignment = Lipsin_core.Assignment
+module Net = Lipsin_sim.Net
+module Node_engine = Lipsin_forwarding.Node_engine
+
+type t = { identity : Lit.t; links : Graph.link list }
+
+let define ?(dense_tags = true) assignment rng ~links =
+  if links = [] then invalid_arg "Virtual_link.define: empty link set";
+  let params = Assignment.params assignment in
+  let identity_params =
+    if dense_tags then
+      let k_for_table =
+        Array.map (fun k -> min params.Lit.m (2 * k)) params.Lit.k_for_table
+      in
+      { params with Lit.k_for_table }
+    else params
+  in
+  { identity = Lit.fresh identity_params rng; links }
+
+let source_nodes t =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun l ->
+      if Hashtbl.mem seen l.Graph.src then None
+      else begin
+        Hashtbl.replace seen l.Graph.src ();
+        Some l.Graph.src
+      end)
+    t.links
+
+let out_links_at t node =
+  List.filter (fun l -> l.Graph.src = node) t.links
+
+let install net t =
+  List.iter
+    (fun node ->
+      Node_engine.install_virtual (Net.engine net node) t.identity
+        ~out_links:(out_links_at t node))
+    (source_nodes t)
+
+let uninstall net t =
+  List.iter
+    (fun node -> Node_engine.remove_virtual (Net.engine net node) t.identity)
+    (source_nodes t)
+
+let tag t ~table = Lit.tag t.identity table

@@ -1,0 +1,38 @@
+(** Virtual links (Sec. 3.3.1).
+
+    A virtual link names an arbitrary set of unidirectional links — a
+    tunnel, a partial tree, a forest — with a single Link ID and LIT
+    set.  Including the one LIT in a zFilter replaces all the
+    constituent links' LITs, cutting the fill factor at the price of
+    forwarding state in the member nodes. *)
+
+type t = {
+  identity : Lipsin_bloom.Lit.t;
+  links : Lipsin_topology.Graph.link list;  (** The covered link set. *)
+}
+
+val define :
+  ?dense_tags:bool ->
+  Lipsin_core.Assignment.t ->
+  Lipsin_util.Rng.t ->
+  links:Lipsin_topology.Graph.link list ->
+  t
+(** Allocates a fresh identity for the link set.  With [dense_tags]
+    (default true) the identity uses roughly twice the bits per tag of
+    the physical links — the paper's "careful naming of the virtual
+    links (e.g. more 1-bits than in the case of physical links)"
+    mitigation against costly false positives onto whole subgraphs.
+    @raise Invalid_argument on an empty link set. *)
+
+val install : Lipsin_sim.Net.t -> t -> unit
+(** Distributes the identity to every node that has outgoing links in
+    the set (the "communicate the Link ID to the nodes residing on the
+    virtual link" step). *)
+
+val uninstall : Lipsin_sim.Net.t -> t -> unit
+
+val tag : t -> table:int -> Lipsin_bitvec.Bitvec.t
+(** The LIT to OR into a zFilter using the given forwarding table. *)
+
+val source_nodes : t -> Lipsin_topology.Graph.node list
+(** Nodes at which the virtual link forwards (deduplicated). *)

@@ -1,0 +1,1 @@
+lib/topology/as_presets.ml: Generator Lipsin_util String

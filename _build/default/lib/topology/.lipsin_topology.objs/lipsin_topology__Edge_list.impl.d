@@ -1,0 +1,1 @@
+lib/topology/edge_list.ml: Buffer Fun Graph In_channel List Printf String

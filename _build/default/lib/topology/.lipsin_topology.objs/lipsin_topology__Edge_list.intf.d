@@ -1,0 +1,1 @@
+lib/topology/edge_list.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/generator.ml: Array Fun Graph Lipsin_util List

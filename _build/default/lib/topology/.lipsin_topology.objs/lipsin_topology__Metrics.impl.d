@@ -1,0 +1,1 @@
+lib/topology/metrics.ml: Array Format Graph Hashtbl List Option Spt

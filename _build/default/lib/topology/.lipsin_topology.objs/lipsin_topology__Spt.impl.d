@@ -1,0 +1,1 @@
+lib/topology/spt.ml: Array Graph Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/topology/spt.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/weights.ml: Array Graph Hashtbl Lipsin_util List

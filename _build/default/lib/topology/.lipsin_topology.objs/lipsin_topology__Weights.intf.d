@@ -1,0 +1,1 @@
+lib/topology/weights.mli: Graph Lipsin_util

@@ -1,0 +1,33 @@
+(** The five evaluation topologies of the paper's Table 1, regenerated.
+
+    Each preset is a deterministic generator call (fixed seed and tuning
+    constants) whose output matches the published node/link counts
+    exactly and the diameter/radius/degree figures closely; the Table 1
+    reproduction (`lipsin_cli table1`) prints the achieved values next
+    to the paper's. *)
+
+type spec = {
+  name : string;
+  nodes : int;   (** Paper value. *)
+  edges : int;   (** Paper "Links" value (undirected). *)
+  diameter : int;
+  radius : int;
+  avg_degree : int;
+  max_degree : int;
+}
+
+val as1221 : unit -> Graph.t
+val as3257 : unit -> Graph.t
+val as3967 : unit -> Graph.t
+val as6461 : unit -> Graph.t
+val ta2 : unit -> Graph.t
+
+val by_name : string -> Graph.t
+(** Accepts "AS1221", "1221", "TA2", case-insensitive.
+    @raise Invalid_argument for unknown names. *)
+
+val all : unit -> (string * Graph.t) list
+(** All five, in the paper's Table 1 order. *)
+
+val paper_table1 : spec list
+(** The published Table 1 values, for side-by-side reporting. *)

@@ -1,0 +1,56 @@
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "nodes %d\n" (Graph.node_count g));
+  Graph.iter_links g (fun l ->
+      (* Emit each undirected edge once, in the canonical direction it
+         was inserted (the lower-index directed link of the pair). *)
+      if l.Graph.index < (Graph.reverse_link g l).Graph.index then
+        Buffer.add_string buf (Printf.sprintf "%d %d\n" l.Graph.src l.Graph.dst));
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let meaningful =
+    List.filter
+      (fun line ->
+        let trimmed = String.trim line in
+        trimmed <> "" && not (String.length trimmed > 0 && trimmed.[0] = '#'))
+      lines
+  in
+  match meaningful with
+  | [] -> invalid_arg "Edge_list.of_string: empty input"
+  | header :: rest ->
+    let nodes =
+      match String.split_on_char ' ' (String.trim header) with
+      | [ "nodes"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n > 0 -> n
+        | _ -> invalid_arg "Edge_list.of_string: bad node count")
+      | _ -> invalid_arg "Edge_list.of_string: missing 'nodes <n>' header"
+    in
+    let g = Graph.create ~nodes in
+    let parse_edge line =
+      match
+        String.trim line |> String.split_on_char ' '
+        |> List.filter (fun tok -> tok <> "")
+      with
+      | [ u; v ] -> (
+        match (int_of_string_opt u, int_of_string_opt v) with
+        | Some u, Some v -> Graph.add_edge g u v
+        | _ -> invalid_arg ("Edge_list.of_string: bad edge line: " ^ line))
+      | _ -> invalid_arg ("Edge_list.of_string: bad edge line: " ^ line)
+    in
+    List.iter parse_edge rest;
+    g
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,19 @@
+(** Plain-text edge-list serialization.
+
+    Format: first line [nodes <n>], then one [<u> <v>] line per
+    undirected edge, in insertion order.  Lines starting with [#] and
+    blank lines are ignored on input.  This lets users bring their own
+    topologies (e.g. actual Rocketfuel maps) to the CLI and examples. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** @raise Invalid_argument on malformed input (missing header, node out
+    of range, duplicate edge, self-loop). *)
+
+val save : Graph.t -> string -> unit
+(** [save g path] writes [to_string g] to [path]. *)
+
+val load : string -> Graph.t
+(** [load path] parses the file at [path].
+    @raise Sys_error on I/O failure, [Invalid_argument] on bad data. *)

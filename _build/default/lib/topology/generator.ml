@@ -1,0 +1,201 @@
+module Rng = Lipsin_util.Rng
+
+(* Draw a node with probability proportional to degree + 1, honouring a
+   degree cap and an optional exclusion.  Returns -1 when no node is
+   eligible. *)
+let pick_preferential rng g ~max_degree ~exclude ~limit =
+  let n = min limit (Graph.node_count g) in
+  let total = ref 0 in
+  for u = 0 to n - 1 do
+    if u <> exclude && Graph.out_degree g u < max_degree then
+      total := !total + Graph.out_degree g u + 1
+  done;
+  if !total = 0 then -1
+  else begin
+    let target = Rng.int rng !total in
+    let acc = ref 0 and found = ref (-1) and u = ref 0 in
+    while !found = -1 && !u < n do
+      if !u <> exclude && Graph.out_degree g !u < max_degree then begin
+        acc := !acc + Graph.out_degree g !u + 1;
+        if target < !acc then found := !u
+      end;
+      incr u
+    done;
+    !found
+  end
+
+let pref_attach ~rng ~nodes ~edges ~max_degree ?(chain_fraction = 0.0) () =
+  if edges < nodes - 1 then
+    invalid_arg "Generator.pref_attach: need at least nodes-1 edges";
+  if max_degree < 2 then invalid_arg "Generator.pref_attach: max_degree < 2";
+  if chain_fraction < 0.0 || chain_fraction >= 1.0 then
+    invalid_arg "Generator.pref_attach: chain_fraction outside [0,1)";
+  let g = Graph.create ~nodes in
+  let chain_nodes = int_of_float (chain_fraction *. float_of_int nodes) in
+  let core_nodes = nodes - chain_nodes in
+  if core_nodes < 2 then invalid_arg "Generator.pref_attach: too few core nodes";
+  (* Spanning backbone over the core by preferential attachment. *)
+  Graph.add_edge g 0 1;
+  for v = 2 to core_nodes - 1 do
+    let target = pick_preferential rng g ~max_degree ~exclude:v ~limit:v in
+    if target = -1 then invalid_arg "Generator.pref_attach: degree cap infeasible";
+    Graph.add_edge g v target
+  done;
+  (* Access chains: each chain node extends a random low-degree node,
+     stretching the diameter the way Rocketfuel access links do. *)
+  let tail = ref (core_nodes - 1) in
+  for v = core_nodes to nodes - 1 do
+    let anchor =
+      if v > core_nodes && Rng.float rng 1.0 < 0.7 then !tail
+      else begin
+        (* bias towards the periphery: sample a few nodes, keep the one
+           with the lowest degree *)
+        let best = ref (Rng.int rng v) in
+        for _ = 1 to 3 do
+          let c = Rng.int rng v in
+          if Graph.out_degree g c < Graph.out_degree g !best then best := c
+        done;
+        !best
+      end
+    in
+    let anchor =
+      if Graph.out_degree g anchor >= max_degree then
+        pick_preferential rng g ~max_degree ~exclude:v ~limit:v
+      else anchor
+    in
+    if anchor = -1 then invalid_arg "Generator.pref_attach: degree cap infeasible";
+    Graph.add_edge g v anchor;
+    tail := v
+  done;
+  (* Extra edges, degree-proportional endpoints. *)
+  let remaining = ref (edges - (nodes - 1)) in
+  let attempts = ref 0 in
+  let max_attempts = 200 * edges in
+  while !remaining > 0 && !attempts < max_attempts do
+    incr attempts;
+    let u = pick_preferential rng g ~max_degree ~exclude:(-1) ~limit:nodes in
+    if u <> -1 then begin
+      let v = pick_preferential rng g ~max_degree ~exclude:u ~limit:nodes in
+      if v <> -1 && not (Graph.has_edge g u v) then begin
+        Graph.add_edge g u v;
+        decr remaining
+      end
+    end
+  done;
+  if !remaining > 0 then
+    invalid_arg "Generator.pref_attach: could not place all edges under degree cap";
+  g
+
+let ring ~nodes =
+  if nodes < 3 then invalid_arg "Generator.ring: need at least 3 nodes";
+  let g = Graph.create ~nodes in
+  for v = 0 to nodes - 1 do
+    Graph.add_edge g v ((v + 1) mod nodes)
+  done;
+  g
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 || rows * cols < 2 then
+    invalid_arg "Generator.grid: need at least 2 nodes";
+  let g = Graph.create ~nodes:(rows * cols) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let v = (r * cols) + c in
+      if c + 1 < cols then Graph.add_edge g v (v + 1);
+      if r + 1 < rows then Graph.add_edge g v (v + cols)
+    done
+  done;
+  g
+
+type fat_tree = {
+  graph : Graph.t;
+  hosts : Graph.node list;
+  switches : Graph.node list;
+}
+
+let fat_tree ~k =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Generator.fat_tree: k must be even and >= 2";
+  let half = k / 2 in
+  let cores = half * half in
+  let pods = k in
+  let n_agg = pods * half in
+  let n_edge = pods * half in
+  let n_hosts = n_edge * half in
+  let g = Graph.create ~nodes:(cores + n_agg + n_edge + n_hosts) in
+  let agg p i = cores + (p * half) + i in
+  let edge p i = cores + n_agg + (p * half) + i in
+  let host e h = cores + n_agg + n_edge + (e * half) + h in
+  for p = 0 to pods - 1 do
+    for a = 0 to half - 1 do
+      (* Aggregation switch a of pod p uplinks to core group a. *)
+      for c = 0 to half - 1 do
+        let core = (a * half) + c in
+        if not (Graph.has_edge g (agg p a) core) then
+          Graph.add_edge g (agg p a) core
+      done;
+      for e = 0 to half - 1 do
+        Graph.add_edge g (agg p a) (edge p e)
+      done
+    done;
+    for e = 0 to half - 1 do
+      for h = 0 to half - 1 do
+        Graph.add_edge g (edge p e) (host ((p * half) + e) h)
+      done
+    done
+  done;
+  let switches = List.init (cores + n_agg + n_edge) Fun.id in
+  let hosts =
+    List.init n_hosts (fun i -> cores + n_agg + n_edge + i)
+  in
+  { graph = g; hosts; switches }
+
+let waxman ~rng ~nodes ~edges ?(alpha = 0.9) ?(beta = 0.18) ~max_degree () =
+  if edges < nodes - 1 then invalid_arg "Generator.waxman: need at least nodes-1 edges";
+  let xs = Array.init nodes (fun _ -> Rng.float rng 1.0) in
+  let ys = Array.init nodes (fun _ -> Rng.float rng 1.0) in
+  let dist u v = sqrt (((xs.(u) -. xs.(v)) ** 2.0) +. ((ys.(u) -. ys.(v)) ** 2.0)) in
+  let g = Graph.create ~nodes in
+  (* Nearest-neighbour spanning pass keeps the graph connected and
+     planar-ish, as in the SNDlib reference networks. *)
+  let in_tree = Array.make nodes false in
+  in_tree.(0) <- true;
+  for _ = 1 to nodes - 1 do
+    let best = ref (-1, -1, infinity) in
+    for v = 0 to nodes - 1 do
+      if not in_tree.(v) then
+        for u = 0 to nodes - 1 do
+          if in_tree.(u) && Graph.out_degree g u < max_degree then begin
+            let d = dist u v in
+            let _, _, bd = !best in
+            if d < bd then best := (u, v, d)
+          end
+        done
+    done;
+    let u, v, _ = !best in
+    if u = -1 then invalid_arg "Generator.waxman: degree cap infeasible";
+    Graph.add_edge g u v;
+    in_tree.(v) <- true
+  done;
+  (* Waxman edges until the target count; the scale L is the max
+     pairwise distance (bounded by sqrt 2 on the unit square). *)
+  let scale = sqrt 2.0 in
+  let remaining = ref (edges - (nodes - 1)) in
+  let attempts = ref 0 in
+  let max_attempts = 500 * edges in
+  while !remaining > 0 && !attempts < max_attempts do
+    incr attempts;
+    let u = Rng.int rng nodes and v = Rng.int rng nodes in
+    if
+      u <> v
+      && (not (Graph.has_edge g u v))
+      && Graph.out_degree g u < max_degree
+      && Graph.out_degree g v < max_degree
+      && Rng.float rng 1.0 < alpha *. exp (-.dist u v /. (beta *. scale))
+    then begin
+      Graph.add_edge g u v;
+      decr remaining
+    end
+  done;
+  if !remaining > 0 then
+    invalid_arg "Generator.waxman: could not place all edges under degree cap";
+  g

@@ -1,0 +1,62 @@
+(** Synthetic router-level topologies.
+
+    The paper evaluates on Rocketfuel intra-domain maps (AS 1221, 3257,
+    3967, 6461) and SNDlib's TA2.  That data is not redistributable
+    here, so we generate graphs that match the published Table 1
+    statistics — node count, link count, diameter, radius, degree
+    profile — which are the properties the zFilter results actually
+    depend on (tree depth and size, and the out-degree sets membership
+    tests run against).  See DESIGN.md "Substitutions".
+
+    Both generators always return connected graphs and are
+    deterministic in the given generator state. *)
+
+val pref_attach :
+  rng:Lipsin_util.Rng.t ->
+  nodes:int ->
+  edges:int ->
+  max_degree:int ->
+  ?chain_fraction:float ->
+  unit ->
+  Graph.t
+(** Preferential-attachment ISP-like graph: a spanning backbone built by
+    degree-proportional attachment (producing the hub structure of
+    router-level maps, capped at [max_degree]), with [chain_fraction]
+    of the nodes appended as degree-2 chains off the periphery (the
+    long access chains that give Rocketfuel maps their 8–10 hop
+    diameters), then degree-proportional extra edges up to [edges].
+    @raise Invalid_argument if [edges < nodes - 1] or parameters are
+    infeasible under the degree cap. *)
+
+val ring : nodes:int -> Graph.t
+(** A cycle.  @raise Invalid_argument if [nodes < 3]. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** A rows × cols mesh (node r*cols+c).  @raise Invalid_argument unless
+    both are ≥ 1 and the result has ≥ 2 nodes. *)
+
+type fat_tree = {
+  graph : Graph.t;
+  hosts : Graph.node list;     (** Leaf hosts, ascending. *)
+  switches : Graph.node list;  (** Core + aggregation + edge switches. *)
+}
+
+val fat_tree : k:int -> fat_tree
+(** A k-ary fat-tree data-center fabric (k even, ≥ 2): (k/2)² cores,
+    k pods of k/2 aggregation + k/2 edge switches, (k/2)² hosts per
+    pod... scaled-down variant with k/2 hosts per edge switch.
+    @raise Invalid_argument if [k] is odd or < 2. *)
+
+val waxman :
+  rng:Lipsin_util.Rng.t ->
+  nodes:int ->
+  edges:int ->
+  ?alpha:float ->
+  ?beta:float ->
+  max_degree:int ->
+  unit ->
+  Graph.t
+(** Waxman geometric graph (nodes uniform in the unit square, edge
+    probability α·exp(−dist/βL)), forced connected by a
+    nearest-neighbour spanning pass; models the planar, meshy SNDlib
+    TA2 reference network. *)

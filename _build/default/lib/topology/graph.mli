@@ -1,0 +1,67 @@
+(** Network graphs of unidirectional links.
+
+    LIPSIN names links, not nodes, so the graph exposes *directed* links
+    as first-class values: an undirected adjacency between nodes u and v
+    is stored as the two links u→v and v→u, each with its own dense
+    index (used to key LIT assignments, forwarding tables and
+    simulation-side accounting).
+
+    Nodes are dense integers 0..n-1.  Self-loops and parallel edges are
+    rejected; the graphs the paper evaluates (Rocketfuel/SNDlib router
+    topologies) have neither. *)
+
+type node = int
+
+type link = {
+  src : node;
+  dst : node;
+  index : int;  (** Dense id, unique per directed link, 0..link_count-1. *)
+}
+
+type t
+
+val create : nodes:int -> t
+(** [create ~nodes] makes an edgeless graph over nodes 0..nodes-1.
+    @raise Invalid_argument if [nodes <= 0]. *)
+
+val add_edge : t -> node -> node -> unit
+(** Adds the undirected edge u—v, i.e. both directed links.  The link
+    u→v gets the next free even-ish index; indices are assigned in call
+    order.  @raise Invalid_argument on self-loop, duplicate edge, or
+    node out of range. *)
+
+val node_count : t -> int
+
+val link_count : t -> int
+(** Number of *directed* links (twice the undirected edge count). *)
+
+val edge_count : t -> int
+(** Number of undirected edges. *)
+
+val has_edge : t -> node -> node -> bool
+
+val out_links : t -> node -> link list
+(** Links with [src] = the node, in insertion order. *)
+
+val out_degree : t -> node -> int
+
+val neighbors : t -> node -> node list
+
+val links : t -> link array
+(** All directed links, indexed by [link.index] (fresh array, shared
+    link values). *)
+
+val link : t -> int -> link
+(** Link by dense index.  @raise Invalid_argument if out of range. *)
+
+val find_link : t -> src:node -> dst:node -> link option
+
+val reverse_link : t -> link -> link
+(** The opposite direction of the same physical link. *)
+
+val iter_links : t -> (link -> unit) -> unit
+
+val fold_nodes : t -> init:'a -> f:('a -> node -> 'a) -> 'a
+
+val pp : Format.formatter -> t -> unit
+(** One line: nodes/links counts. *)

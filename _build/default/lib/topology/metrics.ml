@@ -1,0 +1,54 @@
+type t = {
+  nodes : int;
+  edges : int;
+  diameter : int;
+  radius : int;
+  avg_degree : float;
+  max_degree : int;
+}
+
+let eccentricity g u =
+  let dist = Spt.distances g ~root:u in
+  Array.fold_left
+    (fun acc d ->
+      if d = max_int then invalid_arg "Metrics.eccentricity: graph disconnected"
+      else max acc d)
+    0 dist
+
+let compute g =
+  let n = Graph.node_count g in
+  let diameter = ref 0 and radius = ref max_int in
+  for u = 0 to n - 1 do
+    let e = eccentricity g u in
+    if e > !diameter then diameter := e;
+    if e < !radius then radius := e
+  done;
+  let max_degree =
+    Graph.fold_nodes g ~init:0 ~f:(fun acc u -> max acc (Graph.out_degree g u))
+  in
+  {
+    nodes = n;
+    edges = Graph.edge_count g;
+    diameter = !diameter;
+    radius = !radius;
+    avg_degree = float_of_int (Graph.link_count g) /. float_of_int n;
+    max_degree;
+  }
+
+let degree_histogram g =
+  let table = Hashtbl.create 16 in
+  for u = 0 to Graph.node_count g - 1 do
+    let d = Graph.out_degree g u in
+    Hashtbl.replace table d (1 + Option.value ~default:0 (Hashtbl.find_opt table d))
+  done;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "nodes=%d edges=%d diameter=%d radius=%d avg_degree=%.1f max_degree=%d"
+    t.nodes t.edges t.diameter t.radius t.avg_degree t.max_degree
+
+let pp_row ppf (name, t) =
+  Format.fprintf ppf "%-8s %5d %6d %9d %7d %5.0f (%d)" name t.nodes t.edges
+    t.diameter t.radius t.avg_degree t.max_degree

@@ -1,0 +1,27 @@
+(** Graph characterization — the quantities of the paper's Table 1. *)
+
+type t = {
+  nodes : int;
+  edges : int;      (** Undirected edge count ("Links" in Table 1). *)
+  diameter : int;   (** Max eccentricity over the (connected) graph. *)
+  radius : int;     (** Min eccentricity. *)
+  avg_degree : float;
+  max_degree : int;
+}
+
+val compute : Graph.t -> t
+(** All-pairs BFS; fine for the metropolitan-scale graphs evaluated.
+    @raise Invalid_argument if the graph is disconnected (diameter
+    undefined). *)
+
+val eccentricity : Graph.t -> Graph.node -> int
+(** Longest shortest path out of the node.
+    @raise Invalid_argument if some node is unreachable. *)
+
+val degree_histogram : Graph.t -> (int * int) list
+(** [(degree, #nodes)] pairs, ascending by degree. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_row : Format.formatter -> string * t -> unit
+(** One Table 1 row: name, nodes, links, diameter, radius, avg (max)
+    degree. *)

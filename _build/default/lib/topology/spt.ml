@@ -1,0 +1,93 @@
+type parents = int array
+
+let bfs_parents g ~root =
+  let n = Graph.node_count g in
+  let parents = Array.make n (-1) in
+  let visited = Array.make n false in
+  visited.(root) <- true;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    let visit l =
+      let v = l.Graph.dst in
+      if not visited.(v) then begin
+        visited.(v) <- true;
+        parents.(v) <- u;
+        Queue.add v queue
+      end
+    in
+    List.iter visit (Graph.out_links g u)
+  done;
+  parents
+
+let distances g ~root =
+  let n = Graph.node_count g in
+  let dist = Array.make n max_int in
+  dist.(root) <- 0;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    let visit l =
+      let v = l.Graph.dst in
+      if dist.(v) = max_int then begin
+        dist.(v) <- dist.(u) + 1;
+        Queue.add v queue
+      end
+    in
+    List.iter visit (Graph.out_links g u)
+  done;
+  dist
+
+let path_to g parents node =
+  let rec climb v acc =
+    let p = parents.(v) in
+    if p = -1 then acc
+    else
+      match Graph.find_link g ~src:p ~dst:v with
+      | Some l -> climb p (l :: acc)
+      | None -> invalid_arg "Spt.path_to: parent link missing"
+  in
+  climb node []
+
+let delivery_tree g ~root ~subscribers =
+  let parents = bfs_parents g ~root in
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let add_path sub =
+    if sub <> root then begin
+      if parents.(sub) = -1 then
+        invalid_arg "Spt.delivery_tree: subscriber unreachable from root";
+      let path = path_to g parents sub in
+      let record l =
+        if not (Hashtbl.mem seen l.Graph.index) then begin
+          Hashtbl.replace seen l.Graph.index ();
+          acc := l :: !acc
+        end
+      in
+      List.iter record path
+    end
+  in
+  List.iter add_path subscribers;
+  List.rev !acc
+
+let tree_nodes links =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let add v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      acc := v :: !acc
+    end
+  in
+  List.iter
+    (fun l ->
+      add l.Graph.src;
+      add l.Graph.dst)
+    links;
+  List.rev !acc
+
+let is_connected g =
+  let dist = distances g ~root:0 in
+  Array.for_all (fun d -> d <> max_int) dist

@@ -1,0 +1,35 @@
+(** Shortest-path trees and delivery trees.
+
+    The paper's topology function always selects "the shortest paths
+    between the publisher and each of the subscribers" (Sec. 4.2).  All
+    evaluated topologies are unweighted router graphs, so BFS gives the
+    trees; ties break deterministically on the first-discovered parent
+    with neighbors visited in link-insertion order, keeping every
+    experiment reproducible. *)
+
+type parents = int array
+(** [parents.(v)] is the BFS parent of v, [-1] for the root and for
+    unreachable nodes. *)
+
+val bfs_parents : Graph.t -> root:Graph.node -> parents
+
+val distances : Graph.t -> root:Graph.node -> int array
+(** Hop counts from the root; [max_int] where unreachable. *)
+
+val path_to : Graph.t -> parents -> Graph.node -> Graph.link list
+(** Directed links root → … → node following the parent chain (forward
+    direction, in path order).  Empty list for the root itself.
+    @raise Invalid_argument if the node is unreachable. *)
+
+val delivery_tree :
+  Graph.t -> root:Graph.node -> subscribers:Graph.node list -> Graph.link list
+(** The union of the shortest paths from [root] to every subscriber:
+    the set of directed links of the delivery tree, deduplicated, in
+    deterministic order.  Subscribers equal to the root contribute no
+    links.  @raise Invalid_argument if any subscriber is unreachable. *)
+
+val tree_nodes : Graph.link list -> Graph.node list
+(** All nodes touched by the given links (sources and destinations),
+    deduplicated. *)
+
+val is_connected : Graph.t -> bool

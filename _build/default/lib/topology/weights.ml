@@ -1,0 +1,152 @@
+module Rng = Lipsin_util.Rng
+
+type t = { graph : Graph.t; weights : float array }
+
+let check w = if w <= 0.0 then invalid_arg "Weights: weights must be positive"
+
+let uniform graph w =
+  check w;
+  { graph; weights = Array.make (Graph.link_count graph) w }
+
+let random graph rng ~min ~max =
+  if min <= 0.0 || max < min then invalid_arg "Weights.random: need 0 < min <= max";
+  let weights = Array.make (Graph.link_count graph) 0.0 in
+  Graph.iter_links graph (fun l ->
+      let reverse = Graph.reverse_link graph l in
+      if l.Graph.index < reverse.Graph.index then begin
+        let w = min +. Rng.float rng (max -. min) in
+        weights.(l.Graph.index) <- w;
+        weights.(reverse.Graph.index) <- w
+      end);
+  { graph; weights }
+
+let of_function graph f =
+  let weights =
+    Array.map
+      (fun l ->
+        let w = f l in
+        check w;
+        w)
+      (Graph.links graph)
+  in
+  { graph; weights }
+
+let weight t l = t.weights.(l.Graph.index)
+
+(* Dijkstra with a simple binary heap over (distance, node). *)
+module Heap = struct
+  type entry = { dist : float; node : int }
+  type h = { mutable a : entry array; mutable size : int }
+
+  let create () = { a = Array.make 16 { dist = 0.0; node = 0 }; size = 0 }
+
+  let swap h i j =
+    let tmp = h.a.(i) in
+    h.a.(i) <- h.a.(j);
+    h.a.(j) <- tmp
+
+  let less a b = a.dist < b.dist || (a.dist = b.dist && a.node < b.node)
+
+  let push h entry =
+    if h.size = Array.length h.a then begin
+      let bigger = Array.make (2 * h.size) entry in
+      Array.blit h.a 0 bigger 0 h.size;
+      h.a <- bigger
+    end;
+    h.a.(h.size) <- entry;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && less h.a.(!i) h.a.((!i - 1) / 2) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.size <- h.size - 1;
+      h.a.(0) <- h.a.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && less h.a.(l) h.a.(!smallest) then smallest := l;
+        if r < h.size && less h.a.(r) h.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let dijkstra t ~root =
+  let n = Graph.node_count t.graph in
+  let dist = Array.make n infinity in
+  let parents = Array.make n (-1) in
+  let finished = Array.make n false in
+  dist.(root) <- 0.0;
+  let heap = Heap.create () in
+  Heap.push heap { Heap.dist = 0.0; node = root };
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some { Heap.dist = d; node = u } ->
+      if not finished.(u) then begin
+        finished.(u) <- true;
+        List.iter
+          (fun l ->
+            let v = l.Graph.dst in
+            let nd = d +. t.weights.(l.Graph.index) in
+            if
+              nd < dist.(v)
+              || (nd = dist.(v) && parents.(v) <> -1 && u < parents.(v))
+            then begin
+              dist.(v) <- nd;
+              parents.(v) <- u;
+              Heap.push heap { Heap.dist = nd; node = v }
+            end)
+          (Graph.out_links t.graph u)
+      end;
+      drain ()
+  in
+  drain ();
+  (dist, parents)
+
+let path_to t ~parents node =
+  let rec climb v acc =
+    let p = parents.(v) in
+    if p = -1 then acc
+    else
+      match Graph.find_link t.graph ~src:p ~dst:v with
+      | Some l -> climb p (l :: acc)
+      | None -> invalid_arg "Weights.path_to: broken parent chain"
+  in
+  climb node []
+
+let delivery_tree t ~root ~subscribers =
+  let _, parents = dijkstra t ~root in
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  List.iter
+    (fun sub ->
+      if sub <> root then begin
+        if parents.(sub) = -1 then
+          invalid_arg "Weights.delivery_tree: subscriber unreachable";
+        List.iter
+          (fun l ->
+            if not (Hashtbl.mem seen l.Graph.index) then begin
+              Hashtbl.replace seen l.Graph.index ();
+              acc := l :: !acc
+            end)
+          (path_to t ~parents sub)
+      end)
+    subscribers;
+  List.rev !acc
+
+let tree_cost t links =
+  List.fold_left (fun acc l -> acc +. t.weights.(l.Graph.index)) 0.0 links

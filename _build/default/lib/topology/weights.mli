@@ -1,0 +1,42 @@
+(** Weighted shortest paths.
+
+    The Rocketfuel data the paper simulates over ships with inferred
+    link weights ("weights-dist"); IGP costs shape the real shortest
+    paths.  This module carries per-link weights and computes Dijkstra
+    trees with deterministic tie-breaking, mirroring {!Spt}'s unweighted
+    API so experiments can run over either. *)
+
+type t
+(** Weights for every directed link of one graph. *)
+
+val uniform : Graph.t -> float -> t
+(** Every link the same weight.  @raise Invalid_argument if not
+    positive. *)
+
+val random :
+  Graph.t -> Lipsin_util.Rng.t -> min:float -> max:float -> t
+(** Independent uniform weights in \[min, max\]; both directions of a
+    physical link get the SAME weight (symmetric IGP costs).
+    @raise Invalid_argument unless [0 < min <= max]. *)
+
+val of_function : Graph.t -> (Graph.link -> float) -> t
+(** @raise Invalid_argument if any weight is not positive. *)
+
+val weight : t -> Graph.link -> float
+
+val dijkstra : t -> root:Graph.node -> float array * int array
+(** (distances, parents): [parents.(v)] = predecessor node, -1 for the
+    root/unreachable; distances are [infinity] where unreachable.
+    Ties broken towards the lower parent id (deterministic). *)
+
+val path_to : t -> parents:int array -> Graph.node -> Graph.link list
+(** Directed links root → node, like {!Spt.path_to}.
+    @raise Invalid_argument if the parent chain is broken. *)
+
+val delivery_tree :
+  t -> root:Graph.node -> subscribers:Graph.node list -> Graph.link list
+(** Union of weighted shortest paths, deduplicated.
+    @raise Invalid_argument if a subscriber is unreachable. *)
+
+val tree_cost : t -> Graph.link list -> float
+(** Sum of link weights. *)

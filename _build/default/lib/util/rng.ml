@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+let of_int seed = create (Int64.of_int seed)
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = create (int64 t)
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  if bound <= 1 lsl 30 then
+    (* Rejection sampling on 30 bits keeps the distribution exactly
+       uniform. *)
+    let mask = 1 lsl 30 in
+    let limit = mask - (mask mod bound) in
+    let rec draw () =
+      let v = bits30 t in
+      if v < limit then v mod bound else draw ()
+    in
+    draw ()
+  else
+    let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample t n bound =
+  if n < 0 || n > bound then invalid_arg "Rng.sample: need 0 <= n <= bound";
+  (* Floyd's algorithm: O(n) draws, no O(bound) allocation. *)
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n 0 in
+  let idx = ref 0 in
+  for j = bound - n to bound - 1 do
+    let v = int t (j + 1) in
+    let v = if Hashtbl.mem seen v then j else v in
+    Hashtbl.replace seen v ();
+    out.(!idx) <- v;
+    incr idx
+  done;
+  out
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,87 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p5 : float;
+  p50 : float;
+  p95 : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then
+    { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p5 = 0.; p50 = 0.; p95 = 0. }
+  else
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let pct p =
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = int_of_float (ceil rank) in
+      if lo = hi then sorted.(lo)
+      else
+        let w = rank -. float_of_int lo in
+        ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+    in
+    {
+      count = n;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      p5 = pct 5.0;
+      p50 = pct 50.0;
+      p95 = pct 95.0;
+    }
+
+type accumulator = {
+  mutable n : int;
+  mutable m : float;  (* running mean *)
+  mutable s : float;  (* running sum of squared deviations *)
+}
+
+let accumulator () = { n = 0; m = 0.0; s = 0.0 }
+
+let add acc x =
+  acc.n <- acc.n + 1;
+  let delta = x -. acc.m in
+  acc.m <- acc.m +. (delta /. float_of_int acc.n);
+  acc.s <- acc.s +. (delta *. (x -. acc.m))
+
+let acc_count acc = acc.n
+let acc_mean acc = acc.m
+
+let acc_stddev acc =
+  if acc.n < 2 then 0.0 else sqrt (acc.s /. float_of_int (acc.n - 1))
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4f sd=%.4f min=%.4f p5=%.4f p50=%.4f p95=%.4f max=%.4f"
+    s.count s.mean s.stddev s.min s.p5 s.p50 s.p95 s.max

@@ -1,0 +1,42 @@
+(** Descriptive statistics for experiment reporting.
+
+    The paper reports means and 95th percentiles (Table 2), means and
+    standard deviations (Tables 4, 5).  This module provides exactly
+    those aggregates over float samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** Sample standard deviation (n-1 denominator). *)
+  min : float;
+  max : float;
+  p5 : float;   (** 5th percentile. *)
+  p50 : float;  (** Median. *)
+  p95 : float;  (** 95th percentile. *)
+}
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation; 0 when fewer than two samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in \[0, 100\]: linear interpolation between
+    closest ranks.  @raise Invalid_argument on the empty array or [p]
+    outside \[0, 100\]. *)
+
+val summarize : float array -> summary
+(** All aggregates in one pass (the input array is not modified). *)
+
+type accumulator
+(** Streaming accumulator (Welford) for mean/stddev without storing
+    samples. *)
+
+val accumulator : unit -> accumulator
+val add : accumulator -> float -> unit
+val acc_count : accumulator -> int
+val acc_mean : accumulator -> float
+val acc_stddev : accumulator -> float
+
+val pp_summary : Format.formatter -> summary -> unit

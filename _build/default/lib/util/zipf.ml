@@ -1,0 +1,40 @@
+type t = { n : int; s : float; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let running = ref 0.0 in
+  for i = 0 to n - 1 do
+    running := !running +. (weights.(i) /. total);
+    cdf.(i) <- !running
+  done;
+  cdf.(n - 1) <- 1.0;
+  { n; s; cdf }
+
+let draw t rng =
+  let u = Rng.float rng 1.0 in
+  (* Binary search for the first index with cdf >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (t.n - 1) + 1
+
+let pmf t r =
+  if r < 1 || r > t.n then invalid_arg "Zipf.pmf: rank outside [1,n]";
+  if r = 1 then t.cdf.(0) else t.cdf.(r - 1) -. t.cdf.(r - 2)
+
+let n t = t.n
+let s t = t.s
+
+let subscriber_count t ~rng ~max_subscribers =
+  let rank = draw t rng in
+  let size =
+    int_of_float (ceil (float_of_int max_subscribers /. float_of_int rank))
+  in
+  max 1 (min max_subscribers size)

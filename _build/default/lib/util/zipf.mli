@@ -1,0 +1,27 @@
+(** Zipf-distributed sampling.
+
+    The paper motivates workloads by the Zipf distribution of multicast
+    receivers per topic (RSS feeds, YouTube, IPTV; Sec. 4.3).  A Zipf
+    sampler over ranks 1..n with exponent s assigns rank r probability
+    proportional to 1/r^s. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] precomputes the CDF for ranks 1..n with exponent [s].
+    @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+
+val draw : t -> Rng.t -> int
+(** [draw t rng] returns a rank in \[1, n\], rank 1 most popular. *)
+
+val pmf : t -> int -> float
+(** [pmf t r] is the probability of rank [r].  @raise Invalid_argument if
+    [r] outside \[1, n\]. *)
+
+val n : t -> int
+val s : t -> float
+
+val subscriber_count : t -> rng:Rng.t -> max_subscribers:int -> int
+(** Popularity-to-size mapping used by workload generation: draws a rank
+    and scales it to a subscriber count in \[1, max_subscribers\], rank 1
+    mapping to [max_subscribers] and rank n to 1 (harmonic decay). *)

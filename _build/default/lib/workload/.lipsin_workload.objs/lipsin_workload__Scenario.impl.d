@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array Hashtbl Lipsin_baseline Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util List

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Lipsin_core Lipsin_topology Lipsin_util

@@ -1,0 +1,105 @@
+module Rng = Lipsin_util.Rng
+module Zipf = Lipsin_util.Zipf
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Ip_multicast = Lipsin_baseline.Ip_multicast
+
+type config = {
+  topics : int;
+  zipf_s : float;
+  max_subscribers : int;
+  seed : int;
+}
+
+let default = { topics = 10_000; zipf_s = 1.0; max_subscribers = 64; seed = 42 }
+
+type topic_load = {
+  rank : int;
+  publisher : Graph.node;
+  subscribers : Graph.node list;
+}
+
+let sample_topic =
+  (* The CDF over the topic population is big (one float per topic);
+     memoise it per configuration rather than rebuilding per draw. *)
+  let cache : (int * float, Zipf.t) Hashtbl.t = Hashtbl.create 4 in
+  fun config rng graph ->
+  let key = (config.topics, config.zipf_s) in
+  let zipf =
+    match Hashtbl.find_opt cache key with
+    | Some z -> z
+    | None ->
+      let z = Zipf.create ~n:config.topics ~s:config.zipf_s in
+      Hashtbl.replace cache key z;
+      z
+  in
+  let rank = Zipf.draw zipf rng in
+  let nodes = Graph.node_count graph in
+  let count =
+    let scaled =
+      int_of_float
+        (ceil (float_of_int config.max_subscribers /. float_of_int rank))
+    in
+    min (nodes - 1) (max 1 scaled)
+  in
+  let picks = Rng.sample rng (count + 1) nodes in
+  let publisher = picks.(0) in
+  let subscribers = Array.to_list (Array.sub picks 1 count) in
+  { rank; publisher; subscribers }
+
+let sample config graph ~n =
+  let rng = Rng.of_int config.seed in
+  Array.init n (fun _ -> sample_topic config rng graph)
+
+type aggregate = {
+  sampled : int;
+  stateless_ok : int;
+  needs_state : int;
+  mean_efficiency : float;
+  mean_fpr : float;
+  mean_subscribers : float;
+  ssm_state_entries : int;
+}
+
+let evaluate config assignment ~n ?(fill_limit = 0.7) () =
+  let graph = Assignment.graph assignment in
+  let net = Net.make ~fill_limit assignment in
+  let ssm = Ip_multicast.create graph in
+  let loads = sample config graph ~n in
+  let stateless_ok = ref 0 in
+  let eff_acc = ref 0.0 and fpr_acc = ref 0.0 and subs_acc = ref 0 in
+  Array.iteri
+    (fun i load ->
+      subs_acc := !subs_acc + List.length load.subscribers;
+      let group = { Ip_multicast.source = load.publisher; group_id = i } in
+      List.iter (fun r -> Ip_multicast.join ssm group ~receiver:r) load.subscribers;
+      let tree =
+        Spt.delivery_tree graph ~root:load.publisher ~subscribers:load.subscribers
+      in
+      let candidates = Candidate.build assignment ~tree in
+      match Select.select_fpa ~fill_limit candidates with
+      | None -> ()
+      | Some c ->
+        incr stateless_ok;
+        let outcome =
+          Run.deliver net ~src:load.publisher ~table:c.Candidate.table
+            ~zfilter:c.Candidate.zfilter ~tree
+        in
+        eff_acc := !eff_acc +. Run.forwarding_efficiency outcome ~tree;
+        fpr_acc := !fpr_acc +. Run.false_positive_rate outcome)
+    loads;
+  let ok = max 1 !stateless_ok in
+  {
+    sampled = n;
+    stateless_ok = !stateless_ok;
+    needs_state = n - !stateless_ok;
+    mean_efficiency = !eff_acc /. float_of_int ok;
+    mean_fpr = !fpr_acc /. float_of_int ok;
+    mean_subscribers = float_of_int !subs_acc /. float_of_int n;
+    ssm_state_entries = Ip_multicast.total_state ssm;
+  }

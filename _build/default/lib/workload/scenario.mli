@@ -1,0 +1,50 @@
+(** Topic workload generation (Sec. 4.3).
+
+    The paper argues from measured popularity distributions — RSS
+    subscriptions, YouTube views, IPTV channels are all Zipf-like — that
+    the vast majority of topics have few receivers and need no
+    forwarding state, while only the few most popular topics need
+    virtual links or multiple sending.  This module samples such
+    workloads over a topology. *)
+
+type config = {
+  topics : int;           (** Topic population size. *)
+  zipf_s : float;         (** Popularity exponent (1.0 = classic Zipf). *)
+  max_subscribers : int;  (** Subscriber count of the most popular topic. *)
+  seed : int;
+}
+
+val default : config
+(** 10_000 topics, s = 1.0, max 64 subscribers, seed 42. *)
+
+type topic_load = {
+  rank : int;  (** Popularity rank, 1 = most popular. *)
+  publisher : Lipsin_topology.Graph.node;
+  subscribers : Lipsin_topology.Graph.node list;  (** Distinct, ≠ publisher. *)
+}
+
+val sample_topic : config -> Lipsin_util.Rng.t -> Lipsin_topology.Graph.t -> topic_load
+(** Draws one topic: a Zipf rank, a subscriber count scaled by
+    popularity, and uniform distinct publisher/subscriber placements. *)
+
+val sample : config -> Lipsin_topology.Graph.t -> n:int -> topic_load array
+(** [n] independent topics from the configured distribution. *)
+
+type aggregate = {
+  sampled : int;
+  stateless_ok : int;
+      (** Topics whose whole tree fits one zFilter under the fill
+          limit — no network state needed. *)
+  needs_state : int;  (** The popular tail that needs splitting/state. *)
+  mean_efficiency : float;  (** Over stateless-deliverable topics. *)
+  mean_fpr : float;
+  mean_subscribers : float;
+  ssm_state_entries : int;
+      (** (S,G) router-state entries IP SSM would install for the SAME
+          workload (LIPSIN: zero for the stateless topics). *)
+}
+
+val evaluate :
+  config -> Lipsin_core.Assignment.t -> n:int -> ?fill_limit:float -> unit -> aggregate
+(** Samples [n] topics, delivers each through a fresh Net, and
+    aggregates the state-vs-stateless accounting. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Int32 Int64 Lipsin_baseline Lipsin_topology Lipsin_util List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Bytes Lipsin_bitvec Lipsin_util List QCheck QCheck_alcotest String

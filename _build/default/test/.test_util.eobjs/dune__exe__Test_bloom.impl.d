@@ -1,0 +1,1 @@
+test/test_bloom.ml: Alcotest Array Lipsin_bitvec Lipsin_bloom Lipsin_util List Printf QCheck QCheck_alcotest

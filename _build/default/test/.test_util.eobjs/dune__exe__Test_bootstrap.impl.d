@@ -1,0 +1,1 @@
+test/test_bootstrap.ml: Alcotest Lipsin_bootstrap Lipsin_topology Lipsin_util List Printf QCheck QCheck_alcotest

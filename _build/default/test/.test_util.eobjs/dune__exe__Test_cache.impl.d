@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Int64 Lipsin_cache Lipsin_topology Lipsin_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Buffer Format Lipsin_bloom Lipsin_experiments Lipsin_topology Lipsin_util List String

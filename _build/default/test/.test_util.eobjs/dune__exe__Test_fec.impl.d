@@ -1,0 +1,1 @@
+test/test_fec.ml: Alcotest Array Gen Lipsin_bloom Lipsin_core Lipsin_fec Lipsin_sim Lipsin_topology Lipsin_util List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fluid.ml: Alcotest Lipsin_bitvec Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util List Option

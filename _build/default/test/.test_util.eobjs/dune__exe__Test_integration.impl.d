@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Hashtbl Int64 Lipsin List Printf

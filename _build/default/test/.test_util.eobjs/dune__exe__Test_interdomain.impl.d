@@ -1,0 +1,1 @@
+test/test_interdomain.ml: Alcotest Array Int64 Lipsin_interdomain Lipsin_topology Lipsin_util List Printf

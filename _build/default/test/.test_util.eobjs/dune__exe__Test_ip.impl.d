@@ -1,0 +1,1 @@
+test/test_ip.ml: Alcotest Lipsin_interdomain Lipsin_ip Lipsin_topology Lipsin_util List Option

@@ -1,0 +1,1 @@
+test/test_node.ml: Alcotest Lipsin_node Lipsin_pubsub Lipsin_topology Lipsin_util List Printf

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Bytes Lipsin_bitvec Lipsin_bloom Lipsin_packet Lipsin_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Char Filename Fun Lipsin_bitvec Lipsin_bloom Lipsin_core Lipsin_packet Lipsin_topology Lipsin_util List QCheck QCheck_alcotest String Sys

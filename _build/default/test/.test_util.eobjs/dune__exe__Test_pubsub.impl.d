@@ -1,0 +1,1 @@
+test/test_pubsub.ml: Alcotest Array Lipsin_bloom Lipsin_packet Lipsin_pubsub Lipsin_sim Lipsin_topology Lipsin_util List

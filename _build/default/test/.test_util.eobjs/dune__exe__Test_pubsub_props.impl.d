@@ -1,0 +1,1 @@
+test/test_pubsub_props.ml: Alcotest Array Gen Hashtbl Lipsin_pubsub Lipsin_sim Lipsin_topology Lipsin_util List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_recursive.ml: Alcotest Array Float Fun Lipsin_bloom Lipsin_core Lipsin_pubsub Lipsin_recursive Lipsin_topology Lipsin_util List QCheck QCheck_alcotest

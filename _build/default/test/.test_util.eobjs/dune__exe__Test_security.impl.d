@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Lipsin_bloom Lipsin_core Lipsin_security Lipsin_sim Lipsin_topology Lipsin_util List Printf

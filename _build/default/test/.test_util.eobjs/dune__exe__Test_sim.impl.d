@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Lipsin_bitvec Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util List QCheck QCheck_alcotest

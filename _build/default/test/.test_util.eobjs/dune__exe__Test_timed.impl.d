@@ -1,0 +1,1 @@
+test/test_timed.ml: Alcotest Array Lipsin_bloom Lipsin_core Lipsin_sim Lipsin_topology Lipsin_util List Option Printf

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Lipsin_topology Lipsin_util List QCheck QCheck_alcotest

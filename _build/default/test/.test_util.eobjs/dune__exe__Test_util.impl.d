@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen Lipsin_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Lipsin_bloom Lipsin_core Lipsin_topology Lipsin_util Lipsin_workload List

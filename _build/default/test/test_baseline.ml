@@ -1,0 +1,205 @@
+(* Tests for Lipsin_baseline: Lpm, Unicast, Ip_multicast, Xcast. *)
+
+module Lpm = Lipsin_baseline.Lpm
+module Unicast = Lipsin_baseline.Unicast
+module Ip_multicast = Lipsin_baseline.Ip_multicast
+module Xcast = Lipsin_baseline.Xcast
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Generator = Lipsin_topology.Generator
+module Rng = Lipsin_util.Rng
+
+let test_lpm_basic () =
+  let t = Lpm.create () in
+  Lpm.add t ~prefix:0xC0A80000l ~len:16 ~next_hop:1;
+  Lpm.add t ~prefix:0xC0A80100l ~len:24 ~next_hop:2;
+  Alcotest.(check (option int)) "/24 wins" (Some 2) (Lpm.lookup t 0xC0A80142l);
+  Alcotest.(check (option int)) "/16 fallback" (Some 1) (Lpm.lookup t 0xC0A84242l);
+  Alcotest.(check (option int)) "no match" None (Lpm.lookup t 0x08080808l)
+
+let test_lpm_default_route () =
+  let t = Lpm.create () in
+  Lpm.add t ~prefix:0l ~len:0 ~next_hop:9;
+  Alcotest.(check (option int)) "default matches anything" (Some 9)
+    (Lpm.lookup t 0xDEADBEEFl)
+
+let test_lpm_host_route () =
+  let t = Lpm.create () in
+  Lpm.add t ~prefix:0x01020304l ~len:32 ~next_hop:4;
+  Alcotest.(check (option int)) "exact host" (Some 4) (Lpm.lookup t 0x01020304l);
+  Alcotest.(check (option int)) "neighbour misses" None (Lpm.lookup t 0x01020305l)
+
+let test_lpm_overwrite_and_remove () =
+  let t = Lpm.create () in
+  Lpm.add t ~prefix:0x0A000000l ~len:8 ~next_hop:1;
+  Lpm.add t ~prefix:0x0A000000l ~len:8 ~next_hop:2;
+  Alcotest.(check int) "overwrite keeps one route" 1 (Lpm.size t);
+  Alcotest.(check (option int)) "latest hop" (Some 2) (Lpm.lookup t 0x0A010101l);
+  Alcotest.(check bool) "remove" true (Lpm.remove t ~prefix:0x0A000000l ~len:8);
+  Alcotest.(check bool) "idempotent remove" false (Lpm.remove t ~prefix:0x0A000000l ~len:8);
+  Alcotest.(check (option int)) "gone" None (Lpm.lookup t 0x0A010101l)
+
+let test_lpm_rejects_bad_len () =
+  let t = Lpm.create () in
+  Alcotest.check_raises "len 33" (Invalid_argument "Lpm: prefix length outside [0,32]")
+    (fun () -> Lpm.add t ~prefix:0l ~len:33 ~next_hop:0)
+
+let test_lpm_reference_fib () =
+  let t = Lpm.reference_fib () in
+  Alcotest.(check int) "five entries" 5 (Lpm.size t);
+  Alcotest.(check (option int)) "host route deepest" (Some 4)
+    (Lpm.lookup t 0xC0A80101l);
+  Alcotest.(check (option int)) "default exists" (Some 0) (Lpm.lookup t 0x7B7B7B7Bl)
+
+(* Model check: LPM against a brute-force reference on random routes. *)
+let prop_lpm_matches_naive =
+  QCheck.Test.make ~name:"trie agrees with naive longest-prefix scan" ~count:100
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.of_int (seed + 1) in
+      let routes =
+        List.init 30 (fun i ->
+            let len = Rng.int rng 33 in
+            let prefix = Int64.to_int32 (Rng.int64 rng) in
+            (prefix, len, i))
+      in
+      let t = Lpm.create () in
+      (* Later adds overwrite earlier same-prefix ones, as in the naive
+         model below (assoc keeps the LAST write; build accordingly). *)
+      List.iter (fun (p, len, h) -> Lpm.add t ~prefix:p ~len ~next_hop:h) routes;
+      let mask len =
+        if len = 0 then 0l else Int32.shift_left (-1l) (32 - len)
+      in
+      let applies addr (p, len, _) =
+        Int32.logand addr (mask len) = Int32.logand p (mask len)
+      in
+      let naive addr =
+        let best = ref None in
+        List.iter
+          (fun ((_, len, h) as r) ->
+            if applies addr r then
+              match !best with
+              | Some (blen, _) when blen > len -> ()
+              | Some (blen, _) when blen = len -> best := Some (len, h)
+              | _ -> best := Some (len, h))
+          routes;
+        Option.map snd !best
+      in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let addr = Int64.to_int32 (Rng.int64 rng) in
+        if Lpm.lookup t addr <> naive addr then ok := false
+      done;
+      !ok)
+
+let line_graph n =
+  let g = Graph.create ~nodes:n in
+  for v = 0 to n - 2 do
+    Graph.add_edge g v (v + 1)
+  done;
+  g
+
+let test_unicast_line () =
+  let g = line_graph 5 in
+  (* Two subscribers at distance 2 and 4 share the first two links:
+     unicast uses 2 + 4 = 6 traversals, the tree has 4 links. *)
+  Alcotest.(check int) "uses" 6 (Unicast.link_uses g ~root:0 ~subscribers:[ 2; 4 ]);
+  Alcotest.(check (float 1e-9)) "efficiency 4/6" (4.0 /. 6.0)
+    (Unicast.efficiency g ~root:0 ~subscribers:[ 2; 4 ])
+
+let test_unicast_single_subscriber_perfect () =
+  let g = line_graph 4 in
+  Alcotest.(check (float 1e-9)) "single subscriber 100%" 1.0
+    (Unicast.efficiency g ~root:0 ~subscribers:[ 3 ])
+
+let test_unicast_root_only () =
+  let g = line_graph 3 in
+  Alcotest.(check (float 1e-9)) "root-only trivial" 1.0
+    (Unicast.efficiency g ~root:0 ~subscribers:[ 0 ])
+
+let test_ssm_state_counting () =
+  let g = line_graph 5 in
+  let ssm = Ip_multicast.create g in
+  let group = { Ip_multicast.source = 0; group_id = 1 } in
+  Alcotest.(check int) "no members, no state" 0 (Ip_multicast.total_state ssm);
+  Ip_multicast.join ssm group ~receiver:4;
+  (* Tree 0-1-2-3-4: all five nodes hold state. *)
+  Alcotest.(check int) "path state" 5 (Ip_multicast.total_state ssm);
+  Alcotest.(check int) "state at mid router" 1 (Ip_multicast.state_at ssm 2);
+  Ip_multicast.join ssm group ~receiver:2;
+  Alcotest.(check int) "same tree, same state" 5 (Ip_multicast.total_state ssm);
+  Ip_multicast.leave ssm group ~receiver:4;
+  Alcotest.(check int) "pruned to 0-1-2" 3 (Ip_multicast.total_state ssm);
+  Ip_multicast.leave ssm group ~receiver:2;
+  Alcotest.(check int) "empty group drops all state" 0 (Ip_multicast.total_state ssm)
+
+let test_ssm_tree_is_spt () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 3) ~nodes:30 ~edges:50 ~max_degree:8 ()
+  in
+  let ssm = Ip_multicast.create g in
+  let group = { Ip_multicast.source = 0; group_id = 7 } in
+  List.iter (fun r -> Ip_multicast.join ssm group ~receiver:r) [ 10; 20; 29 ];
+  let expected = Spt.delivery_tree g ~root:0 ~subscribers:[ 10; 20; 29 ] in
+  Alcotest.(check int) "tree matches SPT" (List.length expected)
+    (List.length (Ip_multicast.tree_links ssm group));
+  Alcotest.(check (list int)) "receivers sorted" [ 10; 20; 29 ]
+    (Ip_multicast.receivers ssm group)
+
+let test_xcast_header_sizes () =
+  Alcotest.(check int) "one dest" 8 (Xcast.header_bytes ~destinations:1);
+  Alcotest.(check int) "zfilter header" 36 (Xcast.zfilter_header_bytes ~m:248);
+  let crossover = Xcast.crossover_destinations ~m:248 in
+  Alcotest.(check bool) "below crossover smaller" true
+    (Xcast.header_bytes ~destinations:(crossover - 1) <= 36);
+  Alcotest.(check bool) "at crossover bigger" true
+    (Xcast.header_bytes ~destinations:crossover > 36)
+
+let test_xcast_delivery_cost_line () =
+  let g = line_graph 4 in
+  (* Single subscriber at distance 3: three links each carrying a
+     1-destination header of 8 bytes. *)
+  Alcotest.(check int) "header cost" 24
+    (Xcast.delivery_header_cost g ~root:0 ~subscribers:[ 3 ]);
+  Alcotest.(check int) "rewrites" 3
+    (Xcast.rewrite_operations g ~root:0 ~subscribers:[ 3 ])
+
+let test_xcast_shared_links_carry_more () =
+  let g = line_graph 4 in
+  (* Subscribers at 2 and 3: links 0-1,1-2 carry 2 dests (12B), link
+     2-3 carries 1 (8B). *)
+  Alcotest.(check int) "header bytes" ((2 * 12) + 8)
+    (Xcast.delivery_header_cost g ~root:0 ~subscribers:[ 2; 3 ])
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "lpm",
+        [
+          Alcotest.test_case "basic" `Quick test_lpm_basic;
+          Alcotest.test_case "default route" `Quick test_lpm_default_route;
+          Alcotest.test_case "host route" `Quick test_lpm_host_route;
+          Alcotest.test_case "overwrite/remove" `Quick test_lpm_overwrite_and_remove;
+          Alcotest.test_case "rejects bad len" `Quick test_lpm_rejects_bad_len;
+          Alcotest.test_case "reference fib" `Quick test_lpm_reference_fib;
+          QCheck_alcotest.to_alcotest prop_lpm_matches_naive;
+        ] );
+      ( "unicast",
+        [
+          Alcotest.test_case "line" `Quick test_unicast_line;
+          Alcotest.test_case "single subscriber" `Quick
+            test_unicast_single_subscriber_perfect;
+          Alcotest.test_case "root only" `Quick test_unicast_root_only;
+        ] );
+      ( "ip_multicast",
+        [
+          Alcotest.test_case "state counting" `Quick test_ssm_state_counting;
+          Alcotest.test_case "tree is SPT" `Quick test_ssm_tree_is_spt;
+        ] );
+      ( "xcast",
+        [
+          Alcotest.test_case "header sizes" `Quick test_xcast_header_sizes;
+          Alcotest.test_case "delivery cost" `Quick test_xcast_delivery_cost_line;
+          Alcotest.test_case "shared links" `Quick test_xcast_shared_links_carry_more;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Tests for Lipsin_bloom: Lit and Zfilter. *)
+
+module Bitvec = Lipsin_bitvec.Bitvec
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Rng = Lipsin_util.Rng
+
+let test_params_constant_k () =
+  let p = Lit.constant_k ~m:248 ~d:8 ~k:5 in
+  Alcotest.(check int) "m" 248 p.Lit.m;
+  Alcotest.(check int) "d" 8 p.Lit.d;
+  Array.iter (fun k -> Alcotest.(check int) "k" 5 k) p.Lit.k_for_table
+
+let test_params_variable_k () =
+  let p = Lit.paper_variable in
+  Alcotest.(check (list int)) "paper distribution" [ 3; 3; 4; 4; 5; 5; 6; 6 ]
+    (Array.to_list p.Lit.k_for_table)
+
+let test_params_variable_wraps () =
+  let p = Lit.variable_k ~m:64 ~d:5 ~ks:[| 2; 3 |] in
+  Alcotest.(check (list int)) "wraps" [ 2; 3; 2; 3; 2 ]
+    (Array.to_list p.Lit.k_for_table)
+
+let test_params_validation () =
+  Alcotest.check_raises "k > m" (Invalid_argument "Lit.params: k outside (0, m]")
+    (fun () -> ignore (Lit.constant_k ~m:4 ~d:1 ~k:5));
+  Alcotest.check_raises "d = 0" (Invalid_argument "Lit.params: d must be positive")
+    (fun () -> ignore (Lit.constant_k ~m:4 ~d:0 ~k:2));
+  Alcotest.check_raises "empty ks" (Invalid_argument "Lit.variable_k: empty k list")
+    (fun () -> ignore (Lit.variable_k ~m:8 ~d:2 ~ks:[||]))
+
+let test_generate_deterministic () =
+  let a = Lit.generate Lit.default ~nonce:99L in
+  let b = Lit.generate Lit.default ~nonce:99L in
+  for i = 0 to 7 do
+    Alcotest.(check bool) "same tags" true (Bitvec.equal (Lit.tag a i) (Lit.tag b i))
+  done;
+  Alcotest.(check bool) "equal identities" true (Lit.equal a b)
+
+let test_generate_nonce_sensitivity () =
+  let a = Lit.generate Lit.default ~nonce:1L in
+  let b = Lit.generate Lit.default ~nonce:2L in
+  Alcotest.(check bool) "different tags" false
+    (Bitvec.equal (Lit.tag a 0) (Lit.tag b 0))
+
+let test_tag_popcounts () =
+  let p = Lit.paper_variable in
+  let lit = Lit.generate p ~nonce:0xABCDL in
+  Array.iteri
+    (fun i k ->
+      Alcotest.(check int)
+        (Printf.sprintf "table %d has k=%d bits" i k)
+        k
+        (Bitvec.popcount (Lit.tag lit i)))
+    p.Lit.k_for_table
+
+let test_tags_differ_across_tables () =
+  let lit = Lit.generate Lit.default ~nonce:7L in
+  Alcotest.(check bool) "table 0 <> table 1" false
+    (Bitvec.equal (Lit.tag lit 0) (Lit.tag lit 1))
+
+let test_tag_bounds () =
+  let lit = Lit.generate Lit.default ~nonce:7L in
+  Alcotest.check_raises "table out of range"
+    (Invalid_argument "Lit.tag: table index out of range") (fun () ->
+      ignore (Lit.tag lit 8))
+
+let test_link_id_is_table_zero () =
+  let lit = Lit.generate Lit.default ~nonce:5L in
+  Alcotest.(check bool) "link_id = tag 0" true
+    (Bitvec.equal (Lit.link_id lit) (Lit.tag lit 0))
+
+let test_fresh_distinct () =
+  let rng = Rng.create 3L in
+  let a = Lit.fresh Lit.default rng and b = Lit.fresh Lit.default rng in
+  Alcotest.(check bool) "fresh identities differ" false (Lit.equal a b)
+
+let test_zfilter_empty () =
+  let z = Zfilter.create ~m:248 in
+  Alcotest.(check int) "m" 248 (Zfilter.m z);
+  Alcotest.(check (float 1e-9)) "fill 0" 0.0 (Zfilter.fill_factor z);
+  Alcotest.(check (float 1e-9)) "fpa 0" 0.0 (Zfilter.fpa z ~k:5)
+
+let test_zfilter_contains_added_tags () =
+  let rng = Rng.create 5L in
+  let lits = List.init 10 (fun _ -> Lit.fresh Lit.default rng) in
+  let z = Zfilter.of_tags ~m:248 (List.map (fun l -> Lit.tag l 0) lits) in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "member matches" true
+        (Zfilter.matches z ~lit:(Lit.tag l 0)))
+    lits
+
+let test_zfilter_nonmember_usually_misses () =
+  let rng = Rng.create 7L in
+  let members = List.init 10 (fun _ -> Lit.fresh Lit.default rng) in
+  let z = Zfilter.of_tags ~m:248 (List.map (fun l -> Lit.tag l 0) members) in
+  let misses = ref 0 in
+  for _ = 1 to 100 do
+    let probe = Lit.fresh Lit.default rng in
+    if not (Zfilter.matches z ~lit:(Lit.tag probe 0)) then incr misses
+  done;
+  (* With ~50 bits set of 248 (rho~0.2), fpa ~ 0.0003: essentially all
+     100 random probes must miss. *)
+  Alcotest.(check bool) "nearly all miss" true (!misses >= 97)
+
+let test_zfilter_fill_and_fpa () =
+  let z = Zfilter.create ~m:100 in
+  let v = Zfilter.to_bitvec z in
+  for i = 0 to 49 do
+    Bitvec.set v i
+  done;
+  Alcotest.(check (float 1e-9)) "fill 0.5" 0.5 (Zfilter.fill_factor z);
+  Alcotest.(check (float 1e-9)) "fpa = rho^k" (0.5 ** 5.0) (Zfilter.fpa z ~k:5)
+
+let test_zfilter_fill_limit () =
+  let z = Zfilter.create ~m:10 in
+  let v = Zfilter.to_bitvec z in
+  for i = 0 to 7 do
+    Bitvec.set v i
+  done;
+  Alcotest.(check bool) "0.8 > 0.7 limit" false (Zfilter.within_fill_limit z ~limit:0.7);
+  Alcotest.(check bool) "0.8 <= 0.9 limit" true (Zfilter.within_fill_limit z ~limit:0.9)
+
+let test_zfilter_copy_independent () =
+  let z = Zfilter.create ~m:64 in
+  let z2 = Zfilter.copy z in
+  Bitvec.set (Zfilter.to_bitvec z2) 5;
+  Alcotest.(check int) "original untouched" 0 (Zfilter.popcount z);
+  Alcotest.(check int) "copy changed" 1 (Zfilter.popcount z2)
+
+let test_zfilter_hex_roundtrip () =
+  let rng = Rng.create 11L in
+  let lits = List.init 5 (fun _ -> Lit.fresh Lit.default rng) in
+  let z = Zfilter.of_tags ~m:248 (List.map (fun l -> Lit.tag l 3) lits) in
+  let back = Zfilter.of_hex ~m:248 (Zfilter.to_hex z) in
+  Alcotest.(check bool) "roundtrip" true (Zfilter.equal z back)
+
+(* Properties. *)
+
+let prop_member_always_matches =
+  QCheck.Test.make ~name:"added LIT always matches (no false negatives)" ~count:300
+    QCheck.(pair small_nat (int_range 1 40))
+    (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let lits = List.init n (fun _ -> Lit.fresh Lit.paper_variable rng) in
+      let table = seed mod 8 in
+      let z = Zfilter.of_tags ~m:248 (List.map (fun l -> Lit.tag l table) lits) in
+      List.for_all (fun l -> Zfilter.matches z ~lit:(Lit.tag l table)) lits)
+
+let prop_fill_monotone =
+  QCheck.Test.make ~name:"fill factor grows monotonically" ~count:200
+    QCheck.(pair small_nat (int_range 2 30))
+    (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let z = Zfilter.create ~m:248 in
+      let ok = ref true in
+      let prev = ref 0.0 in
+      for _ = 1 to n do
+        Zfilter.add z (Lit.tag (Lit.fresh Lit.default rng) 0);
+        let fill = Zfilter.fill_factor z in
+        if fill < !prev then ok := false;
+        prev := fill
+      done;
+      !ok)
+
+let prop_fpa_in_unit_interval =
+  QCheck.Test.make ~name:"fpa within [0,1]" ~count:200
+    QCheck.(pair small_nat (int_range 1 60))
+    (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let lits = List.init n (fun _ -> Lit.fresh Lit.default rng) in
+      let z = Zfilter.of_tags ~m:248 (List.map (fun l -> Lit.tag l 0) lits) in
+      let fpa = Zfilter.fpa z ~k:5 in
+      fpa >= 0.0 && fpa <= 1.0)
+
+let () =
+  Alcotest.run "bloom"
+    [
+      ( "lit",
+        [
+          Alcotest.test_case "constant k params" `Quick test_params_constant_k;
+          Alcotest.test_case "variable k params" `Quick test_params_variable_k;
+          Alcotest.test_case "variable wraps" `Quick test_params_variable_wraps;
+          Alcotest.test_case "validation" `Quick test_params_validation;
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "nonce sensitivity" `Quick test_generate_nonce_sensitivity;
+          Alcotest.test_case "tag popcounts" `Quick test_tag_popcounts;
+          Alcotest.test_case "tables differ" `Quick test_tags_differ_across_tables;
+          Alcotest.test_case "tag bounds" `Quick test_tag_bounds;
+          Alcotest.test_case "link id" `Quick test_link_id_is_table_zero;
+          Alcotest.test_case "fresh distinct" `Quick test_fresh_distinct;
+        ] );
+      ( "zfilter",
+        [
+          Alcotest.test_case "empty" `Quick test_zfilter_empty;
+          Alcotest.test_case "contains added" `Quick test_zfilter_contains_added_tags;
+          Alcotest.test_case "nonmember misses" `Quick
+            test_zfilter_nonmember_usually_misses;
+          Alcotest.test_case "fill and fpa" `Quick test_zfilter_fill_and_fpa;
+          Alcotest.test_case "fill limit" `Quick test_zfilter_fill_limit;
+          Alcotest.test_case "copy" `Quick test_zfilter_copy_independent;
+          Alcotest.test_case "hex roundtrip" `Quick test_zfilter_hex_roundtrip;
+          QCheck_alcotest.to_alcotest prop_member_always_matches;
+          QCheck_alcotest.to_alcotest prop_fill_monotone;
+          QCheck_alcotest.to_alcotest prop_fpa_in_unit_interval;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Tests for Lipsin_bootstrap.Discovery: link-state bootstrap of the
+   topology and rendezvous functions (Sec. 2.2). *)
+
+module Discovery = Lipsin_bootstrap.Discovery
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Metrics = Lipsin_topology.Metrics
+module Generator = Lipsin_topology.Generator
+module As_presets = Lipsin_topology.As_presets
+module Rng = Lipsin_util.Rng
+
+let same_edges a b =
+  Graph.node_count a = Graph.node_count b
+  && Graph.edge_count a = Graph.edge_count b
+  &&
+  let ok = ref true in
+  Graph.iter_links a (fun l ->
+      if not (Graph.has_edge b l.Graph.src l.Graph.dst) then ok := false);
+  !ok
+
+let test_converges_on_line () =
+  let g = Graph.create ~nodes:6 in
+  for v = 0 to 4 do
+    Graph.add_edge g v (v + 1)
+  done;
+  let d = Discovery.create g in
+  match Discovery.run d with
+  | Error e -> Alcotest.fail e
+  | Ok rounds ->
+    (* An LSA from one end needs diameter hops to reach the other. *)
+    Alcotest.(check bool) "rounds ~ diameter" true (rounds >= 5 && rounds <= 7);
+    Alcotest.(check bool) "converged" true (Discovery.converged d)
+
+let test_every_node_learns_the_full_map () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 3) ~nodes:40 ~edges:70 ~max_degree:10 ()
+  in
+  let d = Discovery.create g in
+  (match Discovery.run d with Ok _ -> () | Error e -> Alcotest.fail e);
+  for v = 0 to Graph.node_count g - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d map matches" v)
+      true
+      (same_edges g (Discovery.map_of d v))
+  done
+
+let test_rounds_bounded_by_diameter () =
+  let g = As_presets.ta2 () in
+  let d = Discovery.create g in
+  match Discovery.run d with
+  | Error e -> Alcotest.fail e
+  | Ok rounds ->
+    let m = Metrics.compute g in
+    Alcotest.(check bool) "rounds <= diameter + 2" true
+      (rounds <= m.Metrics.diameter + 2)
+
+let test_rendezvous_advertised () =
+  let g =
+    Generator.waxman ~rng:(Rng.of_int 4) ~nodes:25 ~edges:40 ~max_degree:8 ()
+  in
+  let d = Discovery.create ~rendezvous:[ 3; 17 ] g in
+  (match Discovery.run d with Ok _ -> () | Error e -> Alcotest.fail e);
+  for v = 0 to 24 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "node %d knows the rendezvous nodes" v)
+      [ 3; 17 ]
+      (Discovery.rendezvous_known_at d v)
+  done
+
+let test_quiescent_after_convergence () =
+  let g = Graph.create ~nodes:4 in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) [ (0, 1); (1, 2); (2, 3); (3, 0) ];
+  let d = Discovery.create g in
+  (match Discovery.run d with Ok _ -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "no chatter once converged" 0 (Discovery.step d)
+
+let test_link_failure_reconverges () =
+  let g = Graph.create ~nodes:5 in
+  List.iter (fun (u, v) -> Graph.add_edge g u v)
+    [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (1, 3) ];
+  let d = Discovery.create g in
+  (match Discovery.run d with Ok _ -> () | Error e -> Alcotest.fail e);
+  let failed =
+    match Graph.find_link g ~src:1 ~dst:3 with
+    | Some l -> l
+    | None -> Alcotest.fail "link exists"
+  in
+  Discovery.fail_link d failed;
+  Alcotest.(check bool) "marked dead" false (Discovery.link_alive d failed);
+  Alcotest.(check bool) "stale until re-flooded" false (Discovery.converged d);
+  (match Discovery.run d with Ok _ -> () | Error e -> Alcotest.fail e);
+  (* Every node's map now omits the failed edge but keeps the rest. *)
+  for v = 0 to 4 do
+    let map = Discovery.map_of d v in
+    Alcotest.(check bool)
+      (Printf.sprintf "node %d dropped the edge" v)
+      false
+      (Graph.has_edge map 1 3);
+    Alcotest.(check int)
+      (Printf.sprintf "node %d kept the others" v)
+      5 (Graph.edge_count map)
+  done
+
+let test_fail_link_idempotent () =
+  let g = Graph.create ~nodes:3 in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) [ (0, 1); (1, 2); (2, 0) ];
+  let d = Discovery.create g in
+  (match Discovery.run d with Ok _ -> () | Error e -> Alcotest.fail e);
+  let l =
+    match Graph.find_link g ~src:0 ~dst:1 with
+    | Some l -> l
+    | None -> Alcotest.fail "exists"
+  in
+  Discovery.fail_link d l;
+  let m1 = Discovery.messages_sent d in
+  (match Discovery.run d with Ok _ -> () | Error e -> Alcotest.fail e);
+  let m2 = Discovery.messages_sent d in
+  Discovery.fail_link d l;
+  Alcotest.(check bool) "second failure is a no-op" true (Discovery.converged d);
+  Alcotest.(check bool) "reconvergence carried messages" true (m2 > m1)
+
+let test_message_overhead_scales () =
+  (* Flooding carries O(n) LSAs over O(e) links: total messages for
+     convergence is O(n * e); check the constant is sane on a preset. *)
+  let g = As_presets.as1221 () in
+  let d = Discovery.create g in
+  (match Discovery.run d with Ok _ -> () | Error e -> Alcotest.fail e);
+  let bound = Graph.node_count g * Graph.link_count g in
+  Alcotest.(check bool) "message count within flooding bound" true
+    (Discovery.messages_sent d <= bound)
+
+let prop_maps_converge_on_random_graphs =
+  QCheck.Test.make ~name:"discovery converges to the true map" ~count:30
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let g =
+        Generator.pref_attach ~rng:(Rng.of_int seed) ~nodes:20 ~edges:32
+          ~max_degree:8 ()
+      in
+      let d = Discovery.create g in
+      match Discovery.run d with
+      | Error _ -> false
+      | Ok _ -> same_edges g (Discovery.map_of d (seed mod 20)))
+
+let () =
+  Alcotest.run "bootstrap"
+    [
+      ( "discovery",
+        [
+          Alcotest.test_case "line convergence" `Quick test_converges_on_line;
+          Alcotest.test_case "full map everywhere" `Quick
+            test_every_node_learns_the_full_map;
+          Alcotest.test_case "rounds ~ diameter" `Quick test_rounds_bounded_by_diameter;
+          Alcotest.test_case "rendezvous advertised" `Quick test_rendezvous_advertised;
+          Alcotest.test_case "quiescent" `Quick test_quiescent_after_convergence;
+          Alcotest.test_case "link failure" `Quick test_link_failure_reconverges;
+          Alcotest.test_case "idempotent failure" `Quick test_fail_link_idempotent;
+          Alcotest.test_case "message overhead" `Quick test_message_overhead_scales;
+          QCheck_alcotest.to_alcotest prop_maps_converge_on_random_graphs;
+        ] );
+    ]

@@ -1,0 +1,172 @@
+(* Tests for Lipsin_cache: Store (LRU) and Network_cache. *)
+
+module Store = Lipsin_cache.Store
+module Network_cache = Lipsin_cache.Network_cache
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Generator = Lipsin_topology.Generator
+module Rng = Lipsin_util.Rng
+
+let test_store_basic () =
+  let s = Store.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Store.size s);
+  Store.insert s ~topic:1L ~payload:"a";
+  Store.insert s ~topic:2L ~payload:"b";
+  Alcotest.(check (option string)) "hit" (Some "a") (Store.lookup s ~topic:1L);
+  Alcotest.(check (option string)) "miss" None (Store.lookup s ~topic:9L);
+  Alcotest.(check int) "size 2" 2 (Store.size s)
+
+let test_store_rejects_zero_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Store.create: capacity must be positive") (fun () ->
+      ignore (Store.create ~capacity:0))
+
+let test_store_update_refreshes () =
+  let s = Store.create ~capacity:2 in
+  Store.insert s ~topic:1L ~payload:"old";
+  Store.insert s ~topic:1L ~payload:"new";
+  Alcotest.(check int) "still one entry" 1 (Store.size s);
+  Alcotest.(check (option string)) "latest payload" (Some "new")
+    (Store.lookup s ~topic:1L)
+
+let test_store_lru_eviction () =
+  let s = Store.create ~capacity:2 in
+  Store.insert s ~topic:1L ~payload:"a";
+  Store.insert s ~topic:2L ~payload:"b";
+  (* Touch 1 so 2 becomes LRU. *)
+  ignore (Store.lookup s ~topic:1L);
+  Store.insert s ~topic:3L ~payload:"c";
+  Alcotest.(check bool) "2 evicted" false (Store.mem s ~topic:2L);
+  Alcotest.(check bool) "1 kept (recently used)" true (Store.mem s ~topic:1L);
+  Alcotest.(check bool) "3 present" true (Store.mem s ~topic:3L)
+
+let test_store_eviction_order_fifo_without_touches () =
+  let s = Store.create ~capacity:3 in
+  List.iter (fun (t, p) -> Store.insert s ~topic:t ~payload:p)
+    [ (1L, "a"); (2L, "b"); (3L, "c"); (4L, "d"); (5L, "e") ];
+  Alcotest.(check bool) "1 evicted" false (Store.mem s ~topic:1L);
+  Alcotest.(check bool) "2 evicted" false (Store.mem s ~topic:2L);
+  List.iter
+    (fun t -> Alcotest.(check bool) "recent kept" true (Store.mem s ~topic:t))
+    [ 3L; 4L; 5L ]
+
+let test_store_clear () =
+  let s = Store.create ~capacity:4 in
+  Store.insert s ~topic:1L ~payload:"x";
+  Store.clear s;
+  Alcotest.(check int) "cleared" 0 (Store.size s);
+  (* Still usable after clear. *)
+  Store.insert s ~topic:2L ~payload:"y";
+  Alcotest.(check bool) "usable" true (Store.mem s ~topic:2L)
+
+let prop_store_never_exceeds_capacity =
+  QCheck.Test.make ~name:"LRU never exceeds capacity" ~count:100
+    QCheck.(pair (int_range 1 10) (list_of_size (QCheck.Gen.int_range 0 60) (int_range 0 20)))
+    (fun (capacity, inserts) ->
+      let s = Store.create ~capacity in
+      List.iter
+        (fun t -> Store.insert s ~topic:(Int64.of_int t) ~payload:"p")
+        inserts;
+      Store.size s <= capacity)
+
+let line_graph n =
+  let g = Graph.create ~nodes:n in
+  for v = 0 to n - 2 do
+    Graph.add_edge g v (v + 1)
+  done;
+  g
+
+let test_network_cache_serves_from_midpath () =
+  let g = line_graph 8 in
+  let nc = Network_cache.create g ~capacity:8 in
+  (* Publication travelled 0 -> 5: nodes 0..5 cache it. *)
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 5 ] in
+  Network_cache.on_delivery nc ~tree ~topic:42L ~payload:"data";
+  (* Node 7 (not on the tree) fetches: path 7->0 hits the cache at 5. *)
+  match Network_cache.fetch nc ~subscriber:7 ~publisher:0 ~topic:42L with
+  | None -> Alcotest.fail "cache must answer"
+  | Some f ->
+    Alcotest.(check string) "payload" "data" f.Network_cache.payload;
+    Alcotest.(check int) "served two hops away" 2 f.Network_cache.hops;
+    Alcotest.(check int) "vs seven to the publisher" 7 f.Network_cache.full_hops;
+    Alcotest.(check int) "served by node 5" 5 f.Network_cache.served_by
+
+let test_network_cache_local_hit_is_free () =
+  let g = line_graph 4 in
+  let nc = Network_cache.create g ~capacity:4 in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 3 ] in
+  Network_cache.on_delivery nc ~tree ~topic:1L ~payload:"p";
+  match Network_cache.fetch nc ~subscriber:3 ~publisher:0 ~topic:1L with
+  | Some f -> Alcotest.(check int) "zero hops" 0 f.Network_cache.hops
+  | None -> Alcotest.fail "subscriber cached its own copy"
+
+let test_network_cache_miss () =
+  let g = line_graph 4 in
+  let nc = Network_cache.create g ~capacity:4 in
+  Alcotest.(check bool) "nothing cached" true
+    (Network_cache.fetch nc ~subscriber:3 ~publisher:0 ~topic:9L = None)
+
+let test_network_cache_decouples_in_time () =
+  (* The publisher itself can be "gone": after eviction everywhere
+     except some midpath node, the data is still reachable. *)
+  let g = line_graph 6 in
+  let nc = Network_cache.create g ~capacity:1 in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 4 ] in
+  Network_cache.on_delivery nc ~tree ~topic:7L ~payload:"old";
+  (* New publications push the old topic out of most caches... *)
+  List.iteri
+    (fun i node ->
+      if node <> 2 then
+        Store.insert (Network_cache.store_at nc node)
+          ~topic:(Int64.of_int (100 + i))
+          ~payload:"newer")
+    [ 0; 1; 3; 4 ];
+  match Network_cache.fetch nc ~subscriber:5 ~publisher:0 ~topic:7L with
+  | Some f ->
+    Alcotest.(check int) "node 2 still has it" 2 f.Network_cache.served_by
+  | None -> Alcotest.fail "surviving replica must answer"
+
+let test_network_cache_random_graph_consistency () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 3) ~nodes:30 ~edges:50 ~max_degree:8 ()
+  in
+  let nc = Network_cache.create g ~capacity:16 in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 15; 25 ] in
+  Network_cache.on_delivery nc ~tree ~topic:5L ~payload:"pub";
+  (* Anyone on the tree fetches at 0 hops; everyone reachable fetches
+     at most their distance to the publisher. *)
+  let dist = Spt.distances g ~root:0 in
+  for v = 0 to 29 do
+    match Network_cache.fetch nc ~subscriber:v ~publisher:0 ~topic:5L with
+    | Some f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d hops bounded" v)
+        true
+        (f.Network_cache.hops <= dist.(v))
+    | None -> Alcotest.fail "publisher end always has it"
+  done
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "basic" `Quick test_store_basic;
+          Alcotest.test_case "zero capacity" `Quick test_store_rejects_zero_capacity;
+          Alcotest.test_case "update refreshes" `Quick test_store_update_refreshes;
+          Alcotest.test_case "lru eviction" `Quick test_store_lru_eviction;
+          Alcotest.test_case "fifo without touches" `Quick
+            test_store_eviction_order_fifo_without_touches;
+          Alcotest.test_case "clear" `Quick test_store_clear;
+          QCheck_alcotest.to_alcotest prop_store_never_exceeds_capacity;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "midpath hit" `Quick test_network_cache_serves_from_midpath;
+          Alcotest.test_case "local hit" `Quick test_network_cache_local_hit_is_free;
+          Alcotest.test_case "miss" `Quick test_network_cache_miss;
+          Alcotest.test_case "time decoupling" `Quick test_network_cache_decouples_in_time;
+          Alcotest.test_case "random graph" `Quick
+            test_network_cache_random_graph_consistency;
+        ] );
+    ]

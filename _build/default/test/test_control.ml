@@ -1,0 +1,189 @@
+(* Tests for Lipsin_control: Message wire format and in-band Plane
+   operations. *)
+
+module Bitvec = Lipsin_bitvec.Bitvec
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Generator = Lipsin_topology.Generator
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Node_engine = Lipsin_forwarding.Node_engine
+module Message = Lipsin_control.Message
+module Plane = Lipsin_control.Plane
+module Rng = Lipsin_util.Rng
+
+let roundtrip msg =
+  match Message.decode (Message.encode msg) with
+  | Ok m -> m
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+
+let test_message_roundtrips () =
+  let rng = Rng.of_int 1 in
+  let lit = Lit.fresh Lit.default rng in
+  let messages =
+    [
+      Message.Vlid_activate { nonce = Lit.nonce lit; tags = Lit.tags lit };
+      Message.Vlid_deactivate { nonce = 0x123456789ABCDEFL };
+      Message.Block_request { blocked = Lit.tag lit 2; table = 2 };
+      Message.Reverse_collect { collected = Lit.tag lit 0; table = 0 };
+    ]
+  in
+  List.iter
+    (fun msg ->
+      Alcotest.(check bool) "roundtrip equal" true (Message.equal msg (roundtrip msg)))
+    messages
+
+let test_message_rejects_garbage () =
+  (match Message.decode "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty payload must be rejected");
+  (match Message.decode "\x99somebytes" with
+  | Error msg -> Alcotest.(check string) "unknown tag" "unknown message type" msg
+  | Ok _ -> Alcotest.fail "unknown tag must be rejected");
+  match Message.decode "\x02\x00\x01" with
+  | Error msg -> Alcotest.(check string) "truncated" "truncated control message" msg
+  | Ok _ -> Alcotest.fail "truncated message must be rejected"
+
+let test_message_rejects_trailing () =
+  let enc = Message.encode (Message.Vlid_deactivate { nonce = 5L }) ^ "x" in
+  match Message.decode enc with
+  | Error msg -> Alcotest.(check string) "trailing" "trailing bytes" msg
+  | Ok _ -> Alcotest.fail "trailing bytes must be rejected"
+
+let prop_message_decode_total =
+  QCheck.Test.make ~name:"decode never raises on arbitrary payloads" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 80))
+    (fun s -> match Message.decode s with Ok _ | Error _ -> true)
+
+(*    0 - 1 - 2
+      |   |   |
+      3 - 4 - 5    *)
+let grid () =
+  let g = Graph.create ~nodes:6 in
+  List.iter (fun (u, v) -> Graph.add_edge g u v)
+    [ (0, 1); (1, 2); (0, 3); (1, 4); (2, 5); (3, 4); (4, 5) ];
+  let asg = Assignment.make Lit.default (Rng.of_int 3) g in
+  (g, asg, Net.make asg)
+
+let link g u v =
+  match Graph.find_link g ~src:u ~dst:v with
+  | Some l -> l
+  | None -> Alcotest.fail (Printf.sprintf "missing link %d->%d" u v)
+
+let test_inband_activation_recovers_traffic () =
+  let g, asg, net = grid () in
+  let failed = link g 1 4 in
+  (* Data packet that needs 1->4. *)
+  let tree = [ link g 0 1; failed ] in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  (match Plane.activate_backup net ~failed with
+  | Error e -> Alcotest.fail e
+  | Ok trace ->
+    Alcotest.(check bool) "control visited the detecting node" true
+      (List.mem 1 trace.Plane.visited);
+    Alcotest.(check bool) "control used at least 2 hops" true (trace.Plane.hops >= 2));
+  let o = Run.deliver net ~src:0 ~table:0 ~zfilter:c.Candidate.zfilter ~tree in
+  Alcotest.(check bool) "data still reaches node 4" true o.Run.reached.(4)
+
+let test_inband_deactivation_restores () =
+  let g, _, net = grid () in
+  let failed = link g 1 4 in
+  (match Plane.activate_backup net ~failed with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Plane.deactivate_backup net ~failed with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* All virtual state gone everywhere. *)
+  for v = 0 to 5 do
+    Alcotest.(check int)
+      (Printf.sprintf "node %d clean" v)
+      0
+      (Node_engine.virtual_count (Net.engine net v))
+  done
+
+let test_activation_fails_on_bridge () =
+  let g = Graph.create ~nodes:3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  let asg = Assignment.make Lit.default (Rng.of_int 4) g in
+  let net = Net.make asg in
+  match Plane.activate_backup net ~failed:(link g 0 1) with
+  | Error msg ->
+    Alcotest.(check string) "bridge" "no backup path: failed link is a bridge" msg
+  | Ok _ -> Alcotest.fail "bridge must have no backup"
+
+let test_reverse_collection_routes_back () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 6) ~nodes:30 ~edges:50 ~max_degree:8 ()
+  in
+  let asg = Assignment.make Lit.default (Rng.of_int 7) g in
+  let net = Net.make asg in
+  match Plane.collect_reverse_path net ~publisher:0 ~subscriber:20 ~table:0 with
+  | Error e -> Alcotest.fail e
+  | Ok (reverse, trace) ->
+    Alcotest.(check bool) "visited subscriber" true (List.mem 20 trace.Plane.visited);
+    (* The collected filter must route subscriber -> publisher. *)
+    let o = Run.deliver net ~src:20 ~table:0 ~zfilter:reverse ~tree:[] in
+    Alcotest.(check bool) "publisher reachable with collected zFilter" true
+      o.Run.reached.(0);
+    (* And its size is one path's worth of LITs. *)
+    let dist = (Spt.distances g ~root:0).(20) in
+    Alcotest.(check bool) "popcount bounded by path tags" true
+      (Zfilter.popcount reverse <= dist * 5)
+
+let test_block_request_quenches () =
+  let g, asg, net = grid () in
+  let victim_link = link g 0 1 in
+  let tree = [ victim_link ] in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  (* Before the quench, traffic flows 0 -> 1. *)
+  let before = Run.deliver net ~src:0 ~table:0 ~zfilter:c.Candidate.zfilter ~tree in
+  Alcotest.(check bool) "flows before" true before.Run.reached.(1);
+  (* Node 1 asks node 0 to block this zFilter over the link. *)
+  Plane.request_block net ~over:victim_link ~blocked:c.Candidate.zfilter ~table:0;
+  let after = Run.deliver net ~src:0 ~table:0 ~zfilter:c.Candidate.zfilter ~tree in
+  Alcotest.(check bool) "quenched after" false after.Run.reached.(1);
+  (* Other traffic over the same link is unaffected. *)
+  let tree2 = [ link g 0 3; link g 3 4 ] in
+  let c2 = Candidate.build_one asg ~tree:tree2 ~table:0 in
+  let other = Run.deliver net ~src:0 ~table:0 ~zfilter:c2.Candidate.zfilter ~tree:tree2 in
+  Alcotest.(check bool) "unrelated traffic unaffected" true other.Run.reached.(4)
+
+let test_block_request_is_per_table () =
+  let g, asg, net = grid () in
+  let victim_link = link g 0 1 in
+  let tree = [ victim_link ] in
+  let c0 = Candidate.build_one asg ~tree ~table:0 in
+  let c1 = Candidate.build_one asg ~tree ~table:1 in
+  Plane.request_block net ~over:victim_link ~blocked:c0.Candidate.zfilter ~table:0;
+  let o1 = Run.deliver net ~src:0 ~table:1 ~zfilter:c1.Candidate.zfilter ~tree in
+  Alcotest.(check bool) "table 1 traffic still flows" true o1.Run.reached.(1)
+
+let () =
+  Alcotest.run "control"
+    [
+      ( "message",
+        [
+          Alcotest.test_case "roundtrips" `Quick test_message_roundtrips;
+          Alcotest.test_case "rejects garbage" `Quick test_message_rejects_garbage;
+          Alcotest.test_case "rejects trailing" `Quick test_message_rejects_trailing;
+          QCheck_alcotest.to_alcotest prop_message_decode_total;
+        ] );
+      ( "plane",
+        [
+          Alcotest.test_case "in-band activation" `Quick
+            test_inband_activation_recovers_traffic;
+          Alcotest.test_case "in-band deactivation" `Quick
+            test_inband_deactivation_restores;
+          Alcotest.test_case "bridge fails" `Quick test_activation_fails_on_bridge;
+          Alcotest.test_case "reverse collection" `Quick
+            test_reverse_collection_routes_back;
+          Alcotest.test_case "block request" `Quick test_block_request_quenches;
+          Alcotest.test_case "block per table" `Quick test_block_request_is_per_table;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+(* Tests for Lipsin_core: Assignment, Candidate, Select. *)
+
+module Bitvec = Lipsin_bitvec.Bitvec
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Generator = Lipsin_topology.Generator
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Rng = Lipsin_util.Rng
+
+let sample_graph () =
+  let g = Graph.create ~nodes:8 in
+  List.iter (fun (u, v) -> Graph.add_edge g u v)
+    [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 7); (0, 7); (1, 6); (2, 5) ];
+  g
+
+let sample_assignment ?(params = Lit.default) ?(seed = 1) () =
+  Assignment.make params (Rng.of_int seed) (sample_graph ())
+
+let test_assignment_covers_all_links () =
+  let asg = sample_assignment () in
+  let g = Assignment.graph asg in
+  Alcotest.(check int) "lit per directed link" (Graph.link_count g)
+    (Assignment.link_count asg);
+  Graph.iter_links g (fun l ->
+      let lit = Assignment.lit asg l in
+      Alcotest.(check int) "k bits" 5 (Bitvec.popcount (Lit.tag lit 0)))
+
+let test_assignment_directions_differ () =
+  let asg = sample_assignment () in
+  let g = Assignment.graph asg in
+  let l = Graph.link g 0 in
+  let r = Graph.reverse_link g l in
+  Alcotest.(check bool) "both directions named independently" false
+    (Bitvec.equal (Assignment.tag asg l ~table:0) (Assignment.tag asg r ~table:0))
+
+let test_assignment_deterministic () =
+  let a = sample_assignment ~seed:9 () and b = sample_assignment ~seed:9 () in
+  let g = Assignment.graph a in
+  Graph.iter_links g (fun l ->
+      Alcotest.(check bool) "same tags" true
+        (Bitvec.equal (Assignment.tag a l ~table:3) (Assignment.tag b l ~table:3)))
+
+let test_rekey_changes_tags () =
+  let asg = sample_assignment () in
+  let g = Assignment.graph asg in
+  let rekeyed = Assignment.rekey asg (Rng.of_int 777) in
+  let changed = ref 0 in
+  Graph.iter_links g (fun l ->
+      if
+        not
+          (Bitvec.equal (Assignment.tag asg l ~table:0)
+             (Assignment.tag rekeyed l ~table:0))
+      then incr changed);
+  Alcotest.(check int) "every link rekeyed" (Graph.link_count g) !changed
+
+let test_rekey_link_is_local () =
+  let asg = sample_assignment () in
+  let g = Assignment.graph asg in
+  let target = Graph.link g 3 in
+  let rekeyed = Assignment.rekey_link asg target (Rng.of_int 5) in
+  Graph.iter_links g (fun l ->
+      let same =
+        Bitvec.equal (Assignment.tag asg l ~table:0)
+          (Assignment.tag rekeyed l ~table:0)
+      in
+      if l.Graph.index = target.Graph.index then
+        Alcotest.(check bool) "target changed" false same
+      else Alcotest.(check bool) "others unchanged" true same)
+
+let tree_for asg root subscribers =
+  Spt.delivery_tree (Assignment.graph asg) ~root ~subscribers
+
+let test_candidates_one_per_table () =
+  let asg = sample_assignment () in
+  let tree = tree_for asg 0 [ 3; 5 ] in
+  let candidates = Candidate.build asg ~tree in
+  Alcotest.(check int) "d candidates" 8 (Array.length candidates);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int) "table index" i c.Candidate.table;
+      Alcotest.(check bool) "contains tree" true
+        (Candidate.matches_all_tree_links asg c))
+    candidates
+
+let test_candidate_rejects_empty_tree () =
+  let asg = sample_assignment () in
+  Alcotest.check_raises "empty tree"
+    (Invalid_argument "Candidate.build_one: empty tree") (fun () ->
+      ignore (Candidate.build_one asg ~tree:[] ~table:0))
+
+let test_candidate_rejects_bad_table () =
+  let asg = sample_assignment () in
+  let tree = tree_for asg 0 [ 2 ] in
+  Alcotest.check_raises "bad table"
+    (Invalid_argument "Candidate.build_one: table index out of range") (fun () ->
+      ignore (Candidate.build_one asg ~tree ~table:8))
+
+let test_fpa_formula () =
+  let asg = sample_assignment () in
+  let tree = tree_for asg 0 [ 4 ] in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  Alcotest.(check (float 1e-9)) "fpa = rho^k"
+    (Candidate.fill_factor c ** 5.0)
+    (Candidate.fpa c)
+
+let test_select_fpa_picks_minimum () =
+  let asg = sample_assignment ~params:Lit.paper_variable () in
+  let tree = tree_for asg 0 [ 3; 5; 6 ] in
+  let candidates = Candidate.build asg ~tree in
+  match Select.select_fpa candidates with
+  | None -> Alcotest.fail "selection must succeed"
+  | Some best ->
+    Array.iter
+      (fun c ->
+        Alcotest.(check bool) "no candidate beats the winner" true
+          (Candidate.fpa best <= Candidate.fpa c))
+      candidates
+
+let test_select_fill_limit_excludes_all () =
+  let asg = sample_assignment () in
+  (* A tree over every link overfills m=248 on this graph?  No — 20
+     links * ~5 bits ~ 88 bits ~ 0.35.  Force a tiny limit instead. *)
+  let tree = tree_for asg 0 [ 3; 5; 6 ] in
+  let candidates = Candidate.build asg ~tree in
+  Alcotest.(check bool) "all excluded under absurd limit" true
+    (Select.select_fpa ~fill_limit:0.001 candidates = None)
+
+let test_default_test_set_excludes_tree () =
+  let asg = sample_assignment () in
+  let tree = tree_for asg 0 [ 4; 6 ] in
+  let test = Select.default_test_set asg ~tree in
+  let tree_idx = List.map (fun l -> l.Graph.index) tree in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "test link not on tree" false
+        (List.mem l.Graph.index tree_idx))
+    test;
+  Alcotest.(check bool) "test set non-empty" true (test <> [])
+
+let test_count_false_positives_zero_for_disjoint () =
+  (* A candidate built from links whose tags are known cannot falsely
+     match a test set that is empty. *)
+  let asg = sample_assignment () in
+  let tree = tree_for asg 0 [ 2 ] in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  Alcotest.(check int) "no tests, no fps" 0
+    (Select.count_false_positives asg c ~test:[])
+
+let test_select_fpr_not_worse_than_standard () =
+  let asg = sample_assignment ~params:Lit.paper_variable ~seed:4 () in
+  let tree = tree_for asg 1 [ 4; 7; 5 ] in
+  let candidates = Candidate.build asg ~tree in
+  let test = Select.default_test_set asg ~tree in
+  match Select.select_fpr asg candidates ~test with
+  | None -> Alcotest.fail "selection must succeed"
+  | Some best ->
+    let standard = Select.standard candidates in
+    Alcotest.(check bool) "fpr-opt <= standard observed fps" true
+      (Select.count_false_positives asg best ~test
+      <= Select.count_false_positives asg standard ~test)
+
+let test_select_weighted_respects_hard_avoidance () =
+  let asg = sample_assignment ~seed:6 () in
+  let tree = tree_for asg 0 [ 5 ] in
+  let candidates = Candidate.build asg ~tree in
+  let test = Select.default_test_set asg ~tree in
+  let weight = Select.avoid_set test in
+  (* All test links weighted 1000: the chosen candidate minimises
+     weighted fps, equivalent to fpr with uniform heavy weights. *)
+  match
+    ( Select.select_weighted asg candidates ~test ~weight,
+      Select.select_fpr asg candidates ~test )
+  with
+  | Some w, Some f ->
+    Alcotest.(check int) "same observed fp count"
+      (Select.count_false_positives asg f ~test)
+      (Select.count_false_positives asg w ~test)
+  | _ -> Alcotest.fail "both selections must succeed"
+
+let test_standard_requires_candidates () =
+  Alcotest.check_raises "empty" (Invalid_argument "Select.standard: no candidates")
+    (fun () -> ignore (Select.standard [||]))
+
+(* Properties. *)
+
+let prop_candidates_contain_tree =
+  QCheck.Test.make ~name:"every candidate contains its tree (no false negatives)"
+    ~count:150
+    QCheck.(pair small_nat (int_range 2 10))
+    (fun (seed, subs) ->
+      let g =
+        Generator.pref_attach ~rng:(Rng.of_int (seed + 17)) ~nodes:40 ~edges:70
+          ~max_degree:10 ()
+      in
+      let asg = Assignment.make Lit.paper_variable (Rng.of_int seed) g in
+      let rng = Rng.of_int (seed + 99) in
+      let picks = Rng.sample rng (subs + 1) 40 in
+      let tree =
+        Spt.delivery_tree g ~root:picks.(0)
+          ~subscribers:(Array.to_list (Array.sub picks 1 subs))
+      in
+      let candidates = Candidate.build asg ~tree in
+      Array.for_all (fun c -> Candidate.matches_all_tree_links asg c) candidates)
+
+let prop_fpa_selection_minimises =
+  QCheck.Test.make ~name:"fpa selection minimises rho^k" ~count:150
+    QCheck.(pair small_nat (int_range 2 8))
+    (fun (seed, subs) ->
+      let g =
+        Generator.waxman ~rng:(Rng.of_int (seed + 29)) ~nodes:30 ~edges:50
+          ~max_degree:10 ()
+      in
+      let asg = Assignment.make Lit.paper_variable (Rng.of_int seed) g in
+      let rng = Rng.of_int (seed + 7) in
+      let picks = Rng.sample rng (subs + 1) 30 in
+      let tree =
+        Spt.delivery_tree g ~root:picks.(0)
+          ~subscribers:(Array.to_list (Array.sub picks 1 subs))
+      in
+      let candidates = Candidate.build asg ~tree in
+      match Select.select_fpa ~fill_limit:1.0 candidates with
+      | None -> false
+      | Some best ->
+        Array.for_all (fun c -> Candidate.fpa best <= Candidate.fpa c) candidates)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "assignment",
+        [
+          Alcotest.test_case "covers all links" `Quick test_assignment_covers_all_links;
+          Alcotest.test_case "directions differ" `Quick test_assignment_directions_differ;
+          Alcotest.test_case "deterministic" `Quick test_assignment_deterministic;
+          Alcotest.test_case "rekey all" `Quick test_rekey_changes_tags;
+          Alcotest.test_case "rekey one link" `Quick test_rekey_link_is_local;
+        ] );
+      ( "candidate",
+        [
+          Alcotest.test_case "one per table" `Quick test_candidates_one_per_table;
+          Alcotest.test_case "rejects empty tree" `Quick test_candidate_rejects_empty_tree;
+          Alcotest.test_case "rejects bad table" `Quick test_candidate_rejects_bad_table;
+          Alcotest.test_case "fpa formula" `Quick test_fpa_formula;
+          QCheck_alcotest.to_alcotest prop_candidates_contain_tree;
+        ] );
+      ( "select",
+        [
+          Alcotest.test_case "fpa picks minimum" `Quick test_select_fpa_picks_minimum;
+          Alcotest.test_case "fill limit excludes" `Quick
+            test_select_fill_limit_excludes_all;
+          Alcotest.test_case "test set excludes tree" `Quick
+            test_default_test_set_excludes_tree;
+          Alcotest.test_case "empty test set" `Quick
+            test_count_false_positives_zero_for_disjoint;
+          Alcotest.test_case "fpr beats standard" `Quick
+            test_select_fpr_not_worse_than_standard;
+          Alcotest.test_case "weighted avoidance" `Quick
+            test_select_weighted_respects_hard_avoidance;
+          Alcotest.test_case "standard requires candidates" `Quick
+            test_standard_requires_candidates;
+          QCheck_alcotest.to_alcotest prop_fpa_selection_minimises;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+(* Property tests of forwarding-engine invariants: the guarantees every
+   other layer builds on. *)
+
+module Bitvec = Lipsin_bitvec.Bitvec
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module Assignment = Lipsin_core.Assignment
+module Node_engine = Lipsin_forwarding.Node_engine
+module Rng = Lipsin_util.Rng
+
+let build_fixture seed =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int (seed + 307)) ~nodes:25 ~edges:45
+      ~max_degree:9 ()
+  in
+  let asg = Assignment.make Lit.paper_variable (Rng.of_int seed) g in
+  (g, asg)
+
+let random_zfilter asg rng ~links =
+  let g = Assignment.graph asg in
+  let all = Graph.links g in
+  let z = Zfilter.create ~m:248 in
+  for _ = 1 to links do
+    let l = all.(Rng.int rng (Array.length all)) in
+    Zfilter.add z (Assignment.tag asg l ~table:0)
+  done;
+  z
+
+let prop_forward_on_subset_of_ports =
+  QCheck.Test.make ~name:"forwarded links are outgoing physical links" ~count:150
+    QCheck.(pair small_nat (int_range 1 20))
+    (fun (seed, nlinks) ->
+      let g, asg = build_fixture seed in
+      let rng = Rng.of_int (seed + 1) in
+      let node = Rng.int rng (Graph.node_count g) in
+      let engine = Node_engine.create asg node in
+      let z = random_zfilter asg rng ~links:nlinks in
+      let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+      let ports = List.map (fun l -> l.Graph.index) (Graph.out_links g node) in
+      List.for_all
+        (fun l -> List.mem l.Graph.index ports)
+        v.Node_engine.forward_on)
+
+let prop_forward_no_duplicates =
+  QCheck.Test.make ~name:"verdict never lists a link twice" ~count:150
+    QCheck.(pair small_nat (int_range 1 25))
+    (fun (seed, nlinks) ->
+      let g, asg = build_fixture seed in
+      let rng = Rng.of_int (seed + 2) in
+      let node = Rng.int rng (Graph.node_count g) in
+      let engine = Node_engine.create asg node in
+      (* Include a virtual entry over the node's ports to stress dedup. *)
+      let out = Graph.out_links g node in
+      let vlit = Lit.fresh Lit.paper_variable rng in
+      Node_engine.install_virtual engine vlit ~out_links:out;
+      let z = random_zfilter asg rng ~links:nlinks in
+      Zfilter.add z (Lit.tag vlit 0);
+      let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+      let idx = List.map (fun l -> l.Graph.index) v.Node_engine.forward_on in
+      List.length idx = List.length (List.sort_uniq compare idx))
+
+let prop_forward_deterministic =
+  QCheck.Test.make ~name:"same packet, same verdict (stateless decision)" ~count:100
+    QCheck.(pair small_nat (int_range 1 15))
+    (fun (seed, nlinks) ->
+      let g, asg = build_fixture seed in
+      let rng = Rng.of_int (seed + 3) in
+      let node = Rng.int rng (Graph.node_count g) in
+      (* loop prevention off: its cache is intentionally stateful *)
+      let engine = Node_engine.create ~loop_prevention:false asg node in
+      let z = random_zfilter asg rng ~links:nlinks in
+      let v1 = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+      let v2 = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+      List.map (fun l -> l.Graph.index) v1.Node_engine.forward_on
+      = List.map (fun l -> l.Graph.index) v2.Node_engine.forward_on)
+
+let prop_monotone_in_zfilter =
+  QCheck.Test.make ~name:"adding bits never removes matches (below fill limit)"
+    ~count:100
+    QCheck.(pair small_nat (int_range 1 6))
+    (fun (seed, nlinks) ->
+      let g, asg = build_fixture seed in
+      let rng = Rng.of_int (seed + 4) in
+      let node = Rng.int rng (Graph.node_count g) in
+      let engine = Node_engine.create ~loop_prevention:false asg node in
+      let z = random_zfilter asg rng ~links:nlinks in
+      let bigger = Zfilter.copy z in
+      Zfilter.add bigger (random_zfilter asg rng ~links:2 |> Zfilter.to_bitvec);
+      if not (Zfilter.within_fill_limit bigger ~limit:0.7) then true
+      else begin
+        let v1 = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+        let v2 = Node_engine.forward engine ~table:0 ~zfilter:bigger ~in_link:None in
+        let i2 = List.map (fun l -> l.Graph.index) v2.Node_engine.forward_on in
+        List.for_all
+          (fun l -> List.mem l.Graph.index i2)
+          v1.Node_engine.forward_on
+      end)
+
+let prop_table_isolation =
+  QCheck.Test.make ~name:"a filter built for table i rarely matches in table j"
+    ~count:100 QCheck.small_nat
+    (fun seed ->
+      let g, asg = build_fixture seed in
+      let rng = Rng.of_int (seed + 5) in
+      let node = Rng.int rng (Graph.node_count g) in
+      let engine = Node_engine.create ~loop_prevention:false asg node in
+      (* Encode the node's own ports in table 0... *)
+      let out = Graph.out_links g node in
+      let z = Zfilter.create ~m:248 in
+      List.iter (fun l -> Zfilter.add z (Assignment.tag asg l ~table:0)) out;
+      if not (Zfilter.within_fill_limit z ~limit:0.7) then true
+      else begin
+        let v0 = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+        let v3 = Node_engine.forward engine ~table:3 ~zfilter:z ~in_link:None in
+        (* Table 0 matches every port; table 3 should match almost
+           none of them (different tags). *)
+        List.length v0.Node_engine.forward_on = List.length out
+        && List.length v3.Node_engine.forward_on < List.length out
+      end)
+
+let prop_tests_counted =
+  QCheck.Test.make ~name:"membership tests = ports + virtual entries" ~count:100
+    QCheck.small_nat
+    (fun seed ->
+      let g, asg = build_fixture seed in
+      let rng = Rng.of_int (seed + 6) in
+      let node = Rng.int rng (Graph.node_count g) in
+      let engine = Node_engine.create ~loop_prevention:false asg node in
+      let vlit = Lit.fresh Lit.paper_variable rng in
+      Node_engine.install_virtual engine vlit ~out_links:[];
+      let z = random_zfilter asg rng ~links:3 in
+      let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+      v.Node_engine.false_positive_tests = Graph.out_degree g node + 1)
+
+let () =
+  Alcotest.run "engine-props"
+    [
+      ( "invariants",
+        [
+          QCheck_alcotest.to_alcotest prop_forward_on_subset_of_ports;
+          QCheck_alcotest.to_alcotest prop_forward_no_duplicates;
+          QCheck_alcotest.to_alcotest prop_forward_deterministic;
+          QCheck_alcotest.to_alcotest prop_monotone_in_zfilter;
+          QCheck_alcotest.to_alcotest prop_table_isolation;
+          QCheck_alcotest.to_alcotest prop_tests_counted;
+        ] );
+    ]

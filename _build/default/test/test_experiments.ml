@@ -1,0 +1,163 @@
+(* Smoke and sanity tests for Lipsin_experiments: every table/figure
+   runner must execute with small trial counts and print a plausible
+   report; the Trial harness's numbers must carry the paper's shape. *)
+
+module E = Lipsin_experiments
+module Trial = E.Trial
+module Pipeline = E.Pipeline
+module As_presets = Lipsin_topology.As_presets
+module Lit = Lipsin_bloom.Lit
+module Stats = Lipsin_util.Stats
+
+let capture f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  nl = 0 || scan 0
+
+let check_runs name f expect =
+  let out = capture f in
+  Alcotest.(check bool) (name ^ " produces output") true (String.length out > 40);
+  List.iter
+    (fun s -> Alcotest.(check bool) (name ^ " mentions " ^ s) true (contains out s))
+    expect
+
+let test_table1 () = check_runs "table1" E.Table1.run [ "AS1221"; "TA2" ]
+let test_table2 () = check_runs "table2" (E.Table2.run ~trials:30) [ "AS3257"; "unicast" ]
+let test_table3 () = check_runs "table3" (E.Table3.run ~trials:30) [ "fpa/kc"; "std" ]
+let test_fig5 () = check_runs "fig5" (E.Fig5.run ~trials:20) [ "AS6461" ]
+let test_fig6 () = check_runs "fig6" (E.Fig6.run ~trials:5) [ "AS1221"; "50%" ]
+let test_table4 () = check_runs "table4" (E.Table4.run ~samples:500) [ "hops" ]
+
+let test_table5 () =
+  check_runs "table5" (E.Table5.run ~batches:10 ~batch_size:100) [ "LIPSIN"; "wire" ]
+
+let test_ftmem () = check_runs "ftmem" E.Ftmem.run [ "256 Kbit"; "48 Kbit" ]
+let test_security () = check_runs "security" E.Security_exp.run [ "contamination"; "re-keying" ]
+let test_recovery () = check_runs "recovery" (E.Recovery_exp.run ~trials:10) [ "VLId" ]
+let test_interdomain () = check_runs "interdomain" (E.Interdomain_exp.run ~publications:5) [ "domain" ]
+let test_workload () = check_runs "workload" (E.Workload_exp.run ~topics:100) [ "stateless" ]
+let test_ablation () = check_runs "ablation" (E.Ablation.run ~trials:20) [ "248"; "crossover" ]
+let test_splitting () = check_runs "splitting" (E.Splitting_exp.run ~trials:5) [ "vlink" ]
+let test_adaptive_exp () = check_runs "adaptive" (E.Adaptive_exp.run ~topics:50) [ "m=120" ]
+let test_caching_exp () = check_runs "caching" (E.Caching_exp.run ~fetches:100) [ "hit rate" ]
+let test_congestion_exp () = check_runs "congestion" (E.Congestion_exp.run ~publications:40) [ "avoidance" ]
+let test_bootstrap_exp () = check_runs "bootstrap" E.Bootstrap_exp.run [ "rounds"; "TA2" ]
+let test_latency_exp () = check_runs "latency" (E.Latency_exp.run ~trials:20) [ "overlay" ]
+let test_goodput_exp () = check_runs "goodput" (E.Goodput_exp.run ~topics:40) [ "ratio" ]
+let test_multipath_exp () = check_runs "multipath" (E.Multipath_exp.run ~trials:20) [ "disjoint" ]
+let test_directory_exp () = check_runs "directory" (E.Directory_exp.run ~lookups:500) [ "TB" ]
+let test_fec_exp () = check_runs "fec" (E.Fec_exp.run ~windows:5) [ "FEC" ]
+let test_churn_exp () = check_runs "churn" (E.Churn_exp.run ~joins:40) [ "covered" ]
+let test_loops_exp () = check_runs "loops" (E.Loops_exp.run ~trials:15) [ "prevention" ]
+let test_recursive_exp () = check_runs "recursive" (E.Recursive_exp.run ~trials:10) [ "stretch"; "weighted" ]
+
+(* Shape assertions: the headline claims of the paper's evaluation. *)
+
+let table2_config trials =
+  { Trial.default_config with Trial.params = Lit.paper_variable; trials }
+
+let test_efficiency_degrades_with_users () =
+  let graph = As_presets.as3257 () in
+  let config = table2_config 120 in
+  let small = Trial.run config graph ~users:4 in
+  let large = Trial.run config graph ~users:32 in
+  Alcotest.(check bool) "4 users nearly perfect" true
+    (small.Trial.efficiency_mean > 99.0);
+  Alcotest.(check bool) "32 users notably worse" true
+    (large.Trial.efficiency_mean < small.Trial.efficiency_mean -. 10.0);
+  Alcotest.(check bool) "fpr grows" true (large.Trial.fpr_mean > small.Trial.fpr_mean)
+
+let test_zfilter_beats_unicast_at_scale () =
+  let graph = As_presets.as3257 () in
+  let p = Trial.run (table2_config 120) graph ~users:24 in
+  Alcotest.(check bool) "multicast beats repeated unicast" true
+    (p.Trial.efficiency_mean > p.Trial.unicast_efficiency +. 15.0)
+
+let test_fpr_selection_beats_standard () =
+  let graph = As_presets.as6461 () in
+  let base = { Trial.default_config with Trial.trials = 120 } in
+  let std = Trial.run { base with Trial.selection = Trial.Standard } graph ~users:16 in
+  let opt = Trial.run { base with Trial.selection = Trial.Fpr } graph ~users:16 in
+  Alcotest.(check bool) "fpr-optimised clearly lower fpr" true
+    (opt.Trial.fpr_mean < std.Trial.fpr_mean /. 1.5)
+
+let test_pipeline_latency_affine_in_hops () =
+  let measure hops =
+    let chain = Pipeline.make_chain ~hops in
+    (Pipeline.measure_one_way chain ~payload:"x" ~batches:20 ~batch_size:100)
+      .Stats.mean
+  in
+  let l0 = measure 0 and l3 = measure 3 in
+  Alcotest.(check bool) "3 hops cost more than 0" true (l3 > l0)
+
+let test_pipeline_sends_through_all_hops () =
+  let chain = Pipeline.make_chain ~hops:3 in
+  Alcotest.(check int) "3 forwarding nodes forwarded" 3
+    (Pipeline.send_through chain ~payload:"probe")
+
+let test_trial_ci_shrinks_with_trials () =
+  let graph = As_presets.ta2 () in
+  let small = Trial.run { Trial.default_config with Trial.trials = 40 } graph ~users:16 in
+  let large = Trial.run { Trial.default_config with Trial.trials = 400 } graph ~users:16 in
+  Alcotest.(check bool) "CI positive" true (small.Trial.efficiency_ci95 > 0.0);
+  Alcotest.(check bool) "more trials, tighter CI" true
+    (large.Trial.efficiency_ci95 < small.Trial.efficiency_ci95)
+
+let test_trial_rejects_single_user () =
+  Alcotest.check_raises "users < 2"
+    (Invalid_argument "Trial.run: users must be at least 2") (fun () ->
+      ignore (Trial.run Trial.default_config (As_presets.ta2 ()) ~users:1))
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "table1" `Quick test_table1;
+          Alcotest.test_case "table2" `Quick test_table2;
+          Alcotest.test_case "table3" `Slow test_table3;
+          Alcotest.test_case "fig5" `Slow test_fig5;
+          Alcotest.test_case "fig6" `Quick test_fig6;
+          Alcotest.test_case "table4" `Quick test_table4;
+          Alcotest.test_case "table5" `Quick test_table5;
+          Alcotest.test_case "ftmem" `Quick test_ftmem;
+          Alcotest.test_case "security" `Quick test_security;
+          Alcotest.test_case "recovery" `Quick test_recovery;
+          Alcotest.test_case "interdomain" `Quick test_interdomain;
+          Alcotest.test_case "workload" `Quick test_workload;
+          Alcotest.test_case "ablation" `Quick test_ablation;
+          Alcotest.test_case "splitting" `Quick test_splitting;
+          Alcotest.test_case "adaptive" `Quick test_adaptive_exp;
+          Alcotest.test_case "caching" `Quick test_caching_exp;
+          Alcotest.test_case "congestion" `Quick test_congestion_exp;
+          Alcotest.test_case "bootstrap" `Slow test_bootstrap_exp;
+          Alcotest.test_case "latency" `Quick test_latency_exp;
+          Alcotest.test_case "goodput" `Quick test_goodput_exp;
+          Alcotest.test_case "multipath" `Quick test_multipath_exp;
+          Alcotest.test_case "directory" `Quick test_directory_exp;
+          Alcotest.test_case "fec" `Quick test_fec_exp;
+          Alcotest.test_case "churn" `Quick test_churn_exp;
+          Alcotest.test_case "loops" `Quick test_loops_exp;
+          Alcotest.test_case "recursive" `Quick test_recursive_exp;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "efficiency degrades with users" `Quick
+            test_efficiency_degrades_with_users;
+          Alcotest.test_case "beats unicast" `Quick test_zfilter_beats_unicast_at_scale;
+          Alcotest.test_case "fpr-opt beats standard" `Quick
+            test_fpr_selection_beats_standard;
+          Alcotest.test_case "latency affine" `Quick test_pipeline_latency_affine_in_hops;
+          Alcotest.test_case "pipeline hop count" `Quick
+            test_pipeline_sends_through_all_hops;
+          Alcotest.test_case "trial ci" `Quick test_trial_ci_shrinks_with_trials;
+          Alcotest.test_case "trial validation" `Quick test_trial_rejects_single_user;
+        ] );
+    ]

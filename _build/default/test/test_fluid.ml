@@ -1,0 +1,193 @@
+(* Tests for Lipsin_sim.Fluid (capacity/goodput model) and
+   Lipsin_core.Rotation (epoch-based Link ID rotation). *)
+
+module Fluid = Lipsin_sim.Fluid
+module Rotation = Lipsin_core.Rotation
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Generator = Lipsin_topology.Generator
+module Rng = Lipsin_util.Rng
+
+let line_graph n =
+  let g = Graph.create ~nodes:n in
+  for v = 0 to n - 2 do
+    Graph.add_edge g v (v + 1)
+  done;
+  g
+
+let path_of g root dst = Spt.delivery_tree g ~root ~subscribers:[ dst ]
+
+let test_fluid_underload_delivers_everything () =
+  let g = line_graph 4 in
+  let t = Fluid.create g ~capacity:10.0 in
+  let path = path_of g 0 3 in
+  Fluid.add_flow t { Fluid.rate = 5.0; links = path; paths = [ (3, path) ] };
+  Alcotest.(check (float 1e-9)) "utilization 0.5" 0.5
+    (Fluid.utilization t (List.hd path));
+  Alcotest.(check (float 1e-9)) "full goodput" 5.0 (Fluid.total_goodput t);
+  Alcotest.(check (float 1e-9)) "ratio 1" 1.0 (Fluid.delivery_ratio t)
+
+let test_fluid_oversubscription_throttles () =
+  let g = line_graph 3 in
+  let t = Fluid.create g ~capacity:10.0 in
+  let path = path_of g 0 2 in
+  (* Two flows of 10 each over the same 2-link path: each link at 2x
+     capacity; each flow throttled by (1/2) per link. *)
+  let flow = { Fluid.rate = 10.0; links = path; paths = [ (2, path) ] } in
+  Fluid.add_flow t flow;
+  Fluid.add_flow t flow;
+  Alcotest.(check (float 1e-9)) "utilization 2.0" 2.0
+    (Fluid.utilization t (List.hd path));
+  Alcotest.(check (float 1e-9)) "per-flow goodput 2.5" 2.5 (Fluid.goodput t flow 2);
+  Alcotest.(check (float 1e-9)) "ratio 0.25" 0.25 (Fluid.delivery_ratio t)
+
+let test_fluid_false_positive_links_consume_capacity () =
+  (*   0 - 1 - 2   with a stub 1 - 3.  A flow to 2 that also falsely
+     forwards onto 1->3 loads that link without any goodput there. *)
+  let g = Graph.create ~nodes:4 in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) [ (0, 1); (1, 2); (1, 3) ];
+  let t = Fluid.create g ~capacity:10.0 in
+  let path = path_of g 0 2 in
+  let fp_link = Option.get (Graph.find_link g ~src:1 ~dst:3) in
+  Fluid.add_flow t
+    { Fluid.rate = 4.0; links = fp_link :: path; paths = [ (2, path) ] };
+  Alcotest.(check (float 1e-9)) "wasted load on the fp link" 0.4
+    (Fluid.utilization t fp_link);
+  Alcotest.(check (float 1e-9)) "goodput unaffected while under capacity" 4.0
+    (Fluid.total_goodput t)
+
+let test_fluid_multicast_beats_unicast_at_saturation () =
+  (* Shared 0->1 trunk, then fan-out to 2 and 3.  Multicast loads the
+     trunk once; two unicasts load it twice and saturate earlier. *)
+  let g = Graph.create ~nodes:4 in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) [ (0, 1); (1, 2); (1, 3) ];
+  let p2 = path_of g 0 2 and p3 = path_of g 0 3 in
+  let trunk = List.hd p2 in
+  let rate = 8.0 in
+  (* multicast: trunk once *)
+  let mcast = Fluid.create g ~capacity:10.0 in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 2; 3 ] in
+  Fluid.add_flow mcast { Fluid.rate; links = tree; paths = [ (2, p2); (3, p3) ] };
+  (* unicast: trunk twice *)
+  let ucast = Fluid.create g ~capacity:10.0 in
+  Fluid.add_flow ucast { Fluid.rate; links = p2 @ p3; paths = [ (2, p2); (3, p3) ] };
+  Alcotest.(check (float 1e-9)) "multicast trunk fine" 0.8
+    (Fluid.utilization mcast trunk);
+  Alcotest.(check (float 1e-9)) "unicast trunk saturated" 1.6
+    (Fluid.utilization ucast trunk);
+  Alcotest.(check bool) "multicast delivers more" true
+    (Fluid.total_goodput mcast > Fluid.total_goodput ucast)
+
+let test_fluid_rejects_bad_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Fluid.create: capacity must be positive") (fun () ->
+      ignore (Fluid.create (line_graph 2) ~capacity:0.0))
+
+let test_fluid_goodput_requires_subscriber () =
+  let g = line_graph 3 in
+  let t = Fluid.create g ~capacity:1.0 in
+  let path = path_of g 0 2 in
+  let flow = { Fluid.rate = 1.0; links = path; paths = [ (2, path) ] } in
+  Fluid.add_flow t flow;
+  Alcotest.check_raises "not a subscriber"
+    (Invalid_argument "Fluid.goodput: node is not a subscriber of the flow")
+    (fun () -> ignore (Fluid.goodput t flow 1))
+
+(* ---- Rotation ---- *)
+
+let rotation_setup () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 151) ~nodes:25 ~edges:40 ~max_degree:8 ()
+  in
+  (g, Rotation.make ~secret:0x5EC0DEL Lit.default (Rng.of_int 157) g)
+
+let test_rotation_deterministic_per_epoch () =
+  let g, rot = rotation_setup () in
+  let a1 = Rotation.assignment_at rot ~epoch:3 in
+  let a2 = Rotation.assignment_at rot ~epoch:3 in
+  let l = Graph.link g 0 in
+  Alcotest.(check int64) "same nonce, same epoch"
+    (Lit.nonce (Assignment.lit a1 l))
+    (Lit.nonce (Assignment.lit a2 l))
+
+let test_rotation_epochs_differ () =
+  let g, rot = rotation_setup () in
+  let a0 = Rotation.assignment_at rot ~epoch:0 in
+  let a1 = Rotation.assignment_at rot ~epoch:1 in
+  let changed = ref 0 in
+  Graph.iter_links g (fun l ->
+      if
+        not
+          (Lipsin_bitvec.Bitvec.equal
+             (Assignment.tag a0 l ~table:0)
+             (Assignment.tag a1 l ~table:0))
+      then incr changed);
+  Alcotest.(check int) "every link rotated" (Graph.link_count g) !changed
+
+let test_rotation_expires_old_zfilters () =
+  let g, rot = rotation_setup () in
+  let a0 = Rotation.assignment_at rot ~epoch:0 in
+  let a1 = Rotation.assignment_at rot ~epoch:1 in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 10; 20 ] in
+  let old_filter = (Candidate.build_one a0 ~tree ~table:0).Candidate.zfilter in
+  (* Under the new epoch's tags, the stale filter matches (almost)
+     nothing on the tree. *)
+  let still_matching =
+    List.length
+      (List.filter
+         (fun l -> Zfilter.matches old_filter ~lit:(Assignment.tag a1 l ~table:0))
+         tree)
+  in
+  Alcotest.(check int) "stale filter dead" 0 still_matching;
+  (* And the fresh filter works. *)
+  let fresh = (Candidate.build_one a1 ~tree ~table:0).Candidate.zfilter in
+  Alcotest.(check bool) "fresh filter live" true
+    (List.for_all
+       (fun l -> Zfilter.matches fresh ~lit:(Assignment.tag a1 l ~table:0))
+       tree)
+
+let test_rotation_secret_matters () =
+  let g = line_graph 5 in
+  let rot_a = Rotation.make ~secret:1L Lit.default (Rng.of_int 5) g in
+  let rot_b = Rotation.make ~secret:2L Lit.default (Rng.of_int 5) g in
+  (* Same base nonces (same rng seed); different secrets => different
+     epoch keys. *)
+  Alcotest.(check bool) "secrets diversify" true
+    (Rotation.epoch_nonce rot_a ~link_index:0 ~epoch:0
+    <> Rotation.epoch_nonce rot_b ~link_index:0 ~epoch:0)
+
+let test_rotation_validates () =
+  let _, rot = rotation_setup () in
+  Alcotest.check_raises "negative epoch" (Invalid_argument "Rotation: negative epoch")
+    (fun () -> ignore (Rotation.assignment_at rot ~epoch:(-1)))
+
+let () =
+  Alcotest.run "fluid-rotation"
+    [
+      ( "fluid",
+        [
+          Alcotest.test_case "underload" `Quick test_fluid_underload_delivers_everything;
+          Alcotest.test_case "oversubscription" `Quick
+            test_fluid_oversubscription_throttles;
+          Alcotest.test_case "fp links consume capacity" `Quick
+            test_fluid_false_positive_links_consume_capacity;
+          Alcotest.test_case "multicast vs unicast saturation" `Quick
+            test_fluid_multicast_beats_unicast_at_saturation;
+          Alcotest.test_case "bad capacity" `Quick test_fluid_rejects_bad_capacity;
+          Alcotest.test_case "goodput validation" `Quick
+            test_fluid_goodput_requires_subscriber;
+        ] );
+      ( "rotation",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rotation_deterministic_per_epoch;
+          Alcotest.test_case "epochs differ" `Quick test_rotation_epochs_differ;
+          Alcotest.test_case "expires old filters" `Quick
+            test_rotation_expires_old_zfilters;
+          Alcotest.test_case "secret matters" `Quick test_rotation_secret_matters;
+          Alcotest.test_case "validates" `Quick test_rotation_validates;
+        ] );
+    ]

@@ -1,0 +1,370 @@
+(* Tests for Lipsin_forwarding: Node_engine and Recovery. *)
+
+module Bitvec = Lipsin_bitvec.Bitvec
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Node_engine = Lipsin_forwarding.Node_engine
+module Recovery = Lipsin_forwarding.Recovery
+module Rng = Lipsin_util.Rng
+
+(*    0 - 1 - 2
+      |   |   |
+      3 - 4 - 5    *)
+let grid_graph () =
+  let g = Graph.create ~nodes:6 in
+  List.iter (fun (u, v) -> Graph.add_edge g u v)
+    [ (0, 1); (1, 2); (0, 3); (1, 4); (2, 5); (3, 4); (4, 5) ];
+  g
+
+let setup ?(seed = 1) () =
+  let g = grid_graph () in
+  let asg = Assignment.make Lit.default (Rng.of_int seed) g in
+  (g, asg)
+
+let zfilter_for asg tree table =
+  (Candidate.build_one asg ~tree ~table).Candidate.zfilter
+
+let link g u v =
+  match Graph.find_link g ~src:u ~dst:v with
+  | Some l -> l
+  | None -> Alcotest.fail (Printf.sprintf "missing link %d->%d" u v)
+
+let test_forwards_on_matching_link () =
+  let g, asg = setup () in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 2 ] in
+  let z = zfilter_for asg tree 0 in
+  let engine = Node_engine.create asg 1 in
+  let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:(Some (link g 0 1)) in
+  Alcotest.(check bool) "no drop" true (v.Node_engine.drop = None);
+  Alcotest.(check bool) "forwards towards 2" true
+    (List.exists (fun l -> l.Graph.dst = 2) v.Node_engine.forward_on)
+
+let test_empty_zfilter_forwards_nowhere () =
+  let _, asg = setup () in
+  let engine = Node_engine.create asg 4 in
+  let z = Zfilter.create ~m:248 in
+  let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check int) "no links" 0 (List.length v.Node_engine.forward_on)
+
+let test_bad_table_dropped () =
+  let _, asg = setup () in
+  let engine = Node_engine.create asg 0 in
+  let z = Zfilter.create ~m:248 in
+  let v = Node_engine.forward engine ~table:9 ~zfilter:z ~in_link:None in
+  Alcotest.(check bool) "bad table" true (v.Node_engine.drop = Some Node_engine.Bad_table)
+
+let test_fill_limit_drop () =
+  let _, asg = setup () in
+  let engine = Node_engine.create ~fill_limit:0.5 asg 0 in
+  let z = Zfilter.create ~m:248 in
+  Bitvec.set_all (Zfilter.to_bitvec z);
+  let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check bool) "contamination dropped" true
+    (v.Node_engine.drop = Some Node_engine.Fill_limit_exceeded);
+  Alcotest.(check int) "nothing forwarded" 0 (List.length v.Node_engine.forward_on)
+
+let test_fail_and_restore_link () =
+  let g, asg = setup () in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 1 ] in
+  let z = zfilter_for asg tree 0 in
+  let engine = Node_engine.create asg 0 in
+  let l01 = link g 0 1 in
+  Node_engine.fail_link engine l01;
+  let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check bool) "failed link not used" false
+    (List.exists (fun l -> l.Graph.index = l01.Graph.index) v.Node_engine.forward_on);
+  Node_engine.restore_link engine l01;
+  let v2 = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check bool) "restored link used" true
+    (List.exists (fun l -> l.Graph.index = l01.Graph.index) v2.Node_engine.forward_on)
+
+let test_fail_link_rejects_foreign () =
+  let g, asg = setup () in
+  let engine = Node_engine.create asg 0 in
+  Alcotest.check_raises "foreign link"
+    (Invalid_argument "Node_engine: link is not an outgoing link of this node")
+    (fun () -> Node_engine.fail_link engine (link g 4 5))
+
+let test_virtual_link_matching () =
+  let g, asg = setup () in
+  let params = Assignment.params asg in
+  let vlit = Lit.generate params ~nonce:0xBEEFL in
+  let engine = Node_engine.create asg 1 in
+  Node_engine.install_virtual engine vlit ~out_links:[ link g 1 4 ];
+  Alcotest.(check int) "installed" 1 (Node_engine.virtual_count engine);
+  let z = Zfilter.of_tags ~m:params.Lit.m [ Lit.tag vlit 0 ] in
+  let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check bool) "virtual match forwards" true
+    (List.exists (fun l -> l.Graph.dst = 4) v.Node_engine.forward_on);
+  Node_engine.remove_virtual engine vlit;
+  Alcotest.(check int) "removed" 0 (Node_engine.virtual_count engine);
+  let v2 = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check int) "no forward after removal" 0
+    (List.length v2.Node_engine.forward_on)
+
+let test_virtual_respects_failed_physical () =
+  let g, asg = setup () in
+  let params = Assignment.params asg in
+  let vlit = Lit.generate params ~nonce:0xCAFEL in
+  let engine = Node_engine.create asg 1 in
+  let l14 = link g 1 4 in
+  Node_engine.install_virtual engine vlit ~out_links:[ l14 ];
+  Node_engine.fail_link engine l14;
+  let z = Zfilter.of_tags ~m:params.Lit.m [ Lit.tag vlit 0 ] in
+  let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check int) "virtual over failed link suppressed" 0
+    (List.length v.Node_engine.forward_on)
+
+let test_negative_link_id_blocks () =
+  let g, asg = setup () in
+  let params = Assignment.params asg in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 1 ] in
+  let z = zfilter_for asg tree 0 in
+  let engine = Node_engine.create asg 0 in
+  let neg = Lit.generate params ~nonce:0xD00DL in
+  Node_engine.install_block engine (link g 0 1) neg;
+  let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check bool) "flows without neg tag" true (v.Node_engine.forward_on <> []);
+  let z_blocked = Zfilter.copy z in
+  Zfilter.add z_blocked (Lit.tag neg 0);
+  let v2 = Node_engine.forward engine ~table:0 ~zfilter:z_blocked ~in_link:None in
+  Alcotest.(check bool) "blocked with neg tag" false
+    (List.exists (fun l -> l.Graph.dst = 1) v2.Node_engine.forward_on);
+  Node_engine.clear_blocks engine (link g 0 1);
+  let v3 = Node_engine.forward engine ~table:0 ~zfilter:z_blocked ~in_link:None in
+  Alcotest.(check bool) "flows after clearing" true
+    (List.exists (fun l -> l.Graph.dst = 1) v3.Node_engine.forward_on)
+
+let test_service_endpoints () =
+  let _, asg = setup () in
+  let params = Assignment.params asg in
+  let engine = Node_engine.create asg 2 in
+  let cache_svc = Lit.generate params ~nonce:0x5E11L in
+  let log_svc = Lit.generate params ~nonce:0x5E12L in
+  Node_engine.install_service engine cache_svc ~name:"cache";
+  Node_engine.install_service engine log_svc ~name:"logger";
+  (* A filter naming one service reaches exactly that service. *)
+  let z = Zfilter.of_tags ~m:params.Lit.m [ Lit.tag cache_svc 0 ] in
+  let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check (list string)) "cache addressed" [ "cache" ]
+    v.Node_engine.services_matched;
+  (* Both services in one multicast filter. *)
+  let both = Zfilter.of_tags ~m:params.Lit.m [ Lit.tag cache_svc 0; Lit.tag log_svc 0 ] in
+  let v2 = Node_engine.forward engine ~table:0 ~zfilter:both ~in_link:None in
+  Alcotest.(check (list string)) "both addressed" [ "cache"; "logger" ]
+    (List.sort compare v2.Node_engine.services_matched);
+  Node_engine.remove_service engine cache_svc;
+  let v3 = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check (list string)) "removed" [] v3.Node_engine.services_matched
+
+let test_slow_path_local_lit () =
+  let _, asg = setup () in
+  let params = Assignment.params asg in
+  let engine = Node_engine.create asg 3 in
+  let z = Zfilter.of_tags ~m:params.Lit.m [ Lit.tag (Node_engine.local_lit engine) 0 ] in
+  let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check bool) "delivered to slow path" true v.Node_engine.deliver_local
+
+let test_loop_detection () =
+  let g, asg = setup () in
+  let engine = Node_engine.create asg 1 in
+  let params = Assignment.params asg in
+  (* Incoming LIT of node 1's interface to 0 is the tag of 0->1. *)
+  let incoming = Assignment.tag asg (link g 0 1) ~table:0 in
+  let z = Zfilter.of_tags ~m:params.Lit.m [ incoming ] in
+  let v1 = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:(Some (link g 4 1)) in
+  Alcotest.(check bool) "first pass suspects loop" true v1.Node_engine.loop_suspected;
+  Alcotest.(check bool) "first pass not dropped" true (v1.Node_engine.drop = None);
+  let v2 = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:(Some (link g 2 1)) in
+  Alcotest.(check bool) "second pass over another link dropped" true
+    (v2.Node_engine.drop = Some Node_engine.Loop_detected)
+
+let test_loop_same_interface_not_dropped () =
+  let g, asg = setup () in
+  let engine = Node_engine.create asg 1 in
+  let params = Assignment.params asg in
+  let incoming = Assignment.tag asg (link g 0 1) ~table:0 in
+  let z = Zfilter.of_tags ~m:params.Lit.m [ incoming ] in
+  ignore (Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:(Some (link g 4 1)));
+  let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:(Some (link g 4 1)) in
+  Alcotest.(check bool) "same interface is not a loop" true (v.Node_engine.drop = None)
+
+let test_table_sizing_star () =
+  let g = Graph.create ~nodes:129 in
+  for spoke = 1 to 128 do
+    Graph.add_edge g 0 spoke
+  done;
+  let asg = Assignment.make Lit.default (Rng.of_int 2) g in
+  let engine = Node_engine.create asg 0 in
+  Alcotest.(check int) "dense 256 Kbit" (256 * 1024)
+    (Node_engine.forwarding_table_bits engine ~sparse:false);
+  Alcotest.(check int) "sparse 48 Kbit" (48 * 1024)
+    (Node_engine.forwarding_table_bits engine ~sparse:true)
+
+let test_backup_path_avoids_failed_link () =
+  let g, _ = setup () in
+  let failed = link g 1 4 in
+  match Recovery.backup_path g ~link:failed with
+  | None -> Alcotest.fail "grid has a backup path"
+  | Some path ->
+    Alcotest.(check bool) "starts at src" true ((List.hd path).Graph.src = 1);
+    let last = List.nth path (List.length path - 1) in
+    Alcotest.(check bool) "ends at dst" true (last.Graph.dst = 4);
+    List.iter
+      (fun l ->
+        Alcotest.(check bool) "avoids failed link" true
+          (l.Graph.index <> failed.Graph.index))
+      path
+
+let test_backup_path_none_for_bridge () =
+  let g = Graph.create ~nodes:3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  let bridge = link g 0 1 in
+  Alcotest.(check bool) "bridge has no backup" true
+    (Recovery.backup_path g ~link:bridge = None)
+
+let test_vlid_recovery_end_to_end () =
+  let g, asg = setup () in
+  let engines = Hashtbl.create 8 in
+  let engine_of n =
+    match Hashtbl.find_opt engines n with
+    | Some e -> e
+    | None ->
+      let e = Node_engine.create asg n in
+      Hashtbl.replace engines n e;
+      e
+  in
+  let failed = link g 1 4 in
+  (match Recovery.vlid_activate asg ~engine_of ~failed with
+  | Error e -> Alcotest.fail e
+  | Ok () -> ());
+  let z = Zfilter.of_tags ~m:248 [ Assignment.tag asg failed ~table:0 ] in
+  let v = Node_engine.forward (engine_of 1) ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check bool) "rerouted, not dead" true (v.Node_engine.forward_on <> []);
+  Alcotest.(check bool) "not over the failed link" true
+    (List.for_all
+       (fun l -> l.Graph.index <> failed.Graph.index)
+       v.Node_engine.forward_on);
+  Recovery.vlid_deactivate asg ~engine_of ~failed;
+  let v2 = Node_engine.forward (engine_of 1) ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check bool) "physical link back in use" true
+    (List.exists (fun l -> l.Graph.index = failed.Graph.index) v2.Node_engine.forward_on)
+
+let test_zfilter_patch_matches_backup_links () =
+  let g, asg = setup () in
+  let failed = link g 1 4 in
+  match Recovery.backup_path g ~link:failed with
+  | None -> Alcotest.fail "backup required"
+  | Some backup ->
+    let patch = Recovery.zfilter_patch asg ~table:0 ~backup in
+    let z = Zfilter.create ~m:248 in
+    let patched = Recovery.apply_patch z patch in
+    List.iter
+      (fun l ->
+        Alcotest.(check bool) "backup link matches patched filter" true
+          (Zfilter.matches patched ~lit:(Assignment.tag asg l ~table:0)))
+      backup;
+    Alcotest.(check int) "original filter untouched" 0 (Zfilter.popcount z)
+
+let test_node_backup_pairs () =
+  let g, _ = setup () in
+  (* Node 1's neighbours in the grid are 0, 2, 4; all pairs survive
+     without it (the grid stays connected). *)
+  let pairs = Recovery.node_backup_paths g ~failed:1 in
+  Alcotest.(check int) "3 neighbours -> 6 ordered pairs" 6 (List.length pairs);
+  List.iter
+    (fun (out_link, detour) ->
+      Alcotest.(check int) "impersonated link leaves the dead node" 1
+        out_link.Graph.src;
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "detour avoids the node" true
+            (l.Graph.src <> 1 && l.Graph.dst <> 1))
+        detour)
+    pairs
+
+let test_node_failure_recovery_end_to_end () =
+  let g, asg = setup () in
+  let engines = Hashtbl.create 8 in
+  let engine_of n =
+    match Hashtbl.find_opt engines n with
+    | Some e -> e
+    | None ->
+      let e = Node_engine.create asg n in
+      Hashtbl.replace engines n e;
+      e
+  in
+  (* A path 0 -> 1 -> 2 through the soon-dead node 1. *)
+  let tree = [ link g 0 1; link g 1 2 ] in
+  let z = zfilter_for asg tree 0 in
+  (match Recovery.node_failure_activate asg ~engine_of ~failed:1 with
+  | Error e -> Alcotest.fail e
+  | Ok protected -> Alcotest.(check bool) "pairs protected" true (protected >= 6));
+  (* Node 0 must now route around node 1 towards 2. *)
+  let v = Node_engine.forward (engine_of 0) ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check bool) "does not feed the dead node" true
+    (List.for_all (fun l -> l.Graph.dst <> 1) v.Node_engine.forward_on);
+  Alcotest.(check bool) "detours instead" true (v.Node_engine.forward_on <> []);
+  (* Walk the packet to 2 (bounded steps). *)
+  let reached2 = ref false in
+  let rec walk node in_link steps =
+    if steps > 0 && not !reached2 then begin
+      let verdict = Node_engine.forward (engine_of node) ~table:0 ~zfilter:z ~in_link in
+      List.iter
+        (fun l ->
+          if l.Graph.dst = 2 then reached2 := true
+          else walk l.Graph.dst (Some l) (steps - 1))
+        verdict.Node_engine.forward_on
+    end
+  in
+  walk 0 None 6;
+  Alcotest.(check bool) "payload reaches 2 around the dead node" true !reached2;
+  Recovery.node_failure_deactivate asg ~engine_of ~failed:1;
+  let v2 = Node_engine.forward (engine_of 0) ~table:0 ~zfilter:z ~in_link:None in
+  Alcotest.(check bool) "direct link back after repair" true
+    (List.exists (fun l -> l.Graph.dst = 1) v2.Node_engine.forward_on)
+
+let () =
+  Alcotest.run "forwarding"
+    [
+      ( "algorithm-1",
+        [
+          Alcotest.test_case "forwards on match" `Quick test_forwards_on_matching_link;
+          Alcotest.test_case "empty filter" `Quick test_empty_zfilter_forwards_nowhere;
+          Alcotest.test_case "bad table" `Quick test_bad_table_dropped;
+          Alcotest.test_case "fill limit" `Quick test_fill_limit_drop;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "fail/restore link" `Quick test_fail_and_restore_link;
+          Alcotest.test_case "foreign link rejected" `Quick test_fail_link_rejects_foreign;
+          Alcotest.test_case "virtual link" `Quick test_virtual_link_matching;
+          Alcotest.test_case "virtual + failed physical" `Quick
+            test_virtual_respects_failed_physical;
+          Alcotest.test_case "negative link id" `Quick test_negative_link_id_blocks;
+          Alcotest.test_case "service endpoints" `Quick test_service_endpoints;
+          Alcotest.test_case "slow path" `Quick test_slow_path_local_lit;
+          Alcotest.test_case "table sizing" `Quick test_table_sizing_star;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "loop detection" `Quick test_loop_detection;
+          Alcotest.test_case "same interface ok" `Quick
+            test_loop_same_interface_not_dropped;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "backup path valid" `Quick test_backup_path_avoids_failed_link;
+          Alcotest.test_case "bridge has none" `Quick test_backup_path_none_for_bridge;
+          Alcotest.test_case "vlid end to end" `Quick test_vlid_recovery_end_to_end;
+          Alcotest.test_case "zfilter patch" `Quick test_zfilter_patch_matches_backup_links;
+          Alcotest.test_case "node backup pairs" `Quick test_node_backup_pairs;
+          Alcotest.test_case "node failure e2e" `Quick
+            test_node_failure_recovery_end_to_end;
+        ] );
+    ]

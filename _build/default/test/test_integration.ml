@@ -1,0 +1,224 @@
+(* Full-stack integration tests, driven through the Lipsin umbrella
+   library: bootstrap -> assignment -> pub/sub -> failure -> recovery
+   -> rotation, all on one network, the way a deployment would run. *)
+
+module Discovery = Lipsin.Bootstrap.Discovery
+module Graph = Lipsin.Topology.Graph
+module Spt = Lipsin.Topology.Spt
+module Generator = Lipsin.Topology.Generator
+module As_presets = Lipsin.Topology.As_presets
+module Lit = Lipsin.Bloom.Lit
+module Assignment = Lipsin.Core.Assignment
+module Candidate = Lipsin.Core.Candidate
+module Select = Lipsin.Core.Select
+module Multipath = Lipsin.Core.Multipath
+module Rotation = Lipsin.Core.Rotation
+module Directory = Lipsin.Interdomain.Directory
+module Net = Lipsin.Sim.Net
+module Run = Lipsin.Sim.Run
+module System = Lipsin.Pubsub.System
+module Topic = Lipsin.Pubsub.Topic
+module Plane = Lipsin.Control.Plane
+module Host = Lipsin.Node.Host
+module Rng = Lipsin.Util.Rng
+module Zfilter = Lipsin.Bloom.Zfilter
+
+(* The deployment story: nodes discover the topology by flooding, the
+   topology function builds its map FROM THE PROTOCOL'S OUTPUT (not
+   from the ground truth), and everything above runs on that map. *)
+let test_bootstrap_to_pubsub () =
+  let physical =
+    Generator.pref_attach ~rng:(Rng.of_int 171) ~nodes:35 ~edges:60 ~max_degree:9 ()
+  in
+  let discovery = Discovery.create ~rendezvous:[ 2 ] physical in
+  (match Discovery.run discovery with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* Build the pub/sub system over the map node 2 (the rendezvous)
+     learned. *)
+  let learned = Discovery.map_of discovery 2 in
+  Alcotest.(check int) "learned map complete" (Graph.edge_count physical)
+    (Graph.edge_count learned);
+  let sys = System.create ~seed:3 learned in
+  let topic = Topic.of_string "integration/news" in
+  System.advertise sys topic ~publisher:0;
+  List.iter (fun s -> System.subscribe sys topic ~subscriber:s) [ 11; 22; 33 ];
+  match System.publish sys topic ~publisher:0 ~payload:"boot" with
+  | Error e -> Alcotest.fail e
+  | Ok r -> Alcotest.(check int) "delivered over learned map" 3
+      (List.length r.System.delivered_to)
+
+(* Failure, in-band recovery, repair, and rotation on one fabric. *)
+let test_failure_recovery_rotation_lifecycle () =
+  let g = As_presets.ta2 () in
+  let rotation = Rotation.make ~secret:0x10CA1L Lit.default (Rng.of_int 173) g in
+  let epoch0 = Rotation.assignment_at rotation ~epoch:0 in
+  let net = Net.make epoch0 in
+  let publisher = 1 and subscribers = [ 20; 40; 60 ] in
+  let tree = Spt.delivery_tree g ~root:publisher ~subscribers in
+  let c =
+    match Select.select_fpa (Candidate.build epoch0 ~tree) with
+    | Some c -> c
+    | None -> Alcotest.fail "tree must encode"
+  in
+  let deliver z =
+    Run.deliver net ~src:publisher ~table:c.Candidate.table ~zfilter:z ~tree
+  in
+  (* Healthy. *)
+  Alcotest.(check bool) "healthy delivery" true
+    (Run.all_reached (deliver c.Candidate.zfilter) subscribers);
+  (* Fail a tree link; in-band recovery keeps the same packets alive. *)
+  let failed = List.nth tree (List.length tree / 2) in
+  (match Plane.activate_backup net ~failed with
+  | Ok _ ->
+    Alcotest.(check bool) "recovered delivery" true
+      (Run.all_reached (deliver c.Candidate.zfilter) subscribers);
+    (match Plane.deactivate_backup net ~failed with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e)
+  | Error _ -> (* bridge: acceptable, skip the recovery leg *) ());
+  (* Epoch rotation: the old filter dies, a re-requested one works. *)
+  let epoch1 = Rotation.assignment_at rotation ~epoch:1 in
+  let net1 = Net.make epoch1 in
+  let stale =
+    Run.deliver net1 ~src:publisher ~table:c.Candidate.table
+      ~zfilter:c.Candidate.zfilter ~tree
+  in
+  Alcotest.(check bool) "stale epoch filter delivers nothing" false
+    (List.exists (fun s -> stale.Run.reached.(s)) subscribers);
+  let fresh =
+    match Select.select_fpa (Candidate.build epoch1 ~tree) with
+    | Some c -> c
+    | None -> Alcotest.fail "fresh tree must encode"
+  in
+  let renewed =
+    Run.deliver net1 ~src:publisher ~table:fresh.Candidate.table
+      ~zfilter:fresh.Candidate.zfilter ~tree
+  in
+  Alcotest.(check bool) "renewed filter delivers" true
+    (Run.all_reached renewed subscribers)
+
+let test_multipath_plan_and_failover () =
+  let g = As_presets.as6461 () in
+  let assignment = Assignment.make Lit.default (Rng.of_int 179) g in
+  let net = Net.make assignment in
+  let src = 0 and dst = 100 in
+  match Multipath.plan assignment ~src ~dst with
+  | Error e -> Alcotest.fail e
+  | Ok mp ->
+    Alcotest.(check bool) "dense graph gives disjoint paths" true mp.Multipath.disjoint;
+    (* Both sprayed filters deliver. *)
+    for i = 0 to 3 do
+      let table, zfilter = Multipath.spray mp ~packet_index:i in
+      let tree = if i mod 2 = 0 then mp.Multipath.primary else mp.Multipath.secondary in
+      let o = Run.deliver net ~src ~table ~zfilter ~tree in
+      Alcotest.(check bool)
+        (Printf.sprintf "packet %d delivered" i)
+        true o.Run.reached.(dst)
+    done;
+    (* Kill the primary path's first link: odd packets still flow with
+       no recovery action at all. *)
+    Net.fail_link net (List.hd mp.Multipath.primary);
+    let table, zfilter = Multipath.spray mp ~packet_index:1 in
+    let o = Run.deliver net ~src ~table ~zfilter ~tree:mp.Multipath.secondary in
+    Alcotest.(check bool) "secondary survives primary failure" true
+      o.Run.reached.(dst);
+    (* Load split is balanced across disjoint links. *)
+    let split = Multipath.load_split mp ~packets:100 in
+    List.iter
+      (fun (_, count) ->
+        Alcotest.(check bool) "each link carries ~half" true
+          (count = 50 || count = 50 + (100 mod 2)))
+      split
+
+let test_multipath_validates () =
+  let g = As_presets.ta2 () in
+  let assignment = Assignment.make Lit.default (Rng.of_int 181) g in
+  Alcotest.check_raises "same tables" (Invalid_argument "Multipath.plan: tables must differ")
+    (fun () ->
+      ignore (Multipath.plan ~table_primary:1 ~table_secondary:1 assignment ~src:0 ~dst:5));
+  match Multipath.plan assignment ~src:3 ~dst:3 with
+  | Error msg -> Alcotest.(check string) "self" "source equals destination" msg
+  | Ok _ -> Alcotest.fail "self path must fail"
+
+let test_directory_partitioning_and_caching () =
+  let dir = Directory.create ~rendezvous_nodes:4 ~edge_nodes:3 ~edge_cache_capacity:8 in
+  (* Install 50 topics; homes must spread across the 4 nodes. *)
+  let homes = Hashtbl.create 4 in
+  for i = 1 to 50 do
+    let topic = Int64.of_int (i * 7919) in
+    Directory.install dir ~topic ~zfilter:(Printf.sprintf "zf-%d" i);
+    Hashtbl.replace homes (Directory.home_of dir ~topic) ()
+  done;
+  Alcotest.(check int) "all rendezvous nodes used" 4 (Hashtbl.length homes);
+  (* First lookup at an edge goes to the home; repeat hits the cache. *)
+  let topic = Int64.of_int (3 * 7919) in
+  (match Directory.lookup dir ~edge:0 ~topic with
+  | Some (record, Directory.Rendezvous _) ->
+    Alcotest.(check string) "record" "zf-3" record
+  | Some (_, Directory.Edge_cache) -> Alcotest.fail "first lookup cannot be cached"
+  | None -> Alcotest.fail "installed topic must resolve");
+  (match Directory.lookup dir ~edge:0 ~topic with
+  | Some (_, Directory.Edge_cache) -> ()
+  | Some (_, Directory.Rendezvous _) -> Alcotest.fail "second lookup must hit the edge"
+  | None -> Alcotest.fail "must resolve");
+  (* Re-installing invalidates edge copies. *)
+  Directory.install dir ~topic ~zfilter:"zf-3-v2";
+  (match Directory.lookup dir ~edge:0 ~topic with
+  | Some (record, Directory.Rendezvous _) ->
+    Alcotest.(check string) "fresh record" "zf-3-v2" record
+  | Some (_, Directory.Edge_cache) -> Alcotest.fail "stale cache served"
+  | None -> Alcotest.fail "must resolve");
+  (* Unknown topics miss. *)
+  Alcotest.(check bool) "unknown misses" true
+    (Directory.lookup dir ~edge:1 ~topic:999999L = None);
+  let s = Directory.stats dir in
+  Alcotest.(check int) "lookup count" 4 s.Directory.lookups;
+  Alcotest.(check int) "one edge hit" 1 s.Directory.edge_hits;
+  Alcotest.(check int) "one miss" 1 s.Directory.misses
+
+let test_directory_resource_estimate () =
+  (* The paper's arithmetic: 10^11 topics x (40B name + ~34B header)
+     ~ 7.4 TB, "in the order of 10 TB". *)
+  let tb = Directory.resource_estimate ~topics:1e11 ~topic_bytes:40 ~header_bytes:34 in
+  Alcotest.(check bool) "order of 10 TB" true (tb > 5.0 && tb < 15.0)
+
+let test_hosts_over_presets_end_to_end () =
+  (* The umbrella API exercised the way the README shows it. *)
+  let cluster = Host.create_cluster ~seed:4 (As_presets.as1221 ()) in
+  let pub = Host.endpoint cluster 50 in
+  ignore (Host.create_publication pub ~name:"e2e" ~content:"x");
+  let subs = List.map (fun v -> Host.endpoint cluster v) [ 10; 60; 90; 100 ] in
+  List.iter (fun s -> ignore (Host.subscribe s ~name:"e2e")) subs;
+  match Host.publish pub ~name:"e2e" with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    Alcotest.(check int) "all four hosts" 4 (List.length d.Host.delivered_to);
+    List.iter
+      (fun s ->
+        Alcotest.(check (option string)) "payload on file" (Some "x")
+          (Host.read_received s ~name:"e2e"))
+      subs
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "full-stack",
+        [
+          Alcotest.test_case "bootstrap to pubsub" `Quick test_bootstrap_to_pubsub;
+          Alcotest.test_case "failure/recovery/rotation" `Quick
+            test_failure_recovery_rotation_lifecycle;
+          Alcotest.test_case "hosts end to end" `Quick test_hosts_over_presets_end_to_end;
+        ] );
+      ( "multipath",
+        [
+          Alcotest.test_case "plan and failover" `Quick test_multipath_plan_and_failover;
+          Alcotest.test_case "validates" `Quick test_multipath_validates;
+        ] );
+      ( "directory",
+        [
+          Alcotest.test_case "partitioning and caching" `Quick
+            test_directory_partitioning_and_caching;
+          Alcotest.test_case "resource estimate" `Quick test_directory_resource_estimate;
+        ] );
+    ]

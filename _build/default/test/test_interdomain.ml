@@ -1,0 +1,140 @@
+(* Tests for Lipsin_interdomain.Internet. *)
+
+module Internet = Lipsin_interdomain.Internet
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module Rng = Lipsin_util.Rng
+
+let small_internet ?(domains = 4) () =
+  let domain_graph = Graph.create ~nodes:domains in
+  for d = 0 to domains - 2 do
+    Graph.add_edge domain_graph d (d + 1)
+  done;
+  if domains > 2 then Graph.add_edge domain_graph 0 (domains - 1);
+  let rng = Rng.of_int 21 in
+  let intra =
+    Array.init domains (fun _ ->
+        Generator.pref_attach ~rng:(Rng.split rng) ~nodes:15 ~edges:22
+          ~max_degree:6 ())
+  in
+  Internet.create ~domain_graph ~intra ()
+
+let test_create_validates_sizes () =
+  let domain_graph = Graph.create ~nodes:3 in
+  Graph.add_edge domain_graph 0 1;
+  let intra = [| Graph.create ~nodes:2 |] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Internet.create: domain graph size <> number of intra graphs")
+    (fun () -> ignore (Internet.create ~domain_graph ~intra ()))
+
+let test_borders_exist_for_peers () =
+  let net = small_internet () in
+  let b01 = Internet.border net ~src_domain:0 ~dst_domain:1 in
+  Alcotest.(check bool) "border in range" true
+    (b01 >= 0 && b01 < Graph.node_count (Internet.intra_graph net 0));
+  Alcotest.check_raises "non-peers" (Invalid_argument "Internet.border: domains do not peer")
+    (fun () -> ignore (Internet.border net ~src_domain:0 ~dst_domain:2))
+
+let test_subscribe_unsubscribe () =
+  let net = small_internet () in
+  let topic = 7L in
+  let addr = { Internet.domain = 2; node = 3 } in
+  Internet.subscribe net ~topic addr;
+  Internet.subscribe net ~topic addr;
+  Alcotest.(check int) "idempotent" 1 (List.length (Internet.subscribers net ~topic));
+  Internet.unsubscribe net ~topic addr;
+  Alcotest.(check int) "removed" 0 (List.length (Internet.subscribers net ~topic))
+
+let test_publish_no_subscribers () =
+  let net = small_internet () in
+  match Internet.publish net ~topic:99L ~publisher:{ Internet.domain = 0; node = 0 } with
+  | Error msg -> Alcotest.(check string) "error" "topic has no remote subscribers" msg
+  | Ok _ -> Alcotest.fail "must fail without subscribers"
+
+let test_publish_same_domain () =
+  let net = small_internet () in
+  let topic = 11L in
+  Internet.subscribe net ~topic { Internet.domain = 1; node = 8 };
+  match Internet.publish net ~topic ~publisher:{ Internet.domain = 1; node = 2 } with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    Alcotest.(check int) "delivered locally" 1 (List.length d.Internet.delivered);
+    Alcotest.(check int) "no boundary crossings" 0 d.Internet.inter_traversals;
+    Alcotest.(check (list int)) "one domain visited" [ 1 ] d.Internet.domains_visited
+
+let test_publish_cross_domain () =
+  let net = small_internet () in
+  let topic = 13L in
+  List.iter
+    (fun (domain, node) -> Internet.subscribe net ~topic { Internet.domain; node })
+    [ (1, 4); (2, 7); (3, 9) ];
+  match Internet.publish net ~topic ~publisher:{ Internet.domain = 0; node = 1 } with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    Alcotest.(check int) "all three delivered" 3 (List.length d.Internet.delivered);
+    Alcotest.(check int) "nothing missed" 0 (List.length d.Internet.missed);
+    Alcotest.(check bool) "crossed boundaries" true (d.Internet.inter_traversals >= 3);
+    Alcotest.(check bool) "publisher domain visited first" true
+      (List.hd d.Internet.domains_visited = 0)
+
+let test_publish_skips_publisher_itself () =
+  let net = small_internet () in
+  let topic = 17L in
+  let self = { Internet.domain = 0; node = 5 } in
+  Internet.subscribe net ~topic self;
+  Internet.subscribe net ~topic { Internet.domain = 1; node = 6 };
+  match Internet.publish net ~topic ~publisher:self with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    Alcotest.(check int) "only the remote one" 1 (List.length d.Internet.delivered);
+    Alcotest.(check bool) "self not a target" true
+      (not (List.mem self d.Internet.delivered))
+
+let test_interdomain_fill_small () =
+  let net = small_internet () in
+  let topic = 19L in
+  Alcotest.(check bool) "no subscribers -> none" true
+    (Internet.interdomain_fill net ~topic ~publisher:{ Internet.domain = 0; node = 0 }
+     = None);
+  Internet.subscribe net ~topic { Internet.domain = 2; node = 2 };
+  match Internet.interdomain_fill net ~topic ~publisher:{ Internet.domain = 0; node = 0 } with
+  | None -> Alcotest.fail "fill expected"
+  | Some fill -> Alcotest.(check bool) "fill modest" true (fill > 0.0 && fill < 0.3)
+
+let test_many_publications_all_deliver () =
+  let net = small_internet ~domains:6 () in
+  let rng = Rng.of_int 33 in
+  for p = 0 to 14 do
+    let topic = Int64.of_int (100 + p) in
+    let n_subs = 1 + Rng.int rng 5 in
+    for _ = 1 to n_subs do
+      let domain = Rng.int rng 6 in
+      let node = Rng.int rng 15 in
+      Internet.subscribe net ~topic { Internet.domain; node }
+    done;
+    let publisher = { Internet.domain = Rng.int rng 6; node = Rng.int rng 15 } in
+    match Internet.publish net ~topic ~publisher with
+    | Error _ -> ()  (* all subscribers may equal the publisher *)
+    | Ok d ->
+      Alcotest.(check int)
+        (Printf.sprintf "publication %d misses nobody" p)
+        0
+        (List.length d.Internet.missed)
+  done
+
+let () =
+  Alcotest.run "interdomain"
+    [
+      ( "internet",
+        [
+          Alcotest.test_case "create validates" `Quick test_create_validates_sizes;
+          Alcotest.test_case "borders" `Quick test_borders_exist_for_peers;
+          Alcotest.test_case "subscribe/unsubscribe" `Quick test_subscribe_unsubscribe;
+          Alcotest.test_case "publish no subscribers" `Quick test_publish_no_subscribers;
+          Alcotest.test_case "same domain" `Quick test_publish_same_domain;
+          Alcotest.test_case "cross domain" `Quick test_publish_cross_domain;
+          Alcotest.test_case "skips publisher" `Quick test_publish_skips_publisher_itself;
+          Alcotest.test_case "interdomain fill" `Quick test_interdomain_fill_small;
+          Alcotest.test_case "many publications" `Quick test_many_publications_all_deliver;
+        ] );
+    ]

@@ -1,0 +1,188 @@
+(* Tests for Lipsin_ip.Underlay: LIPSIN as an IP forwarding fabric
+   (Sec. 2.4), plus Lipsin_interdomain.Policy (Sec. 5.3). *)
+
+module Underlay = Lipsin_ip.Underlay
+module Policy = Lipsin_interdomain.Policy
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module As_presets = Lipsin_topology.As_presets
+module Rng = Lipsin_util.Rng
+
+let setup () =
+  let g = As_presets.ta2 () in
+  let edges = [ 0; 10; 20; 30; 40 ] in
+  (g, Underlay.create g ~edges)
+
+let test_create_validates () =
+  let g = As_presets.ta2 () in
+  Alcotest.check_raises "no edges" (Invalid_argument "Underlay.create: no edge routers")
+    (fun () -> ignore (Underlay.create g ~edges:[]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Underlay.create: edge router out of range") (fun () ->
+      ignore (Underlay.create g ~edges:[ 1000 ]))
+
+let test_unicast_route_and_forward () =
+  let _, u = setup () in
+  Underlay.add_unicast_route u ~ingress:0 ~prefix:0x0A000000l ~len:8 ~egress:30;
+  (match Underlay.forward_unicast u ~ingress:0 ~dst:0x0A010203l with
+  | None -> Alcotest.fail "route must match"
+  | Some r ->
+    Alcotest.(check int) "right egress" 30 r.Underlay.egress;
+    Alcotest.(check bool) "delivered" true r.Underlay.delivered;
+    Alcotest.(check bool) "took at least one hop" true (r.Underlay.hops >= 1));
+  Alcotest.(check bool) "non-matching address has no route" true
+    (Underlay.forward_unicast u ~ingress:0 ~dst:0x0B000001l = None)
+
+let test_unicast_longest_prefix_wins () =
+  let _, u = setup () in
+  Underlay.add_unicast_route u ~ingress:0 ~prefix:0x0A000000l ~len:8 ~egress:30;
+  Underlay.add_unicast_route u ~ingress:0 ~prefix:0x0A010000l ~len:16 ~egress:40;
+  match Underlay.forward_unicast u ~ingress:0 ~dst:0x0A010203l with
+  | Some r -> Alcotest.(check int) "/16 beats /8" 40 r.Underlay.egress
+  | None -> Alcotest.fail "must match"
+
+let test_unicast_requires_edge_routers () =
+  let _, u = setup () in
+  Alcotest.check_raises "core ingress"
+    (Invalid_argument "Underlay: node is not an edge router") (fun () ->
+      Underlay.add_unicast_route u ~ingress:5 ~prefix:0l ~len:0 ~egress:30)
+
+let test_ssm_join_forward_leave () =
+  let _, u = setup () in
+  Underlay.ssm_join u ~group:1 ~source_ingress:0 ~egress:10;
+  Underlay.ssm_join u ~group:1 ~source_ingress:0 ~egress:20;
+  Underlay.ssm_join u ~group:1 ~source_ingress:0 ~egress:20 (* idempotent *);
+  (match Underlay.forward_ssm u ~group:1 ~source_ingress:0 with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check (list int)) "both egresses" [ 10; 20 ]
+      (List.sort compare r.Underlay.reached);
+    Alcotest.(check int) "none missed" 0 (List.length r.Underlay.missed));
+  Underlay.ssm_leave u ~group:1 ~source_ingress:0 ~egress:10;
+  match Underlay.forward_ssm u ~group:1 ~source_ingress:0 with
+  | Ok r -> Alcotest.(check (list int)) "one left" [ 20 ] r.Underlay.reached
+  | Error e -> Alcotest.fail e
+
+let test_ssm_state_only_at_ingress () =
+  let _, u = setup () in
+  (* 5 groups from the same source: 5 entries total, not 5 x routers. *)
+  for grp = 1 to 5 do
+    Underlay.ssm_join u ~group:grp ~source_ingress:0 ~egress:10;
+    Underlay.ssm_join u ~group:grp ~source_ingress:0 ~egress:40
+  done;
+  Alcotest.(check int) "one entry per active group" 5 (Underlay.ssm_state_entries u);
+  Underlay.ssm_leave u ~group:1 ~source_ingress:0 ~egress:10;
+  Underlay.ssm_leave u ~group:1 ~source_ingress:0 ~egress:40;
+  Alcotest.(check int) "emptied group drops its entry" 4
+    (Underlay.ssm_state_entries u)
+
+let test_ssm_empty_group_errors () =
+  let _, u = setup () in
+  match Underlay.forward_ssm u ~group:9 ~source_ingress:0 with
+  | Error msg -> Alcotest.(check string) "no members" "group has no (remote) members" msg
+  | Ok _ -> Alcotest.fail "empty group must error"
+
+(* ---- Policy (valley-free) ---- *)
+
+(*   1 (provider)
+    / \
+   2   3      2,3 customers of 1; 2-3 peers; 4 customer of 2; 5 customer of 3. *)
+let policy_fixture () =
+  let g = Graph.create ~nodes:6 in
+  List.iter (fun (u, v) -> Graph.add_edge g u v)
+    [ (1, 2); (1, 3); (2, 3); (2, 4); (3, 5) ];
+  let pol =
+    Policy.create g
+      [
+        (2, 1, Policy.Customer_of); (3, 1, Policy.Customer_of);
+        (2, 3, Policy.Peer_of); (4, 2, Policy.Customer_of);
+        (5, 3, Policy.Customer_of);
+      ]
+  in
+  (g, pol)
+
+let test_policy_relations_and_inverse () =
+  let _, pol = policy_fixture () in
+  Alcotest.(check bool) "2 customer of 1" true
+    (Policy.relation pol ~src:2 ~dst:1 = Policy.Customer_of);
+  Alcotest.(check bool) "1 provider of 2" true
+    (Policy.relation pol ~src:1 ~dst:2 = Policy.Provider_of);
+  Alcotest.(check bool) "2-3 peer both ways" true
+    (Policy.relation pol ~src:2 ~dst:3 = Policy.Peer_of
+    && Policy.relation pol ~src:3 ~dst:2 = Policy.Peer_of)
+
+let test_policy_valley_free_paths () =
+  let _, pol = policy_fixture () in
+  (* up then down: 4 -> 2 -> 1 -> 3 -> 5. *)
+  Alcotest.(check bool) "up-down ok" true (Policy.valley_free pol [ 4; 2; 1; 3; 5 ]);
+  (* up, peer, down: 4 -> 2 -> 3 -> 5. *)
+  Alcotest.(check bool) "up-peer-down ok" true (Policy.valley_free pol [ 4; 2; 3; 5 ]);
+  (* down then up is a valley: 1 -> 2 -> 3 descends then peers. *)
+  Alcotest.(check bool) "down-peer is a valley" false
+    (Policy.valley_free pol [ 1; 2; 3 ]);
+  (* down then up: 2 -> 4 would then climb back 4 -> 2: degenerate. *)
+  Alcotest.(check bool) "trivial paths ok" true (Policy.valley_free pol [ 2 ])
+
+let test_policy_check_tree () =
+  let g, pol = policy_fixture () in
+  (* Tree rooted at 4 reaching 5 through the provider core — legal. *)
+  let legal =
+    [ Option.get (Graph.find_link g ~src:4 ~dst:2);
+      Option.get (Graph.find_link g ~src:2 ~dst:1);
+      Option.get (Graph.find_link g ~src:1 ~dst:3);
+      Option.get (Graph.find_link g ~src:3 ~dst:5) ]
+  in
+  (match Policy.check_tree pol g ~root:4 ~tree:legal with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "legal tree rejected");
+  (* Tree rooted at 1 descending to 2 then peering to 3 — a valley. *)
+  let valley =
+    [ Option.get (Graph.find_link g ~src:1 ~dst:2);
+      Option.get (Graph.find_link g ~src:2 ~dst:3) ]
+  in
+  match Policy.check_tree pol g ~root:1 ~tree:valley with
+  | Error violations ->
+    Alcotest.(check bool) "reports the violating path" true
+      (List.mem [ 1; 2; 3 ] violations)
+  | Ok () -> Alcotest.fail "valley must be rejected"
+
+let test_policy_infer_by_degree () =
+  let g = Graph.create ~nodes:3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 0 2;
+  (* Node 0 has degree 2, others 1: 0 is everyone's provider. *)
+  let pol = Policy.infer_by_degree g in
+  Alcotest.(check bool) "1 customer of 0" true
+    (Policy.relation pol ~src:1 ~dst:0 = Policy.Customer_of);
+  Alcotest.(check bool) "0 provider of 2" true
+    (Policy.relation pol ~src:0 ~dst:2 = Policy.Provider_of)
+
+let test_policy_filter_links () =
+  let g, pol = policy_fixture () in
+  let links = Graph.out_links g 2 in
+  let ups = Policy.filter_links pol ~from_relation:Policy.Customer_of links in
+  Alcotest.(check int) "one uplink from 2" 1 (List.length ups);
+  Alcotest.(check int) "towards 1" 1 (List.hd ups).Graph.dst
+
+let () =
+  Alcotest.run "ip-policy"
+    [
+      ( "underlay",
+        [
+          Alcotest.test_case "create validates" `Quick test_create_validates;
+          Alcotest.test_case "unicast forward" `Quick test_unicast_route_and_forward;
+          Alcotest.test_case "longest prefix" `Quick test_unicast_longest_prefix_wins;
+          Alcotest.test_case "edge-only" `Quick test_unicast_requires_edge_routers;
+          Alcotest.test_case "ssm join/forward/leave" `Quick test_ssm_join_forward_leave;
+          Alcotest.test_case "ssm state at ingress" `Quick test_ssm_state_only_at_ingress;
+          Alcotest.test_case "ssm empty errors" `Quick test_ssm_empty_group_errors;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "relations" `Quick test_policy_relations_and_inverse;
+          Alcotest.test_case "valley-free" `Quick test_policy_valley_free_paths;
+          Alcotest.test_case "check tree" `Quick test_policy_check_tree;
+          Alcotest.test_case "infer by degree" `Quick test_policy_infer_by_degree;
+          Alcotest.test_case "filter links" `Quick test_policy_filter_links;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(* Tests for Lipsin_node: Pubfs and Host (the end-node prototype
+   analog, Sec. 6.1). *)
+
+module Pubfs = Lipsin_node.Pubfs
+module Host = Lipsin_node.Host
+module Topic = Lipsin_pubsub.Topic
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module Rng = Lipsin_util.Rng
+
+let test_pubfs_write_read () =
+  let fs = Pubfs.create () in
+  Alcotest.(check (option string)) "missing" None (Pubfs.read fs ~path:"/x");
+  Alcotest.(check int) "v1" 1 (Pubfs.write fs ~path:"/x" "one");
+  Alcotest.(check int) "v2" 2 (Pubfs.write fs ~path:"/x" "two");
+  Alcotest.(check (option string)) "newest" (Some "two") (Pubfs.read fs ~path:"/x");
+  Alcotest.(check (option string)) "old version" (Some "one")
+    (Pubfs.read_version fs ~path:"/x" ~version:1);
+  Alcotest.(check int) "version" 2 (Pubfs.version fs ~path:"/x")
+
+let test_pubfs_history_limit () =
+  let fs = Pubfs.create ~history_limit:2 () in
+  for i = 1 to 5 do
+    ignore (Pubfs.write fs ~path:"/h" (string_of_int i))
+  done;
+  Alcotest.(check (option string)) "newest kept" (Some "5")
+    (Pubfs.read_version fs ~path:"/h" ~version:5);
+  Alcotest.(check (option string)) "previous kept" (Some "4")
+    (Pubfs.read_version fs ~path:"/h" ~version:4);
+  Alcotest.(check (option string)) "older dropped" None
+    (Pubfs.read_version fs ~path:"/h" ~version:3);
+  Alcotest.(check int) "version counter keeps counting" 5 (Pubfs.version fs ~path:"/h")
+
+let test_pubfs_remove_and_list () =
+  let fs = Pubfs.create () in
+  ignore (Pubfs.write fs ~path:"/pub/a" "1");
+  ignore (Pubfs.write fs ~path:"/pub/b" "2");
+  ignore (Pubfs.write fs ~path:"/net/c" "3");
+  Alcotest.(check (list string)) "prefix filter" [ "/pub/a"; "/pub/b" ]
+    (Pubfs.list fs ~prefix:"/pub/" ());
+  Alcotest.(check bool) "remove" true (Pubfs.remove fs ~path:"/pub/a");
+  Alcotest.(check bool) "remove again" false (Pubfs.remove fs ~path:"/pub/a");
+  Alcotest.(check (list string)) "gone" [ "/pub/b" ] (Pubfs.list fs ~prefix:"/pub/" ())
+
+let test_pubfs_rejects_bad_limit () =
+  Alcotest.check_raises "limit 0"
+    (Invalid_argument "Pubfs.create: history_limit must be >= 1") (fun () ->
+      ignore (Pubfs.create ~history_limit:0 ()))
+
+let sample_cluster () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 83) ~nodes:30 ~edges:50 ~max_degree:8 ()
+  in
+  Host.create_cluster ~seed:5 g
+
+let test_host_publish_subscribe_flow () =
+  let cluster = sample_cluster () in
+  let alice = Host.endpoint cluster 0 in
+  let bob = Host.endpoint cluster 17 in
+  let carol = Host.endpoint cluster 25 in
+  let topic = Host.create_publication alice ~name:"weather" ~content:"sunny" in
+  ignore (Host.subscribe bob ~name:"weather");
+  ignore (Host.subscribe carol ~name:"weather");
+  (match Host.publish alice ~name:"weather" with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    Alcotest.(check bool) "topic id consistent" true (Topic.equal topic d.Host.topic);
+    Alcotest.(check (list int)) "both reached" [ 17; 25 ]
+      (List.sort compare d.Host.delivered_to));
+  (* Data landed in both mailboxes and file systems. *)
+  (match Host.poll bob with
+  | [ ev ] ->
+    Alcotest.(check string) "event name" "weather" ev.Host.name;
+    Alcotest.(check string) "event payload" "sunny" ev.Host.payload
+  | other -> Alcotest.fail (Printf.sprintf "bob expected 1 event, got %d" (List.length other)));
+  Alcotest.(check (list string)) "mailbox drained" []
+    (List.map (fun e -> e.Host.name) (Host.poll bob));
+  Alcotest.(check (option string)) "carol's copy on file" (Some "sunny")
+    (Host.read_received carol ~name:"weather")
+
+let test_host_update_and_republished_version () =
+  let cluster = sample_cluster () in
+  let pub = Host.endpoint cluster 3 in
+  let sub = Host.endpoint cluster 9 in
+  ignore (Host.create_publication pub ~name:"feed" ~content:"v1");
+  ignore (Host.subscribe sub ~name:"feed");
+  (match Host.publish pub ~name:"feed" with Ok _ -> () | Error e -> Alcotest.fail e);
+  Host.update_publication pub ~name:"feed" ~content:"v2";
+  (match Host.publish pub ~name:"feed" with Ok _ -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check (option string)) "newest received" (Some "v2")
+    (Host.read_received sub ~name:"feed");
+  (* Both versions retained in the receiver's Pubfs. *)
+  Alcotest.(check (option string)) "previous version retained" (Some "v1")
+    (Pubfs.read_version (Host.fs sub) ~path:"/net/feed" ~version:1)
+
+let test_host_publish_without_create_errors () =
+  let cluster = sample_cluster () in
+  let e = Host.endpoint cluster 1 in
+  match Host.publish e ~name:"ghost" with
+  | Error msg ->
+    Alcotest.(check string) "error" "publication was never created at this host" msg
+  | Ok _ -> Alcotest.fail "must require creation"
+
+let test_host_update_requires_create () =
+  let cluster = sample_cluster () in
+  let e = Host.endpoint cluster 1 in
+  Alcotest.check_raises "update before create"
+    (Invalid_argument "Host.update_publication: publication was never created")
+    (fun () -> Host.update_publication e ~name:"ghost" ~content:"x")
+
+let test_host_unsubscribe_stops_delivery () =
+  let cluster = sample_cluster () in
+  let pub = Host.endpoint cluster 2 in
+  let sub = Host.endpoint cluster 20 in
+  ignore (Host.create_publication pub ~name:"t" ~content:"c");
+  ignore (Host.subscribe sub ~name:"t");
+  (match Host.publish pub ~name:"t" with Ok _ -> () | Error e -> Alcotest.fail e);
+  ignore (Host.poll sub);
+  Host.unsubscribe sub ~name:"t";
+  (match Host.publish pub ~name:"t" with
+  | Error msg ->
+    Alcotest.(check string) "no subscribers left" "topic has no remote subscribers" msg
+  | Ok _ -> Alcotest.fail "unsubscribed topic must not deliver");
+  Alcotest.(check int) "no new events" 0 (List.length (Host.poll sub))
+
+let test_host_endpoint_identity () =
+  let cluster = sample_cluster () in
+  let a = Host.endpoint cluster 4 in
+  let b = Host.endpoint cluster 4 in
+  Alcotest.(check bool) "same endpoint per node" true (a == b);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Host.endpoint: node out of range") (fun () ->
+      ignore (Host.endpoint cluster 999))
+
+let () =
+  Alcotest.run "node"
+    [
+      ( "pubfs",
+        [
+          Alcotest.test_case "write/read/versions" `Quick test_pubfs_write_read;
+          Alcotest.test_case "history limit" `Quick test_pubfs_history_limit;
+          Alcotest.test_case "remove/list" `Quick test_pubfs_remove_and_list;
+          Alcotest.test_case "bad limit" `Quick test_pubfs_rejects_bad_limit;
+        ] );
+      ( "host",
+        [
+          Alcotest.test_case "publish/subscribe flow" `Quick
+            test_host_publish_subscribe_flow;
+          Alcotest.test_case "update + republish" `Quick
+            test_host_update_and_republished_version;
+          Alcotest.test_case "publish requires create" `Quick
+            test_host_publish_without_create_errors;
+          Alcotest.test_case "update requires create" `Quick
+            test_host_update_requires_create;
+          Alcotest.test_case "unsubscribe stops delivery" `Quick
+            test_host_unsubscribe_stops_delivery;
+          Alcotest.test_case "endpoint identity" `Quick test_host_endpoint_identity;
+        ] );
+    ]

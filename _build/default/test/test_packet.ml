@@ -1,0 +1,122 @@
+(* Tests for Lipsin_packet.Header. *)
+
+module Bitvec = Lipsin_bitvec.Bitvec
+module Zfilter = Lipsin_bloom.Zfilter
+module Lit = Lipsin_bloom.Lit
+module Header = Lipsin_packet.Header
+module Rng = Lipsin_util.Rng
+
+let sample_zfilter ?(seed = 3) ?(n = 6) ?(m = 248) () =
+  let rng = Rng.of_int seed in
+  let params = Lit.constant_k ~m ~d:8 ~k:5 in
+  Zfilter.of_tags ~m
+    (List.init n (fun _ -> Lit.tag (Lit.fresh params rng) 0))
+
+let test_make_defaults () =
+  let h = Header.make ~d_index:3 ~zfilter:(sample_zfilter ()) "hello" in
+  Alcotest.(check int) "default ttl" 64 h.Header.ttl;
+  Alcotest.(check int) "d index" 3 h.Header.d_index;
+  Alcotest.(check string) "payload" "hello" h.Header.payload
+
+let test_make_validates () =
+  let z = sample_zfilter () in
+  Alcotest.check_raises "d out of range"
+    (Invalid_argument "Header.make: d_index outside 0..255") (fun () ->
+      ignore (Header.make ~d_index:256 ~zfilter:z ""));
+  Alcotest.check_raises "ttl out of range"
+    (Invalid_argument "Header.make: ttl outside 0..255") (fun () ->
+      ignore (Header.make ~ttl:(-1) ~d_index:0 ~zfilter:z ""))
+
+let test_sizes () =
+  Alcotest.(check int) "header size for m=248" 36 (Header.header_size ~m:248);
+  let h = Header.make ~d_index:0 ~zfilter:(sample_zfilter ()) "abcd" in
+  Alcotest.(check int) "total size" 40 (Header.size h);
+  Alcotest.(check int) "encoded length" 40 (Bytes.length (Header.encode h))
+
+let test_roundtrip () =
+  let h = Header.make ~ttl:17 ~d_index:5 ~zfilter:(sample_zfilter ()) "payload!" in
+  match Header.decode (Header.encode h) with
+  | Error e -> Alcotest.fail e
+  | Ok h2 -> Alcotest.(check bool) "roundtrip equal" true (Header.equal h h2)
+
+let test_roundtrip_empty_payload () =
+  let h = Header.make ~d_index:0 ~zfilter:(sample_zfilter ()) "" in
+  match Header.decode (Header.encode h) with
+  | Error e -> Alcotest.fail e
+  | Ok h2 -> Alcotest.(check string) "empty payload" "" h2.Header.payload
+
+let test_roundtrip_odd_width () =
+  (* m = 120: the paper's abandoned small filter; still a valid wire
+     format. *)
+  let h = Header.make ~d_index:1 ~zfilter:(sample_zfilter ~m:120 ()) "x" in
+  match Header.decode (Header.encode h) with
+  | Error e -> Alcotest.fail e
+  | Ok h2 ->
+    Alcotest.(check int) "m preserved" 120 (Zfilter.m h2.Header.zfilter);
+    Alcotest.(check bool) "equal" true (Header.equal h h2)
+
+let test_decode_bad_magic () =
+  let h = Header.make ~d_index:0 ~zfilter:(sample_zfilter ()) "" in
+  let b = Header.encode h in
+  Bytes.set b 0 'X';
+  match Header.decode b with
+  | Error msg -> Alcotest.(check string) "bad magic" "bad magic byte" msg
+  | Ok _ -> Alcotest.fail "must reject bad magic"
+
+let test_decode_truncated () =
+  let h = Header.make ~d_index:0 ~zfilter:(sample_zfilter ()) "" in
+  let b = Header.encode h in
+  (match Header.decode (Bytes.sub b 0 3) with
+  | Error msg -> Alcotest.(check string) "short" "packet shorter than fixed header" msg
+  | Ok _ -> Alcotest.fail "must reject short packet");
+  match Header.decode (Bytes.sub b 0 20) with
+  | Error msg ->
+    Alcotest.(check string) "truncated filter" "packet truncated inside zFilter" msg
+  | Ok _ -> Alcotest.fail "must reject truncated packet"
+
+let test_decrement_ttl () =
+  let h = Header.make ~ttl:2 ~d_index:0 ~zfilter:(sample_zfilter ()) "" in
+  match Header.decrement_ttl h with
+  | None -> Alcotest.fail "ttl 2 must decrement"
+  | Some h1 -> (
+    Alcotest.(check int) "ttl 1" 1 h1.Header.ttl;
+    match Header.decrement_ttl h1 with
+    | None -> Alcotest.fail "ttl 1 must decrement"
+    | Some h0 ->
+      Alcotest.(check int) "ttl 0" 0 h0.Header.ttl;
+      Alcotest.(check bool) "ttl 0 drops" true (Header.decrement_ttl h0 = None))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:300
+    QCheck.(quad small_nat (int_range 0 255) (int_range 0 255) (string_of_size (QCheck.Gen.int_range 0 200)))
+    (fun (seed, d_index, ttl, payload) ->
+      let z = sample_zfilter ~seed ~n:(1 + (seed mod 20)) () in
+      let h = Header.make ~ttl ~d_index ~zfilter:z payload in
+      match Header.decode (Header.encode h) with
+      | Ok h2 -> Header.equal h h2
+      | Error _ -> false)
+
+let prop_decode_never_crashes =
+  QCheck.Test.make ~name:"decode of arbitrary bytes never raises" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 64))
+    (fun s ->
+      match Header.decode (Bytes.of_string s) with Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "packet"
+    [
+      ( "header",
+        [
+          Alcotest.test_case "make defaults" `Quick test_make_defaults;
+          Alcotest.test_case "make validates" `Quick test_make_validates;
+          Alcotest.test_case "sizes" `Quick test_sizes;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "empty payload" `Quick test_roundtrip_empty_payload;
+          Alcotest.test_case "odd width" `Quick test_roundtrip_odd_width;
+          Alcotest.test_case "bad magic" `Quick test_decode_bad_magic;
+          Alcotest.test_case "truncated" `Quick test_decode_truncated;
+          Alcotest.test_case "ttl" `Quick test_decrement_ttl;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_decode_never_crashes;
+        ] );
+    ]

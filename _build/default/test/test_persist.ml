@@ -1,0 +1,191 @@
+(* Tests for Lipsin_packet.Fragment and Lipsin_core.Persist. *)
+
+module Fragment = Lipsin_packet.Fragment
+module Persist = Lipsin_core.Persist
+module Assignment = Lipsin_core.Assignment
+module Lit = Lipsin_bloom.Lit
+module Bitvec = Lipsin_bitvec.Bitvec
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module Edge_list = Lipsin_topology.Edge_list
+module Rng = Lipsin_util.Rng
+
+let test_max_chunk () =
+  (* MTU 1500, m=248: 1500 - 36 header - 8 frag = 1456. *)
+  Alcotest.(check int) "ethernet MTU chunk" 1456 (Fragment.max_chunk ~mtu:1500 ~m:248);
+  Alcotest.check_raises "tiny mtu" (Invalid_argument "Fragment.max_chunk: MTU too small")
+    (fun () -> ignore (Fragment.max_chunk ~mtu:44 ~m:248))
+
+let reassemble_all fragments =
+  let r = Fragment.reassembler () in
+  List.fold_left
+    (fun acc f ->
+      match Fragment.offer r f with
+      | Ok (Some message) -> Some message
+      | Ok None -> acc
+      | Error e -> Alcotest.fail e)
+    None fragments
+
+let test_split_reassemble_in_order () =
+  let message = String.init 5000 (fun i -> Char.chr (i mod 256)) in
+  let fragments = Fragment.split ~mtu:1500 ~m:248 ~message_id:7l message in
+  Alcotest.(check int) "ceil(5000/1456) fragments" 4 (List.length fragments);
+  match reassemble_all fragments with
+  | Some out -> Alcotest.(check bool) "roundtrip" true (String.equal out message)
+  | None -> Alcotest.fail "must complete"
+
+let test_reassemble_out_of_order_and_duplicates () =
+  let message = String.concat "-" (List.init 300 string_of_int) in
+  let fragments = Fragment.split ~mtu:120 ~m:248 ~message_id:9l message in
+  Alcotest.(check bool) "several fragments" true (List.length fragments > 3);
+  let shuffled = Array.of_list (fragments @ [ List.hd fragments ]) in
+  Rng.shuffle (Rng.of_int 3) shuffled;
+  match reassemble_all (Array.to_list shuffled) with
+  | Some out -> Alcotest.(check bool) "roundtrip" true (String.equal out message)
+  | None -> Alcotest.fail "must complete despite reordering/duplicates"
+
+let test_empty_message_single_fragment () =
+  let fragments = Fragment.split ~mtu:1500 ~m:248 ~message_id:1l "" in
+  Alcotest.(check int) "one empty fragment" 1 (List.length fragments);
+  match reassemble_all fragments with
+  | Some out -> Alcotest.(check string) "empty" "" out
+  | None -> Alcotest.fail "must complete"
+
+let test_interleaved_messages () =
+  let m_a = String.make 3000 'a' and m_b = String.make 2500 'b' in
+  let fa = Fragment.split ~mtu:1000 ~m:248 ~message_id:100l m_a in
+  let fb = Fragment.split ~mtu:1000 ~m:248 ~message_id:200l m_b in
+  let r = Fragment.reassembler () in
+  let completed = ref [] in
+  let feed f =
+    match Fragment.offer r f with
+    | Ok (Some m) -> completed := m :: !completed
+    | Ok None -> ()
+    | Error e -> Alcotest.fail e
+  in
+  (* Interleave the two streams, feeding each fragment exactly once. *)
+  let rec interleave xs ys =
+    match (xs, ys) with
+    | [], rest | rest, [] -> rest
+    | x :: xs, y :: ys -> x :: y :: interleave xs ys
+  in
+  List.iter feed (interleave fa fb);
+  Alcotest.(check int) "both completed" 2 (List.length !completed);
+  Alcotest.(check int) "reassembler drained" 0 (Fragment.pending r)
+
+let test_offer_rejects_conflicts () =
+  let fragments = Fragment.split ~mtu:100 ~m:248 ~message_id:5l (String.make 300 'x') in
+  let r = Fragment.reassembler () in
+  (match Fragment.offer r (List.hd fragments) with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "first fragment incomplete");
+  (* Forge a conflicting duplicate: same id/index, different chunk. *)
+  let forged =
+    let original = List.hd fragments in
+    String.sub original 0 Fragment.header_bytes ^ String.make 10 '!'
+  in
+  match Fragment.offer r forged with
+  | Error msg -> Alcotest.(check string) "conflict" "conflicting duplicate fragment" msg
+  | Ok _ -> Alcotest.fail "conflicting chunk must be rejected"
+
+let test_parse_rejects_garbage () =
+  (match Fragment.parse "short" with
+  | Error msg -> Alcotest.(check string) "short" "fragment too short" msg
+  | Ok _ -> Alcotest.fail "short frame");
+  (* index >= count *)
+  let bad = "\x00\x00\x00\x01\x00\x05\x00\x02payload" in
+  match Fragment.parse bad with
+  | Error msg -> Alcotest.(check string) "range" "fragment index out of range" msg
+  | Ok _ -> Alcotest.fail "bad index"
+
+let prop_fragment_roundtrip =
+  QCheck.Test.make ~name:"split/reassemble roundtrip" ~count:100
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 5000)) (int_range 60 400))
+    (fun (message, mtu) ->
+      let fragments = Fragment.split ~mtu ~m:120 ~message_id:3l message in
+      match reassemble_all fragments with
+      | Some out -> String.equal out message
+      | None -> false)
+
+(* ---- Persist ---- *)
+
+let sample () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 269) ~nodes:20 ~edges:32 ~max_degree:8 ()
+  in
+  (g, Assignment.make Lit.paper_variable (Rng.of_int 271) g)
+
+let test_persist_roundtrip () =
+  let g, asg = sample () in
+  match Persist.of_string g (Persist.to_string asg) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+    Graph.iter_links g (fun l ->
+        for table = 0 to 7 do
+          Alcotest.(check bool) "identical tags" true
+            (Bitvec.equal (Assignment.tag asg l ~table)
+               (Assignment.tag back l ~table))
+        done)
+
+let test_persist_file_roundtrip () =
+  let g, asg = sample () in
+  let path = Filename.temp_file "lipsin" ".assignment" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Persist.save asg path;
+      match Persist.load g path with
+      | Ok back ->
+        Alcotest.(check int64) "first nonce survives"
+          (Assignment.nonces asg).(0)
+          (Assignment.nonces back).(0)
+      | Error e -> Alcotest.fail e)
+
+let test_persist_with_edge_list_roundtrip () =
+  (* Full deployment persistence: graph + assignment both serialised. *)
+  let g, asg = sample () in
+  let g2 = Edge_list.of_string (Edge_list.to_string g) in
+  match Persist.of_string g2 (Persist.to_string asg) with
+  | Ok back ->
+    Alcotest.(check int) "bound to reloaded graph" (Graph.link_count g)
+      (Assignment.link_count back)
+  | Error e -> Alcotest.fail e
+
+let test_persist_rejects () =
+  let g, asg = sample () in
+  (match Persist.of_string g "garbage" with
+  | Error msg -> Alcotest.(check string) "garbage" "truncated assignment file" msg
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  (match Persist.of_string g "nope v9\nm 248\nk 5\n" with
+  | Error msg -> Alcotest.(check string) "magic" "bad magic line" msg
+  | Ok _ -> Alcotest.fail "bad magic accepted");
+  let small = Graph.create ~nodes:2 in
+  Graph.add_edge small 0 1;
+  match Persist.of_string small (Persist.to_string asg) with
+  | Error msg ->
+    Alcotest.(check string) "mismatch" "nonce count does not match the graph's links" msg
+  | Ok _ -> Alcotest.fail "graph mismatch accepted"
+
+let () =
+  Alcotest.run "persist-fragment"
+    [
+      ( "fragment",
+        [
+          Alcotest.test_case "max chunk" `Quick test_max_chunk;
+          Alcotest.test_case "in order" `Quick test_split_reassemble_in_order;
+          Alcotest.test_case "out of order + dups" `Quick
+            test_reassemble_out_of_order_and_duplicates;
+          Alcotest.test_case "empty message" `Quick test_empty_message_single_fragment;
+          Alcotest.test_case "interleaved messages" `Quick test_interleaved_messages;
+          Alcotest.test_case "rejects conflicts" `Quick test_offer_rejects_conflicts;
+          Alcotest.test_case "parse rejects" `Quick test_parse_rejects_garbage;
+          QCheck_alcotest.to_alcotest prop_fragment_roundtrip;
+        ] );
+      ( "persist",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_persist_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_persist_file_roundtrip;
+          Alcotest.test_case "with edge list" `Quick test_persist_with_edge_list_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_persist_rejects;
+        ] );
+    ]

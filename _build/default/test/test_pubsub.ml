@@ -1,0 +1,188 @@
+(* Tests for Lipsin_pubsub: Topic, Rendezvous, System. *)
+
+module Topic = Lipsin_pubsub.Topic
+module Rendezvous = Lipsin_pubsub.Rendezvous
+module System = Lipsin_pubsub.System
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module Run = Lipsin_sim.Run
+module Zfilter = Lipsin_bloom.Zfilter
+module Rng = Lipsin_util.Rng
+
+let test_topic_stable_hash () =
+  let a = Topic.of_string "sports/football" in
+  let b = Topic.of_string "sports/football" in
+  let c = Topic.of_string "sports/handball" in
+  Alcotest.(check bool) "equal names equal ids" true (Topic.equal a b);
+  Alcotest.(check bool) "different names differ" false (Topic.equal a c);
+  Alcotest.(check int) "compare 0" 0 (Topic.compare a b)
+
+let test_topic_id_roundtrip () =
+  let t = Topic.of_id 42L in
+  Alcotest.(check int64) "id preserved" 42L (Topic.id t)
+
+let test_rendezvous_matching () =
+  let r = Rendezvous.create () in
+  let t = Topic.of_string "news" in
+  Alcotest.(check bool) "inactive when empty" false (Rendezvous.active r t);
+  Rendezvous.advertise r t ~publisher:3;
+  Alcotest.(check bool) "needs subscribers too" false (Rendezvous.active r t);
+  Rendezvous.subscribe r t ~subscriber:7;
+  Alcotest.(check bool) "active" true (Rendezvous.active r t);
+  Alcotest.(check (list int)) "subscribers" [ 7 ] (Rendezvous.subscribers r t);
+  Alcotest.(check (list int)) "publishers" [ 3 ] (Rendezvous.publishers r t)
+
+let test_rendezvous_idempotent_subscribe () =
+  let r = Rendezvous.create () in
+  let t = Topic.of_string "dup" in
+  Rendezvous.subscribe r t ~subscriber:1;
+  let g1 = Rendezvous.generation r t in
+  Rendezvous.subscribe r t ~subscriber:1;
+  Alcotest.(check int) "no generation bump on repeat" g1 (Rendezvous.generation r t);
+  Alcotest.(check (list int)) "single entry" [ 1 ] (Rendezvous.subscribers r t)
+
+let test_rendezvous_unsubscribe () =
+  let r = Rendezvous.create () in
+  let t = Topic.of_string "leave" in
+  Rendezvous.subscribe r t ~subscriber:1;
+  Rendezvous.subscribe r t ~subscriber:2;
+  Rendezvous.unsubscribe r t ~subscriber:1;
+  Alcotest.(check (list int)) "one left" [ 2 ] (Rendezvous.subscribers r t)
+
+let test_rendezvous_generation_tracks_changes () =
+  let r = Rendezvous.create () in
+  let t = Topic.of_string "gen" in
+  let g0 = Rendezvous.generation r t in
+  Rendezvous.subscribe r t ~subscriber:5;
+  let g1 = Rendezvous.generation r t in
+  Rendezvous.unsubscribe r t ~subscriber:5;
+  let g2 = Rendezvous.generation r t in
+  Alcotest.(check bool) "strictly increasing" true (g0 < g1 && g1 < g2)
+
+let sample_system ?selection () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 5) ~nodes:40 ~edges:70 ~max_degree:10 ()
+  in
+  match selection with
+  | None -> System.create g
+  | Some s -> System.create ~selection:s g
+
+let test_publish_requires_advertise () =
+  let sys = sample_system () in
+  let t = Topic.of_string "t1" in
+  System.subscribe sys t ~subscriber:5;
+  match System.publish sys t ~publisher:0 ~payload:"x" with
+  | Error msg ->
+    Alcotest.(check string) "needs advertise" "publisher has not advertised this topic" msg
+  | Ok _ -> Alcotest.fail "must require advertisement"
+
+let test_publish_requires_subscribers () =
+  let sys = sample_system () in
+  let t = Topic.of_string "t2" in
+  System.advertise sys t ~publisher:0;
+  match System.publish sys t ~publisher:0 ~payload:"x" with
+  | Error msg ->
+    Alcotest.(check string) "needs subscribers" "topic has no remote subscribers" msg
+  | Ok _ -> Alcotest.fail "must require subscribers"
+
+let test_publish_delivers () =
+  let sys = sample_system () in
+  let t = Topic.of_string "t3" in
+  System.advertise sys t ~publisher:0;
+  List.iter (fun s -> System.subscribe sys t ~subscriber:s) [ 7; 13; 22; 39 ];
+  match System.publish sys t ~publisher:0 ~payload:"hello" with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check int) "all delivered" 4 (List.length r.System.delivered_to);
+    Alcotest.(check int) "none missed" 0 (List.length r.System.missed);
+    Alcotest.(check bool) "first publish computes" false r.System.from_cache;
+    Alcotest.(check string) "payload carried" "hello" r.System.header.Lipsin_packet.Header.payload
+
+let test_publish_cache_and_invalidation () =
+  let sys = sample_system () in
+  let t = Topic.of_string "t4" in
+  System.advertise sys t ~publisher:1;
+  System.subscribe sys t ~subscriber:9;
+  (match System.publish sys t ~publisher:1 ~payload:"a" with
+  | Ok r -> Alcotest.(check bool) "first miss" false r.System.from_cache
+  | Error e -> Alcotest.fail e);
+  (match System.publish sys t ~publisher:1 ~payload:"b" with
+  | Ok r -> Alcotest.(check bool) "second hit" true r.System.from_cache
+  | Error e -> Alcotest.fail e);
+  System.subscribe sys t ~subscriber:17;
+  (match System.publish sys t ~publisher:1 ~payload:"c" with
+  | Ok r ->
+    Alcotest.(check bool) "invalidated on subscriber change" false r.System.from_cache;
+    Alcotest.(check int) "both reached" 2 (List.length r.System.delivered_to)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "one cache entry" 1 (System.cache_size sys)
+
+let test_publisher_excluded_from_targets () =
+  let sys = sample_system () in
+  let t = Topic.of_string "t5" in
+  System.advertise sys t ~publisher:2;
+  System.subscribe sys t ~subscriber:2;
+  (* Publisher is its own only subscriber: no remote targets. *)
+  match System.publish sys t ~publisher:2 ~payload:"x" with
+  | Error msg ->
+    Alcotest.(check string) "self only" "topic has no remote subscribers" msg
+  | Ok _ -> Alcotest.fail "self-subscription is local, not remote"
+
+let test_selection_strategies_all_deliver () =
+  List.iter
+    (fun selection ->
+      let sys = sample_system ~selection () in
+      let t = Topic.of_string "t6" in
+      System.advertise sys t ~publisher:3;
+      List.iter (fun s -> System.subscribe sys t ~subscriber:s) [ 11; 29; 35 ];
+      match System.publish sys t ~publisher:3 ~payload:"p" with
+      | Error e -> Alcotest.fail e
+      | Ok r -> Alcotest.(check int) "delivered" 3 (List.length r.System.delivered_to))
+    [ System.Standard; System.Fpa; System.Fpr ]
+
+let test_reverse_path_delivers_back () =
+  let sys = sample_system () in
+  let publisher = 0 and subscriber = 25 in
+  let z = System.collect_reverse_path sys ~subscriber ~publisher ~table:0 in
+  (* Using the collected reverse zFilter, the subscriber can reach the
+     publisher through the very same fabric. *)
+  let outcome =
+    Run.deliver (System.net sys) ~src:subscriber ~table:0 ~zfilter:z ~tree:[]
+  in
+  Alcotest.(check bool) "publisher reached" true outcome.Run.reached.(publisher)
+
+let test_reverse_path_fill_reasonable () =
+  let sys = sample_system () in
+  let z = System.collect_reverse_path sys ~subscriber:39 ~publisher:0 ~table:2 in
+  Alcotest.(check bool) "fill below limit" true (Zfilter.fill_factor z < 0.5)
+
+let () =
+  Alcotest.run "pubsub"
+    [
+      ( "topic",
+        [
+          Alcotest.test_case "stable hash" `Quick test_topic_stable_hash;
+          Alcotest.test_case "id roundtrip" `Quick test_topic_id_roundtrip;
+        ] );
+      ( "rendezvous",
+        [
+          Alcotest.test_case "matching" `Quick test_rendezvous_matching;
+          Alcotest.test_case "idempotent subscribe" `Quick
+            test_rendezvous_idempotent_subscribe;
+          Alcotest.test_case "unsubscribe" `Quick test_rendezvous_unsubscribe;
+          Alcotest.test_case "generation" `Quick test_rendezvous_generation_tracks_changes;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "requires advertise" `Quick test_publish_requires_advertise;
+          Alcotest.test_case "requires subscribers" `Quick test_publish_requires_subscribers;
+          Alcotest.test_case "delivers" `Quick test_publish_delivers;
+          Alcotest.test_case "cache + invalidation" `Quick
+            test_publish_cache_and_invalidation;
+          Alcotest.test_case "publisher excluded" `Quick test_publisher_excluded_from_targets;
+          Alcotest.test_case "all strategies deliver" `Quick
+            test_selection_strategies_all_deliver;
+          Alcotest.test_case "reverse path delivers" `Quick test_reverse_path_delivers_back;
+          Alcotest.test_case "reverse path fill" `Quick test_reverse_path_fill_reasonable;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+(* Property tests of System-level pub/sub invariants. *)
+
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module System = Lipsin_pubsub.System
+module Topic = Lipsin_pubsub.Topic
+module Rendezvous = Lipsin_pubsub.Rendezvous
+module Run = Lipsin_sim.Run
+module Rng = Lipsin_util.Rng
+
+let build_system seed =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int (seed + 401)) ~nodes:30 ~edges:50
+      ~max_degree:9 ()
+  in
+  (g, System.create ~seed g)
+
+let prop_delivered_subset_of_subscribers =
+  QCheck.Test.make ~name:"delivered_to is exactly the reachable subscriber set"
+    ~count:80
+    QCheck.(pair (int_range 1 1000) (int_range 1 8))
+    (fun (seed, subs) ->
+      let g, sys = build_system seed in
+      let topic = Topic.of_string "prop" in
+      let rng = Rng.of_int (seed + 7) in
+      let picks = Rng.sample rng (subs + 1) (Graph.node_count g) in
+      let publisher = picks.(0) in
+      let subscribers = Array.to_list (Array.sub picks 1 subs) in
+      System.advertise sys topic ~publisher;
+      List.iter (fun s -> System.subscribe sys topic ~subscriber:s) subscribers;
+      match System.publish sys topic ~publisher ~payload:"x" with
+      | Error _ -> false
+      | Ok r ->
+        let wanted = List.sort compare subscribers in
+        List.sort compare (r.System.delivered_to @ r.System.missed) = wanted
+        && List.for_all (fun d -> List.mem d subscribers) r.System.delivered_to)
+
+let prop_publish_deterministic =
+  QCheck.Test.make ~name:"same system seed, same delivery" ~count:50
+    QCheck.(pair (int_range 1 1000) (int_range 1 6))
+    (fun (seed, subs) ->
+      let run () =
+        let g, sys = build_system seed in
+        let topic = Topic.of_string "det" in
+        let rng = Rng.of_int (seed + 13) in
+        let picks = Rng.sample rng (subs + 1) (Graph.node_count g) in
+        System.advertise sys topic ~publisher:picks.(0);
+        Array.iter
+          (fun s -> System.subscribe sys topic ~subscriber:s)
+          (Array.sub picks 1 subs);
+        match System.publish sys topic ~publisher:picks.(0) ~payload:"x" with
+        | Ok r ->
+          ( List.sort compare r.System.delivered_to,
+            r.System.outcome.Run.link_traversals )
+        | Error e -> ([], String.length e)
+      in
+      run () = run ())
+
+let prop_unsubscribe_shrinks_tree =
+  QCheck.Test.make ~name:"unsubscribing never enlarges the tree" ~count:60
+    QCheck.(pair (int_range 1 1000) (int_range 2 8))
+    (fun (seed, subs) ->
+      let g, sys = build_system seed in
+      let topic = Topic.of_string "shrink" in
+      let rng = Rng.of_int (seed + 17) in
+      let picks = Rng.sample rng (subs + 1) (Graph.node_count g) in
+      let publisher = picks.(0) in
+      let subscribers = Array.to_list (Array.sub picks 1 subs) in
+      System.advertise sys topic ~publisher;
+      List.iter (fun s -> System.subscribe sys topic ~subscriber:s) subscribers;
+      match System.publish sys topic ~publisher ~payload:"a" with
+      | Error _ -> false
+      | Ok before ->
+        System.unsubscribe sys topic ~subscriber:(List.hd subscribers);
+        (match System.publish sys topic ~publisher ~payload:"b" with
+        | Error _ -> subs = 1  (* last subscriber left: publish must fail *)
+        | Ok after ->
+          List.length after.System.tree <= List.length before.System.tree
+          && not after.System.from_cache))
+
+let prop_rendezvous_counts_consistent =
+  QCheck.Test.make ~name:"rendezvous sets reflect operations exactly" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 40) (pair bool (int_range 0 19)))
+    (fun ops ->
+      let r = Rendezvous.create () in
+      let topic = Topic.of_string "consistency" in
+      let model = Hashtbl.create 8 in
+      List.iter
+        (fun (subscribe, node) ->
+          if subscribe then begin
+            Rendezvous.subscribe r topic ~subscriber:node;
+            Hashtbl.replace model node ()
+          end
+          else begin
+            Rendezvous.unsubscribe r topic ~subscriber:node;
+            Hashtbl.remove model node
+          end)
+        ops;
+      let expected =
+        List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) model [])
+      in
+      Rendezvous.subscribers r topic = expected)
+
+let () =
+  Alcotest.run "pubsub-props"
+    [
+      ( "system",
+        [
+          QCheck_alcotest.to_alcotest prop_delivered_subset_of_subscribers;
+          QCheck_alcotest.to_alcotest prop_publish_deterministic;
+          QCheck_alcotest.to_alcotest prop_unsubscribe_shrinks_tree;
+          QCheck_alcotest.to_alcotest prop_rendezvous_counts_consistent;
+        ] );
+    ]

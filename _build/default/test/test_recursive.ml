@@ -1,0 +1,249 @@
+(* Tests for Lipsin_topology.Weights (Dijkstra trees),
+   Lipsin_recursive.Overlay (LIPSIN over LIPSIN) and
+   Lipsin_pubsub.Scope (hierarchical rendezvous scopes). *)
+
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Weights = Lipsin_topology.Weights
+module Generator = Lipsin_topology.Generator
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Lit = Lipsin_bloom.Lit
+module Overlay = Lipsin_recursive.Overlay
+module Scope = Lipsin_pubsub.Scope
+module Topic = Lipsin_pubsub.Topic
+module Rendezvous = Lipsin_pubsub.Rendezvous
+module System = Lipsin_pubsub.System
+module Rng = Lipsin_util.Rng
+
+(* ---- Weights ---- *)
+
+(*      0 --1-- 1 --1-- 2
+        \_______10_____/      triangle: heavy direct edge 0-2 *)
+let weighted_triangle () =
+  let g = Graph.create ~nodes:3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  Graph.add_edge g 0 2;
+  let w =
+    Weights.of_function g (fun l ->
+        let pair = (min l.Graph.src l.Graph.dst, max l.Graph.src l.Graph.dst) in
+        if pair = (0, 2) then 10.0 else 1.0)
+  in
+  (g, w)
+
+let test_dijkstra_prefers_light_path () =
+  let _, w = weighted_triangle () in
+  let dist, parents = Weights.dijkstra w ~root:0 in
+  Alcotest.(check (float 1e-9)) "0->2 via 1 costs 2" 2.0 dist.(2);
+  Alcotest.(check int) "2's parent is 1, not 0" 1 parents.(2);
+  let path = Weights.path_to w ~parents 2 in
+  Alcotest.(check int) "two hops" 2 (List.length path)
+
+let test_unweighted_bfs_differs () =
+  (* The same query unweighted takes the direct heavy edge: weights
+     genuinely change trees. *)
+  let g, _ = weighted_triangle () in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 2 ] in
+  Alcotest.(check int) "BFS takes the one-hop edge" 1 (List.length tree)
+
+let test_weighted_delivery_tree_dedups () =
+  let g, w = weighted_triangle () in
+  ignore g;
+  let tree = Weights.delivery_tree w ~root:0 ~subscribers:[ 1; 2 ] in
+  Alcotest.(check int) "shared prefix deduplicated" 2 (List.length tree);
+  Alcotest.(check (float 1e-9)) "tree cost" 2.0 (Weights.tree_cost w tree)
+
+let test_weights_symmetric_random () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 331) ~nodes:20 ~edges:32 ~max_degree:8 ()
+  in
+  let w = Weights.random g (Rng.of_int 337) ~min:1.0 ~max:10.0 in
+  Graph.iter_links g (fun l ->
+      let r = Graph.reverse_link g l in
+      Alcotest.(check (float 1e-9)) "symmetric" (Weights.weight w l)
+        (Weights.weight w r);
+      Alcotest.(check bool) "in range" true
+        (Weights.weight w l >= 1.0 && Weights.weight w l <= 10.0))
+
+let test_weights_validate () =
+  let g = Graph.create ~nodes:2 in
+  Graph.add_edge g 0 1;
+  Alcotest.check_raises "zero uniform" (Invalid_argument "Weights: weights must be positive")
+    (fun () -> ignore (Weights.uniform g 0.0));
+  Alcotest.check_raises "bad range" (Invalid_argument "Weights.random: need 0 < min <= max")
+    (fun () -> ignore (Weights.random g (Rng.of_int 1) ~min:5.0 ~max:1.0))
+
+let prop_dijkstra_matches_bfs_on_uniform =
+  QCheck.Test.make ~name:"uniform Dijkstra distances = BFS hop counts" ~count:50
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let g =
+        Generator.waxman ~rng:(Rng.of_int seed) ~nodes:18 ~edges:30 ~max_degree:8 ()
+      in
+      let w = Weights.uniform g 1.0 in
+      let dist, _ = Weights.dijkstra w ~root:0 in
+      let hops = Spt.distances g ~root:0 in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun v d ->
+             if hops.(v) = max_int then d = infinity
+             else Float.abs (d -. float_of_int hops.(v)) < 1e-9)
+           dist))
+
+(* ---- Overlay ---- *)
+
+let overlay_fixture () =
+  let underlay_graph = As_presets.ta2 () in
+  let underlay = Assignment.make Lit.default (Rng.of_int 347) underlay_graph in
+  (* A 5-node overlay ring over spread-out attach points. *)
+  let attach = [| 0; 13; 26; 39; 52 |] in
+  let edges = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] in
+  match Overlay.create ~underlay ~attach ~edges () with
+  | Ok o -> o
+  | Error e -> Alcotest.fail e
+
+let test_overlay_create_validates () =
+  let underlay_graph = As_presets.ta2 () in
+  let underlay = Assignment.make Lit.default (Rng.of_int 349) underlay_graph in
+  (match Overlay.create ~underlay ~attach:[| 0 |] ~edges:[] () with
+  | Error msg -> Alcotest.(check string) "too small" "overlay needs at least two nodes" msg
+  | Ok _ -> Alcotest.fail "one-node overlay accepted");
+  match Overlay.create ~underlay ~attach:[| 0; 9999 |] ~edges:[ (0, 1) ] () with
+  | Error msg ->
+    Alcotest.(check string) "bad attach" "attach point outside the underlay" msg
+  | Ok _ -> Alcotest.fail "bad attach accepted"
+
+let test_overlay_structure () =
+  let o = overlay_fixture () in
+  Alcotest.(check int) "5 overlay nodes" 5 (Graph.node_count (Overlay.overlay_graph o));
+  Alcotest.(check int) "ring edges" 5 (Graph.edge_count (Overlay.overlay_graph o));
+  Alcotest.(check int) "attach point" 26 (Overlay.attach_point o 2)
+
+let test_overlay_publish_delivers () =
+  let o = overlay_fixture () in
+  match Overlay.publish o ~src:0 ~subscribers:[ 2; 3 ] with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+    Alcotest.(check (list int)) "both overlay subscribers" [ 2; 3 ]
+      (List.sort compare d.Overlay.delivered);
+    Alcotest.(check bool) "underlay cost counted" true (d.Overlay.underlay_traversals > 0);
+    Alcotest.(check bool) "overlay hops counted" true
+      (d.Overlay.overlay_traversals >= 2);
+    (* Stacking a layer can only cost extra underlay hops. *)
+    Alcotest.(check bool) "stretch >= 1" true (d.Overlay.stretch >= 1.0)
+
+let test_overlay_no_subscribers () =
+  let o = overlay_fixture () in
+  match Overlay.publish o ~src:1 ~subscribers:[ 1 ] with
+  | Error msg -> Alcotest.(check string) "self only" "no overlay subscribers" msg
+  | Ok _ -> Alcotest.fail "must require subscribers"
+
+let test_overlay_independent_assignments () =
+  (* The overlay's LITs are one layer up: an overlay zFilter must not
+     accidentally be built from underlay tags. *)
+  let o = overlay_fixture () in
+  let overlay_asg = Overlay.assignment o in
+  Alcotest.(check int) "overlay assignment sized to overlay" 10
+    (Assignment.link_count overlay_asg)
+
+(* ---- Scope ---- *)
+
+let test_scope_parse_roundtrip () =
+  Alcotest.(check (list string)) "parse" [ "sports"; "football" ]
+    (Scope.parse "/sports/football");
+  Alcotest.(check string) "to_string" "/sports/football"
+    (Scope.to_string [ "sports"; "football" ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Scope.parse: empty string")
+    (fun () -> ignore (Scope.parse ""))
+
+let test_scope_topic_matches_flat_naming () =
+  (* Scope-derived ids agree with Topic.of_string on the rendered
+     path, so scoped and flat publishers interoperate. *)
+  let t1 = Scope.topic_of_path [ "a"; "b" ] in
+  let t2 = Topic.of_string "/a/b" in
+  Alcotest.(check bool) "same id" true (Topic.equal t1 t2)
+
+let test_scope_subscription_covers_descendants () =
+  let s = Scope.create () in
+  ignore (Scope.declare s [ "sports"; "football"; "scores" ]);
+  ignore (Scope.declare s [ "sports"; "tennis" ]);
+  ignore (Scope.declare s [ "news"; "world" ]);
+  Scope.subscribe_scope s [ "sports" ] ~subscriber:7;
+  Scope.subscribe_scope s [ "sports"; "tennis" ] ~subscriber:9;
+  Alcotest.(check (list int)) "deep topic covered by ancestor" [ 7 ]
+    (Scope.subscribers_of s [ "sports"; "football"; "scores" ]);
+  Alcotest.(check (list int)) "tennis covered by both" [ 7; 9 ]
+    (Scope.subscribers_of s [ "sports"; "tennis" ]);
+  Alcotest.(check (list int)) "news uncovered" []
+    (Scope.subscribers_of s [ "news"; "world" ]);
+  Scope.unsubscribe_scope s [ "sports" ] ~subscriber:7;
+  Alcotest.(check (list int)) "unsubscribed" [ 9 ]
+    (Scope.subscribers_of s [ "sports"; "tennis" ])
+
+let test_scope_covers_future_topics () =
+  let s = Scope.create () in
+  Scope.subscribe_scope s [ "logs" ] ~subscriber:3;
+  ignore (Scope.declare s [ "logs"; "node42"; "errors" ]);
+  Alcotest.(check (list int)) "later topic covered" [ 3 ]
+    (Scope.subscribers_of s [ "logs"; "node42"; "errors" ])
+
+let test_scope_topics_under () =
+  let s = Scope.create () in
+  ignore (Scope.declare s [ "a"; "x" ]);
+  ignore (Scope.declare s [ "a"; "y"; "z" ]);
+  ignore (Scope.declare s [ "b" ]);
+  Alcotest.(check int) "all topics" 3 (List.length (Scope.topics_under s []));
+  Alcotest.(check int) "under /a" 2 (List.length (Scope.topics_under s [ "a" ]))
+
+let test_scope_sync_rendezvous_end_to_end () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 353) ~nodes:25 ~edges:40 ~max_degree:8 ()
+  in
+  let sys = System.create ~seed:5 g in
+  let s = Scope.create () in
+  let topic = Scope.declare s [ "metrics"; "cpu" ] in
+  Scope.subscribe_scope s [ "metrics" ] ~subscriber:11;
+  Scope.subscribe_scope s [ "metrics" ] ~subscriber:19;
+  Scope.sync_rendezvous s (System.rendezvous sys);
+  System.advertise sys topic ~publisher:0;
+  match System.publish sys topic ~publisher:0 ~payload:"95%" with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    Alcotest.(check (list int)) "scope subscribers got the publication" [ 11; 19 ]
+      (List.sort compare r.System.delivered_to)
+
+let () =
+  Alcotest.run "recursive-weights-scope"
+    [
+      ( "weights",
+        [
+          Alcotest.test_case "dijkstra light path" `Quick test_dijkstra_prefers_light_path;
+          Alcotest.test_case "bfs differs" `Quick test_unweighted_bfs_differs;
+          Alcotest.test_case "weighted tree" `Quick test_weighted_delivery_tree_dedups;
+          Alcotest.test_case "symmetric random" `Quick test_weights_symmetric_random;
+          Alcotest.test_case "validate" `Quick test_weights_validate;
+          QCheck_alcotest.to_alcotest prop_dijkstra_matches_bfs_on_uniform;
+        ] );
+      ( "overlay",
+        [
+          Alcotest.test_case "create validates" `Quick test_overlay_create_validates;
+          Alcotest.test_case "structure" `Quick test_overlay_structure;
+          Alcotest.test_case "publish delivers" `Quick test_overlay_publish_delivers;
+          Alcotest.test_case "no subscribers" `Quick test_overlay_no_subscribers;
+          Alcotest.test_case "independent assignment" `Quick
+            test_overlay_independent_assignments;
+        ] );
+      ( "scope",
+        [
+          Alcotest.test_case "parse roundtrip" `Quick test_scope_parse_roundtrip;
+          Alcotest.test_case "flat naming interop" `Quick
+            test_scope_topic_matches_flat_naming;
+          Alcotest.test_case "covers descendants" `Quick
+            test_scope_subscription_covers_descendants;
+          Alcotest.test_case "covers future topics" `Quick test_scope_covers_future_topics;
+          Alcotest.test_case "topics under" `Quick test_scope_topics_under;
+          Alcotest.test_case "sync rendezvous e2e" `Quick
+            test_scope_sync_rendezvous_end_to_end;
+        ] );
+    ]

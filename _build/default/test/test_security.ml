@@ -1,0 +1,120 @@
+(* Tests for Lipsin_security.Attacks. *)
+
+module Attacks = Lipsin_security.Attacks
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module Assignment = Lipsin_core.Assignment
+module Net = Lipsin_sim.Net
+module Rng = Lipsin_util.Rng
+
+let setup () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 29) ~nodes:40 ~edges:70 ~max_degree:12 ()
+  in
+  let asg = Assignment.make Lit.default (Rng.of_int 31) g in
+  (g, asg, Net.make asg)
+
+let hub g =
+  Graph.fold_nodes g ~init:0 ~f:(fun best v ->
+      if Graph.out_degree g v > Graph.out_degree g best then v else best)
+
+let test_contamination_full_filter_floods_but_dropped () =
+  let g, _, net = setup () in
+  let node = hub g in
+  let o = Attacks.contamination net ~node ~fill:1.0 ~rng:(Rng.of_int 1) in
+  Alcotest.(check int) "all-ones matches every port" o.Attacks.total_links
+    o.Attacks.links_matched;
+  Alcotest.(check bool) "but the fill limit drops it" true o.Attacks.dropped_by_limit
+
+let test_contamination_low_fill_passes_quietly () =
+  let g, _, net = setup () in
+  let node = hub g in
+  let o = Attacks.contamination net ~node ~fill:0.3 ~rng:(Rng.of_int 2) in
+  Alcotest.(check bool) "under the limit, not dropped" false o.Attacks.dropped_by_limit;
+  (* rho^k at 0.3 is 0.24%: flooding is statistically negligible. *)
+  Alcotest.(check bool) "matches almost nothing" true
+    (o.Attacks.links_matched <= 1)
+
+let test_random_probe_tracks_rho_k () =
+  let _, asg, _ = setup () in
+  List.iter
+    (fun fill ->
+      let measured =
+        Attacks.random_probe_match_rate asg ~fill ~trials:30 ~rng:(Rng.of_int 3)
+      in
+      let predicted = fill ** 5.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "rho=%.1f within 2x of prediction" fill)
+        true
+        (measured <= (2.0 *. predicted) +. 0.002))
+    [ 0.3; 0.5; 0.7 ]
+
+let test_lit_learning_converges () =
+  let g, asg, _ = setup () in
+  let uplink = List.hd (Graph.out_links g (hub g)) in
+  let o32 =
+    Attacks.lit_learning asg ~uplink ~table:0 ~observations:32 ~rng:(Rng.of_int 4)
+  in
+  Alcotest.(check bool) "32 observations recover the LIT" true
+    o32.Attacks.inferred_exactly;
+  Alcotest.(check int) "no surplus" 0 o32.Attacks.surplus_bits
+
+let test_lit_learning_single_observation_noisy () =
+  let g, asg, _ = setup () in
+  let uplink = List.hd (Graph.out_links g (hub g)) in
+  let o1 =
+    Attacks.lit_learning asg ~uplink ~table:0 ~observations:1 ~rng:(Rng.of_int 5)
+  in
+  (* One observation is a whole zFilter: far more bits than the LIT. *)
+  Alcotest.(check bool) "single observation insufficient" false
+    o1.Attacks.inferred_exactly;
+  Alcotest.(check bool) "surplus bits present" true (o1.Attacks.surplus_bits > 0)
+
+let test_lit_learning_rejects_zero_observations () =
+  let g, asg, _ = setup () in
+  let uplink = List.hd (Graph.out_links g 0) in
+  Alcotest.check_raises "needs observations"
+    (Invalid_argument "Attacks.lit_learning: need observations") (fun () ->
+      ignore
+        (Attacks.lit_learning asg ~uplink ~table:0 ~observations:0
+           ~rng:(Rng.of_int 1)))
+
+let test_replay_dies_after_rekey () =
+  let g, asg, _ = setup () in
+  let tree = Lipsin_topology.Spt.delivery_tree g ~root:0 ~subscribers:[ 10; 20 ] in
+  let stolen =
+    (Lipsin_core.Candidate.build_one asg ~tree ~table:0).Lipsin_core.Candidate.zfilter
+  in
+  Alcotest.(check (float 1e-9)) "full reach at capture time" 1.0
+    (Attacks.replay_reach asg ~zfilter:stolen ~tree);
+  let rekeyed = Lipsin_core.Assignment.rekey asg (Rng.of_int 99) in
+  Alcotest.(check (float 1e-9)) "zero reach after rekey" 0.0
+    (Attacks.replay_reach rekeyed ~zfilter:stolen ~tree)
+
+let test_rekey_defeats_learning () =
+  let g, asg, _ = setup () in
+  let uplink = List.hd (Graph.out_links g (hub g)) in
+  Alcotest.(check bool) "rekeying invalidates stolen tag" true
+    (Attacks.rekey_defeats_learning asg ~uplink ~table:0 ~rng:(Rng.of_int 6))
+
+let () =
+  Alcotest.run "security"
+    [
+      ( "attacks",
+        [
+          Alcotest.test_case "contamination full filter" `Quick
+            test_contamination_full_filter_floods_but_dropped;
+          Alcotest.test_case "contamination low fill" `Quick
+            test_contamination_low_fill_passes_quietly;
+          Alcotest.test_case "random probe ~ rho^k" `Quick test_random_probe_tracks_rho_k;
+          Alcotest.test_case "learning converges" `Quick test_lit_learning_converges;
+          Alcotest.test_case "single observation noisy" `Quick
+            test_lit_learning_single_observation_noisy;
+          Alcotest.test_case "rejects zero observations" `Quick
+            test_lit_learning_rejects_zero_observations;
+          Alcotest.test_case "replay dies after rekey" `Quick
+            test_replay_dies_after_rekey;
+          Alcotest.test_case "rekey defence" `Quick test_rekey_defeats_learning;
+        ] );
+    ]

@@ -1,0 +1,195 @@
+(* Tests for Lipsin_core.Split (multiple sending) and
+   Lipsin_core.Adaptive (variable filter width). *)
+
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Generator = Lipsin_topology.Generator
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Split = Lipsin_core.Split
+module Adaptive = Lipsin_core.Adaptive
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Rng = Lipsin_util.Rng
+
+let setup () =
+  let g = As_presets.as3257 () in
+  (g, Assignment.make Lit.default (Rng.of_int 41) g)
+
+let test_small_set_single_part () =
+  let g, asg = setup () in
+  ignore g;
+  match Split.plan asg ~root:0 ~subscribers:[ 10; 20; 30 ] with
+  | Error e -> Alcotest.fail e
+  | Ok parts ->
+    Alcotest.(check int) "one part suffices" 1 (List.length parts);
+    Alcotest.(check int) "no duplicates" 0 (Split.duplicate_traversals parts)
+
+let test_large_set_splits_under_limit () =
+  let g, asg = setup () in
+  let rng = Rng.of_int 43 in
+  let subscribers = Array.to_list (Rng.sample rng 80 (Graph.node_count g)) in
+  match Split.plan ~fill_limit:0.3 asg ~root:0 ~subscribers with
+  | Error e -> Alcotest.fail e
+  | Ok parts ->
+    Alcotest.(check bool) "several parts" true (List.length parts > 1);
+    List.iter
+      (fun p ->
+        Alcotest.(check bool) "part under limit" true
+          (Candidate.fill_factor p.Split.candidate <= 0.3))
+      parts;
+    (* Every subscriber is covered by exactly one part. *)
+    let covered = List.concat_map (fun p -> p.Split.subscribers) parts in
+    let wanted = List.sort_uniq compare (List.filter (fun s -> s <> 0) subscribers) in
+    Alcotest.(check (list int)) "all covered once" wanted
+      (List.sort compare covered)
+
+let test_split_parts_deliver () =
+  let g, asg = setup () in
+  let net = Net.make asg in
+  let rng = Rng.of_int 47 in
+  let subscribers = Array.to_list (Rng.sample rng 60 (Graph.node_count g)) in
+  match Split.plan ~fill_limit:0.35 asg ~root:5 ~subscribers with
+  | Error e -> Alcotest.fail e
+  | Ok parts ->
+    List.iter
+      (fun p ->
+        let o =
+          Run.deliver net ~src:5 ~table:p.Split.candidate.Candidate.table
+            ~zfilter:p.Split.candidate.Candidate.zfilter ~tree:p.Split.tree
+        in
+        Alcotest.(check bool) "part delivers its subscribers" true
+          (Run.all_reached o p.Split.subscribers))
+      parts
+
+let test_duplicates_counted () =
+  let g, asg = setup () in
+  ignore g;
+  let rng = Rng.of_int 53 in
+  let subscribers = Array.to_list (Rng.sample rng 70 (Graph.node_count g)) in
+  match Split.plan ~fill_limit:0.25 asg ~root:0 ~subscribers with
+  | Error e -> Alcotest.fail e
+  | Ok parts ->
+    if List.length parts > 1 then
+      (* Trees from the same root almost surely share first-hop links. *)
+      Alcotest.(check bool) "overlap exists and is counted" true
+        (Split.duplicate_traversals parts > 0);
+    Alcotest.(check bool) "total >= union" true
+      (Split.total_traversals parts
+      >= Split.total_traversals parts - Split.duplicate_traversals parts)
+
+let test_split_errors_on_empty () =
+  let _, asg = setup () in
+  match Split.plan asg ~root:3 ~subscribers:[ 3 ] with
+  | Error msg -> Alcotest.(check string) "empty" "no subscribers to split over" msg
+  | Ok _ -> Alcotest.fail "self-only must fail"
+
+let adaptive_setup () =
+  let g = As_presets.as6461 () in
+  (g, Adaptive.make ~d:8 ~k:5 (Rng.of_int 61) g)
+
+let test_adaptive_widths_share_nonces () =
+  let g, ad = adaptive_setup () in
+  let a120 = Adaptive.assignment ad ~m:120 in
+  let a504 = Adaptive.assignment ad ~m:504 in
+  let l = Graph.link g 0 in
+  Alcotest.(check int64) "same nonce at both widths"
+    (Lit.nonce (Assignment.lit a120 l))
+    (Lit.nonce (Assignment.lit a504 l))
+
+let test_adaptive_small_tree_uses_narrow () =
+  let g, ad = adaptive_setup () in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 1 ] in
+  match Adaptive.choose ad ~tree ~target_fpa:0.001 () with
+  | None -> Alcotest.fail "tiny tree must encode"
+  | Some c ->
+    Alcotest.(check int) "narrowest width" 120 c.Adaptive.m;
+    Alcotest.(check int) "20-byte header" 20 c.Adaptive.header_bytes
+
+let test_adaptive_large_tree_uses_wide () =
+  let g, ad = adaptive_setup () in
+  let rng = Rng.of_int 67 in
+  let picks = Rng.sample rng 33 (Graph.node_count g) in
+  let tree =
+    Spt.delivery_tree g ~root:picks.(0)
+      ~subscribers:(Array.to_list (Array.sub picks 1 32))
+  in
+  match Adaptive.choose ad ~tree ~target_fpa:0.0001 () with
+  | None -> Alcotest.fail "must fall back to widest"
+  | Some c -> Alcotest.(check bool) "wider than 120" true (c.Adaptive.m > 120)
+
+let test_adaptive_choice_delivers () =
+  let g, ad = adaptive_setup () in
+  let rng = Rng.of_int 71 in
+  let picks = Rng.sample rng 9 (Graph.node_count g) in
+  let root = picks.(0) in
+  let subscribers = Array.to_list (Array.sub picks 1 8) in
+  let tree = Spt.delivery_tree g ~root ~subscribers in
+  match Adaptive.choose ad ~tree ~target_fpa:0.01 () with
+  | None -> Alcotest.fail "must choose"
+  | Some c ->
+    let asg = Adaptive.assignment ad ~m:c.Adaptive.m in
+    let net = Net.make asg in
+    let o =
+      Run.deliver net ~src:root ~table:c.Adaptive.candidate.Candidate.table
+        ~zfilter:c.Adaptive.candidate.Candidate.zfilter ~tree
+    in
+    Alcotest.(check bool) "delivers at chosen width" true
+      (Run.all_reached o subscribers)
+
+let test_adaptive_validates () =
+  let g = As_presets.ta2 () in
+  Alcotest.check_raises "unsorted" (Invalid_argument "Adaptive.make: widths must be ascending")
+    (fun () -> ignore (Adaptive.make ~widths:[ 248; 120 ] ~d:2 ~k:5 (Rng.of_int 1) g));
+  let ad = Adaptive.make ~d:2 ~k:5 (Rng.of_int 1) g in
+  Alcotest.check_raises "unknown width"
+    (Invalid_argument "Adaptive.assignment: unsupported width") (fun () ->
+      ignore (Adaptive.assignment ad ~m:64))
+
+let prop_adaptive_monotone_header =
+  QCheck.Test.make ~name:"looser fpa target never widens the header" ~count:40
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let g =
+        Generator.pref_attach ~rng:(Rng.of_int seed) ~nodes:30 ~edges:50
+          ~max_degree:8 ()
+      in
+      let ad = Adaptive.make ~d:4 ~k:5 (Rng.of_int (seed + 1)) g in
+      let rng = Rng.of_int (seed + 2) in
+      let picks = Rng.sample rng 6 30 in
+      let tree =
+        Spt.delivery_tree g ~root:picks.(0)
+          ~subscribers:(Array.to_list (Array.sub picks 1 5))
+      in
+      match
+        ( Adaptive.choose ad ~tree ~target_fpa:0.0001 (),
+          Adaptive.choose ad ~tree ~target_fpa:0.1 () )
+      with
+      | Some strict, Some loose -> loose.Adaptive.m <= strict.Adaptive.m
+      | _ -> false)
+
+let () =
+  Alcotest.run "split-adaptive"
+    [
+      ( "split",
+        [
+          Alcotest.test_case "single part" `Quick test_small_set_single_part;
+          Alcotest.test_case "splits under limit" `Quick
+            test_large_set_splits_under_limit;
+          Alcotest.test_case "parts deliver" `Quick test_split_parts_deliver;
+          Alcotest.test_case "duplicates counted" `Quick test_duplicates_counted;
+          Alcotest.test_case "errors on empty" `Quick test_split_errors_on_empty;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "shared nonces" `Quick test_adaptive_widths_share_nonces;
+          Alcotest.test_case "narrow for small" `Quick test_adaptive_small_tree_uses_narrow;
+          Alcotest.test_case "wide for large" `Quick test_adaptive_large_tree_uses_wide;
+          Alcotest.test_case "choice delivers" `Quick test_adaptive_choice_delivers;
+          Alcotest.test_case "validates" `Quick test_adaptive_validates;
+          QCheck_alcotest.to_alcotest prop_adaptive_monotone_header;
+        ] );
+    ]

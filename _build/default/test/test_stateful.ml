@@ -1,0 +1,151 @@
+(* Tests for Lipsin_stateful: Virtual_link and Dense. *)
+
+module Bitvec = Lipsin_bitvec.Bitvec
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Generator = Lipsin_topology.Generator
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Node_engine = Lipsin_forwarding.Node_engine
+module Virtual_link = Lipsin_stateful.Virtual_link
+module Dense = Lipsin_stateful.Dense
+module Rng = Lipsin_util.Rng
+
+let setup () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 9) ~nodes:40 ~edges:70 ~max_degree:10 ()
+  in
+  let asg = Assignment.make Lit.default (Rng.of_int 10) g in
+  (g, asg, Net.make asg)
+
+let test_define_rejects_empty () =
+  let _, asg, _ = setup () in
+  Alcotest.check_raises "empty set"
+    (Invalid_argument "Virtual_link.define: empty link set") (fun () ->
+      ignore (Virtual_link.define asg (Rng.of_int 1) ~links:[]))
+
+let test_define_dense_tags_doubles_k () =
+  let _, asg, _ = setup () in
+  let g = Assignment.graph asg in
+  let links = [ Graph.link g 0 ] in
+  let dense = Virtual_link.define asg (Rng.of_int 2) ~links in
+  let plain = Virtual_link.define ~dense_tags:false asg (Rng.of_int 2) ~links in
+  Alcotest.(check int) "dense tag has 2k bits" 10
+    (Bitvec.popcount (Virtual_link.tag dense ~table:0));
+  Alcotest.(check int) "plain tag has k bits" 5
+    (Bitvec.popcount (Virtual_link.tag plain ~table:0))
+
+let test_install_places_state_on_sources () =
+  let g, asg, net = setup () in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 15; 25 ] in
+  let vl = Virtual_link.define asg (Rng.of_int 3) ~links:tree in
+  Virtual_link.install net vl;
+  List.iter
+    (fun node ->
+      Alcotest.(check bool) "state installed" true
+        (Node_engine.virtual_count (Net.engine net node) >= 1))
+    (Virtual_link.source_nodes vl);
+  Virtual_link.uninstall net vl;
+  List.iter
+    (fun node ->
+      Alcotest.(check int) "state removed" 0
+        (Node_engine.virtual_count (Net.engine net node)))
+    (Virtual_link.source_nodes vl)
+
+let test_virtual_link_delivery () =
+  let g, asg, net = setup () in
+  let subscribers = [ 12; 23; 34 ] in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers in
+  let vl = Virtual_link.define asg (Rng.of_int 4) ~links:tree in
+  Virtual_link.install net vl;
+  (* The zFilter contains ONLY the virtual link's tag, not the tree. *)
+  let z = Zfilter.of_tags ~m:248 [ Virtual_link.tag vl ~table:0 ] in
+  let o = Run.deliver net ~src:0 ~table:0 ~zfilter:z ~tree in
+  Virtual_link.uninstall net vl;
+  Alcotest.(check bool) "single tag delivers whole tree" true
+    (Run.all_reached o subscribers);
+  Alcotest.(check bool) "fill far below stateless encoding" true
+    (Zfilter.fill_factor z < 0.1)
+
+let test_dense_plan_structure () =
+  let _, asg, _ = setup () in
+  let subscribers = List.init 12 (fun i -> 3 * (i + 1)) in
+  let plan = Dense.plan asg (Rng.of_int 5) ~publisher:0 ~subscribers ~cores:3 in
+  Alcotest.(check bool) "cores chosen" true (plan.Dense.cores <> []);
+  Alcotest.(check bool) "at most 3 cores" true (List.length plan.Dense.cores <= 3);
+  Alcotest.(check bool) "virtuals exist" true (plan.Dense.virtuals <> []);
+  Alcotest.(check bool) "reference tree nonempty" true
+    (plan.Dense.reference_tree <> [])
+
+let test_dense_plan_rejects () =
+  let _, asg, _ = setup () in
+  Alcotest.check_raises "no subscribers"
+    (Invalid_argument "Dense.plan: no subscribers") (fun () ->
+      ignore (Dense.plan asg (Rng.of_int 1) ~publisher:0 ~subscribers:[] ~cores:2));
+  Alcotest.check_raises "no cores" (Invalid_argument "Dense.plan: cores must be positive")
+    (fun () ->
+      ignore (Dense.plan asg (Rng.of_int 1) ~publisher:0 ~subscribers:[ 1 ] ~cores:0))
+
+let test_dense_execute_delivers_all () =
+  let g, asg, net = setup () in
+  let rng = Rng.of_int 6 in
+  let picks = Rng.sample rng 16 (Graph.node_count g) in
+  let publisher = picks.(0) in
+  let subscribers = Array.to_list (Array.sub picks 1 15) in
+  let plan = Dense.plan asg rng ~publisher ~subscribers ~cores:3 in
+  let result = Dense.execute net plan ~table:0 in
+  Alcotest.(check bool) "all delivered" true result.Dense.all_delivered;
+  Alcotest.(check bool) "stateful fill below stateless" true
+    (result.Dense.fill <= result.Dense.stateless_fill);
+  Alcotest.(check bool) "efficiency sane" true (result.Dense.efficiency > 0.5)
+
+let test_dense_execute_cleans_up () =
+  let g, asg, net = setup () in
+  let subscribers = List.init 10 (fun i -> i + 5) in
+  let plan = Dense.plan asg (Rng.of_int 7) ~publisher:0 ~subscribers ~cores:2 in
+  ignore (Dense.execute net plan ~table:0);
+  for v = 0 to Graph.node_count g - 1 do
+    Alcotest.(check int) "no residual virtual state" 0
+      (Node_engine.virtual_count (Net.engine net v))
+  done
+
+let test_dense_on_as_topology_high_efficiency () =
+  (* The Fig. 6 claim at 30% coverage on AS1221. *)
+  let g = As_presets.as1221 () in
+  let asg = Assignment.make Lit.default (Rng.of_int 11) g in
+  let net = Net.make asg in
+  let rng = Rng.of_int 13 in
+  let count = Graph.node_count g * 3 / 10 in
+  let picks = Rng.sample rng (count + 1) (Graph.node_count g) in
+  let publisher = picks.(0) in
+  let subscribers = Array.to_list (Array.sub picks 1 count) in
+  let plan = Dense.plan asg rng ~publisher ~subscribers ~cores:(max 2 (count / 8)) in
+  let result = Dense.execute net plan ~table:0 in
+  Alcotest.(check bool) "delivers" true result.Dense.all_delivered;
+  Alcotest.(check bool) "efficiency above 90%" true (result.Dense.efficiency > 0.9)
+
+let () =
+  Alcotest.run "stateful"
+    [
+      ( "virtual_link",
+        [
+          Alcotest.test_case "rejects empty" `Quick test_define_rejects_empty;
+          Alcotest.test_case "dense tags" `Quick test_define_dense_tags_doubles_k;
+          Alcotest.test_case "install/uninstall" `Quick
+            test_install_places_state_on_sources;
+          Alcotest.test_case "delivery via one tag" `Quick test_virtual_link_delivery;
+        ] );
+      ( "dense",
+        [
+          Alcotest.test_case "plan structure" `Quick test_dense_plan_structure;
+          Alcotest.test_case "plan rejects" `Quick test_dense_plan_rejects;
+          Alcotest.test_case "execute delivers" `Quick test_dense_execute_delivers_all;
+          Alcotest.test_case "execute cleans up" `Quick test_dense_execute_cleans_up;
+          Alcotest.test_case "fig6 efficiency" `Quick
+            test_dense_on_as_topology_high_efficiency;
+        ] );
+    ]

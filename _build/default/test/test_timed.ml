@@ -1,0 +1,190 @@
+(* Tests for Lipsin_sim.Timed (time-domain delivery) and
+   Lipsin_sim.Load (congestion accounting + avoidance selection). *)
+
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Generator = Lipsin_topology.Generator
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Select = Lipsin_core.Select
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Timed = Lipsin_sim.Timed
+module Load = Lipsin_sim.Load
+module Stats = Lipsin_util.Stats
+module Rng = Lipsin_util.Rng
+
+let line_setup n =
+  let g = Graph.create ~nodes:n in
+  for v = 0 to n - 2 do
+    Graph.add_edge g v (v + 1)
+  done;
+  let asg = Assignment.make Lit.default (Rng.of_int 1) g in
+  (g, asg, Net.make asg)
+
+let test_timed_line_latency_affine () =
+  let g, asg, net = line_setup 6 in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 5 ] in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  let arrivals = Timed.deliver net ~src:0 ~table:0 ~zfilter:c.Candidate.zfilter in
+  let per_hop = Timed.default.Timed.node_us +. Timed.default.Timed.link_us in
+  List.iter
+    (fun a ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "node %d at depth*per_hop" a.Timed.node)
+        (float_of_int a.Timed.depth *. per_hop)
+        a.Timed.time_us)
+    arrivals;
+  Alcotest.(check (option (float 1e-9))) "5 hops away" (Some (5.0 *. per_hop))
+    (Timed.latency_to arrivals 5)
+
+let test_timed_source_at_zero () =
+  let g, asg, net = line_setup 4 in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 3 ] in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  let arrivals = Timed.deliver net ~src:0 ~table:0 ~zfilter:c.Candidate.zfilter in
+  match arrivals with
+  | first :: _ ->
+    Alcotest.(check int) "source first" 0 first.Timed.node;
+    Alcotest.(check (float 1e-9)) "at zero" 0.0 first.Timed.time_us
+  | [] -> Alcotest.fail "source must arrive"
+
+let test_timed_branching_is_parallel () =
+  (* Star: all leaves arrive at the same instant — hardware fan-out. *)
+  let g = Graph.create ~nodes:5 in
+  for leaf = 1 to 4 do
+    Graph.add_edge g 0 leaf
+  done;
+  let asg = Assignment.make Lit.default (Rng.of_int 2) g in
+  let net = Net.make asg in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 1; 2; 3; 4 ] in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  let arrivals = Timed.deliver net ~src:0 ~table:0 ~zfilter:c.Candidate.zfilter in
+  match Timed.subscriber_latencies arrivals [ 1; 2; 3; 4 ] with
+  | None -> Alcotest.fail "all leaves reached"
+  | Some s ->
+    Alcotest.(check (float 1e-9)) "zero spread" 0.0 (s.Stats.max -. s.Stats.min)
+
+let test_timed_unreached_subscriber () =
+  let g, asg, net = line_setup 5 in
+  ignore g;
+  ignore asg;
+  let empty = Lipsin_bloom.Zfilter.create ~m:248 in
+  let arrivals = Timed.deliver net ~src:0 ~table:0 ~zfilter:empty in
+  Alcotest.(check bool) "nobody else reached" true
+    (Timed.subscriber_latencies arrivals [ 4 ] = None)
+
+let test_timed_overlay_slower () =
+  let g = As_presets.as6461 () in
+  let asg = Assignment.make Lit.default (Rng.of_int 3) g in
+  let net = Net.make asg in
+  let rng = Rng.of_int 5 in
+  let picks = Rng.sample rng 4 (Graph.node_count g) in
+  let src = picks.(0) and dst = picks.(1) in
+  let relays = [ picks.(2); picks.(3) ] in
+  let tree = Spt.delivery_tree g ~root:src ~subscribers:[ dst ] in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  let arrivals = Timed.deliver net ~src ~table:0 ~zfilter:c.Candidate.zfilter in
+  match Timed.latency_to arrivals dst with
+  | None -> Alcotest.fail "direct delivery must reach"
+  | Some native ->
+    let overlay = Timed.overlay_equivalent_latency g ~src ~relays ~dst in
+    Alcotest.(check bool) "native beats overlay detour" true (native < overlay)
+
+let test_load_accounting () =
+  let g, asg, net = line_setup 5 in
+  let load = Load.create g in
+  Alcotest.(check int) "empty" 0 (Load.total load);
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 4 ] in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  let o = Run.deliver net ~src:0 ~table:0 ~zfilter:c.Candidate.zfilter ~tree in
+  Load.record load o;
+  Load.record load o;
+  Alcotest.(check int) "two passes over 4 links" 8 (Load.total load);
+  Alcotest.(check int) "max load 2" 2 (Load.max_load load);
+  List.iter
+    (fun l -> Alcotest.(check int) "each tree link loaded twice" 2 (Load.of_link load l))
+    tree;
+  Load.reset load;
+  Alcotest.(check int) "reset" 0 (Load.total load)
+
+let test_load_hottest_and_congested () =
+  let g = Graph.create ~nodes:4 in
+  List.iter (fun (u, v) -> Graph.add_edge g u v) [ (0, 1); (1, 2); (2, 3); (3, 0) ];
+  let load = Load.create g in
+  let l01 = Option.get (Graph.find_link g ~src:0 ~dst:1) in
+  let l12 = Option.get (Graph.find_link g ~src:1 ~dst:2) in
+  Load.record_tree load [ l01; l12 ];
+  Load.record_tree load [ l01 ];
+  Load.record_tree load [ l01 ];
+  (match Load.hottest load ~count:1 with
+  | [ hot ] -> Alcotest.(check int) "hottest is 0->1" l01.Graph.index hot.Graph.index
+  | _ -> Alcotest.fail "exactly one");
+  let congested = Load.congested load ~threshold:0.9 in
+  Alcotest.(check int) "only the 3-load link above 90% of max" 1
+    (List.length congested);
+  let relaxed = Load.congested load ~threshold:0.2 in
+  Alcotest.(check int) "both loaded links above 20%" 2 (List.length relaxed)
+
+let test_congestion_avoidance_shifts_traffic () =
+  (* With the hot links as the avoidance Tset, weighted selection picks
+     candidates whose false positives fall elsewhere — end to end this
+     should never pick a WORSE candidate for the hot set. *)
+  let g = As_presets.as3257 () in
+  let asg = Assignment.make Lit.paper_variable (Rng.of_int 7) g in
+  let rng = Rng.of_int 11 in
+  let load = Load.create g in
+  (* Warm the load map with background traffic. *)
+  for _ = 1 to 50 do
+    let picks = Rng.sample rng 6 (Graph.node_count g) in
+    let tree =
+      Spt.delivery_tree g ~root:picks.(0)
+        ~subscribers:(Array.to_list (Array.sub picks 1 5))
+    in
+    Load.record_tree load tree
+  done;
+  let hot = Load.hottest load ~count:20 in
+  let weight = Select.avoid_set hot in
+  let worse = ref 0 and total = ref 0 in
+  for _ = 1 to 30 do
+    let picks = Rng.sample rng 10 (Graph.node_count g) in
+    let tree =
+      Spt.delivery_tree g ~root:picks.(0)
+        ~subscribers:(Array.to_list (Array.sub picks 1 9))
+    in
+    let candidates = Candidate.build asg ~tree in
+    let test = Select.default_test_set asg ~tree in
+    match
+      ( Select.select_weighted asg candidates ~test ~weight,
+        Select.select_fpa candidates )
+    with
+    | Some avoiding, Some plain ->
+      incr total;
+      let penalty c = Select.weighted_false_positives asg c ~test ~weight in
+      if penalty avoiding > penalty plain then incr worse
+    | _ -> ()
+  done;
+  Alcotest.(check int) "avoidance never increases hot-set penalty" 0 !worse;
+  Alcotest.(check bool) "enough samples" true (!total >= 25)
+
+let () =
+  Alcotest.run "timed-load"
+    [
+      ( "timed",
+        [
+          Alcotest.test_case "line affine" `Quick test_timed_line_latency_affine;
+          Alcotest.test_case "source at zero" `Quick test_timed_source_at_zero;
+          Alcotest.test_case "parallel branching" `Quick test_timed_branching_is_parallel;
+          Alcotest.test_case "unreached" `Quick test_timed_unreached_subscriber;
+          Alcotest.test_case "overlay slower" `Quick test_timed_overlay_slower;
+        ] );
+      ( "load",
+        [
+          Alcotest.test_case "accounting" `Quick test_load_accounting;
+          Alcotest.test_case "hottest/congested" `Quick test_load_hottest_and_congested;
+          Alcotest.test_case "avoidance shifts traffic" `Quick
+            test_congestion_avoidance_shifts_traffic;
+        ] );
+    ]

@@ -1,0 +1,339 @@
+(* Tests for Lipsin_topology: Graph, Spt, Metrics, Generator,
+   As_presets, Edge_list. *)
+
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Metrics = Lipsin_topology.Metrics
+module Generator = Lipsin_topology.Generator
+module As_presets = Lipsin_topology.As_presets
+module Edge_list = Lipsin_topology.Edge_list
+module Rng = Lipsin_util.Rng
+
+(* A small fixed graph used across tests:
+     0 - 1 - 2
+     |       |
+     3 ----- 4 - 5          *)
+let sample_graph () =
+  let g = Graph.create ~nodes:6 in
+  List.iter (fun (u, v) -> Graph.add_edge g u v)
+    [ (0, 1); (1, 2); (0, 3); (3, 4); (2, 4); (4, 5) ];
+  g
+
+let test_counts () =
+  let g = sample_graph () in
+  Alcotest.(check int) "nodes" 6 (Graph.node_count g);
+  Alcotest.(check int) "edges" 6 (Graph.edge_count g);
+  Alcotest.(check int) "directed links" 12 (Graph.link_count g)
+
+let test_add_edge_errors () =
+  let g = sample_graph () in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> Graph.add_edge g 2 2);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.add_edge: duplicate edge")
+    (fun () -> Graph.add_edge g 0 1);
+  Alcotest.check_raises "range" (Invalid_argument "Graph: node out of range")
+    (fun () -> Graph.add_edge g 0 6)
+
+let test_out_links_and_degree () =
+  let g = sample_graph () in
+  Alcotest.(check int) "degree of 4" 3 (Graph.out_degree g 4);
+  Alcotest.(check (list int)) "neighbors of 4" [ 3; 2; 5 ] (Graph.neighbors g 4);
+  List.iter
+    (fun l -> Alcotest.(check int) "src correct" 4 l.Graph.src)
+    (Graph.out_links g 4)
+
+let test_links_indexing () =
+  let g = sample_graph () in
+  let links = Graph.links g in
+  Array.iteri
+    (fun i l -> Alcotest.(check int) "index matches position" i l.Graph.index)
+    links;
+  Alcotest.(check int) "link by index" 5 (Graph.link g 5).Graph.index
+
+let test_find_and_reverse () =
+  let g = sample_graph () in
+  match Graph.find_link g ~src:3 ~dst:4 with
+  | None -> Alcotest.fail "link 3->4 must exist"
+  | Some l ->
+    let r = Graph.reverse_link g l in
+    Alcotest.(check int) "reverse src" 4 r.Graph.src;
+    Alcotest.(check int) "reverse dst" 3 r.Graph.dst;
+    Alcotest.(check bool) "distinct index" true (r.Graph.index <> l.Graph.index)
+
+let test_bfs_parents_and_distances () =
+  let g = sample_graph () in
+  let dist = Spt.distances g ~root:0 in
+  Alcotest.(check (list int)) "hop counts" [ 0; 1; 2; 1; 2; 3 ] (Array.to_list dist);
+  let parents = Spt.bfs_parents g ~root:0 in
+  Alcotest.(check int) "root parent" (-1) parents.(0);
+  Alcotest.(check int) "1's parent" 0 parents.(1)
+
+let test_path_to () =
+  let g = sample_graph () in
+  let parents = Spt.bfs_parents g ~root:0 in
+  let path = Spt.path_to g parents 5 in
+  Alcotest.(check int) "path length = dist" 3 (List.length path);
+  (match path with
+  | first :: _ -> Alcotest.(check int) "starts at root" 0 first.Graph.src
+  | [] -> Alcotest.fail "path must not be empty");
+  let last = List.nth path (List.length path - 1) in
+  Alcotest.(check int) "ends at target" 5 last.Graph.dst
+
+let test_delivery_tree_covers_and_dedups () =
+  let g = sample_graph () in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 2; 5; 5 ] in
+  (* Paths 0-1-2 and 0-3-4-5 are disjoint: 5 links, no duplicates. *)
+  Alcotest.(check int) "5 links" 5 (List.length tree);
+  let idx = List.map (fun l -> l.Graph.index) tree in
+  Alcotest.(check int) "no duplicates" 5 (List.length (List.sort_uniq compare idx))
+
+let test_delivery_tree_root_subscriber () =
+  let g = sample_graph () in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 0 ] in
+  Alcotest.(check int) "self subscription adds nothing" 0 (List.length tree)
+
+let test_delivery_tree_unreachable () =
+  let g = Graph.create ~nodes:3 in
+  Graph.add_edge g 0 1;
+  Alcotest.check_raises "unreachable subscriber"
+    (Invalid_argument "Spt.delivery_tree: subscriber unreachable from root")
+    (fun () -> ignore (Spt.delivery_tree g ~root:0 ~subscribers:[ 2 ]))
+
+let test_tree_nodes () =
+  let g = sample_graph () in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 5 ] in
+  Alcotest.(check (list int)) "nodes on path" [ 0; 3; 4; 5 ] (Spt.tree_nodes tree)
+
+let test_is_connected () =
+  let g = sample_graph () in
+  Alcotest.(check bool) "connected" true (Spt.is_connected g);
+  let g2 = Graph.create ~nodes:4 in
+  Graph.add_edge g2 0 1;
+  Alcotest.(check bool) "disconnected" false (Spt.is_connected g2)
+
+let test_metrics_known_graph () =
+  let m = Metrics.compute (sample_graph ()) in
+  Alcotest.(check int) "diameter" 3 m.Metrics.diameter;
+  Alcotest.(check int) "radius" 2 m.Metrics.radius;
+  Alcotest.(check int) "max degree" 3 m.Metrics.max_degree;
+  Alcotest.(check int) "edges" 6 m.Metrics.edges
+
+let test_metrics_disconnected_raises () =
+  let g = Graph.create ~nodes:3 in
+  Graph.add_edge g 0 1;
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Metrics.eccentricity: graph disconnected") (fun () ->
+      ignore (Metrics.compute g))
+
+let test_degree_histogram () =
+  let h = Metrics.degree_histogram (sample_graph ()) in
+  (* degrees: 0:2 1:2 2:2 3:2 4:3 5:1 -> {1:1, 2:4, 3:1} *)
+  Alcotest.(check (list (pair int int))) "histogram" [ (1, 1); (2, 4); (3, 1) ] h
+
+let test_generator_pref_attach_counts () =
+  let g =
+    Generator.pref_attach ~rng:(Rng.of_int 1) ~nodes:60 ~edges:100 ~max_degree:12
+      ~chain_fraction:0.3 ()
+  in
+  Alcotest.(check int) "nodes" 60 (Graph.node_count g);
+  Alcotest.(check int) "edges" 100 (Graph.edge_count g);
+  Alcotest.(check bool) "connected" true (Spt.is_connected g);
+  for v = 0 to 59 do
+    Alcotest.(check bool) "degree cap" true (Graph.out_degree g v <= 12)
+  done
+
+let test_generator_waxman_counts () =
+  let g =
+    Generator.waxman ~rng:(Rng.of_int 2) ~nodes:40 ~edges:70 ~max_degree:10 ()
+  in
+  Alcotest.(check int) "nodes" 40 (Graph.node_count g);
+  Alcotest.(check int) "edges" 70 (Graph.edge_count g);
+  Alcotest.(check bool) "connected" true (Spt.is_connected g)
+
+let test_generator_ring () =
+  let g = Generator.ring ~nodes:8 in
+  Alcotest.(check int) "edges = nodes" 8 (Graph.edge_count g);
+  let m = Metrics.compute g in
+  Alcotest.(check int) "diameter n/2" 4 m.Metrics.diameter;
+  Alcotest.(check int) "all degree 2" 2 m.Metrics.max_degree;
+  Alcotest.check_raises "too small" (Invalid_argument "Generator.ring: need at least 3 nodes")
+    (fun () -> ignore (Generator.ring ~nodes:2))
+
+let test_generator_grid () =
+  let g = Generator.grid ~rows:3 ~cols:4 in
+  Alcotest.(check int) "nodes" 12 (Graph.node_count g);
+  (* 3*(4-1) horizontal + (3-1)*4 vertical = 17 edges. *)
+  Alcotest.(check int) "edges" 17 (Graph.edge_count g);
+  Alcotest.(check bool) "connected" true (Spt.is_connected g);
+  let m = Metrics.compute g in
+  Alcotest.(check int) "manhattan diameter" 5 m.Metrics.diameter
+
+let test_generator_fat_tree () =
+  let ft = Generator.fat_tree ~k:4 in
+  Alcotest.(check int) "hosts" 16 (List.length ft.Generator.hosts);
+  Alcotest.(check int) "switches" 20 (List.length ft.Generator.switches);
+  Alcotest.(check bool) "connected" true (Spt.is_connected ft.Generator.graph);
+  (* Any two hosts are within 6 hops (host-edge-agg-core-agg-edge-host). *)
+  let dist = Spt.distances ft.Generator.graph ~root:(List.hd ft.Generator.hosts) in
+  List.iter
+    (fun h -> Alcotest.(check bool) "within 6 hops" true (dist.(h) <= 6))
+    ft.Generator.hosts;
+  Alcotest.check_raises "odd k" (Invalid_argument "Generator.fat_tree: k must be even and >= 2")
+    (fun () -> ignore (Generator.fat_tree ~k:3))
+
+let test_generator_rejects_infeasible () =
+  Alcotest.check_raises "too few edges"
+    (Invalid_argument "Generator.pref_attach: need at least nodes-1 edges")
+    (fun () ->
+      ignore
+        (Generator.pref_attach ~rng:(Rng.of_int 1) ~nodes:10 ~edges:5
+           ~max_degree:4 ()))
+
+(* Regression pin: the preset topologies must keep matching the paper's
+   Table 1 node/link counts (the zFilter results depend on them). *)
+let test_presets_match_table1 () =
+  List.iter2
+    (fun (name, g) spec ->
+      Alcotest.(check int) (name ^ " nodes") spec.As_presets.nodes (Graph.node_count g);
+      Alcotest.(check int) (name ^ " links") spec.As_presets.edges (Graph.edge_count g);
+      let m = Metrics.compute g in
+      Alcotest.(check bool)
+        (name ^ " diameter within 1")
+        true
+        (abs (m.Metrics.diameter - spec.As_presets.diameter) <= 1);
+      Alcotest.(check bool)
+        (name ^ " radius within 1")
+        true
+        (abs (m.Metrics.radius - spec.As_presets.radius) <= 1))
+    (As_presets.all ()) As_presets.paper_table1
+
+let test_presets_deterministic () =
+  let a = As_presets.as1221 () and b = As_presets.as1221 () in
+  Alcotest.(check int) "same links" (Graph.link_count a) (Graph.link_count b);
+  let la = Graph.links a and lb = Graph.links b in
+  Array.iteri
+    (fun i l ->
+      Alcotest.(check bool) "identical link" true
+        (l.Graph.src = lb.(i).Graph.src && l.Graph.dst = lb.(i).Graph.dst))
+    la
+
+let test_by_name () =
+  Alcotest.(check int) "by name" 104 (Graph.node_count (As_presets.by_name "as1221"));
+  Alcotest.(check int) "numeric alias" 65 (Graph.node_count (As_presets.by_name "TA2"));
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "As_presets.by_name: unknown topology nope") (fun () ->
+      ignore (As_presets.by_name "nope"))
+
+let test_edge_list_roundtrip () =
+  let g = sample_graph () in
+  let g2 = Edge_list.of_string (Edge_list.to_string g) in
+  Alcotest.(check int) "nodes" (Graph.node_count g) (Graph.node_count g2);
+  Alcotest.(check int) "edges" (Graph.edge_count g) (Graph.edge_count g2);
+  Graph.iter_links g (fun l ->
+      Alcotest.(check bool) "edge preserved" true
+        (Graph.has_edge g2 l.Graph.src l.Graph.dst))
+
+let test_edge_list_comments_and_blank () =
+  let g = Edge_list.of_string "# comment\nnodes 3\n\n0 1\n# another\n1 2\n" in
+  Alcotest.(check int) "edges" 2 (Graph.edge_count g)
+
+let test_edge_list_rejects () =
+  Alcotest.check_raises "no header"
+    (Invalid_argument "Edge_list.of_string: missing 'nodes <n>' header") (fun () ->
+      ignore (Edge_list.of_string "0 1\n"));
+  Alcotest.check_raises "bad line"
+    (Invalid_argument "Edge_list.of_string: bad edge line: 0 x") (fun () ->
+      ignore (Edge_list.of_string "nodes 2\n0 x\n"))
+
+(* Properties over generated topologies. *)
+
+let prop_delivery_tree_reaches_all =
+  QCheck.Test.make ~name:"delivery tree spans all subscribers" ~count:100
+    QCheck.(pair small_nat (int_range 2 12))
+    (fun (seed, subs) ->
+      let g =
+        Generator.pref_attach ~rng:(Rng.of_int (seed + 1)) ~nodes:40 ~edges:60
+          ~max_degree:10 ()
+      in
+      let rng = Rng.of_int (seed + 1000) in
+      let picks = Rng.sample rng (subs + 1) 40 in
+      let root = picks.(0) in
+      let subscribers = Array.to_list (Array.sub picks 1 subs) in
+      let tree = Spt.delivery_tree g ~root ~subscribers in
+      let nodes = Spt.tree_nodes tree in
+      List.for_all (fun s -> s = root || List.mem s nodes) subscribers)
+
+let prop_tree_size_at_most_path_sum =
+  QCheck.Test.make ~name:"tree links <= sum of path lengths" ~count:100
+    QCheck.(pair small_nat (int_range 2 10))
+    (fun (seed, subs) ->
+      let g =
+        Generator.waxman ~rng:(Rng.of_int (seed + 3)) ~nodes:30 ~edges:50
+          ~max_degree:10 ()
+      in
+      let rng = Rng.of_int (seed + 2000) in
+      let picks = Rng.sample rng (subs + 1) 30 in
+      let root = picks.(0) in
+      let subscribers = Array.to_list (Array.sub picks 1 subs) in
+      let tree = Spt.delivery_tree g ~root ~subscribers in
+      let dist = Spt.distances g ~root in
+      let path_sum =
+        List.fold_left (fun acc s -> acc + dist.(s)) 0 subscribers
+      in
+      List.length tree <= path_sum)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "add_edge errors" `Quick test_add_edge_errors;
+          Alcotest.test_case "out links/degree" `Quick test_out_links_and_degree;
+          Alcotest.test_case "link indexing" `Quick test_links_indexing;
+          Alcotest.test_case "find/reverse" `Quick test_find_and_reverse;
+        ] );
+      ( "spt",
+        [
+          Alcotest.test_case "bfs parents/distances" `Quick
+            test_bfs_parents_and_distances;
+          Alcotest.test_case "path_to" `Quick test_path_to;
+          Alcotest.test_case "delivery tree" `Quick test_delivery_tree_covers_and_dedups;
+          Alcotest.test_case "root subscriber" `Quick test_delivery_tree_root_subscriber;
+          Alcotest.test_case "unreachable" `Quick test_delivery_tree_unreachable;
+          Alcotest.test_case "tree nodes" `Quick test_tree_nodes;
+          Alcotest.test_case "connectivity" `Quick test_is_connected;
+          QCheck_alcotest.to_alcotest prop_delivery_tree_reaches_all;
+          QCheck_alcotest.to_alcotest prop_tree_size_at_most_path_sum;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "known graph" `Quick test_metrics_known_graph;
+          Alcotest.test_case "disconnected raises" `Quick
+            test_metrics_disconnected_raises;
+          Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "pref_attach counts" `Quick
+            test_generator_pref_attach_counts;
+          Alcotest.test_case "waxman counts" `Quick test_generator_waxman_counts;
+          Alcotest.test_case "rejects infeasible" `Quick
+            test_generator_rejects_infeasible;
+          Alcotest.test_case "ring" `Quick test_generator_ring;
+          Alcotest.test_case "grid" `Quick test_generator_grid;
+          Alcotest.test_case "fat tree" `Quick test_generator_fat_tree;
+        ] );
+      ( "presets",
+        [
+          Alcotest.test_case "match Table 1" `Quick test_presets_match_table1;
+          Alcotest.test_case "deterministic" `Quick test_presets_deterministic;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+        ] );
+      ( "edge_list",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_edge_list_roundtrip;
+          Alcotest.test_case "comments/blank" `Quick test_edge_list_comments_and_blank;
+          Alcotest.test_case "rejects" `Quick test_edge_list_rejects;
+        ] );
+    ]

@@ -1,0 +1,233 @@
+(* Tests for Lipsin_util: Rng, Stats, Zipf. *)
+
+module Rng = Lipsin_util.Rng
+module Stats = Lipsin_util.Stats
+module Zipf = Lipsin_util.Zipf
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  Alcotest.(check bool) "different seeds differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_copy () =
+  let a = Rng.create 7L in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7L in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split stream differs" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects_bad_bound () =
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int (Rng.create 1L) 0))
+
+let test_rng_int_coverage () =
+  (* Every residue of a small bound appears over many draws. *)
+  let rng = Rng.create 5L in
+  let seen = Array.make 7 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 7) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 9L in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create 11L in
+  for _ = 1 to 50 do
+    let xs = Rng.sample rng 10 30 in
+    let sorted = List.sort_uniq compare (Array.to_list xs) in
+    Alcotest.(check int) "distinct" 10 (List.length sorted);
+    List.iter
+      (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 30))
+      sorted
+  done
+
+let test_rng_sample_full_range () =
+  let rng = Rng.create 13L in
+  let xs = Rng.sample rng 8 8 in
+  Alcotest.(check (list int)) "permutation of 0..7" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.sort compare (Array.to_list xs))
+
+let test_rng_sample_rejects () =
+  Alcotest.check_raises "n > bound"
+    (Invalid_argument "Rng.sample: need 0 <= n <= bound") (fun () ->
+      ignore (Rng.sample (Rng.create 1L) 5 3))
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 17L in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle rng a;
+  Alcotest.(check (list int)) "same multiset" (List.init 20 Fun.id)
+    (List.sort compare (Array.to_list a))
+
+let test_stats_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 (Stats.mean [||])
+
+let test_stats_stddev () =
+  Alcotest.(check (float 1e-9)) "stddev" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "single sample" 0.0 (Stats.stddev [| 5.0 |])
+
+let test_stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  Alcotest.(check (float 1e-9)) "p0 = min" 10.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100 = max" 40.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 25.0 (Stats.percentile xs 50.0)
+
+let test_stats_percentile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array")
+    (fun () -> ignore (Stats.percentile [||] 50.0));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p outside [0,100]") (fun () ->
+      ignore (Stats.percentile [| 1.0 |] 101.0))
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 4.0; 1.0; 3.0; 2.0 |] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean
+
+let test_stats_accumulator_matches_batch () =
+  let xs = Array.init 100 (fun i -> float_of_int (i * i) /. 7.0) in
+  let acc = Stats.accumulator () in
+  Array.iter (Stats.add acc) xs;
+  Alcotest.(check (float 1e-6)) "mean agrees" (Stats.mean xs) (Stats.acc_mean acc);
+  Alcotest.(check (float 1e-6)) "stddev agrees" (Stats.stddev xs) (Stats.acc_stddev acc);
+  Alcotest.(check int) "count" 100 (Stats.acc_count acc)
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.create ~n:50 ~s:1.0 in
+  let total = ref 0.0 in
+  for r = 1 to 50 do
+    total := !total +. Zipf.pmf z r
+  done;
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 !total
+
+let test_zipf_monotone () =
+  let z = Zipf.create ~n:20 ~s:1.2 in
+  for r = 1 to 19 do
+    Alcotest.(check bool) "pmf decreasing" true (Zipf.pmf z r >= Zipf.pmf z (r + 1))
+  done
+
+let test_zipf_draw_range () =
+  let z = Zipf.create ~n:10 ~s:1.0 in
+  let rng = Rng.create 23L in
+  for _ = 1 to 1000 do
+    let r = Zipf.draw z rng in
+    Alcotest.(check bool) "rank in [1,10]" true (r >= 1 && r <= 10)
+  done
+
+let test_zipf_rank_one_most_common () =
+  let z = Zipf.create ~n:100 ~s:1.0 in
+  let rng = Rng.create 29L in
+  let counts = Array.make 101 0 in
+  for _ = 1 to 5000 do
+    let r = Zipf.draw z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  let max_rank = ref 1 in
+  for r = 2 to 100 do
+    if counts.(r) > counts.(!max_rank) then max_rank := r
+  done;
+  Alcotest.(check int) "rank 1 drawn most" 1 !max_rank
+
+let test_zipf_rejects () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Zipf.create ~n:0 ~s:1.0))
+
+let test_zipf_subscriber_count_bounds () =
+  let z = Zipf.create ~n:1000 ~s:1.0 in
+  let rng = Rng.create 31L in
+  for _ = 1 to 500 do
+    let c = Zipf.subscriber_count z ~rng ~max_subscribers:64 in
+    Alcotest.(check bool) "1..64" true (c >= 1 && c <= 64)
+  done
+
+(* Property: Rng.int is within bounds for arbitrary positive bounds. *)
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:200
+    QCheck.(pair small_nat (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.of_int seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_sample_distinct =
+  QCheck.Test.make ~name:"sample yields distinct values" ~count:200
+    QCheck.(pair small_nat (int_range 1 200))
+    (fun (seed, bound) ->
+      let rng = Rng.of_int seed in
+      let n = min bound ((seed mod bound) + 1) in
+      let xs = Rng.sample rng n bound in
+      List.length (List.sort_uniq compare (Array.to_list xs)) = n)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      Stats.percentile a 25.0 <= Stats.percentile a 75.0)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_rng_int_rejects_bad_bound;
+          Alcotest.test_case "int coverage" `Quick test_rng_int_coverage;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+          Alcotest.test_case "sample full range" `Quick test_rng_sample_full_range;
+          Alcotest.test_case "sample rejects" `Quick test_rng_sample_rejects;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+          QCheck_alcotest.to_alcotest prop_sample_distinct;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile errors" `Quick test_stats_percentile_errors;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "accumulator" `Quick test_stats_accumulator_matches_batch;
+          QCheck_alcotest.to_alcotest prop_percentile_monotone;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "pmf sums to one" `Quick test_zipf_pmf_sums_to_one;
+          Alcotest.test_case "pmf monotone" `Quick test_zipf_monotone;
+          Alcotest.test_case "draw range" `Quick test_zipf_draw_range;
+          Alcotest.test_case "rank 1 most common" `Quick test_zipf_rank_one_most_common;
+          Alcotest.test_case "rejects bad n" `Quick test_zipf_rejects;
+          Alcotest.test_case "subscriber count bounds" `Quick
+            test_zipf_subscriber_count_bounds;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+(* Tests for Lipsin_workload.Scenario. *)
+
+module Scenario = Lipsin_workload.Scenario
+module Lit = Lipsin_bloom.Lit
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module Assignment = Lipsin_core.Assignment
+module Rng = Lipsin_util.Rng
+
+let sample_graph () =
+  Generator.pref_attach ~rng:(Rng.of_int 19) ~nodes:50 ~edges:85 ~max_degree:12 ()
+
+let test_sample_topic_bounds () =
+  let g = sample_graph () in
+  let rng = Rng.of_int 1 in
+  for _ = 1 to 200 do
+    let load = Scenario.sample_topic Scenario.default rng g in
+    Alcotest.(check bool) "rank in population" true
+      (load.Scenario.rank >= 1 && load.Scenario.rank <= Scenario.default.Scenario.topics);
+    Alcotest.(check bool) "publisher valid" true
+      (load.Scenario.publisher >= 0 && load.Scenario.publisher < 50);
+    Alcotest.(check bool) "at least one subscriber" true
+      (load.Scenario.subscribers <> []);
+    Alcotest.(check bool) "subscribers distinct from publisher" true
+      (not (List.mem load.Scenario.publisher load.Scenario.subscribers));
+    let uniq = List.sort_uniq compare load.Scenario.subscribers in
+    Alcotest.(check int) "subscribers distinct" (List.length uniq)
+      (List.length load.Scenario.subscribers)
+  done
+
+let test_sample_respects_max_subscribers () =
+  let g = sample_graph () in
+  let config = { Scenario.default with Scenario.max_subscribers = 5 } in
+  let loads = Scenario.sample config g ~n:100 in
+  Array.iter
+    (fun load ->
+      Alcotest.(check bool) "at most 5 subscribers" true
+        (List.length load.Scenario.subscribers <= 5))
+    loads
+
+let test_sample_deterministic () =
+  let g = sample_graph () in
+  let a = Scenario.sample Scenario.default g ~n:20 in
+  let b = Scenario.sample Scenario.default g ~n:20 in
+  Array.iteri
+    (fun i load ->
+      Alcotest.(check bool) "same load" true
+        (load.Scenario.publisher = b.(i).Scenario.publisher
+        && load.Scenario.subscribers = b.(i).Scenario.subscribers))
+    a
+
+let test_popular_ranks_have_more_subscribers () =
+  let g = sample_graph () in
+  let config = { Scenario.default with Scenario.topics = 100 } in
+  let loads = Scenario.sample config g ~n:400 in
+  let low_rank = ref 0 and low_n = ref 0 in
+  let high_rank = ref 0 and high_n = ref 0 in
+  Array.iter
+    (fun load ->
+      if load.Scenario.rank <= 3 then begin
+        low_rank := !low_rank + List.length load.Scenario.subscribers;
+        incr low_n
+      end
+      else if load.Scenario.rank > 50 then begin
+        high_rank := !high_rank + List.length load.Scenario.subscribers;
+        incr high_n
+      end)
+    loads;
+  if !low_n > 0 && !high_n > 0 then
+    Alcotest.(check bool) "popular topics have larger audiences" true
+      (float_of_int !low_rank /. float_of_int !low_n
+      > float_of_int !high_rank /. float_of_int !high_n)
+
+let test_evaluate_accounting () =
+  let g = sample_graph () in
+  let assignment = Assignment.make Lit.default (Rng.of_int 23) g in
+  let agg = Scenario.evaluate Scenario.default assignment ~n:200 () in
+  Alcotest.(check int) "sampled" 200 agg.Scenario.sampled;
+  Alcotest.(check int) "partition adds up" 200
+    (agg.Scenario.stateless_ok + agg.Scenario.needs_state);
+  Alcotest.(check bool) "most topics stateless" true
+    (agg.Scenario.stateless_ok > 150);
+  Alcotest.(check bool) "efficiency sane" true
+    (agg.Scenario.mean_efficiency > 0.5 && agg.Scenario.mean_efficiency <= 1.0);
+  Alcotest.(check bool) "ssm pays state" true (agg.Scenario.ssm_state_entries > 0);
+  Alcotest.(check bool) "mean subscribers positive" true
+    (agg.Scenario.mean_subscribers > 0.0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "topic bounds" `Quick test_sample_topic_bounds;
+          Alcotest.test_case "max subscribers" `Quick test_sample_respects_max_subscribers;
+          Alcotest.test_case "deterministic" `Quick test_sample_deterministic;
+          Alcotest.test_case "popularity scaling" `Quick
+            test_popular_ranks_have_more_subscribers;
+          Alcotest.test_case "evaluate accounting" `Quick test_evaluate_accounting;
+        ] );
+    ]
