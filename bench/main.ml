@@ -4,6 +4,10 @@
    Groups:
    - alg1        per-decision cost of the forwarding primitive (Table 4/5's
                  inner loop), vs the LPM IP baselines
+   - alg1-fast   the same decisions through the compiled Fastpath engine
+                 (contiguous word tables, preallocated decision buffer)
+   - delivery-fast  whole-tree deliveries through the fast path, plus the
+                 Domain-parallel batch front-end
    - construct   zFilter construction + candidate selection (Sec. 3.2),
                  the sender-side cost behind Tables 2/3 and Fig. 5
    - header      wire encode/decode (the per-hop rewrite of Table 4)
@@ -27,7 +31,9 @@ module Candidate = Lipsin_core.Candidate
 module Select = Lipsin_core.Select
 module Net = Lipsin_sim.Net
 module Run = Lipsin_sim.Run
+module Parallel = Lipsin_sim.Parallel
 module Node_engine = Lipsin_forwarding.Node_engine
+module Fastpath = Lipsin_forwarding.Fastpath
 module Header = Lipsin_packet.Header
 module Lpm = Lipsin_baseline.Lpm
 
@@ -61,6 +67,7 @@ let hub_lits =
        (Graph.out_links graph hub))
 
 let hub_engine = Node_engine.create assignment hub
+let hub_fast = Fastpath.compile hub_engine
 let fib5 = Lpm.reference_fib ()
 
 let fib_full =
@@ -91,6 +98,19 @@ let alg1 =
         (Staged.stage (fun () -> Lpm.lookup fib5 0xC0A80142l));
       Test.make ~name:"lpm-200k-routes"
         (Staged.stage (fun () -> Lpm.lookup fib_full 0xC0A80142l));
+    ]
+
+let alg1_fast =
+  let batch256 = Array.make 256 (zfilter16, -1) in
+  Test.make_grouped ~name:"alg1-fast"
+    [
+      Test.make ~name:"fastpath-decide-full"
+        (Staged.stage (fun () ->
+             Fastpath.decide hub_fast ~table:0 ~zfilter:zfilter16
+               ~in_link_index:(-1)));
+      Test.make ~name:"fastpath-batch-256"
+        (Staged.stage (fun () ->
+             Fastpath.decide_batch hub_fast ~table:0 batch256 ~f:(fun _ _ -> ())));
     ]
 
 let construct =
@@ -136,6 +156,42 @@ let delivery =
         (Staged.stage (fun () ->
              Run.deliver net ~src:src32 ~table:0 ~zfilter:c32.Candidate.zfilter
                ~tree:tree32));
+    ]
+
+let delivery_fast =
+  let src4, tree4 = tree_of 4 in
+  let c4 = Candidate.build_one assignment ~tree:tree4 ~table:0 in
+  let src32, tree32 = tree_of 32 in
+  let c32 = Candidate.build_one assignment ~tree:tree32 ~table:0 in
+  let jobs =
+    Array.init 64 (fun i ->
+        let users = 4 + (i mod 13) in
+        let src, tree = tree_of users in
+        let c = Candidate.build_one assignment ~tree ~table:0 in
+        {
+          Parallel.job_src = src;
+          job_table = 0;
+          job_zfilter = c.Candidate.zfilter;
+          job_tree = tree;
+        })
+  in
+  Test.make_grouped ~name:"delivery-fast"
+    [
+      Test.make ~name:"deliver-4-users-fast"
+        (Staged.stage (fun () ->
+             Run.deliver ~engine:`Fast net ~src:src4 ~table:0
+               ~zfilter:c4.Candidate.zfilter ~tree:tree4));
+      Test.make ~name:"deliver-16-users-fast"
+        (Staged.stage (fun () ->
+             Run.deliver ~engine:`Fast net ~src:src16 ~table:0 ~zfilter:zfilter16
+               ~tree:tree16));
+      Test.make ~name:"deliver-32-users-fast"
+        (Staged.stage (fun () ->
+             Run.deliver ~engine:`Fast net ~src:src32 ~table:0
+               ~zfilter:c32.Candidate.zfilter ~tree:tree32));
+      Test.make ~name:"parallel-64-jobs-4-domains"
+        (Staged.stage (fun () ->
+             Parallel.deliver_all ~domains:4 ~engine:`Fast assignment jobs));
     ]
 
 let ablation_m =
@@ -284,11 +340,16 @@ let layering =
              Overlay.publish overlay ~src:0 ~subscribers:[ 2; 4 ]));
     ]
 
+(* --smoke: a one-iteration CI budget — proves every benchmark still
+   runs without burning minutes of runner time. *)
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+
 let benchmark tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+    if smoke then Benchmark.cfg ~limit:1 ~quota:(Time.second 0.001) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
   in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -308,5 +369,5 @@ let () =
   Printf.printf "LIPSIN benchmarks (Bechamel, monotonic clock)\n%!";
   List.iter
     (fun tests -> print_results (benchmark tests))
-    [ alg1; construct; header; delivery; ablation_m; topology; extensions;
-      more_extensions; layering ]
+    [ alg1; alg1_fast; construct; header; delivery; delivery_fast; ablation_m;
+      topology; extensions; more_extensions; layering ]

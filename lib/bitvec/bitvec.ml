@@ -196,6 +196,12 @@ let of_hex n s =
 
 let to_bytes t = Bytes.copy t.data
 
+let blit_into t dst ~pos =
+  let n = Bytes.length t.data in
+  if pos < 0 || pos + n > Bytes.length dst then
+    invalid_arg "Bitvec.blit_into: range out of bounds";
+  Bytes.blit t.data 0 dst pos n
+
 let of_bytes n b =
   if Bytes.length b <> bytes_for n then invalid_arg "Bitvec.of_bytes: size mismatch";
   let t = { bits = n; data = Bytes.copy b } in

@@ -79,6 +79,12 @@ val of_hex : int -> string -> t
 val to_bytes : t -> bytes
 (** Raw little-endian copy of the backing store, ceil(n/8) bytes. *)
 
+val blit_into : t -> bytes -> pos:int -> unit
+(** [blit_into t dst ~pos] copies the ceil(n/8) backing bytes into
+    [dst] starting at [pos] without allocating — the primitive the
+    compiled fast path uses to widen filters into padded word arrays.
+    @raise Invalid_argument if the range does not fit in [dst]. *)
+
 val of_bytes : int -> bytes -> t
 (** Inverse of {!to_bytes}.  @raise Invalid_argument on size mismatch or
     if padding bits beyond [n] are set. *)

@@ -1,0 +1,372 @@
+module Bitvec = Lipsin_bitvec.Bitvec
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+
+type decision = {
+  mutable forward : int array;
+  mutable n_forward : int;
+  mutable deliver_local : bool;
+  mutable services : int array;
+  mutable n_services : int;
+  mutable loop_suspected : bool;
+  mutable drop : int;
+  mutable tests : int;
+}
+
+let no_drop = 0
+let drop_fill = 1
+let drop_loop = 2
+let drop_bad_table = 3
+
+type t = {
+  node : Graph.node;
+  m : int;
+  d : int;
+  words : int;  (* 64-bit words per entry; >= m/64 + 1 so a kill bit exists *)
+  stride : int;  (* bytes per entry = 8 * words *)
+  data_len : int;  (* live filter bytes = ceil(m/8) *)
+  fill_limit : float;
+  n_ports : int;
+  out_links : Graph.link array;
+  out_index : int array;  (* port -> dense index of the outgoing link *)
+  up : bool array;
+  phys : Bytes.t array;  (* per table: n_ports LIT entries, kill bit if down *)
+  in_tags : Bytes.t array;  (* per table: n_ports incoming LITs *)
+  blocks : Bytes.t array;  (* per table: concatenated veto patterns *)
+  block_off : int array array;  (* per table: n_ports+1 prefix offsets *)
+  n_virt : int;
+  virt : Bytes.t array;  (* per table: n_virt virtual-entry LITs *)
+  v_out_off : int array;  (* n_virt+1 prefix offsets into v_out_ports *)
+  v_out_ports : int array;
+  local : Bytes.t array;  (* per table: the node-local (slow path) LIT *)
+  svc : Bytes.t array;  (* per table: one entry per service *)
+  svc_names : string array;
+  loop_prevention : bool;
+  loop_cache : (string, int * int) Hashtbl.t;
+  loop_queue : string Queue.t;
+  loop_capacity : int;
+  loop_ttl : int;
+  mutable tick_count : int;
+  zf : Bytes.t;  (* scratch: the current zFilter widened to stride bytes *)
+  seen : int array;  (* per-decision dedup stamps *)
+  mutable gen : int;
+  decision : decision;
+}
+
+let compile engine =
+  let st = Node_engine.state engine in
+  let params = st.Node_engine.state_params in
+  let m = params.Lit.m in
+  let d = params.Lit.d in
+  (* Always leave at least one spare bit per entry: bit m (the first
+     padding bit) is the kill bit.  The scratch filter keeps its padding
+     at zero, so an entry with the kill bit set can never be a subset of
+     it — down links compile to never-matching entries and the hot loop
+     needs no up/down branch. *)
+  let words = (m / 64) + 1 in
+  let stride = 8 * words in
+  let data_len = (m + 7) / 8 in
+  let ports = st.Node_engine.state_ports in
+  let n_ports = Array.length ports in
+  let entry_blob n = Bytes.make (n * stride) '\000' in
+  let write blob slot vec = Bitvec.blit_into vec blob ~pos:(slot * stride) in
+  let kill blob slot =
+    let pos = (slot * stride) + (m lsr 3) in
+    Bytes.set blob pos
+      (Char.chr (Char.code (Bytes.get blob pos) lor (1 lsl (m land 7))))
+  in
+  let phys =
+    Array.init d (fun tbl ->
+        let blob = entry_blob n_ports in
+        Array.iteri
+          (fun p ps ->
+            write blob p ps.Node_engine.port_tags.(tbl);
+            if not ps.Node_engine.port_up then kill blob p)
+          ports;
+        blob)
+  in
+  let in_tags =
+    Array.init d (fun tbl ->
+        let blob = entry_blob n_ports in
+        Array.iteri (fun p ps -> write blob p ps.Node_engine.port_in_tags.(tbl)) ports;
+        blob)
+  in
+  let block_off =
+    Array.init d (fun tbl ->
+        let off = Array.make (n_ports + 1) 0 in
+        for p = 0 to n_ports - 1 do
+          let count =
+            List.fold_left
+              (fun acc entry -> if entry.(tbl) <> None then acc + 1 else acc)
+              0 ports.(p).Node_engine.port_blocks
+          in
+          off.(p + 1) <- off.(p) + count
+        done;
+        off)
+  in
+  let blocks =
+    Array.init d (fun tbl ->
+        let off = block_off.(tbl) in
+        let blob = entry_blob off.(n_ports) in
+        Array.iteri
+          (fun p ps ->
+            let slot = ref off.(p) in
+            List.iter
+              (fun entry ->
+                match entry.(tbl) with
+                | Some pattern ->
+                  write blob !slot pattern;
+                  incr slot
+                | None -> ())
+              ps.Node_engine.port_blocks)
+          ports;
+        blob)
+  in
+  let port_of_link = Hashtbl.create (2 * n_ports) in
+  Array.iteri
+    (fun p ps ->
+      Hashtbl.replace port_of_link ps.Node_engine.port_link.Graph.index p)
+    ports;
+  let virtuals = Array.of_list st.Node_engine.state_virtuals in
+  let n_virt = Array.length virtuals in
+  let virt =
+    Array.init d (fun tbl ->
+        let blob = entry_blob n_virt in
+        Array.iteri (fun v (tags, _) -> write blob v tags.(tbl)) virtuals;
+        blob)
+  in
+  let v_out_off = Array.make (n_virt + 1) 0 in
+  Array.iteri
+    (fun v (_, out) -> v_out_off.(v + 1) <- v_out_off.(v) + List.length out)
+    virtuals;
+  let v_out_ports = Array.make v_out_off.(n_virt) 0 in
+  Array.iteri
+    (fun v (_, out) ->
+      List.iteri
+        (fun j l -> v_out_ports.(v_out_off.(v) + j) <- Hashtbl.find port_of_link l.Graph.index)
+        out)
+    virtuals;
+  let local =
+    Array.init d (fun tbl ->
+        let blob = entry_blob 1 in
+        write blob 0 (Lit.tag st.Node_engine.state_local tbl);
+        blob)
+  in
+  let services = Array.of_list st.Node_engine.state_services in
+  let n_services = Array.length services in
+  let svc =
+    Array.init d (fun tbl ->
+        let blob = entry_blob n_services in
+        Array.iteri (fun s (tags, _) -> write blob s tags.(tbl)) services;
+        blob)
+  in
+  {
+    node = st.Node_engine.state_node;
+    m;
+    d;
+    words;
+    stride;
+    data_len;
+    fill_limit = st.Node_engine.state_fill_limit;
+    n_ports;
+    out_links = Array.map (fun ps -> ps.Node_engine.port_link) ports;
+    out_index =
+      Array.map (fun ps -> ps.Node_engine.port_link.Graph.index) ports;
+    up = Array.map (fun ps -> ps.Node_engine.port_up) ports;
+    phys;
+    in_tags;
+    blocks;
+    block_off;
+    n_virt;
+    virt;
+    v_out_off;
+    v_out_ports;
+    local;
+    svc;
+    svc_names = Array.map snd services;
+    loop_prevention = st.Node_engine.state_loop_prevention;
+    loop_cache = Hashtbl.create 64;
+    loop_queue = Queue.create ();
+    loop_capacity = st.Node_engine.state_loop_capacity;
+    loop_ttl = st.Node_engine.state_loop_ttl;
+    tick_count = st.Node_engine.state_tick;
+    zf = Bytes.make stride '\000';
+    seen = Array.make (max 1 n_ports) 0;
+    gen = 0;
+    decision =
+      {
+        forward = Array.make (max 1 n_ports) 0;
+        n_forward = 0;
+        deliver_local = false;
+        services = Array.make (max 1 n_services) 0;
+        n_services = 0;
+        loop_suspected = false;
+        drop = no_drop;
+        tests = 0;
+      };
+  }
+
+let node t = t.node
+let table_count t = t.d
+let port_count t = t.n_ports
+let out_link t p = t.out_links.(p)
+let tick t = t.tick_count <- t.tick_count + 1
+
+(* The same FIFO + tick-TTL cache as Node_engine's, entry for entry, so
+   the two engines drop the same packets given the same history. *)
+
+let loop_cache_add t key in_index =
+  if not (Hashtbl.mem t.loop_cache key) then begin
+    if Queue.length t.loop_queue >= t.loop_capacity then begin
+      let victim = Queue.take t.loop_queue in
+      Hashtbl.remove t.loop_cache victim
+    end;
+    Hashtbl.replace t.loop_cache key (in_index, t.tick_count);
+    Queue.add key t.loop_queue
+  end
+
+let loop_cache_find t key =
+  match Hashtbl.find_opt t.loop_cache key with
+  | Some (in_index, inserted_at) when t.tick_count - inserted_at <= t.loop_ttl ->
+    Some in_index
+  | Some _ ->
+    Hashtbl.remove t.loop_cache key;
+    None
+  | None -> None
+
+(* Algorithm 1 on one padded entry: every word of the LIT must be
+   covered by the corresponding zFilter word. *)
+let subset_entry blob ~off zf ~words =
+  let ok = ref true in
+  let w = ref 0 in
+  while !ok && !w < words do
+    let lw = Bytes.get_int64_le blob (off + (!w lsl 3)) in
+    if not (Int64.equal lw (Int64.logand lw (Bytes.get_int64_le zf (!w lsl 3))))
+    then ok := false;
+    incr w
+  done;
+  !ok
+
+let decide t ~table ~zfilter ~in_link_index =
+  let d = t.decision in
+  d.n_forward <- 0;
+  d.deliver_local <- false;
+  d.n_services <- 0;
+  d.loop_suspected <- false;
+  d.drop <- no_drop;
+  d.tests <- 0;
+  if table < 0 || table >= t.d then begin
+    d.drop <- drop_bad_table;
+    d
+  end
+  else if Zfilter.m zfilter <> t.m then
+    invalid_arg "Fastpath.decide: zFilter width mismatch"
+  else if not (Zfilter.within_fill_limit zfilter ~limit:t.fill_limit) then begin
+    d.drop <- drop_fill;
+    d
+  end
+  else begin
+    Bitvec.blit_into (Zfilter.to_bitvec zfilter) t.zf ~pos:0;
+    let zf = t.zf in
+    let words = t.words in
+    let stride = t.stride in
+    if t.loop_prevention then begin
+      let key = Bytes.sub_string zf 0 t.data_len in
+      (match loop_cache_find t key with
+      | Some cached when in_link_index >= 0 && cached <> in_link_index ->
+        d.drop <- drop_loop
+      | Some _ | None -> ());
+      if d.drop = no_drop then begin
+        let risky = ref false in
+        let itab = t.in_tags.(table) in
+        for p = 0 to t.n_ports - 1 do
+          if t.out_index.(p) <> in_link_index then
+            if subset_entry itab ~off:(p * stride) zf ~words then risky := true
+        done;
+        if !risky then begin
+          d.loop_suspected <- true;
+          if in_link_index >= 0 then loop_cache_add t key in_link_index
+        end
+      end
+    end;
+    if d.drop <> no_drop then d
+    else begin
+      t.gen <- t.gen + 1;
+      let gen = t.gen in
+      d.tests <- t.n_ports + t.n_virt;
+      let ptab = t.phys.(table) in
+      let btab = t.blocks.(table) in
+      let boff = t.block_off.(table) in
+      for p = 0 to t.n_ports - 1 do
+        if subset_entry ptab ~off:(p * stride) zf ~words then begin
+          let blocked = ref false in
+          for b = boff.(p) to boff.(p + 1) - 1 do
+            if subset_entry btab ~off:(b * stride) zf ~words then blocked := true
+          done;
+          if (not !blocked) && t.seen.(p) <> gen then begin
+            t.seen.(p) <- gen;
+            d.forward.(d.n_forward) <- p;
+            d.n_forward <- d.n_forward + 1
+          end
+        end
+      done;
+      let vtab = t.virt.(table) in
+      for v = 0 to t.n_virt - 1 do
+        if subset_entry vtab ~off:(v * stride) zf ~words then
+          for j = t.v_out_off.(v) to t.v_out_off.(v + 1) - 1 do
+            let p = t.v_out_ports.(j) in
+            if t.up.(p) && t.seen.(p) <> gen then begin
+              t.seen.(p) <- gen;
+              d.forward.(d.n_forward) <- p;
+              d.n_forward <- d.n_forward + 1
+            end
+          done
+      done;
+      d.deliver_local <- subset_entry t.local.(table) ~off:0 zf ~words;
+      let stab = t.svc.(table) in
+      for s = 0 to Array.length t.svc_names - 1 do
+        if subset_entry stab ~off:(s * stride) zf ~words then begin
+          d.services.(d.n_services) <- s;
+          d.n_services <- d.n_services + 1
+        end
+      done;
+      d
+    end
+  end
+
+let decide_batch t ~table inputs ~f =
+  Array.iteri
+    (fun i (zfilter, in_link_index) -> f i (decide t ~table ~zfilter ~in_link_index))
+    inputs
+
+let drop_reason d =
+  if d.drop = no_drop then None
+  else if d.drop = drop_fill then Some Node_engine.Fill_limit_exceeded
+  else if d.drop = drop_loop then Some Node_engine.Loop_detected
+  else Some Node_engine.Bad_table
+
+let forward_links t d = List.init d.n_forward (fun i -> t.out_links.(d.forward.(i)))
+let service_names t d = List.init d.n_services (fun i -> t.svc_names.(d.services.(i)))
+
+let verdict t d =
+  {
+    Node_engine.forward_on = forward_links t d;
+    deliver_local = d.deliver_local;
+    services_matched = service_names t d;
+    loop_suspected = d.loop_suspected;
+    drop = drop_reason d;
+    false_positive_tests = d.tests;
+  }
+
+let table_bytes t =
+  let total = ref 0 in
+  for tbl = 0 to t.d - 1 do
+    total :=
+      !total
+      + t.stride
+        * ((2 * t.n_ports) (* phys + in_tags *)
+          + t.block_off.(tbl).(t.n_ports)
+          + t.n_virt + 1 (* local *) + Array.length t.svc_names)
+  done;
+  !total

@@ -268,6 +268,53 @@ let forward t ~table ~zfilter ~in_link =
     end
   end
 
+type port_state = {
+  port_link : Graph.link;
+  port_up : bool;
+  port_tags : Bitvec.t array;
+  port_in_tags : Bitvec.t array;
+  port_blocks : Bitvec.t option array list;
+}
+
+type state = {
+  state_node : Graph.node;
+  state_params : Lit.params;
+  state_fill_limit : float;
+  state_local : Lit.t;
+  state_ports : port_state array;
+  state_virtuals : (Bitvec.t array * Graph.link list) list;
+  state_services : (Bitvec.t array * string) list;
+  state_loop_prevention : bool;
+  state_loop_capacity : int;
+  state_loop_ttl : int;
+  state_tick : int;
+}
+
+let state t =
+  {
+    state_node = t.node;
+    state_params = t.params;
+    state_fill_limit = t.fill_limit;
+    state_local = t.local;
+    state_ports =
+      Array.map
+        (fun p ->
+          {
+            port_link = p.link;
+            port_up = p.up;
+            port_tags = p.tags;
+            port_in_tags = p.in_tags;
+            port_blocks = p.blocks;
+          })
+        t.ports;
+    state_virtuals = List.map (fun v -> (v.v_tags, v.v_out)) t.virtuals;
+    state_services = List.map (fun s -> (s.s_tags, s.s_name)) t.services;
+    state_loop_prevention = t.loop_prevention;
+    state_loop_capacity = t.loop_capacity;
+    state_loop_ttl = t.loop_ttl;
+    state_tick = t.tick_count;
+  }
+
 let forwarding_table_bits t ~sparse =
   let m = t.params.Lit.m in
   let entries = Array.length t.ports + List.length t.virtuals in

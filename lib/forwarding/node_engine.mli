@@ -128,6 +128,42 @@ val install_block_pattern :
 
 val clear_blocks : t -> Lipsin_topology.Graph.link -> unit
 
+(** {2 State snapshot}
+
+    A read-only view of everything the engine's decision depends on, in
+    the exact order the decision consults it.  {!Fastpath.compile}
+    flattens this into contiguous word arrays; tests use it to assert
+    table contents.  The [Bitvec.t] values are shared with the engine —
+    callers must not mutate them. *)
+
+type port_state = {
+  port_link : Lipsin_topology.Graph.link;
+  port_up : bool;
+  port_tags : Lipsin_bitvec.Bitvec.t array;      (** One LIT per table. *)
+  port_in_tags : Lipsin_bitvec.Bitvec.t array;   (** Reverse direction's LITs. *)
+  port_blocks : Lipsin_bitvec.Bitvec.t option array list;
+      (** Negative Link IDs: per-table optional veto patterns. *)
+}
+
+type state = {
+  state_node : Lipsin_topology.Graph.node;
+  state_params : Lipsin_bloom.Lit.params;
+  state_fill_limit : float;
+  state_local : Lipsin_bloom.Lit.t;
+  state_ports : port_state array;  (** In port (decision) order. *)
+  state_virtuals :
+    (Lipsin_bitvec.Bitvec.t array * Lipsin_topology.Graph.link list) list;
+      (** (per-table tags, out links), in match order. *)
+  state_services : (Lipsin_bitvec.Bitvec.t array * string) list;
+      (** (per-table tags, name), in match order. *)
+  state_loop_prevention : bool;
+  state_loop_capacity : int;
+  state_loop_ttl : int;
+  state_tick : int;
+}
+
+val state : t -> state
+
 val forwarding_table_bits : t -> sparse:bool -> int
 (** Memory footprint of the node's forwarding tables per Sec. 4.2:
     dense = d·entries·(m + 8) bits; sparse stores only the k set-bit

@@ -1,17 +1,25 @@
 module Graph = Lipsin_topology.Graph
 module Assignment = Lipsin_core.Assignment
 module Node_engine = Lipsin_forwarding.Node_engine
+module Fastpath = Lipsin_forwarding.Fastpath
 
 type t = {
   assignment : Assignment.t;
   fill_limit : float option;
   loop_prevention : bool;
   engines : Node_engine.t option array;
+  fastpaths : Fastpath.t option array;
 }
 
 let make ?fill_limit ?(loop_prevention = true) assignment =
   let n = Graph.node_count (Assignment.graph assignment) in
-  { assignment; fill_limit; loop_prevention; engines = Array.make n None }
+  {
+    assignment;
+    fill_limit;
+    loop_prevention;
+    engines = Array.make n None;
+    fastpaths = Array.make n None;
+  }
 
 let assignment t = t.assignment
 let graph t = Assignment.graph t.assignment
@@ -33,9 +41,28 @@ let engine t node =
 
 let engine_of = engine
 
+let fastpath t node =
+  match t.fastpaths.(node) with
+  | Some f -> f
+  | None ->
+    let f = Fastpath.compile (engine t node) in
+    t.fastpaths.(node) <- Some f;
+    f
+
+let invalidate_fastpath t node = t.fastpaths.(node) <- None
+
 let tick t =
   Array.iter
     (function Some e -> Node_engine.tick e | None -> ())
-    t.engines
-let fail_link t link = Node_engine.fail_link (engine t link.Graph.src) link
-let restore_link t link = Node_engine.restore_link (engine t link.Graph.src) link
+    t.engines;
+  Array.iter
+    (function Some f -> Fastpath.tick f | None -> ())
+    t.fastpaths
+
+let fail_link t link =
+  Node_engine.fail_link (engine t link.Graph.src) link;
+  invalidate_fastpath t link.Graph.src
+
+let restore_link t link =
+  Node_engine.restore_link (engine t link.Graph.src) link;
+  invalidate_fastpath t link.Graph.src

@@ -20,6 +20,17 @@ val engine : t -> Lipsin_topology.Graph.node -> Lipsin_forwarding.Node_engine.t
 val engine_of : t -> Lipsin_topology.Graph.node -> Lipsin_forwarding.Node_engine.t
 (** Alias of {!engine} matching the callback shape Recovery expects. *)
 
+val fastpath : t -> Lipsin_topology.Graph.node -> Lipsin_forwarding.Fastpath.t
+(** The node's compiled fast-path engine, built from {!engine}'s current
+    state on first use and cached.  {!fail_link}/{!restore_link}
+    invalidate the node's compilation automatically; after mutating an
+    engine directly (virtual installs, blocks, ...) call
+    {!invalidate_fastpath} yourself. *)
+
+val invalidate_fastpath : t -> Lipsin_topology.Graph.node -> unit
+(** Drops the node's cached compilation so the next {!fastpath} call
+    recompiles from the engine's current state. *)
+
 val tick : t -> unit
 (** Advances every instantiated engine's clock (ages loop caches).
     {!Run.deliver}, {!Timed.deliver} and the control plane call this

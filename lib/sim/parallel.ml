@@ -1,0 +1,119 @@
+module Graph = Lipsin_topology.Graph
+module Assignment = Lipsin_core.Assignment
+
+type job = {
+  job_src : Graph.node;
+  job_table : int;
+  job_zfilter : Lipsin_bloom.Zfilter.t;
+  job_tree : Graph.link list;
+}
+
+type summary = {
+  jobs : int;
+  domains_used : int;
+  link_traversals : int;
+  false_positives : int;
+  membership_tests : int;
+  fill_drops : int;
+  loop_drops : int;
+  local_deliveries : int;
+  nodes_reached : int;
+}
+
+let empty_summary =
+  {
+    jobs = 0;
+    domains_used = 0;
+    link_traversals = 0;
+    false_positives = 0;
+    membership_tests = 0;
+    fill_drops = 0;
+    loop_drops = 0;
+    local_deliveries = 0;
+    nodes_reached = 0;
+  }
+
+let merge a b =
+  {
+    jobs = a.jobs + b.jobs;
+    domains_used = a.domains_used;
+    link_traversals = a.link_traversals + b.link_traversals;
+    false_positives = a.false_positives + b.false_positives;
+    membership_tests = a.membership_tests + b.membership_tests;
+    fill_drops = a.fill_drops + b.fill_drops;
+    loop_drops = a.loop_drops + b.loop_drops;
+    local_deliveries = a.local_deliveries + b.local_deliveries;
+    nodes_reached = a.nodes_reached + b.nodes_reached;
+  }
+
+(* Each shard gets a private Net (engines and fast-path compilations are
+   mutable), so the only cross-domain sharing is the read-only
+   assignment, graph and zFilters. *)
+let run_shard ~engine ~loop_prevention assignment jobs lo hi =
+  let net = Net.make ~loop_prevention assignment in
+  let acc = ref empty_summary in
+  for i = lo to hi - 1 do
+    let j = jobs.(i) in
+    let o =
+      Run.deliver ~engine net ~src:j.job_src ~table:j.job_table
+        ~zfilter:j.job_zfilter ~tree:j.job_tree
+    in
+    let reached = ref 0 in
+    Array.iter (fun r -> if r then incr reached) o.Run.reached;
+    acc :=
+      {
+        !acc with
+        jobs = !acc.jobs + 1;
+        link_traversals = !acc.link_traversals + o.Run.link_traversals;
+        false_positives = !acc.false_positives + o.Run.false_positives;
+        membership_tests = !acc.membership_tests + o.Run.membership_tests;
+        fill_drops = !acc.fill_drops + o.Run.fill_drops;
+        loop_drops = !acc.loop_drops + o.Run.loop_drops;
+        local_deliveries = !acc.local_deliveries + o.Run.local_deliveries;
+        nodes_reached = !acc.nodes_reached + !reached;
+      }
+  done;
+  !acc
+
+(* The graph memoises out-link order and the dense link array on first
+   read; force both before spawning so domains only ever read. *)
+let warm_graph g =
+  for v = 0 to Graph.node_count g - 1 do
+    ignore (Graph.out_links g v)
+  done;
+  if Graph.link_count g > 0 then ignore (Graph.link g 0)
+
+let deliver_all ?domains ?(engine = `Fast) ?(loop_prevention = false) assignment
+    jobs =
+  let n = Array.length jobs in
+  let requested =
+    match domains with
+    | Some k ->
+      if k < 1 then invalid_arg "Parallel.deliver_all: domains must be >= 1";
+      k
+    | None -> Domain.recommended_domain_count ()
+  in
+  let dcount = max 1 (min requested (max 1 n)) in
+  warm_graph (Assignment.graph assignment);
+  if dcount = 1 then
+    { (run_shard ~engine ~loop_prevention assignment jobs 0 n) with
+      domains_used = 1 }
+  else begin
+    let chunk = (n + dcount - 1) / dcount in
+    let bounds =
+      Array.init dcount (fun i -> (i * chunk, min n ((i + 1) * chunk)))
+    in
+    let workers =
+      Array.map
+        (fun (lo, hi) ->
+          Domain.spawn (fun () ->
+              run_shard ~engine ~loop_prevention assignment jobs lo hi))
+        (Array.sub bounds 1 (dcount - 1))
+    in
+    let lo0, hi0 = bounds.(0) in
+    let first = run_shard ~engine ~loop_prevention assignment jobs lo0 hi0 in
+    let total =
+      Array.fold_left (fun acc w -> merge acc (Domain.join w)) first workers
+    in
+    { total with domains_used = dcount }
+  end

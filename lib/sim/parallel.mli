@@ -1,0 +1,46 @@
+(** Domain-parallel delivery: shard a workload's packets across cores.
+
+    The first step toward the ROADMAP's sharded serving architecture:
+    a batch of independent publications is split into contiguous shards,
+    one OCaml 5 [Domain] per shard, each with its {e own} {!Net} (engines
+    and fast-path compilations are mutable and domain-local) over the
+    {e shared, read-only} LIT assignment, graph and zFilters.
+
+    With [loop_prevention] off (the default here) deliveries are
+    independent, so the merged summary is deterministic — identical for
+    any [domains] count.  With it on, loop-cache state couples packets
+    that land in the same shard, so totals can vary with the sharding;
+    enable it only when that is the point of the experiment. *)
+
+type job = {
+  job_src : Lipsin_topology.Graph.node;
+  job_table : int;
+  job_zfilter : Lipsin_bloom.Zfilter.t;
+  job_tree : Lipsin_topology.Graph.link list;
+      (** Intended tree, for false-positive classification (as in
+          {!Run.deliver}). *)
+}
+
+type summary = {
+  jobs : int;
+  domains_used : int;
+  link_traversals : int;
+  false_positives : int;
+  membership_tests : int;
+  fill_drops : int;
+  loop_drops : int;
+  local_deliveries : int;
+  nodes_reached : int;  (** Sum over jobs of nodes the packet visited. *)
+}
+
+val deliver_all :
+  ?domains:int ->
+  ?engine:Run.engine ->
+  ?loop_prevention:bool ->
+  Lipsin_core.Assignment.t ->
+  job array ->
+  summary
+(** Runs every job and sums the outcome counters.  [domains] defaults
+    to [Domain.recommended_domain_count ()] and is clamped to the job
+    count; [engine] defaults to [`Fast]; [loop_prevention] to [false]
+    (see above).  @raise Invalid_argument if [domains < 1]. *)

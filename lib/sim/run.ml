@@ -1,8 +1,10 @@
 module Rng = Lipsin_util.Rng
 module Graph = Lipsin_topology.Graph
 module Node_engine = Lipsin_forwarding.Node_engine
+module Fastpath = Lipsin_forwarding.Fastpath
 
 type mode = Expand_once | Ttl of int
+type engine = [ `Reference | `Fast ]
 
 type loss = { probability : float; rng : Rng.t }
 
@@ -26,7 +28,8 @@ type event = {
 
 let ttl_event_cap = 200_000
 
-let deliver ?(mode = Expand_once) ?loss net ~src ~table ~zfilter ~tree =
+let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
+    ~zfilter ~tree =
   (match loss with
   | Some { probability; _ } when probability < 0.0 || probability >= 1.0 ->
     invalid_arg "Run.deliver: loss probability outside [0,1)"
@@ -53,15 +56,6 @@ let deliver ?(mode = Expand_once) ?loss net ~src ~table ~zfilter ~tree =
   reached.(src) <- true;
   while not (Queue.is_empty queue) do
     let { node; in_link; ttl } = Queue.take queue in
-    let verdict =
-      Node_engine.forward (Net.engine net node) ~table ~zfilter ~in_link
-    in
-    membership_tests := !membership_tests + verdict.Node_engine.false_positive_tests;
-    if verdict.Node_engine.deliver_local then incr local_deliveries;
-    (match verdict.Node_engine.drop with
-    | Some Node_engine.Fill_limit_exceeded -> incr fill_drops
-    | Some Node_engine.Loop_detected -> incr loop_drops
-    | Some Node_engine.Bad_table | None -> ());
     let propagate l =
       if not on_tree.(l.Graph.index) then incr false_positives;
       let should_traverse =
@@ -93,7 +87,32 @@ let deliver ?(mode = Expand_once) ?loss net ~src ~table ~zfilter ~tree =
         end
       end
     in
-    List.iter propagate verdict.Node_engine.forward_on
+    (match engine with
+    | `Reference ->
+      let verdict =
+        Node_engine.forward (Net.engine net node) ~table ~zfilter ~in_link
+      in
+      membership_tests :=
+        !membership_tests + verdict.Node_engine.false_positive_tests;
+      if verdict.Node_engine.deliver_local then incr local_deliveries;
+      (match verdict.Node_engine.drop with
+      | Some Node_engine.Fill_limit_exceeded -> incr fill_drops
+      | Some Node_engine.Loop_detected -> incr loop_drops
+      | Some Node_engine.Bad_table | None -> ());
+      List.iter propagate verdict.Node_engine.forward_on
+    | `Fast ->
+      let fp = Net.fastpath net node in
+      let in_link_index =
+        match in_link with None -> -1 | Some l -> l.Graph.index
+      in
+      let d = Fastpath.decide fp ~table ~zfilter ~in_link_index in
+      membership_tests := !membership_tests + d.Fastpath.tests;
+      if d.Fastpath.deliver_local then incr local_deliveries;
+      if d.Fastpath.drop = Fastpath.drop_fill then incr fill_drops
+      else if d.Fastpath.drop = Fastpath.drop_loop then incr loop_drops;
+      for i = 0 to d.Fastpath.n_forward - 1 do
+        propagate (Fastpath.out_link fp d.Fastpath.forward.(i))
+      done)
   done;
   {
     reached;

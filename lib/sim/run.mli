@@ -17,6 +17,13 @@
 
 type mode = Expand_once | Ttl of int
 
+type engine = [ `Reference | `Fast ]
+(** Which decision engine each visited node runs: the reference
+    {!Lipsin_forwarding.Node_engine} (default) or the compiled
+    {!Lipsin_forwarding.Fastpath} (cached per node by {!Net.fastpath}).
+    The two agree decision-for-decision — the differential test suite
+    enforces it — so experiments can switch freely. *)
+
 type loss = {
   probability : float;  (** Per-traversal drop probability, \[0, 1). *)
   rng : Lipsin_util.Rng.t;
@@ -39,6 +46,7 @@ type outcome = {
 val deliver :
   ?mode:mode ->
   ?loss:loss ->
+  ?engine:engine ->
   Net.t ->
   src:Lipsin_topology.Graph.node ->
   table:int ->

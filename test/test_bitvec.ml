@@ -209,6 +209,85 @@ let prop_subset_transitive =
       let abc = Bitvec.logor ab (Bitvec.of_positions 248 pc) in
       Bitvec.subset a ~of_:abc)
 
+(* --- model-based properties: Bitvec vs a naive bool array ---
+
+   The fast path trusts the word-wise kernels (subset, logor, logand,
+   popcount) on arbitrary — especially non-word-multiple — lengths, so
+   check them against the obviously-correct per-bit model. *)
+
+let model_of v = Array.init (Bitvec.length v) (Bitvec.get v)
+
+let model_pair_arb =
+  (* (length, positions for a, positions for b) with lengths straddling
+     byte and 64-bit word boundaries: 1..130 covers 0, 1 and 2 whole
+     words plus ragged tails. *)
+  QCheck.make
+    ~print:(fun (len, pa, pb) ->
+      Printf.sprintf "len=%d a=[%s] b=[%s]" len
+        (String.concat "," (List.map string_of_int pa))
+        (String.concat "," (List.map string_of_int pb)))
+    QCheck.Gen.(
+      int_range 1 130 >>= fun len ->
+      let ps = list_size (int_range 0 len) (int_range 0 (len - 1)) in
+      pair ps ps >>= fun (pa, pb) -> return (len, pa, pb))
+
+let build len ps = Bitvec.of_positions len ps
+
+let prop_model_subset =
+  QCheck.Test.make ~name:"model: subset = per-bit implication" ~count:500
+    model_pair_arb
+    (fun (len, pa, pb) ->
+      let a = build len pa and b = build len pb in
+      let ma = model_of a and mb = model_of b in
+      let expected = ref true in
+      Array.iteri (fun i ai -> if ai && not mb.(i) then expected := false) ma;
+      Bitvec.subset a ~of_:b = !expected)
+
+let prop_model_logor =
+  QCheck.Test.make ~name:"model: logor = per-bit or" ~count:500 model_pair_arb
+    (fun (len, pa, pb) ->
+      let a = build len pa and b = build len pb in
+      let ma = model_of a and mb = model_of b in
+      model_of (Bitvec.logor a b) = Array.init len (fun i -> ma.(i) || mb.(i)))
+
+let prop_model_logand =
+  QCheck.Test.make ~name:"model: logand = per-bit and" ~count:500 model_pair_arb
+    (fun (len, pa, pb) ->
+      let a = build len pa and b = build len pb in
+      let ma = model_of a and mb = model_of b in
+      model_of (Bitvec.logand a b) = Array.init len (fun i -> ma.(i) && mb.(i)))
+
+let prop_model_logor_into =
+  QCheck.Test.make ~name:"model: logor_into mutates dst only" ~count:500
+    model_pair_arb
+    (fun (len, pa, pb) ->
+      let dst = build len pa and src = build len pb in
+      let ma = model_of dst and mb = model_of src in
+      Bitvec.logor_into ~dst src;
+      model_of dst = Array.init len (fun i -> ma.(i) || mb.(i))
+      && model_of src = mb)
+
+let prop_model_popcount_fill =
+  QCheck.Test.make ~name:"model: popcount and fill_ratio" ~count:500
+    model_pair_arb
+    (fun (len, pa, _) ->
+      let a = build len pa in
+      let expected = Array.fold_left (fun n b -> if b then n + 1 else n) 0 (model_of a) in
+      Bitvec.popcount a = expected
+      && Bitvec.fill_ratio a = float_of_int expected /. float_of_int len)
+
+let prop_model_blit_into =
+  QCheck.Test.make ~name:"model: blit_into copies the backing bytes" ~count:300
+    model_pair_arb
+    (fun (len, pa, _) ->
+      let a = build len pa in
+      let bytes_len = (len + 7) / 8 in
+      let dst = Bytes.make (bytes_len + 16) '\xff' in
+      Bitvec.blit_into a dst ~pos:8;
+      Bytes.equal (Bytes.sub dst 8 bytes_len) (Bitvec.to_bytes a)
+      && Bytes.get dst 0 = '\xff'
+      && Bytes.get dst (bytes_len + 8) = '\xff')
+
 let () =
   Alcotest.run "bitvec"
     [
@@ -246,5 +325,14 @@ let () =
           Alcotest.test_case "bytes padding" `Quick test_of_bytes_rejects_padding;
           QCheck_alcotest.to_alcotest prop_positions_roundtrip;
           QCheck_alcotest.to_alcotest prop_hex_roundtrip;
+        ] );
+      ( "model",
+        [
+          QCheck_alcotest.to_alcotest prop_model_subset;
+          QCheck_alcotest.to_alcotest prop_model_logor;
+          QCheck_alcotest.to_alcotest prop_model_logand;
+          QCheck_alcotest.to_alcotest prop_model_logor_into;
+          QCheck_alcotest.to_alcotest prop_model_popcount_fill;
+          QCheck_alcotest.to_alcotest prop_model_blit_into;
         ] );
     ]

@@ -193,6 +193,76 @@ let test_loop_same_interface_not_dropped () =
   let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:(Some (link g 4 1)) in
   Alcotest.(check bool) "same interface is not a loop" true (v.Node_engine.drop = None)
 
+(* A zFilter containing one of node 1's incoming LITs is "risky", so a
+   forward caches the (zFilter, arrival link) pair; mixing in a second
+   distinct tag makes each filter's cache key unique. *)
+let risky_zfilter g asg salt =
+  let z =
+    Zfilter.of_tags ~m:248
+      [ Assignment.tag asg (link g 0 1) ~table:0;
+        Assignment.tag asg salt ~table:0 ]
+  in
+  z
+
+let test_loop_cache_capacity_eviction_order () =
+  let g, asg = setup () in
+  (* Capacity 2, effectively no TTL aging within the test. *)
+  let engine =
+    Node_engine.create ~loop_cache_capacity:2 ~loop_cache_ttl:1000 asg 1
+  in
+  let z1 = risky_zfilter g asg (link g 1 2)
+  and z2 = risky_zfilter g asg (link g 2 1)
+  and z3 = risky_zfilter g asg (link g 4 1) in
+  let arrive z in_l = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:(Some in_l) in
+  (* Fill the cache in order z1, z2; inserting z3 must evict z1 (FIFO). *)
+  ignore (arrive z1 (link g 4 1));
+  ignore (arrive z2 (link g 4 1));
+  ignore (arrive z3 (link g 4 1));
+  (* z1 was evicted: returning over another link is NOT a loop — and
+     the re-arrival re-caches it, evicting the new FIFO head z2. *)
+  let v1 = arrive z1 (link g 2 1) in
+  Alcotest.(check bool) "evicted entry forgotten" true (v1.Node_engine.drop = None);
+  (* z3 survived both evictions: it IS a loop (and detection does not
+     touch the queue). *)
+  let v3 = arrive z3 (link g 2 1) in
+  Alcotest.(check bool) "youngest entry still cached" true
+    (v3.Node_engine.drop = Some Node_engine.Loop_detected);
+  (* z2 was the FIFO head when z1 re-inserted: forgotten. *)
+  let v2 = arrive z2 (link g 0 1) in
+  Alcotest.(check bool) "old head evicted by re-insert" true
+    (v2.Node_engine.drop = None)
+
+let test_loop_cache_ttl_expiry () =
+  let g, asg = setup () in
+  let z = risky_zfilter g asg (link g 1 2) in
+  (* Within the TTL grace the pair is still a loop. *)
+  let engine = Node_engine.create ~loop_cache_ttl:1 asg 1 in
+  ignore (Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:(Some (link g 4 1)));
+  Node_engine.tick engine;
+  let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:(Some (link g 2 1)) in
+  Alcotest.(check bool) "within ttl: loop" true
+    (v.Node_engine.drop = Some Node_engine.Loop_detected);
+  (* Past the TTL the entry has expired: same history, one more tick. *)
+  let engine2 = Node_engine.create ~loop_cache_ttl:1 asg 1 in
+  ignore (Node_engine.forward engine2 ~table:0 ~zfilter:z ~in_link:(Some (link g 4 1)));
+  Node_engine.tick engine2;
+  Node_engine.tick engine2;
+  let v2 = Node_engine.forward engine2 ~table:0 ~zfilter:z ~in_link:(Some (link g 2 1)) in
+  Alcotest.(check bool) "past ttl: forgotten" true (v2.Node_engine.drop = None)
+
+let test_loop_cache_same_link_rearrival () =
+  let g, asg = setup () in
+  let z = risky_zfilter g asg (link g 1 2) in
+  let engine = Node_engine.create ~loop_cache_ttl:2 asg 1 in
+  ignore (Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:(Some (link g 4 1)));
+  Node_engine.tick engine;
+  (* The same (zFilter, in-link) pair re-arriving on the SAME link is
+     re-routed traffic, not a loop — even while the entry is live. *)
+  let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:(Some (link g 4 1)) in
+  Alcotest.(check bool) "same link is not a loop" true (v.Node_engine.drop = None);
+  Alcotest.(check bool) "still suspected (and re-cached)" true
+    v.Node_engine.loop_suspected
+
 let test_table_sizing_star () =
   let g = Graph.create ~nodes:129 in
   for spoke = 1 to 128 do
@@ -356,6 +426,11 @@ let () =
           Alcotest.test_case "loop detection" `Quick test_loop_detection;
           Alcotest.test_case "same interface ok" `Quick
             test_loop_same_interface_not_dropped;
+          Alcotest.test_case "cache capacity eviction order" `Quick
+            test_loop_cache_capacity_eviction_order;
+          Alcotest.test_case "cache ttl expiry" `Quick test_loop_cache_ttl_expiry;
+          Alcotest.test_case "same-link re-arrival ok" `Quick
+            test_loop_cache_same_link_rearrival;
         ] );
       ( "recovery",
         [
