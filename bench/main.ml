@@ -363,7 +363,7 @@ let print_results results =
         match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
       in
       Printf.printf "%-40s %12.1f ns/run\n%!" name ns)
-    (List.sort compare rows)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 let () =
   Printf.printf "LIPSIN benchmarks (Bechamel, monotonic clock)\n%!";

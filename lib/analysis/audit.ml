@@ -1,0 +1,254 @@
+module Fastpath = Lipsin_forwarding.Fastpath
+
+type violation = {
+  check : string;
+  table : int;
+  entry : string;
+  index : int;
+  detail : string;
+}
+
+let to_string v =
+  let where =
+    (if v.table >= 0 then Printf.sprintf " table %d" v.table else "")
+    ^ (if v.entry <> "" then Printf.sprintf " %s" v.entry else "")
+    ^ if v.index >= 0 then Printf.sprintf "[%d]" v.index else ""
+  in
+  Printf.sprintf "[%s]%s: %s" v.check where v.detail
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+(* All checks work on the shared introspection view; nothing here
+   mutates engine state. *)
+
+let popcount_byte b =
+  let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+  go b 0
+
+(* Popcount of the live bits [0, m) of the entry at [slot]. *)
+let live_popcount blob ~slot ~stride ~m =
+  let base = slot * stride in
+  let full = m / 8 in
+  let count = ref 0 in
+  for i = 0 to full - 1 do
+    count := !count + popcount_byte (Char.code (Bytes.get blob (base + i)))
+  done;
+  let rem = m land 7 in
+  if rem <> 0 then
+    count :=
+      !count
+      + popcount_byte (Char.code (Bytes.get blob (base + full)) land ((1 lsl rem) - 1));
+  !count
+
+(* Popcount of the padding bits [m, 8*stride), excluding the kill bit
+   at position m; also reports whether the kill bit itself is set. *)
+let padding_state blob ~slot ~stride ~m =
+  let base = slot * stride in
+  let kill_byte = m lsr 3 in
+  let kill_mask = 1 lsl (m land 7) in
+  let kill_set = Char.code (Bytes.get blob (base + kill_byte)) land kill_mask <> 0 in
+  let stray = ref 0 in
+  for i = m lsr 3 to stride - 1 do
+    let b = Char.code (Bytes.get blob (base + i)) in
+    let live_mask = if i = m lsr 3 then (1 lsl (m land 7)) - 1 else 0 in
+    let pad = b land lnot live_mask land 0xff in
+    let pad = if i = kill_byte then pad land lnot kill_mask land 0xff else pad in
+    stray := !stray + popcount_byte pad
+  done;
+  (kill_set, !stray)
+
+let audit ?(check_digest = true) fp =
+  let v = Fastpath.view fp in
+  let out = ref [] in
+  let flag ?(table = -1) ?(entry = "") ?(index = -1) check detail =
+    out := { check; table; entry; index; detail } :: !out
+  in
+  let m = v.Fastpath.view_m in
+  let d = v.Fastpath.view_d in
+  let words = v.Fastpath.view_words in
+  let stride = v.Fastpath.view_stride in
+  let n_ports = v.Fastpath.view_n_ports in
+  let n_virt = v.Fastpath.view_n_virt in
+  let n_svc = Array.length v.Fastpath.view_svc_names in
+  (* Geometry: the stride layout the hot loop assumes.  Entries always
+     carry at least one spare word bit so the kill bit exists. *)
+  if m <= 0 then flag "geometry" (Printf.sprintf "non-positive width m=%d" m);
+  if d <= 0 then flag "geometry" (Printf.sprintf "non-positive table count d=%d" d);
+  if words <> (m / 64) + 1 then
+    flag "geometry" (Printf.sprintf "words=%d, expected m/64+1=%d" words ((m / 64) + 1));
+  if stride <> 8 * words then
+    flag "geometry" (Printf.sprintf "stride=%d, expected 8*words=%d" stride (8 * words));
+  if v.Fastpath.view_data_len <> (m + 7) / 8 then
+    flag "geometry"
+      (Printf.sprintf "data_len=%d, expected ceil(m/8)=%d" v.Fastpath.view_data_len
+         ((m + 7) / 8));
+  if Array.length v.Fastpath.view_k_for_table <> d then
+    flag "geometry"
+      (Printf.sprintf "k_for_table has %d entries for d=%d tables"
+         (Array.length v.Fastpath.view_k_for_table)
+         d);
+  Array.iteri
+    (fun tbl k ->
+      if k <= 0 || k > m then
+        flag "geometry" ~table:tbl (Printf.sprintf "k=%d outside (0, m=%d]" k m))
+    v.Fastpath.view_k_for_table;
+  (* d-consistency: every candidate table must be present with the same
+     per-kind dimensions. *)
+  let expect_tables name arr =
+    if Array.length arr <> d then
+      flag "d-consistency" ~entry:name
+        (Printf.sprintf "%d per-table blobs for d=%d tables" (Array.length arr) d)
+  in
+  expect_tables "phys" v.Fastpath.view_phys;
+  expect_tables "in" v.Fastpath.view_in_tags;
+  expect_tables "block" v.Fastpath.view_blocks;
+  expect_tables "virt" v.Fastpath.view_virt;
+  expect_tables "local" v.Fastpath.view_local;
+  expect_tables "svc" v.Fastpath.view_svc;
+  if Array.length v.Fastpath.view_block_off <> d then
+    flag "d-consistency" ~entry:"block"
+      (Printf.sprintf "%d offset tables for d=%d tables"
+         (Array.length v.Fastpath.view_block_off)
+         d);
+  (* Port metadata arrays. *)
+  if Array.length v.Fastpath.view_up <> n_ports then
+    flag "port-bounds"
+      (Printf.sprintf "up array length %d <> n_ports %d"
+         (Array.length v.Fastpath.view_up) n_ports);
+  if Array.length v.Fastpath.view_out_index <> n_ports then
+    flag "port-bounds"
+      (Printf.sprintf "out_index length %d <> n_ports %d"
+         (Array.length v.Fastpath.view_out_index)
+         n_ports);
+  (* Virtual egress indirection: monotone prefix offsets, every egress a
+     valid port. *)
+  let voff = v.Fastpath.view_v_out_off in
+  if Array.length voff <> n_virt + 1 then
+    flag "offsets" ~entry:"virt"
+      (Printf.sprintf "v_out_off length %d <> n_virt+1=%d" (Array.length voff)
+         (n_virt + 1))
+  else begin
+    if n_virt >= 0 && voff.(0) <> 0 then
+      flag "offsets" ~entry:"virt" (Printf.sprintf "v_out_off.(0)=%d <> 0" voff.(0));
+    for i = 0 to n_virt - 1 do
+      if voff.(i + 1) < voff.(i) then
+        flag "offsets" ~entry:"virt" ~index:i
+          (Printf.sprintf "v_out_off decreases: %d then %d" voff.(i) voff.(i + 1))
+    done;
+    if Array.length v.Fastpath.view_v_out_ports <> voff.(n_virt) then
+      flag "offsets" ~entry:"virt"
+        (Printf.sprintf "v_out_ports length %d <> v_out_off.(n_virt)=%d"
+           (Array.length v.Fastpath.view_v_out_ports)
+           voff.(n_virt))
+  end;
+  Array.iteri
+    (fun j p ->
+      if p < 0 || p >= n_ports then
+        flag "port-bounds" ~entry:"virt" ~index:j
+          (Printf.sprintf "virtual egress port %d outside [0, %d)" p n_ports))
+    v.Fastpath.view_v_out_ports;
+  (* Decision buffers must hold the worst-case decision. *)
+  if v.Fastpath.view_forward_cap < n_ports then
+    flag "capacity"
+      (Printf.sprintf "forward buffer %d < n_ports %d" v.Fastpath.view_forward_cap
+         n_ports);
+  if v.Fastpath.view_services_cap < n_svc then
+    flag "capacity"
+      (Printf.sprintf "service buffer %d < n_services %d"
+         v.Fastpath.view_services_cap n_svc);
+  if v.Fastpath.view_seen_cap < n_ports then
+    flag "capacity"
+      (Printf.sprintf "seen stamps %d < n_ports %d" v.Fastpath.view_seen_cap n_ports);
+  (* Per-table blob scan: sizes, padding, kill bits, LIT popcounts. *)
+  let tables = min d (Array.length v.Fastpath.view_phys) in
+  let scan ~entry ~n ~exact_k ~kill_for tbl blob =
+    if Bytes.length blob <> n * stride then
+      flag "blob-size" ~table:tbl ~entry
+        (Printf.sprintf "blob is %d bytes, expected %d entries * stride %d = %d"
+           (Bytes.length blob) n stride (n * stride))
+    else
+      for slot = 0 to n - 1 do
+        let kill_set, stray = padding_state blob ~slot ~stride ~m in
+        if stray <> 0 then
+          flag "padding" ~table:tbl ~entry ~index:slot
+            (Printf.sprintf "%d stray bits set beyond position m=%d" stray m);
+        (match kill_for with
+        | None ->
+          if kill_set then
+            flag "kill-bit" ~table:tbl ~entry ~index:slot
+              "kill bit set on an entry kind that never carries one"
+        | Some down ->
+          if kill_set && not (down slot) then
+            flag "kill-bit" ~table:tbl ~entry ~index:slot
+              "kill bit set but the port is up";
+          if (not kill_set) && down slot then
+            flag "kill-bit" ~table:tbl ~entry ~index:slot
+              "port is down but its kill bit is clear");
+        match exact_k with
+        | Some k ->
+          let pc = live_popcount blob ~slot ~stride ~m in
+          if pc <> k then
+            flag "popcount" ~table:tbl ~entry ~index:slot
+              (Printf.sprintf "LIT has %d live bits, expected k=%d" pc k)
+        | None -> ()
+      done
+  in
+  for tbl = 0 to tables - 1 do
+    let k =
+      if tbl < Array.length v.Fastpath.view_k_for_table then
+        Some v.Fastpath.view_k_for_table.(tbl)
+      else None
+    in
+    let down slot =
+      slot < Array.length v.Fastpath.view_up && not v.Fastpath.view_up.(slot)
+    in
+    scan ~entry:"phys" ~n:n_ports ~exact_k:k ~kill_for:(Some down) tbl
+      v.Fastpath.view_phys.(tbl);
+    if tbl < Array.length v.Fastpath.view_in_tags then
+      scan ~entry:"in" ~n:n_ports ~exact_k:k ~kill_for:None tbl
+        v.Fastpath.view_in_tags.(tbl);
+    if tbl < Array.length v.Fastpath.view_local then
+      scan ~entry:"local" ~n:1 ~exact_k:k ~kill_for:None tbl
+        v.Fastpath.view_local.(tbl);
+    if tbl < Array.length v.Fastpath.view_svc then
+      scan ~entry:"svc" ~n:n_svc ~exact_k:k ~kill_for:None tbl
+        v.Fastpath.view_svc.(tbl);
+    (* Virtual entries are ORs of whole trees and block entries are
+       arbitrary veto patterns, so only layout invariants apply. *)
+    if tbl < Array.length v.Fastpath.view_virt then
+      scan ~entry:"virt" ~n:n_virt ~exact_k:None ~kill_for:None tbl
+        v.Fastpath.view_virt.(tbl);
+    if
+      tbl < Array.length v.Fastpath.view_blocks
+      && tbl < Array.length v.Fastpath.view_block_off
+    then begin
+      let off = v.Fastpath.view_block_off.(tbl) in
+      if Array.length off <> n_ports + 1 then
+        flag "offsets" ~table:tbl ~entry:"block"
+          (Printf.sprintf "offset table length %d <> n_ports+1=%d" (Array.length off)
+             (n_ports + 1))
+      else begin
+        if off.(0) <> 0 then
+          flag "offsets" ~table:tbl ~entry:"block"
+            (Printf.sprintf "block_off.(0)=%d <> 0" off.(0));
+        for p = 0 to n_ports - 1 do
+          if off.(p + 1) < off.(p) then
+            flag "offsets" ~table:tbl ~entry:"block" ~index:p
+              (Printf.sprintf "block_off decreases: %d then %d" off.(p) off.(p + 1))
+        done;
+        scan ~entry:"block" ~n:off.(n_ports) ~exact_k:None ~kill_for:None tbl
+          v.Fastpath.view_blocks.(tbl)
+      end
+    end
+  done;
+  if check_digest then begin
+    let now = Fastpath.digest fp in
+    if now <> v.Fastpath.view_digest then
+      flag "digest"
+        (Printf.sprintf "blob digest %#x no longer matches the compile-time %#x" now
+           v.Fastpath.view_digest)
+  end;
+  List.rev !out
+
+let audit_ok ?check_digest fp =
+  match audit ?check_digest fp with [] -> true | _ :: _ -> false

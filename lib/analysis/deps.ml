@@ -1,0 +1,126 @@
+(* A deliberately small s-expression reader: just enough to pull
+   (library (name X) (libraries ...)) stanzas out of dune files.  It
+   understands atoms, quoted strings and ;-comments, which covers every
+   dune file in this repository. *)
+
+type sexp = Atom of string | List of sexp list
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if c = ';' then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' || c = ')' then begin
+      tokens := String.make 1 c :: !tokens;
+      incr i
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      while !i < n && text.[!i] <> '"' do
+        if text.[!i] = '\\' && !i + 1 < n then begin
+          Buffer.add_char buf text.[!i + 1];
+          i := !i + 2
+        end
+        else begin
+          Buffer.add_char buf text.[!i];
+          incr i
+        end
+      done;
+      incr i;
+      tokens := Buffer.contents buf :: !tokens
+    end
+    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = text.[!i] in
+        c <> '(' && c <> ')' && c <> ';' && c <> '"' && c <> ' ' && c <> '\t'
+        && c <> '\n' && c <> '\r'
+      do
+        incr i
+      done;
+      tokens := String.sub text start (!i - start) :: !tokens
+    end
+  done;
+  List.rev !tokens
+
+let parse_sexps text =
+  let rec parse_list acc tokens =
+    match tokens with
+    | [] -> (List.rev acc, [])
+    | ")" :: rest -> (List.rev acc, rest)
+    | "(" :: rest ->
+      let inner, rest = parse_list [] rest in
+      parse_list (List inner :: acc) rest
+    | atom :: rest -> parse_list (Atom atom :: acc) rest
+  in
+  let rec top acc tokens =
+    match tokens with
+    | [] -> List.rev acc
+    | "(" :: rest ->
+      let inner, rest = parse_list [] rest in
+      top (List inner :: acc) rest
+    | ")" :: rest -> top acc rest
+    | _ :: rest -> top acc rest
+  in
+  top [] (tokenize text)
+
+type library = { lib_name : string; lib_dir : string; lib_deps : string list }
+
+let field name items =
+  List.find_map
+    (function
+      | List (Atom n :: rest) when String.equal n name -> Some rest
+      | _ -> None)
+    items
+
+let atoms items =
+  List.filter_map (function Atom a -> Some a | List _ -> None) items
+
+let libraries_of_dune ~path text =
+  let dir = Filename.dirname path in
+  List.filter_map
+    (function
+      | List (Atom "library" :: fields) -> (
+        match field "name" fields with
+        | Some (Atom name :: _) ->
+          let deps =
+            match field "libraries" fields with Some l -> atoms l | None -> []
+          in
+          Some { lib_name = name; lib_dir = dir; lib_deps = deps }
+        | _ -> None)
+      | _ -> None)
+    (parse_sexps text)
+
+let libraries_of_files dune_files =
+  List.concat_map (fun (path, text) -> libraries_of_dune ~path text) dune_files
+
+let owner libraries path =
+  let dir = Filename.dirname path in
+  List.find_opt (fun l -> String.equal l.lib_dir dir) libraries
+
+let reachable_dirs libraries ~root =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace tbl l.lib_name l) libraries;
+  let seen = Hashtbl.create 16 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      match Hashtbl.find_opt tbl name with
+      | Some l -> List.iter visit l.lib_deps
+      | None -> ()
+    end
+  in
+  visit root;
+  List.filter_map
+    (fun l -> if Hashtbl.mem seen l.lib_name then Some l.lib_dir else None)
+    libraries

@@ -1,0 +1,30 @@
+(** The project's internal library dependency graph, read from dune
+    files.
+
+    The [domain-safety] rule needs to know which modules can run on a
+    worker domain: anything in a library reachable (transitively,
+    through [libraries] fields) from the library that owns the
+    Domain-parallel delivery path.  This module parses just enough of
+    dune's s-expression syntax to recover that graph; external library
+    names simply have no stanza and terminate the traversal. *)
+
+type library = {
+  lib_name : string;  (** dune [(name ...)]. *)
+  lib_dir : string;  (** Directory of the defining dune file. *)
+  lib_deps : string list;  (** dune [(libraries ...)], verbatim. *)
+}
+
+val libraries_of_dune : path:string -> string -> library list
+(** All [(library ...)] stanzas of one dune file ([path] supplies the
+    directory). *)
+
+val libraries_of_files : (string * string) list -> library list
+(** Stanzas of many [(path, contents)] dune files. *)
+
+val owner : library list -> string -> library option
+(** The library whose directory contains the given source path, if
+    any. *)
+
+val reachable_dirs : library list -> root:string -> string list
+(** Directories of every internal library reachable from the library
+    named [root] (including itself).  Unknown [root] yields []. *)

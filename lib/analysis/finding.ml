@@ -1,0 +1,60 @@
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let make ~file ~line ~col ~rule message = { file; line; col; rule; message }
+
+let compare_locs a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_human f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.message)
+
+let report_human findings =
+  String.concat ""
+    (List.map (fun f -> to_human f ^ "\n") findings)
+  ^
+  match List.length findings with
+  | 0 -> "no findings\n"
+  | 1 -> "1 finding\n"
+  | n -> Printf.sprintf "%d findings\n" n
+
+let report_json findings =
+  match findings with
+  | [] -> "{\"findings\": [],\n \"count\": 0}\n"
+  | _ :: _ ->
+    let body = String.concat ",\n  " (List.map to_json findings) in
+    Printf.sprintf "{\"findings\": [\n  %s\n ],\n \"count\": %d}\n" body
+      (List.length findings)

@@ -1,0 +1,29 @@
+(** A single lint finding and the two reporters.
+
+    Locations are 1-based lines and 0-based columns, matching the
+    compiler's own convention so editors can jump to them. *)
+
+type t = {
+  file : string;  (** Path as given to the driver (repo-relative). *)
+  line : int;
+  col : int;
+  rule : string;  (** Rule name, e.g. ["no-poly-compare"]. *)
+  message : string;
+}
+
+val make : file:string -> line:int -> col:int -> rule:string -> string -> t
+
+val compare_locs : t -> t -> int
+(** Orders by file, then line, column and rule — the report order. *)
+
+val to_human : t -> string
+(** [file:line:col: [rule] message]. *)
+
+val to_json : t -> string
+(** One finding as a JSON object. *)
+
+val report_human : t list -> string
+(** All findings, one per line, followed by a count summary. *)
+
+val report_json : t list -> string
+(** [{"findings": [...], "count": n}] — the [--format json] output. *)

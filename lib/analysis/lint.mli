@@ -1,0 +1,48 @@
+(** The lint driver: suppressions, parsing, rule orchestration.
+
+    Feed it an in-memory file set (path, contents) — the CLI loads one
+    from disk with {!load_paths}; tests hand-craft theirs.  Dune files
+    in the set supply the library graph the [domain-safety] rule scopes
+    itself with.
+
+    {2 Suppression}
+
+    A comment anywhere in a file of the form
+    [(* lint: allow <rule> — justification *)]
+    suppresses [<rule>] for that whole file.  The justification text is
+    free-form but expected by convention; the scan is textual, so the
+    comment works even in files the parser rejects. *)
+
+val parse_error_rule : string
+(** The pseudo-rule name (["parse-error"]) attached to files the
+    compiler front-end cannot parse. *)
+
+val suppressions : string -> string list
+(** Rule names suppressed by [lint: allow] comments in the given source
+    text, in order of appearance. *)
+
+val default_domain_root : string
+(** ["lipsin_sim"] — the library owning the Domain-parallel delivery
+    path, the root of the [domain-safety] reachability scope. *)
+
+val default_rules :
+  ?domain_root:string -> dune_files:(string * string) list -> unit -> Rules.t list
+(** The four project rules, with [domain-safety] scoped to the library
+    closure of [domain_root] in the given dune files. *)
+
+val rule_names : ?domain_root:string -> unit -> string list
+
+val run :
+  ?domain_root:string ->
+  ?rules:Rules.t list ->
+  files:(string * string) list ->
+  unit ->
+  Finding.t list
+(** Lints every [.ml] entry of [files]: parses (emitting a
+    {!parse_error_rule} finding on failure), applies each rule in scope,
+    filters suppressed findings, and returns the rest sorted by
+    location.  [rules] overrides the {!default_rules}. *)
+
+val load_paths : string list -> (string * string) list
+(** Recursively collects [.ml], [.mli] and [dune] files under the given
+    roots (skipping [_build] and dot-directories) and reads them. *)

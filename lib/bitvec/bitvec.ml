@@ -147,7 +147,7 @@ let intersects a b =
 let equal a b = a.bits = b.bits && Bytes.equal a.data b.data
 
 let compare a b =
-  let c = Stdlib.compare a.bits b.bits in
+  let c = Int.compare a.bits b.bits in
   if c <> 0 then c else Bytes.compare a.data b.data
 
 let iter_set t f =
@@ -211,7 +211,21 @@ let of_bytes n b =
     invalid_arg "Bitvec.of_bytes: padding bits set";
   t
 
-let hash t = Hashtbl.hash (t.bits, Bytes.to_string t.data)
+(* FNV-1a over the backing bytes (plus the width), in native int
+   arithmetic so hashing allocates nothing.  The offset basis is the
+   64-bit FNV basis truncated to OCaml's 63-bit int range; wrap-around
+   multiplication stands in for mod-2^64. *)
+let fnv_offset = 0xcbf29ce484222
+let fnv_prime = 0x100000001b3
+
+let hash t =
+  let h = ref fnv_offset in
+  h := (!h lxor (t.bits land 0xff)) * fnv_prime;
+  h := (!h lxor ((t.bits lsr 8) land 0xff)) * fnv_prime;
+  for i = 0 to Bytes.length t.data - 1 do
+    h := (!h lxor Char.code (Bytes.get t.data i)) * fnv_prime
+  done;
+  !h land max_int
 
 let pp ppf t =
   Format.fprintf ppf "<%d bits, %d set: %s>" t.bits (popcount t) (to_hex t)

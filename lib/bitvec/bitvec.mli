@@ -90,7 +90,8 @@ val of_bytes : int -> bytes -> t
     if padding bits beyond [n] are set. *)
 
 val hash : t -> int
-(** Content hash, compatible with {!equal}. *)
+(** Content hash, compatible with {!equal}: FNV-1a over the backing
+    bytes in native int arithmetic, no allocation. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints [<n bits, p set: hex>]. *)

@@ -23,6 +23,7 @@ type t = {
   node : Graph.node;
   m : int;
   d : int;
+  k_for_table : int array;  (* bits per LIT, per table — audit bound *)
   words : int;  (* 64-bit words per entry; >= m/64 + 1 so a kill bit exists *)
   stride : int;  (* bytes per entry = 8 * words *)
   data_len : int;  (* live filter bytes = ceil(m/8) *)
@@ -52,7 +53,43 @@ type t = {
   seen : int array;  (* per-decision dedup stamps *)
   mutable gen : int;
   decision : decision;
+  mutable blob_digest : int;  (* FNV over all blobs, recorded at compile *)
 }
+
+(* FNV-1a in native int arithmetic (the 64-bit basis truncated to the
+   63-bit int range); the integrity fingerprint Analysis.Audit compares
+   against to catch any post-compile byte corruption. *)
+let fnv_offset = 0xcbf29ce484222
+let fnv_prime = 0x100000001b3
+let fnv_byte h b = (h lxor b) * fnv_prime
+
+let fnv_bytes h blob =
+  let h = ref h in
+  for i = 0 to Bytes.length blob - 1 do
+    h := fnv_byte !h (Char.code (Bytes.get blob i))
+  done;
+  !h
+
+let fnv_int h i =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := fnv_byte !h ((i lsr (8 * shift)) land 0xff)
+  done;
+  !h
+
+let digest t =
+  let h = ref fnv_offset in
+  let ints = [ t.m; t.d; t.words; t.stride; t.n_ports; t.n_virt ] in
+  List.iter (fun i -> h := fnv_int !h i) ints;
+  Array.iter (fun k -> h := fnv_int !h k) t.k_for_table;
+  let blobs tbl_array = Array.iter (fun b -> h := fnv_bytes !h b) tbl_array in
+  blobs t.phys;
+  blobs t.in_tags;
+  blobs t.blocks;
+  blobs t.virt;
+  blobs t.local;
+  blobs t.svc;
+  !h land max_int
 
 let compile engine =
   let st = Node_engine.state engine in
@@ -161,10 +198,12 @@ let compile engine =
         Array.iteri (fun s (tags, _) -> write blob s tags.(tbl)) services;
         blob)
   in
+  let t =
   {
     node = st.Node_engine.state_node;
     m;
     d;
+    k_for_table = Array.copy params.Lit.k_for_table;
     words;
     stride;
     data_len;
@@ -205,7 +244,11 @@ let compile engine =
         drop = no_drop;
         tests = 0;
       };
+    blob_digest = 0;
   }
+  in
+  t.blob_digest <- digest t;
+  t
 
 let node t = t.node
 let table_count t = t.d
@@ -357,6 +400,61 @@ let verdict t d =
     loop_suspected = d.loop_suspected;
     drop = drop_reason d;
     false_positive_tests = d.tests;
+  }
+
+type view = {
+  view_m : int;
+  view_d : int;
+  view_k_for_table : int array;
+  view_words : int;
+  view_stride : int;
+  view_data_len : int;
+  view_n_ports : int;
+  view_up : bool array;
+  view_out_index : int array;
+  view_phys : Bytes.t array;
+  view_in_tags : Bytes.t array;
+  view_blocks : Bytes.t array;
+  view_block_off : int array array;
+  view_n_virt : int;
+  view_virt : Bytes.t array;
+  view_v_out_off : int array;
+  view_v_out_ports : int array;
+  view_local : Bytes.t array;
+  view_svc : Bytes.t array;
+  view_svc_names : string array;
+  view_forward_cap : int;
+  view_services_cap : int;
+  view_seen_cap : int;
+  view_digest : int;
+}
+
+let view t =
+  {
+    view_m = t.m;
+    view_d = t.d;
+    view_k_for_table = t.k_for_table;
+    view_words = t.words;
+    view_stride = t.stride;
+    view_data_len = t.data_len;
+    view_n_ports = t.n_ports;
+    view_up = t.up;
+    view_out_index = t.out_index;
+    view_phys = t.phys;
+    view_in_tags = t.in_tags;
+    view_blocks = t.blocks;
+    view_block_off = t.block_off;
+    view_n_virt = t.n_virt;
+    view_virt = t.virt;
+    view_v_out_off = t.v_out_off;
+    view_v_out_ports = t.v_out_ports;
+    view_local = t.local;
+    view_svc = t.svc;
+    view_svc_names = t.svc_names;
+    view_forward_cap = Array.length t.decision.forward;
+    view_services_cap = Array.length t.decision.services;
+    view_seen_cap = Array.length t.seen;
+    view_digest = t.blob_digest;
   }
 
 let table_bytes t =

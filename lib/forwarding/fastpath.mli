@@ -95,3 +95,46 @@ val verdict : t -> decision -> Node_engine.verdict
 val table_bytes : t -> int
 (** Total compiled table footprint in bytes (all d tables: physical,
     incoming, block, virtual, local and service rows). *)
+
+(** {1 Introspection}
+
+    A structural window onto the compiled blobs for the invariant
+    auditor ([Lipsin_analysis.Audit]) and its mutation tests.  The
+    arrays and [Bytes.t] values are {e shared} with the live engine, not
+    copies — treat them as read-only unless you are deliberately
+    injecting corruption in a test. *)
+
+type view = {
+  view_m : int;  (** Filter width in bits. *)
+  view_d : int;  (** Number of forwarding tables. *)
+  view_k_for_table : int array;  (** Bits set per LIT, per table. *)
+  view_words : int;  (** 64-bit words per entry, [m/64 + 1]. *)
+  view_stride : int;  (** Bytes per entry, [8 * words]. *)
+  view_data_len : int;  (** Live filter bytes, [ceil(m/8)]. *)
+  view_n_ports : int;
+  view_up : bool array;  (** Per-port link state at compile time. *)
+  view_out_index : int array;  (** Port -> dense link index. *)
+  view_phys : Bytes.t array;  (** Per table: [n_ports] LIT entries. *)
+  view_in_tags : Bytes.t array;  (** Per table: [n_ports] incoming LITs. *)
+  view_blocks : Bytes.t array;  (** Per table: concatenated veto patterns. *)
+  view_block_off : int array array;
+      (** Per table: [n_ports + 1] prefix offsets into the block blob. *)
+  view_n_virt : int;
+  view_virt : Bytes.t array;  (** Per table: [n_virt] virtual entries. *)
+  view_v_out_off : int array;  (** [n_virt + 1] prefix offsets. *)
+  view_v_out_ports : int array;  (** Flattened virtual egress ports. *)
+  view_local : Bytes.t array;  (** Per table: the node-local LIT. *)
+  view_svc : Bytes.t array;  (** Per table: one entry per service. *)
+  view_svc_names : string array;
+  view_forward_cap : int;  (** Decision buffer capacity for ports. *)
+  view_services_cap : int;  (** Decision buffer capacity for services. *)
+  view_seen_cap : int;  (** Dedup stamp array capacity. *)
+  view_digest : int;  (** Integrity digest recorded at {!compile}. *)
+}
+
+val view : t -> view
+
+val digest : t -> int
+(** Recomputes the FNV-1a integrity digest over the current blob
+    contents and geometry.  Equal to [(view t).view_digest] iff no blob
+    byte changed since {!compile}. *)

@@ -11,6 +11,10 @@ module Run = Lipsin_sim.Run
 
 type address = { domain : int; node : Graph.node }
 
+let compare_address a b =
+  let c = Int.compare a.domain b.domain in
+  if c <> 0 then c else Int.compare a.node b.node
+
 type domain = {
   graph : Graph.t;
   assignment : Assignment.t;
@@ -113,7 +117,9 @@ type delivery = {
    [d]; returns (traversals, false positives, reached targets). *)
 let intra_leg t domain_index ~entry ~targets =
   let d = t.domains.(domain_index) in
-  let targets = List.sort_uniq compare (List.filter (fun v -> v <> entry) targets) in
+  let targets =
+    List.sort_uniq Int.compare (List.filter (fun v -> v <> entry) targets)
+  in
   if targets = [] then (0, 0, [ entry ])
   else begin
     let tree = Spt.delivery_tree d.graph ~root:entry ~subscribers:targets in
@@ -170,7 +176,7 @@ let publish t ~topic ~publisher =
   if subs = [] then Error "topic has no remote subscribers"
   else begin
     let sub_domains =
-      List.sort_uniq compare (List.map (fun a -> a.domain) subs)
+      List.sort_uniq Int.compare (List.map (fun a -> a.domain) subs)
     in
     let table = 0 in
     let tree = interdomain_tree t ~publisher_domain:publisher.domain ~sub_domains in
@@ -235,7 +241,7 @@ let publish t ~topic ~publisher =
             Queue.add (next, entry_border, genuine) queue)
         !next_hops
     done;
-    let delivered = List.sort_uniq compare !delivered in
+    let delivered = List.sort_uniq compare_address !delivered in
     let missed = List.filter (fun a -> not (List.mem a delivered)) subs in
     Ok
       {
@@ -253,7 +259,7 @@ let interdomain_fill t ~topic ~publisher =
   let subs = List.filter (fun a -> a <> publisher) (subscribers t ~topic) in
   if subs = [] then None
   else begin
-    let sub_domains = List.sort_uniq compare (List.map (fun a -> a.domain) subs) in
+    let sub_domains = List.sort_uniq Int.compare (List.map (fun a -> a.domain) subs) in
     let tree = interdomain_tree t ~publisher_domain:publisher.domain ~sub_domains in
     let z = build_inter_zfilter t ~tree ~sub_domains ~table:0 in
     Some (Zfilter.fill_factor z)

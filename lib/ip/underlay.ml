@@ -42,7 +42,7 @@ let create ?(params = Lit.default) ?(seed = 5) graph ~edges =
     graph;
     assignment;
     net = Net.make assignment;
-    edge_list = List.sort_uniq compare edges;
+    edge_list = List.sort_uniq Int.compare edges;
     is_edge;
     fibs = Hashtbl.create 8;
     ssm = Hashtbl.create 32;

@@ -1,0 +1,72 @@
+(** LIPSIN — Line Speed Publish/Subscribe Inter-Networking.
+
+    The umbrella entry point: one alias per subsystem, so applications
+    can depend on the [lipsin] library alone and write
+    [Lipsin.Pubsub.System.create], [Lipsin.Core.Candidate.build], etc.
+    Each alias's own documentation describes its subsystem; DESIGN.md
+    maps them to the paper's sections. *)
+
+(** Deterministic PRNG, statistics, Zipf sampling. *)
+module Util = Lipsin_util
+
+(** Fixed-width bit vectors (word-parallel AND/OR/subset). *)
+module Bitvec = Lipsin_bitvec
+
+(** Link ID Tags and in-packet Bloom filters (zFilters). *)
+module Bloom = Lipsin_bloom
+
+(** Graphs of unidirectional links, trees, metrics, generators. *)
+module Topology = Lipsin_topology
+
+(** The LIPSIN packet wire format. *)
+module Packet = Lipsin_packet
+
+(** LIT assignment, candidate construction and selection, splitting,
+    adaptive widths, Link ID rotation, multipath. *)
+module Core = Lipsin_core
+
+(** The forwarding node: Algorithm 1, virtual links, loop prevention,
+    blocking, fast recovery. *)
+module Forwarding = Lipsin_forwarding
+
+(** Packet-level, time-domain and fluid simulation. *)
+module Sim = Lipsin_sim
+
+(** Topics, rendezvous, and the publish/subscribe system. *)
+module Pubsub = Lipsin_pubsub
+
+(** Virtual links and stateful dense multicast. *)
+module Stateful = Lipsin_stateful
+
+(** Comparators: LPM router, multiple unicast, IP SSM state, Xcast. *)
+module Baseline = Lipsin_baseline
+
+(** Inter-domain forwarding, routing policy, the topic directory. *)
+module Interdomain = Lipsin_interdomain
+
+(** Zipf workload generation and evaluation. *)
+module Workload = Lipsin_workload
+
+(** Attack models and defences. *)
+module Security = Lipsin_security
+
+(** In-band control messages and operations. *)
+module Control = Lipsin_control
+
+(** Link-state bootstrap of the topology/rendezvous functions. *)
+module Bootstrap = Lipsin_bootstrap
+
+(** Opportunistic in-network caching. *)
+module Cache = Lipsin_cache
+
+(** LIPSIN as an IP forwarding fabric (unicast LPM + SSM). *)
+module Ip = Lipsin_ip
+
+(** End-node hosts: publication file systems and mailboxes. *)
+module Node = Lipsin_node
+
+(** Lateral error correction (XOR parity windows). *)
+module Fec = Lipsin_fec
+
+(** Recursive layering: overlays whose links are underlay deliveries. *)
+module Recursive = Lipsin_recursive

@@ -113,7 +113,7 @@ type delivery = {
 
 let publish t ~src ~subscribers =
   let subscribers =
-    List.sort_uniq compare (List.filter (fun s -> s <> src) subscribers)
+    List.sort_uniq Int.compare (List.filter (fun s -> s <> src) subscribers)
   in
   if subscribers = [] then Error "no overlay subscribers"
   else begin
@@ -152,7 +152,7 @@ let publish t ~src ~subscribers =
       let direct_tree =
         Spt.delivery_tree (Net.graph t.underlay_net) ~root:t.attach.(src)
           ~subscribers:
-            (List.sort_uniq compare (List.map (fun s -> t.attach.(s)) subscribers))
+            (List.sort_uniq Int.compare (List.map (fun s -> t.attach.(s)) subscribers))
       in
       Ok
         {

@@ -41,11 +41,27 @@ let engine t node =
 
 let engine_of = engine
 
+(* Debug guardrail: with LIPSIN_FASTPATH_AUDIT set, every compile is
+   re-verified against the blob-layout invariants before it can serve a
+   decision.  Read per compile (compiles are rare) so no global state is
+   introduced — this module is reachable from the Domain-parallel
+   delivery path. *)
+let audit_enabled () = Sys.getenv_opt "LIPSIN_FASTPATH_AUDIT" <> None
+
 let fastpath t node =
   match t.fastpaths.(node) with
   | Some f -> f
   | None ->
     let f = Fastpath.compile (engine t node) in
+    if audit_enabled () then begin
+      match Lipsin_analysis.Audit.audit f with
+      | [] -> ()
+      | violations ->
+        invalid_arg
+          (Printf.sprintf "Net.fastpath: audit of node %d's compile failed: %s" node
+             (String.concat "; "
+                (List.map Lipsin_analysis.Audit.to_string violations)))
+    end;
     t.fastpaths.(node) <- Some f;
     f
 

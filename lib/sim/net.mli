@@ -25,7 +25,13 @@ val fastpath : t -> Lipsin_topology.Graph.node -> Lipsin_forwarding.Fastpath.t
     state on first use and cached.  {!fail_link}/{!restore_link}
     invalidate the node's compilation automatically; after mutating an
     engine directly (virtual installs, blocks, ...) call
-    {!invalidate_fastpath} yourself. *)
+    {!invalidate_fastpath} yourself.
+
+    When the [LIPSIN_FASTPATH_AUDIT] environment variable is set, every
+    fresh compilation is verified with {!Lipsin_analysis.Audit} before
+    being cached, and [Invalid_argument] is raised listing the
+    violations if the blob layout is unsound — a debug-build guardrail
+    against encoding-invariant drift. *)
 
 val invalidate_fastpath : t -> Lipsin_topology.Graph.node -> unit
 (** Drops the node's cached compilation so the next {!fastpath} call

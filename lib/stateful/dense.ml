@@ -22,7 +22,7 @@ let top_degree_nodes graph ~count ~excluding =
   nodes
   |> List.filter (fun (_, v) -> v <> excluding)
   |> List.sort (fun (da, va) (db, vb) ->
-         if da <> db then compare db da else compare va vb)
+         if da <> db then Int.compare db da else Int.compare va vb)
   |> List.filteri (fun i _ -> i < count)
   |> List.map snd
 
@@ -64,7 +64,7 @@ let plan assignment rng ~publisher ~subscribers ~cores =
       by_core []
   in
   let used_cores =
-    Hashtbl.fold (fun core _ acc -> core :: acc) by_core [] |> List.sort compare
+    Hashtbl.fold (fun core _ acc -> core :: acc) by_core [] |> List.sort Int.compare
   in
   let core_links =
     Spt.delivery_tree graph ~root:publisher ~subscribers:used_cores

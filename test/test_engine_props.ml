@@ -59,7 +59,7 @@ let prop_forward_no_duplicates =
       Zfilter.add z (Lit.tag vlit 0);
       let v = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
       let idx = List.map (fun l -> l.Graph.index) v.Node_engine.forward_on in
-      List.length idx = List.length (List.sort_uniq compare idx))
+      List.length idx = List.length (List.sort_uniq Int.compare idx))
 
 let prop_forward_deterministic =
   QCheck.Test.make ~name:"same packet, same verdict (stateless decision)" ~count:100

@@ -156,7 +156,7 @@ let test_service_endpoints () =
   let both = Zfilter.of_tags ~m:params.Lit.m [ Lit.tag cache_svc 0; Lit.tag log_svc 0 ] in
   let v2 = Node_engine.forward engine ~table:0 ~zfilter:both ~in_link:None in
   Alcotest.(check (list string)) "both addressed" [ "cache"; "logger" ]
-    (List.sort compare v2.Node_engine.services_matched);
+    (List.sort String.compare v2.Node_engine.services_matched);
   Node_engine.remove_service engine cache_svc;
   let v3 = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
   Alcotest.(check (list string)) "removed" [] v3.Node_engine.services_matched
