@@ -1,5 +1,5 @@
-(* lipsin-lint — project-invariant static analysis and fastpath blob
-   auditing.
+(* lipsin-lint — project-invariant static analysis, fastpath blob
+   auditing and whole-deployment verification.
 
    Lint mode (default):
      lipsin_lint [--format human|json] [--list-rules] PATH...
@@ -11,24 +11,74 @@
      lipsin_lint --audit --edges FILE --assignment FILE [--fill-limit F]
    loads a persisted topology (Edge_list) and LIT assignment (Persist),
    compiles every node's fast path and structurally verifies the
-   compiled blobs with Analysis.Audit; exits 1 on any violation.
+   compiled blobs with Analysis.Audit; exits 2 on any violation.
 
-   Exit codes: 0 clean, 1 findings/violations, 2 usage or I/O error. *)
+   Netcheck mode:
+     lipsin_lint --netcheck --edges FILE --assignment FILE
+                 [--fill-limit F] [--samples N] [--seed N] [--strict]
+   statically verifies the deployment itself with Analysis.Netcheck:
+   LIT anomalies, loop admissibility per table, recovery soundness,
+   and (with --samples) the candidates of N random delivery trees.
+   Findings flow through the linter's human/JSON reporters; exits 3 on
+   Error-severity findings (any finding with --strict).
+
+   Exit codes (distinct per mode so CI can tell them apart):
+     0   clean
+     1   lint findings
+     2   audit violations
+     3   netcheck errors (any finding with --strict)
+     64  usage or I/O error *)
 
 module Lint = Lipsin_linter.Lint
 module Finding = Lipsin_linter.Finding
 module Audit = Lipsin_analysis.Audit
+module Netcheck = Lipsin_analysis.Netcheck
 module Edge_list = Lipsin_topology.Edge_list
 module Graph = Lipsin_topology.Graph
 module Persist = Lipsin_core.Persist
 module Node_engine = Lipsin_forwarding.Node_engine
 module Fastpath = Lipsin_forwarding.Fastpath
 
+let exit_usage = 64
+
+let help_text =
+  "usage: lipsin_lint [--format human|json] [--list-rules] PATH...\n\
+  \       lipsin_lint --audit --edges FILE --assignment FILE [--fill-limit F]\n\
+  \       lipsin_lint --netcheck --edges FILE --assignment FILE\n\
+  \                   [--fill-limit F] [--samples N] [--seed N] [--strict]\n\
+   \n\
+   modes:\n\
+  \  (default)    lint .ml/.mli/dune sources against the project rules\n\
+  \  --audit      structurally verify every node's compiled fastpath blobs\n\
+  \  --netcheck   statically verify the deployment: LIT collisions/subsets,\n\
+  \               admissible forwarding loops per table, recovery soundness,\n\
+  \               and (with --samples N) loop/false-delivery/fill checks on\n\
+  \               all candidates of N random delivery trees\n\
+   \n\
+   options:\n\
+  \  --format human|json   report format (lint and netcheck modes)\n\
+  \  --list-rules          print the lint rules and exit\n\
+  \  --edges FILE          persisted topology (Edge_list format)\n\
+  \  --assignment FILE     persisted LIT assignment (Persist format)\n\
+  \  --fill-limit F        fill-factor drop threshold (default 0.7)\n\
+  \  --samples N           netcheck: random delivery trees to verify (default 8)\n\
+  \  --seed N              netcheck: sampling seed (default 17)\n\
+  \  --strict              netcheck: exit 3 on any finding, not just errors\n\
+   \n\
+   exit codes:\n\
+  \  0   clean\n\
+  \  1   lint findings\n\
+  \  2   audit violations\n\
+  \  3   netcheck errors (any finding with --strict)\n\
+  \  64  usage or I/O error\n"
+
 let usage () =
-  prerr_endline
-    "usage: lipsin_lint [--format human|json] [--list-rules] PATH...\n\
-    \       lipsin_lint --audit --edges FILE --assignment FILE [--fill-limit F]";
-  exit 2
+  prerr_string help_text;
+  exit exit_usage
+
+let help () =
+  print_string help_text;
+  exit 0
 
 let list_rules () =
   List.iter
@@ -45,7 +95,7 @@ let run_lint ~format ~paths =
   let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
   if missing <> [] then begin
     List.iter (Printf.eprintf "lipsin_lint: no such path: %s\n") missing;
-    exit 2
+    exit exit_usage
   end;
   let files = Lint.load_paths paths in
   let findings = Lint.run ~files () in
@@ -54,23 +104,27 @@ let run_lint ~format ~paths =
   | `Json -> print_string (Finding.report_json findings));
   exit (match findings with [] -> 0 | _ :: _ -> 1)
 
-let run_audit ~edges ~assignment ~fill_limit =
+let load_deployment ~edges ~assignment =
   let graph =
     try Edge_list.load edges
     with Sys_error msg | Invalid_argument msg ->
       Printf.eprintf "lipsin_lint: cannot load topology: %s\n" msg;
-      exit 2
+      exit exit_usage
   in
   let asg =
     match Persist.load graph assignment with
     | Ok asg -> asg
     | Error msg ->
       Printf.eprintf "lipsin_lint: cannot load assignment: %s\n" msg;
-      exit 2
+      exit exit_usage
     | exception Sys_error msg ->
       Printf.eprintf "lipsin_lint: cannot load assignment: %s\n" msg;
-      exit 2
+      exit exit_usage
   in
+  (graph, asg)
+
+let run_audit ~edges ~assignment ~fill_limit =
+  let graph, asg = load_deployment ~edges ~assignment in
   let nodes = Graph.node_count graph in
   let violations = ref 0 in
   for node = 0 to nodes - 1 do
@@ -89,48 +143,97 @@ let run_audit ~edges ~assignment ~fill_limit =
   if !violations = 0 then
     Printf.printf "audit clean: %d nodes, every compiled table verified\n" nodes
   else Printf.printf "%d violations\n" !violations;
-  exit (if !violations = 0 then 0 else 1)
+  exit (if !violations = 0 then 0 else 2)
+
+let run_netcheck ~format ~edges ~assignment ~fill_limit ~samples ~seed ~strict =
+  let _graph, asg = load_deployment ~edges ~assignment in
+  let model =
+    match fill_limit with
+    | Some fill_limit -> Netcheck.model_of_assignment ~fill_limit asg
+    | None -> Netcheck.model_of_assignment asg
+  in
+  let rng = Lipsin_util.Rng.of_int seed in
+  let findings = Netcheck.check_deployment ~samples ~rng model in
+  let reported =
+    List.map (Netcheck.to_lint_finding ~deployment:assignment) findings
+  in
+  (match format with
+  | `Human -> print_string (Finding.report_human reported)
+  | `Json -> print_string (Finding.report_json reported));
+  let failing = if strict then findings else Netcheck.errors findings in
+  exit (match failing with [] -> 0 | _ :: _ -> 3)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse args ~format ~paths ~audit ~edges ~assignment ~fill_limit =
+  let rec parse args ~format ~paths ~mode ~edges ~assignment ~fill_limit
+      ~samples ~seed ~strict =
     match args with
-    | [] ->
-      if audit then
+    | [] -> (
+      match mode with
+      | `Audit -> (
         match (edges, assignment) with
         | Some edges, Some assignment -> run_audit ~edges ~assignment ~fill_limit
         | _ ->
           prerr_endline "lipsin_lint: --audit needs --edges and --assignment";
-          exit 2
-      else if paths = [] then usage ()
-      else run_lint ~format ~paths:(List.rev paths)
-    | "--help" :: _ | "-h" :: _ -> usage ()
+          exit exit_usage)
+      | `Netcheck -> (
+        match (edges, assignment) with
+        | Some edges, Some assignment ->
+          run_netcheck ~format ~edges ~assignment ~fill_limit ~samples ~seed
+            ~strict
+        | _ ->
+          prerr_endline "lipsin_lint: --netcheck needs --edges and --assignment";
+          exit exit_usage)
+      | `Lint ->
+        if paths = [] then usage ()
+        else run_lint ~format ~paths:(List.rev paths))
+    | "--help" :: _ | "-h" :: _ -> help ()
     | "--list-rules" :: _ -> list_rules ()
     | "--format" :: fmt :: rest ->
       let format =
-        match fmt with
-        | "human" -> `Human
-        | "json" -> `Json
-        | _ -> usage ()
+        match fmt with "human" -> `Human | "json" -> `Json | _ -> usage ()
       in
-      parse rest ~format ~paths ~audit ~edges ~assignment ~fill_limit
+      parse rest ~format ~paths ~mode ~edges ~assignment ~fill_limit ~samples
+        ~seed ~strict
     | "--audit" :: rest ->
-      parse rest ~format ~paths ~audit:true ~edges ~assignment ~fill_limit
+      parse rest ~format ~paths ~mode:`Audit ~edges ~assignment ~fill_limit
+        ~samples ~seed ~strict
+    | "--netcheck" :: rest ->
+      parse rest ~format ~paths ~mode:`Netcheck ~edges ~assignment ~fill_limit
+        ~samples ~seed ~strict
+    | "--strict" :: rest ->
+      parse rest ~format ~paths ~mode ~edges ~assignment ~fill_limit ~samples
+        ~seed ~strict:true
     | "--edges" :: file :: rest ->
-      parse rest ~format ~paths ~audit ~edges:(Some file) ~assignment ~fill_limit
+      parse rest ~format ~paths ~mode ~edges:(Some file) ~assignment
+        ~fill_limit ~samples ~seed ~strict
     | "--assignment" :: file :: rest ->
-      parse rest ~format ~paths ~audit ~edges ~assignment:(Some file) ~fill_limit
+      parse rest ~format ~paths ~mode ~edges ~assignment:(Some file)
+        ~fill_limit ~samples ~seed ~strict
     | "--fill-limit" :: v :: rest -> (
       match float_of_string_opt v with
       | Some f ->
-        parse rest ~format ~paths ~audit ~edges ~assignment ~fill_limit:(Some f)
+        parse rest ~format ~paths ~mode ~edges ~assignment
+          ~fill_limit:(Some f) ~samples ~seed ~strict
+      | None -> usage ())
+    | "--samples" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 ->
+        parse rest ~format ~paths ~mode ~edges ~assignment ~fill_limit
+          ~samples:n ~seed ~strict
+      | _ -> usage ())
+    | "--seed" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n ->
+        parse rest ~format ~paths ~mode ~edges ~assignment ~fill_limit
+          ~samples ~seed:n ~strict
       | None -> usage ())
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
       Printf.eprintf "lipsin_lint: unknown option %s\n" arg;
       usage ()
     | path :: rest ->
-      parse rest ~format ~paths:(path :: paths) ~audit ~edges ~assignment
-        ~fill_limit
+      parse rest ~format ~paths:(path :: paths) ~mode ~edges ~assignment
+        ~fill_limit ~samples ~seed ~strict
   in
-  parse args ~format:`Human ~paths:[] ~audit:false ~edges:None ~assignment:None
-    ~fill_limit:None
+  parse args ~format:`Human ~paths:[] ~mode:`Lint ~edges:None ~assignment:None
+    ~fill_limit:None ~samples:8 ~seed:17 ~strict:false

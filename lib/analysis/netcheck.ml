@@ -1,0 +1,850 @@
+(* Whole-deployment static verification (see netcheck.mli and
+   DESIGN.md Sec. 5d).
+
+   The key modelling fact, taken from Node_engine.forward: the set of
+   out-links a zFilter is copied to at a node depends only on the
+   node's table state and the filter — never on the arrival link.  So
+   the links one packet can traverse form a fixed point computable by
+   node-level BFS ("delivery closure"), a loop exists iff that closure
+   contains a directed cycle, and the incoming-LIT check (Sec. 3.3.3)
+   catches a cycle iff some node on it receives the packet over two
+   distinct in-links (the cache keys on the first arrival and drops on
+   a different one; a source-entered pure ring never triggers it). *)
+
+module Bitvec = Lipsin_bitvec.Bitvec
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Node_engine = Lipsin_forwarding.Node_engine
+module Recovery = Lipsin_forwarding.Recovery
+module Rng = Lipsin_util.Rng
+module Finding = Lipsin_linter.Finding
+
+type severity = Info | Warning | Error
+
+type finding = {
+  check : string;
+  severity : severity;
+  table : int;
+  node : int;
+  links : int list;
+  detail : string;
+}
+
+type virtual_entry = {
+  v_tags : Bitvec.t array;
+  v_out : Graph.link list;
+}
+
+type model = {
+  assignment : Assignment.t;
+  net_graph : Graph.t;
+  params : Lit.params;
+  limit : float;
+  loop_prevention : bool;
+  up : bool array;  (* by link index *)
+  tags : Bitvec.t array array;  (* tags.(link index).(table) *)
+  blocks : Bitvec.t option array list array;  (* by link index *)
+  virtuals : virtual_entry list array;  (* by node *)
+}
+
+let graph t = t.net_graph
+let fill_limit t = t.limit
+
+let mk ?(table = -1) ?(node = -1) ?(links = []) check severity detail =
+  { check; severity; table; node; links; detail }
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let lstr g i =
+  let l = Graph.link g i in
+  Printf.sprintf "%d->%d#%d" l.Graph.src l.Graph.dst i
+
+let links_str g indices = String.concat " " (List.map (lstr g) indices)
+
+let anchor_string f =
+  let anchors =
+    List.filter_map Fun.id
+      [
+        (if f.table >= 0 then Some (Printf.sprintf "table %d" f.table) else None);
+        (if f.node >= 0 then Some (Printf.sprintf "node %d" f.node) else None);
+        (match f.links with
+        | [] -> None
+        | ls ->
+          Some
+            (Printf.sprintf "links %s"
+               (String.concat "," (List.map string_of_int ls))));
+      ]
+  in
+  match anchors with
+  | [] -> ""
+  | _ -> " (" ^ String.concat ", " anchors ^ ")"
+
+let to_string f =
+  Printf.sprintf "%s [%s]%s: %s"
+    (severity_to_string f.severity)
+    f.check (anchor_string f) f.detail
+
+let to_lint_finding ~deployment f =
+  Finding.make ~file:deployment ~line:0 ~col:0 ~rule:f.check
+    (Printf.sprintf "%s%s: %s"
+       (severity_to_string f.severity)
+       (anchor_string f) f.detail)
+
+let errors findings =
+  List.filter (fun f -> match f.severity with Error -> true | _ -> false)
+    findings
+
+(* ---------------------------------------------------------------- *)
+(* Models                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let model_of_assignment ?(fill_limit = 0.7) ?(loop_prevention = true)
+    assignment =
+  let g = Assignment.graph assignment in
+  let nl = Graph.link_count g in
+  let tags = Array.make nl [||] in
+  Graph.iter_links g (fun l ->
+      tags.(l.Graph.index) <- Lit.tags (Assignment.lit assignment l));
+  {
+    assignment;
+    net_graph = g;
+    params = Assignment.params assignment;
+    limit = fill_limit;
+    loop_prevention;
+    up = Array.make nl true;
+    tags;
+    blocks = Array.make nl [];
+    virtuals = Array.make (Graph.node_count g) [];
+  }
+
+let model_of_engines assignment ~engine_of =
+  let g = Assignment.graph assignment in
+  let nl = Graph.link_count g in
+  let up = Array.make nl true in
+  let tags = Array.make nl [||] in
+  let blocks = Array.make nl [] in
+  let virtuals = Array.make (Graph.node_count g) [] in
+  let limit = ref infinity in
+  let loop_prevention = ref true in
+  for v = 0 to Graph.node_count g - 1 do
+    let st = Node_engine.state (engine_of v) in
+    if st.Node_engine.state_fill_limit < !limit then
+      limit := st.Node_engine.state_fill_limit;
+    if not st.Node_engine.state_loop_prevention then loop_prevention := false;
+    Array.iter
+      (fun p ->
+        let i = p.Node_engine.port_link.Graph.index in
+        up.(i) <- p.Node_engine.port_up;
+        tags.(i) <- p.Node_engine.port_tags;
+        blocks.(i) <- p.Node_engine.port_blocks)
+      st.Node_engine.state_ports;
+    virtuals.(v) <-
+      List.map
+        (fun (v_tags, v_out) -> { v_tags; v_out })
+        st.Node_engine.state_virtuals
+  done;
+  {
+    assignment;
+    net_graph = g;
+    params = Assignment.params assignment;
+    limit = !limit;
+    loop_prevention = !loop_prevention;
+    up;
+    tags;
+    blocks;
+    virtuals;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Delivery closure (abstract Algorithm 1)                          *)
+(* ---------------------------------------------------------------- *)
+
+let blocked t i ~table ~zbv =
+  List.exists
+    (fun neg ->
+      match neg.(table) with
+      | Some pattern -> Bitvec.subset pattern ~of_:zbv
+      | None -> false)
+    t.blocks.(i)
+
+(* Out-links the packet is copied to at [v] — exactly the physical and
+   virtual scans of Node_engine.forward, which are arrival-independent. *)
+let admitted_out t ~table ~zbv v =
+  let out = ref [] in
+  List.iter
+    (fun l ->
+      let i = l.Graph.index in
+      if
+        t.up.(i)
+        && Bitvec.subset t.tags.(i).(table) ~of_:zbv
+        && not (blocked t i ~table ~zbv)
+      then out := l :: !out)
+    (Graph.out_links t.net_graph v);
+  List.iter
+    (fun ve ->
+      if Bitvec.subset ve.v_tags.(table) ~of_:zbv then
+        List.iter
+          (fun l -> if t.up.(l.Graph.index) then out := l :: !out)
+          ve.v_out)
+    t.virtuals.(v);
+  List.sort_uniq (fun a b -> Int.compare a.Graph.index b.Graph.index) !out
+
+(* Fixed point: (reached links, reached nodes) of the packet from
+   [src].  Node-level BFS is exact because admission is
+   arrival-independent. *)
+let closure t ~table ~zbv ~src =
+  let reached_links = Array.make (Graph.link_count t.net_graph) false in
+  let reached_nodes = Array.make (Graph.node_count t.net_graph) false in
+  reached_nodes.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.take q in
+    List.iter
+      (fun l ->
+        if not reached_links.(l.Graph.index) then begin
+          reached_links.(l.Graph.index) <- true;
+          if not reached_nodes.(l.Graph.dst) then begin
+            reached_nodes.(l.Graph.dst) <- true;
+            Queue.add l.Graph.dst q
+          end
+        end)
+      (admitted_out t ~table ~zbv v)
+  done;
+  (reached_links, reached_nodes)
+
+(* Cyclic strongly connected components of the reached link digraph
+   (Tarjan).  Self-loops don't exist, so cyclic means >= 2 nodes. *)
+let cyclic_sccs t ~reached_links =
+  let g = t.net_graph in
+  let n = Graph.node_count g in
+  let adj v =
+    List.filter (fun l -> reached_links.(l.Graph.index)) (Graph.out_links g v)
+  in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strong v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun l ->
+        let w = l.Graph.dst in
+        if index.(w) < 0 then begin
+          strong w;
+          if low.(w) < low.(v) then low.(v) <- low.(w)
+        end
+        else if on_stack.(w) && index.(w) < low.(v) then low.(v) <- index.(w))
+      (adj v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      let comp = pop [] in
+      if List.length comp > 1 then sccs := comp :: !sccs
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strong v
+  done;
+  !sccs
+
+(* One concrete cycle (shortest through an arbitrary member) inside a
+   cyclic SCC, as a link list in traversal order. *)
+let cycle_in_scc t ~reached_links scc =
+  let g = t.net_graph in
+  let n = Graph.node_count g in
+  let in_scc = Array.make n false in
+  List.iter (fun v -> in_scc.(v) <- true) scc;
+  let v0 = List.hd scc in
+  let parent = Array.make n None in
+  let visited = Array.make n false in
+  visited.(v0) <- true;
+  let q = Queue.create () in
+  Queue.add v0 q;
+  let found = ref None in
+  while Option.is_none !found && not (Queue.is_empty q) do
+    let u = Queue.take q in
+    List.iter
+      (fun l ->
+        if
+          Option.is_none !found
+          && reached_links.(l.Graph.index)
+          && in_scc.(l.Graph.dst)
+        then begin
+          if l.Graph.dst = v0 then found := Some l
+          else if not visited.(l.Graph.dst) then begin
+            visited.(l.Graph.dst) <- true;
+            parent.(l.Graph.dst) <- Some l;
+            Queue.add l.Graph.dst q
+          end
+        end)
+      (Graph.out_links g u)
+  done;
+  match !found with
+  | None -> []
+  | Some closing ->
+    let rec climb v acc =
+      if v = v0 then acc
+      else
+        match parent.(v) with
+        | Some l -> climb l.Graph.src (l :: acc)
+        | None -> acc
+    in
+    climb closing.Graph.src [ closing ]
+
+(* The incoming-LIT check fires at a node only when the packet arrives
+   there over two distinct in-links: the first arrival caches
+   (zFilter, in-link), the second drops.  With the closure's reached
+   in-link counts this is decidable exactly. *)
+let scc_catch_node t ~reached_links scc =
+  let g = t.net_graph in
+  let indeg = Array.make (Graph.node_count g) 0 in
+  Graph.iter_links g (fun l ->
+      if reached_links.(l.Graph.index) then
+        indeg.(l.Graph.dst) <- indeg.(l.Graph.dst) + 1);
+  List.find_opt (fun v -> indeg.(v) >= 2) scc
+
+(* ---------------------------------------------------------------- *)
+(* Per-zFilter verification                                         *)
+(* ---------------------------------------------------------------- *)
+
+let loop_findings t ~table ~reached_links =
+  List.map
+    (fun scc ->
+      let cycle = cycle_in_scc t ~reached_links scc in
+      let links = List.map (fun l -> l.Graph.index) cycle in
+      match
+        if t.loop_prevention then scc_catch_node t ~reached_links scc
+        else None
+      with
+      | Some v ->
+        mk "loop" Warning ~table ~node:v ~links
+          (Printf.sprintf
+             "admitted cycle %s: caught by the incoming-LIT check at node %d \
+              after one revolution (duplicate deliveries until then)"
+             (links_str t.net_graph links) v)
+      | None ->
+        mk "loop" Error ~table ~links
+          (Printf.sprintf
+             "admitted cycle %s: %s — the packet circulates indefinitely"
+             (links_str t.net_graph links)
+             (if t.loop_prevention then
+                "every node on it has a single in-link, so the incoming-LIT \
+                 check never fires"
+              else "loop prevention is disabled")))
+    (cyclic_sccs t ~reached_links)
+
+let check_zfilter t ~table ~zfilter ~src ~tree =
+  let d = t.params.Lit.d in
+  if table < 0 || table >= d then
+    [
+      mk "bad-table" Error ~table
+        (Printf.sprintf "table index outside [0, %d): packets are dropped" d);
+    ]
+  else if Zfilter.m zfilter <> t.params.Lit.m then
+    [
+      mk "bad-zfilter" Error ~table
+        (Printf.sprintf "zFilter width %d does not match the deployment's m = %d"
+           (Zfilter.m zfilter) t.params.Lit.m);
+    ]
+  else begin
+    let rho = Zfilter.fill_factor zfilter in
+    let k = t.params.Lit.k_for_table.(table) in
+    if rho > t.limit then
+      [
+        mk "fill-limit" Error ~table ~node:src
+          (Printf.sprintf
+             "fill factor %.3f exceeds the limit %.2f: every node drops the \
+              packet before matching (Sec. 4.4)"
+             rho t.limit);
+      ]
+    else begin
+      let zbv = Zfilter.to_bitvec zfilter in
+      let reached_links, reached_nodes = closure t ~table ~zbv ~src in
+      let on_tree = Array.make (Graph.link_count t.net_graph) false in
+      List.iter (fun l -> on_tree.(l.Graph.index) <- true) tree;
+      let loops = loop_findings t ~table ~reached_links in
+      let false_deliveries = ref [] in
+      Array.iteri
+        (fun i r ->
+          if r && not on_tree.(i) then
+            false_deliveries :=
+              mk "false-delivery" Warning ~table ~links:[ i ]
+                ~node:(Graph.link t.net_graph i).Graph.src
+                (Printf.sprintf
+                   "off-tree delivery over %s (fill %.3f, expected rho^k = \
+                    %.2e per test)"
+                   (lstr t.net_graph i) rho (rho ** float_of_int k))
+              :: !false_deliveries)
+        reached_links;
+      let intended = if tree = [] then [ src ] else Spt.tree_nodes tree in
+      let missing = List.filter (fun v -> not reached_nodes.(v)) intended in
+      let under =
+        match missing with
+        | [] -> []
+        | _ ->
+          let dead_tree_links =
+            List.filter_map
+              (fun l ->
+                if not reached_links.(l.Graph.index) then Some l.Graph.index
+                else None)
+              tree
+          in
+          [
+            mk "under-delivery" Error ~table ~links:dead_tree_links
+              (Printf.sprintf
+                 "%d intended node(s) outside the delivery closure: %s"
+                 (List.length missing)
+                 (String.concat "," (List.map string_of_int missing)));
+          ]
+      in
+      loops @ under @ List.rev !false_deliveries
+    end
+  end
+
+let check_tree t ~src ~tree =
+  if tree = [] then []
+  else
+    Candidate.build t.assignment ~tree
+    |> Array.to_list
+    |> List.concat_map (fun c ->
+           check_zfilter t ~table:c.Candidate.table ~zfilter:c.Candidate.zfilter
+             ~src ~tree)
+
+let check_sampled t ~rng ~samples =
+  let g = t.net_graph in
+  let n = Graph.node_count g in
+  let acc = ref [] in
+  for _ = 1 to samples do
+    let src = Rng.int rng n in
+    let dist = Spt.distances g ~root:src in
+    let reachable = ref [] in
+    Array.iteri
+      (fun v dv -> if v <> src && dv <> max_int then reachable := v :: !reachable)
+      dist;
+    let arr = Array.of_list !reachable in
+    if Array.length arr > 0 then begin
+      Rng.shuffle rng arr;
+      let count = 1 + Rng.int rng (min 8 (Array.length arr)) in
+      let subscribers = Array.to_list (Array.sub arr 0 count) in
+      let tree = Spt.delivery_tree g ~root:src ~subscribers in
+      acc := check_tree t ~src ~tree @ !acc
+    end
+  done;
+  List.rev !acc
+
+(* ---------------------------------------------------------------- *)
+(* LIT anomalies                                                    *)
+(* ---------------------------------------------------------------- *)
+
+let tables_suffix = function
+  | [ t ] -> Printf.sprintf "table %d" t
+  | ts ->
+    Printf.sprintf "tables %s" (String.concat "," (List.map string_of_int ts))
+
+let check_lits t =
+  let g = t.net_graph in
+  let d = t.params.Lit.d in
+  let out = ref [] in
+  let add f = out := f :: !out in
+  (* Duplicate nonces: identical identities in every table. *)
+  let nonces = Assignment.nonces t.assignment in
+  let seen = Hashtbl.create (Array.length nonces) in
+  Array.iteri
+    (fun i n ->
+      match Hashtbl.find_opt seen n with
+      | Some j ->
+        add
+          (mk "nonce-duplicate" Error ~links:[ j; i ]
+             (Printf.sprintf
+                "links %s and %s share nonce %Lx: identical LITs in every \
+                 table, every delivery over one falsely reaches the other"
+                (lstr g j) (lstr g i) n))
+      | None -> Hashtbl.add seen n i)
+    nonces;
+  (* Sibling out-link relations, per node. *)
+  for v = 0 to Graph.node_count g - 1 do
+    let outs = Array.of_list (Graph.out_links g v) in
+    let deg = Array.length outs in
+    for a = 0 to deg - 1 do
+      let ia = outs.(a).Graph.index in
+      for b = a + 1 to deg - 1 do
+        let ib = outs.(b).Graph.index in
+        let eq = ref [] and sub_ab = ref [] and sub_ba = ref [] in
+        for tb = d - 1 downto 0 do
+          let ta_ = t.tags.(ia).(tb) and tb_ = t.tags.(ib).(tb) in
+          if Bitvec.equal ta_ tb_ then eq := tb :: !eq
+          else if Bitvec.subset ta_ ~of_:tb_ then sub_ab := tb :: !sub_ab
+          else if Bitvec.subset tb_ ~of_:ta_ then sub_ba := tb :: !sub_ba
+        done;
+        (match !eq with
+        | [] -> ()
+        | ts ->
+          add
+            (mk "lit-collision" Error ~table:(List.hd ts) ~node:v
+               ~links:[ ia; ib ]
+               (Printf.sprintf
+                  "sibling out-links %s and %s have identical LITs in %s: \
+                   they always forward together"
+                  (lstr g ia) (lstr g ib) (tables_suffix ts))));
+        let subset_finding lo hi ts =
+          add
+            (mk "lit-subset" Warning ~table:(List.hd ts) ~node:v
+               ~links:[ lo; hi ]
+               (Printf.sprintf
+                  "LIT of %s is contained in the LIT of %s in %s: admitting \
+                   the latter always admits the former"
+                  (lstr g lo) (lstr g hi) (tables_suffix ts)))
+        in
+        (match !sub_ab with [] -> () | ts -> subset_finding ia ib ts);
+        (match !sub_ba with [] -> () | ts -> subset_finding ib ia ts)
+      done;
+      (* Union cover: the OR of the other siblings implies this link. *)
+      if deg >= 3 then begin
+        let covered = ref [] in
+        for tb = d - 1 downto 0 do
+          let union = Bitvec.create t.params.Lit.m in
+          let single = ref false in
+          for b = 0 to deg - 1 do
+            if b <> a then begin
+              let tb_ = t.tags.(outs.(b).Graph.index).(tb) in
+              Bitvec.logor_into ~dst:union tb_;
+              if Bitvec.subset t.tags.(ia).(tb) ~of_:tb_ then single := true
+            end
+          done;
+          if (not !single) && Bitvec.subset t.tags.(ia).(tb) ~of_:union then
+            covered := tb :: !covered
+        done;
+        match !covered with
+        | [] -> ()
+        | ts ->
+          add
+            (mk "lit-union-cover" Info ~table:(List.hd ts) ~node:v
+               ~links:[ ia ]
+               (Printf.sprintf
+                  "LIT of %s is covered by the OR of its %d sibling LITs in \
+                   %s: any zFilter addressing all siblings also forwards here"
+                  (lstr g ia) (deg - 1) (tables_suffix ts)))
+      end
+    done;
+    (* Virtual entries shadowing physical siblings. *)
+    List.iteri
+      (fun vi ve ->
+        Array.iter
+          (fun l ->
+            let i = l.Graph.index in
+            let v_in_p = ref [] and p_in_v = ref [] in
+            for tb = d - 1 downto 0 do
+              let vt = ve.v_tags.(tb) and pt = t.tags.(i).(tb) in
+              if Bitvec.subset vt ~of_:pt then v_in_p := tb :: !v_in_p;
+              if Bitvec.subset pt ~of_:vt then p_in_v := tb :: !p_in_v
+            done;
+            let shadow direction ts =
+              add
+                (mk "virtual-shadow" Warning ~table:(List.hd ts) ~node:v
+                   ~links:[ i ]
+                   (Printf.sprintf
+                      "virtual entry %d at node %d %s physical sibling %s in \
+                       %s"
+                      vi v direction (lstr g i) (tables_suffix ts)))
+            in
+            (match !v_in_p with
+            | [] -> ()
+            | ts -> shadow "is implied by (fires on every packet for)" ts);
+            match !p_in_v with
+            | [] -> ()
+            | ts -> shadow "implies (every packet for it also forwards over)" ts)
+          outs)
+      t.virtuals.(v)
+  done;
+  List.rev !out
+
+(* ---------------------------------------------------------------- *)
+(* Deployment-wide loop admissibility                               *)
+(* ---------------------------------------------------------------- *)
+
+(* Shortest non-backtracking cycle through [start] over up links, by
+   link-level BFS.  The immediate reverse is excluded (the 2-link
+   ping-pong every edge admits is reported once, separately). *)
+let shortest_cycle t start =
+  let g = t.net_graph in
+  let nl = Graph.link_count g in
+  let rev i = (Graph.reverse_link g (Graph.link g i)).Graph.index in
+  let start_rev = rev start.Graph.index in
+  let target = start.Graph.src in
+  let parent = Array.make nl (-1) in
+  let visited = Array.make nl false in
+  let q = Queue.create () in
+  let push pl l =
+    let i = l.Graph.index in
+    if (not visited.(i)) && t.up.(i) && i <> start_rev then begin
+      visited.(i) <- true;
+      parent.(i) <- pl;
+      Queue.add i q
+    end
+  in
+  List.iter (push (-1)) (Graph.out_links g start.Graph.dst);
+  let result = ref None in
+  while Option.is_none !result && not (Queue.is_empty q) do
+    let i = Queue.take q in
+    let l = Graph.link g i in
+    if l.Graph.dst = target then begin
+      let rec climb j acc =
+        if j < 0 then acc else climb parent.(j) (Graph.link g j :: acc)
+      in
+      result := Some (start :: climb i [])
+    end
+    else
+      List.iter
+        (fun l2 -> if l2.Graph.index <> rev i then push i l2)
+        (Graph.out_links g l.Graph.dst)
+  done;
+  !result
+
+let cycle_union t ~table cycle =
+  let union = Bitvec.create t.params.Lit.m in
+  List.iter
+    (fun l -> Bitvec.logor_into ~dst:union t.tags.(l.Graph.index).(table))
+    cycle;
+  union
+
+(* Exact catchability of the minimal witness: flood the cycle's OR'd
+   zFilter from a cycle node and look for a cycle node with two distinct
+   reached in-links — only there can the incoming-LIT check observe a
+   second arrival.  On the minimal cycle the closure usually IS the
+   cycle (single in-links everywhere), so the witness circulates
+   uncaught on any cyclic deployment; that is inherent to stateless iBF
+   forwarding, hence loop admissibility is a Warning (not an Error)
+   whenever loop prevention is at least armed. *)
+let witness_catch_node t ~table ~union cycle =
+  let src = (List.hd cycle).Graph.src in
+  let reached_links, _ = closure t ~table ~zbv:union ~src in
+  let indeg = Array.make (Graph.node_count t.net_graph) 0 in
+  Graph.iter_links t.net_graph (fun l ->
+      if reached_links.(l.Graph.index) then
+        indeg.(l.Graph.dst) <- indeg.(l.Graph.dst) + 1);
+  List.find_opt
+    (fun v -> indeg.(v) >= 2)
+    (List.map (fun l -> l.Graph.dst) cycle)
+
+let check_loops t =
+  let g = t.net_graph in
+  let nl = Graph.link_count g in
+  let d = t.params.Lit.d in
+  let out = ref [] in
+  (* Distinct shortest non-backtracking cycles. *)
+  let cycles = ref [] in
+  let seen = Hashtbl.create 16 in
+  for i = 0 to nl - 1 do
+    if t.up.(i) then
+      match shortest_cycle t (Graph.link g i) with
+      | None -> ()
+      | Some cyc ->
+        let key =
+          String.concat ","
+            (List.map string_of_int
+               (List.sort Int.compare (List.map (fun l -> l.Graph.index) cyc)))
+        in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          cycles := cyc :: !cycles
+        end
+  done;
+  for table = 0 to d - 1 do
+    let admissible =
+      List.filter_map
+        (fun cyc ->
+          let union = cycle_union t ~table cyc in
+          let fill = Bitvec.fill_ratio union in
+          if
+            fill <= t.limit
+            && not
+                 (List.exists
+                    (fun l -> blocked t l.Graph.index ~table ~zbv:union)
+                    cyc)
+          then Some (cyc, fill)
+          else None)
+        !cycles
+    in
+    match admissible with
+    | [] -> ()
+    | _ ->
+      let cyc, fill =
+        List.fold_left
+          (fun ((_, bf) as best) ((_, f) as cand) ->
+            if f < bf then cand else best)
+          (List.hd admissible) (List.tl admissible)
+      in
+      let links = List.map (fun l -> l.Graph.index) cyc in
+      let severity = if t.loop_prevention then Warning else Error in
+      let fate =
+        if not t.loop_prevention then
+          "loop prevention is disabled: only the TTL stops it"
+        else
+          match
+            witness_catch_node t ~table ~union:(cycle_union t ~table cyc) cyc
+          with
+          | Some v ->
+            Printf.sprintf
+              "the incoming-LIT check can catch it at node %d (second \
+               in-link in its closure)"
+              v
+          | None ->
+            "its closure gives every cycle node a single in-link, so the \
+             incoming-LIT check never fires and only the TTL stops it"
+      in
+      out :=
+        mk "loop-admissible" severity ~table ~links
+          (Printf.sprintf
+             "a zFilter ORing the LITs of cycle %s (fill %.3f <= limit %.2f) \
+              self-admits on every hop; %d admissible cycle(s) in this table; \
+              %s"
+             (links_str g links) fill t.limit (List.length admissible) fate)
+        :: !out
+  done;
+  (* The engine applies no reverse-interface suppression: both
+     directions of any edge in one zFilter ping-pong forever (caught
+     only as above).  Report the cheapest witness once. *)
+  let best = ref None in
+  for i = 0 to nl - 1 do
+    let l = Graph.link g i in
+    let r = Graph.reverse_link g l in
+    if i < r.Graph.index && t.up.(i) && t.up.(r.Graph.index) then begin
+      let union = Bitvec.logor t.tags.(i).(0) t.tags.(r.Graph.index).(0) in
+      let fill = Bitvec.fill_ratio union in
+      match !best with
+      | Some (_, _, bf) when bf <= fill -> ()
+      | _ -> best := Some (i, r.Graph.index, fill)
+    end
+  done;
+  (match !best with
+  | Some (i, ri, fill) when fill <= t.limit ->
+    out :=
+      mk "reverse-ping-pong" Info ~table:0 ~links:[ i; ri ]
+        (Printf.sprintf
+           "the engine has no reverse-interface suppression: a zFilter \
+            holding both directions of an edge (e.g. %s + %s, fill %.3f) \
+            bounces until the incoming-LIT check or the TTL stops it"
+           (lstr g i) (lstr g ri) fill)
+      :: !out
+  | _ -> ());
+  List.rev !out
+
+(* ---------------------------------------------------------------- *)
+(* Recovery soundness                                               *)
+(* ---------------------------------------------------------------- *)
+
+(* Overlay: the model after VLId activation of [path] for [failed] —
+   the failed port down at its source, the failed link's identity
+   installed as a virtual next-hop entry along the path (mirrors
+   Recovery.vlid_activate). *)
+let with_vlid t ~failed ~path =
+  let up = Array.copy t.up in
+  up.(failed.Graph.index) <- false;
+  let virtuals = Array.copy t.virtuals in
+  let v_tags = Lit.tags (Assignment.lit t.assignment failed) in
+  List.iter
+    (fun l ->
+      virtuals.(l.Graph.src) <- { v_tags; v_out = [ l ] } :: virtuals.(l.Graph.src))
+    path;
+  { t with up; virtuals }
+
+let check_recovery t =
+  let g = t.net_graph in
+  let d = t.params.Lit.d in
+  let out = ref [] in
+  Graph.iter_links g (fun failed ->
+      let fi = failed.Graph.index in
+      match Recovery.backup_path g ~link:failed with
+      | None ->
+        out :=
+          mk "recovery-bridge" Warning ~node:failed.Graph.src ~links:[ fi ]
+            (Printf.sprintf
+               "link %s is a bridge: no backup path exists, neither VLId nor \
+                zFilter-rewrite recovery can protect it"
+               (lstr g fi))
+          :: !out
+      | Some path ->
+        (* zFilter-rewrite fill headroom. *)
+        let over = ref [] in
+        for table = d - 1 downto 0 do
+          let patch = Recovery.zfilter_patch t.assignment ~table ~backup:path in
+          Bitvec.logor_into ~dst:patch (Assignment.tag t.assignment failed ~table);
+          let fill = Bitvec.fill_ratio patch in
+          if fill > t.limit then over := (table, fill) :: !over
+        done;
+        (match !over with
+        | [] -> ()
+        | (tb, fill) :: _ as all ->
+          out :=
+            mk "recovery-fill" Warning ~table:tb ~links:[ fi ]
+              (Printf.sprintf
+                 "zFilter-rewrite patch for %s (backup of %d links) alone \
+                  reaches fill %.3f > limit %.2f in %s: rewritten packets \
+                  are dropped"
+                 (lstr g fi) (List.length path) fill t.limit
+                 (tables_suffix (List.map fst all)))
+            :: !out);
+        (* VLId activation: the failed link's own tags must still reach
+           the far endpoint, loop-free, on the overlay. *)
+        let overlay = with_vlid t ~failed ~path in
+        for table = 0 to d - 1 do
+          let z =
+            Zfilter.of_tags ~m:t.params.Lit.m
+              [ Assignment.tag t.assignment failed ~table ]
+          in
+          List.iter
+            (fun f ->
+              let renamed =
+                match f.check with
+                | "loop" -> Some { f with check = "recovery-loop" }
+                | "under-delivery" ->
+                  Some { f with check = "recovery-unreachable" }
+                | _ -> None
+              in
+              match renamed with
+              | Some f ->
+                out :=
+                  {
+                    f with
+                    links = fi :: f.links;
+                    detail =
+                      Printf.sprintf "after VLId activation for %s: %s"
+                        (lstr g fi) f.detail;
+                  }
+                  :: !out
+              | None -> ())
+            (check_zfilter overlay ~table ~zfilter:z ~src:failed.Graph.src
+               ~tree:[ failed ])
+        done);
+  List.rev !out
+
+(* ---------------------------------------------------------------- *)
+(* Everything                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let check_deployment ?(samples = 0) ?rng t =
+  let base = check_lits t @ check_loops t @ check_recovery t in
+  if samples <= 0 then base
+  else
+    let rng = match rng with Some r -> r | None -> Rng.of_int 0x11 in
+    base @ check_sampled t ~rng ~samples

@@ -1,0 +1,169 @@
+(** Whole-deployment static verification of compiled forwarding state.
+
+    The paper argues LIPSIN's safety properties statistically: loops are
+    "caught" by the incoming-LIT check (Sec. 3.3.3), false deliveries
+    stay near rho^k (Sec. 3.2), and pre-computed recovery paths "keep
+    packets working" (Sec. 3.3.2).  Netcheck checks them for a {e
+    concrete} deployment before any traffic flows, by abstract
+    interpretation of Algorithm 1 over the link graph:
+
+    - {b Loop-freedom}.  A forwarding decision in this implementation
+      depends only on the node's table state and the zFilter — never on
+      the arrival link (the mli's reverse-suppression claim is not what
+      the code does, and Netcheck models the code).  The set of links a
+      zFilter can traverse is therefore a fixed point computable by
+      node-level BFS; a packet can loop iff the reachable admitted link
+      sub-digraph has a directed cycle.  Per cycle Netcheck decides
+      whether the incoming-LIT check {e can} catch it: the loop cache
+      keys on (zFilter bytes, first arrival link), so a revolution is
+      only detected at a node that sees the packet arrive over two
+      distinct in-links.  A cycle all of whose nodes have exactly one
+      reachable in-link (e.g. a pure ring entered at the source) spins
+      undetected — an [Error] even with prevention enabled.
+    - {b False-delivery reachability}.  Exact delivery closure of a
+      candidate zFilter vs. its intended tree: per-link false-positive
+      attribution, unreachable intended nodes, and fill-factor /
+      rho^k violations against the deployment's fill limit.
+    - {b LIT anomalies}.  Duplicate nonces, equal or subset LIT pairs
+      among sibling out-links of one node (one link's admission implies
+      the other's), sibling LITs covered by the OR of their peers, and
+      virtual-link tags that shadow a physical sibling's.
+    - {b Recovery soundness}.  Per directed link: a backup path exists
+      (the link is not a bridge); VLId activation of that path yields a
+      loop-free, delivering closure for the failed link's own tags; and
+      the zFilter-rewrite patch does not push a minimal filter past the
+      fill limit.
+
+    The abstraction is exact for a single zFilter (closure = what
+    {!Lipsin_sim.Run.deliver} traverses, modulo drops by the loop
+    cache), and sound-but-incomplete deployment-wide: [check_loops]
+    searches single non-backtracking cycles whose OR'd LITs self-admit
+    under the fill limit, so a reported cycle is a real looping packet,
+    while compound zFilters (tree + cycle) can loop without being
+    reported there — [check_zfilter]/[check_sampled] cover those per
+    filter.  See DESIGN.md Sec. 5d. *)
+
+type severity = Info | Warning | Error
+
+type finding = {
+  check : string;  (** e.g. ["loop"], ["lit-collision"], ["recovery-bridge"]. *)
+  severity : severity;
+  table : int;  (** Forwarding table index, [-1] when table-independent. *)
+  node : int;  (** Node the finding anchors to, [-1] when network-wide. *)
+  links : int list;  (** Dense link indices involved (cycle in order, pair, ...). *)
+  detail : string;  (** Human explanation with endpoints and metrics. *)
+}
+
+type model
+(** Immutable abstract view of one deployment: per node the physical
+    port LITs with up/down and block state, the virtual entries, plus
+    the fill limit and loop-prevention setting the engines enforce. *)
+
+val model_of_assignment :
+  ?fill_limit:float ->
+  ?loop_prevention:bool ->
+  Lipsin_core.Assignment.t ->
+  model
+(** The pristine deployment implied by the assignment alone: every link
+    up, no virtual entries, no blocks — what {!Lipsin_sim.Net.make}
+    would build before any mutation.  [fill_limit] defaults to 0.7 and
+    [loop_prevention] to [true], matching {!Node_engine.create}. *)
+
+val model_of_engines :
+  Lipsin_core.Assignment.t ->
+  engine_of:(Lipsin_topology.Graph.node ->
+             Lipsin_forwarding.Node_engine.t) ->
+  model
+(** Snapshot of live engines via {!Node_engine.state} — includes failed
+    links, installed virtual entries and block patterns.  The model's
+    fill limit is the minimum over nodes (strictest drop point) and
+    loop prevention is the conjunction (a cycle is only caught if the
+    catching node has the check enabled). *)
+
+val graph : model -> Lipsin_topology.Graph.t
+val fill_limit : model -> float
+
+val check_lits : model -> finding list
+(** LIT anomaly scan: [nonce-duplicate] ([Error]), [lit-collision]
+    (equal sibling LITs, [Error]), [lit-subset] (one sibling LIT
+    contained in another, [Warning]), [lit-union-cover] (a sibling LIT
+    covered by the OR of its peers, [Info]), [virtual-shadow] (a
+    virtual entry's tag in a subset relation with a physical sibling's,
+    [Warning]). *)
+
+val check_loops : model -> finding list
+(** Deployment-wide loop admissibility, per table: searches shortest
+    non-backtracking cycles over up links and reports, per table, the
+    minimal-fill cycle whose OR'd LITs pass [zFilter AND LIT = LIT] on
+    every hop within the fill limit and past every block
+    ([loop-admissible]).  Such a witness exists on every cyclic
+    deployment — it is inherent to stateless iBF forwarding — so the
+    severity is [Warning] when loop prevention is armed (the detail
+    reports whether the incoming-LIT check can ever catch the minimal
+    witness, by exact closure) and [Error] only when prevention is
+    off.  Also emits one [reverse-ping-pong] [Info] noting
+    that the engine applies no reverse-interface suppression, so every
+    edge whose two directions' tags fit the fill limit admits a 2-link
+    loop. *)
+
+val check_zfilter :
+  model ->
+  table:int ->
+  zfilter:Lipsin_bloom.Zfilter.t ->
+  src:Lipsin_topology.Graph.node ->
+  tree:Lipsin_topology.Graph.link list ->
+  finding list
+(** Exact verification of one packet: [bad-table] / [fill-limit]
+    ([Error], the packet is dropped everywhere), [loop] per directed
+    cycle of the reachable admitted links ([Error] if uncatchable,
+    [Warning] if the incoming-LIT check catches it after one
+    revolution), [false-delivery] per admitted off-tree link
+    ([Warning], with rho^k context), and [under-delivery] ([Error])
+    when intended tree nodes are not in the delivery closure.  A node
+    rerouted around a failure (e.g. via a VLId detour) counts as
+    delivered — intent is node coverage, not link identity. *)
+
+val check_tree :
+  model ->
+  src:Lipsin_topology.Graph.node ->
+  tree:Lipsin_topology.Graph.link list ->
+  finding list
+(** {!check_zfilter} over all d candidates of the tree
+    ({!Lipsin_core.Candidate.build}). *)
+
+val check_recovery : model -> finding list
+(** Recovery soundness per directed link: [recovery-bridge] ([Warning])
+    when no backup path exists; otherwise simulates VLId activation on
+    an overlay of the model (failed link down, virtual identities along
+    the backup path) and checks, per table, that the failed link's own
+    tag set still reaches the far endpoint without admitting an
+    uncaught cycle ([recovery-unreachable] / [recovery-loop],
+    [Error]); and flags tables whose zFilter-rewrite patch
+    (path LITs OR failed LIT) already exceeds the fill limit on its
+    own ([recovery-fill], [Warning]). *)
+
+val check_sampled :
+  model -> rng:Lipsin_util.Rng.t -> samples:int -> finding list
+(** [samples] random publisher/subscriber sets, shortest-path delivery
+    trees ({!Lipsin_topology.Spt.delivery_tree}), {!check_tree} on
+    each.  Deterministic for a given generator state. *)
+
+val check_deployment :
+  ?samples:int -> ?rng:Lipsin_util.Rng.t -> model -> finding list
+(** Everything: {!check_lits}, {!check_loops}, {!check_recovery}, and
+    {!check_sampled} when [samples] > 0 (default 0; [rng] defaults to a
+    fixed seed). *)
+
+val errors : finding list -> finding list
+(** The [Error]-severity subset — the gate condition for
+    [LIPSIN_NETCHECK] and the CLI's exit status. *)
+
+val severity_to_string : severity -> string
+
+val to_string : finding -> string
+(** One line: [severity [check] (table t, node n, links a->b#i ...) detail]. *)
+
+val to_lint_finding : deployment:string -> finding -> Lipsin_linter.Finding.t
+(** Adapts a finding to the linter's reporting pipeline: [file] is the
+    deployment path, [line]/[col] are 0, [rule] is the check name and
+    the message carries severity, table/node anchors and link list. *)

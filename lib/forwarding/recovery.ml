@@ -42,6 +42,9 @@ let backup_path g ~link =
     Some (climb dst [])
   end
 
+let is_bridge g ~link =
+  match backup_path g ~link with None -> true | Some _ -> false
+
 let vlid_activate assignment ~engine_of ~failed =
   let g = Assignment.graph assignment in
   match backup_path g ~link:failed with

@@ -19,6 +19,12 @@ val backup_path : Lipsin_topology.Graph.t -> link:link -> link list option
 (** Shortest path from [link.src] to [link.dst] avoiding the link
     itself (either direction); [None] when the link is a bridge. *)
 
+val is_bridge : Lipsin_topology.Graph.t -> link:link -> bool
+(** [true] iff removing the link (both directions) disconnects its
+    endpoints, i.e. {!backup_path} is [None] and no zero-convergence
+    recovery scheme can protect it.  Deployment verifiers
+    ({!Lipsin_analysis.Netcheck}) flag such links. *)
+
 val vlid_activate :
   Lipsin_core.Assignment.t ->
   engine_of:(Lipsin_topology.Graph.node -> Node_engine.t) ->

@@ -82,3 +82,34 @@ let fail_link t link =
 let restore_link t link =
   Node_engine.restore_link (engine t link.Graph.src) link;
   invalidate_fastpath t link.Graph.src
+
+let verify ?(samples = 0) ?(seed = 0x11) t =
+  let model =
+    Lipsin_analysis.Netcheck.model_of_engines t.assignment
+      ~engine_of:(engine t)
+  in
+  let rng = Lipsin_util.Rng.of_int seed in
+  Lipsin_analysis.Netcheck.check_deployment ~samples ~rng model
+
+(* Debug guardrail mirroring the fastpath audit gate: with
+   LIPSIN_NETCHECK set, every Net is statically verified at build time
+   and refused if the deployment admits an Error-severity finding
+   (uncatchable loop, LIT collision, unsound recovery).  Read per make
+   (makes are rare) so no global state is introduced. *)
+let netcheck_enabled () =
+  match Sys.getenv_opt "LIPSIN_NETCHECK" with
+  | None | Some "" -> false
+  | Some _ -> true
+
+let make ?fill_limit ?loop_prevention assignment =
+  let t = make ?fill_limit ?loop_prevention assignment in
+  if netcheck_enabled () then begin
+    match Lipsin_analysis.Netcheck.errors (verify t) with
+    | [] -> ()
+    | errs ->
+      invalid_arg
+        (Printf.sprintf "Net.make: deployment verification failed: %s"
+           (String.concat "; "
+              (List.map Lipsin_analysis.Netcheck.to_string errs)))
+  end;
+  t

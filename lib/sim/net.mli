@@ -10,6 +10,13 @@ val make :
   ?loop_prevention:bool ->
   Lipsin_core.Assignment.t ->
   t
+(** When the [LIPSIN_NETCHECK] environment variable is set (non-empty),
+    the fresh
+    deployment is statically verified with
+    {!Lipsin_analysis.Netcheck.check_deployment} (LIT anomalies, loop
+    admissibility, recovery soundness) and [Invalid_argument] is raised
+    listing the findings if any has [Error] severity — the
+    deployment-level sibling of the [LIPSIN_FASTPATH_AUDIT] gate. *)
 
 val assignment : t -> Lipsin_core.Assignment.t
 val graph : t -> Lipsin_topology.Graph.t
@@ -46,3 +53,14 @@ val fail_link : t -> Lipsin_topology.Graph.link -> unit
 (** Convenience: marks the link down at its source engine. *)
 
 val restore_link : t -> Lipsin_topology.Graph.link -> unit
+
+val verify :
+  ?samples:int -> ?seed:int -> t -> Lipsin_analysis.Netcheck.finding list
+(** Static verification of the deployment's current forwarding state
+    (failed links, virtual entries and blocks included):
+    {!Lipsin_analysis.Netcheck.check_deployment} over a
+    {!Lipsin_analysis.Netcheck.model_of_engines} snapshot.  [samples]
+    (default 0) adds that many random delivery trees, all d candidates
+    of each checked for loops, false deliveries and fill violations;
+    [seed] makes the sampling reproducible.  Returns all findings; keep
+    only {!Lipsin_analysis.Netcheck.errors} for a go/no-go check. *)

@@ -9,6 +9,7 @@ module Assignment = Lipsin_core.Assignment
 module Candidate = Lipsin_core.Candidate
 module Node_engine = Lipsin_forwarding.Node_engine
 module Recovery = Lipsin_forwarding.Recovery
+module Netcheck = Lipsin_analysis.Netcheck
 module Rng = Lipsin_util.Rng
 
 (*    0 - 1 - 2
@@ -298,6 +299,76 @@ let test_backup_path_none_for_bridge () =
   Alcotest.(check bool) "bridge has no backup" true
     (Recovery.backup_path g ~link:bridge = None)
 
+let test_is_bridge_classification () =
+  (* Every edge of a tree is a bridge and none of a ring's are; on the
+     grid the predicate must agree with backup_path everywhere. *)
+  let tree = Graph.create ~nodes:6 in
+  List.iter
+    (fun (u, v) -> Graph.add_edge tree u v)
+    [ (0, 1); (1, 2); (1, 3); (3, 4); (3, 5) ];
+  Graph.iter_links tree (fun l ->
+      Alcotest.(check bool) "tree edges are bridges" true
+        (Recovery.is_bridge tree ~link:l);
+      Alcotest.(check bool) "bridge <=> no backup path" true
+        (Option.is_none (Recovery.backup_path tree ~link:l)));
+  let ring = Graph.create ~nodes:5 in
+  for i = 0 to 4 do
+    Graph.add_edge ring i ((i + 1) mod 5)
+  done;
+  Graph.iter_links ring (fun l ->
+      Alcotest.(check bool) "ring edges are not bridges" false
+        (Recovery.is_bridge ring ~link:l));
+  let g, _ = setup () in
+  Graph.iter_links g (fun l ->
+      Alcotest.(check bool) "is_bridge agrees with backup_path"
+        (Option.is_none (Recovery.backup_path g ~link:l))
+        (Recovery.is_bridge g ~link:l))
+
+let prop_vlid_activation_stays_green =
+  (* Fail a random non-bridge link of a random ring (+ chord), activate
+     VLId recovery, and ask Netcheck whether a packet addressed with the
+     failed link's own LIT still delivers loop-free to the far endpoint
+     in every table: the verifier's loop-freedom/delivery verdict on a
+     recovered deployment must stay free of Error findings. *)
+  QCheck.Test.make ~name:"vlid recovery keeps netcheck green" ~count:40
+    QCheck.(pair (int_range 4 10) small_nat)
+    (fun (nodes, salt) ->
+      let g = Graph.create ~nodes in
+      for i = 0 to nodes - 1 do
+        Graph.add_edge g i ((i + 1) mod nodes)
+      done;
+      if nodes >= 5 then Graph.add_edge g 0 2;
+      let asg = Assignment.make Lit.default (Rng.of_int (salt + (nodes * 131))) g in
+      let failed = Graph.link g (salt mod Graph.link_count g) in
+      if Recovery.is_bridge g ~link:failed then
+        QCheck.Test.fail_report "ring links cannot be bridges";
+      let engines = Hashtbl.create 8 in
+      let engine_of n =
+        match Hashtbl.find_opt engines n with
+        | Some e -> e
+        | None ->
+          let e = Node_engine.create asg n in
+          Hashtbl.replace engines n e;
+          e
+      in
+      (match Recovery.vlid_activate asg ~engine_of ~failed with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok () -> ());
+      let model = Netcheck.model_of_engines asg ~engine_of in
+      let params = Assignment.params asg in
+      let ok = ref true in
+      for table = 0 to params.Lit.d - 1 do
+        let z =
+          Zfilter.of_tags ~m:params.Lit.m [ Assignment.tag asg failed ~table ]
+        in
+        let findings =
+          Netcheck.check_zfilter model ~table ~zfilter:z
+            ~src:failed.Graph.src ~tree:[ failed ]
+        in
+        if Netcheck.errors findings <> [] then ok := false
+      done;
+      !ok)
+
 let test_vlid_recovery_end_to_end () =
   let g, asg = setup () in
   let engines = Hashtbl.create 8 in
@@ -436,7 +507,10 @@ let () =
         [
           Alcotest.test_case "backup path valid" `Quick test_backup_path_avoids_failed_link;
           Alcotest.test_case "bridge has none" `Quick test_backup_path_none_for_bridge;
+          Alcotest.test_case "is_bridge classification" `Quick
+            test_is_bridge_classification;
           Alcotest.test_case "vlid end to end" `Quick test_vlid_recovery_end_to_end;
+          QCheck_alcotest.to_alcotest prop_vlid_activation_stays_green;
           Alcotest.test_case "zfilter patch" `Quick test_zfilter_patch_matches_backup_links;
           Alcotest.test_case "node backup pairs" `Quick test_node_backup_pairs;
           Alcotest.test_case "node failure e2e" `Quick

@@ -1,0 +1,664 @@
+(* Tests for Lipsin_analysis.Netcheck — the whole-deployment static
+   verifier — and its Net.verify / LIPSIN_NETCHECK surfaces.
+
+   The mutation properties mirror test_analysis's audit byte-flip
+   suite: clean deployments over tree topologies must verify loop-free
+   (a doubled tree admits no non-backtracking closed walk, so this is
+   exact, not statistical), and injecting a cycle whose OR'd LITs
+   self-admit must be flagged. *)
+
+module Netcheck = Lipsin_analysis.Netcheck
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Persist = Lipsin_core.Persist
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module Spt = Lipsin_topology.Spt
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Bitvec = Lipsin_bitvec.Bitvec
+module Node_engine = Lipsin_forwarding.Node_engine
+module Recovery = Lipsin_forwarding.Recovery
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Rng = Lipsin_util.Rng
+
+let default_params = Lit.default
+
+let tree_graph ~seed ~nodes =
+  (* edges = nodes - 1 forces a spanning tree: the only cycles in the
+     doubled digraph are 2-link ping-pongs, which the closure's SCC
+     analysis treats as cycles — so zFilters built from one-directed
+     tree links can never loop. *)
+  Generator.pref_attach ~rng:(Rng.of_int seed) ~nodes ~edges:(nodes - 1)
+    ~max_degree:6 ()
+
+let assignment_of ?(params = default_params) ~seed g =
+  Assignment.make params (Rng.of_int (seed + 1)) g
+
+let find_link g u v =
+  match Graph.find_link g ~src:u ~dst:v with
+  | Some l -> l
+  | None -> Alcotest.failf "no link %d->%d" u v
+
+let has_check name findings =
+  List.exists (fun f -> String.equal f.Netcheck.check name) findings
+
+let checks_of findings =
+  List.sort_uniq String.compare (List.map (fun f -> f.Netcheck.check) findings)
+
+(* ---- per-zFilter verification ---- *)
+
+let test_clean_tree_no_findings () =
+  let g = tree_graph ~seed:42 ~nodes:16 in
+  let asg = assignment_of ~seed:42 g in
+  let model = Netcheck.model_of_assignment asg in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 5; 9; 15 ] in
+  let findings = Netcheck.check_tree model ~src:0 ~tree in
+  Alcotest.(check (list string)) "no findings on a tree deployment" []
+    (List.map Netcheck.to_string findings);
+  (* deployment-wide: a tree topology has no (>=3-link) cycles and no
+     LIT anomalies at m=248; bridges are expected (every tree link is
+     one) but never errors *)
+  Alcotest.(check int) "no deployment errors" 0
+    (List.length (Netcheck.errors (Netcheck.check_deployment model)))
+
+let test_injected_ring_cycle_flagged () =
+  (* Pure ring: tree path 0->1->2 plus the remaining ring links ORed in
+     form the full directed 6-cycle; every ring node has exactly one
+     in-link in the closure, so the incoming-LIT check never fires:
+     severity must be Error and the reported cycle must be exactly the
+     injected one. *)
+  let g = Generator.ring ~nodes:6 in
+  let asg = assignment_of ~seed:7 g in
+  let model = Netcheck.model_of_assignment asg in
+  let ring = List.init 6 (fun i -> find_link g i ((i + 1) mod 6)) in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 2 ] in
+  let table = 0 in
+  let z =
+    Zfilter.of_tags ~m:default_params.Lit.m
+      (List.map (fun l -> Assignment.tag asg l ~table) (tree @ ring))
+  in
+  let findings = Netcheck.check_zfilter model ~table ~zfilter:z ~src:0 ~tree in
+  let loops =
+    List.filter (fun f -> String.equal f.Netcheck.check "loop") findings
+  in
+  Alcotest.(check int) "exactly one loop" 1 (List.length loops);
+  let loop = List.hd loops in
+  Alcotest.(check bool) "uncatchable ring is an error" true
+    (match loop.Netcheck.severity with Netcheck.Error -> true | _ -> false);
+  Alcotest.(check (list int)) "reported cycle is the injected ring"
+    (List.sort Int.compare (List.map (fun l -> l.Graph.index) ring))
+    (List.sort Int.compare loop.Netcheck.links)
+
+let test_chorded_ring_cycle_catchable () =
+  (* Add a chord: node 0 gains a third in-link (3->0), so a packet
+     looping on the ring can arrive at 0 over two distinct links and
+     the incoming-LIT check catches it -> Warning, not Error. *)
+  let g = Graph.create ~nodes:6 in
+  for i = 0 to 5 do
+    Graph.add_edge g i ((i + 1) mod 6)
+  done;
+  Graph.add_edge g 0 3;
+  let asg = assignment_of ~seed:8 g in
+  let model = Netcheck.model_of_assignment asg in
+  let ring = List.init 6 (fun i -> find_link g i ((i + 1) mod 6)) in
+  let chord = find_link g 3 0 in
+  let table = 0 in
+  let z =
+    Zfilter.of_tags ~m:default_params.Lit.m
+      (List.map (fun l -> Assignment.tag asg l ~table) (chord :: ring))
+  in
+  let findings =
+    Netcheck.check_zfilter model ~table ~zfilter:z ~src:0 ~tree:(chord :: ring)
+  in
+  let loops =
+    List.filter (fun f -> String.equal f.Netcheck.check "loop") findings
+  in
+  Alcotest.(check bool) "loop reported" true (loops <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "catchable cycle is a warning" true
+        (match f.Netcheck.severity with Netcheck.Warning -> true | _ -> false))
+    loops
+
+let test_ping_pong_matches_engine () =
+  (* Both directions of one edge in a zFilter: the model predicts a
+     2-link loop (the engine has no reverse-interface suppression) —
+     confirm against the real engine with TTL-mode delivery. *)
+  let g = tree_graph ~seed:3 ~nodes:5 in
+  let asg = assignment_of ~seed:3 g in
+  let model = Netcheck.model_of_assignment ~loop_prevention:false asg in
+  let l = List.hd (Graph.out_links g 0) in
+  let r = Graph.reverse_link g l in
+  let table = 0 in
+  let z =
+    Zfilter.of_tags ~m:default_params.Lit.m
+      [ Assignment.tag asg l ~table; Assignment.tag asg r ~table ]
+  in
+  let findings =
+    Netcheck.check_zfilter model ~table ~zfilter:z ~src:0 ~tree:[ l; r ]
+  in
+  Alcotest.(check bool) "model reports the 2-cycle as an error" true
+    (List.exists
+       (fun f ->
+         String.equal f.Netcheck.check "loop"
+         && match f.Netcheck.severity with Netcheck.Error -> true | _ -> false)
+       findings);
+  (* ground truth: the packet really bounces (traversals exceed the
+     two encoded links by a wide margin before TTL stops it) *)
+  let net = Net.make ~loop_prevention:false asg in
+  let result =
+    Run.deliver ~mode:(Run.Ttl 12) net ~src:0 ~table ~zfilter:z
+      ~tree:[ l; r ]
+  in
+  Alcotest.(check bool) "engine really ping-pongs" true
+    (result.Run.link_traversals > 4)
+
+let test_fill_limit_violation () =
+  let g = tree_graph ~seed:11 ~nodes:12 in
+  let asg = assignment_of ~seed:11 g in
+  let model = Netcheck.model_of_assignment ~fill_limit:0.05 asg in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 11; 7; 3 ] in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  let findings =
+    Netcheck.check_zfilter model ~table:0 ~zfilter:c.Candidate.zfilter ~src:0
+      ~tree
+  in
+  Alcotest.(check (list string)) "only the fill violation" [ "fill-limit" ]
+    (checks_of findings);
+  Alcotest.(check int) "and it is an error" 1
+    (List.length (Netcheck.errors findings))
+
+let test_false_delivery_attribution () =
+  (* OR one off-tree link's LIT into the filter: the closure must pick
+     it up and attribute the false delivery to exactly that link. *)
+  let g = tree_graph ~seed:19 ~nodes:16 in
+  let asg = assignment_of ~seed:19 g in
+  let model = Netcheck.model_of_assignment asg in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 15 ] in
+  let on_tree = List.map (fun l -> l.Graph.index) tree in
+  let tree_nodes = Spt.tree_nodes tree in
+  (* an off-tree out-link of a tree node *)
+  let extra =
+    List.find_map
+      (fun v ->
+        List.find_opt
+          (fun l -> not (List.mem l.Graph.index on_tree))
+          (Graph.out_links g v))
+      tree_nodes
+    |> Option.get
+  in
+  let table = 0 in
+  let z =
+    Zfilter.of_tags ~m:default_params.Lit.m
+      (List.map (fun l -> Assignment.tag asg l ~table) (extra :: tree))
+  in
+  let findings = Netcheck.check_zfilter model ~table ~zfilter:z ~src:0 ~tree in
+  let fps =
+    List.filter
+      (fun f -> String.equal f.Netcheck.check "false-delivery")
+      findings
+  in
+  Alcotest.(check bool) "extra link attributed" true
+    (List.exists (fun f -> f.Netcheck.links = [ extra.Graph.index ]) fps);
+  Alcotest.(check bool) "no under-delivery" true
+    (not (has_check "under-delivery" findings));
+  Alcotest.(check int) "no errors" 0 (List.length (Netcheck.errors findings))
+
+let test_under_delivery_on_failed_link () =
+  (* Fail a tree link at its source engine: the snapshot model must
+     report the subscribers behind it as outside the closure. *)
+  let g = tree_graph ~seed:23 ~nodes:10 in
+  let asg = assignment_of ~seed:23 g in
+  let engines = Hashtbl.create 10 in
+  let engine_of v =
+    match Hashtbl.find_opt engines v with
+    | Some e -> e
+    | None ->
+      let e = Node_engine.create asg v in
+      Hashtbl.add engines v e;
+      e
+  in
+  let tree = Spt.delivery_tree g ~root:0 ~subscribers:[ 9 ] in
+  let last = List.nth tree (List.length tree - 1) in
+  Node_engine.fail_link (engine_of last.Graph.src) last;
+  let model = Netcheck.model_of_engines asg ~engine_of in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  let findings =
+    Netcheck.check_zfilter model ~table:0 ~zfilter:c.Candidate.zfilter ~src:0
+      ~tree
+  in
+  let under =
+    List.filter
+      (fun f -> String.equal f.Netcheck.check "under-delivery")
+      findings
+  in
+  Alcotest.(check int) "one under-delivery error" 1 (List.length under);
+  Alcotest.(check bool) "dead tree link listed" true
+    (List.mem last.Graph.index (List.hd under).Netcheck.links)
+
+(* ---- LIT anomalies ---- *)
+
+let test_duplicate_nonce_collision () =
+  let g = Graph.create ~nodes:3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 0 2;
+  let l01 = find_link g 0 1 and l02 = find_link g 0 2 in
+  let base = Assignment.make default_params (Rng.of_int 5) g in
+  let nonces = Assignment.nonces base in
+  nonces.(l02.Graph.index) <- nonces.(l01.Graph.index);
+  let asg = Assignment.make_with_nonces default_params nonces g in
+  let model = Netcheck.model_of_assignment asg in
+  let findings = Netcheck.check_lits model in
+  Alcotest.(check bool) "nonce duplicate flagged" true
+    (has_check "nonce-duplicate" findings);
+  Alcotest.(check bool) "sibling collision flagged" true
+    (List.exists
+       (fun f ->
+         String.equal f.Netcheck.check "lit-collision"
+         && f.Netcheck.node = 0
+         && List.sort Int.compare f.Netcheck.links
+            = List.sort Int.compare [ l01.Graph.index; l02.Graph.index ])
+       findings);
+  Alcotest.(check bool) "collisions are errors" true
+    (Netcheck.errors findings <> [])
+
+let test_lit_union_cover_detected () =
+  (* With constant k every same-table sibling LIT has exactly k set
+     bits, so a strict subset among physical siblings is impossible
+     (subset <=> equal, reported as lit-collision); the observable
+     containment anomaly is the union cover.  Small m so covers occur;
+     the Rng is deterministic, so scan seeds until one shows up and
+     check the reported link is semantically covered. *)
+  let params = Lit.constant_k ~m:16 ~d:1 ~k:2 in
+  let g = Graph.create ~nodes:9 in
+  for v = 1 to 8 do
+    Graph.add_edge g 0 v
+  done;
+  let found = ref None in
+  let seed = ref 0 in
+  while Option.is_none !found && !seed < 200 do
+    let asg = Assignment.make params (Rng.of_int !seed) g in
+    let model = Netcheck.model_of_assignment asg in
+    let findings = Netcheck.check_lits model in
+    (match
+       List.find_opt
+         (fun f -> String.equal f.Netcheck.check "lit-union-cover")
+         findings
+     with
+    | Some f -> found := Some (asg, f)
+    | None -> ());
+    incr seed
+  done;
+  match !found with
+  | None -> Alcotest.fail "no lit-union-cover in 200 seeds at m=16,k=2"
+  | Some (asg, f) -> (
+    match f.Netcheck.links with
+    | [ li ] ->
+      let g = Assignment.graph asg in
+      let union = Bitvec.create 16 in
+      List.iter
+        (fun s ->
+          if s.Graph.index <> li then
+            Bitvec.logor_into ~dst:union
+              (Assignment.tag asg s ~table:f.Netcheck.table))
+        (Graph.out_links g f.Netcheck.node);
+      Alcotest.(check bool) "covered LIT is inside the sibling OR" true
+        (Bitvec.subset
+           (Assignment.tag asg (Graph.link g li) ~table:f.Netcheck.table)
+           ~of_:union)
+    | _ -> Alcotest.fail "union-cover finding must carry the covered link")
+
+let test_virtual_shadow_detected () =
+  let g = tree_graph ~seed:31 ~nodes:6 in
+  let asg = assignment_of ~seed:31 g in
+  let engines = Hashtbl.create 6 in
+  let engine_of v =
+    match Hashtbl.find_opt engines v with
+    | Some e -> e
+    | None ->
+      let e = Node_engine.create asg v in
+      Hashtbl.add engines v e;
+      e
+  in
+  (* a virtual entry carrying a physical sibling's own identity shadows
+     it exactly (equal tags, subset both ways) *)
+  let l = List.hd (Graph.out_links g 0) in
+  Node_engine.install_virtual (engine_of 0) (Assignment.lit asg l)
+    ~out_links:[ l ];
+  let model = Netcheck.model_of_engines asg ~engine_of in
+  let findings = Netcheck.check_lits model in
+  Alcotest.(check bool) "shadow flagged at node 0" true
+    (List.exists
+       (fun f ->
+         String.equal f.Netcheck.check "virtual-shadow" && f.Netcheck.node = 0)
+       findings)
+
+(* ---- deployment-wide loop admissibility ---- *)
+
+let test_deployment_loops_prevention_severity () =
+  (* An admissible cycle witness is inherent to any cyclic deployment,
+     so it must not be a gate-tripping Error while the incoming-LIT
+     check is armed — only when loop prevention is disabled does the
+     finding escalate (nothing but the TTL stops the packet). *)
+  let ring = Generator.ring ~nodes:6 in
+  let asg = assignment_of ~seed:41 ring in
+  let loops model =
+    List.filter
+      (fun f -> String.equal f.Netcheck.check "loop-admissible")
+      (Netcheck.check_loops model)
+  in
+  let armed = loops (Netcheck.model_of_assignment asg) in
+  Alcotest.(check bool) "pure ring admits loops" true (armed <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "armed prevention reports warnings" true
+        (match f.Netcheck.severity with Netcheck.Warning -> true | _ -> false))
+    armed;
+  let off = loops (Netcheck.model_of_assignment ~loop_prevention:false asg) in
+  Alcotest.(check bool) "still reported with prevention off" true (off <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "disabled prevention escalates to errors" true
+        (match f.Netcheck.severity with Netcheck.Error -> true | _ -> false))
+    off
+
+(* ---- recovery soundness ---- *)
+
+let two_triangles_with_bridge () =
+  let g = Graph.create ~nodes:6 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  Graph.add_edge g 2 0;
+  Graph.add_edge g 3 4;
+  Graph.add_edge g 4 5;
+  Graph.add_edge g 5 3;
+  Graph.add_edge g 2 3;
+  g
+
+let test_recovery_bridge_and_soundness () =
+  let g = two_triangles_with_bridge () in
+  let asg = assignment_of ~seed:53 g in
+  let model = Netcheck.model_of_assignment asg in
+  let findings = Netcheck.check_recovery model in
+  let bridge_links =
+    List.concat_map
+      (fun f ->
+        if String.equal f.Netcheck.check "recovery-bridge" then f.Netcheck.links
+        else [])
+      findings
+  in
+  let b = find_link g 2 3 and br = find_link g 3 2 in
+  Alcotest.(check (list int)) "exactly the bridge, both directions"
+    (List.sort Int.compare [ b.Graph.index; br.Graph.index ])
+    (List.sort Int.compare bridge_links);
+  Alcotest.(check bool) "triangle links verify loop-free and delivering" true
+    (not
+       (has_check "recovery-loop" findings
+       || has_check "recovery-unreachable" findings));
+  Alcotest.(check int) "no errors" 0 (List.length (Netcheck.errors findings))
+
+let test_recovery_fill_headroom () =
+  let g = two_triangles_with_bridge () in
+  let asg = assignment_of ~seed:59 g in
+  (* a fill limit below what the 2-hop detour patch needs *)
+  let model = Netcheck.model_of_assignment ~fill_limit:0.03 asg in
+  let findings = Netcheck.check_recovery model in
+  Alcotest.(check bool) "rewrite patches flagged over the limit" true
+    (has_check "recovery-fill" findings)
+
+(* ---- Net.verify and the LIPSIN_NETCHECK gate ---- *)
+
+let test_net_verify () =
+  let g = tree_graph ~seed:61 ~nodes:12 in
+  let asg = assignment_of ~seed:61 g in
+  let net = Net.make asg in
+  let findings = Net.verify ~samples:4 net in
+  Alcotest.(check int) "tree deployment verifies error-free" 0
+    (List.length (Netcheck.errors findings));
+  (* failing a link shows up through the engine snapshot *)
+  let l = List.hd (Graph.out_links g 0) in
+  Net.fail_link net l;
+  let model = Netcheck.model_of_engines (Net.assignment net) ~engine_of:(Net.engine net) in
+  let tree = [ l ] in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  let after =
+    Netcheck.check_zfilter model ~table:0 ~zfilter:c.Candidate.zfilter ~src:0
+      ~tree
+  in
+  Alcotest.(check bool) "failed link yields under-delivery" true
+    (has_check "under-delivery" after)
+
+let with_env var value f =
+  Unix.putenv var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv var "") f
+
+let test_netcheck_gate () =
+  (* Clean deployment passes under the gate... *)
+  let g = tree_graph ~seed:67 ~nodes:8 in
+  let asg = assignment_of ~seed:67 g in
+  with_env "LIPSIN_NETCHECK" "1" (fun () ->
+      let net = Net.make asg in
+      ignore (Net.engine net 0);
+      (* ...a deployment with colliding sibling identities is refused. *)
+      let bad_g = Graph.create ~nodes:3 in
+      Graph.add_edge bad_g 0 1;
+      Graph.add_edge bad_g 0 2;
+      let base = Assignment.make default_params (Rng.of_int 71) bad_g in
+      let nonces = Assignment.nonces base in
+      nonces.((find_link bad_g 0 2).Graph.index) <-
+        nonces.((find_link bad_g 0 1).Graph.index);
+      let bad = Assignment.make_with_nonces default_params nonces bad_g in
+      match Net.make bad with
+      | exception Invalid_argument msg ->
+        Alcotest.(check bool) "names the failed check" true
+          (let re = "lit-collision" in
+           let len = String.length re in
+           let rec contains i =
+             i + len <= String.length msg
+             && (String.equal (String.sub msg i len) re || contains (i + 1))
+           in
+           contains 0)
+      | _ -> Alcotest.fail "gate must refuse a colliding deployment")
+
+(* when the gate is off, the same deployment builds fine *)
+let test_gate_off_is_permissive () =
+  let g = Graph.create ~nodes:3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 0 2;
+  let base = Assignment.make default_params (Rng.of_int 73) g in
+  let nonces = Assignment.nonces base in
+  nonces.(2) <- nonces.(0);
+  let bad = Assignment.make_with_nonces default_params nonces g in
+  ignore (Net.make bad)
+
+(* ---- persisted-deployment reporting (the CLI path) ---- *)
+
+let test_lint_finding_adapter () =
+  let g = Generator.ring ~nodes:4 in
+  let asg = assignment_of ~seed:79 g in
+  let model = Netcheck.model_of_assignment asg in
+  let findings = Netcheck.check_deployment model in
+  Alcotest.(check bool) "ring deployment yields findings" true (findings <> []);
+  let reported =
+    List.map (Netcheck.to_lint_finding ~deployment:"ring.assignment") findings
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "anchored to the deployment file"
+        "ring.assignment" f.Lipsin_linter.Finding.file)
+    reported;
+  (* both reporters accept them *)
+  Alcotest.(check bool) "human report non-empty" true
+    (String.length (Lipsin_linter.Finding.report_human reported) > 0);
+  Alcotest.(check bool) "json report non-empty" true
+    (String.length (Lipsin_linter.Finding.report_json reported) > 0)
+
+(* ---- mutation properties (mirror test_analysis's audit props) ---- *)
+
+let prop_clean_trees_verify =
+  QCheck.Test.make ~name:"netcheck: clean random trees report zero loops"
+    ~count:120
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let nodes = 4 + Rng.int rng 17 in
+      let g = tree_graph ~seed:(seed + 1) ~nodes in
+      let asg = assignment_of ~seed:(seed + 2) g in
+      let model = Netcheck.model_of_assignment asg in
+      let src = Rng.int rng nodes in
+      let n_subs = 1 + Rng.int rng (min 6 (nodes - 1)) in
+      let subscribers =
+        Array.to_list (Rng.sample rng n_subs nodes)
+        |> List.filter (fun v -> v <> src)
+      in
+      let tree = Spt.delivery_tree g ~root:src ~subscribers in
+      let findings = Netcheck.check_tree model ~src ~tree in
+      (* on a tree topology the closure cannot cycle and every intended
+         node is reached; false positives are possible in principle but
+         never loops or errors *)
+      (not (has_check "loop" findings))
+      && Netcheck.errors findings = [])
+
+let prop_injected_cycles_flagged =
+  QCheck.Test.make
+    ~name:"netcheck: injected self-admitting cycles are always flagged"
+    ~count:120
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let nodes = 4 + Rng.int rng 9 in
+      let g = Graph.create ~nodes in
+      for i = 0 to nodes - 1 do
+        Graph.add_edge g i ((i + 1) mod nodes)
+      done;
+      (* random chords *)
+      let chords = Rng.int rng 3 in
+      for _ = 1 to chords do
+        let u = Rng.int rng nodes and v = Rng.int rng nodes in
+        if u <> v && not (Graph.has_edge g u v) then Graph.add_edge g u v
+      done;
+      let asg = assignment_of ~seed:(seed + 3) g in
+      let model = Netcheck.model_of_assignment asg in
+      let table = Rng.int rng default_params.Lit.d in
+      let src = Rng.int rng nodes in
+      let sub = (src + 1 + Rng.int rng (nodes - 1)) mod nodes in
+      let tree = Spt.delivery_tree g ~root:src ~subscribers:[ sub ] in
+      let ring =
+        List.init nodes (fun i ->
+            match Graph.find_link g ~src:i ~dst:((i + 1) mod nodes) with
+            | Some l -> l
+            | None -> assert false)
+      in
+      let z =
+        Zfilter.of_tags ~m:default_params.Lit.m
+          (List.map (fun l -> Assignment.tag asg l ~table) (tree @ ring))
+      in
+      let findings = Netcheck.check_zfilter model ~table ~zfilter:z ~src ~tree in
+      let loops =
+        List.filter (fun f -> String.equal f.Netcheck.check "loop") findings
+      in
+      (* the injected ring must be flagged, and every reported cycle
+         must be genuine: closed, and admitted by the filter *)
+      loops <> []
+      && List.for_all
+           (fun f ->
+             let links =
+               List.map (fun i -> Graph.link g i) f.Netcheck.links
+             in
+             match links with
+             | [] -> false
+             | first :: _ ->
+               let rec closed = function
+                 | [ last ] -> last.Graph.dst = first.Graph.src
+                 | a :: (b :: _ as rest) ->
+                   a.Graph.dst = b.Graph.src && closed rest
+                 | [] -> false
+               in
+               closed links
+               && List.for_all
+                    (fun l ->
+                      Bitvec.subset
+                        (Assignment.tag asg l ~table)
+                        ~of_:(Zfilter.to_bitvec z))
+                    links)
+           loops)
+
+let prop_persisted_roundtrip_verifies_identically =
+  QCheck.Test.make
+    ~name:"netcheck: persisted deployments verify like the originals" ~count:40
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let nodes = 5 + Rng.int rng 12 in
+      let g =
+        Generator.pref_attach
+          ~rng:(Rng.of_int (seed + 1))
+          ~nodes
+          ~edges:(nodes - 1 + Rng.int rng 5)
+          ~max_degree:6 ()
+      in
+      let asg = assignment_of ~seed:(seed + 2) g in
+      match Persist.of_string g (Persist.to_string asg) with
+      | Error _ -> false
+      | Ok back ->
+        let report m =
+          List.map Netcheck.to_string (Netcheck.check_deployment m)
+        in
+        List.equal String.equal
+          (report (Netcheck.model_of_assignment asg))
+          (report (Netcheck.model_of_assignment back)))
+
+let () =
+  Alcotest.run "netcheck"
+    [
+      ( "zfilter",
+        [
+          Alcotest.test_case "clean tree" `Quick test_clean_tree_no_findings;
+          Alcotest.test_case "injected ring cycle" `Quick
+            test_injected_ring_cycle_flagged;
+          Alcotest.test_case "chorded ring catchable" `Quick
+            test_chorded_ring_cycle_catchable;
+          Alcotest.test_case "ping-pong matches engine" `Quick
+            test_ping_pong_matches_engine;
+          Alcotest.test_case "fill limit" `Quick test_fill_limit_violation;
+          Alcotest.test_case "false-delivery attribution" `Quick
+            test_false_delivery_attribution;
+          Alcotest.test_case "under-delivery" `Quick
+            test_under_delivery_on_failed_link;
+        ] );
+      ( "lits",
+        [
+          Alcotest.test_case "duplicate nonce" `Quick
+            test_duplicate_nonce_collision;
+          Alcotest.test_case "union cover" `Quick
+            test_lit_union_cover_detected;
+          Alcotest.test_case "virtual shadow" `Quick
+            test_virtual_shadow_detected;
+        ] );
+      ( "deployment",
+        [
+          Alcotest.test_case "loop severity vs prevention" `Quick
+            test_deployment_loops_prevention_severity;
+          Alcotest.test_case "recovery bridge + soundness" `Quick
+            test_recovery_bridge_and_soundness;
+          Alcotest.test_case "recovery fill headroom" `Quick
+            test_recovery_fill_headroom;
+          Alcotest.test_case "lint finding adapter" `Quick
+            test_lint_finding_adapter;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "verify" `Quick test_net_verify;
+          Alcotest.test_case "LIPSIN_NETCHECK gate" `Quick test_netcheck_gate;
+          Alcotest.test_case "gate off permissive" `Quick
+            test_gate_off_is_permissive;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_clean_trees_verify;
+          QCheck_alcotest.to_alcotest prop_injected_cycles_flagged;
+          QCheck_alcotest.to_alcotest prop_persisted_roundtrip_verifies_identically;
+        ] );
+    ]

@@ -166,6 +166,41 @@ let test_persist_rejects () =
     Alcotest.(check string) "mismatch" "nonce count does not match the graph's links" msg
   | Ok _ -> Alcotest.fail "graph mismatch accepted"
 
+let test_persist_rejects_malformed_payload () =
+  (* Corrupt a valid serialisation one line at a time and check each
+     error path: nonce count (truncated/padded), nonce syntax, header
+     parameter syntax, and Lit.validate rejection of parsed params. *)
+  let g, asg = sample () in
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (Persist.to_string asg))
+  in
+  let n = List.length lines in
+  let rejoin ls = String.concat "\n" ls ^ "\n" in
+  let replace i v = List.mapi (fun j s -> if j = i then v else s) lines in
+  let reject name expected text =
+    match Persist.of_string g text with
+    | Error msg -> Alcotest.(check string) name expected msg
+    | Ok _ -> Alcotest.fail (name ^ " accepted")
+  in
+  reject "truncated nonce list" "nonce count does not match the graph's links"
+    (rejoin (List.filteri (fun i _ -> i < n - 1) lines));
+  reject "extra nonce line" "nonce count does not match the graph's links"
+    (rejoin (lines @ [ List.nth lines (n - 1) ]));
+  (* line 3 is the first nonce; in-place corruption keeps the count *)
+  reject "short nonce line" "malformed nonce line"
+    (rejoin (replace 3 "0123456789abcde"));
+  reject "non-hex nonce line" "malformed nonce line"
+    (rejoin (replace 3 "zzzzzzzzzzzzzzzz"));
+  reject "unparsable m" "malformed parameter lines" (rejoin (replace 1 "m x"));
+  reject "unparsable k entry" "malformed parameter lines"
+    (rejoin (replace 2 "k 5,oops"));
+  reject "headerless m" "malformed parameter lines" (rejoin (replace 1 "248"));
+  match Persist.of_string g (rejoin (replace 1 "m 0")) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "m 0 must fail Lit.validate"
+
 let () =
   Alcotest.run "persist-fragment"
     [
@@ -187,5 +222,7 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_persist_file_roundtrip;
           Alcotest.test_case "with edge list" `Quick test_persist_with_edge_list_roundtrip;
           Alcotest.test_case "rejects" `Quick test_persist_rejects;
+          Alcotest.test_case "rejects malformed payload" `Quick
+            test_persist_rejects_malformed_payload;
         ] );
     ]
