@@ -155,8 +155,10 @@ let no_poly_compare () =
    ref / Hashtbl.create / Buffer.create / Queue.create evaluated at
    module initialization, i.e. outside any function body — and any use
    of the global Random state, unless the binding is Atomic/Mutex
-   guarded.  Worker domains share module state; unsynchronized writes
-   are data races OCaml 5 will not diagnose for you. *)
+   guarded or an Obs telemetry cell (per-domain storage aggregated on
+   read — sanctioned by construction).  Worker domains share module
+   state; unsynchronized writes are data races OCaml 5 will not
+   diagnose for you. *)
 
 let head_module lid =
   match flatten_ident lid with md :: _ :: _ -> Some md | _ -> None
@@ -176,7 +178,10 @@ let expr_mentions_guard (e : Parsetree.expression) =
     (match e.pexp_desc with
     | Pexp_ident { txt; _ } -> (
       match head_module txt with
-      | Some ("Atomic" | "Mutex" | "Domain") -> found := true
+      | Some ("Atomic" | "Mutex" | "Domain" | "Obs" | "Lipsin_obs") ->
+        (* Obs cells are sanctioned mutable state: per-domain, padded,
+           aggregated on read (lib/obs). *)
+        found := true
       | _ -> ())
     | _ -> ());
     super.expr self e
@@ -225,7 +230,8 @@ let domain_safety ~in_scope =
                         (Printf.sprintf
                            "top-level %s in a module reachable from the \
                             Domain-parallel delivery path; guard it with \
-                            Atomic/Mutex or allocate it per call"
+                            Atomic/Mutex, use an Obs per-domain cell, or \
+                            allocate it per call"
                            what))
                     (eager_state_makers vb.pvb_expr))
               bindings

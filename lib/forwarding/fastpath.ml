@@ -2,6 +2,93 @@ module Bitvec = Lipsin_bitvec.Bitvec
 module Lit = Lipsin_bloom.Lit
 module Zfilter = Lipsin_bloom.Zfilter
 module Graph = Lipsin_topology.Graph
+module Obs = Lipsin_obs.Obs
+
+(* Telemetry: registered once per process; each compiled engine caches
+   its own domain's cells (see [meters]) so the hot loop's increments
+   are plain int stores behind a single Obs.enabled load.  Metric names
+   and semantics mirror Node_engine's reference-labelled twins — the
+   differential suite checks the deltas agree decision for decision. *)
+let m_decisions =
+  Obs.Counter.make ~help:"Compiled fast-path forwarding decisions"
+    "lipsin_fastpath_decisions_total"
+
+let m_drop_fill =
+  Obs.Counter.make ~help:"Packets dropped, by engine and reason"
+    ~labels:[ ("engine", "fast"); ("reason", "fill") ]
+    "lipsin_drops_total"
+
+let m_drop_loop =
+  Obs.Counter.make ~help:"Packets dropped, by engine and reason"
+    ~labels:[ ("engine", "fast"); ("reason", "loop") ]
+    "lipsin_drops_total"
+
+let m_drop_bad_table =
+  Obs.Counter.make ~help:"Packets dropped, by engine and reason"
+    ~labels:[ ("engine", "fast"); ("reason", "bad-table") ]
+    "lipsin_drops_total"
+
+let m_loop_hits =
+  Obs.Counter.make ~help:"Loop-cache lookups that found a live entry"
+    ~labels:[ ("engine", "fast") ]
+    "lipsin_loop_cache_hits_total"
+
+let m_loop_suspected =
+  Obs.Counter.make ~help:"Decisions that cached a suspected loop"
+    ~labels:[ ("engine", "fast") ]
+    "lipsin_loop_suspected_total"
+
+let m_block_vetoes =
+  Obs.Counter.make ~help:"Matched ports suppressed by a negative Link ID"
+    ~labels:[ ("engine", "fast") ]
+    "lipsin_block_vetoes_total"
+
+let m_local =
+  Obs.Counter.make ~help:"Decisions that matched the node-local LIT"
+    ~labels:[ ("engine", "fast") ]
+    "lipsin_local_deliveries_total"
+
+let m_services =
+  Obs.Counter.make ~help:"Service endpoints matched"
+    ~labels:[ ("engine", "fast") ]
+    "lipsin_service_matches_total"
+
+let h_admitted =
+  Obs.Histogram.make ~help:"Out-links admitted per forwarding decision"
+    ~labels:[ ("engine", "fast") ]
+    "lipsin_admitted_links"
+
+(* The calling domain's cells, fetched once per compile: compiled
+   engines are domain-local (each Net lives on one domain), so the
+   cells never cross a domain boundary. *)
+type meters = {
+  md : int array;
+  mfill : int array;
+  mloop : int array;
+  mbad : int array;
+  mhits : int array;
+  msusp : int array;
+  mveto : int array;
+  mlocal : int array;
+  msvc : int array;
+  hadm : Obs.Histogram.cells;
+}
+
+let make_meters () =
+  {
+    md = Obs.Counter.local m_decisions;
+    mfill = Obs.Counter.local m_drop_fill;
+    mloop = Obs.Counter.local m_drop_loop;
+    mbad = Obs.Counter.local m_drop_bad_table;
+    mhits = Obs.Counter.local m_loop_hits;
+    msusp = Obs.Counter.local m_loop_suspected;
+    mveto = Obs.Counter.local m_block_vetoes;
+    mlocal = Obs.Counter.local m_local;
+    msvc = Obs.Counter.local m_services;
+    hadm = Obs.Histogram.local h_admitted;
+  }
+
+let bump c = c.(0) <- c.(0) + 1
 
 type decision = {
   mutable forward : int array;
@@ -54,6 +141,7 @@ type t = {
   mutable gen : int;
   decision : decision;
   mutable blob_digest : int;  (* FNV over all blobs, recorded at compile *)
+  obs : meters;
 }
 
 (* FNV-1a in native int arithmetic (the 64-bit basis truncated to the
@@ -245,6 +333,7 @@ let compile engine =
         tests = 0;
       };
     blob_digest = 0;
+    obs = make_meters ();
   }
   in
   t.blob_digest <- digest t;
@@ -292,6 +381,8 @@ let subset_entry blob ~off zf ~words =
   !ok
 
 let decide t ~table ~zfilter ~in_link_index =
+  let obs = Obs.enabled () in
+  if obs then bump t.obs.md;
   let d = t.decision in
   d.n_forward <- 0;
   d.deliver_local <- false;
@@ -301,12 +392,14 @@ let decide t ~table ~zfilter ~in_link_index =
   d.tests <- 0;
   if table < 0 || table >= t.d then begin
     d.drop <- drop_bad_table;
+    if obs then bump t.obs.mbad;
     d
   end
   else if Zfilter.m zfilter <> t.m then
     invalid_arg "Fastpath.decide: zFilter width mismatch"
   else if not (Zfilter.within_fill_limit zfilter ~limit:t.fill_limit) then begin
     d.drop <- drop_fill;
+    if obs then bump t.obs.mfill;
     d
   end
   else begin
@@ -317,9 +410,11 @@ let decide t ~table ~zfilter ~in_link_index =
     if t.loop_prevention then begin
       let key = Bytes.sub_string zf 0 t.data_len in
       (match loop_cache_find t key with
-      | Some cached when in_link_index >= 0 && cached <> in_link_index ->
-        d.drop <- drop_loop
-      | Some _ | None -> ());
+      | Some cached ->
+        if obs then bump t.obs.mhits;
+        if in_link_index >= 0 && cached <> in_link_index then
+          d.drop <- drop_loop
+      | None -> ());
       if d.drop = no_drop then begin
         let risky = ref false in
         let itab = t.in_tags.(table) in
@@ -329,11 +424,15 @@ let decide t ~table ~zfilter ~in_link_index =
         done;
         if !risky then begin
           d.loop_suspected <- true;
+          if obs then bump t.obs.msusp;
           if in_link_index >= 0 then loop_cache_add t key in_link_index
         end
       end
     end;
-    if d.drop <> no_drop then d
+    if d.drop <> no_drop then begin
+      if obs then bump t.obs.mloop;
+      d
+    end
     else begin
       t.gen <- t.gen + 1;
       let gen = t.gen in
@@ -347,6 +446,7 @@ let decide t ~table ~zfilter ~in_link_index =
           for b = boff.(p) to boff.(p + 1) - 1 do
             if subset_entry btab ~off:(b * stride) zf ~words then blocked := true
           done;
+          if obs && !blocked then bump t.obs.mveto;
           if (not !blocked) && t.seen.(p) <> gen then begin
             t.seen.(p) <- gen;
             d.forward.(d.n_forward) <- p;
@@ -374,6 +474,11 @@ let decide t ~table ~zfilter ~in_link_index =
           d.n_services <- d.n_services + 1
         end
       done;
+      if obs then begin
+        Obs.Histogram.record_int t.obs.hadm d.n_forward;
+        if d.deliver_local then bump t.obs.mlocal;
+        t.obs.msvc.(0) <- t.obs.msvc.(0) + d.n_services
+      end;
       d
     end
   end

@@ -4,6 +4,60 @@ module Lit = Lipsin_bloom.Lit
 module Zfilter = Lipsin_bloom.Zfilter
 module Graph = Lipsin_topology.Graph
 module Assignment = Lipsin_core.Assignment
+module Obs = Lipsin_obs.Obs
+
+(* Telemetry twins of Fastpath's fast-labelled metrics: same names and
+   per-decision semantics under [engine="reference"], so the
+   differential suite can assert the two engines produce identical
+   counter deltas for the same packet history. *)
+let m_decisions =
+  Obs.Counter.make ~help:"Reference (slow path) forwarding decisions"
+    "lipsin_node_engine_decisions_total"
+
+let m_drop_fill =
+  Obs.Counter.make ~help:"Packets dropped, by engine and reason"
+    ~labels:[ ("engine", "reference"); ("reason", "fill") ]
+    "lipsin_drops_total"
+
+let m_drop_loop =
+  Obs.Counter.make ~help:"Packets dropped, by engine and reason"
+    ~labels:[ ("engine", "reference"); ("reason", "loop") ]
+    "lipsin_drops_total"
+
+let m_drop_bad_table =
+  Obs.Counter.make ~help:"Packets dropped, by engine and reason"
+    ~labels:[ ("engine", "reference"); ("reason", "bad-table") ]
+    "lipsin_drops_total"
+
+let m_loop_hits =
+  Obs.Counter.make ~help:"Loop-cache lookups that found a live entry"
+    ~labels:[ ("engine", "reference") ]
+    "lipsin_loop_cache_hits_total"
+
+let m_loop_suspected =
+  Obs.Counter.make ~help:"Decisions that cached a suspected loop"
+    ~labels:[ ("engine", "reference") ]
+    "lipsin_loop_suspected_total"
+
+let m_block_vetoes =
+  Obs.Counter.make ~help:"Matched ports suppressed by a negative Link ID"
+    ~labels:[ ("engine", "reference") ]
+    "lipsin_block_vetoes_total"
+
+let m_local =
+  Obs.Counter.make ~help:"Decisions that matched the node-local LIT"
+    ~labels:[ ("engine", "reference") ]
+    "lipsin_local_deliveries_total"
+
+let m_services =
+  Obs.Counter.make ~help:"Service endpoints matched"
+    ~labels:[ ("engine", "reference") ]
+    "lipsin_service_matches_total"
+
+let h_admitted =
+  Obs.Histogram.make ~help:"Out-links admitted per forwarding decision"
+    ~labels:[ ("engine", "reference") ]
+    "lipsin_admitted_links"
 
 type drop_reason = Fill_limit_exceeded | Loop_detected | Bad_table
 
@@ -167,7 +221,15 @@ let loop_cache_find t key =
   | None -> None
 
 let forward t ~table ~zfilter ~in_link =
+  let obs = Obs.enabled () in
+  if obs then Obs.Counter.incr m_decisions;
   let no_forward ?(tests = 0) drop =
+    (if obs then
+       match drop with
+       | Some Bad_table -> Obs.Counter.incr m_drop_bad_table
+       | Some Fill_limit_exceeded -> Obs.Counter.incr m_drop_fill
+       | Some Loop_detected -> Obs.Counter.incr m_drop_loop
+       | None -> ());
     {
       forward_on = [];
       deliver_local = false;
@@ -191,8 +253,11 @@ let forward t ~table ~zfilter ~in_link =
     if t.loop_prevention then begin
       let key = Bytes.to_string (Bitvec.to_bytes (Zfilter.to_bitvec zfilter)) in
       (match (loop_cache_find t key, in_index) with
-      | Some cached, Some arriving when cached <> arriving -> loop_detected := true
-      | Some _, _ | None, _ -> ());
+      | Some cached, Some arriving ->
+        if obs then Obs.Counter.incr m_loop_hits;
+        if cached <> arriving then loop_detected := true
+      | Some _, None -> if obs then Obs.Counter.incr m_loop_hits
+      | None, _ -> ());
       if not !loop_detected then begin
         let risky = ref false in
         Array.iter
@@ -203,6 +268,7 @@ let forward t ~table ~zfilter ~in_link =
           t.ports;
         if !risky then begin
           loop_suspected := true;
+          if obs then Obs.Counter.incr m_loop_suspected;
           match in_index with
           | Some arriving -> loop_cache_add t key arriving
           | None -> ()
@@ -233,7 +299,10 @@ let forward t ~table ~zfilter ~in_link =
                   | None -> false)
                 p.blocks
             in
-            if not blocked then consider_link p.link
+            if blocked then begin
+              if obs then Obs.Counter.incr m_block_vetoes
+            end
+            else consider_link p.link
           end)
         t.ports;
       (* Virtual entries. *)
@@ -257,6 +326,11 @@ let forward t ~table ~zfilter ~in_link =
             else None)
           t.services
       in
+      if obs then begin
+        Obs.Histogram.observe_int h_admitted (List.length !out);
+        if deliver_local then Obs.Counter.incr m_local;
+        Obs.Counter.add m_services (List.length services_matched)
+      end;
       {
         forward_on = List.rev !out;
         deliver_local;

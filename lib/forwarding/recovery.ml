@@ -2,8 +2,30 @@ module Bitvec = Lipsin_bitvec.Bitvec
 module Zfilter = Lipsin_bloom.Zfilter
 module Graph = Lipsin_topology.Graph
 module Assignment = Lipsin_core.Assignment
+module Obs = Lipsin_obs.Obs
 
 type link = Graph.link
+
+(* Telemetry: recovery activations are rare control-plane events, so
+   plain Obs calls (no cached cells) are fine here. *)
+let m_vlid_activations =
+  Obs.Counter.make ~help:"VLId fast-recovery activations installed"
+    ~labels:[ ("scheme", "vlid") ]
+    "lipsin_recovery_activations_total"
+
+let m_node_activations =
+  Obs.Counter.make ~help:"Node-failure recovery activations installed"
+    ~labels:[ ("scheme", "node") ]
+    "lipsin_recovery_activations_total"
+
+let m_activation_failures =
+  Obs.Counter.make ~help:"Recovery activations refused (bridge / no detour)"
+    "lipsin_recovery_failures_total"
+
+let h_patch_fill =
+  Obs.Histogram.make
+    ~help:"Fill factor (percent) of zFilters after a rewrite patch"
+    "lipsin_recovery_patch_fill_percent"
 
 (* BFS from src to dst skipping the failed physical link in both
    directions. *)
@@ -45,11 +67,23 @@ let backup_path g ~link =
 let is_bridge g ~link =
   match backup_path g ~link with None -> true | Some _ -> false
 
+let trace_activation ~node path =
+  if Obs.Trace.recording () then
+    Obs.Trace.record (Obs.Trace.local ()) ~packet:(-1) ~node
+      ~in_link:(-1) ~kind:Obs.Trace.Recovery_activation
+      ~out_links:(Array.of_list (List.map (fun l -> l.Graph.index) path))
+      ~false_positive:false ~loop_suspected:false ~deliver_local:false
+      ~ttl_expired:0
+
 let vlid_activate assignment ~engine_of ~failed =
   let g = Assignment.graph assignment in
   match backup_path g ~link:failed with
-  | None -> Error "no backup path: failed link is a bridge"
+  | None ->
+    Obs.Counter.incr m_activation_failures;
+    Error "no backup path: failed link is a bridge"
   | Some path ->
+    Obs.Counter.incr m_vlid_activations;
+    trace_activation ~node:failed.Graph.src path;
     let identity = Assignment.lit assignment failed in
     (* The detecting node stops using the physical port... *)
     Node_engine.fail_link (engine_of failed.Graph.src) failed;
@@ -85,6 +119,7 @@ let zfilter_patch assignment ~table ~backup =
 let apply_patch zfilter patch =
   let fresh = Zfilter.copy zfilter in
   Zfilter.add fresh patch;
+  Obs.Histogram.observe h_patch_fill (100.0 *. Zfilter.fill_factor fresh);
   fresh
 
 (* BFS path u -> w that never touches node [banned]. *)
@@ -142,7 +177,10 @@ let node_backup_paths g ~failed =
 let node_failure_activate assignment ~engine_of ~failed =
   let g = Assignment.graph assignment in
   let neighbors = Graph.neighbors g failed in
-  if neighbors = [] then Error "failed node has no neighbours"
+  if neighbors = [] then begin
+    Obs.Counter.incr m_activation_failures;
+    Error "failed node has no neighbours"
+  end
   else begin
     (* Stop feeding the dead node. *)
     List.iter
@@ -152,9 +190,14 @@ let node_failure_activate assignment ~engine_of ~failed =
         | None -> ())
       neighbors;
     let pairs = node_backup_paths g ~failed in
-    if pairs = [] then
+    if pairs = [] then begin
+      Obs.Counter.incr m_activation_failures;
       Error "no transit pair survives without the node"
+    end
     else begin
+      Obs.Counter.incr m_node_activations;
+      trace_activation ~node:failed
+        (List.concat_map (fun (_, detour) -> detour) pairs);
       List.iter
         (fun (out_link, detour) ->
           (* The detour impersonates the dead node's outgoing link so

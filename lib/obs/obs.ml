@@ -1,0 +1,628 @@
+(* Runtime telemetry: domain-safe counters, gauges, log-scale
+   histograms, a bounded per-domain trace ring, and Prometheus/JSON
+   exporters.  Zero dependencies so every layer can instrument itself.
+
+   Concurrency model: each metric owns one *cell* per domain, created
+   lazily through domain-local storage and padded so neighbouring cells
+   never share a cache line.  The hot path is therefore an atomic-free
+   plain-int increment into this domain's private cell; aggregation
+   happens only on read, by summing the cell list under the registry
+   mutex.  The global sink switch is a single [Atomic.t bool]: with the
+   no-op sink installed every instrument site is one atomic load and a
+   branch. *)
+
+(* ---- sink ----------------------------------------------------------- *)
+
+let live = Atomic.make false
+
+let enabled () = Atomic.get live
+
+module Sink = struct
+  type t = Noop | Memory
+
+  let set = function
+    | Noop -> Atomic.set live false
+    | Memory -> Atomic.set live true
+
+  let current () = if Atomic.get live then Memory else Noop
+end
+
+(* ---- registry ------------------------------------------------------- *)
+
+type kind = Kcounter | Kgauge | Khistogram
+
+(* One per-domain storage block.  [ints] is padded to a cache line for
+   counters; histograms use the tail of [ints] as bucket slots and
+   [floats] for the exact sum/max. *)
+type cell = { ints : int array; floats : float array }
+
+type item = {
+  id : int;
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  kind : kind;
+  gauge : int Atomic.t;  (* gauges are rare-write: a single atomic *)
+  mutable cells : cell list;  (* appended under [mu] *)
+}
+
+let mu = Mutex.create ()
+let items : item list Atomic.t = Atomic.make []
+let next_id = Atomic.make 0
+
+let n_buckets = 64
+let pad = 8  (* ints of padding = one 64-byte line *)
+
+let alloc_cell = function
+  | Kcounter | Kgauge -> { ints = Array.make pad 0; floats = [||] }
+  | Khistogram ->
+    (* bucket counts + a padding tail; floats: [|sum; max; pad...|] *)
+    { ints = Array.make (n_buckets + pad) 0; floats = Array.make pad 0.0 }
+
+let same_labels a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && String.equal v1 v2)
+       a b
+
+let register kind ?(help = "") ?(labels = []) name =
+  Mutex.protect mu (fun () ->
+      let existing =
+        List.find_opt
+          (fun it ->
+            it.kind = kind && String.equal it.name name
+            && same_labels it.labels labels)
+          (Atomic.get items)
+      in
+      match existing with
+      | Some it -> it
+      | None ->
+        let it =
+          {
+            id = Atomic.fetch_and_add next_id 1;
+            name;
+            help;
+            labels;
+            kind;
+            gauge = Atomic.make 0;
+            cells = [];
+          }
+        in
+        Atomic.set items (it :: Atomic.get items);
+        it)
+
+(* ---- domain-local cell lookup --------------------------------------- *)
+
+type ring = {
+  mutable buf : event array;
+  cap : int;
+  mutable written : int;  (* total events ever recorded *)
+}
+
+and event = {
+  ev_seq : int;  (* ring-local write index: orders events of one domain *)
+  ev_packet : int;
+  ev_node : int;
+  ev_in_link : int;  (* dense link index, -1 when the packet originates *)
+  ev_kind : event_kind;
+  ev_out_links : int array;  (* dense indexes of links the copy took *)
+  ev_false_positive : bool;  (* some admitted link was off the intended tree *)
+  ev_loop_suspected : bool;
+  ev_deliver_local : bool;
+  ev_ttl_expired : int;  (* admitted links the TTL refused *)
+}
+
+and event_kind =
+  | Hop
+  | Drop_fill
+  | Drop_loop
+  | Drop_bad_table
+  | Recovery_activation
+
+type local_table = { mutable tbl : cell option array; mutable ring : ring option }
+
+let dls = Domain.DLS.new_key (fun () -> { tbl = [||]; ring = None })
+
+let local_cell it =
+  let lt = Domain.DLS.get dls in
+  let n = Array.length lt.tbl in
+  if it.id >= n then begin
+    let grown = Array.make (it.id + 8) None in
+    Array.blit lt.tbl 0 grown 0 n;
+    lt.tbl <- grown
+  end;
+  match lt.tbl.(it.id) with
+  | Some c -> c
+  | None ->
+    let c = alloc_cell it.kind in
+    lt.tbl.(it.id) <- Some c;
+    Mutex.protect mu (fun () -> it.cells <- c :: it.cells);
+    c
+
+let cells_of it = Mutex.protect mu (fun () -> it.cells)
+
+(* ---- counters ------------------------------------------------------- *)
+
+module Counter = struct
+  type t = item
+
+  let make ?help ?labels name = register Kcounter ?help ?labels name
+
+  (* The domain-local raw cell, for hot loops that checked {!enabled}
+     once: bump index 0 with plain int stores. *)
+  let local t = (local_cell t).ints
+
+  let add t n =
+    if Atomic.get live then begin
+      let c = (local_cell t).ints in
+      c.(0) <- c.(0) + n
+    end
+
+  let incr t = add t 1
+
+  let value t = List.fold_left (fun acc c -> acc + c.ints.(0)) 0 (cells_of t)
+
+  type vec = {
+    v_name : string;
+    v_help : string;
+    v_label : string;
+    mutable v_cells : t option array;
+  }
+
+  let vec ?(help = "") name ~label =
+    { v_name = name; v_help = help; v_label = label; v_cells = Array.make 8 None }
+
+  let cell v i =
+    let i = max 0 i in
+    if i >= Array.length v.v_cells then begin
+      let grown = Array.make (i + 8) None in
+      Array.blit v.v_cells 0 grown 0 (Array.length v.v_cells);
+      v.v_cells <- grown
+    end;
+    match v.v_cells.(i) with
+    | Some c -> c
+    | None ->
+      let c =
+        make ~help:v.v_help ~labels:[ (v.v_label, string_of_int i) ] v.v_name
+      in
+      v.v_cells.(i) <- Some c;
+      c
+end
+
+module Gauge = struct
+  type t = item
+
+  let make ?help ?labels name = register Kgauge ?help ?labels name
+  let set t n = if Atomic.get live then Atomic.set t.gauge n
+  let value t = Atomic.get t.gauge
+end
+
+(* ---- histograms ----------------------------------------------------- *)
+
+(* Log-scale buckets: bucket [i] holds observations in
+   (2^(i-32), 2^(i-31)], i.e. the upper bound of bucket [i] is
+   2^(i-31) — bucket 31 is (0.5, 1], bucket 34 is (4, 8].  Everything
+   non-positive lands in bucket 0, everything above 2^32 in the last.
+   Quantiles interpolate linearly inside the bucket and are clamped to
+   the exact tracked max. *)
+
+module Histogram = struct
+  type t = item
+
+  let make ?help ?labels name = register Khistogram ?help ?labels name
+
+  (* Allocation-free on purpose: [Float.frexp] boxes a tuple per call
+     and this runs once per forwarding decision.  Doubling/halving a
+     local float compiles to unboxed arithmetic, and the hot
+     observations — hop counts, admitted links, traversals — are small
+     integers resolved by one table lookup. *)
+  let bucket_slow v =
+    let i = ref 31 and x = ref 1.0 in
+    if v <= 1.0 then
+      while !i > 0 && v <= !x /. 2.0 do
+        x := !x /. 2.0;
+        decr i
+      done
+    else
+      while !i < n_buckets - 1 && v > !x do
+        x := !x *. 2.0;
+        incr i
+      done;
+    !i
+
+  (* Bucket boundaries above 1.0 are integer powers of two, so any v in
+     (1, 1024] shares its bucket with [ceil v]. *)
+  let small =
+    Array.init 1025 (fun i -> if i = 0 then 0 else bucket_slow (float_of_int i))
+
+  let bucket_of v =
+    if v <= 0.0 then 0
+    else if v >= 1.0 && v <= 1024.0 then
+      Array.unsafe_get small (int_of_float (Float.ceil v))
+    else bucket_slow v
+
+  let le_bound i = Float.ldexp 1.0 (i - 31)
+
+  type cells = cell
+
+  let local t = local_cell t
+
+  (* Unconditional: for hot paths that checked {!enabled} themselves.
+     The unsafe accesses are covered by construction: [bucket_of] clamps
+     to [0, n_buckets) and cells carry [n_buckets + pad] ints and [pad]
+     floats. *)
+  let record c v =
+    let i = bucket_of v in
+    Array.unsafe_set c.ints i (Array.unsafe_get c.ints i + 1);
+    Array.unsafe_set c.floats 0 (Array.unsafe_get c.floats 0 +. v);
+    if v > Array.unsafe_get c.floats 1 then Array.unsafe_set c.floats 1 v
+
+  (* The per-decision fast lane: hop counts and admitted-link counts are
+     small non-negative ints, so the bucket is one table load and no
+     float rounding runs at all. *)
+  let record_int c n =
+    let i =
+      if n <= 0 then 0
+      else if n <= 1024 then Array.unsafe_get small n
+      else bucket_slow (float_of_int n)
+    in
+    let v = float_of_int n in
+    Array.unsafe_set c.ints i (Array.unsafe_get c.ints i + 1);
+    Array.unsafe_set c.floats 0 (Array.unsafe_get c.floats 0 +. v);
+    if v > Array.unsafe_get c.floats 1 then Array.unsafe_set c.floats 1 v
+
+  let observe t v = if Atomic.get live then record (local_cell t) v
+  let observe_int t n = if Atomic.get live then record_int (local_cell t) n
+
+  type summary = {
+    count : int;
+    sum : float;
+    mean : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+    max : float;
+  }
+
+  let merged t =
+    let buckets = Array.make n_buckets 0 in
+    let sum = ref 0.0 and mx = ref 0.0 in
+    List.iter
+      (fun c ->
+        for i = 0 to n_buckets - 1 do
+          buckets.(i) <- buckets.(i) + c.ints.(i)
+        done;
+        sum := !sum +. c.floats.(0);
+        if c.floats.(1) > !mx then mx := c.floats.(1))
+      (cells_of t);
+    (buckets, !sum, !mx)
+
+  let quantile buckets total mx q =
+    if total = 0 then 0.0
+    else begin
+      let rank = q *. float_of_int total in
+      let cum = ref 0 and result = ref mx and stop = ref false in
+      for i = 0 to n_buckets - 1 do
+        if not !stop then begin
+          let c = buckets.(i) in
+          if c > 0 && float_of_int (!cum + c) >= rank then begin
+            let lo = if i = 0 then 0.0 else le_bound (i - 1) in
+            let hi = le_bound i in
+            let within = (rank -. float_of_int !cum) /. float_of_int c in
+            result := lo +. ((hi -. lo) *. within);
+            stop := true
+          end;
+          cum := !cum + c
+        end
+      done;
+      if !result > mx then mx else !result
+    end
+
+  let summary t =
+    let buckets, sum, mx = merged t in
+    let total = Array.fold_left ( + ) 0 buckets in
+    {
+      count = total;
+      sum;
+      mean = (if total = 0 then 0.0 else sum /. float_of_int total);
+      p50 = quantile buckets total mx 0.50;
+      p95 = quantile buckets total mx 0.95;
+      p99 = quantile buckets total mx 0.99;
+      max = mx;
+    }
+end
+
+(* ---- trace ring ----------------------------------------------------- *)
+
+module Trace = struct
+  type nonrec event = event = {
+    ev_seq : int;
+    ev_packet : int;
+    ev_node : int;
+    ev_in_link : int;
+    ev_kind : event_kind;
+    ev_out_links : int array;
+    ev_false_positive : bool;
+    ev_loop_suspected : bool;
+    ev_deliver_local : bool;
+    ev_ttl_expired : int;
+  }
+
+  type kind = event_kind =
+    | Hop
+    | Drop_fill
+    | Drop_loop
+    | Drop_bad_table
+    | Recovery_activation
+
+  type nonrec ring = ring
+
+  let recording_flag = Atomic.make true
+  let default_capacity = Atomic.make 16384
+  let rings : ring list Atomic.t = Atomic.make []
+  let packet_ids = Atomic.make 0
+
+  let set_recording b = Atomic.set recording_flag b
+  let recording () = Atomic.get live && Atomic.get recording_flag
+  let set_capacity n = Atomic.set default_capacity (max 1 n)
+  let next_packet_id () = Atomic.fetch_and_add packet_ids 1
+
+  let dummy =
+    {
+      ev_seq = -1;
+      ev_packet = -1;
+      ev_node = -1;
+      ev_in_link = -1;
+      ev_kind = Hop;
+      ev_out_links = [||];
+      ev_false_positive = false;
+      ev_loop_suspected = false;
+      ev_deliver_local = false;
+      ev_ttl_expired = 0;
+    }
+
+  let local () =
+    let lt = Domain.DLS.get dls in
+    match lt.ring with
+    | Some r -> r
+    | None ->
+      let cap = Atomic.get default_capacity in
+      let r = { buf = Array.make cap dummy; cap; written = 0 } in
+      lt.ring <- Some r;
+      Mutex.protect mu (fun () -> Atomic.set rings (r :: Atomic.get rings));
+      r
+
+  (* Lock-free: only the owning domain writes its ring; when full the
+     oldest event is overwritten and accounted in {!dropped}. *)
+  let record r ~packet ~node ~in_link ~kind ~out_links ~false_positive
+      ~loop_suspected ~deliver_local ~ttl_expired =
+    let e =
+      {
+        ev_seq = r.written;
+        ev_packet = packet;
+        ev_node = node;
+        ev_in_link = in_link;
+        ev_kind = kind;
+        ev_out_links = out_links;
+        ev_false_positive = false_positive;
+        ev_loop_suspected = loop_suspected;
+        ev_deliver_local = deliver_local;
+        ev_ttl_expired = ttl_expired;
+      }
+    in
+    r.buf.(r.written mod r.cap) <- e;
+    r.written <- r.written + 1
+
+  let ring_events r =
+    let n = min r.written r.cap in
+    let first = r.written - n in
+    List.init n (fun i -> r.buf.((first + i) mod r.cap))
+
+  let events () =
+    let all =
+      List.concat_map ring_events (Atomic.get rings)
+    in
+    List.stable_sort
+      (fun a b ->
+        let c = Int.compare a.ev_packet b.ev_packet in
+        if c <> 0 then c else Int.compare a.ev_seq b.ev_seq)
+      all
+
+  let packet_events pid =
+    List.filter (fun e -> e.ev_packet = pid) (events ())
+
+  let dropped () =
+    List.fold_left
+      (fun acc r -> acc + max 0 (r.written - r.cap))
+      0 (Atomic.get rings)
+
+  (* Replay a per-packet event stream back into the set of nodes the
+     packet visited: the origin event's node plus the destination of
+     every link a copy actually took.  [dst_of] maps a dense link index
+     to its destination node (the trace itself is graph-agnostic). *)
+  let delivery_set ~dst_of evs =
+    let nodes = Hashtbl.create 32 in
+    List.iter
+      (fun e ->
+        if e.ev_in_link < 0 then Hashtbl.replace nodes e.ev_node ();
+        Array.iter (fun l -> Hashtbl.replace nodes (dst_of l) ()) e.ev_out_links)
+      evs;
+    List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) nodes [])
+
+  let kind_to_string = function
+    | Hop -> "hop"
+    | Drop_fill -> "drop-fill"
+    | Drop_loop -> "drop-loop"
+    | Drop_bad_table -> "drop-bad-table"
+    | Recovery_activation -> "recovery-activation"
+
+  let to_string e =
+    Printf.sprintf
+      "pkt=%d seq=%d node=%d in=%d %s out=[%s]%s%s%s%s"
+      e.ev_packet e.ev_seq e.ev_node e.ev_in_link (kind_to_string e.ev_kind)
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int e.ev_out_links)))
+      (if e.ev_false_positive then " fp" else "")
+      (if e.ev_loop_suspected then " loop-suspected" else "")
+      (if e.ev_deliver_local then " local" else "")
+      (if e.ev_ttl_expired > 0 then
+         Printf.sprintf " ttl-expired=%d" e.ev_ttl_expired
+       else "")
+
+  let clear () =
+    List.iter
+      (fun r ->
+        Array.fill r.buf 0 r.cap dummy;
+        r.written <- 0)
+      (Atomic.get rings)
+end
+
+(* ---- reset ---------------------------------------------------------- *)
+
+let reset () =
+  List.iter
+    (fun it ->
+      Atomic.set it.gauge 0;
+      List.iter
+        (fun c ->
+          Array.fill c.ints 0 (Array.length c.ints) 0;
+          if Array.length c.floats > 0 then
+            Array.fill c.floats 0 (Array.length c.floats) 0.0)
+        (cells_of it))
+    (Atomic.get items);
+  Trace.clear ()
+
+(* ---- exporters ------------------------------------------------------ *)
+
+module Export = struct
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let label_string ?extra labels =
+    let labels = match extra with None -> labels | Some kv -> labels @ [ kv ] in
+    if labels = [] then ""
+    else
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) labels)
+      ^ "}"
+
+  let sorted_items () =
+    List.stable_sort
+      (fun a b ->
+        let c = String.compare a.name b.name in
+        if c <> 0 then c else Int.compare a.id b.id)
+      (Atomic.get items)
+
+  let float_str v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%g" v
+
+  let prometheus () =
+    let b = Buffer.create 4096 in
+    let last_name = ref "" in
+    let header it ty =
+      if not (String.equal !last_name it.name) then begin
+        last_name := it.name;
+        if not (String.equal it.help "") then
+          Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" it.name (escape it.help));
+        Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" it.name ty)
+      end
+    in
+    List.iter
+      (fun it ->
+        match it.kind with
+        | Kcounter ->
+          header it "counter";
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" it.name (label_string it.labels)
+               (Counter.value it))
+        | Kgauge ->
+          header it "gauge";
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" it.name (label_string it.labels)
+               (Gauge.value it))
+        | Khistogram ->
+          header it "histogram";
+          let buckets, sum, _ = Histogram.merged it in
+          let cum = ref 0 in
+          for i = 0 to n_buckets - 1 do
+            if buckets.(i) > 0 then begin
+              cum := !cum + buckets.(i);
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" it.name
+                   (label_string it.labels
+                      ~extra:("le", float_str (Histogram.le_bound i)))
+                   !cum)
+            end
+          done;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" it.name
+               (label_string it.labels ~extra:("le", "+Inf"))
+               !cum);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" it.name (label_string it.labels)
+               (float_str sum));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" it.name (label_string it.labels)
+               !cum))
+      (sorted_items ());
+    Buffer.contents b
+
+  let json () =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\"metrics\":[";
+    let first = ref true in
+    let sep () = if !first then first := false else Buffer.add_string b "," in
+    let labels_json labels =
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+             labels)
+      ^ "}"
+    in
+    List.iter
+      (fun it ->
+        sep ();
+        match it.kind with
+        | Kcounter ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"type\":\"counter\",\"labels\":%s,\"value\":%d}"
+               (escape it.name) (labels_json it.labels) (Counter.value it))
+        | Kgauge ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"type\":\"gauge\",\"labels\":%s,\"value\":%d}"
+               (escape it.name) (labels_json it.labels) (Gauge.value it))
+        | Khistogram ->
+          let s = Histogram.summary it in
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"type\":\"histogram\",\"labels\":%s,\"count\":%d,\"sum\":%g,\"mean\":%g,\"p50\":%g,\"p95\":%g,\"p99\":%g,\"max\":%g}"
+               (escape it.name) (labels_json it.labels) s.Histogram.count
+               s.Histogram.sum s.Histogram.mean s.Histogram.p50 s.Histogram.p95
+               s.Histogram.p99 s.Histogram.max))
+      (sorted_items ());
+    Buffer.add_string b
+      (Printf.sprintf "],\"trace_dropped\":%d}" (Trace.dropped ()));
+    Buffer.contents b
+
+  let dump_on_exit ~path =
+    at_exit (fun () ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (prometheus ())))
+end

@@ -1,0 +1,207 @@
+(** Runtime telemetry for the live forwarding plane.
+
+    Every Algorithm-1 decision, delivery and recovery activation can be
+    turned into measurable events: monotonic counters, gauges,
+    log-scale histograms with quantile summaries, and a bounded
+    per-domain trace ring from which per-packet delivery traces are
+    reconstructable.  The module has zero dependencies so every layer —
+    {!Lipsin_forwarding.Fastpath}'s hot loop included — can instrument
+    itself.
+
+    {b Concurrency.}  A metric owns one {e cell} per domain, created
+    lazily through domain-local storage and padded to a cache line, so
+    the hot path is an atomic-free plain-int increment into the calling
+    domain's private cell.  Aggregation happens on read by summing the
+    cells.  Values read while other domains are actively writing are a
+    consistent-enough snapshot for monitoring; exact readings (as the
+    test suite takes) require quiescence.
+
+    {b Cost.}  The global sink switch is one [Atomic.t bool]: with the
+    default {!Sink.Noop} sink every instrument site is a single atomic
+    load and an untaken branch, a budget the bench suite's [--obs] mode
+    verifies stays under 3% of fast-path throughput. *)
+
+val enabled : unit -> bool
+(** [true] iff the memory sink is installed. *)
+
+module Sink : sig
+  type t =
+    | Noop  (** Default: all instrumentation compiles to a dead branch. *)
+    | Memory  (** Record into in-process per-domain cells. *)
+
+  val set : t -> unit
+  val current : unit -> t
+end
+
+(** Monotonic counters.  Increments from distinct domains go to
+    distinct cells; {!Counter.value} sums them. *)
+module Counter : sig
+  type t
+
+  val make : ?help:string -> ?labels:(string * string) list -> string -> t
+  (** Registers (or retrieves — registration is idempotent per
+      (name, labels)) a counter in the global registry. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+
+  val local : t -> int array
+  (** The calling domain's raw cell for zero-overhead hot loops: bump
+      index 0 with plain stores {e after} checking {!enabled} yourself.
+      The array is domain-private — never share it across domains. *)
+
+  type vec
+  (** A counter family keyed by a small integer label (e.g. the
+      forwarding-table index). *)
+
+  val vec : ?help:string -> string -> label:string -> vec
+  val cell : vec -> int -> t
+  (** [cell v i] is the counter labelled [{label="i"}], memoized. *)
+end
+
+(** Gauges: last-written-wins values (rare writes — one atomic). *)
+module Gauge : sig
+  type t
+
+  val make : ?help:string -> ?labels:(string * string) list -> string -> t
+  val set : t -> int -> unit
+  val value : t -> int
+end
+
+(** Log-scale histograms: 64 power-of-two buckets spanning
+    (2^-32, 2^32], exact sum and max, quantiles by linear interpolation
+    inside the bucket (clamped to the tracked max). *)
+module Histogram : sig
+  type t
+
+  val make : ?help:string -> ?labels:(string * string) list -> string -> t
+  val observe : t -> float -> unit
+  val observe_int : t -> int -> unit
+
+  type cells
+  (** The calling domain's cell, for hot loops. *)
+
+  val local : t -> cells
+  val record : cells -> float -> unit
+  (** Unconditional observe into a domain-local cell: the caller
+      checked {!enabled}. *)
+
+  val record_int : cells -> int -> unit
+  (** Like {!record} for small non-negative ints (hop and link counts):
+      the bucket is one table lookup. *)
+
+  type summary = {
+    count : int;
+    sum : float;
+    mean : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+    max : float;
+  }
+
+  val summary : t -> summary
+
+  (**/**)
+
+  val bucket_of : float -> int
+  val le_bound : int -> float
+end
+
+(** Bounded lock-free per-domain trace ring of per-hop forwarding
+    events.  Each domain writes only its own ring; when the ring is
+    full the oldest event is overwritten and counted in {!dropped}.  A
+    whole delivery runs on one domain, so a packet's events live in one
+    ring and replay in order. *)
+module Trace : sig
+  type kind =
+    | Hop  (** A forwarding decision (possibly admitting zero links). *)
+    | Drop_fill
+    | Drop_loop
+    | Drop_bad_table
+    | Recovery_activation  (** A VLId/backup-path install, not a hop. *)
+
+  type event = {
+    ev_seq : int;  (** Ring-local write index: orders a domain's events. *)
+    ev_packet : int;  (** Publication id from {!next_packet_id}. *)
+    ev_node : int;
+    ev_in_link : int;  (** Dense arrival-link index; -1 at the origin. *)
+    ev_kind : kind;
+    ev_out_links : int array;
+        (** Dense indexes of the links a copy actually took (admitted,
+            not deduplicated away, and not lost). *)
+    ev_false_positive : bool;
+        (** Some admitted link was off the intended tree. *)
+    ev_loop_suspected : bool;
+    ev_deliver_local : bool;
+    ev_ttl_expired : int;  (** Admitted links the TTL refused. *)
+  }
+
+  type ring
+
+  val set_recording : bool -> unit
+  (** Tracing on/off independently of the sink (default on): counters
+      can stay cheap while the ring is silenced. *)
+
+  val recording : unit -> bool
+  (** [enabled () && the tracing flag]. *)
+
+  val set_capacity : int -> unit
+  (** Per-domain ring capacity for rings created {e after} the call
+      (default 16384 events). *)
+
+  val next_packet_id : unit -> int
+  (** Fresh process-wide publication id. *)
+
+  val local : unit -> ring
+  (** The calling domain's ring (created on first use). *)
+
+  val record :
+    ring ->
+    packet:int ->
+    node:int ->
+    in_link:int ->
+    kind:kind ->
+    out_links:int array ->
+    false_positive:bool ->
+    loop_suspected:bool ->
+    deliver_local:bool ->
+    ttl_expired:int ->
+    unit
+
+  val events : unit -> event list
+  (** Snapshot of every ring, sorted by (packet, seq). *)
+
+  val packet_events : int -> event list
+
+  val dropped : unit -> int
+  (** Events lost to ring overflow, over all rings. *)
+
+  val delivery_set : dst_of:(int -> int) -> event list -> int list
+  (** Replays an event stream into the sorted set of nodes the packet
+      visited: origin nodes plus [dst_of l] for every recorded
+      out-link.  [dst_of] maps a dense link index to its destination
+      (the trace itself is graph-agnostic). *)
+
+  val to_string : event -> string
+  val clear : unit -> unit
+end
+
+val reset : unit -> unit
+(** Zeroes every cell and gauge and clears all trace rings (packet ids
+    keep advancing).  Call only while instrumented code is quiescent. *)
+
+module Export : sig
+  val prometheus : unit -> string
+  (** Prometheus text exposition format: counters and gauges as single
+      samples, histograms as cumulative [_bucket{le=...}] series plus
+      [_sum]/[_count]. *)
+
+  val json : unit -> string
+  (** The same registry as one JSON object; histograms carry their
+      quantile summaries. *)
+
+  val dump_on_exit : path:string -> unit
+  (** Registers an [at_exit] hook writing {!prometheus} to [path]. *)
+end

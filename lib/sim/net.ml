@@ -2,6 +2,24 @@ module Graph = Lipsin_topology.Graph
 module Assignment = Lipsin_core.Assignment
 module Node_engine = Lipsin_forwarding.Node_engine
 module Fastpath = Lipsin_forwarding.Fastpath
+module Obs = Lipsin_obs.Obs
+
+(* Telemetry: engine/compile churn.  All rare control-plane events. *)
+let m_engine_creates =
+  Obs.Counter.make ~help:"Reference node engines instantiated lazily"
+    "lipsin_engine_creates_total"
+
+let m_fastpath_compiles =
+  Obs.Counter.make ~help:"Fast-path table compilations"
+    "lipsin_fastpath_compiles_total"
+
+let m_invalidations =
+  Obs.Counter.make ~help:"Fast-path compilations invalidated by link events"
+    "lipsin_fastpath_invalidations_total"
+
+let m_ticks =
+  Obs.Counter.make ~help:"Loop-cache clock ticks across all nets"
+    "lipsin_net_ticks_total"
 
 type t = {
   assignment : Assignment.t;
@@ -37,6 +55,7 @@ let engine t node =
         Node_engine.create ~loop_prevention:t.loop_prevention t.assignment node
     in
     t.engines.(node) <- Some e;
+    Obs.Counter.incr m_engine_creates;
     e
 
 let engine_of = engine
@@ -63,11 +82,15 @@ let fastpath t node =
                 (List.map Lipsin_analysis.Audit.to_string violations)))
     end;
     t.fastpaths.(node) <- Some f;
+    Obs.Counter.incr m_fastpath_compiles;
     f
 
-let invalidate_fastpath t node = t.fastpaths.(node) <- None
+let invalidate_fastpath t node =
+  if t.fastpaths.(node) <> None then Obs.Counter.incr m_invalidations;
+  t.fastpaths.(node) <- None
 
 let tick t =
+  Obs.Counter.incr m_ticks;
   Array.iter
     (function Some e -> Node_engine.tick e | None -> ())
     t.engines;

@@ -1,5 +1,25 @@
 module Graph = Lipsin_topology.Graph
 module Assignment = Lipsin_core.Assignment
+module Obs = Lipsin_obs.Obs
+
+(* Telemetry: one batch = one deliver_all call.  Per-publication and
+   per-decision metrics come from Run/the engines; worker domains feed
+   their own per-domain cells, aggregated on read. *)
+let m_batches =
+  Obs.Counter.make ~help:"Parallel delivery batches executed"
+    "lipsin_parallel_batches_total"
+
+let m_jobs =
+  Obs.Counter.make ~help:"Publications delivered through Parallel.deliver_all"
+    "lipsin_parallel_jobs_total"
+
+let g_domains =
+  Obs.Gauge.make ~help:"Domains used by the most recent parallel batch"
+    "lipsin_parallel_domains"
+
+let h_shard =
+  Obs.Histogram.make ~help:"Jobs per shard in parallel batches"
+    "lipsin_parallel_shard_jobs"
 
 type job = {
   job_src : Graph.node;
@@ -50,6 +70,10 @@ let merge a b =
    mutable), so the only cross-domain sharing is the read-only
    assignment, graph and zFilters. *)
 let run_shard ~engine ~loop_prevention assignment jobs lo hi =
+  if Obs.enabled () then begin
+    Obs.Counter.add m_jobs (max 0 (hi - lo));
+    Obs.Histogram.observe_int h_shard (max 0 (hi - lo))
+  end;
   let net = Net.make ~loop_prevention assignment in
   let acc = ref empty_summary in
   for i = lo to hi - 1 do
@@ -94,6 +118,10 @@ let deliver_all ?domains ?(engine = `Fast) ?(loop_prevention = false) assignment
     | None -> Domain.recommended_domain_count ()
   in
   let dcount = max 1 (min requested (max 1 n)) in
+  if Obs.enabled () then begin
+    Obs.Counter.incr m_batches;
+    Obs.Gauge.set g_domains dcount
+  end;
   warm_graph (Assignment.graph assignment);
   if dcount = 1 then
     { (run_shard ~engine ~loop_prevention assignment jobs 0 n) with

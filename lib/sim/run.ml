@@ -2,6 +2,7 @@ module Rng = Lipsin_util.Rng
 module Graph = Lipsin_topology.Graph
 module Node_engine = Lipsin_forwarding.Node_engine
 module Fastpath = Lipsin_forwarding.Fastpath
+module Obs = Lipsin_obs.Obs
 
 type mode = Expand_once | Ttl of int
 type engine = [ `Reference | `Fast ]
@@ -18,15 +19,68 @@ type outcome = {
   loop_drops : int;
   local_deliveries : int;
   lost : int;
+  packet_id : int;
 }
 
 type event = {
   node : Graph.node;
   in_link : Graph.link option;
   ttl : int;
+  depth : int;
 }
 
 let ttl_event_cap = 200_000
+
+(* Telemetry: publication-level tallies.  Per-decision counters live in
+   the engines themselves; here we only account what the engines cannot
+   see — bandwidth, delivery latency and the intended-tree delta. *)
+let m_publications =
+  Obs.Counter.make ~help:"Publications simulated by Run.deliver"
+    "lipsin_publications_total"
+
+let m_traversals =
+  Obs.Counter.make ~help:"Link traversals (bandwidth cost) over all publications"
+    "lipsin_link_traversals_total"
+
+let v_false_positive =
+  Obs.Counter.vec ~help:"False-positive link matches, by forwarding table"
+    ~label:"table" "lipsin_false_positive_total"
+
+let m_over_delivery =
+  Obs.Counter.make ~help:"Off-tree link traversals (over-delivery bandwidth)"
+    "lipsin_over_delivery_total"
+
+let m_under_delivery =
+  Obs.Counter.make
+    ~help:"Intended tree links never traversed (under-delivery)"
+    "lipsin_under_delivery_total"
+
+let m_ttl_expired =
+  Obs.Counter.make ~help:"Admitted copies refused because the TTL reached zero"
+    "lipsin_ttl_expired_total"
+
+let m_lost =
+  Obs.Counter.make ~help:"Traversals dropped by the loss model"
+    "lipsin_lost_packets_total"
+
+let m_deliveries =
+  Obs.Counter.make ~help:"Nodes first reached during deliveries"
+    "lipsin_deliveries_total"
+
+let h_latency =
+  Obs.Histogram.make
+    ~help:"Hop depth at which each delivered node was first reached"
+    "lipsin_delivery_latency_hops"
+
+let h_pub_traversals =
+  Obs.Histogram.make ~help:"Link traversals per publication"
+    "lipsin_publication_link_traversals"
+
+let trace_kind_of_drop = function
+  | None -> Obs.Trace.Hop
+  | Some Node_engine.Fill_limit_exceeded -> Obs.Trace.Drop_fill
+  | Some Node_engine.Loop_detected -> Obs.Trace.Drop_loop
+  | Some Node_engine.Bad_table -> Obs.Trace.Drop_bad_table
 
 let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
     ~zfilter ~tree =
@@ -40,6 +94,7 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
   let n_links = Graph.link_count graph in
   let on_tree = Array.make n_links false in
   List.iter (fun l -> on_tree.(l.Graph.index) <- true) tree;
+  let tree_traversed = Array.make n_links false in
   let reached = Array.make n_nodes false in
   let seen_link = Array.make n_links false in
   let traversed = ref [] in
@@ -50,14 +105,32 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
   let loop_drops = ref 0 in
   let local_deliveries = ref 0 in
   let lost_packets = ref 0 in
+  let obs = Obs.enabled () in
+  let tracing = Obs.Trace.recording () in
+  let pid = if tracing then Obs.Trace.next_packet_id () else -1 in
+  let ring = if tracing then Some (Obs.Trace.local ()) else None in
+  let lat_cell = if obs then Some (Obs.Histogram.local h_latency) else None in
+  let deliveries = ref 0 in
+  let over_delivery = ref 0 in
+  let ttl_refused_total = ref 0 in
+  (* Per-decision trace scratch, reset before each node's fan-out. *)
+  let out_acc = ref [] in
+  let fp_flag = ref false in
+  let ttl_refused = ref 0 in
   let queue = Queue.create () in
   let initial_ttl = match mode with Expand_once -> max_int | Ttl t -> t in
-  Queue.add { node = src; in_link = None; ttl = initial_ttl } queue;
+  Queue.add { node = src; in_link = None; ttl = initial_ttl; depth = 0 } queue;
   reached.(src) <- true;
   while not (Queue.is_empty queue) do
-    let { node; in_link; ttl } = Queue.take queue in
+    let { node; in_link; ttl; depth } = Queue.take queue in
+    out_acc := [];
+    fp_flag := false;
+    ttl_refused := 0;
     let propagate l =
-      if not on_tree.(l.Graph.index) then incr false_positives;
+      if not on_tree.(l.Graph.index) then begin
+        incr false_positives;
+        fp_flag := true
+      end;
       let should_traverse =
         match mode with
         | Expand_once ->
@@ -70,11 +143,18 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
           (* A looping filter can replicate exponentially in TTL mode;
              the event cap bounds the simulation the way finite link
              capacity bounds a real network. *)
-          ttl > 0 && !link_traversals < ttl_event_cap
+          if ttl <= 0 then begin
+            incr ttl_refused;
+            incr ttl_refused_total;
+            false
+          end
+          else !link_traversals < ttl_event_cap
       in
       if should_traverse then begin
         incr link_traversals;
         traversed := l :: !traversed;
+        if on_tree.(l.Graph.index) then tree_traversed.(l.Graph.index) <- true
+        else incr over_delivery;
         let lost =
           match loss with
           | Some { probability; rng } -> Rng.float rng 1.0 < probability
@@ -82,12 +162,34 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
         in
         if lost then incr lost_packets
         else begin
-          reached.(l.Graph.dst) <- true;
-          Queue.add { node = l.Graph.dst; in_link = Some l; ttl = ttl - 1 } queue
+          if not reached.(l.Graph.dst) then begin
+            reached.(l.Graph.dst) <- true;
+            incr deliveries;
+            match lat_cell with
+            | Some c -> Obs.Histogram.record_int c (depth + 1)
+            | None -> ()
+          end;
+          if tracing then out_acc := l.Graph.index :: !out_acc;
+          Queue.add
+            { node = l.Graph.dst; in_link = Some l; ttl = ttl - 1;
+              depth = depth + 1 }
+            queue
         end
       end
     in
-    (match engine with
+    let trace ~drop ~loop_suspected ~deliver_local =
+      match ring with
+      | None -> ()
+      | Some r ->
+        Obs.Trace.record r ~packet:pid ~node
+          ~in_link:
+            (match in_link with None -> -1 | Some l -> l.Graph.index)
+          ~kind:(trace_kind_of_drop drop)
+          ~out_links:(Array.of_list (List.rev !out_acc))
+          ~false_positive:!fp_flag ~loop_suspected ~deliver_local
+          ~ttl_expired:!ttl_refused
+    in
+    match engine with
     | `Reference ->
       let verdict =
         Node_engine.forward (Net.engine net node) ~table ~zfilter ~in_link
@@ -99,7 +201,10 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
       | Some Node_engine.Fill_limit_exceeded -> incr fill_drops
       | Some Node_engine.Loop_detected -> incr loop_drops
       | Some Node_engine.Bad_table | None -> ());
-      List.iter propagate verdict.Node_engine.forward_on
+      List.iter propagate verdict.Node_engine.forward_on;
+      trace ~drop:verdict.Node_engine.drop
+        ~loop_suspected:verdict.Node_engine.loop_suspected
+        ~deliver_local:verdict.Node_engine.deliver_local
     | `Fast ->
       let fp = Net.fastpath net node in
       let in_link_index =
@@ -112,8 +217,27 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
       else if d.Fastpath.drop = Fastpath.drop_loop then incr loop_drops;
       for i = 0 to d.Fastpath.n_forward - 1 do
         propagate (Fastpath.out_link fp d.Fastpath.forward.(i))
-      done)
+      done;
+      trace ~drop:(Fastpath.drop_reason d)
+        ~loop_suspected:d.Fastpath.loop_suspected
+        ~deliver_local:d.Fastpath.deliver_local
   done;
+  if obs then begin
+    let under =
+      List.fold_left
+        (fun acc l -> if tree_traversed.(l.Graph.index) then acc else acc + 1)
+        0 tree
+    in
+    Obs.Counter.incr m_publications;
+    Obs.Counter.add m_traversals !link_traversals;
+    Obs.Counter.add (Obs.Counter.cell v_false_positive table) !false_positives;
+    Obs.Counter.add m_over_delivery !over_delivery;
+    Obs.Counter.add m_under_delivery under;
+    Obs.Counter.add m_ttl_expired !ttl_refused_total;
+    Obs.Counter.add m_lost !lost_packets;
+    Obs.Counter.add m_deliveries !deliveries;
+    Obs.Histogram.observe h_pub_traversals (float_of_int !link_traversals)
+  end;
   {
     reached;
     traversed = List.rev !traversed;
@@ -124,6 +248,7 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
     loop_drops = !loop_drops;
     local_deliveries = !local_deliveries;
     lost = !lost_packets;
+    packet_id = pid;
   }
 
 let forwarding_efficiency outcome ~tree =

@@ -41,6 +41,10 @@ type outcome = {
   loop_drops : int;   (** Packets discarded by loop detection. *)
   local_deliveries : int;  (** Slow-path (control processor) hits. *)
   lost : int;  (** Traversals dropped by the loss model. *)
+  packet_id : int;
+      (** Publication id under which this delivery's per-hop events were
+          recorded in {!Lipsin_obs.Obs.Trace}, or [-1] when tracing was
+          off.  [Obs.Trace.packet_events packet_id] replays the hops. *)
 }
 
 val deliver :

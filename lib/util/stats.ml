@@ -21,12 +21,11 @@ let stddev xs =
     let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
     sqrt (ss /. float_of_int (n - 1))
 
-let percentile xs p =
-  let n = Array.length xs in
-  if n = 0 then invalid_arg "Stats.percentile: empty array";
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
+(* Linear interpolation between closest ranks over a pre-sorted array:
+   the single percentile definition both [percentile] and [summarize]
+   share. *)
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
   let hi = int_of_float (ceil rank) in
@@ -35,6 +34,13 @@ let percentile xs p =
     let w = rank -. float_of_int lo in
     ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
 
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  percentile_sorted sorted p
+
 let summarize xs =
   let n = Array.length xs in
   if n = 0 then
@@ -42,15 +48,7 @@ let summarize xs =
   else
     let sorted = Array.copy xs in
     Array.sort compare sorted;
-    let pct p =
-      let rank = p /. 100.0 *. float_of_int (n - 1) in
-      let lo = int_of_float (floor rank) in
-      let hi = int_of_float (ceil rank) in
-      if lo = hi then sorted.(lo)
-      else
-        let w = rank -. float_of_int lo in
-        ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
-    in
+    let pct p = percentile_sorted sorted p in
     {
       count = n;
       mean = mean xs;

@@ -105,6 +105,20 @@ let domain_safety_fixtures () =
   check_rule_count "domain-safety" 1
     (with_mli "lib/foo/nested.ml" "module Inner = struct let buf = Buffer.create 64 end"
        sim_dune);
+  (* Obs telemetry cells are sanctioned mutable state (per-domain,
+     aggregated on read), so a binding that wires eager state to an Obs
+     cell passes... *)
+  check_rule_count "domain-safety" 0
+    (with_mli "lib/foo/metered.ml"
+       "let meter = (Obs.Counter.local decisions, Hashtbl.create 8)" sim_dune);
+  check_rule_count "domain-safety" 0
+    (with_mli "lib/foo/metered2.ml"
+       "let hits = (ref 0, Lipsin_obs.Obs.Counter.make \"foo_hits_total\")"
+       sim_dune);
+  (* ...but an unguarded scratch ref with no such mention is still
+     flagged. *)
+  check_rule_count "domain-safety" 1
+    (with_mli "lib/foo/scratch.ml" "let scratch = ref []" sim_dune);
   (* Suppression. *)
   check_rule_count "domain-safety" 0
     (with_mli "lib/foo/sup.ml"

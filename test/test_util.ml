@@ -95,6 +95,24 @@ let test_stats_percentile () =
   Alcotest.(check (float 1e-9)) "p100 = max" 40.0 (Stats.percentile xs 100.0);
   Alcotest.(check (float 1e-9)) "p50 interpolates" 25.0 (Stats.percentile xs 50.0)
 
+let test_stats_percentile_single () =
+  (* One sample: every percentile is that sample. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.0f of singleton" p)
+        7.5
+        (Stats.percentile [| 7.5 |] p))
+    [ 0.0; 50.0; 99.0; 100.0 ]
+
+let test_stats_summary_uses_percentile () =
+  (* summarize's quantiles are Stats.percentile, not a private copy. *)
+  let xs = Array.init 37 (fun i -> float_of_int ((i * 17) mod 31)) in
+  let s = Stats.summarize xs in
+  Alcotest.(check (float 1e-9)) "p5" (Stats.percentile xs 5.0) s.Stats.p5;
+  Alcotest.(check (float 1e-9)) "p50" (Stats.percentile xs 50.0) s.Stats.p50;
+  Alcotest.(check (float 1e-9)) "p95" (Stats.percentile xs 95.0) s.Stats.p95
+
 let test_stats_percentile_errors () =
   Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty array")
     (fun () -> ignore (Stats.percentile [||] 50.0));
@@ -215,6 +233,10 @@ let () =
           Alcotest.test_case "mean" `Quick test_stats_mean;
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile single sample" `Quick
+            test_stats_percentile_single;
+          Alcotest.test_case "summarize uses percentile" `Quick
+            test_stats_summary_uses_percentile;
           Alcotest.test_case "percentile errors" `Quick test_stats_percentile_errors;
           Alcotest.test_case "summary" `Quick test_stats_summary;
           Alcotest.test_case "accumulator" `Quick test_stats_accumulator_matches_batch;
