@@ -34,6 +34,7 @@ module Run = Lipsin_sim.Run
 module Parallel = Lipsin_sim.Parallel
 module Node_engine = Lipsin_forwarding.Node_engine
 module Fastpath = Lipsin_forwarding.Fastpath
+module Bitsliced = Lipsin_forwarding.Bitsliced
 module Header = Lipsin_packet.Header
 module Lpm = Lipsin_baseline.Lpm
 
@@ -68,6 +69,7 @@ let hub_lits =
 
 let hub_engine = Node_engine.create assignment hub
 let hub_fast = Fastpath.compile hub_engine
+let hub_bits = Bitsliced.compile hub_engine
 let fib5 = Lpm.reference_fib ()
 
 let fib_full =
@@ -111,6 +113,45 @@ let alg1_fast =
       Test.make ~name:"fastpath-batch-256"
         (Staged.stage (fun () ->
              Fastpath.decide_batch hub_fast ~table:0 batch256 ~f:(fun _ _ -> ())));
+    ]
+
+let alg1_bitsliced =
+  let batch256 = Array.make 256 (zfilter16, -1) in
+  Test.make_grouped ~name:"alg1-bitsliced"
+    [
+      Test.make ~name:"bitsliced-decide-full"
+        (Staged.stage (fun () ->
+             Bitsliced.decide hub_bits ~table:0 ~zfilter:zfilter16
+               ~in_link_index:(-1)));
+      Test.make ~name:"bitsliced-batch-256"
+        (Staged.stage (fun () ->
+             Bitsliced.decide_batch hub_bits ~table:0 batch256 ~f:(fun _ _ -> ())));
+    ]
+
+(* The SWAR popcount (satellite of the bit-sliced engine PR) vs the
+   per-byte table loop it replaced, over a zFilter-sized span (31 bytes
+   for m = 248). *)
+let bitvec_group =
+  let popbytes =
+    Bytes.init 31 (fun i -> Char.chr (((i * 37) + 11) land 0xff))
+  in
+  let byte_table =
+    Array.init 256 (fun i ->
+        let rec pop n = if n = 0 then 0 else (n land 1) + pop (n lsr 1) in
+        pop i)
+  in
+  Test.make_grouped ~name:"bitvec"
+    [
+      Test.make ~name:"popcount-swar-31B"
+        (Staged.stage (fun () ->
+             Bitvec.popcount_bytes popbytes ~pos:0 ~len:31));
+      Test.make ~name:"popcount-per-byte-31B"
+        (Staged.stage (fun () ->
+             let count = ref 0 in
+             for i = 0 to 30 do
+               count := !count + byte_table.(Char.code (Bytes.get popbytes i))
+             done;
+             !count));
     ]
 
 let construct =
@@ -450,6 +491,107 @@ let run_obs () =
     exit 1
   end
 
+(* --sweep: scalar-vs-bit-sliced decision cost over node degree.  Star
+   topologies isolate the per-port sweep (one hub, deg leaves, no other
+   structure); the zFilter pool mixes sparse and denser filters so both
+   engines run their survivor-recovery paths.  Emits BENCH_PR5.json and
+   fails if the bit-sliced engine is not ahead from 64 ports up — the
+   premise behind `Auto's threshold. *)
+let sweep_mode = Array.exists (fun a -> a = "--sweep") Sys.argv
+
+let run_sweep () =
+  let module Stats = Lipsin_util.Stats in
+  let degrees = [| 8; 64; 256; 1024 |] in
+  let rounds = 5 in
+  let iters = if smoke then 400 else 5000 in
+  let results =
+    Array.map
+      (fun deg ->
+        let g = Graph.create ~nodes:(deg + 1) in
+        for leaf = 1 to deg do
+          Graph.add_edge g 0 leaf
+        done;
+        let asg = Assignment.make Lit.default (Rng.of_int (deg + 5)) g in
+        let engine = Node_engine.create ~loop_prevention:false asg 0 in
+        let fp = Fastpath.compile engine in
+        let bs = Bitsliced.compile engine in
+        let out = Array.of_list (Graph.out_links g 0) in
+        let rng = Rng.of_int (0x5eed + deg) in
+        let n_pool = 64 in
+        let pool =
+          Array.init n_pool (fun _ ->
+              let nsel = min 16 deg in
+              let picks = Rng.sample rng nsel deg in
+              Zfilter.of_tags ~m:Lit.default.Lit.m
+                (Array.to_list
+                   (Array.map (fun i -> Assignment.tag asg out.(i) ~table:0) picks)))
+        in
+        let batch = Array.map (fun z -> (z, -1)) pool in
+        let time_engine decide =
+          let samples =
+            Array.init rounds (fun _ ->
+                let t0 = Unix.gettimeofday () in
+                for _ = 1 to iters do
+                  Array.iter decide pool
+                done;
+                (Unix.gettimeofday () -. t0)
+                /. float_of_int (iters * n_pool) *. 1e9)
+          in
+          Stats.percentile samples 50.0
+        in
+        let scalar_ns =
+          time_engine (fun z ->
+              ignore (Fastpath.decide fp ~table:0 ~zfilter:z ~in_link_index:(-1)))
+        in
+        let bits_ns =
+          time_engine (fun z ->
+              ignore (Bitsliced.decide bs ~table:0 ~zfilter:z ~in_link_index:(-1)))
+        in
+        let batch_ns =
+          let samples =
+            Array.init rounds (fun _ ->
+                let t0 = Unix.gettimeofday () in
+                for _ = 1 to iters do
+                  Bitsliced.decide_batch bs ~table:0 batch ~f:(fun _ _ -> ())
+                done;
+                (Unix.gettimeofday () -. t0)
+                /. float_of_int (iters * n_pool) *. 1e9)
+          in
+          Stats.percentile samples 50.0
+        in
+        (deg, Bitsliced.plane_bits bs, scalar_ns, bits_ns, batch_ns))
+      degrees
+  in
+  Printf.printf "engine sweep over hub degree (%d zFilters x %d iters, median of %d rounds)\n"
+    64 iters rounds;
+  Printf.printf "%6s %6s %14s %14s %14s %9s\n" "ports" "plane" "scalar ns/op"
+    "bitsliced ns" "batch ns/op" "speedup";
+  Array.iter
+    (fun (deg, plane, s, b, bb) ->
+      Printf.printf "%6d %6d %14.1f %14.1f %14.1f %8.2fx\n%!" deg plane s b bb
+        (s /. b))
+    results;
+  let oc = open_out "BENCH_PR5.json" in
+  Printf.fprintf oc "{\n  \"sweep\": [\n";
+  Array.iteri
+    (fun i (deg, plane, s, b, bb) ->
+      Printf.fprintf oc
+        "    { \"ports\": %d, \"plane_bits\": %d, \"scalar_ns\": %.1f, \
+         \"bitsliced_ns\": %.1f, \"batch_ns\": %.1f, \"speedup\": %.2f }%s\n"
+        deg plane s b bb (s /. b)
+        (if i = Array.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  let regressed =
+    Array.exists (fun (deg, _, s, b, _) -> deg >= 64 && b > s) results
+  in
+  if regressed then begin
+    Printf.printf
+      "FAIL: bit-sliced engine slower than the scalar fast path at >= 64 ports\n%!";
+    exit 1
+  end
+
 let benchmark tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -473,10 +615,12 @@ let print_results results =
 
 let () =
   if obs_mode then run_obs ()
+  else if sweep_mode then run_sweep ()
   else begin
     Printf.printf "LIPSIN benchmarks (Bechamel, monotonic clock)\n%!";
     List.iter
       (fun tests -> print_results (benchmark tests))
-      [ alg1; alg1_fast; construct; header; delivery; delivery_fast; ablation_m;
-        topology; extensions; more_extensions; layering ]
+      [ alg1; alg1_fast; alg1_bitsliced; bitvec_group; construct; header;
+        delivery; delivery_fast; ablation_m; topology; extensions;
+        more_extensions; layering ]
   end

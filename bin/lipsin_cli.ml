@@ -226,7 +226,7 @@ let metrics_cmd =
     "Run a telemetry-instrumented publication workload and print the \
      metrics registry (Prometheus text by default)."
   in
-  let run publications json trace_n out =
+  let run publications engine json trace_n out =
     Obs.Sink.set Obs.Sink.Memory;
     (match out with Some path -> Obs.Export.dump_on_exit ~path | None -> ());
     let graph = As_presets.as6461 () in
@@ -252,7 +252,7 @@ let metrics_cmd =
     in
     for _ = 1 to 2 do
       ignore
-        (Run.deliver ~engine:`Fast ~mode:(Run.Ttl 6) loop_net ~src:0 ~table:0
+        (Run.deliver ~engine ~mode:(Run.Ttl 6) loop_net ~src:0 ~table:0
            ~zfilter:all_ones ~tree:[])
     done;
     (* The main workload: cycle precomputed delivery jobs through the
@@ -273,7 +273,7 @@ let metrics_cmd =
     let last = ref (-1) in
     for i = 0 to publications - 1 do
       let src, table, zfilter, tree = work.(i mod n_work) in
-      let o = Run.deliver ~engine:`Fast net ~src ~table ~zfilter ~tree in
+      let o = Run.deliver ~engine net ~src ~table ~zfilter ~tree in
       last := o.Run.packet_id
     done;
     if json then print_string (Obs.Export.json ())
@@ -292,7 +292,20 @@ let metrics_cmd =
       $ Arg.(
           value & opt int 10_000
           & info [ "publications" ] ~docv:"N"
-              ~doc:"Publications to deliver through the fast path.")
+              ~doc:"Publications to deliver through the selected engine.")
+      $ Arg.(
+          value
+          & opt
+              (enum
+                 [ ("reference", `Reference); ("fast", `Fast);
+                   ("bitsliced", `Bitsliced); ("auto", `Auto) ])
+              `Fast
+          & info [ "engine" ] ~docv:"ENGINE"
+              ~doc:
+                "Forwarding engine: $(b,reference) (per-link subset test), \
+                 $(b,fast) (compiled row-major), $(b,bitsliced) (transposed \
+                 word-parallel), or $(b,auto) (bit-sliced at high-degree \
+                 nodes, scalar elsewhere).")
       $ Arg.(
           value & flag
           & info [ "json" ] ~doc:"Emit the registry as JSON instead.")

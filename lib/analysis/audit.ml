@@ -1,10 +1,13 @@
 module Fastpath = Lipsin_forwarding.Fastpath
+module Bitsliced = Lipsin_forwarding.Bitsliced
+module Bitvec = Lipsin_bitvec.Bitvec
 
 type violation = {
   check : string;
   table : int;
   entry : string;
   index : int;
+  offset : int;
   detail : string;
 }
 
@@ -12,15 +15,18 @@ let to_string v =
   let where =
     (if v.table >= 0 then Printf.sprintf " table %d" v.table else "")
     ^ (if v.entry <> "" then Printf.sprintf " %s" v.entry else "")
-    ^ if v.index >= 0 then Printf.sprintf "[%d]" v.index else ""
+    ^ (if v.index >= 0 then Printf.sprintf "[%d]" v.index else "")
+    ^ if v.offset >= 0 then Printf.sprintf " @byte %d" v.offset else ""
   in
   Printf.sprintf "[%s]%s: %s" v.check where v.detail
 
 let pp ppf v = Format.pp_print_string ppf (to_string v)
 
-(* All checks work on the shared introspection view; nothing here
+(* All checks work on the shared introspection views; nothing here
    mutates engine state. *)
 
+(* Popcount of one (possibly masked) byte; blob ranges go through the
+   shared SWAR helper instead. *)
 let popcount_byte b =
   let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
   go b 0
@@ -29,16 +35,12 @@ let popcount_byte b =
 let live_popcount blob ~slot ~stride ~m =
   let base = slot * stride in
   let full = m / 8 in
-  let count = ref 0 in
-  for i = 0 to full - 1 do
-    count := !count + popcount_byte (Char.code (Bytes.get blob (base + i)))
-  done;
+  let count = Bitvec.popcount_bytes blob ~pos:base ~len:full in
   let rem = m land 7 in
-  if rem <> 0 then
-    count :=
-      !count
-      + popcount_byte (Char.code (Bytes.get blob (base + full)) land ((1 lsl rem) - 1));
-  !count
+  if rem = 0 then count
+  else
+    count
+    + popcount_byte (Char.code (Bytes.get blob (base + full)) land ((1 lsl rem) - 1))
 
 (* Popcount of the padding bits [m, 8*stride), excluding the kill bit
    at position m; also reports whether the kill bit itself is set. *)
@@ -57,20 +59,100 @@ let padding_state blob ~slot ~stride ~m =
   done;
   (kill_set, !stray)
 
-let audit ?(check_digest = true) fp =
-  let v = Fastpath.view fp in
-  let out = ref [] in
-  let flag ?(table = -1) ?(entry = "") ?(index = -1) check detail =
-    out := { check; table; entry; index; detail } :: !out
-  in
-  let m = v.Fastpath.view_m in
-  let d = v.Fastpath.view_d in
-  let words = v.Fastpath.view_words in
-  let stride = v.Fastpath.view_stride in
-  let n_ports = v.Fastpath.view_n_ports in
-  let n_virt = v.Fastpath.view_n_virt in
-  let n_svc = Array.length v.Fastpath.view_svc_names in
-  (* Geometry: the stride layout the hot loop assumes.  Entries always
+(* The row-major layout both compiled engines share, abstracted over
+   which engine's view it came from so the row checks run once. *)
+type rowview = {
+  rv_m : int;
+  rv_d : int;
+  rv_k_for_table : int array;
+  rv_words : int;
+  rv_stride : int;
+  rv_data_len : int;
+  rv_n_ports : int;
+  rv_up : bool array;
+  rv_out_index : int array;
+  rv_phys : Bytes.t array;
+  rv_in_tags : Bytes.t array;
+  rv_blocks : Bytes.t array;
+  rv_block_off : int array array;
+  rv_n_virt : int;
+  rv_virt : Bytes.t array;
+  rv_v_out_off : int array;
+  rv_v_out_ports : int array;
+  rv_local : Bytes.t array;
+  rv_svc : Bytes.t array;
+  rv_svc_names : string array;
+  rv_forward_cap : int;
+  rv_services_cap : int;
+  rv_seen_cap : int;
+}
+
+let rowview_of_fastpath (v : Fastpath.view) =
+  {
+    rv_m = v.Fastpath.view_m;
+    rv_d = v.Fastpath.view_d;
+    rv_k_for_table = v.Fastpath.view_k_for_table;
+    rv_words = v.Fastpath.view_words;
+    rv_stride = v.Fastpath.view_stride;
+    rv_data_len = v.Fastpath.view_data_len;
+    rv_n_ports = v.Fastpath.view_n_ports;
+    rv_up = v.Fastpath.view_up;
+    rv_out_index = v.Fastpath.view_out_index;
+    rv_phys = v.Fastpath.view_phys;
+    rv_in_tags = v.Fastpath.view_in_tags;
+    rv_blocks = v.Fastpath.view_blocks;
+    rv_block_off = v.Fastpath.view_block_off;
+    rv_n_virt = v.Fastpath.view_n_virt;
+    rv_virt = v.Fastpath.view_virt;
+    rv_v_out_off = v.Fastpath.view_v_out_off;
+    rv_v_out_ports = v.Fastpath.view_v_out_ports;
+    rv_local = v.Fastpath.view_local;
+    rv_svc = v.Fastpath.view_svc;
+    rv_svc_names = v.Fastpath.view_svc_names;
+    rv_forward_cap = v.Fastpath.view_forward_cap;
+    rv_services_cap = v.Fastpath.view_services_cap;
+    rv_seen_cap = v.Fastpath.view_seen_cap;
+  }
+
+let rowview_of_bitsliced (v : Bitsliced.view) =
+  {
+    rv_m = v.Bitsliced.view_m;
+    rv_d = v.Bitsliced.view_d;
+    rv_k_for_table = v.Bitsliced.view_k_for_table;
+    rv_words = v.Bitsliced.view_words;
+    rv_stride = v.Bitsliced.view_stride;
+    rv_data_len = v.Bitsliced.view_data_len;
+    rv_n_ports = v.Bitsliced.view_n_ports;
+    rv_up = v.Bitsliced.view_up;
+    rv_out_index = v.Bitsliced.view_out_index;
+    rv_phys = v.Bitsliced.view_phys;
+    rv_in_tags = v.Bitsliced.view_in_tags;
+    rv_blocks = v.Bitsliced.view_blocks;
+    rv_block_off = v.Bitsliced.view_block_off;
+    rv_n_virt = v.Bitsliced.view_n_virt;
+    rv_virt = v.Bitsliced.view_virt;
+    rv_v_out_off = v.Bitsliced.view_v_out_off;
+    rv_v_out_ports = v.Bitsliced.view_v_out_ports;
+    rv_local = v.Bitsliced.view_local;
+    rv_svc = v.Bitsliced.view_svc;
+    rv_svc_names = v.Bitsliced.view_svc_names;
+    rv_forward_cap = v.Bitsliced.view_forward_cap;
+    rv_services_cap = v.Bitsliced.view_services_cap;
+    rv_seen_cap = v.Bitsliced.view_seen_cap;
+  }
+
+type flagger =
+  ?table:int -> ?entry:string -> ?index:int -> ?offset:int -> string -> string -> unit
+
+let check_rows (flag : flagger) v =
+  let m = v.rv_m in
+  let d = v.rv_d in
+  let words = v.rv_words in
+  let stride = v.rv_stride in
+  let n_ports = v.rv_n_ports in
+  let n_virt = v.rv_n_virt in
+  let n_svc = Array.length v.rv_svc_names in
+  (* Geometry: the stride layout the hot loops assume.  Entries always
      carry at least one spare word bit so the kill bit exists. *)
   if m <= 0 then flag "geometry" (Printf.sprintf "non-positive width m=%d" m);
   if d <= 0 then flag "geometry" (Printf.sprintf "non-positive table count d=%d" d);
@@ -78,20 +160,19 @@ let audit ?(check_digest = true) fp =
     flag "geometry" (Printf.sprintf "words=%d, expected m/64+1=%d" words ((m / 64) + 1));
   if stride <> 8 * words then
     flag "geometry" (Printf.sprintf "stride=%d, expected 8*words=%d" stride (8 * words));
-  if v.Fastpath.view_data_len <> (m + 7) / 8 then
+  if v.rv_data_len <> (m + 7) / 8 then
     flag "geometry"
-      (Printf.sprintf "data_len=%d, expected ceil(m/8)=%d" v.Fastpath.view_data_len
-         ((m + 7) / 8));
-  if Array.length v.Fastpath.view_k_for_table <> d then
+      (Printf.sprintf "data_len=%d, expected ceil(m/8)=%d" v.rv_data_len ((m + 7) / 8));
+  if Array.length v.rv_k_for_table <> d then
     flag "geometry"
       (Printf.sprintf "k_for_table has %d entries for d=%d tables"
-         (Array.length v.Fastpath.view_k_for_table)
+         (Array.length v.rv_k_for_table)
          d);
   Array.iteri
     (fun tbl k ->
       if k <= 0 || k > m then
         flag "geometry" ~table:tbl (Printf.sprintf "k=%d outside (0, m=%d]" k m))
-    v.Fastpath.view_k_for_table;
+    v.rv_k_for_table;
   (* d-consistency: every candidate table must be present with the same
      per-kind dimensions. *)
   let expect_tables name arr =
@@ -99,30 +180,29 @@ let audit ?(check_digest = true) fp =
       flag "d-consistency" ~entry:name
         (Printf.sprintf "%d per-table blobs for d=%d tables" (Array.length arr) d)
   in
-  expect_tables "phys" v.Fastpath.view_phys;
-  expect_tables "in" v.Fastpath.view_in_tags;
-  expect_tables "block" v.Fastpath.view_blocks;
-  expect_tables "virt" v.Fastpath.view_virt;
-  expect_tables "local" v.Fastpath.view_local;
-  expect_tables "svc" v.Fastpath.view_svc;
-  if Array.length v.Fastpath.view_block_off <> d then
+  expect_tables "phys" v.rv_phys;
+  expect_tables "in" v.rv_in_tags;
+  expect_tables "block" v.rv_blocks;
+  expect_tables "virt" v.rv_virt;
+  expect_tables "local" v.rv_local;
+  expect_tables "svc" v.rv_svc;
+  if Array.length v.rv_block_off <> d then
     flag "d-consistency" ~entry:"block"
       (Printf.sprintf "%d offset tables for d=%d tables"
-         (Array.length v.Fastpath.view_block_off)
+         (Array.length v.rv_block_off)
          d);
   (* Port metadata arrays. *)
-  if Array.length v.Fastpath.view_up <> n_ports then
+  if Array.length v.rv_up <> n_ports then
     flag "port-bounds"
-      (Printf.sprintf "up array length %d <> n_ports %d"
-         (Array.length v.Fastpath.view_up) n_ports);
-  if Array.length v.Fastpath.view_out_index <> n_ports then
+      (Printf.sprintf "up array length %d <> n_ports %d" (Array.length v.rv_up) n_ports);
+  if Array.length v.rv_out_index <> n_ports then
     flag "port-bounds"
       (Printf.sprintf "out_index length %d <> n_ports %d"
-         (Array.length v.Fastpath.view_out_index)
+         (Array.length v.rv_out_index)
          n_ports);
   (* Virtual egress indirection: monotone prefix offsets, every egress a
      valid port. *)
-  let voff = v.Fastpath.view_v_out_off in
+  let voff = v.rv_v_out_off in
   if Array.length voff <> n_virt + 1 then
     flag "offsets" ~entry:"virt"
       (Printf.sprintf "v_out_off length %d <> n_virt+1=%d" (Array.length voff)
@@ -135,10 +215,10 @@ let audit ?(check_digest = true) fp =
         flag "offsets" ~entry:"virt" ~index:i
           (Printf.sprintf "v_out_off decreases: %d then %d" voff.(i) voff.(i + 1))
     done;
-    if Array.length v.Fastpath.view_v_out_ports <> voff.(n_virt) then
+    if Array.length v.rv_v_out_ports <> voff.(n_virt) then
       flag "offsets" ~entry:"virt"
         (Printf.sprintf "v_out_ports length %d <> v_out_off.(n_virt)=%d"
-           (Array.length v.Fastpath.view_v_out_ports)
+           (Array.length v.rv_v_out_ports)
            voff.(n_virt))
   end;
   Array.iteri
@@ -146,21 +226,19 @@ let audit ?(check_digest = true) fp =
       if p < 0 || p >= n_ports then
         flag "port-bounds" ~entry:"virt" ~index:j
           (Printf.sprintf "virtual egress port %d outside [0, %d)" p n_ports))
-    v.Fastpath.view_v_out_ports;
+    v.rv_v_out_ports;
   (* Decision buffers must hold the worst-case decision. *)
-  if v.Fastpath.view_forward_cap < n_ports then
+  if v.rv_forward_cap < n_ports then
     flag "capacity"
-      (Printf.sprintf "forward buffer %d < n_ports %d" v.Fastpath.view_forward_cap
-         n_ports);
-  if v.Fastpath.view_services_cap < n_svc then
+      (Printf.sprintf "forward buffer %d < n_ports %d" v.rv_forward_cap n_ports);
+  if v.rv_services_cap < n_svc then
     flag "capacity"
-      (Printf.sprintf "service buffer %d < n_services %d"
-         v.Fastpath.view_services_cap n_svc);
-  if v.Fastpath.view_seen_cap < n_ports then
+      (Printf.sprintf "service buffer %d < n_services %d" v.rv_services_cap n_svc);
+  if v.rv_seen_cap < n_ports then
     flag "capacity"
-      (Printf.sprintf "seen stamps %d < n_ports %d" v.Fastpath.view_seen_cap n_ports);
+      (Printf.sprintf "seen stamps %d < n_ports %d" v.rv_seen_cap n_ports);
   (* Per-table blob scan: sizes, padding, kill bits, LIT popcounts. *)
-  let tables = min d (Array.length v.Fastpath.view_phys) in
+  let tables = min d (Array.length v.rv_phys) in
   let scan ~entry ~n ~exact_k ~kill_for tbl blob =
     if Bytes.length blob <> n * stride then
       flag "blob-size" ~table:tbl ~entry
@@ -171,58 +249,52 @@ let audit ?(check_digest = true) fp =
         let kill_set, stray = padding_state blob ~slot ~stride ~m in
         if stray <> 0 then
           flag "padding" ~table:tbl ~entry ~index:slot
+            ~offset:((slot * stride) + (m lsr 3))
             (Printf.sprintf "%d stray bits set beyond position m=%d" stray m);
         (match kill_for with
         | None ->
           if kill_set then
             flag "kill-bit" ~table:tbl ~entry ~index:slot
+              ~offset:((slot * stride) + (m lsr 3))
               "kill bit set on an entry kind that never carries one"
         | Some down ->
           if kill_set && not (down slot) then
             flag "kill-bit" ~table:tbl ~entry ~index:slot
+              ~offset:((slot * stride) + (m lsr 3))
               "kill bit set but the port is up";
           if (not kill_set) && down slot then
             flag "kill-bit" ~table:tbl ~entry ~index:slot
+              ~offset:((slot * stride) + (m lsr 3))
               "port is down but its kill bit is clear");
         match exact_k with
         | Some k ->
           let pc = live_popcount blob ~slot ~stride ~m in
           if pc <> k then
-            flag "popcount" ~table:tbl ~entry ~index:slot
+            flag "popcount" ~table:tbl ~entry ~index:slot ~offset:(slot * stride)
               (Printf.sprintf "LIT has %d live bits, expected k=%d" pc k)
         | None -> ()
       done
   in
   for tbl = 0 to tables - 1 do
     let k =
-      if tbl < Array.length v.Fastpath.view_k_for_table then
-        Some v.Fastpath.view_k_for_table.(tbl)
+      if tbl < Array.length v.rv_k_for_table then Some v.rv_k_for_table.(tbl)
       else None
     in
-    let down slot =
-      slot < Array.length v.Fastpath.view_up && not v.Fastpath.view_up.(slot)
-    in
+    let down slot = slot < Array.length v.rv_up && not v.rv_up.(slot) in
     scan ~entry:"phys" ~n:n_ports ~exact_k:k ~kill_for:(Some down) tbl
-      v.Fastpath.view_phys.(tbl);
-    if tbl < Array.length v.Fastpath.view_in_tags then
-      scan ~entry:"in" ~n:n_ports ~exact_k:k ~kill_for:None tbl
-        v.Fastpath.view_in_tags.(tbl);
-    if tbl < Array.length v.Fastpath.view_local then
-      scan ~entry:"local" ~n:1 ~exact_k:k ~kill_for:None tbl
-        v.Fastpath.view_local.(tbl);
-    if tbl < Array.length v.Fastpath.view_svc then
-      scan ~entry:"svc" ~n:n_svc ~exact_k:k ~kill_for:None tbl
-        v.Fastpath.view_svc.(tbl);
+      v.rv_phys.(tbl);
+    if tbl < Array.length v.rv_in_tags then
+      scan ~entry:"in" ~n:n_ports ~exact_k:k ~kill_for:None tbl v.rv_in_tags.(tbl);
+    if tbl < Array.length v.rv_local then
+      scan ~entry:"local" ~n:1 ~exact_k:k ~kill_for:None tbl v.rv_local.(tbl);
+    if tbl < Array.length v.rv_svc then
+      scan ~entry:"svc" ~n:n_svc ~exact_k:k ~kill_for:None tbl v.rv_svc.(tbl);
     (* Virtual entries are ORs of whole trees and block entries are
        arbitrary veto patterns, so only layout invariants apply. *)
-    if tbl < Array.length v.Fastpath.view_virt then
-      scan ~entry:"virt" ~n:n_virt ~exact_k:None ~kill_for:None tbl
-        v.Fastpath.view_virt.(tbl);
-    if
-      tbl < Array.length v.Fastpath.view_blocks
-      && tbl < Array.length v.Fastpath.view_block_off
-    then begin
-      let off = v.Fastpath.view_block_off.(tbl) in
+    if tbl < Array.length v.rv_virt then
+      scan ~entry:"virt" ~n:n_virt ~exact_k:None ~kill_for:None tbl v.rv_virt.(tbl);
+    if tbl < Array.length v.rv_blocks && tbl < Array.length v.rv_block_off then begin
+      let off = v.rv_block_off.(tbl) in
       if Array.length off <> n_ports + 1 then
         flag "offsets" ~table:tbl ~entry:"block"
           (Printf.sprintf "offset table length %d <> n_ports+1=%d" (Array.length off)
@@ -237,10 +309,18 @@ let audit ?(check_digest = true) fp =
               (Printf.sprintf "block_off decreases: %d then %d" off.(p) off.(p + 1))
         done;
         scan ~entry:"block" ~n:off.(n_ports) ~exact_k:None ~kill_for:None tbl
-          v.Fastpath.view_blocks.(tbl)
+          v.rv_blocks.(tbl)
       end
     end
-  done;
+  done
+
+let audit ?(check_digest = true) fp =
+  let v = Fastpath.view fp in
+  let out = ref [] in
+  let flag ?(table = -1) ?(entry = "") ?(index = -1) ?(offset = -1) check detail =
+    out := { check; table; entry; index; offset; detail } :: !out
+  in
+  check_rows flag (rowview_of_fastpath v);
   if check_digest then begin
     let now = Fastpath.digest fp in
     if now <> v.Fastpath.view_digest then
@@ -252,3 +332,255 @@ let audit ?(check_digest = true) fp =
 
 let audit_ok ?check_digest fp =
   match audit ?check_digest fp with [] -> true | _ :: _ -> false
+
+(* ---- transposed-layout checks ------------------------------------- *)
+
+(* One column word recomputed from the row blob: bit [slot - 64*blk] is
+   set iff row [slot] sets filter-bit [b]. *)
+let expected_col rows ~stride ~n ~b ~blk =
+  let w = ref 0L in
+  let lo = blk * 64 in
+  let hi = min n (lo + 64) in
+  for slot = lo to hi - 1 do
+    if
+      Char.code (Bytes.get rows ((slot * stride) + (b lsr 3))) land (1 lsl (b land 7))
+      <> 0
+    then w := Int64.logor !w (Int64.shift_left 1L (slot - lo))
+  done;
+  !w
+
+let audit_bitsliced ?(check_digest = true) bs =
+  let v = Bitsliced.view bs in
+  let out = ref [] in
+  let flag ?(table = -1) ?(entry = "") ?(index = -1) ?(offset = -1) check detail =
+    out := { check; table; entry; index; offset; detail } :: !out
+  in
+  let rv = rowview_of_bitsliced v in
+  check_rows flag rv;
+  let stride = rv.rv_stride in
+  let ncols = stride * 8 in
+  let bits = v.Bitsliced.view_plane_bits in
+  if bits <> 4 && bits <> 8 then
+    flag "geometry" (Printf.sprintf "plane_bits=%d, expected 4 or 8" bits)
+  else begin
+    let npos = ncols / bits in
+    let vmask = (1 lsl bits) - 1 in
+    let n_svc = Array.length rv.rv_svc_names in
+    let slices = v.Bitsliced.view_slices in
+    if Array.length slices <> rv.rv_d then
+      flag "d-consistency" ~entry:"slices"
+        (Printf.sprintf "%d per-table slice sets for d=%d tables"
+           (Array.length slices) rv.rv_d);
+    Array.iteri
+      (fun tbl per_table ->
+        Array.iter
+          (fun sv ->
+            let entry = sv.Bitsliced.sv_entry in
+            let expect_n, rows =
+              match entry with
+              | "phys" ->
+                ( rv.rv_n_ports,
+                  if tbl < Array.length rv.rv_phys then Some rv.rv_phys.(tbl)
+                  else None )
+              | "in" ->
+                ( rv.rv_n_ports,
+                  if tbl < Array.length rv.rv_in_tags then Some rv.rv_in_tags.(tbl)
+                  else None )
+              | "virt" ->
+                ( rv.rv_n_virt,
+                  if tbl < Array.length rv.rv_virt then Some rv.rv_virt.(tbl)
+                  else None )
+              | _ ->
+                ( n_svc,
+                  if tbl < Array.length rv.rv_svc then Some rv.rv_svc.(tbl)
+                  else None )
+            in
+            let n = sv.Bitsliced.sv_n in
+            let blocks = (n + 63) / 64 in
+            let sub = (n + 31) / 32 in
+            if n <> expect_n then
+              flag "col-size" ~table:tbl ~entry
+                (Printf.sprintf "slice has %d entries, expected %d" n expect_n);
+            if sv.Bitsliced.sv_blocks <> blocks then
+              flag "col-size" ~table:tbl ~entry
+                (Printf.sprintf "blocks=%d, expected ceil(n/64)=%d"
+                   sv.Bitsliced.sv_blocks blocks);
+            if sv.Bitsliced.sv_sub <> sub then
+              flag "col-size" ~table:tbl ~entry
+                (Printf.sprintf "sub=%d, expected ceil(n/32)=%d" sv.Bitsliced.sv_sub
+                   sub);
+            if Bytes.length sv.Bitsliced.sv_cols <> ncols * blocks * 8 then
+              flag "col-size" ~table:tbl ~entry
+                (Printf.sprintf "column blob is %d bytes, expected %d cols * %d blocks * 8 = %d"
+                   (Bytes.length sv.Bitsliced.sv_cols)
+                   ncols blocks (ncols * blocks * 8));
+            if Bytes.length sv.Bitsliced.sv_used <> stride then
+              flag "col-size" ~table:tbl ~entry
+                (Printf.sprintf "used map is %d bytes, expected stride %d"
+                   (Bytes.length sv.Bitsliced.sv_used)
+                   stride);
+            if Array.length sv.Bitsliced.sv_valid <> sub then
+              flag "col-size" ~table:tbl ~entry
+                (Printf.sprintf "valid masks %d, expected sub %d"
+                   (Array.length sv.Bitsliced.sv_valid)
+                   sub);
+            if Array.length sv.Bitsliced.sv_plane <> npos * (vmask + 1) * sub then
+              flag "col-size" ~table:tbl ~entry
+                (Printf.sprintf "plane has %d words, expected %d pos * %d values * %d sub = %d"
+                   (Array.length sv.Bitsliced.sv_plane)
+                   npos (vmask + 1) sub
+                   (npos * (vmask + 1) * sub));
+            let sizes_ok =
+              sv.Bitsliced.sv_blocks = blocks
+              && sv.Bitsliced.sv_sub = sub
+              && Bytes.length sv.Bitsliced.sv_cols = ncols * blocks * 8
+              && Bytes.length sv.Bitsliced.sv_used = stride
+              && Array.length sv.Bitsliced.sv_valid = sub
+              && Array.length sv.Bitsliced.sv_plane = npos * (vmask + 1) * sub
+            in
+            let rows_ok =
+              match rows with
+              | Some r -> Bytes.length r = n * stride
+              | None -> false
+            in
+            if sizes_ok then begin
+              (* Column/row mirror: every canonical column word must be
+                 the exact transpose of the row blob. *)
+              (match rows with
+              | Some rows when rows_ok ->
+                for b = 0 to ncols - 1 do
+                  for blk = 0 to blocks - 1 do
+                    let off = ((b * blocks) + blk) * 8 in
+                    let actual = Bytes.get_int64_le sv.Bitsliced.sv_cols off in
+                    let expected = expected_col rows ~stride ~n ~b ~blk in
+                    if not (Int64.equal actual expected) then
+                      flag "col-mirror" ~table:tbl ~entry ~index:blk ~offset:off
+                        (Printf.sprintf
+                           "column %d block %d is %Lx, transpose of rows gives %Lx"
+                           b blk actual expected)
+                  done
+                done
+              | _ -> ());
+              (* Kill column: transposed, column m is exactly the down
+                 ports. *)
+              if entry = "phys" && Array.length rv.rv_up = n then begin
+                let b = rv.rv_m in
+                for blk = 0 to blocks - 1 do
+                  let expected = ref 0L in
+                  let lo = blk * 64 in
+                  for slot = lo to min n (lo + 64) - 1 do
+                    if not rv.rv_up.(slot) then
+                      expected := Int64.logor !expected (Int64.shift_left 1L (slot - lo))
+                  done;
+                  let off = ((b * blocks) + blk) * 8 in
+                  let actual = Bytes.get_int64_le sv.Bitsliced.sv_cols off in
+                  if not (Int64.equal actual !expected) then
+                    flag "kill-column" ~table:tbl ~entry ~index:blk ~offset:off
+                      (Printf.sprintf
+                         "kill column block %d is %Lx, down ports give %Lx" blk
+                         actual !expected)
+                done
+              end;
+              (* Used map: bit b set iff column b is nonzero. *)
+              for b = 0 to ncols - 1 do
+                let nonzero = ref false in
+                for blk = 0 to blocks - 1 do
+                  if
+                    not
+                      (Int64.equal
+                         (Bytes.get_int64_le sv.Bitsliced.sv_cols
+                            (((b * blocks) + blk) * 8))
+                         0L)
+                  then nonzero := true
+                done;
+                let marked =
+                  Char.code (Bytes.get sv.Bitsliced.sv_used (b lsr 3))
+                  land (1 lsl (b land 7))
+                  <> 0
+                in
+                if marked <> !nonzero then
+                  flag "col-used" ~table:tbl ~entry ~offset:(b lsr 3)
+                    (Printf.sprintf "used bit %d is %b but column is %s" b marked
+                       (if !nonzero then "nonzero" else "zero"))
+              done;
+              (* Active positions: ascending, exactly those with a used
+                 column. *)
+              let expected_active = ref [] in
+              for pos = npos - 1 downto 0 do
+                let any = ref false in
+                for tb = 0 to bits - 1 do
+                  let b = (pos * bits) + tb in
+                  if
+                    Char.code (Bytes.get sv.Bitsliced.sv_used (b lsr 3))
+                    land (1 lsl (b land 7))
+                    <> 0
+                  then any := true
+                done;
+                if !any then expected_active := pos :: !expected_active
+              done;
+              let expected_active = Array.of_list !expected_active in
+              if sv.Bitsliced.sv_active <> expected_active then
+                flag "col-active" ~table:tbl ~entry
+                  (Printf.sprintf "active positions [%s], used map gives [%s]"
+                     (String.concat ";"
+                        (Array.to_list
+                           (Array.map string_of_int sv.Bitsliced.sv_active)))
+                     (String.concat ";"
+                        (Array.to_list (Array.map string_of_int expected_active))));
+              (* Valid masks: slots < n per 32-slot sub-block. *)
+              Array.iteri
+                (fun s mask ->
+                  let remaining = n - (s lsl 5) in
+                  let expected =
+                    if remaining >= 32 then 0xFFFFFFFF else (1 lsl remaining) - 1
+                  in
+                  if mask <> expected then
+                    flag "col-valid" ~table:tbl ~entry ~index:s
+                      (Printf.sprintf "valid mask %#x, expected %#x" mask expected))
+                sv.Bitsliced.sv_valid;
+              (* Plane: every word must be the OR of the canonical
+                 columns its group value leaves uncovered. *)
+              for pos = 0 to npos - 1 do
+                for value = 0 to vmask do
+                  for s = 0 to sub - 1 do
+                    let expected = ref 0 in
+                    for tb = 0 to bits - 1 do
+                      if value land (1 lsl tb) = 0 then begin
+                        let b = (pos * bits) + tb in
+                        let blk = s lsr 1 in
+                        let w =
+                          Bytes.get_int64_le sv.Bitsliced.sv_cols
+                            (((b * blocks) + blk) * 8)
+                        in
+                        let part =
+                          if s land 1 = 0 then
+                            Int64.to_int (Int64.logand w 0xFFFFFFFFL)
+                          else Int64.to_int (Int64.shift_right_logical w 32)
+                        in
+                        expected := !expected lor part
+                      end
+                    done;
+                    let idx = (((pos lsl bits) lor value) * sub) + s in
+                    if sv.Bitsliced.sv_plane.(idx) <> !expected then
+                      flag "col-plane" ~table:tbl ~entry ~index:pos ~offset:idx
+                        (Printf.sprintf
+                           "plane word for value %#x sub-block %d is %#x, columns give %#x"
+                           value s sv.Bitsliced.sv_plane.(idx) !expected)
+                  done
+                done
+              done
+            end)
+          per_table)
+      slices
+  end;
+  if check_digest then begin
+    let now = Bitsliced.digest bs in
+    if now <> v.Bitsliced.view_digest then
+      flag "digest"
+        (Printf.sprintf "blob digest %#x no longer matches the compile-time %#x" now
+           v.Bitsliced.view_digest)
+  end;
+  List.rev !out
+
+let audit_bitsliced_ok ?check_digest bs =
+  match audit_bitsliced ?check_digest bs with [] -> true | _ :: _ -> false

@@ -35,9 +35,27 @@
       corruption, including flips inside virtual or block live bits that
       the structural checks cannot distinguish from a legitimate tree.
 
+    {!audit_bitsliced} runs the same row checks against the bit-sliced
+    engine ({!Lipsin_forwarding.Bitsliced}) — its row blobs follow the
+    identical compile contract — and then verifies the transposed
+    layout on top:
+    - ["col-size"] — slice dimensions (entries, column blocks, plane
+      sub-blocks) and blob/array lengths agree with the row geometry;
+    - ["col-mirror"] — every canonical column word is the exact
+      transpose of the row blob;
+    - ["kill-column"] — transposed, column [m] of a physical slice is
+      exactly the set of down ports;
+    - ["col-used"] — the used map marks precisely the nonzero columns;
+    - ["col-active"] — the active position list matches the used map;
+    - ["col-valid"] — the per-sub-block validity masks cover exactly
+      the slots below the entry count;
+    - ["col-plane"] — every derived sweep-plane word is the OR of the
+      canonical columns its group value leaves uncovered.
+
     Run it offline with [lipsin_lint --audit], after every compile in
     debug runs by setting [LIPSIN_FASTPATH_AUDIT=1] (see
-    {!Lipsin_sim.Net.fastpath}), or directly from tests. *)
+    {!Lipsin_sim.Net.fastpath} and [Net.bitsliced]), or directly from
+    tests. *)
 
 type violation = {
   check : string;  (** Which invariant family failed (names above). *)
@@ -46,6 +64,11 @@ type violation = {
       (** Entry kind: ["phys"], ["in"], ["block"], ["virt"], ["local"],
           ["svc"], or [""] if not entry-specific. *)
   index : int;  (** Entry slot within the blob, or [-1]. *)
+  offset : int;
+      (** Byte offset of the finding inside the flagged blob (word
+          offset for plane findings), or [-1] when the finding is not
+          byte-addressable.  Together with [table] this makes layout
+          findings on multi-table blobs actionable. *)
   detail : string;  (** Human-readable explanation. *)
 }
 
@@ -57,6 +80,15 @@ val audit : ?check_digest:bool -> Lipsin_forwarding.Fastpath.t -> violation list
 
 val audit_ok : ?check_digest:bool -> Lipsin_forwarding.Fastpath.t -> bool
 (** [audit] returned no violation. *)
+
+val audit_bitsliced :
+  ?check_digest:bool -> Lipsin_forwarding.Bitsliced.t -> violation list
+(** {!audit}'s row checks plus the transposed-layout checks above, for
+    the bit-sliced engine. *)
+
+val audit_bitsliced_ok :
+  ?check_digest:bool -> Lipsin_forwarding.Bitsliced.t -> bool
+(** [audit_bitsliced] returned no violation. *)
 
 val to_string : violation -> string
 val pp : Format.formatter -> violation -> unit

@@ -46,13 +46,6 @@ let set_all t =
 
 let reset t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'
 
-let popcount_byte =
-  let table = Array.make 256 0 in
-  for i = 1 to 255 do
-    table.(i) <- table.(i lsr 1) + (i land 1)
-  done;
-  fun c -> table.(Char.code c)
-
 let popcount64 x =
   (* SWAR popcount on a 64-bit word. *)
   let open Int64 in
@@ -62,17 +55,34 @@ let popcount64 x =
   let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
   to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
 
-let popcount t =
-  let n = Bytes.length t.data in
-  let words = n / 8 in
+(* SWAR popcount on a native int holding at most 56 significant bits
+   (the widest value a 7-byte tail can assemble).  The masks fit OCaml's
+   63-bit int range, and the final multiply folds the per-byte counts
+   into the top byte. *)
+let popcount56 x =
+  let x = x - ((x lsr 1) land 0x55555555555555) in
+  let x = (x land 0x33333333333333) + ((x lsr 2) land 0x33333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F in
+  ((x * 0x01010101010101) lsr 48) land 0xff
+
+let popcount_bytes b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Bitvec.popcount_bytes: range out of bounds";
+  let words = len lsr 3 in
   let count = ref 0 in
   for w = 0 to words - 1 do
-    count := !count + popcount64 (Bytes.get_int64_le t.data (8 * w))
+    count := !count + popcount64 (Bytes.get_int64_le b (pos + (w lsl 3)))
   done;
-  for i = 8 * words to n - 1 do
-    count := !count + popcount_byte (Bytes.get t.data i)
+  (* Assemble the <8-byte tail into one native int and SWAR it too,
+     rather than walking it byte by byte. *)
+  let tail = ref 0 and shift = ref 0 in
+  for i = pos + (words lsl 3) to pos + len - 1 do
+    tail := !tail lor (Char.code (Bytes.get b i) lsl !shift);
+    shift := !shift + 8
   done;
-  !count
+  !count + popcount56 !tail
+
+let popcount t = popcount_bytes t.data ~pos:0 ~len:(Bytes.length t.data)
 
 let fill_ratio t = float_of_int (popcount t) /. float_of_int t.bits
 

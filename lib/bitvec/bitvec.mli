@@ -35,6 +35,13 @@ val reset : t -> unit
 val popcount : t -> int
 (** Number of set bits. *)
 
+val popcount_bytes : bytes -> pos:int -> len:int -> int
+(** [popcount_bytes b ~pos ~len] counts the set bits in the byte range
+    [pos .. pos+len-1] of [b] with 64-bit SWAR arithmetic (full words
+    first, then one SWAR pass over the assembled tail) — the shared
+    popcount primitive for the compiled engines and the blob auditor.
+    @raise Invalid_argument if the range does not fit in [b]. *)
+
 val fill_ratio : t -> float
 (** [popcount / length] — the Bloom-filter fill factor ρ. *)
 

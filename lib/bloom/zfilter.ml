@@ -18,6 +18,19 @@ let matches t ~lit = Bitvec.subset lit ~of_:t
 let fill_factor = Bitvec.fill_ratio
 let fpa t ~k = fill_factor t ** float_of_int k
 let within_fill_limit t ~limit = fill_factor t <= limit
+
+let fill_threshold ~m ~limit =
+  (* The ratio [p/m] is monotone in p, so the largest popcount passing
+     the *same float comparison* as [within_fill_limit] is an exact
+     integer stand-in for it; precomputing it once lets the compiled
+     engines replace the per-decision float divide with an int compare
+     without ever disagreeing with the reference engine on a rounding
+     edge. *)
+  let thr = ref (-1) in
+  for p = 0 to m do
+    if float_of_int p /. float_of_int m <= limit then thr := p
+  done;
+  !thr
 let equal = Bitvec.equal
 let popcount = Bitvec.popcount
 let to_hex = Bitvec.to_hex

@@ -42,6 +42,14 @@ val within_fill_limit : t -> limit:float -> bool
 (** Security check of Sec. 4.4: [fill_factor <= limit].  Forwarding
     nodes drop packets over the limit to defeat contamination attacks. *)
 
+val fill_threshold : m:int -> limit:float -> int
+(** [fill_threshold ~m ~limit] is the largest popcount [p] such that a
+    width-[m] filter with [p] set bits satisfies {!within_fill_limit}
+    (or [-1] if none does).  Computed with the same float comparison as
+    [within_fill_limit], so [popcount z <= fill_threshold ~m ~limit]
+    decides exactly like [within_fill_limit z ~limit] — the compiled
+    engines hoist this to compile time. *)
+
 val equal : t -> t -> bool
 val popcount : t -> int
 val to_hex : t -> string

@@ -115,6 +115,7 @@ type t = {
   stride : int;  (* bytes per entry = 8 * words *)
   data_len : int;  (* live filter bytes = ceil(m/8) *)
   fill_limit : float;
+  fill_threshold : int;  (* max popcount passing the fill limit *)
   n_ports : int;
   out_links : Graph.link array;
   out_index : int array;  (* port -> dense index of the outgoing link *)
@@ -296,6 +297,8 @@ let compile engine =
     stride;
     data_len;
     fill_limit = st.Node_engine.state_fill_limit;
+    fill_threshold =
+      Zfilter.fill_threshold ~m ~limit:st.Node_engine.state_fill_limit;
     n_ports;
     out_links = Array.map (fun ps -> ps.Node_engine.port_link) ports;
     out_index =
@@ -397,7 +400,10 @@ let decide t ~table ~zfilter ~in_link_index =
   end
   else if Zfilter.m zfilter <> t.m then
     invalid_arg "Fastpath.decide: zFilter width mismatch"
-  else if not (Zfilter.within_fill_limit zfilter ~limit:t.fill_limit) then begin
+  (* Integer stand-in for [within_fill_limit]: the threshold was
+     precomputed at compile with the same float comparison, and
+     [Zfilter.popcount] runs on the shared SWAR helper. *)
+  else if Zfilter.popcount zfilter > t.fill_threshold then begin
     d.drop <- drop_fill;
     if obs then bump t.obs.mfill;
     d

@@ -2,10 +2,11 @@ module Rng = Lipsin_util.Rng
 module Graph = Lipsin_topology.Graph
 module Node_engine = Lipsin_forwarding.Node_engine
 module Fastpath = Lipsin_forwarding.Fastpath
+module Bitsliced = Lipsin_forwarding.Bitsliced
 module Obs = Lipsin_obs.Obs
 
 type mode = Expand_once | Ttl of int
-type engine = [ `Reference | `Fast ]
+type engine = [ `Reference | `Fast | `Bitsliced | `Auto ]
 
 type loss = { probability : float; rng : Rng.t }
 
@@ -189,6 +190,40 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
           ~false_positive:!fp_flag ~loop_suspected ~deliver_local
           ~ttl_expired:!ttl_refused
     in
+    let run_fast () =
+      let fp = Net.fastpath net node in
+      let in_link_index =
+        match in_link with None -> -1 | Some l -> l.Graph.index
+      in
+      let d = Fastpath.decide fp ~table ~zfilter ~in_link_index in
+      membership_tests := !membership_tests + d.Fastpath.tests;
+      if d.Fastpath.deliver_local then incr local_deliveries;
+      if d.Fastpath.drop = Fastpath.drop_fill then incr fill_drops
+      else if d.Fastpath.drop = Fastpath.drop_loop then incr loop_drops;
+      for i = 0 to d.Fastpath.n_forward - 1 do
+        propagate (Fastpath.out_link fp d.Fastpath.forward.(i))
+      done;
+      trace ~drop:(Fastpath.drop_reason d)
+        ~loop_suspected:d.Fastpath.loop_suspected
+        ~deliver_local:d.Fastpath.deliver_local
+    in
+    let run_bitsliced () =
+      let bs = Net.bitsliced net node in
+      let in_link_index =
+        match in_link with None -> -1 | Some l -> l.Graph.index
+      in
+      let d = Bitsliced.decide bs ~table ~zfilter ~in_link_index in
+      membership_tests := !membership_tests + d.Bitsliced.tests;
+      if d.Bitsliced.deliver_local then incr local_deliveries;
+      if d.Bitsliced.drop = Bitsliced.drop_fill then incr fill_drops
+      else if d.Bitsliced.drop = Bitsliced.drop_loop then incr loop_drops;
+      for i = 0 to d.Bitsliced.n_forward - 1 do
+        propagate (Bitsliced.out_link bs d.Bitsliced.forward.(i))
+      done;
+      trace ~drop:(Bitsliced.drop_reason d)
+        ~loop_suspected:d.Bitsliced.loop_suspected
+        ~deliver_local:d.Bitsliced.deliver_local
+    in
     match engine with
     | `Reference ->
       let verdict =
@@ -205,22 +240,12 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
       trace ~drop:verdict.Node_engine.drop
         ~loop_suspected:verdict.Node_engine.loop_suspected
         ~deliver_local:verdict.Node_engine.deliver_local
-    | `Fast ->
-      let fp = Net.fastpath net node in
-      let in_link_index =
-        match in_link with None -> -1 | Some l -> l.Graph.index
-      in
-      let d = Fastpath.decide fp ~table ~zfilter ~in_link_index in
-      membership_tests := !membership_tests + d.Fastpath.tests;
-      if d.Fastpath.deliver_local then incr local_deliveries;
-      if d.Fastpath.drop = Fastpath.drop_fill then incr fill_drops
-      else if d.Fastpath.drop = Fastpath.drop_loop then incr loop_drops;
-      for i = 0 to d.Fastpath.n_forward - 1 do
-        propagate (Fastpath.out_link fp d.Fastpath.forward.(i))
-      done;
-      trace ~drop:(Fastpath.drop_reason d)
-        ~loop_suspected:d.Fastpath.loop_suspected
-        ~deliver_local:d.Fastpath.deliver_local
+    | `Fast -> run_fast ()
+    | `Bitsliced -> run_bitsliced ()
+    | `Auto ->
+      if Graph.out_degree graph node >= Bitsliced.auto_threshold then
+        run_bitsliced ()
+      else run_fast ()
   done;
   if obs then begin
     let under =

@@ -17,12 +17,16 @@
 
 type mode = Expand_once | Ttl of int
 
-type engine = [ `Reference | `Fast ]
+type engine = [ `Reference | `Fast | `Bitsliced | `Auto ]
 (** Which decision engine each visited node runs: the reference
-    {!Lipsin_forwarding.Node_engine} (default) or the compiled
-    {!Lipsin_forwarding.Fastpath} (cached per node by {!Net.fastpath}).
-    The two agree decision-for-decision — the differential test suite
-    enforces it — so experiments can switch freely. *)
+    {!Lipsin_forwarding.Node_engine} (default), the compiled row-major
+    {!Lipsin_forwarding.Fastpath} (cached per node by {!Net.fastpath}),
+    or the transposed {!Lipsin_forwarding.Bitsliced} (cached by
+    {!Net.bitsliced}).  [`Auto] picks per node: bit-sliced from
+    {!Lipsin_forwarding.Bitsliced.auto_threshold} out-links up, the
+    scalar fast path below.  All engines agree decision-for-decision —
+    the differential test suite enforces it — so experiments can switch
+    freely. *)
 
 type loss = {
   probability : float;  (** Per-traversal drop probability, \[0, 1). *)

@@ -1,0 +1,456 @@
+(* Differential tests for the bit-sliced (transposed-table) engine: it
+   must agree with BOTH the reference Node_engine and the row-major
+   Fastpath decision-for-decision — forward set, local delivery,
+   service matches, loop suspicion, drop reason and membership-test
+   count — across random topologies, kill bits (failed links),
+   blocking vetoes, virtual links, fill drops and loop-cache
+   interactions.  Plus: batch agreement, the byte-plane path at high
+   degree, `Auto engine delivery parity, and audit mutation properties
+   (a byte flip in a column blob is always flagged). *)
+
+module Bitvec = Lipsin_bitvec.Bitvec
+module Lit = Lipsin_bloom.Lit
+module Zfilter = Lipsin_bloom.Zfilter
+module Graph = Lipsin_topology.Graph
+module Generator = Lipsin_topology.Generator
+module Spt = Lipsin_topology.Spt
+module As_presets = Lipsin_topology.As_presets
+module Assignment = Lipsin_core.Assignment
+module Candidate = Lipsin_core.Candidate
+module Node_engine = Lipsin_forwarding.Node_engine
+module Fastpath = Lipsin_forwarding.Fastpath
+module Bitsliced = Lipsin_forwarding.Bitsliced
+module Audit = Lipsin_analysis.Audit
+module Net = Lipsin_sim.Net
+module Run = Lipsin_sim.Run
+module Rng = Lipsin_util.Rng
+
+let link_indexes v = List.map (fun l -> l.Graph.index) v
+
+let same_verdict (a : Node_engine.verdict) (b : Node_engine.verdict) =
+  link_indexes a.Node_engine.forward_on = link_indexes b.Node_engine.forward_on
+  && a.Node_engine.deliver_local = b.Node_engine.deliver_local
+  && a.Node_engine.services_matched = b.Node_engine.services_matched
+  && a.Node_engine.loop_suspected = b.Node_engine.loop_suspected
+  && a.Node_engine.drop = b.Node_engine.drop
+  && a.Node_engine.false_positive_tests = b.Node_engine.false_positive_tests
+
+let pp_verdict (v : Node_engine.verdict) =
+  Printf.sprintf "{fwd=[%s]; local=%b; svc=[%s]; susp=%b; drop=%s; tests=%d}"
+    (String.concat ";" (List.map string_of_int (link_indexes v.Node_engine.forward_on)))
+    v.Node_engine.deliver_local
+    (String.concat ";" v.Node_engine.services_matched)
+    v.Node_engine.loop_suspected
+    (match v.Node_engine.drop with
+    | None -> "-"
+    | Some Node_engine.Fill_limit_exceeded -> "fill"
+    | Some Node_engine.Loop_detected -> "loop"
+    | Some Node_engine.Bad_table -> "table")
+    v.Node_engine.false_positive_tests
+
+(* One random scenario: a topology, an engine with random failures,
+   virtuals, blocks and services, both compilations, and a zFilter pool
+   biased towards the node's tables so matches, loops, vetoes and fill
+   drops actually fire.  Mirrors test_fastpath's generator so the two
+   suites explore the same state space. *)
+type scenario = {
+  sc_graph : Graph.t;
+  sc_node : Graph.node;
+  sc_d : int;
+  sc_engine : Node_engine.t;
+  sc_fast : Fastpath.t;
+  sc_bits : Bitsliced.t;
+  sc_pool : (Zfilter.t * int) array;
+}
+
+let build_scenario seed ~nodes =
+  let rng = Rng.of_int seed in
+  let extra = Rng.int rng (max 1 (nodes / 2)) in
+  let graph =
+    Generator.pref_attach ~rng ~nodes ~edges:(nodes - 1 + extra) ~max_degree:8 ()
+  in
+  let m = [| 61; 64; 120; 248 |].(Rng.int rng 4) in
+  let d = 1 + Rng.int rng 4 in
+  let k = 3 + Rng.int rng 3 in
+  let params = Lit.constant_k ~m ~d ~k in
+  let asg = Assignment.make params (Rng.split rng) graph in
+  let node = Rng.int rng (Graph.node_count graph) in
+  let fill_limit = [| 0.5; 0.7; 1.0 |].(Rng.int rng 3) in
+  let loop_cache_capacity = [| 1; 2; 4; 64 |].(Rng.int rng 4) in
+  let loop_cache_ttl = Rng.int rng 3 in
+  let loop_prevention = Rng.int rng 10 < 9 in
+  let engine =
+    Node_engine.create ~fill_limit ~loop_cache_capacity ~loop_cache_ttl
+      ~loop_prevention asg node
+  in
+  let out = Array.of_list (Graph.out_links graph node) in
+  let extra_lits = ref [] in
+  Array.iter
+    (fun l -> if Rng.float rng 1.0 < 0.25 then Node_engine.fail_link engine l)
+    out;
+  for _ = 1 to Rng.int rng 3 do
+    let vlit = Lit.fresh params (Rng.split rng) in
+    let out_links =
+      Array.to_list (Array.of_seq (Seq.filter (fun _ -> Rng.bool rng)
+        (Array.to_seq out)))
+    in
+    Node_engine.install_virtual engine vlit ~out_links;
+    extra_lits := vlit :: !extra_lits
+  done;
+  if Array.length out > 0 then
+    for _ = 1 to Rng.int rng 3 do
+      let victim = out.(Rng.int rng (Array.length out)) in
+      if Rng.bool rng then begin
+        let neg = Lit.fresh params (Rng.split rng) in
+        Node_engine.install_block engine victim neg;
+        extra_lits := neg :: !extra_lits
+      end
+      else begin
+        let table = Rng.int rng d in
+        let donor = Graph.link graph (Rng.int rng (Graph.link_count graph)) in
+        Node_engine.install_block_pattern engine victim ~table
+          (Assignment.tag asg donor ~table)
+      end
+    done;
+  for i = 1 to Rng.int rng 3 do
+    let slit = Lit.fresh params (Rng.split rng) in
+    Node_engine.install_service engine slit ~name:(Printf.sprintf "svc%d" i);
+    extra_lits := slit :: !extra_lits
+  done;
+  let fast = Fastpath.compile engine in
+  let bits = Bitsliced.compile engine in
+  let pool =
+    Array.init 3 (fun _ ->
+        let table = Rng.int rng d in
+        let z = Zfilter.create ~m in
+        if Rng.int rng 10 = 0 then Bitvec.set_all (Zfilter.to_bitvec z)
+        else begin
+          for _ = 1 to 1 + Rng.int rng 5 do
+            let l = Graph.link graph (Rng.int rng (Graph.link_count graph)) in
+            Zfilter.add z (Assignment.tag asg l ~table)
+          done;
+          if Rng.int rng 3 = 0 && Array.length out > 0 then begin
+            let l = out.(Rng.int rng (Array.length out)) in
+            Zfilter.add z
+              (Assignment.tag asg (Graph.reverse_link graph l) ~table)
+          end;
+          if Rng.int rng 4 = 0 then
+            Zfilter.add z (Lit.tag (Node_engine.local_lit engine) table);
+          List.iter
+            (fun lit ->
+              if Rng.int rng 4 = 0 then Zfilter.add z (Lit.tag lit table))
+            !extra_lits;
+          for _ = 1 to Rng.int rng 4 do
+            Bitvec.set (Zfilter.to_bitvec z) (Rng.int rng m)
+          done
+        end;
+        (z, table))
+  in
+  { sc_graph = graph; sc_node = node; sc_d = d; sc_engine = engine;
+    sc_fast = fast; sc_bits = bits; sc_pool = pool }
+
+(* Drive all three engines through the same decision sequence (each has
+   its own loop cache, all of which must evolve identically) and compare
+   verdicts step by step. *)
+let run_differential seed ~nodes ~steps =
+  let sc = build_scenario seed ~nodes in
+  let rng = Rng.of_int (seed lxor 0x5CA1AB1E) in
+  let out = Array.of_list (Graph.out_links sc.sc_graph sc.sc_node) in
+  let failure = ref None in
+  for step = 1 to steps do
+    if !failure = None then begin
+      let z, suggested = sc.sc_pool.(Rng.int rng (Array.length sc.sc_pool)) in
+      let table =
+        match Rng.int rng 10 with
+        | 0 -> -1
+        | 1 -> sc.sc_d
+        | _ -> suggested
+      in
+      let in_link =
+        if Rng.int rng 10 < 3 || Array.length out = 0 then None
+        else if Rng.int rng 10 < 7 then
+          Some (Graph.reverse_link sc.sc_graph (out.(Rng.int rng (Array.length out))))
+        else
+          Some (Graph.link sc.sc_graph (Rng.int rng (Graph.link_count sc.sc_graph)))
+      in
+      if Rng.int rng 5 = 0 then begin
+        Node_engine.tick sc.sc_engine;
+        Fastpath.tick sc.sc_fast;
+        Bitsliced.tick sc.sc_bits
+      end;
+      let reference =
+        Node_engine.forward sc.sc_engine ~table ~zfilter:z ~in_link
+      in
+      let in_link_index =
+        match in_link with None -> -1 | Some l -> l.Graph.index
+      in
+      let fast =
+        Fastpath.verdict sc.sc_fast
+          (Fastpath.decide sc.sc_fast ~table ~zfilter:z ~in_link_index)
+      in
+      let bits =
+        Bitsliced.verdict sc.sc_bits
+          (Bitsliced.decide sc.sc_bits ~table ~zfilter:z ~in_link_index)
+      in
+      if not (same_verdict reference bits) then
+        failure :=
+          Some
+            (Printf.sprintf "step %d table %d: ref %s / bitsliced %s" step table
+               (pp_verdict reference) (pp_verdict bits))
+      else if not (same_verdict fast bits) then
+        failure :=
+          Some
+            (Printf.sprintf "step %d table %d: fast %s / bitsliced %s" step table
+               (pp_verdict fast) (pp_verdict bits))
+    end
+  done;
+  !failure
+
+let case_arb =
+  QCheck.make
+    ~print:(fun (seed, nodes, steps) ->
+      Printf.sprintf "seed=%d nodes=%d steps=%d" seed nodes steps)
+    QCheck.Gen.(triple (int_bound 1_000_000) (int_range 4 20) (int_range 4 12))
+
+let prop_differential =
+  QCheck.Test.make
+    ~name:"bitsliced agrees with reference and fastpath" ~count:1000 case_arb
+    (fun (seed, nodes, steps) ->
+      match run_differential seed ~nodes ~steps with
+      | None -> true
+      | Some msg -> QCheck.Test.fail_report msg)
+
+let prop_batch_matches_reference =
+  QCheck.Test.make ~name:"decide_batch agrees with sequential reference"
+    ~count:200 case_arb
+    (fun (seed, nodes, steps) ->
+      let sc = build_scenario seed ~nodes in
+      let rng = Rng.of_int (seed + 77) in
+      let _, table = sc.sc_pool.(0) in
+      let out = Array.of_list (Graph.out_links sc.sc_graph sc.sc_node) in
+      let inputs =
+        Array.init (max 1 (steps * 7)) (fun i ->
+            let z, _ = sc.sc_pool.(i mod Array.length sc.sc_pool) in
+            let in_idx =
+              if Array.length out = 0 || Rng.bool rng then -1
+              else
+                (Graph.reverse_link sc.sc_graph
+                   out.(Rng.int rng (Array.length out))).Graph.index
+            in
+            (z, in_idx))
+      in
+      let table = if table >= 0 && table < sc.sc_d then table else 0 in
+      let bits_verdicts = ref [] in
+      Bitsliced.decide_batch sc.sc_bits ~table inputs ~f:(fun _ d ->
+          bits_verdicts := Bitsliced.verdict sc.sc_bits d :: !bits_verdicts);
+      let bits_verdicts = List.rev !bits_verdicts in
+      let reference_verdicts =
+        Array.to_list
+          (Array.map
+             (fun (z, in_idx) ->
+               let in_link =
+                 if in_idx < 0 then None
+                 else Some (Graph.link sc.sc_graph in_idx)
+               in
+               Node_engine.forward sc.sc_engine ~table ~zfilter:z ~in_link)
+             inputs)
+      in
+      List.for_all2 same_verdict reference_verdicts bits_verdicts)
+
+(* --- byte-plane path: a hub beyond the auto threshold --- *)
+
+(* The random scenarios above have max_degree 8, i.e. nibble planes.
+   A star hub with 80 leaves crosses auto_threshold, so the compile
+   picks byte planes and the multi-block (sub > 1) sweep runs. *)
+let test_byte_plane_agreement () =
+  let deg = 80 in
+  let g = Graph.create ~nodes:(deg + 1) in
+  for leaf = 1 to deg do
+    Graph.add_edge g 0 leaf
+  done;
+  let asg = Assignment.make Lit.default (Rng.of_int 3) g in
+  let engine = Node_engine.create asg 0 in
+  (* A few failed links so the kill column is non-trivial. *)
+  let out = Array.of_list (Graph.out_links g 0) in
+  Node_engine.fail_link engine out.(3);
+  Node_engine.fail_link engine out.(41);
+  let fast = Fastpath.compile engine in
+  let bits = Bitsliced.compile engine in
+  Alcotest.(check int) "byte planes above threshold" 8 (Bitsliced.plane_bits bits);
+  Alcotest.(check (list string)) "audit clean" []
+    (List.map Audit.to_string (Audit.audit_bitsliced bits));
+  let rng = Rng.of_int 5 in
+  for step = 1 to 300 do
+    let z = Zfilter.create ~m:(Lit.default.Lit.m) in
+    let nsel = 1 + Rng.int rng 24 in
+    for _ = 1 to nsel do
+      Zfilter.add z (Assignment.tag asg out.(Rng.int rng deg) ~table:0)
+    done;
+    let reference = Node_engine.forward engine ~table:0 ~zfilter:z ~in_link:None in
+    let f =
+      Fastpath.verdict fast (Fastpath.decide fast ~table:0 ~zfilter:z ~in_link_index:(-1))
+    in
+    let b =
+      Bitsliced.verdict bits
+        (Bitsliced.decide bits ~table:0 ~zfilter:z ~in_link_index:(-1))
+    in
+    if not (same_verdict reference b && same_verdict f b) then
+      Alcotest.failf "step %d: ref %s / fast %s / bitsliced %s" step
+        (pp_verdict reference) (pp_verdict f) (pp_verdict b)
+  done
+
+(* --- `Auto / `Bitsliced engines end-to-end through Run --- *)
+
+let test_delivery_agreement () =
+  let graph = As_presets.as6461 () in
+  let asg = Assignment.make Lit.default (Rng.of_int 42) graph in
+  let rng = Rng.of_int 43 in
+  let picks = Rng.sample rng 16 (Graph.node_count graph) in
+  let tree =
+    Spt.delivery_tree graph ~root:picks.(0)
+      ~subscribers:(Array.to_list (Array.sub picks 1 15))
+  in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  let run engine =
+    let net = Net.make ~loop_prevention:false asg in
+    Run.deliver ~engine net ~src:picks.(0) ~table:0
+      ~zfilter:c.Candidate.zfilter ~tree
+  in
+  let a = run `Reference in
+  List.iter
+    (fun engine ->
+      let b = run engine in
+      Alcotest.(check (list int)) "same traversal"
+        (link_indexes a.Run.traversed) (link_indexes b.Run.traversed);
+      Alcotest.(check int) "same tests" a.Run.membership_tests b.Run.membership_tests;
+      Alcotest.(check int) "same fp" a.Run.false_positives b.Run.false_positives;
+      Alcotest.(check bool) "same reached" true (a.Run.reached = b.Run.reached))
+    [ `Bitsliced; `Auto ]
+
+let test_net_invalidates_bitsliced () =
+  let graph = As_presets.as6461 () in
+  let asg = Assignment.make Lit.default (Rng.of_int 7) graph in
+  let net = Net.make ~loop_prevention:false asg in
+  let rng = Rng.of_int 8 in
+  let picks = Rng.sample rng 8 (Graph.node_count graph) in
+  let tree =
+    Spt.delivery_tree graph ~root:picks.(0)
+      ~subscribers:(Array.to_list (Array.sub picks 1 7))
+  in
+  let c = Candidate.build_one asg ~tree ~table:0 in
+  let first = List.hd tree in
+  ignore (Net.bitsliced net first.Graph.src);
+  Net.fail_link net first;
+  let o =
+    Run.deliver ~engine:`Bitsliced net ~src:picks.(0) ~table:0
+      ~zfilter:c.Candidate.zfilter ~tree
+  in
+  Alcotest.(check bool) "failed link not traversed" false
+    (List.exists (fun l -> l.Graph.index = first.Graph.index) o.Run.traversed)
+
+let test_net_audit_gate () =
+  Unix.putenv "LIPSIN_FASTPATH_AUDIT" "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "LIPSIN_FASTPATH_AUDIT" "")
+    (fun () ->
+      let rng = Rng.of_int 11 in
+      let graph = Generator.pref_attach ~rng ~nodes:8 ~edges:10 ~max_degree:4 () in
+      let params = Lit.constant_k ~m:64 ~d:2 ~k:4 in
+      let asg = Assignment.make params (Rng.split rng) graph in
+      let net = Net.make asg in
+      ignore (Net.bitsliced net 0);
+      let z = Zfilter.create ~m:64 in
+      let o = Run.deliver ~engine:`Bitsliced net ~src:0 ~table:0 ~zfilter:z ~tree:[] in
+      Alcotest.(check bool) "delivery ran under the audit gate" true
+        (o.Run.link_traversals >= 0))
+
+(* --- audit mutation properties --- *)
+
+let seed_arb = QCheck.make QCheck.Gen.(int_bound 1_000_000)
+
+let prop_audit_accepts_compiles =
+  QCheck.Test.make ~name:"audit accepts every Bitsliced.compile output"
+    ~count:250 seed_arb
+    (fun seed ->
+      let sc = build_scenario seed ~nodes:12 in
+      match Audit.audit_bitsliced sc.sc_bits with
+      | [] -> true
+      | v :: _ -> QCheck.Test.fail_report (Audit.to_string v))
+
+let prop_column_flip_flagged =
+  (* Every byte of every column blob is covered by the col-mirror
+     structural check (each canonical column word is recomputed from the
+     row blobs), so corruption is caught even without the digest. *)
+  QCheck.Test.make ~name:"column-blob byte flip is always flagged" ~count:300
+    seed_arb
+    (fun seed ->
+      let sc = build_scenario seed ~nodes:12 in
+      let rng = Rng.of_int (seed lxor 0xC0DE) in
+      let v = Bitsliced.view sc.sc_bits in
+      let cols =
+        List.filter
+          (fun sl -> Bytes.length sl.Bitsliced.sv_cols > 0)
+          (List.concat_map Array.to_list (Array.to_list v.Bitsliced.view_slices))
+      in
+      match cols with
+      | [] -> true
+      | _ ->
+        let sl = List.nth cols (Rng.int rng (List.length cols)) in
+        let blob = sl.Bitsliced.sv_cols in
+        let pos = Rng.int rng (Bytes.length blob) in
+        let delta = 1 + Rng.int rng 255 in
+        Bytes.set blob pos
+          (Char.chr (Char.code (Bytes.get blob pos) lxor delta));
+        (not (Audit.audit_bitsliced_ok ~check_digest:false sc.sc_bits))
+        && not (Audit.audit_bitsliced_ok sc.sc_bits))
+
+let prop_plane_flip_flagged =
+  (* The derived plane words are cross-checked against the canonical
+     columns (col-plane), so acceleration-structure corruption cannot
+     silently change decisions either. *)
+  QCheck.Test.make ~name:"plane word corruption is always flagged" ~count:200
+    seed_arb
+    (fun seed ->
+      let sc = build_scenario seed ~nodes:12 in
+      let rng = Rng.of_int (seed lxor 0xFACADE) in
+      let v = Bitsliced.view sc.sc_bits in
+      let planes =
+        List.filter
+          (fun sl -> Array.length sl.Bitsliced.sv_plane > 0)
+          (List.concat_map Array.to_list (Array.to_list v.Bitsliced.view_slices))
+      in
+      match planes with
+      | [] -> true
+      | _ ->
+        let sl = List.nth planes (Rng.int rng (List.length planes)) in
+        let plane = sl.Bitsliced.sv_plane in
+        let pos = Rng.int rng (Array.length plane) in
+        plane.(pos) <- plane.(pos) lxor (1 lsl Rng.int rng 32);
+        not (Audit.audit_bitsliced_ok ~check_digest:false sc.sc_bits))
+
+let () =
+  Alcotest.run "bitsliced"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_differential;
+          QCheck_alcotest.to_alcotest prop_batch_matches_reference;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "byte-plane hub agreement" `Quick
+            test_byte_plane_agreement;
+          Alcotest.test_case "delivery agreement (bitsliced, auto)" `Quick
+            test_delivery_agreement;
+          Alcotest.test_case "net invalidates on failure" `Quick
+            test_net_invalidates_bitsliced;
+          Alcotest.test_case "Net audit gate (env hook)" `Quick
+            test_net_audit_gate;
+        ] );
+      ( "audit",
+        [
+          QCheck_alcotest.to_alcotest prop_audit_accepts_compiles;
+          QCheck_alcotest.to_alcotest prop_column_flip_flagged;
+          QCheck_alcotest.to_alcotest prop_plane_flip_flagged;
+        ] );
+    ]

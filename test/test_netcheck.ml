@@ -515,11 +515,19 @@ let prop_clean_trees_verify =
       in
       let tree = Spt.delivery_tree g ~root:src ~subscribers in
       let findings = Netcheck.check_tree model ~src ~tree in
-      (* on a tree topology the closure cannot cycle and every intended
-         node is reached; false positives are possible in principle but
-         never loops or errors *)
-      (not (has_check "loop" findings))
-      && Netcheck.errors findings = [])
+      (* on a tree topology the only directed cycles use the reverse of
+         a tree edge, which a zFilter built from one-directed tree links
+         can admit only through a Bloom false positive — so any loop
+         finding must come with the false-delivery that closes it, and
+         genuine errors (under-delivery, fill-limit, bad-table) never
+         occur *)
+      let non_loop_errors =
+        List.filter
+          (fun f -> not (String.equal f.Netcheck.check "loop"))
+          (Netcheck.errors findings)
+      in
+      ((not (has_check "loop" findings)) || has_check "false-delivery" findings)
+      && non_loop_errors = [])
 
 let prop_injected_cycles_flagged =
   QCheck.Test.make
