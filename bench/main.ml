@@ -491,17 +491,30 @@ let run_obs () =
     exit 1
   end
 
-(* --sweep: scalar-vs-bit-sliced decision cost over node degree.  Star
-   topologies isolate the per-port sweep (one hub, deg leaves, no other
-   structure); the zFilter pool mixes sparse and denser filters so both
-   engines run their survivor-recovery paths.  Emits BENCH_PR5.json and
-   fails if the bit-sliced engine is not ahead from 64 ports up — the
-   premise behind `Auto's threshold. *)
+(* --sweep: two sweeps back to back.
+
+   1. Scalar-vs-bit-sliced decision cost over node degree.  Star
+      topologies isolate the per-port sweep (one hub, deg leaves, no
+      other structure); the zFilter pool mixes sparse and denser
+      filters so both engines run their survivor-recovery paths.  The
+      16- and 32-port rows bracket `Auto's crossover
+      (Bitsliced.auto_threshold): below it the scalar fast path must
+      win, above it the bit-sliced engine.  Emits BENCH_PR5.json and
+      fails if the bit-sliced engine is not ahead from 64 ports up —
+      the premise behind `Auto's threshold.
+
+   2. Single-filter vs partitioned zFilters over subscriber count
+      (10^3 up to 10^5; 10^6 with LIPSIN_SWEEP_HUGE=1) on two-tier
+      Rocketfuel-like topologies.  Per point: Stagecut.plan, Netcheck
+      exactly-once verification, and a stitched delivery through each
+      engine with bit-for-bit agreement of the delivered sets.  Emits
+      BENCH_PR6.json and fails if any point misses exactly-once, has
+      Netcheck errors, or shows engine disagreement. *)
 let sweep_mode = Array.exists (fun a -> a = "--sweep") Sys.argv
 
 let run_sweep () =
   let module Stats = Lipsin_util.Stats in
-  let degrees = [| 8; 64; 256; 1024 |] in
+  let degrees = [| 8; 16; 32; 64; 256; 1024 |] in
   let rounds = 5 in
   let iters = if smoke then 400 else 5000 in
   let results =
@@ -592,6 +605,172 @@ let run_sweep () =
     exit 1
   end
 
+let run_partition_sweep () =
+  let module Adaptive = Lipsin_core.Adaptive in
+  let module Stagecut = Lipsin_core.Stagecut in
+  let module Partition = Lipsin_bloom.Partition in
+  let module Netcheck = Lipsin_analysis.Netcheck in
+  let module Stitched = Lipsin_sim.Stitched in
+  let module Scenario = Lipsin_workload.Scenario in
+  let counts =
+    if smoke then [ 1_000; 10_000 ]
+    else if Sys.getenv_opt "LIPSIN_SWEEP_HUGE" <> None then
+      [ 1_000; 10_000; 100_000; 1_000_000 ]
+    else [ 1_000; 10_000; 100_000 ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let widths_str ws =
+    String.concat ","
+      (List.map (fun (m, n) -> Printf.sprintf "%d:%d" m n) ws)
+  in
+  Printf.printf
+    "\npartition sweep: single-filter vs stitched stages over subscribers\n";
+  Printf.printf "%9s %7s %7s %6s %9s %6s %5s %8s %8s %9s %7s %5s\n" "subs"
+    "nodes" "stages" "single" "bits" "fill" "nchk" "plan ms" "chk ms"
+    "deliver" "extra" "dup";
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let points =
+    List.map
+      (fun count ->
+        (* Backbone scale tracks the audience: ~Rocketfuel-core size
+           for the large points.  d = 2 at the extreme point keeps the
+           per-width tag tables inside CI memory. *)
+        let core = max 100 (min 1_000 (count / 100)) in
+        let d = if count >= 1_000_000 then 2 else 8 in
+        let g, hosts =
+          Scenario.two_tier ~seed:(5 + count) ~core ~core_edges:(2 * core)
+            ~max_degree:32 ~hosts:count ()
+        in
+        let adaptive = Adaptive.make ~d ~k:5 (Rng.of_int (0xcafe + count)) g in
+        let root = 0 in
+        let tree = Spt.delivery_tree g ~root ~subscribers:hosts in
+        let single_ok =
+          Option.is_some (Adaptive.choose adaptive ~tree ~target_fpa:1.0 ())
+        in
+        if single_ok then
+          fail "%d subscribers: a single zFilter fits — sweep premise broken"
+            count;
+        let planned, plan_ms =
+          time (fun () ->
+              Stagecut.plan adaptive ~rng:(Rng.of_int (0xd1ce + count)) ~root
+                ~subscribers:hosts)
+        in
+        match planned with
+        | Error e ->
+          fail "%d subscribers: Stagecut.plan failed: %s" count e;
+          `Failed (count, e)
+        | Ok (part, diag) ->
+          let findings, check_ms =
+            time (fun () ->
+                Netcheck.check_partition ~subscribers:hosts adaptive part)
+          in
+          let n_errors = List.length (Netcheck.errors findings) in
+          if n_errors > 0 then
+            fail "%d subscribers: %d Netcheck error(s), first: %s" count
+              n_errors
+              (Netcheck.to_string (List.hd (Netcheck.errors findings)));
+          let stitched = Stitched.make adaptive in
+          Stitched.install stitched part;
+          let engines =
+            List.map
+              (fun (name, engine) ->
+                let o, ms =
+                  time (fun () -> Stitched.deliver ~engine stitched part)
+                in
+                (match Stitched.exactly_once o part with
+                | Ok () -> ()
+                | Error e ->
+                  fail "%d subscribers (%s): exactly-once violated: %s" count
+                    name e);
+                (name, o, ms))
+              [ ("reference", `Reference); ("fast", `Fast);
+                ("bitsliced", `Bitsliced); ("auto", `Auto) ]
+          in
+          Stitched.uninstall stitched part;
+          let _, ref_o, _ = List.hd engines in
+          List.iter
+            (fun (name, o, _) ->
+              if o.Stitched.delivered <> ref_o.Stitched.delivered then
+                fail
+                  "%d subscribers: %s engine delivered set differs from \
+                   reference"
+                  count name)
+            (List.tl engines);
+          let agree =
+            List.for_all
+              (fun (_, o, _) -> o.Stitched.delivered = ref_o.Stitched.delivered)
+              engines
+          in
+          let deliver_ms =
+            List.map (fun (name, _, ms) -> (name, ms)) engines
+          in
+          let extra = Stitched.extra_deliveries ref_o part in
+          let eo = Result.is_ok (Stitched.exactly_once ref_o part) in
+          Printf.printf
+            "%9d %7d %7d %6s %9d %6.3f %5d %8.1f %8.1f %9.1f %7d %5d\n%!"
+            count (Graph.node_count g) diag.Stagecut.stages
+            (if single_ok then "yes" else "no")
+            (Partition.total_filter_bits part)
+            (Partition.max_fill part) n_errors plan_ms check_ms
+            (List.assoc "auto" deliver_ms) extra
+            ref_o.Stitched.duplicate_handoffs;
+          `Point
+            ( count, core, Graph.node_count g, Graph.link_count g, d,
+              List.length tree, single_ok, diag, part, n_errors, plan_ms,
+              check_ms, deliver_ms, ref_o, extra, eo, agree ))
+      counts
+  in
+  let oc = open_out "BENCH_PR6.json" in
+  Printf.fprintf oc "{\n  \"subscriber_sweep\": [\n";
+  let n_points = List.length points in
+  List.iteri
+    (fun i point ->
+      let sep = if i = n_points - 1 then "" else "," in
+      match point with
+      | `Failed (count, e) ->
+        Printf.fprintf oc
+          "    { \"subscribers\": %d, \"plan_error\": %S }%s\n" count e sep
+      | `Point
+          ( count, core, nodes, links, d, tree_links, single_ok, diag, part,
+            n_errors, plan_ms, check_ms, deliver_ms, ref_o, extra, eo, agree )
+        ->
+        Printf.fprintf oc
+          "    { \"subscribers\": %d, \"core\": %d, \"nodes\": %d, \
+           \"links\": %d, \"d\": %d, \"tree_links\": %d,\n\
+          \      \"single_filter_ok\": %b, \"stages\": %d, \"widths\": %S, \
+           \"filter_bits\": %d, \"max_fill\": %.4f, \"redraws\": %d,\n\
+          \      \"netcheck_errors\": %d, \"plan_ms\": %.1f, \
+           \"netcheck_ms\": %.1f,\n\
+          \      \"deliver_ms\": { %s },\n\
+          \      \"traversals\": %d, \"extra_deliveries\": %d, \
+           \"duplicate_handoffs\": %d, \"exactly_once\": %b, \
+           \"engines_agree\": %b }%s\n"
+          count core nodes links d tree_links single_ok diag.Stagecut.stages
+          (widths_str diag.Stagecut.widths_used)
+          (Partition.total_filter_bits part)
+          (Partition.max_fill part) diag.Stagecut.redraws n_errors plan_ms
+          check_ms
+          (String.concat ", "
+             (List.map
+                (fun (name, ms) -> Printf.sprintf "\"%s\": %.1f" name ms)
+                deliver_ms))
+          ref_o.Stitched.link_traversals extra
+          ref_o.Stitched.duplicate_handoffs eo agree sep)
+    points;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  if !failures <> [] then begin
+    List.iter (Printf.printf "FAIL: %s\n") (List.rev !failures);
+    Printf.printf "FAIL: partition sweep gate (%d violation(s))\n%!"
+      (List.length !failures);
+    exit 1
+  end
+
 let benchmark tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -615,7 +794,10 @@ let print_results results =
 
 let () =
   if obs_mode then run_obs ()
-  else if sweep_mode then run_sweep ()
+  else if sweep_mode then begin
+    run_sweep ();
+    run_partition_sweep ()
+  end
   else begin
     Printf.printf "LIPSIN benchmarks (Bechamel, monotonic clock)\n%!";
     List.iter

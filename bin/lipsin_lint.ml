@@ -15,10 +15,14 @@
 
    Netcheck mode:
      lipsin_lint --netcheck --edges FILE --assignment FILE
-                 [--fill-limit F] [--samples N] [--seed N] [--strict]
+                 [--partition FILE] [--fill-limit F] [--samples N]
+                 [--seed N] [--strict]
    statically verifies the deployment itself with Analysis.Netcheck:
    LIT anomalies, loop admissibility per table, recovery soundness,
    and (with --samples) the candidates of N random delivery trees.
+   With --partition, also loads a persisted Stagecut partition and
+   proves its exactly-once property (stage coverage, stitch wiring,
+   cross-stage loop/duplicate freedom) against the same deployment.
    Findings flow through the linter's human/JSON reporters; exits 3 on
    Error-severity findings (any finding with --strict).
 
@@ -38,13 +42,16 @@ module Graph = Lipsin_topology.Graph
 module Persist = Lipsin_core.Persist
 module Node_engine = Lipsin_forwarding.Node_engine
 module Fastpath = Lipsin_forwarding.Fastpath
+module Assignment = Lipsin_core.Assignment
+module Adaptive = Lipsin_core.Adaptive
+module Lit = Lipsin_bloom.Lit
 
 let exit_usage = 64
 
 let help_text =
   "usage: lipsin_lint [--format human|json] [--list-rules] PATH...\n\
   \       lipsin_lint --audit --edges FILE --assignment FILE [--fill-limit F]\n\
-  \       lipsin_lint --netcheck --edges FILE --assignment FILE\n\
+  \       lipsin_lint --netcheck --edges FILE --assignment FILE [--partition FILE]\n\
   \                   [--fill-limit F] [--samples N] [--seed N] [--strict]\n\
    \n\
    modes:\n\
@@ -61,6 +68,8 @@ let help_text =
   \  --list-rules          print the lint rules and exit\n\
   \  --edges FILE          persisted topology (Edge_list format)\n\
   \  --assignment FILE     persisted LIT assignment (Persist format)\n\
+  \  --partition FILE      netcheck: persisted partitioned zFilter plan to\n\
+  \                        verify for exactly-once delivery\n\
   \  --fill-limit F        fill-factor drop threshold (default 0.7)\n\
   \  --samples N           netcheck: random delivery trees to verify (default 8)\n\
   \  --seed N              netcheck: sampling seed (default 17)\n\
@@ -154,8 +163,37 @@ let run_audit ~edges ~assignment ~fill_limit =
   else Printf.printf "%d violations\n" !violations;
   exit (if !violations = 0 then 0 else 2)
 
-let run_netcheck ~format ~edges ~assignment ~fill_limit ~samples ~seed ~strict =
-  let _graph, asg = load_deployment ~edges ~assignment in
+let check_partition_file ~graph ~asg ~fill_limit pfile =
+  let part =
+    match Persist.load_partition graph pfile with
+    | Ok part -> part
+    | Error msg ->
+      Printf.eprintf "lipsin_lint: cannot load partition: %s\n" msg;
+      exit exit_usage
+    | exception Sys_error msg ->
+      Printf.eprintf "lipsin_lint: cannot load partition: %s\n" msg;
+      exit exit_usage
+  in
+  (* The per-link nonces are the whole identity of a constant-k
+     deployment, so the persisted assignment reconstructs the full
+     adaptive width family the partition's stages draw from. *)
+  let p = Assignment.params asg in
+  let k = p.Lit.k_for_table.(0) in
+  if not (Array.for_all (fun k' -> k' = k) p.Lit.k_for_table) then begin
+    Printf.eprintf
+      "lipsin_lint: --partition needs a constant-k assignment\n";
+    exit exit_usage
+  end;
+  let adaptive =
+    Adaptive.make_with_nonces ~d:p.Lit.d ~k (Assignment.nonces asg) graph
+  in
+  match fill_limit with
+  | Some fill_limit -> Netcheck.check_partition ~fill_limit adaptive part
+  | None -> Netcheck.check_partition adaptive part
+
+let run_netcheck ~format ~edges ~assignment ~partition ~fill_limit ~samples
+    ~seed ~strict =
+  let graph, asg = load_deployment ~edges ~assignment in
   let model =
     match fill_limit with
     | Some fill_limit -> Netcheck.model_of_assignment ~fill_limit asg
@@ -163,6 +201,11 @@ let run_netcheck ~format ~edges ~assignment ~fill_limit ~samples ~seed ~strict =
   in
   let rng = Lipsin_util.Rng.of_int seed in
   let findings = Netcheck.check_deployment ~samples ~rng model in
+  let findings =
+    match partition with
+    | None -> findings
+    | Some pfile -> findings @ check_partition_file ~graph ~asg ~fill_limit pfile
+  in
   let reported =
     List.map (Netcheck.to_lint_finding ~deployment:assignment) findings
   in
@@ -174,8 +217,8 @@ let run_netcheck ~format ~edges ~assignment ~fill_limit ~samples ~seed ~strict =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse args ~format ~paths ~mode ~edges ~assignment ~fill_limit
-      ~samples ~seed ~strict =
+  let rec parse args ~format ~paths ~mode ~edges ~assignment ~partition
+      ~fill_limit ~samples ~seed ~strict =
     match args with
     | [] -> (
       match mode with
@@ -188,8 +231,8 @@ let () =
       | `Netcheck -> (
         match (edges, assignment) with
         | Some edges, Some assignment ->
-          run_netcheck ~format ~edges ~assignment ~fill_limit ~samples ~seed
-            ~strict
+          run_netcheck ~format ~edges ~assignment ~partition ~fill_limit
+            ~samples ~seed ~strict
         | _ ->
           prerr_endline "lipsin_lint: --netcheck needs --edges and --assignment";
           exit exit_usage)
@@ -202,47 +245,50 @@ let () =
       let format =
         match fmt with "human" -> `Human | "json" -> `Json | _ -> usage ()
       in
-      parse rest ~format ~paths ~mode ~edges ~assignment ~fill_limit ~samples
-        ~seed ~strict
+      parse rest ~format ~paths ~mode ~edges ~assignment ~partition
+        ~fill_limit ~samples ~seed ~strict
     | "--audit" :: rest ->
-      parse rest ~format ~paths ~mode:`Audit ~edges ~assignment ~fill_limit
-        ~samples ~seed ~strict
+      parse rest ~format ~paths ~mode:`Audit ~edges ~assignment ~partition
+        ~fill_limit ~samples ~seed ~strict
     | "--netcheck" :: rest ->
-      parse rest ~format ~paths ~mode:`Netcheck ~edges ~assignment ~fill_limit
-        ~samples ~seed ~strict
+      parse rest ~format ~paths ~mode:`Netcheck ~edges ~assignment ~partition
+        ~fill_limit ~samples ~seed ~strict
     | "--strict" :: rest ->
-      parse rest ~format ~paths ~mode ~edges ~assignment ~fill_limit ~samples
-        ~seed ~strict:true
+      parse rest ~format ~paths ~mode ~edges ~assignment ~partition
+        ~fill_limit ~samples ~seed ~strict:true
     | "--edges" :: file :: rest ->
       parse rest ~format ~paths ~mode ~edges:(Some file) ~assignment
-        ~fill_limit ~samples ~seed ~strict
+        ~partition ~fill_limit ~samples ~seed ~strict
     | "--assignment" :: file :: rest ->
       parse rest ~format ~paths ~mode ~edges ~assignment:(Some file)
-        ~fill_limit ~samples ~seed ~strict
+        ~partition ~fill_limit ~samples ~seed ~strict
+    | "--partition" :: file :: rest ->
+      parse rest ~format ~paths ~mode ~edges ~assignment
+        ~partition:(Some file) ~fill_limit ~samples ~seed ~strict
     | "--fill-limit" :: v :: rest -> (
       match float_of_string_opt v with
       | Some f ->
-        parse rest ~format ~paths ~mode ~edges ~assignment
+        parse rest ~format ~paths ~mode ~edges ~assignment ~partition
           ~fill_limit:(Some f) ~samples ~seed ~strict
       | None -> usage ())
     | "--samples" :: v :: rest -> (
       match int_of_string_opt v with
       | Some n when n >= 0 ->
-        parse rest ~format ~paths ~mode ~edges ~assignment ~fill_limit
-          ~samples:n ~seed ~strict
+        parse rest ~format ~paths ~mode ~edges ~assignment ~partition
+          ~fill_limit ~samples:n ~seed ~strict
       | _ -> usage ())
     | "--seed" :: v :: rest -> (
       match int_of_string_opt v with
       | Some n ->
-        parse rest ~format ~paths ~mode ~edges ~assignment ~fill_limit
-          ~samples ~seed:n ~strict
+        parse rest ~format ~paths ~mode ~edges ~assignment ~partition
+          ~fill_limit ~samples ~seed:n ~strict
       | None -> usage ())
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
       Printf.eprintf "lipsin_lint: unknown option %s\n" arg;
       usage ()
     | path :: rest ->
       parse rest ~format ~paths:(path :: paths) ~mode ~edges ~assignment
-        ~fill_limit ~samples ~seed ~strict
+        ~partition ~fill_limit ~samples ~seed ~strict
   in
   parse args ~format:`Human ~paths:[] ~mode:`Lint ~edges:None ~assignment:None
-    ~fill_limit:None ~samples:8 ~seed:17 ~strict:false
+    ~partition:None ~fill_limit:None ~samples:8 ~seed:17 ~strict:false

@@ -1,6 +1,7 @@
 module Fastpath = Lipsin_forwarding.Fastpath
 module Bitsliced = Lipsin_forwarding.Bitsliced
 module Bitvec = Lipsin_bitvec.Bitvec
+module Partition = Lipsin_bloom.Partition
 
 type violation = {
   check : string;
@@ -82,8 +83,12 @@ type rowview = {
   rv_local : Bytes.t array;
   rv_svc : Bytes.t array;
   rv_svc_names : string array;
+  rv_stitch : Bytes.t array;
+  rv_stitch_partition : int array;
+  rv_stitch_next : int array;
   rv_forward_cap : int;
   rv_services_cap : int;
+  rv_stitch_cap : int;
   rv_seen_cap : int;
 }
 
@@ -109,8 +114,12 @@ let rowview_of_fastpath (v : Fastpath.view) =
     rv_local = v.Fastpath.view_local;
     rv_svc = v.Fastpath.view_svc;
     rv_svc_names = v.Fastpath.view_svc_names;
+    rv_stitch = v.Fastpath.view_stitch;
+    rv_stitch_partition = v.Fastpath.view_stitch_partition;
+    rv_stitch_next = v.Fastpath.view_stitch_next;
     rv_forward_cap = v.Fastpath.view_forward_cap;
     rv_services_cap = v.Fastpath.view_services_cap;
+    rv_stitch_cap = v.Fastpath.view_stitch_cap;
     rv_seen_cap = v.Fastpath.view_seen_cap;
   }
 
@@ -136,8 +145,12 @@ let rowview_of_bitsliced (v : Bitsliced.view) =
     rv_local = v.Bitsliced.view_local;
     rv_svc = v.Bitsliced.view_svc;
     rv_svc_names = v.Bitsliced.view_svc_names;
+    rv_stitch = v.Bitsliced.view_stitch;
+    rv_stitch_partition = v.Bitsliced.view_stitch_partition;
+    rv_stitch_next = v.Bitsliced.view_stitch_next;
     rv_forward_cap = v.Bitsliced.view_forward_cap;
     rv_services_cap = v.Bitsliced.view_services_cap;
+    rv_stitch_cap = v.Bitsliced.view_stitch_cap;
     rv_seen_cap = v.Bitsliced.view_seen_cap;
   }
 
@@ -152,6 +165,7 @@ let check_rows (flag : flagger) v =
   let n_ports = v.rv_n_ports in
   let n_virt = v.rv_n_virt in
   let n_svc = Array.length v.rv_svc_names in
+  let n_stitch = Array.length v.rv_stitch_next in
   (* Geometry: the stride layout the hot loops assume.  Entries always
      carry at least one spare word bit so the kill bit exists. *)
   if m <= 0 then flag "geometry" (Printf.sprintf "non-positive width m=%d" m);
@@ -186,6 +200,13 @@ let check_rows (flag : flagger) v =
   expect_tables "virt" v.rv_virt;
   expect_tables "local" v.rv_local;
   expect_tables "svc" v.rv_svc;
+  expect_tables "stitch" v.rv_stitch;
+  (* Stitch payload arrays ride side by side with the tag rows. *)
+  if Array.length v.rv_stitch_partition <> n_stitch then
+    flag "d-consistency" ~entry:"stitch"
+      (Printf.sprintf "partition payloads %d <> stitch entries %d"
+         (Array.length v.rv_stitch_partition)
+         n_stitch);
   if Array.length v.rv_block_off <> d then
     flag "d-consistency" ~entry:"block"
       (Printf.sprintf "%d offset tables for d=%d tables"
@@ -234,6 +255,9 @@ let check_rows (flag : flagger) v =
   if v.rv_services_cap < n_svc then
     flag "capacity"
       (Printf.sprintf "service buffer %d < n_services %d" v.rv_services_cap n_svc);
+  if v.rv_stitch_cap < n_stitch then
+    flag "capacity"
+      (Printf.sprintf "stitch buffer %d < n_stitch %d" v.rv_stitch_cap n_stitch);
   if v.rv_seen_cap < n_ports then
     flag "capacity"
       (Printf.sprintf "seen stamps %d < n_ports %d" v.rv_seen_cap n_ports);
@@ -289,6 +313,12 @@ let check_rows (flag : flagger) v =
       scan ~entry:"local" ~n:1 ~exact_k:k ~kill_for:None tbl v.rv_local.(tbl);
     if tbl < Array.length v.rv_svc then
       scan ~entry:"svc" ~n:n_svc ~exact_k:k ~kill_for:None tbl v.rv_svc.(tbl);
+    (* Stitch tags are single egress LITs, so the exact-k law holds —
+       at the strengthened egress bit count, not the link LITs' k. *)
+    if tbl < Array.length v.rv_stitch then
+      scan ~entry:"stitch" ~n:n_stitch
+        ~exact_k:(Option.map (Partition.egress_k ~m) k)
+        ~kill_for:None tbl v.rv_stitch.(tbl);
     (* Virtual entries are ORs of whole trees and block entries are
        arbitrary veto patterns, so only layout invariants apply. *)
     if tbl < Array.length v.rv_virt then
@@ -389,6 +419,10 @@ let audit_bitsliced ?(check_digest = true) bs =
               | "virt" ->
                 ( rv.rv_n_virt,
                   if tbl < Array.length rv.rv_virt then Some rv.rv_virt.(tbl)
+                  else None )
+              | "stitch" ->
+                ( Array.length rv.rv_stitch_next,
+                  if tbl < Array.length rv.rv_stitch then Some rv.rv_stitch.(tbl)
                   else None )
               | _ ->
                 ( n_svc,

@@ -848,3 +848,239 @@ let check_deployment ?(samples = 0) ?rng t =
   else
     let rng = match rng with Some r -> r | None -> Rng.of_int 0x11 in
     base @ check_sampled t ~rng ~samples
+
+(* ---------------------------------------------------------------- *)
+(* Partitioned (stitched) zFilters                                  *)
+(* ---------------------------------------------------------------- *)
+
+module Adaptive = Lipsin_core.Adaptive
+module Partition = Lipsin_bloom.Partition
+
+(* Exactly-once verification of a Stagecut plan: structural validity,
+   per-stage fill/coverage/closure, subscriber multiplicity across
+   stages, and the runtime stage digraph implied by the stitch entries
+   the partition installs.  An extra stitch firing at a node the stage
+   *intends* to traverse is an Error (the compiler's nonce repair rules
+   these out); one only reachable through a false-positive link is the
+   statistical background the fill limit bounds, reported as a
+   Warning. *)
+let check_partition ?(fill_limit = 0.7) ?loop_prevention ?subscribers adaptive
+    part =
+  let out = ref [] in
+  let flag f = out := f :: !out in
+  (match Partition.validate part with
+  | Ok () -> ()
+  | Error e -> flag (mk "partition-structure" Error e));
+  let widths = Adaptive.widths adaptive in
+  let models = Hashtbl.create 4 in
+  let model_for m =
+    match Hashtbl.find_opt models m with
+    | Some mo -> mo
+    | None ->
+      let mo =
+        model_of_assignment ~fill_limit ?loop_prevention
+          (Adaptive.assignment adaptive ~m)
+      in
+      Hashtbl.add models m mo;
+      mo
+  in
+  let stages = part.Partition.stages in
+  let n_stages = Array.length stages in
+  let stage_ok = Array.make n_stages false in
+  Array.iter
+    (fun (s : Partition.stage) ->
+      let i = s.Partition.index in
+      if not (List.mem s.Partition.m widths) then
+        flag
+          (mk "stage-width" Error
+             (Printf.sprintf "stage %d uses width %d outside the family [%s]" i
+                s.Partition.m
+                (String.concat ";" (List.map string_of_int widths))))
+      else begin
+        let asg = Adaptive.assignment adaptive ~m:s.Partition.m in
+        let d = (Assignment.params asg).Lit.d in
+        if s.Partition.table >= d then
+          flag
+            (mk "bad-table" Error ~table:s.Partition.table
+               (Printf.sprintf "stage %d uses table %d of %d" i
+                  s.Partition.table d))
+        else begin
+          if i >= 0 && i < n_stages then stage_ok.(i) <- true;
+          if not (Zfilter.within_fill_limit s.Partition.filter ~limit:fill_limit)
+          then
+            flag
+              (mk "fill-limit" Error ~table:s.Partition.table
+                 (Printf.sprintf "stage %d fill factor %.3f exceeds limit %.3f" i
+                    (Zfilter.fill_factor s.Partition.filter)
+                    fill_limit))
+        end
+      end)
+    stages;
+  (* Subscriber multiplicity across stages: the intent-level
+     exactly-once law. *)
+  let owners = Hashtbl.create 256 in
+  Array.iter
+    (fun (s : Partition.stage) ->
+      List.iter
+        (fun w ->
+          Hashtbl.replace owners w
+            (s.Partition.index
+            :: Option.value ~default:[] (Hashtbl.find_opt owners w)))
+        s.Partition.subscribers)
+    stages;
+  Hashtbl.iter
+    (fun w ss ->
+      if List.length ss > 1 then
+        flag
+          (mk "double-delivery" Error ~node:w
+             (Printf.sprintf "subscriber %d is claimed by stages %s" w
+                (String.concat "," (List.rev_map string_of_int ss)))))
+    owners;
+  (match subscribers with
+  | None -> ()
+  | Some subs ->
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem owners w) then
+          flag
+            (mk "under-delivery" Error ~node:w
+               (Printf.sprintf "subscriber %d is in no stage" w)))
+      subs);
+  (* Every stitch entry the partition installs, across all stages. *)
+  let entries =
+    Array.to_list stages
+    |> List.concat_map (fun (p : Partition.stage) ->
+           List.map
+             (fun (h : Partition.handoff) -> (p, h))
+             p.Partition.handoffs)
+  in
+  let parent = Array.make n_stages (-1) in
+  List.iter
+    (fun ((p : Partition.stage), (h : Partition.handoff)) ->
+      if h.Partition.next >= 0 && h.Partition.next < n_stages then
+        parent.(h.Partition.next) <- p.Partition.index)
+    entries;
+  let rec is_ancestor a s =
+    s >= 0 && (s = a || is_ancestor a parent.(s))
+  in
+  (* Per-stage closure work: under-delivery, handoff reachability, and
+     the firing scan against every installed entry. *)
+  Array.iter
+    (fun (s : Partition.stage) ->
+      let i = s.Partition.index in
+      if i >= 0 && i < n_stages && stage_ok.(i) then begin
+        let mo = model_for s.Partition.m in
+        let g = mo.net_graph in
+        let zbv = Zfilter.to_bitvec s.Partition.filter in
+        let asg = mo.assignment in
+        (* Coverage: the filter must contain its own tree links. *)
+        List.iter
+          (fun li ->
+            let l = Graph.link g li in
+            if
+              not
+                (Bitvec.subset
+                   (Assignment.tag asg l ~table:s.Partition.table)
+                   ~of_:zbv)
+            then
+              flag
+                (mk "stage-coverage" Error ~table:s.Partition.table
+                   ~links:[ li ]
+                   (Printf.sprintf "stage %d filter does not cover its link %s" i
+                      (lstr g li))))
+          s.Partition.links;
+        let egress_tag_at ~m ~table nonce =
+          Lit.tag
+            (Partition.egress_lit
+               (Assignment.params (Adaptive.assignment adaptive ~m))
+               ~nonce)
+            table
+        in
+        if s.Partition.handoffs <> [] then begin
+          let tag =
+            egress_tag_at ~m:s.Partition.m ~table:s.Partition.table
+              s.Partition.nonce
+          in
+          if not (Bitvec.subset tag ~of_:zbv) then
+            flag
+              (mk "stage-egress" Error ~table:s.Partition.table
+                 (Printf.sprintf "stage %d filter lacks its egress tag" i))
+        end;
+        let _links_r, nodes_r =
+          closure mo ~table:s.Partition.table ~zbv ~src:s.Partition.root
+        in
+        List.iter
+          (fun w ->
+            if w < Array.length nodes_r && not nodes_r.(w) then
+              flag
+                (mk "under-delivery" Error ~table:s.Partition.table ~node:w
+                   (Printf.sprintf "stage %d does not reach subscriber %d" i w)))
+          s.Partition.subscribers;
+        (* Intended tree nodes, for Error/Warning classification. *)
+        let on_tree = Array.make (Graph.node_count g) false in
+        on_tree.(s.Partition.root) <- true;
+        List.iter
+          (fun li ->
+            let l = Graph.link g li in
+            on_tree.(l.Graph.src) <- true;
+            on_tree.(l.Graph.dst) <- true)
+          s.Partition.links;
+        List.iter
+          (fun (h : Partition.handoff) ->
+            if h.Partition.next >= 0 && h.Partition.next < n_stages then begin
+              if stages.(h.Partition.next).Partition.root <> h.Partition.at then
+                flag
+                  (mk "stitch-misrooted" Error ~node:h.Partition.at
+                     (Printf.sprintf
+                        "handoff to stage %d at node %d but that stage roots at \
+                         node %d"
+                        h.Partition.next h.Partition.at
+                        stages.(h.Partition.next).Partition.root));
+              if
+                h.Partition.at < Array.length nodes_r
+                && not nodes_r.(h.Partition.at)
+              then
+                flag
+                  (mk "stitch-unreachable" Error ~node:h.Partition.at
+                     (Printf.sprintf
+                        "handoff to stage %d at node %d is outside stage %d's \
+                         delivery closure"
+                        h.Partition.next h.Partition.at i))
+            end)
+          s.Partition.handoffs;
+        (* Runtime stage digraph: which installed entries fire during
+           this stage's traversal.  Only entries of the same width are
+           visible to the packet. *)
+        List.iter
+          (fun ((p : Partition.stage), (h : Partition.handoff)) ->
+            if
+              p.Partition.index <> i
+              && p.Partition.m = s.Partition.m
+              && h.Partition.at < Array.length nodes_r
+              && nodes_r.(h.Partition.at)
+            then
+              let tag =
+                egress_tag_at ~m:s.Partition.m ~table:s.Partition.table
+                  p.Partition.nonce
+              in
+              if Bitvec.subset tag ~of_:zbv then begin
+                let sev =
+                  if on_tree.(h.Partition.at) then Error else Warning
+                in
+                let looping = is_ancestor h.Partition.next i in
+                flag
+                  (mk
+                     (if looping then "cross-stage-loop"
+                      else "cross-stage-duplicate")
+                     sev ~table:s.Partition.table ~node:h.Partition.at
+                     (Printf.sprintf
+                        "stage %d's filter falsely fires the handoff of stage \
+                         %d at node %d (enters stage %d %s)"
+                        i p.Partition.index h.Partition.at h.Partition.next
+                        (if looping then "again — a stage cycle"
+                         else "a second time")))
+              end)
+          entries
+      end)
+    stages;
+  List.rev !out

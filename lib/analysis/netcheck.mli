@@ -167,3 +167,40 @@ val to_lint_finding : deployment:string -> finding -> Lipsin_linter.Finding.t
 (** Adapts a finding to the linter's reporting pipeline: [file] is the
     deployment path, [line]/[col] are 0, [rule] is the check name and
     the message carries severity, table/node anchors and link list. *)
+
+val check_partition :
+  ?fill_limit:float ->
+  ?loop_prevention:bool ->
+  ?subscribers:Lipsin_topology.Graph.node list ->
+  Lipsin_core.Adaptive.t ->
+  Lipsin_bloom.Partition.t ->
+  finding list
+(** Exactly-once verification of a partitioned (stitched) zFilter plan
+    ({!Lipsin_core.Stagecut}) against the pristine deployment of each
+    width in the family:
+
+    - [partition-structure] ([Error]): {!Lipsin_bloom.Partition.validate}
+      failures — handoff cycles, double-entered or orphaned stages;
+    - [stage-width] / [bad-table] / [fill-limit] ([Error]): a stage
+      outside the adaptive family, table range or fill limit;
+    - [stage-coverage] / [stage-egress] ([Error]): a stage filter that
+      lost one of its own tree links or its egress tag (the mutation
+      props corrupt filters to trigger exactly these);
+    - [double-delivery] ([Error]): a subscriber claimed by two stages;
+      [under-delivery] ([Error]): a subscriber of [subscribers] in no
+      stage, or one a stage's delivery closure cannot reach;
+    - [stitch-misrooted] / [stitch-unreachable] ([Error]): a handoff
+      whose child roots elsewhere, or whose stitch node the parent's
+      closure never visits;
+    - [cross-stage-loop] / [cross-stage-duplicate]: a stage's filter
+      falsely firing another stage's stitch entry, re-entering a stage
+      (ancestor: loop; otherwise: duplicate subtree delivery).
+      [Error] when the stitch node lies on the stage's intended tree —
+      {!Lipsin_core.Stagecut}'s nonce repair guarantees none — and
+      [Warning] when it is only reachable through a false-positive
+      link, the statistical background the fill limit bounds.
+
+    No [Error] findings means every subscriber is delivered exactly
+    once at the intent level: stages partition the subscriber set, the
+    stage digraph is the intended tree, and every stage's filter covers
+    exactly its stage. *)

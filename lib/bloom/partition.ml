@@ -1,0 +1,129 @@
+type handoff = { at : int; next : int }
+
+type stage = {
+  index : int;
+  m : int;
+  table : int;
+  root : int;
+  nonce : int64;
+  filter : Zfilter.t;
+  links : int list;
+  subscribers : int list;
+  handoffs : handoff list;
+}
+
+type t = { id : int; root : int; stages : stage array }
+
+let stage_count t = Array.length t.stages
+
+let validate t =
+  let n = Array.length t.stages in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if n = 0 then Error "partition has no stages"
+  else if t.stages.(0).root <> t.root then
+    Error "stage 0 is not rooted at the partition root"
+  else begin
+    let entered = Array.make n 0 in
+    entered.(0) <- 1;
+    let rec check_stage i =
+      if i >= n then Ok ()
+      else
+        let s = t.stages.(i) in
+        if s.index <> i then err "stage %d carries index %d" i s.index
+        else if s.table < 0 then err "stage %d has a negative table" i
+        else if Zfilter.m s.filter <> s.m then
+          err "stage %d filter width %d does not match m %d" i
+            (Zfilter.m s.filter) s.m
+        else
+          let rec check_handoffs = function
+            | [] -> check_stage (i + 1)
+            | { at = _; next } :: rest ->
+              if next <= 0 || next >= n then
+                err "stage %d hands off to missing stage %d" i next
+              else begin
+                entered.(next) <- entered.(next) + 1;
+                check_handoffs rest
+              end
+          in
+          check_handoffs s.handoffs
+    in
+    match check_stage 0 with
+    | Error _ as e -> e
+    | Ok () ->
+      let orphan = ref None in
+      Array.iteri
+        (fun i c ->
+          if c <> 1 && !orphan = None then orphan := Some (i, c))
+        entered;
+      (match !orphan with
+      | Some (i, 0) -> err "stage %d is never entered" i
+      | Some (i, c) -> err "stage %d is entered %d times" i c
+      | None ->
+        (* in-degree exactly one everywhere + stage 0 as the unique
+           source makes the handoff graph a forest; reachability from
+           stage 0 rules out disconnected cycles. *)
+        let seen = Array.make n false in
+        let rec walk i =
+          if not seen.(i) then begin
+            seen.(i) <- true;
+            List.iter (fun h -> walk h.next) t.stages.(i).handoffs
+          end
+        in
+        walk 0;
+        let unreachable = ref None in
+        Array.iteri
+          (fun i s -> if not s && !unreachable = None then unreachable := Some i)
+          seen;
+        (match !unreachable with
+        | Some i -> err "stage %d is unreachable from stage 0 (handoff cycle)" i
+        | None -> Ok ()))
+  end
+
+(* A falsely fired stitch entry re-delivers a whole child subtree and,
+   during Stagecut's nonce repair, one containment anywhere forces a
+   redraw — so egress LITs spend 4x a link LIT's hash bits, dropping
+   the per-test false-positive rate from rho^k to rho^4k (0.7^20 ~ 8e-4
+   at the fill limit, vs 0.168 for a link tag). *)
+let egress_k ~m k = min m (4 * k)
+
+let egress_lit (p : Lit.params) ~nonce =
+  Lit.generate
+    { p with Lit.k_for_table = Array.map (egress_k ~m:p.Lit.m) p.Lit.k_for_table }
+    ~nonce
+
+let parent t i =
+  if i = 0 then None
+  else
+    let found = ref None in
+    Array.iter
+      (fun s ->
+        List.iter (fun h -> if h.next = i then found := Some h) s.handoffs)
+      t.stages;
+    !found
+
+let total_filter_bits t =
+  Array.fold_left (fun acc s -> acc + s.m) 0 t.stages
+
+let max_fill t =
+  Array.fold_left (fun acc s -> max acc (Zfilter.fill_factor s.filter)) 0.0
+    t.stages
+
+let nodes (s : stage) = s.root :: s.subscribers
+
+let pp fmt t =
+  Format.fprintf fmt "partition %d root %d (%d stages)@\n" t.id t.root
+    (Array.length t.stages);
+  Array.iter
+    (fun s ->
+      Format.fprintf fmt
+        "  stage %d: m=%d table=%d root=%d fill=%.3f links=%d subs=%d%s@\n"
+        s.index s.m s.table s.root
+        (Zfilter.fill_factor s.filter)
+        (List.length s.links)
+        (List.length s.subscribers)
+        (match s.handoffs with
+        | [] -> ""
+        | hs ->
+          " handoffs=" ^ String.concat ","
+            (List.map (fun h -> Printf.sprintf "%d->%d" h.at h.next) hs)))
+    t.stages

@@ -1,0 +1,89 @@
+(** Partitioned (XBF-style) zFilters — stage filters + stitch points.
+
+    A single zFilter saturates at [fill_limit * m] set bits, capping a
+    delivery tree at a few dozen links (Sec. 3.2).  Following XBF
+    (arXiv:1602.05853) a large tree is cut into {e stages}: each stage
+    carries its own zFilter, possibly at its own width drawn from the
+    {!Adaptive}-style same-nonce family (arXiv:0908.3574), and hands the
+    packet over to child stages at {e stitch nodes}.
+
+    Handoff encoding: every stage owns one {e egress LIT} (a fresh
+    nonce, expanded to per-table tags at the stage's width).  A stage
+    with children ORs its own egress tag into its filter — k bits total,
+    independent of how many children it has.  At each stitch node the
+    forwarding engine holds a {e stitch entry} mapping the parent
+    stage's egress LIT to [(partition id, next stage index)]; when a
+    packet whose zFilter covers the egress tags reaches the stitch node,
+    delivery restarts there with the child stage's filter.  Two stages
+    rooted at the same node are distinguished by their distinct egress
+    nonces.
+
+    This module is the passive data type (graph-free: nodes and links
+    are integer ids); the compiler lives in [Lipsin_core.Stagecut], the
+    engines' stitch entries in [Lipsin_forwarding], and the exactly-once
+    verifier in [Lipsin_analysis.Netcheck]. *)
+
+type handoff = {
+  at : int;    (** Stitch node where the child stage is entered. *)
+  next : int;  (** Child stage index. *)
+}
+
+type stage = {
+  index : int;          (** Position in {!t}'s [stages]. *)
+  m : int;              (** Filter width of this stage. *)
+  table : int;          (** d-table the stage's filter was built from. *)
+  root : int;           (** Node where this stage's delivery starts. *)
+  nonce : int64;        (** Egress-LIT nonce shared by all children. *)
+  filter : Zfilter.t;   (** OR of link tags + own egress tag if parent. *)
+  links : int list;     (** Graph link indexes of the stage's tree. *)
+  subscribers : int list;  (** Subscribers whose home stage this is. *)
+  handoffs : handoff list;
+}
+
+type t = {
+  id : int;        (** Partition id carried in stitch entries. *)
+  root : int;      (** Root of the whole stitched tree = stage 0 root. *)
+  stages : stage array;
+}
+
+val stage_count : t -> int
+
+val validate : t -> (unit, string) result
+(** Structural checks: stage [index] fields match positions, stage 0 is
+    rooted at [t.root], every handoff target is a real non-zero stage,
+    every stage except 0 is entered by exactly one handoff, the stage
+    graph is acyclic (every stage reachable from stage 0), each stage's
+    filter width equals its [m], and each [table] is non-negative. *)
+
+val egress_k : m:int -> int -> int
+(** Hash bits an egress LIT spends per table, given the link LITs' [k]:
+    [min m (4 * k)].  An egress false positive costs a whole duplicate
+    child subtree (not one link), and every containment of a stage's
+    egress tag in a same-width stage traversing its stitch nodes forces
+    a nonce redraw in [Stagecut] — so egress membership gets 4x the
+    budget, taking the per-test rate from rho{^ k} to rho{^ 4k}
+    (~8e-4 at the 0.7 fill limit with k=5, vs 0.168 for a link tag). *)
+
+val egress_lit : Lit.params -> nonce:int64 -> Lit.t
+(** The egress LIT for a stage nonce under a family's link-LIT params:
+    same width and table count, but {!egress_k} bits per table.  The
+    single derivation shared by the compiler ([Stagecut]), the stitch
+    installer ([Stitched]), the verifier ([Netcheck.check_partition])
+    and the blob auditor ([Audit]) — they must agree bit for bit. *)
+
+val parent : t -> int -> handoff option
+(** [parent t i] is the handoff entering stage [i] ([None] for stage 0).
+    Only meaningful on a validated partition. *)
+
+val total_filter_bits : t -> int
+(** Σ stage widths — the header budget of the stitched tree. *)
+
+val max_fill : t -> float
+(** Largest per-stage fill factor, the quantity the fill limit caps. *)
+
+val nodes : stage -> int list
+(** Home nodes of a stage: its root plus its subscribers (the stage's
+    links cover more nodes; this is the delivery-relevant set). *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per stage: width, fill, link count, handoffs. *)

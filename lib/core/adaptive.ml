@@ -7,12 +7,10 @@ type t = {
   views : (int * Assignment.t) list;
 }
 
-let make ?(widths = [ 120; 248; 504 ]) ~d ~k rng graph =
+let make_with_nonces ?(widths = [ 120; 248; 504 ]) ~d ~k nonces graph =
   if widths = [] then invalid_arg "Adaptive.make: empty width list";
   if List.sort compare widths <> widths then
     invalid_arg "Adaptive.make: widths must be ascending";
-  (* One nonce per directed link, shared by every width. *)
-  let nonces = Array.init (Graph.link_count graph) (fun _ -> Rng.int64 rng) in
   let views =
     List.map
       (fun m ->
@@ -20,6 +18,11 @@ let make ?(widths = [ 120; 248; 504 ]) ~d ~k rng graph =
       widths
   in
   { widths; views }
+
+let make ?widths ~d ~k rng graph =
+  (* One nonce per directed link, shared by every width. *)
+  let nonces = Array.init (Graph.link_count graph) (fun _ -> Rng.int64 rng) in
+  make_with_nonces ?widths ~d ~k nonces graph
 
 let widths t = t.widths
 

@@ -23,6 +23,18 @@ val make :
     and derives any width's tags.
     @raise Invalid_argument on an empty or unsorted width list. *)
 
+val make_with_nonces :
+  ?widths:int list ->
+  d:int ->
+  k:int ->
+  int64 array ->
+  Lipsin_topology.Graph.t ->
+  t
+(** Rebuilds the family from explicit per-directed-link nonces (index =
+    link index) — the way to recover the exact same family, all widths
+    included, from a persisted {!Assignment} ({!Assignment.nonces}):
+    the nonces are the whole identity of a constant-k deployment. *)
+
 val widths : t -> int list
 
 val assignment : t -> m:int -> Assignment.t

@@ -77,3 +77,191 @@ let load graph path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> of_string graph (In_channel.input_all ic))
+
+(* ---- partitioned deployments -------------------------------------- *)
+
+module Partition = Lipsin_bloom.Partition
+module Zfilter = Lipsin_bloom.Zfilter
+
+let ints_to_csv = function
+  | [] -> ""
+  | l -> String.concat "," (List.map string_of_int l)
+
+let to_string_partition (part : Partition.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "lipsin-partition v1\n";
+  Buffer.add_string buf (Printf.sprintf "id %d\n" part.Partition.id);
+  Buffer.add_string buf (Printf.sprintf "root %d\n" part.Partition.root);
+  Buffer.add_string buf
+    (Printf.sprintf "stages %d\n" (Array.length part.Partition.stages));
+  Array.iter
+    (fun (s : Partition.stage) ->
+      Buffer.add_string buf
+        (Printf.sprintf "stage %d m %d table %d root %d nonce %016Lx\n"
+           s.Partition.index s.Partition.m s.Partition.table s.Partition.root
+           s.Partition.nonce);
+      Buffer.add_string buf
+        (Printf.sprintf "filter %s\n" (Zfilter.to_hex s.Partition.filter));
+      Buffer.add_string buf
+        (Printf.sprintf "links %s\n" (ints_to_csv s.Partition.links));
+      Buffer.add_string buf
+        (Printf.sprintf "subscribers %s\n" (ints_to_csv s.Partition.subscribers));
+      Buffer.add_string buf
+        (Printf.sprintf "handoffs %s\n"
+           (String.concat ","
+              (List.map
+                 (fun (h : Partition.handoff) ->
+                   Printf.sprintf "%d:%d" h.Partition.at h.Partition.next)
+                 s.Partition.handoffs))))
+    part.Partition.stages;
+  Buffer.contents buf
+
+let parse_csv_ints s =
+  let s = String.trim s in
+  if s = "" then Some []
+  else
+    let parts = String.split_on_char ',' s in
+    let parsed = List.filter_map int_of_string_opt parts in
+    if List.length parsed = List.length parts then Some parsed else None
+
+(* A "key v1,v2,..." line; the list may be empty ("key" alone or with
+   trailing whitespace). *)
+let parse_int_list_line ~key line =
+  let line = String.trim line in
+  if line = key then Some []
+  else
+    match String.index_opt line ' ' with
+    | Some i when String.sub line 0 i = key ->
+      parse_csv_ints (String.sub line (i + 1) (String.length line - i - 1))
+    | _ -> None
+
+let of_string_partition graph s =
+  let ( let* ) = Result.bind in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+  in
+  let parse_kv key line =
+    match String.split_on_char ' ' (String.trim line) with
+    | [ k; v ] when k = key -> int_of_string_opt v
+    | _ -> None
+  in
+  match lines with
+  | magic :: id_line :: root_line :: count_line :: rest ->
+    if String.trim magic <> "lipsin-partition v1" then Error "bad magic line"
+    else begin
+      match
+        (parse_kv "id" id_line, parse_kv "root" root_line,
+         parse_kv "stages" count_line)
+      with
+      | Some id, Some root, Some count when count >= 0 ->
+        let parse_stage = function
+          | stage_line :: filter_line :: links_line :: subs_line
+            :: handoffs_line :: rest -> (
+            let* index, m, table, sroot, nonce =
+              match String.split_on_char ' ' (String.trim stage_line) with
+              | [ "stage"; i; "m"; m; "table"; t; "root"; r; "nonce"; nx ]
+                when String.length nx = 16 -> (
+                match
+                  ( int_of_string_opt i, int_of_string_opt m,
+                    int_of_string_opt t, int_of_string_opt r,
+                    Int64.of_string_opt ("0x" ^ nx) )
+                with
+                | Some i, Some m, Some t, Some r, Some n -> Ok (i, m, t, r, n)
+                | _ -> Error "malformed stage line")
+              | _ -> Error "malformed stage line"
+            in
+            let* filter =
+              match String.split_on_char ' ' (String.trim filter_line) with
+              | [ "filter"; hx ] -> (
+                match Zfilter.of_hex ~m hx with
+                | f -> Ok f
+                | exception Invalid_argument _ -> Error "malformed filter line")
+              | _ -> Error "malformed filter line"
+            in
+            let* links =
+              match parse_int_list_line ~key:"links" links_line with
+              | Some l -> Ok l
+              | None -> Error "malformed links line"
+            in
+            let* subscribers =
+              match parse_int_list_line ~key:"subscribers" subs_line with
+              | Some l -> Ok l
+              | None -> Error "malformed subscribers line"
+            in
+            let* handoffs =
+              let line = String.trim handoffs_line in
+              let body =
+                if line = "handoffs" then Some ""
+                else
+                  match String.index_opt line ' ' with
+                  | Some i when String.sub line 0 i = "handoffs" ->
+                    Some (String.sub line (i + 1) (String.length line - i - 1))
+                  | _ -> None
+              in
+              match body with
+              | None -> Error "malformed handoffs line"
+              | Some "" -> Ok []
+              | Some body ->
+                let parts = String.split_on_char ',' (String.trim body) in
+                let parsed =
+                  List.filter_map
+                    (fun p ->
+                      match String.split_on_char ':' p with
+                      | [ a; n ] -> (
+                        match (int_of_string_opt a, int_of_string_opt n) with
+                        | Some at, Some next -> Some { Partition.at; next }
+                        | _ -> None)
+                      | _ -> None)
+                    parts
+                in
+                if List.length parsed = List.length parts then Ok parsed
+                else Error "malformed handoffs line"
+            in
+            if
+              List.exists
+                (fun li -> li < 0 || li >= Graph.link_count graph)
+                links
+            then Error "link index out of range"
+            else
+              Ok
+                ( {
+                    Partition.index;
+                    m;
+                    table;
+                    root = sroot;
+                    nonce;
+                    filter;
+                    links;
+                    subscribers;
+                    handoffs;
+                  },
+                  rest ))
+          | _ -> Error "truncated partition file"
+        in
+        let rec parse_stages acc n rest =
+          if n = 0 then
+            if rest <> [] then Error "stage count mismatch"
+            else Ok (List.rev acc)
+          else
+            let* stage, rest = parse_stage rest in
+            parse_stages (stage :: acc) (n - 1) rest
+        in
+        let* stages = parse_stages [] count rest in
+        let part = { Partition.id; root; stages = Array.of_list stages } in
+        let* () = Partition.validate part in
+        Ok part
+      | _ -> Error "malformed header line"
+    end
+  | _ -> Error "truncated partition file"
+
+let save_partition part path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string_partition part))
+
+let load_partition graph path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string_partition graph (In_channel.input_all ic))

@@ -20,3 +20,30 @@ val save : Assignment.t -> string -> unit
 val load :
   Lipsin_topology.Graph.t -> string -> (Assignment.t, string) result
 (** Reads and parses; I/O failures raise [Sys_error]. *)
+
+(** {1 Partitioned deployments}
+
+    A {!Stagecut} plan is durable state too: stage filters, egress
+    nonces and stitch metadata must survive restarts or in-flight
+    packets lose their handoffs.  Same style of format —
+    ["lipsin-partition v1"], a header (id, root, stage count) and five
+    lines per stage (geometry + nonce, filter hex, link indexes,
+    subscribers, [at:next] handoffs). *)
+
+val to_string_partition : Lipsin_bloom.Partition.t -> string
+
+val of_string_partition :
+  Lipsin_topology.Graph.t ->
+  string ->
+  (Lipsin_bloom.Partition.t, string) result
+(** Parses and re-validates ({!Lipsin_bloom.Partition.validate}).
+    Errors on version/shape malformations, a link index outside the
+    graph, or a structurally invalid stage forest. *)
+
+val save_partition : Lipsin_bloom.Partition.t -> string -> unit
+
+val load_partition :
+  Lipsin_topology.Graph.t ->
+  string ->
+  (Lipsin_bloom.Partition.t, string) result
+(** Reads and parses; I/O failures raise [Sys_error]. *)

@@ -1,0 +1,349 @@
+module Graph = Lipsin_topology.Graph
+module Spt = Lipsin_topology.Spt
+module Bitvec = Lipsin_bitvec.Bitvec
+module Zfilter = Lipsin_bloom.Zfilter
+module Lit = Lipsin_bloom.Lit
+module Partition = Lipsin_bloom.Partition
+module Rng = Lipsin_util.Rng
+
+type diag = {
+  stages : int;
+  redraws : int;
+  widths_used : (int * int) list;
+}
+
+(* One (width, table) cell of a stage's viability matrix.  [vec] is the
+   working filter; a cell dies when admitting the stage's content would
+   push it over its capacity. *)
+type cell = {
+  c_m : int;
+  c_table : int;
+  c_k : int;  (* bits per tag in this cell's table *)
+  c_thr : int;  (* popcount ceiling from the fill limit *)
+  c_vec : Bitvec.t;
+  mutable c_pop : int;
+  mutable c_alive : bool;
+}
+
+type build_stage = {
+  bs_index : int;
+  bs_root : int;
+  mutable bs_nonce : int64;
+  mutable bs_links : Graph.link list;  (* reversed *)
+  mutable bs_subs : int list;  (* reversed *)
+  mutable bs_handoffs : (int * int) list;  (* (at node, child index), reversed *)
+  mutable bs_has_egress : bool;
+  bs_cells : cell array;
+  (* Filled at close: *)
+  mutable bs_m : int;
+  mutable bs_table : int;
+  mutable bs_vec : Bitvec.t;
+}
+
+let stage_link = Graph.link
+
+(* Capacity of a cell right now: while the stage has not yet ORed its
+   egress tag in, egress_k bits stay reserved so spawning a child later
+   cannot overfill. *)
+let cap cell ~has_egress =
+  if has_egress then cell.c_thr
+  else cell.c_thr - Partition.egress_k ~m:cell.c_m cell.c_k
+
+(* Popcount the cell would have after ORing [tag] in. *)
+let pop_after cell tag =
+  cell.c_pop + Bitvec.popcount tag - Bitvec.popcount (Bitvec.logand tag cell.c_vec)
+
+let plan ?(fill_limit = 0.7) ?(id = 0) adaptive ~rng ~root ~subscribers =
+  if subscribers = [] then Error "no subscribers to partition over"
+  else begin
+    let widths = Adaptive.widths adaptive in
+    let assign_of_m =
+      List.map (fun m -> (m, Adaptive.assignment adaptive ~m)) widths
+    in
+    let graph = Assignment.graph (List.assoc (List.hd widths) assign_of_m) in
+    let tree = Spt.delivery_tree graph ~root ~subscribers in
+    (* BFS order: parents' links strictly before their children's. *)
+    let dist = Spt.distances graph ~root in
+    let tree =
+      List.stable_sort
+        (fun (a : Graph.link) (b : Graph.link) -> compare dist.(a.src) dist.(b.src))
+        tree
+    in
+    let fresh_cells () =
+      Array.of_list
+        (List.concat_map
+           (fun (m, asg) ->
+             let p = Assignment.params asg in
+             List.init p.Lit.d (fun t ->
+                 {
+                   c_m = m;
+                   c_table = t;
+                   c_k = p.Lit.k_for_table.(t);
+                   c_thr = Zfilter.fill_threshold ~m ~limit:fill_limit;
+                   c_vec = Bitvec.create m;
+                   c_pop = 0;
+                   c_alive = true;
+                 }))
+           assign_of_m)
+    in
+    let stages = ref [] (* reversed *) and n_stages = ref 0 in
+    let new_stage ~root:r =
+      let s =
+        {
+          bs_index = !n_stages;
+          bs_root = r;
+          bs_nonce = Rng.int64 rng;
+          bs_links = [];
+          bs_subs = [];
+          bs_handoffs = [];
+          bs_has_egress = false;
+          bs_cells = fresh_cells ();
+          bs_m = 0;
+          bs_table = 0;
+          bs_vec = Bitvec.create 1;
+        }
+      in
+      incr n_stages;
+      stages := s :: !stages;
+      s
+    in
+    let root_stage = new_stage ~root in
+    (* (parent index, handoff node) -> child stage, for chain reuse. *)
+    let children : (int * int, build_stage) Hashtbl.t = Hashtbl.create 64 in
+    (* Tag of [link] at a cell's width and table. *)
+    let tag_at cell (link : Graph.link) =
+      Assignment.tag (List.assoc cell.c_m assign_of_m) link ~table:cell.c_table
+    in
+    let egress_tag_at ~m ~table nonce =
+      let p = Assignment.params (List.assoc m assign_of_m) in
+      Lit.tag (Partition.egress_lit p ~nonce) table
+    in
+    (* All-or-nothing admission: commit only if >= 1 cell survives the
+       insert; surviving cells absorb the tag, the rest die. *)
+    let admit s (link : Graph.link) =
+      let fits =
+        Array.exists
+          (fun c ->
+            c.c_alive && pop_after c (tag_at c link) <= cap c ~has_egress:s.bs_has_egress)
+          s.bs_cells
+      in
+      if fits then begin
+        Array.iter
+          (fun c ->
+            if c.c_alive then begin
+              let tag = tag_at c link in
+              let pop = pop_after c tag in
+              if pop <= cap c ~has_egress:s.bs_has_egress then begin
+                Bitvec.logor_into ~dst:c.c_vec tag;
+                c.c_pop <- pop
+              end
+              else c.c_alive <- false
+            end)
+          s.bs_cells;
+        s.bs_links <- link :: s.bs_links
+      end;
+      fits
+    in
+    (* Spawning the first child ORs the parent's egress tag into every
+       live cell; the reserve guarantees no cell dies here. *)
+    let mark_egress s =
+      if not s.bs_has_egress then begin
+        Array.iter
+          (fun c ->
+            if c.c_alive then begin
+              let tag = egress_tag_at ~m:c.c_m ~table:c.c_table s.bs_nonce in
+              c.c_pop <- pop_after c tag;
+              Bitvec.logor_into ~dst:c.c_vec tag
+            end)
+          s.bs_cells;
+        s.bs_has_egress <- true
+      end
+    in
+    let stage_of = Array.make (Graph.node_count graph) (-1) in
+    stage_of.(root) <- root_stage.bs_index;
+    let by_index = Hashtbl.create 64 in
+    Hashtbl.add by_index root_stage.bs_index root_stage;
+    (* Place link u->v into the stage chain at u, descending through
+       same-root children until one admits it. *)
+    let exception Single_link_overflow in
+    let rec place s (link : Graph.link) =
+      if admit s link then stage_of.(link.Graph.dst) <- s.bs_index
+      else
+        match Hashtbl.find_opt children (s.bs_index, link.Graph.src) with
+        | Some child -> place child link
+        | None ->
+          mark_egress s;
+          let child = new_stage ~root:link.Graph.src in
+          Hashtbl.add by_index child.bs_index child;
+          Hashtbl.add children (s.bs_index, link.Graph.src) child;
+          s.bs_handoffs <- (link.Graph.src, child.bs_index) :: s.bs_handoffs;
+          if not (admit child link) then raise Single_link_overflow
+          else stage_of.(link.Graph.dst) <- child.bs_index
+    in
+    match
+      List.iter
+        (fun (link : Graph.link) ->
+          let s = Hashtbl.find by_index stage_of.(link.Graph.src) in
+          place s link)
+        tree
+    with
+    | exception Single_link_overflow ->
+      Error "a single link tag exceeds every stage budget"
+    | () ->
+      (* Assign every subscriber to the stage that reaches it. *)
+      List.iter
+        (fun w ->
+          if w <> root then begin
+            let s = Hashtbl.find by_index stage_of.(w) in
+            if not (List.mem w s.bs_subs) then s.bs_subs <- w :: s.bs_subs
+          end
+          else if not (List.mem w root_stage.bs_subs) then
+            root_stage.bs_subs <- w :: root_stage.bs_subs)
+        subscribers;
+      let all = Array.of_list (List.rev !stages) in
+      (* Close: narrowest surviving width, then emptiest filter, then
+         lowest table. *)
+      Array.iter
+        (fun s ->
+          let best = ref None in
+          Array.iter
+            (fun c ->
+              if c.c_alive then
+                match !best with
+                | None -> best := Some c
+                | Some b ->
+                  if
+                    c.c_m < b.c_m
+                    || (c.c_m = b.c_m
+                        && (c.c_pop < b.c_pop
+                            || (c.c_pop = b.c_pop && c.c_table < b.c_table)))
+                  then best := Some c)
+            s.bs_cells;
+          match !best with
+          | None -> assert false (* admission keeps >= 1 cell alive *)
+          | Some c ->
+            s.bs_m <- c.c_m;
+            s.bs_table <- c.c_table;
+            s.bs_vec <- Bitvec.copy c.c_vec)
+        all;
+      (* Node -> stages whose tree touches it, for conflict scanning. *)
+      let touching = Hashtbl.create 256 in
+      let touch node idx =
+        let cur = Option.value ~default:[] (Hashtbl.find_opt touching node) in
+        if not (List.mem idx cur) then Hashtbl.replace touching node (idx :: cur)
+      in
+      Array.iter
+        (fun s ->
+          touch s.bs_root s.bs_index;
+          List.iter
+            (fun (l : Graph.link) ->
+              touch l.Graph.src s.bs_index;
+              touch l.Graph.dst s.bs_index)
+            s.bs_links)
+        all;
+      (* Conflict: stage s traverses node u where stage p (<> s) has a
+         stitch entry, the widths coincide, and s's filter falsely
+         contains p's egress tag at s's table — the packet would enter
+         p's child a second time.  Re-draw p's nonce until clean. *)
+      let find_conflict () =
+        let found = ref None in
+        Array.iter
+          (fun p ->
+            if !found = None && p.bs_handoffs <> [] then
+              List.iter
+                (fun (u, _child) ->
+                  if !found = None then
+                    List.iter
+                      (fun si ->
+                        if !found = None && si <> p.bs_index then begin
+                          let s = all.(si) in
+                          if s.bs_m = p.bs_m then
+                            let tag =
+                              egress_tag_at ~m:s.bs_m ~table:s.bs_table p.bs_nonce
+                            in
+                            if Bitvec.subset tag ~of_:s.bs_vec then
+                              found := Some p
+                        end)
+                      (Option.value ~default:[] (Hashtbl.find_opt touching u)))
+                p.bs_handoffs)
+          all;
+        !found
+      in
+      let rebuild p =
+        (* Filters are pure functions of (links, egress nonce, m, table),
+           so a nonce re-draw just re-ORs from scratch. *)
+        let asg = List.assoc p.bs_m assign_of_m in
+        let vec = Bitvec.create p.bs_m in
+        List.iter
+          (fun l -> Bitvec.logor_into ~dst:vec (Assignment.tag asg l ~table:p.bs_table))
+          p.bs_links;
+        if p.bs_has_egress then
+          Bitvec.logor_into ~dst:vec
+            (egress_tag_at ~m:p.bs_m ~table:p.bs_table p.bs_nonce);
+        vec
+      in
+      let thr_of p = Zfilter.fill_threshold ~m:p.bs_m ~limit:fill_limit in
+      let redraws = ref 0 in
+      let rec resolve budget =
+        if budget <= 0 then Error "could not resolve stitch tag conflicts"
+        else
+          match find_conflict () with
+          | None -> Ok ()
+          | Some p ->
+            let rec redraw tries =
+              if tries <= 0 then false
+              else begin
+                p.bs_nonce <- Rng.int64 rng;
+                incr redraws;
+                let vec = rebuild p in
+                if Bitvec.popcount vec <= thr_of p then begin
+                  p.bs_vec <- vec;
+                  true
+                end
+                else redraw (tries - 1)
+              end
+            in
+            if redraw 64 then resolve (budget - 1)
+            else Error "could not resolve stitch tag conflicts"
+      in
+      (match resolve (64 + (4 * Array.length all)) with
+      | Error _ as e -> e
+      | Ok () ->
+        let stages =
+          Array.map
+            (fun s ->
+              {
+                Partition.index = s.bs_index;
+                m = s.bs_m;
+                table = s.bs_table;
+                root = s.bs_root;
+                nonce = s.bs_nonce;
+                filter = Zfilter.of_bitvec s.bs_vec;
+                links =
+                  List.rev_map (fun (l : Graph.link) -> l.Graph.index) s.bs_links;
+                subscribers = List.rev s.bs_subs;
+                handoffs =
+                  List.rev_map
+                    (fun (at, next) -> { Partition.at; next })
+                    s.bs_handoffs;
+              })
+            all
+        in
+        let part = { Partition.id; root; stages } in
+        (match Partition.validate part with
+        | Error e -> Error (Printf.sprintf "internal: invalid partition: %s" e)
+        | Ok () ->
+          let widths_used =
+            List.filter_map
+              (fun m ->
+                let n =
+                  Array.fold_left
+                    (fun acc (s : Partition.stage) ->
+                      if s.Partition.m = m then acc + 1 else acc)
+                    0 stages
+                in
+                if n > 0 then Some (m, n) else None)
+              widths
+          in
+          Ok (part, { stages = Array.length stages; redraws = !redraws; widths_used })))
+  end

@@ -51,6 +51,11 @@ let m_services =
     ~labels:[ ("engine", "bitsliced") ]
     "lipsin_service_matches_total"
 
+let m_stitches =
+  Obs.Counter.make ~help:"Partition stitch entries matched"
+    ~labels:[ ("engine", "bitsliced") ]
+    "lipsin_stitch_matches_total"
+
 let h_admitted =
   Obs.Histogram.make ~help:"Out-links admitted per forwarding decision"
     ~labels:[ ("engine", "bitsliced") ]
@@ -66,6 +71,7 @@ type meters = {
   mveto : int array;
   mlocal : int array;
   msvc : int array;
+  mstitch : int array;
   hadm : Obs.Histogram.cells;
 }
 
@@ -80,6 +86,7 @@ let make_meters () =
     mveto = Obs.Counter.local m_block_vetoes;
     mlocal = Obs.Counter.local m_local;
     msvc = Obs.Counter.local m_services;
+    mstitch = Obs.Counter.local m_stitches;
     hadm = Obs.Histogram.local h_admitted;
   }
 
@@ -91,6 +98,8 @@ type decision = {
   mutable deliver_local : bool;
   mutable services : int array;
   mutable n_services : int;
+  mutable stitches : int array;
+  mutable n_stitch : int;
   mutable loop_suspected : bool;
   mutable drop : int;
   mutable tests : int;
@@ -101,7 +110,14 @@ let drop_fill = 1
 let drop_loop = 2
 let drop_bad_table = 3
 
-let auto_threshold = 64
+(* Engine crossover: the BENCH_PR5 sweep put the scalar fast path ahead
+   at 8 ports (0.78x) and the bit-sliced engine ahead from 64 ports up
+   (2.6x), with the crossover between 12 and 16 ports.  [`Auto] picks
+   the bit-sliced engine from [auto_threshold] ports; the byte-plane
+   (8-bit sweep) layout only pays for itself once the sweep dominates,
+   from [byte_plane_threshold] ports — one full column block. *)
+let auto_threshold = 16
+let byte_plane_threshold = 64
 
 (* ------------------------------------------------------------------ *)
 (* Transposed table layout.
@@ -130,8 +146,8 @@ let auto_threshold = 64
    blob remains the audited layout contract and the transpose source.
 
    [bits] is 4 (nibble planes) for low-degree nodes and 8 (byte planes,
-   16x the memory, half the sweep steps) from [auto_threshold] ports
-   up, where the sweep dominates the decision. *)
+   16x the memory, half the sweep steps) from [byte_plane_threshold]
+   ports up, where the sweep dominates the decision. *)
 
 type slice = {
   sl_n : int;  (* entries (ports / virtuals / services) *)
@@ -248,11 +264,15 @@ type t = {
   local : Bytes.t array;
   svc : Bytes.t array;
   svc_names : string array;
+  stitch : Bytes.t array;
+  stitch_partition : int array;
+  stitch_next : int array;
   (* Transposed slices, per table. *)
   sl_phys : slice array;
   sl_in : slice array;
   sl_virt : slice array;
   sl_svc : slice array;
+  sl_stitch : slice array;
   loop_prevention : bool;
   loop_cache : (string, int * int) Hashtbl.t;
   loop_queue : string Queue.t;
@@ -280,24 +300,36 @@ type t = {
   obs : meters;
 }
 
-(* FNV-1a, as in Fastpath: the integrity fingerprint Analysis.Audit
-   compares against to catch post-compile corruption — here covering
-   the row blobs, the canonical column blobs and every derived array. *)
+(* Integrity fingerprint Analysis.Audit compares against to catch
+   post-compile corruption — covering the row blobs, the canonical
+   column blobs and every derived array.  Unlike Fastpath's byte-wise
+   FNV-1a, this engine hashes a word at a time (multiply-xorshift over
+   63-bit lanes): the transposed tables are ~50x larger than the row
+   blobs they mirror, and the byte loop dominated compile time at
+   whole-graph delivery scale.  The digest is compared only against
+   its own recomputation, so the function choice is free. *)
 let fnv_offset = 0xcbf29ce484222
-let fnv_prime = 0x100000001b3
-let fnv_byte h b = (h lxor b) * fnv_prime
-
-let fnv_bytes h blob =
-  let h = ref h in
-  for i = 0 to Bytes.length blob - 1 do
-    h := fnv_byte !h (Char.code (Bytes.get blob i))
-  done;
-  !h
+let mix_prime = 0x2545F4914F6CDD1D
 
 let fnv_int h i =
-  let h = ref h in
-  for shift = 0 to 7 do
-    h := fnv_byte !h ((i lsr (8 * shift)) land 0xff)
+  let x = (h lxor i) * mix_prime in
+  x lxor (x lsr 32)
+
+let fnv_bytes h blob =
+  let n = Bytes.length blob in
+  let h = ref (fnv_int h n) in
+  let i = ref 0 in
+  while !i + 8 <= n do
+    let w = Bytes.get_int64_le blob !i in
+    (* Int64.to_int keeps the low 63 bits; fold the top bit in
+       separately so no flip is invisible. *)
+    h := fnv_int !h (Int64.to_int w);
+    h := fnv_int !h (Int64.to_int (Int64.shift_right_logical w 62));
+    i := !i + 8
+  done;
+  while !i < n do
+    h := fnv_int !h (Char.code (Bytes.get blob !i));
+    incr i
   done;
   !h
 
@@ -321,6 +353,9 @@ let digest t =
   blobs t.virt;
   blobs t.local;
   blobs t.svc;
+  blobs t.stitch;
+  h := fnv_ints !h t.stitch_partition;
+  h := fnv_ints !h t.stitch_next;
   let slices sls =
     Array.iter
       (fun sl ->
@@ -336,6 +371,7 @@ let digest t =
   slices t.sl_in;
   slices t.sl_virt;
   slices t.sl_svc;
+  slices t.sl_stitch;
   !h land max_int
 
 let compile engine =
@@ -444,15 +480,24 @@ let compile engine =
         Array.iteri (fun s (tags, _) -> write blob s tags.(tbl)) services;
         blob)
   in
-  let plane_bits = if n_ports >= auto_threshold then 8 else 4 in
+  let stitches = Array.of_list st.Node_engine.state_stitches in
+  let n_stitch = Array.length stitches in
+  let stitch =
+    Array.init d (fun tbl ->
+        let blob = entry_blob n_stitch in
+        Array.iteri (fun s (tags, _, _) -> write blob s tags.(tbl)) stitches;
+        blob)
+  in
+  let plane_bits = if n_ports >= byte_plane_threshold then 8 else 4 in
   let npos = stride * 8 / plane_bits in
   let slice_of blobs n = Array.map (build_slice ~stride ~bits:plane_bits ~n) blobs in
   let sl_phys = slice_of phys n_ports in
   let sl_in = slice_of in_tags n_ports in
   let sl_virt = slice_of virt n_virt in
   let sl_svc = slice_of svc n_services in
+  let sl_stitch = slice_of stitch n_stitch in
   let sub_ports = (n_ports + 31) lsr 5 in
-  let sub_aux = (max n_virt n_services + 31) lsr 5 in
+  let sub_aux = (max n_virt (max n_services n_stitch) + 31) lsr 5 in
   let batch_cap = 32 in
   let t =
     {
@@ -484,10 +529,14 @@ let compile engine =
       local;
       svc;
       svc_names = Array.map snd services;
+      stitch;
+      stitch_partition = Array.map (fun (_, pid, _) -> pid) stitches;
+      stitch_next = Array.map (fun (_, _, next) -> next) stitches;
       sl_phys;
       sl_in;
       sl_virt;
       sl_svc;
+      sl_stitch;
       loop_prevention = st.Node_engine.state_loop_prevention;
       loop_cache = Hashtbl.create 64;
       loop_queue = Queue.create ();
@@ -508,6 +557,8 @@ let compile engine =
           deliver_local = false;
           services = Array.make (max 1 n_services) 0;
           n_services = 0;
+          stitches = Array.make (max 1 n_stitch) 0;
+          n_stitch = 0;
           loop_suspected = false;
           drop = no_drop;
           tests = 0;
@@ -746,10 +797,25 @@ let finish t ~obs ~table ~in_link_index ~zf ~zoff ~vals ~voff ~pdead ~pdoff
         done
       done
     end;
+    let slx = t.sl_stitch.(table) in
+    if slx.sl_n > 0 then begin
+      Array.fill t.dead_aux 0 slx.sl_sub 0;
+      sweep ~bits slx vals ~voff t.dead_aux ~doff:0;
+      for s = 0 to slx.sl_sub - 1 do
+        let a = ref (slx.sl_valid.(s) land lnot t.dead_aux.(s)) in
+        while !a <> 0 do
+          let sx = (s lsl 5) + ctz32 !a in
+          a := !a land (!a - 1);
+          d.stitches.(d.n_stitch) <- sx;
+          d.n_stitch <- d.n_stitch + 1
+        done
+      done
+    end;
     if obs then begin
       Obs.Histogram.record_int t.obs.hadm d.n_forward;
       if d.deliver_local then bump t.obs.mlocal;
-      t.obs.msvc.(0) <- t.obs.msvc.(0) + d.n_services
+      t.obs.msvc.(0) <- t.obs.msvc.(0) + d.n_services;
+      t.obs.mstitch.(0) <- t.obs.mstitch.(0) + d.n_stitch
     end;
     d
   end
@@ -758,6 +824,7 @@ let reset_decision d =
   d.n_forward <- 0;
   d.deliver_local <- false;
   d.n_services <- 0;
+  d.n_stitch <- 0;
   d.loop_suspected <- false;
   d.drop <- no_drop;
   d.tests <- 0
@@ -863,11 +930,17 @@ let drop_reason d =
 let forward_links t d = List.init d.n_forward (fun i -> t.out_links.(d.forward.(i)))
 let service_names t d = List.init d.n_services (fun i -> t.svc_names.(d.services.(i)))
 
+let stitch_targets t d =
+  List.init d.n_stitch (fun i ->
+      let s = d.stitches.(i) in
+      (t.stitch_partition.(s), t.stitch_next.(s)))
+
 let verdict t d =
   {
     Node_engine.forward_on = forward_links t d;
     deliver_local = d.deliver_local;
     services_matched = service_names t d;
+    stitches_matched = stitch_targets t d;
     loop_suspected = d.loop_suspected;
     drop = drop_reason d;
     false_positive_tests = d.tests;
@@ -907,8 +980,12 @@ type view = {
   view_local : Bytes.t array;
   view_svc : Bytes.t array;
   view_svc_names : string array;
+  view_stitch : Bytes.t array;
+  view_stitch_partition : int array;
+  view_stitch_next : int array;
   view_forward_cap : int;
   view_services_cap : int;
+  view_stitch_cap : int;
   view_seen_cap : int;
   view_slices : slice_view array array;
   view_digest : int;
@@ -950,8 +1027,12 @@ let view t =
     view_local = t.local;
     view_svc = t.svc;
     view_svc_names = t.svc_names;
+    view_stitch = t.stitch;
+    view_stitch_partition = t.stitch_partition;
+    view_stitch_next = t.stitch_next;
     view_forward_cap = Array.length t.decision.forward;
     view_services_cap = Array.length t.decision.services;
+    view_stitch_cap = Array.length t.decision.stitches;
     view_seen_cap = Array.length t.seen;
     view_slices =
       Array.init t.d (fun tbl ->
@@ -960,6 +1041,7 @@ let view t =
             slice_view "in" t.sl_in.(tbl);
             slice_view "virt" t.sl_virt.(tbl);
             slice_view "svc" t.sl_svc.(tbl);
+            slice_view "stitch" t.sl_stitch.(tbl);
           |]);
     view_digest = t.blob_digest;
   }
@@ -972,7 +1054,8 @@ let table_bytes t =
       + t.stride
         * ((2 * t.n_ports)
           + t.block_off.(tbl).(t.n_ports)
-          + t.n_virt + 1 + Array.length t.svc_names)
+          + t.n_virt + 1 + Array.length t.svc_names
+          + Array.length t.stitch_next)
   done;
   let cols = ref 0 in
   let add sls =
@@ -987,4 +1070,5 @@ let table_bytes t =
   add t.sl_in;
   add t.sl_virt;
   add t.sl_svc;
+  add t.sl_stitch;
   !row + !cols

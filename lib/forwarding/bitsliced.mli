@@ -17,9 +17,9 @@
     precomputed OR per group value — an algebraically identical
     reformulation of the per-bit sweep), held in native [int] arrays of
     32-link sub-blocks so that the sweep runs unboxed without flambda.
-    Nodes with at least {!auto_threshold} ports get byte-granularity
-    planes (half the sweep steps, 16x the table memory); smaller nodes
-    get nibble planes.
+    Nodes with at least {!byte_plane_threshold} ports get
+    byte-granularity planes (half the sweep steps, 16x the table
+    memory); smaller nodes get nibble planes.
 
     Kill bits, negative/blocking Link IDs, the node-local LIT, service
     endpoints, fill-limit and loop-cache semantics match the scalar
@@ -40,6 +40,10 @@ type decision = {
   mutable services : int array;
       (** Matched service indexes, valid in \[0, [n_services]). *)
   mutable n_services : int;
+  mutable stitches : int array;
+      (** Matched stitch-entry indexes, valid in \[0, [n_stitch]);
+          resolve payloads with {!stitch_targets}. *)
+  mutable n_stitch : int;
   mutable loop_suspected : bool;
   mutable drop : int;  (** One of the [drop_*] codes below. *)
   mutable tests : int;
@@ -53,9 +57,17 @@ val drop_loop : int
 val drop_bad_table : int
 
 val auto_threshold : int
-(** Port count from which the bit-sliced engine is expected to beat the
-    scalar fast path (and [Run]'s [`Auto] engine picks it): 64, one
-    full column block.  Also the byte-plane granularity cutoff. *)
+(** Port count from which the bit-sliced engine beats the scalar fast
+    path, so [Run]'s [`Auto] engine picks it: 16.  Tuned from the
+    BENCH_PR5 engine sweep (scalar ahead at 8 ports, bit-sliced ahead
+    from 64 up, crossover between 12 and 16) and pinned by a
+    bench-derived unit test. *)
+
+val byte_plane_threshold : int
+(** Port count from which compile chooses byte-granularity sweep planes
+    instead of nibble planes: 64, one full column block.  Distinct from
+    {!auto_threshold} — engine choice and plane granularity cross over
+    at different sizes. *)
 
 val compile : Node_engine.t -> t
 (** Flattens the engine's current state into row blobs (the same
@@ -106,6 +118,10 @@ val drop_reason : decision -> Node_engine.drop_reason option
 val forward_links : t -> decision -> Lipsin_topology.Graph.link list
 val service_names : t -> decision -> string list
 
+val stitch_targets : t -> decision -> (int * int) list
+(** Matched stitch entries as [(partition id, next stage)] pairs, in
+    match order — the partitioned-zFilter handoff payloads. *)
+
 val verdict : t -> decision -> Node_engine.verdict
 (** Re-materialises a reference-engine verdict (allocates); the bridge
     the differential tests compare across. *)
@@ -122,8 +138,9 @@ val table_bytes : t -> int
     read-only unless deliberately injecting corruption in a test. *)
 
 type slice_view = {
-  sv_entry : string;  (** ["phys"], ["in"], ["virt"] or ["svc"]. *)
-  sv_n : int;  (** Entries (ports, virtuals or services). *)
+  sv_entry : string;
+      (** ["phys"], ["in"], ["virt"], ["svc"] or ["stitch"]. *)
+  sv_n : int;  (** Entries (ports, virtuals, services or stitches). *)
   sv_blocks : int;  (** 64-entry column blocks, [ceil (n/64)]. *)
   sv_sub : int;  (** 32-entry plane sub-blocks, [ceil (n/32)]. *)
   sv_cols : Bytes.t;
@@ -163,18 +180,22 @@ type view = {
   view_local : Bytes.t array;
   view_svc : Bytes.t array;
   view_svc_names : string array;
+  view_stitch : Bytes.t array;
+  view_stitch_partition : int array;
+  view_stitch_next : int array;
   view_forward_cap : int;
   view_services_cap : int;
+  view_stitch_cap : int;
   view_seen_cap : int;
   view_slices : slice_view array array;
-      (** Per table: the phys, in, virt and svc slices, in that
-          order. *)
+      (** Per table: the phys, in, virt, svc and stitch slices, in
+          that order. *)
   view_digest : int;  (** Integrity digest recorded at {!compile}. *)
 }
 
 val view : t -> view
 
 val digest : t -> int
-(** Recomputes the FNV-1a integrity digest over geometry, row blobs,
-    column blobs and derived arrays.  Equal to [(view t).view_digest]
-    iff nothing changed since {!compile}. *)
+(** Recomputes the integrity digest (word-wise multiply-xorshift) over
+    geometry, row blobs, column blobs and derived arrays.  Equal to
+    [(view t).view_digest] iff nothing changed since {!compile}. *)

@@ -53,6 +53,11 @@ let m_services =
     ~labels:[ ("engine", "fast") ]
     "lipsin_service_matches_total"
 
+let m_stitches =
+  Obs.Counter.make ~help:"Partition stitch entries matched"
+    ~labels:[ ("engine", "fast") ]
+    "lipsin_stitch_matches_total"
+
 let h_admitted =
   Obs.Histogram.make ~help:"Out-links admitted per forwarding decision"
     ~labels:[ ("engine", "fast") ]
@@ -71,6 +76,7 @@ type meters = {
   mveto : int array;
   mlocal : int array;
   msvc : int array;
+  mstitch : int array;
   hadm : Obs.Histogram.cells;
 }
 
@@ -85,6 +91,7 @@ let make_meters () =
     mveto = Obs.Counter.local m_block_vetoes;
     mlocal = Obs.Counter.local m_local;
     msvc = Obs.Counter.local m_services;
+    mstitch = Obs.Counter.local m_stitches;
     hadm = Obs.Histogram.local h_admitted;
   }
 
@@ -96,6 +103,8 @@ type decision = {
   mutable deliver_local : bool;
   mutable services : int array;
   mutable n_services : int;
+  mutable stitches : int array;
+  mutable n_stitch : int;
   mutable loop_suspected : bool;
   mutable drop : int;
   mutable tests : int;
@@ -131,6 +140,9 @@ type t = {
   local : Bytes.t array;  (* per table: the node-local (slow path) LIT *)
   svc : Bytes.t array;  (* per table: one entry per service *)
   svc_names : string array;
+  stitch : Bytes.t array;  (* per table: one entry per stitch point *)
+  stitch_partition : int array;  (* payloads parallel to stitch entries *)
+  stitch_next : int array;
   loop_prevention : bool;
   loop_cache : (string, int * int) Hashtbl.t;
   loop_queue : string Queue.t;
@@ -178,6 +190,9 @@ let digest t =
   blobs t.virt;
   blobs t.local;
   blobs t.svc;
+  blobs t.stitch;
+  Array.iter (fun p -> h := fnv_int !h p) t.stitch_partition;
+  Array.iter (fun p -> h := fnv_int !h p) t.stitch_next;
   !h land max_int
 
 let compile engine =
@@ -287,6 +302,14 @@ let compile engine =
         Array.iteri (fun s (tags, _) -> write blob s tags.(tbl)) services;
         blob)
   in
+  let stitches = Array.of_list st.Node_engine.state_stitches in
+  let n_stitch = Array.length stitches in
+  let stitch =
+    Array.init d (fun tbl ->
+        let blob = entry_blob n_stitch in
+        Array.iteri (fun s (tags, _, _) -> write blob s tags.(tbl)) stitches;
+        blob)
+  in
   let t =
   {
     node = st.Node_engine.state_node;
@@ -315,6 +338,9 @@ let compile engine =
     local;
     svc;
     svc_names = Array.map snd services;
+    stitch;
+    stitch_partition = Array.map (fun (_, pid, _) -> pid) stitches;
+    stitch_next = Array.map (fun (_, _, next) -> next) stitches;
     loop_prevention = st.Node_engine.state_loop_prevention;
     loop_cache = Hashtbl.create 64;
     loop_queue = Queue.create ();
@@ -331,6 +357,8 @@ let compile engine =
         deliver_local = false;
         services = Array.make (max 1 n_services) 0;
         n_services = 0;
+        stitches = Array.make (max 1 n_stitch) 0;
+        n_stitch = 0;
         loop_suspected = false;
         drop = no_drop;
         tests = 0;
@@ -390,6 +418,7 @@ let decide t ~table ~zfilter ~in_link_index =
   d.n_forward <- 0;
   d.deliver_local <- false;
   d.n_services <- 0;
+  d.n_stitch <- 0;
   d.loop_suspected <- false;
   d.drop <- no_drop;
   d.tests <- 0;
@@ -480,10 +509,18 @@ let decide t ~table ~zfilter ~in_link_index =
           d.n_services <- d.n_services + 1
         end
       done;
+      let xtab = t.stitch.(table) in
+      for s = 0 to Array.length t.stitch_next - 1 do
+        if subset_entry xtab ~off:(s * stride) zf ~words then begin
+          d.stitches.(d.n_stitch) <- s;
+          d.n_stitch <- d.n_stitch + 1
+        end
+      done;
       if obs then begin
         Obs.Histogram.record_int t.obs.hadm d.n_forward;
         if d.deliver_local then bump t.obs.mlocal;
-        t.obs.msvc.(0) <- t.obs.msvc.(0) + d.n_services
+        t.obs.msvc.(0) <- t.obs.msvc.(0) + d.n_services;
+        t.obs.mstitch.(0) <- t.obs.mstitch.(0) + d.n_stitch
       end;
       d
     end
@@ -503,11 +540,17 @@ let drop_reason d =
 let forward_links t d = List.init d.n_forward (fun i -> t.out_links.(d.forward.(i)))
 let service_names t d = List.init d.n_services (fun i -> t.svc_names.(d.services.(i)))
 
+let stitch_targets t d =
+  List.init d.n_stitch (fun i ->
+      let s = d.stitches.(i) in
+      (t.stitch_partition.(s), t.stitch_next.(s)))
+
 let verdict t d =
   {
     Node_engine.forward_on = forward_links t d;
     deliver_local = d.deliver_local;
     services_matched = service_names t d;
+    stitches_matched = stitch_targets t d;
     loop_suspected = d.loop_suspected;
     drop = drop_reason d;
     false_positive_tests = d.tests;
@@ -534,8 +577,12 @@ type view = {
   view_local : Bytes.t array;
   view_svc : Bytes.t array;
   view_svc_names : string array;
+  view_stitch : Bytes.t array;
+  view_stitch_partition : int array;
+  view_stitch_next : int array;
   view_forward_cap : int;
   view_services_cap : int;
+  view_stitch_cap : int;
   view_seen_cap : int;
   view_digest : int;
 }
@@ -562,8 +609,12 @@ let view t =
     view_local = t.local;
     view_svc = t.svc;
     view_svc_names = t.svc_names;
+    view_stitch = t.stitch;
+    view_stitch_partition = t.stitch_partition;
+    view_stitch_next = t.stitch_next;
     view_forward_cap = Array.length t.decision.forward;
     view_services_cap = Array.length t.decision.services;
+    view_stitch_cap = Array.length t.decision.stitches;
     view_seen_cap = Array.length t.seen;
     view_digest = t.blob_digest;
   }
@@ -576,6 +627,7 @@ let table_bytes t =
       + t.stride
         * ((2 * t.n_ports) (* phys + in_tags *)
           + t.block_off.(tbl).(t.n_ports)
-          + t.n_virt + 1 (* local *) + Array.length t.svc_names)
+          + t.n_virt + 1 (* local *) + Array.length t.svc_names
+          + Array.length t.stitch_next)
   done;
   !total

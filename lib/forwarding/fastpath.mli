@@ -37,6 +37,10 @@ type decision = {
   mutable services : int array;
       (** Matched service indexes, valid in \[0, [n_services]). *)
   mutable n_services : int;
+  mutable stitches : int array;
+      (** Matched stitch-entry indexes, valid in \[0, [n_stitch]);
+          resolve payloads with {!stitch_targets}. *)
+  mutable n_stitch : int;
   mutable loop_suspected : bool;
   mutable drop : int;  (** One of the [drop_*] codes below. *)
   mutable tests : int;
@@ -88,13 +92,17 @@ val drop_reason : decision -> Node_engine.drop_reason option
 val forward_links : t -> decision -> Lipsin_topology.Graph.link list
 val service_names : t -> decision -> string list
 
+val stitch_targets : t -> decision -> (int * int) list
+(** Matched stitch entries as [(partition id, next stage)] pairs, in
+    match order — the partitioned-zFilter handoff payloads. *)
+
 val verdict : t -> decision -> Node_engine.verdict
 (** Re-materialises a reference-engine verdict (allocates); the bridge
     the differential tests compare across. *)
 
 val table_bytes : t -> int
 (** Total compiled table footprint in bytes (all d tables: physical,
-    incoming, block, virtual, local and service rows). *)
+    incoming, block, virtual, local, service and stitch rows). *)
 
 (** {1 Introspection}
 
@@ -126,8 +134,12 @@ type view = {
   view_local : Bytes.t array;  (** Per table: the node-local LIT. *)
   view_svc : Bytes.t array;  (** Per table: one entry per service. *)
   view_svc_names : string array;
+  view_stitch : Bytes.t array;  (** Per table: one entry per stitch point. *)
+  view_stitch_partition : int array;  (** Stitch payloads: partition ids. *)
+  view_stitch_next : int array;  (** Stitch payloads: next stage indexes. *)
   view_forward_cap : int;  (** Decision buffer capacity for ports. *)
   view_services_cap : int;  (** Decision buffer capacity for services. *)
+  view_stitch_cap : int;  (** Decision buffer capacity for stitches. *)
   view_seen_cap : int;  (** Dedup stamp array capacity. *)
   view_digest : int;  (** Integrity digest recorded at {!compile}. *)
 }

@@ -54,6 +54,11 @@ let m_services =
     ~labels:[ ("engine", "reference") ]
     "lipsin_service_matches_total"
 
+let m_stitches =
+  Obs.Counter.make ~help:"Partition stitch entries matched"
+    ~labels:[ ("engine", "reference") ]
+    "lipsin_stitch_matches_total"
+
 let h_admitted =
   Obs.Histogram.make ~help:"Out-links admitted per forwarding decision"
     ~labels:[ ("engine", "reference") ]
@@ -65,6 +70,7 @@ type verdict = {
   forward_on : Graph.link list;
   deliver_local : bool;
   services_matched : string list;
+  stitches_matched : (int * int) list;
   loop_suspected : bool;
   drop : drop_reason option;
   false_positive_tests : int;
@@ -89,6 +95,16 @@ type virtual_entry = {
 
 type service = { s_nonce : int64; s_tags : Bitvec.t array; s_name : string }
 
+(* Stitch entries for partitioned zFilters: when a packet's filter
+   covers the parent stage's egress LIT, delivery restarts here with
+   stage [st_next] of partition [st_partition]. *)
+type stitch = {
+  st_nonce : int64;
+  st_tags : Bitvec.t array;
+  st_partition : int;
+  st_next : int;
+}
+
 type t = {
   node : Graph.node;
   params : Lit.params;
@@ -97,6 +113,7 @@ type t = {
   ports : port array;
   mutable virtuals : virtual_entry list;
   mutable services : service list;
+  mutable stitches : stitch list;
   local : Lit.t;
   loop_prevention : bool;
   (* zFilter bytes -> (arrival link index, insertion tick).  The paper
@@ -140,6 +157,7 @@ let create ?(fill_limit = 0.7) ?(loop_cache_capacity = 1024)
     ports;
     virtuals = [];
     services = [];
+    stitches = [];
     local;
     loop_prevention;
     loop_cache = Hashtbl.create 64;
@@ -186,6 +204,20 @@ let install_service t lit ~name =
 let remove_service t lit =
   let nonce = Lit.nonce lit in
   t.services <- List.filter (fun s -> not (Int64.equal s.s_nonce nonce)) t.services
+
+let install_stitch t lit ~partition ~next =
+  t.stitches <-
+    {
+      st_nonce = Lit.nonce lit;
+      st_tags = Lit.tags lit;
+      st_partition = partition;
+      st_next = next;
+    }
+    :: t.stitches
+
+let remove_stitch t lit =
+  let nonce = Lit.nonce lit in
+  t.stitches <- List.filter (fun s -> not (Int64.equal s.st_nonce nonce)) t.stitches
 
 let install_block t link lit =
   let p = find_port t link in
@@ -234,6 +266,7 @@ let forward t ~table ~zfilter ~in_link =
       forward_on = [];
       deliver_local = false;
       services_matched = [];
+      stitches_matched = [];
       loop_suspected = false;
       drop;
       false_positive_tests = tests;
@@ -326,15 +359,26 @@ let forward t ~table ~zfilter ~in_link =
             else None)
           t.services
       in
+      (* Stitch entries: the partitioned-tree handoff points. *)
+      let stitches_matched =
+        List.filter_map
+          (fun s ->
+            if Zfilter.matches zfilter ~lit:s.st_tags.(table) then
+              Some (s.st_partition, s.st_next)
+            else None)
+          t.stitches
+      in
       if obs then begin
         Obs.Histogram.observe_int h_admitted (List.length !out);
         if deliver_local then Obs.Counter.incr m_local;
-        Obs.Counter.add m_services (List.length services_matched)
+        Obs.Counter.add m_services (List.length services_matched);
+        Obs.Counter.add m_stitches (List.length stitches_matched)
       end;
       {
         forward_on = List.rev !out;
         deliver_local;
         services_matched;
+        stitches_matched;
         loop_suspected = !loop_suspected;
         drop = None;
         false_positive_tests = !tests;
@@ -358,6 +402,7 @@ type state = {
   state_ports : port_state array;
   state_virtuals : (Bitvec.t array * Graph.link list) list;
   state_services : (Bitvec.t array * string) list;
+  state_stitches : (Bitvec.t array * int * int) list;
   state_loop_prevention : bool;
   state_loop_capacity : int;
   state_loop_ttl : int;
@@ -383,6 +428,8 @@ let state t =
         t.ports;
     state_virtuals = List.map (fun v -> (v.v_tags, v.v_out)) t.virtuals;
     state_services = List.map (fun s -> (s.s_tags, s.s_name)) t.services;
+    state_stitches =
+      List.map (fun s -> (s.st_tags, s.st_partition, s.st_next)) t.stitches;
     state_loop_prevention = t.loop_prevention;
     state_loop_capacity = t.loop_capacity;
     state_loop_ttl = t.loop_ttl;

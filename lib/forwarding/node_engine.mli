@@ -33,6 +33,11 @@ type verdict = {
           "the egress points of a virtual link can be basically
           anything: nodes, processor cards within nodes, or even
           specific services"). *)
+  stitches_matched : (int * int) list;
+      (** Partition stitch entries whose egress LIT matched, as
+          [(partition id, next stage index)] pairs in match order: the
+          packet's delivery continues here under the child stage's
+          filter (XBF-style partitioned zFilters). *)
   loop_suspected : bool;
       (** An incoming LIT other than the arrival link matched; the
           (zFilter, in-link) pair was cached. *)
@@ -107,6 +112,15 @@ val install_service : t -> Lipsin_bloom.Lit.t -> name:string -> unit
 
 val remove_service : t -> Lipsin_bloom.Lit.t -> unit
 
+val install_stitch : t -> Lipsin_bloom.Lit.t -> partition:int -> next:int -> unit
+(** Registers a partition stitch entry: packets whose zFilter covers
+    the identity's tag report [(partition, next)] in
+    [stitches_matched], telling the delivery layer to hand the packet
+    over to stage [next] of the partition rooted at this node. *)
+
+val remove_stitch : t -> Lipsin_bloom.Lit.t -> unit
+(** Removes stitch entries installed for this identity (by nonce). *)
+
 val virtual_count : t -> int
 
 val install_block : t -> Lipsin_topology.Graph.link -> Lipsin_bloom.Lit.t -> unit
@@ -156,6 +170,8 @@ type state = {
       (** (per-table tags, out links), in match order. *)
   state_services : (Lipsin_bitvec.Bitvec.t array * string) list;
       (** (per-table tags, name), in match order. *)
+  state_stitches : (Lipsin_bitvec.Bitvec.t array * int * int) list;
+      (** (per-table tags, partition id, next stage), in match order. *)
   state_loop_prevention : bool;
   state_loop_capacity : int;
   state_loop_ttl : int;

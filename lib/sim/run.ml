@@ -20,6 +20,7 @@ type outcome = {
   loop_drops : int;
   local_deliveries : int;
   lost : int;
+  stitch_hits : (Graph.node * int * int) list;
   packet_id : int;
 }
 
@@ -106,6 +107,10 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
   let loop_drops = ref 0 in
   let local_deliveries = ref 0 in
   let lost_packets = ref 0 in
+  let stitch_hits = ref [] in
+  let note_stitches node targets =
+    List.iter (fun (pid, next) -> stitch_hits := (node, pid, next) :: !stitch_hits) targets
+  in
   let obs = Obs.enabled () in
   let tracing = Obs.Trace.recording () in
   let pid = if tracing then Obs.Trace.next_packet_id () else -1 in
@@ -200,6 +205,7 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
       if d.Fastpath.deliver_local then incr local_deliveries;
       if d.Fastpath.drop = Fastpath.drop_fill then incr fill_drops
       else if d.Fastpath.drop = Fastpath.drop_loop then incr loop_drops;
+      note_stitches node (Fastpath.stitch_targets fp d);
       for i = 0 to d.Fastpath.n_forward - 1 do
         propagate (Fastpath.out_link fp d.Fastpath.forward.(i))
       done;
@@ -217,6 +223,7 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
       if d.Bitsliced.deliver_local then incr local_deliveries;
       if d.Bitsliced.drop = Bitsliced.drop_fill then incr fill_drops
       else if d.Bitsliced.drop = Bitsliced.drop_loop then incr loop_drops;
+      note_stitches node (Bitsliced.stitch_targets bs d);
       for i = 0 to d.Bitsliced.n_forward - 1 do
         propagate (Bitsliced.out_link bs d.Bitsliced.forward.(i))
       done;
@@ -236,6 +243,7 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
       | Some Node_engine.Fill_limit_exceeded -> incr fill_drops
       | Some Node_engine.Loop_detected -> incr loop_drops
       | Some Node_engine.Bad_table | None -> ());
+      note_stitches node verdict.Node_engine.stitches_matched;
       List.iter propagate verdict.Node_engine.forward_on;
       trace ~drop:verdict.Node_engine.drop
         ~loop_suspected:verdict.Node_engine.loop_suspected
@@ -273,6 +281,7 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
     loop_drops = !loop_drops;
     local_deliveries = !local_deliveries;
     lost = !lost_packets;
+    stitch_hits = List.rev !stitch_hits;
     packet_id = pid;
   }
 

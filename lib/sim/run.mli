@@ -45,6 +45,10 @@ type outcome = {
   loop_drops : int;   (** Packets discarded by loop detection. *)
   local_deliveries : int;  (** Slow-path (control processor) hits. *)
   lost : int;  (** Traversals dropped by the loss model. *)
+  stitch_hits : (Lipsin_topology.Graph.node * int * int) list;
+      (** Stitch entries the packet matched, in traversal order:
+          [(node, partition id, next stage)] — the handoff points of a
+          partitioned-zFilter delivery ({!Stitched} consumes these). *)
   packet_id : int;
       (** Publication id under which this delivery's per-hop events were
           recorded in {!Lipsin_obs.Obs.Trace}, or [-1] when tracing was

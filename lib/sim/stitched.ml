@@ -1,0 +1,146 @@
+module Adaptive = Lipsin_core.Adaptive
+module Assignment = Lipsin_core.Assignment
+module Graph = Lipsin_topology.Graph
+module Lit = Lipsin_bloom.Lit
+module Partition = Lipsin_bloom.Partition
+module Node_engine = Lipsin_forwarding.Node_engine
+
+type t = { adaptive : Adaptive.t; nets : (int * Net.t) list }
+
+let make ?fill_limit ?loop_prevention adaptive =
+  let nets =
+    List.map
+      (fun m ->
+        (m, Net.make ?fill_limit ?loop_prevention (Adaptive.assignment adaptive ~m)))
+      (Adaptive.widths adaptive)
+  in
+  { adaptive; nets }
+
+let adaptive t = t.adaptive
+
+let net t ~m =
+  match List.assoc_opt m t.nets with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Stitched.net: unsupported width %d" m)
+
+let egress_lit t ~m nonce =
+  Partition.egress_lit (Assignment.params (Adaptive.assignment t.adaptive ~m)) ~nonce
+
+let iter_entries t part f =
+  Array.iter
+    (fun (s : Partition.stage) ->
+      match s.Partition.handoffs with
+      | [] -> ()
+      | handoffs ->
+        let lit = egress_lit t ~m:s.Partition.m s.Partition.nonce in
+        let n = net t ~m:s.Partition.m in
+        List.iter (fun (h : Partition.handoff) -> f n lit h) handoffs)
+    part.Partition.stages
+
+let install t part =
+  iter_entries t part (fun n lit (h : Partition.handoff) ->
+      Node_engine.install_stitch (Net.engine n h.Partition.at) lit
+        ~partition:part.Partition.id ~next:h.Partition.next;
+      Net.invalidate_fastpath n h.Partition.at)
+
+let uninstall t part =
+  iter_entries t part (fun n lit (h : Partition.handoff) ->
+      Node_engine.remove_stitch (Net.engine n h.Partition.at) lit;
+      Net.invalidate_fastpath n h.Partition.at)
+
+type outcome = {
+  delivered : int array;
+  stages_run : int;
+  stage_order : int list;
+  duplicate_handoffs : int;
+  missed_stages : int;
+  foreign_hits : int;
+  subscribers_missed : int;
+  link_traversals : int;
+  false_positives : int;
+  membership_tests : int;
+  fill_drops : int;
+  loop_drops : int;
+}
+
+let deliver ?mode ?engine t part =
+  let stages = part.Partition.stages in
+  let n_stages = Array.length stages in
+  let graph = Net.graph (snd (List.hd t.nets)) in
+  let delivered = Array.make (Graph.node_count graph) 0 in
+  let activated = Array.make n_stages false in
+  let order = ref [] and runs = ref 0 in
+  let duplicate = ref 0 and foreign = ref 0 and missed_subs = ref 0 in
+  let traversals = ref 0 and fps = ref 0 and tests = ref 0 in
+  let fill_drops = ref 0 and loop_drops = ref 0 in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  activated.(0) <- true;
+  while not (Queue.is_empty queue) do
+    let idx = Queue.take queue in
+    let s = stages.(idx) in
+    let n = net t ~m:s.Partition.m in
+    let tree = List.map (Graph.link graph) s.Partition.links in
+    let o =
+      Run.deliver ?mode ?engine n ~src:s.Partition.root ~table:s.Partition.table
+        ~zfilter:s.Partition.filter ~tree
+    in
+    incr runs;
+    order := idx :: !order;
+    Array.iteri (fun v r -> if r then delivered.(v) <- delivered.(v) + 1) o.Run.reached;
+    List.iter
+      (fun w -> if not o.Run.reached.(w) then incr missed_subs)
+      s.Partition.subscribers;
+    traversals := !traversals + o.Run.link_traversals;
+    fps := !fps + o.Run.false_positives;
+    tests := !tests + o.Run.membership_tests;
+    fill_drops := !fill_drops + o.Run.fill_drops;
+    loop_drops := !loop_drops + o.Run.loop_drops;
+    List.iter
+      (fun (_node, pid, next) ->
+        if pid <> part.Partition.id then incr foreign
+        else if next < 0 || next >= n_stages || activated.(next) then incr duplicate
+        else begin
+          activated.(next) <- true;
+          Queue.add next queue
+        end)
+      o.Run.stitch_hits
+  done;
+  let missed = Array.fold_left (fun acc a -> if a then acc else acc + 1) 0 activated in
+  {
+    delivered;
+    stages_run = !runs;
+    stage_order = List.rev !order;
+    duplicate_handoffs = !duplicate;
+    missed_stages = missed;
+    foreign_hits = !foreign;
+    subscribers_missed = !missed_subs;
+    link_traversals = !traversals;
+    false_positives = !fps;
+    membership_tests = !tests;
+    fill_drops = !fill_drops;
+    loop_drops = !loop_drops;
+  }
+
+let exactly_once o part =
+  let n_stages = Partition.stage_count part in
+  if o.stages_run <> n_stages then
+    Error
+      (Printf.sprintf "%d of %d stages activated" o.stages_run n_stages)
+  else if o.missed_stages <> 0 then
+    Error (Printf.sprintf "%d stages never activated" o.missed_stages)
+  else if o.foreign_hits <> 0 then
+    Error (Printf.sprintf "%d foreign-partition stitch hits" o.foreign_hits)
+  else if o.subscribers_missed <> 0 then
+    Error
+      (Printf.sprintf "%d subscribers missed by their owner stage"
+         o.subscribers_missed)
+  else Ok ()
+
+let extra_deliveries o part =
+  Array.fold_left
+    (fun acc (s : Partition.stage) ->
+      List.fold_left
+        (fun acc w -> acc + max 0 (o.delivered.(w) - 1))
+        acc s.Partition.subscribers)
+    0 part.Partition.stages

@@ -103,3 +103,82 @@ let evaluate config assignment ~n ?(fill_limit = 0.7) () =
     mean_subscribers = float_of_int !subs_acc /. float_of_int n;
     ssm_state_entries = Ip_multicast.total_state ssm;
   }
+
+(* ---- internet-scale partitioned topics ----------------------------- *)
+
+let two_tier ?(seed = 7) ~core ~core_edges ~max_degree ~hosts () =
+  let rng = Rng.of_int seed in
+  let backbone =
+    Lipsin_topology.Generator.pref_attach ~rng ~nodes:core ~edges:core_edges
+      ~max_degree ()
+  in
+  let g = Graph.create ~nodes:(core + hosts) in
+  Graph.iter_links backbone (fun l ->
+      if l.Graph.src < l.Graph.dst then Graph.add_edge g l.Graph.src l.Graph.dst);
+  let host_nodes =
+    List.init hosts (fun i ->
+        let h = core + i in
+        Graph.add_edge g (Rng.int rng core) h;
+        h)
+  in
+  (g, host_nodes)
+
+type partitioned_report = {
+  p_subscribers : int;
+  p_stages : int;
+  p_widths : (int * int) list;
+  p_filter_bits : int;
+  p_max_fill : float;
+  p_single_filter_ok : bool;
+  p_exactly_once : bool;
+  p_netcheck_errors : int;
+  p_tree_links : int;
+  p_traversals : int;
+  p_redraws : int;
+}
+
+let evaluate_partitioned ?(fill_limit = 0.7) ?engine ?(netcheck = true)
+    ?(seed = 11) adaptive ~root ~subscribers () =
+  let rng = Rng.of_int seed in
+  match
+    Lipsin_core.Stagecut.plan ~fill_limit adaptive ~rng ~root ~subscribers
+  with
+  | Error e -> Error e
+  | Ok (part, diag) ->
+    let tree =
+      let widest = List.hd (List.rev (Lipsin_core.Adaptive.widths adaptive)) in
+      Spt.delivery_tree
+        (Assignment.graph (Lipsin_core.Adaptive.assignment adaptive ~m:widest))
+        ~root ~subscribers
+    in
+    let single_filter_ok =
+      Option.is_some
+        (Lipsin_core.Adaptive.choose adaptive ~tree ~target_fpa:1.0 ~fill_limit ())
+    in
+    let errors =
+      if netcheck then
+        List.length
+          (Lipsin_analysis.Netcheck.errors
+             (Lipsin_analysis.Netcheck.check_partition ~fill_limit ~subscribers
+                adaptive part))
+      else 0
+    in
+    let stitched = Lipsin_sim.Stitched.make ~fill_limit adaptive in
+    Lipsin_sim.Stitched.install stitched part;
+    let outcome = Lipsin_sim.Stitched.deliver ?engine stitched part in
+    Lipsin_sim.Stitched.uninstall stitched part;
+    Ok
+      {
+        p_subscribers = List.length subscribers;
+        p_stages = diag.Lipsin_core.Stagecut.stages;
+        p_widths = diag.Lipsin_core.Stagecut.widths_used;
+        p_filter_bits = Lipsin_bloom.Partition.total_filter_bits part;
+        p_max_fill = Lipsin_bloom.Partition.max_fill part;
+        p_single_filter_ok = single_filter_ok;
+        p_exactly_once =
+          Result.is_ok (Lipsin_sim.Stitched.exactly_once outcome part);
+        p_netcheck_errors = errors;
+        p_tree_links = List.length tree;
+        p_traversals = outcome.Lipsin_sim.Stitched.link_traversals;
+        p_redraws = diag.Lipsin_core.Stagecut.redraws;
+      }

@@ -48,3 +48,60 @@ val evaluate :
   config -> Lipsin_core.Assignment.t -> n:int -> ?fill_limit:float -> unit -> aggregate
 (** Samples [n] topics, delivers each through a fresh Net, and
     aggregates the state-vs-stateless accounting. *)
+
+(** {1 Internet-scale partitioned topics}
+
+    The paper's popular tail — the few topics with very large audiences
+    — is exactly where one zFilter hits the fill limit.  These helpers
+    build the two-tier topologies such topics live on (a
+    Rocketfuel-like router core plus per-subscriber access hosts) and
+    evaluate the {!Lipsin_core.Stagecut} partitioned-zFilter pipeline
+    end to end. *)
+
+val two_tier :
+  ?seed:int ->
+  core:int ->
+  core_edges:int ->
+  max_degree:int ->
+  hosts:int ->
+  unit ->
+  Lipsin_topology.Graph.t * Lipsin_topology.Graph.node list
+(** A preferential-attachment backbone of [core] routers
+    ({!Lipsin_topology.Generator.pref_attach} shape) with [hosts] leaf
+    host nodes, each on a dedicated access edge to a uniformly chosen
+    core router.  Returns the graph and the host nodes (subscriber
+    candidates). *)
+
+type partitioned_report = {
+  p_subscribers : int;
+  p_stages : int;
+  p_widths : (int * int) list;  (** (width, stage count), ascending. *)
+  p_filter_bits : int;  (** Σ stage widths — total header budget. *)
+  p_max_fill : float;
+  p_single_filter_ok : bool;
+      (** Whether one zFilter (any width) could have carried the whole
+          tree — false is the regime partitioning exists for. *)
+  p_exactly_once : bool;  (** {!Lipsin_sim.Stitched.exactly_once}. *)
+  p_netcheck_errors : int;
+      (** [Error] findings from
+          {!Lipsin_analysis.Netcheck.check_partition} (0 when
+          [netcheck] is off). *)
+  p_tree_links : int;
+  p_traversals : int;
+  p_redraws : int;  (** Egress nonces re-drawn by conflict repair. *)
+}
+
+val evaluate_partitioned :
+  ?fill_limit:float ->
+  ?engine:Lipsin_sim.Run.engine ->
+  ?netcheck:bool ->
+  ?seed:int ->
+  Lipsin_core.Adaptive.t ->
+  root:Lipsin_topology.Graph.node ->
+  subscribers:Lipsin_topology.Graph.node list ->
+  unit ->
+  (partitioned_report, string) result
+(** Plans the partition ({!Lipsin_core.Stagecut.plan}), statically
+    verifies it ([netcheck], default on), installs its stitch entries,
+    delivers through {!Lipsin_sim.Stitched} and reports.  [Error] is
+    the planner's error. *)
