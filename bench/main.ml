@@ -385,6 +385,103 @@ let layering =
    runs without burning minutes of runner time. *)
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 
+(* --alloc: the runtime half of the allocation-freedom contract.  For
+   every [@lipsin.noalloc] entry point `lipsin_lint --alloc` proves
+   statically allocation-free, measure Gc.minor_words per op and fail
+   if any gated entry allocates: static proof and runtime measurement
+   must agree.  The loop-prevention variant is reported but not gated —
+   its cache key is the one [@lipsin.allow_alloc]-suppressed site, so
+   a non-zero reading there is the suppression working as documented,
+   not drift.  Emits BENCH_PR7.json for the CI artifact. *)
+let alloc_mode = Array.exists (fun a -> a = "--alloc") Sys.argv
+
+let run_alloc () =
+  let module Obs = Lipsin_obs.Obs in
+  (* Engines without loop prevention: the configuration the noalloc
+     proof covers end to end (decide's only suppressed allocation is
+     the loop-cache key, which this build never takes). *)
+  let hot_engine = Node_engine.create ~loop_prevention:false assignment hub in
+  let hot_fast = Fastpath.compile hot_engine in
+  let hot_bits = Bitsliced.compile hot_engine in
+  let batch256 = Array.make 256 (zfilter16, -1) in
+  let iters_hot = if smoke then 10_000 else 100_000 in
+  let iters_batch = if smoke then 200 else 1_000 in
+  let results = ref [] in
+  let failures = ref [] in
+  let measure name ~iters ~gated f =
+    for _ = 1 to 100 do
+      f ()
+    done;
+    let minor0 = Gc.minor_words () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let per_op = (Gc.minor_words () -. minor0) /. float_of_int iters in
+    Printf.printf "  %-28s %8.3f minor words/op%s\n%!" name per_op
+      (if gated then "  [gated: must be 0]" else "");
+    results := (name, iters, per_op, gated) :: !results;
+    if gated && per_op > 0.0 then failures := name :: !failures
+  in
+  Printf.printf "allocation-freedom check (Gc.minor_words per op)\n%!";
+  measure "fastpath-decide" ~iters:iters_hot ~gated:true (fun () ->
+      ignore
+        (Fastpath.decide hot_fast ~table:0 ~zfilter:zfilter16
+           ~in_link_index:(-1)));
+  measure "fastpath-decide-batch" ~iters:iters_batch ~gated:true (fun () ->
+      Fastpath.decide_batch hot_fast ~table:0 batch256 ~f:(fun _ _ -> ()));
+  measure "bitsliced-decide" ~iters:iters_hot ~gated:true (fun () ->
+      ignore
+        (Bitsliced.decide hot_bits ~table:0 ~zfilter:zfilter16
+           ~in_link_index:(-1)));
+  measure "bitsliced-decide-batch" ~iters:iters_batch ~gated:true (fun () ->
+      Bitsliced.decide_batch hot_bits ~table:0 batch256 ~f:(fun _ _ -> ()));
+  measure "bitvec-popcount" ~iters:iters_hot ~gated:true (fun () ->
+      ignore (Zfilter.popcount zfilter16));
+  measure "bitvec-subset" ~iters:iters_hot ~gated:true (fun () ->
+      ignore
+        (Bitvec.subset
+           (Zfilter.to_bitvec zfilter16)
+           ~of_:(Zfilter.to_bitvec zfilter16)));
+  (* Obs fast lanes, counters live: first touch registers the
+     per-domain cell (the [@lipsin.allow_alloc] site in local_cell);
+     the measured steady state must be allocation-free. *)
+  Obs.Sink.set Obs.Sink.Memory;
+  let c = Obs.Counter.make "bench_alloc_counter" in
+  let h = Obs.Histogram.make "bench_alloc_hist" in
+  let hc = Obs.Histogram.local h in
+  measure "obs-counter-add" ~iters:iters_hot ~gated:true (fun () ->
+      Obs.Counter.add c 1);
+  measure "obs-hist-record-int" ~iters:iters_hot ~gated:true (fun () ->
+      Obs.Histogram.record_int hc 7);
+  Obs.Sink.set Obs.Sink.Noop;
+  (* Context row: the suppressed loop-prevention cache key.  Reported,
+     not gated — see the [@lipsin.allow_alloc] annotations. *)
+  measure "fastpath-decide-loop-prevention" ~iters:iters_hot ~gated:false
+    (fun () ->
+      ignore
+        (Fastpath.decide hub_fast ~table:0 ~zfilter:zfilter16
+           ~in_link_index:(-1)));
+  let entries = List.rev !results in
+  let oc = open_out "BENCH_PR7.json" in
+  Printf.fprintf oc "{\n  \"entries\": [\n";
+  List.iteri
+    (fun i (name, iters, per_op, gated) ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"iters\": %d, \
+         \"minor_words_per_op\": %.3f, \"noalloc_gated\": %b }%s\n"
+        name iters per_op gated
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ],\n  \"gate\": \"every noalloc_gated entry at 0.0\"\n}\n";
+  close_out oc;
+  match !failures with
+  | [] -> Printf.printf "alloc check OK: all gated entries at 0 words/op\n%!"
+  | names ->
+    Printf.printf
+      "FAIL: static noalloc proof disagrees with runtime allocation: %s\n%!"
+      (String.concat ", " (List.rev names));
+    exit 1
+
 (* --obs: paired telemetry-overhead measurement.  Runs the fast-path
    delivery workload with the no-op sink, the memory sink (counters
    only), and the memory sink with tracing, interleaved in fine-grained
@@ -793,7 +890,8 @@ let print_results results =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 let () =
-  if obs_mode then run_obs ()
+  if alloc_mode then run_alloc ()
+  else if obs_mode then run_obs ()
   else if sweep_mode then begin
     run_sweep ();
     run_partition_sweep ()

@@ -26,11 +26,22 @@
    Findings flow through the linter's human/JSON reporters; exits 3 on
    Error-severity findings (any finding with --strict).
 
+   Alloc / races modes:
+     lipsin_lint --alloc [--races] [--format human|json] [CMT_DIR...]
+   typed-tree passes over the .cmt files dune produces (run `dune
+   build` first; default root _build/default/lib): --alloc proves
+   [@lipsin.noalloc] functions allocation-free (exit 4 on findings),
+   --races classifies every mutable write reachable from Domain.spawn
+   bodies and reports unsanctioned shared writes (exit 5).  Both can
+   be combined; alloc findings take exit-code precedence.
+
    Exit codes (distinct per mode so CI can tell them apart):
      0   clean
      1   lint findings
      2   audit violations
      3   netcheck errors (any finding with --strict)
+     4   alloccheck findings (a noalloc proof failed)
+     5   racecheck findings (unsanctioned shared write)
      64  usage or I/O error *)
 
 module Lint = Lipsin_linter.Lint
@@ -53,6 +64,7 @@ let help_text =
   \       lipsin_lint --audit --edges FILE --assignment FILE [--fill-limit F]\n\
   \       lipsin_lint --netcheck --edges FILE --assignment FILE [--partition FILE]\n\
   \                   [--fill-limit F] [--samples N] [--seed N] [--strict]\n\
+  \       lipsin_lint --alloc [--races] [--format human|json] [CMT_DIR...]\n\
    \n\
    modes:\n\
   \  (default)    lint .ml/.mli/dune sources against the project rules\n\
@@ -62,6 +74,11 @@ let help_text =
   \               admissible forwarding loops per table, recovery soundness,\n\
   \               and (with --samples N) loop/false-delivery/fill checks on\n\
   \               all candidates of N random delivery trees\n\
+  \  --alloc      prove [@lipsin.noalloc] functions allocation-free from the\n\
+  \               .cmt typed trees (run `dune build` first; CMT_DIRs default\n\
+  \               to _build/default/lib)\n\
+  \  --races      classify every mutable write reachable from a Domain.spawn\n\
+  \               body; report unsanctioned shared writes with witness paths\n\
    \n\
    options:\n\
   \  --format human|json   report format (lint and netcheck modes)\n\
@@ -80,6 +97,8 @@ let help_text =
   \  1   lint findings\n\
   \  2   audit violations\n\
   \  3   netcheck errors (any finding with --strict)\n\
+  \  4   alloccheck findings (a noalloc proof failed)\n\
+  \  5   racecheck findings (unsanctioned shared write)\n\
   \  64  usage or I/O error\n"
 
 let usage () =
@@ -113,6 +132,54 @@ let run_lint ~format ~paths =
   | `Human -> print_string (Finding.report_human findings)
   | `Json -> print_string (Finding.report_json findings));
   exit (match findings with [] -> 0 | _ :: _ -> 1)
+
+let default_cmt_roots = [ "_build/default/lib" ]
+
+let run_typed ~format ~paths ~alloc ~races =
+  let roots = if paths = [] then default_cmt_roots else paths in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) roots in
+  if missing <> [] then begin
+    List.iter
+      (Printf.eprintf
+         "lipsin_lint: no such path: %s (run `dune build` first?)\n")
+      missing;
+    exit exit_usage
+  end;
+  let units = Lipsin_linter.Typed.load_units roots in
+  if units = [] then begin
+    Printf.eprintf
+      "lipsin_lint: no .cmt files under %s (run `dune build` first)\n"
+      (String.concat " " roots);
+    exit exit_usage
+  end;
+  let alloc_findings, alloc_roots =
+    if alloc then begin
+      let roots, fs = Lipsin_linter.Alloccheck.run_units units in
+      (fs, roots)
+    end
+    else ([], [])
+  in
+  let race_findings, spawn_sites =
+    if races then begin
+      let sites, fs = Lipsin_linter.Racecheck.run_units units in
+      (fs, sites)
+    end
+    else ([], 0)
+  in
+  let findings = alloc_findings @ race_findings in
+  (match format with
+  | `Human -> print_string (Finding.report_human findings)
+  | `Json -> print_string (Finding.report_json findings));
+  if alloc then
+    Printf.eprintf "alloccheck: %d noalloc roots, %d findings\n"
+      (List.length alloc_roots)
+      (List.length alloc_findings);
+  if races then
+    Printf.eprintf "racecheck: %d spawn sites, %d findings\n" spawn_sites
+      (List.length race_findings);
+  if alloc_findings <> [] then exit 4
+  else if race_findings <> [] then exit 5
+  else exit 0
 
 let load_deployment ~edges ~assignment =
   let graph =
@@ -218,7 +285,7 @@ let run_netcheck ~format ~edges ~assignment ~partition ~fill_limit ~samples
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec parse args ~format ~paths ~mode ~edges ~assignment ~partition
-      ~fill_limit ~samples ~seed ~strict =
+      ~fill_limit ~samples ~seed ~strict ~alloc ~races =
     match args with
     | [] -> (
       match mode with
@@ -237,7 +304,9 @@ let () =
           prerr_endline "lipsin_lint: --netcheck needs --edges and --assignment";
           exit exit_usage)
       | `Lint ->
-        if paths = [] then usage ()
+        if alloc || races then
+          run_typed ~format ~paths:(List.rev paths) ~alloc ~races
+        else if paths = [] then usage ()
         else run_lint ~format ~paths:(List.rev paths))
     | "--help" :: _ | "-h" :: _ -> help ()
     | "--list-rules" :: _ -> list_rules ()
@@ -246,49 +315,56 @@ let () =
         match fmt with "human" -> `Human | "json" -> `Json | _ -> usage ()
       in
       parse rest ~format ~paths ~mode ~edges ~assignment ~partition
-        ~fill_limit ~samples ~seed ~strict
+        ~fill_limit ~samples ~seed ~strict ~alloc ~races
     | "--audit" :: rest ->
       parse rest ~format ~paths ~mode:`Audit ~edges ~assignment ~partition
-        ~fill_limit ~samples ~seed ~strict
+        ~fill_limit ~samples ~seed ~strict ~alloc ~races
     | "--netcheck" :: rest ->
       parse rest ~format ~paths ~mode:`Netcheck ~edges ~assignment ~partition
-        ~fill_limit ~samples ~seed ~strict
+        ~fill_limit ~samples ~seed ~strict ~alloc ~races
+    | "--alloc" :: rest ->
+      parse rest ~format ~paths ~mode ~edges ~assignment ~partition
+        ~fill_limit ~samples ~seed ~strict ~alloc:true ~races
+    | "--races" :: rest ->
+      parse rest ~format ~paths ~mode ~edges ~assignment ~partition
+        ~fill_limit ~samples ~seed ~strict ~alloc ~races:true
     | "--strict" :: rest ->
       parse rest ~format ~paths ~mode ~edges ~assignment ~partition
-        ~fill_limit ~samples ~seed ~strict:true
+        ~fill_limit ~samples ~seed ~strict:true ~alloc ~races
     | "--edges" :: file :: rest ->
       parse rest ~format ~paths ~mode ~edges:(Some file) ~assignment
-        ~partition ~fill_limit ~samples ~seed ~strict
+        ~partition ~fill_limit ~samples ~seed ~strict ~alloc ~races
     | "--assignment" :: file :: rest ->
       parse rest ~format ~paths ~mode ~edges ~assignment:(Some file)
-        ~partition ~fill_limit ~samples ~seed ~strict
+        ~partition ~fill_limit ~samples ~seed ~strict ~alloc ~races
     | "--partition" :: file :: rest ->
       parse rest ~format ~paths ~mode ~edges ~assignment
-        ~partition:(Some file) ~fill_limit ~samples ~seed ~strict
+        ~partition:(Some file) ~fill_limit ~samples ~seed ~strict ~alloc ~races
     | "--fill-limit" :: v :: rest -> (
       match float_of_string_opt v with
       | Some f ->
         parse rest ~format ~paths ~mode ~edges ~assignment ~partition
-          ~fill_limit:(Some f) ~samples ~seed ~strict
+          ~fill_limit:(Some f) ~samples ~seed ~strict ~alloc ~races
       | None -> usage ())
     | "--samples" :: v :: rest -> (
       match int_of_string_opt v with
       | Some n when n >= 0 ->
         parse rest ~format ~paths ~mode ~edges ~assignment ~partition
-          ~fill_limit ~samples:n ~seed ~strict
+          ~fill_limit ~samples:n ~seed ~strict ~alloc ~races
       | _ -> usage ())
     | "--seed" :: v :: rest -> (
       match int_of_string_opt v with
       | Some n ->
         parse rest ~format ~paths ~mode ~edges ~assignment ~partition
-          ~fill_limit ~samples ~seed:n ~strict
+          ~fill_limit ~samples ~seed:n ~strict ~alloc ~races
       | None -> usage ())
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
       Printf.eprintf "lipsin_lint: unknown option %s\n" arg;
       usage ()
     | path :: rest ->
       parse rest ~format ~paths:(path :: paths) ~mode ~edges ~assignment
-        ~partition ~fill_limit ~samples ~seed ~strict
+        ~partition ~fill_limit ~samples ~seed ~strict ~alloc ~races
   in
   parse args ~format:`Human ~paths:[] ~mode:`Lint ~edges:None ~assignment:None
     ~partition:None ~fill_limit:None ~samples:8 ~seed:17 ~strict:false
+    ~alloc:false ~races:false

@@ -1,0 +1,23 @@
+(** Allocation-freedom checker over typed trees (.cmt files).
+
+    Proves that every [@lipsin.noalloc]-annotated function contains no
+    allocating constructs (closures, tuples, records, arrays, boxed
+    returns, partial applications, escaping refs) and only calls
+    noalloc-or-whitelisted callees, via a memoised call-graph walk.
+    Per-site suppression: [@lipsin.allow_alloc "reason"].
+
+    Soundness caveats (see DESIGN.md 5h): local refs used only under
+    [!]/[:=]/[incr]/[decr] are accepted (Simplif.eliminate_ref), and
+    float/boxed-int primitives are whitelisted under the cmmgen
+    straight-line-unboxing assumption — the runtime [bench --alloc]
+    gate cross-checks both. *)
+
+val rule : string
+
+val run : roots:string list -> string list * Finding.t list
+(** Load every .cmt under [roots]; returns the noalloc root keys found
+    and the findings (empty when all proofs go through). *)
+
+val run_units : Typed.unit_info list -> string list * Finding.t list
+(** Same, over already-loaded units (used by tests with in-memory
+    fixtures). *)

@@ -46,7 +46,10 @@ let set_all t =
 
 let reset t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'
 
-let popcount64 x =
+(* [@inline always]: without inlining, every call would box its int64
+   argument (a 3-word custom block per call); inlined into straight-line
+   code, cmmgen keeps the whole SWAR chain in registers. *)
+let[@inline always] [@lipsin.noalloc] popcount64 x =
   (* SWAR popcount on a 64-bit word. *)
   let open Int64 in
   let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
@@ -59,13 +62,13 @@ let popcount64 x =
    (the widest value a 7-byte tail can assemble).  The masks fit OCaml's
    63-bit int range, and the final multiply folds the per-byte counts
    into the top byte. *)
-let popcount56 x =
+let[@inline always] [@lipsin.noalloc] popcount56 x =
   let x = x - ((x lsr 1) land 0x55555555555555) in
   let x = (x land 0x33333333333333) + ((x lsr 2) land 0x33333333333333) in
   let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F in
   ((x * 0x01010101010101) lsr 48) land 0xff
 
-let popcount_bytes b ~pos ~len =
+let[@lipsin.noalloc] popcount_bytes b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
     invalid_arg "Bitvec.popcount_bytes: range out of bounds";
   let words = len lsr 3 in
@@ -82,7 +85,7 @@ let popcount_bytes b ~pos ~len =
   done;
   !count + popcount56 !tail
 
-let popcount t = popcount_bytes t.data ~pos:0 ~len:(Bytes.length t.data)
+let[@lipsin.noalloc] popcount t = popcount_bytes t.data ~pos:0 ~len:(Bytes.length t.data)
 
 let fill_ratio t = float_of_int (popcount t) /. float_of_int t.bits
 
@@ -114,45 +117,51 @@ let logor_into ~dst src =
       (Char.chr (Char.code (Bytes.get dst.data i) lor Char.code (Bytes.get src.data i)))
   done
 
-let subset a ~of_ =
+let[@lipsin.noalloc] subset a ~of_ =
   check_same_length a of_;
   let n = Bytes.length a.data in
   let words = n / 8 in
-  let rec word_loop w =
-    if w >= words then true
-    else
-      let x = Bytes.get_int64_le a.data (8 * w) in
-      let y = Bytes.get_int64_le of_.data (8 * w) in
-      if Int64.logand x y <> x then false else word_loop (w + 1)
-  in
-  let rec byte_loop i =
-    if i >= n then true
-    else
-      let x = Char.code (Bytes.get a.data i) in
-      let y = Char.code (Bytes.get of_.data i) in
-      if x land y <> x then false else byte_loop (i + 1)
-  in
-  word_loop 0 && byte_loop (8 * words)
+  (* while/ref loops instead of local recursive functions: the closures
+     those allocate are the only heap traffic on this path. *)
+  let ok = ref true in
+  let w = ref 0 in
+  while !ok && !w < words do
+    let x = Bytes.get_int64_le a.data (8 * !w) in
+    let y = Bytes.get_int64_le of_.data (8 * !w) in
+    if Int64.logand x y <> x then ok := false;
+    incr w
+  done;
+  let i = ref (8 * words) in
+  while !ok && !i < n do
+    let x = Char.code (Bytes.get a.data !i) in
+    let y = Char.code (Bytes.get of_.data !i) in
+    if x land y <> x then ok := false;
+    incr i
+  done;
+  !ok
 
-let intersects a b =
+let[@lipsin.noalloc] intersects a b =
   check_same_length a b;
   let n = Bytes.length a.data in
   let words = n / 8 in
-  let rec word_loop w =
-    if w >= words then false
-    else if
-      Int64.logand (Bytes.get_int64_le a.data (8 * w)) (Bytes.get_int64_le b.data (8 * w))
+  let hit = ref false in
+  let w = ref 0 in
+  while (not !hit) && !w < words do
+    if
+      Int64.logand
+        (Bytes.get_int64_le a.data (8 * !w))
+        (Bytes.get_int64_le b.data (8 * !w))
       <> 0L
-    then true
-    else word_loop (w + 1)
-  in
-  let rec byte_loop i =
-    if i >= n then false
-    else if Char.code (Bytes.get a.data i) land Char.code (Bytes.get b.data i) <> 0 then
-      true
-    else byte_loop (i + 1)
-  in
-  word_loop 0 || byte_loop (8 * words)
+    then hit := true;
+    incr w
+  done;
+  let i = ref (8 * words) in
+  while (not !hit) && !i < n do
+    if Char.code (Bytes.get a.data !i) land Char.code (Bytes.get b.data !i) <> 0 then
+      hit := true;
+    incr i
+  done;
+  !hit
 
 let equal a b = a.bits = b.bits && Bytes.equal a.data b.data
 
@@ -206,7 +215,7 @@ let of_hex n s =
 
 let to_bytes t = Bytes.copy t.data
 
-let blit_into t dst ~pos =
+let[@lipsin.noalloc] blit_into t dst ~pos =
   let n = Bytes.length t.data in
   if pos < 0 || pos + n > Bytes.length dst then
     invalid_arg "Bitvec.blit_into: range out of bounds";
@@ -228,7 +237,7 @@ let of_bytes n b =
 let fnv_offset = 0xcbf29ce484222
 let fnv_prime = 0x100000001b3
 
-let hash t =
+let[@lipsin.noalloc] hash t =
   let h = ref fnv_offset in
   h := (!h lxor (t.bits land 0xff)) * fnv_prime;
   h := (!h lxor ((t.bits lsr 8) land 0xff)) * fnv_prime;

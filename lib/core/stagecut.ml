@@ -66,7 +66,8 @@ let plan ?(fill_limit = 0.7) ?(id = 0) adaptive ~rng ~root ~subscribers =
     let dist = Spt.distances graph ~root in
     let tree =
       List.stable_sort
-        (fun (a : Graph.link) (b : Graph.link) -> compare dist.(a.src) dist.(b.src))
+        (fun (a : Graph.link) (b : Graph.link) ->
+          Int.compare dist.(a.src) dist.(b.src))
         tree
     in
     let fresh_cells () =

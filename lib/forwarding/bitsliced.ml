@@ -607,7 +607,7 @@ let loop_cache_find t key =
 
 (* Row-wise Algorithm 1, for the (sparse) entry kinds the sweep does
    not cover: block vetoes and the node-local LIT. *)
-let subset_entry blob ~off zf ~zoff ~words =
+let[@lipsin.noalloc] subset_entry blob ~off zf ~zoff ~words =
   let ok = ref true in
   let w = ref 0 in
   while !ok && !w < words do
@@ -708,31 +708,37 @@ let finish t ~obs ~table ~in_link_index ~zf ~zoff ~vals ~voff ~pdead ~pdoff
     ~idead ~idoff =
   let d = t.decision in
   let bits = t.plane_bits in
-  if t.loop_prevention then begin
-    let key = Bytes.sub_string zf zoff t.data_len in
-    (match loop_cache_find t key with
-    | Some cached ->
-      if obs then bump t.obs.mhits;
-      if in_link_index >= 0 && cached <> in_link_index then d.drop <- drop_loop
-    | None -> ());
-    if d.drop = no_drop then begin
-      let sl = t.sl_in.(table) in
-      let risky = ref false in
-      for s = 0 to sl.sl_sub - 1 do
-        let a = ref (sl.sl_valid.(s) land lnot idead.(idoff + s)) in
-        while !a <> 0 do
-          let p = (s lsl 5) + ctz32 !a in
-          a := !a land (!a - 1);
-          if t.out_index.(p) <> in_link_index then risky := true
-        done
-      done;
-      if !risky then begin
-        d.loop_suspected <- true;
-        if obs then bump t.obs.msusp;
-        if in_link_index >= 0 then loop_cache_add t key in_link_index
-      end
-    end
-  end;
+  if t.loop_prevention then
+    (begin
+       let key = Bytes.sub_string zf zoff t.data_len in
+       (match loop_cache_find t key with
+       | Some cached ->
+         if obs then bump t.obs.mhits;
+         if in_link_index >= 0 && cached <> in_link_index then
+           d.drop <- drop_loop
+       | None -> ());
+       if d.drop = no_drop then begin
+         let sl = t.sl_in.(table) in
+         let risky = ref false in
+         for s = 0 to sl.sl_sub - 1 do
+           let a = ref (sl.sl_valid.(s) land lnot idead.(idoff + s)) in
+           while !a <> 0 do
+             let p = (s lsl 5) + ctz32 !a in
+             a := !a land (!a - 1);
+             if t.out_index.(p) <> in_link_index then risky := true
+           done
+         done;
+         if !risky then begin
+           d.loop_suspected <- true;
+           if obs then bump t.obs.msusp;
+           if in_link_index >= 0 then loop_cache_add t key in_link_index
+         end
+       end
+     end
+    [@lipsin.allow_alloc
+      "loop-prevention cache key (5-word Bytes.sub_string) and FIFO \
+       bookkeeping; engines benchmarked for zero allocation run with \
+       loop_prevention off"]);
   if d.drop <> no_drop then begin
     if obs then bump t.obs.mloop;
     d
@@ -829,7 +835,7 @@ let reset_decision d =
   d.drop <- no_drop;
   d.tests <- 0
 
-let decide t ~table ~zfilter ~in_link_index =
+let[@lipsin.noalloc] decide t ~table ~zfilter ~in_link_index =
   let obs = Obs.enabled () in
   if obs then bump t.obs.md;
   let d = t.decision in
@@ -861,12 +867,13 @@ let decide t ~table ~zfilter ~in_link_index =
       ~pdead:t.dead_phys ~pdoff:0 ~idead:t.dead_in ~idoff:0
   end
 
-let decide_batch t ~table inputs ~f =
+let[@lipsin.noalloc] decide_batch t ~table inputs ~f =
   if table < 0 || table >= t.d then
-    Array.iteri
-      (fun i (zfilter, in_link_index) ->
-        f i (decide t ~table ~zfilter ~in_link_index))
-      inputs
+    for i = 0 to Array.length inputs - 1 do
+      let zfilter, in_link_index = inputs.(i) in
+      (f i (decide t ~table ~zfilter ~in_link_index)
+      [@lipsin.allow_alloc "sink callback supplied by the caller"])
+    done
   else begin
     let slp = t.sl_phys.(table) in
     let sli = t.sl_in.(table) in
@@ -905,16 +912,18 @@ let decide_batch t ~table inputs ~f =
       for i = 0 to len - 1 do
         let zfilter, in_link_index = inputs.(!start + i) in
         if not t.batch_ok.(i) then
-          f (!start + i) (decide t ~table ~zfilter ~in_link_index)
+          (f (!start + i) (decide t ~table ~zfilter ~in_link_index)
+          [@lipsin.allow_alloc "sink callback supplied by the caller"])
         else begin
           let obs = Obs.enabled () in
           if obs then bump t.obs.md;
           reset_decision t.decision;
-          f (!start + i)
-            (finish t ~obs ~table ~in_link_index ~zf:t.batch_zf
-               ~zoff:(i * t.stride) ~vals:t.batch_vals ~voff:(i * npos)
-               ~pdead:t.batch_dead_phys ~pdoff:(i * slp.sl_sub)
-               ~idead:t.batch_dead_in ~idoff:(i * sli.sl_sub))
+          (f (!start + i)
+             (finish t ~obs ~table ~in_link_index ~zf:t.batch_zf
+                ~zoff:(i * t.stride) ~vals:t.batch_vals ~voff:(i * npos)
+                ~pdead:t.batch_dead_phys ~pdoff:(i * slp.sl_sub)
+                ~idead:t.batch_dead_in ~idoff:(i * sli.sl_sub))
+          [@lipsin.allow_alloc "sink callback supplied by the caller"])
         end
       done;
       start := !start + len

@@ -400,7 +400,7 @@ let loop_cache_find t key =
 
 (* Algorithm 1 on one padded entry: every word of the LIT must be
    covered by the corresponding zFilter word. *)
-let subset_entry blob ~off zf ~words =
+let[@lipsin.noalloc] subset_entry blob ~off zf ~words =
   let ok = ref true in
   let w = ref 0 in
   while !ok && !w < words do
@@ -411,7 +411,7 @@ let subset_entry blob ~off zf ~words =
   done;
   !ok
 
-let decide t ~table ~zfilter ~in_link_index =
+let[@lipsin.noalloc] decide t ~table ~zfilter ~in_link_index =
   let obs = Obs.enabled () in
   if obs then bump t.obs.md;
   let d = t.decision in
@@ -442,28 +442,34 @@ let decide t ~table ~zfilter ~in_link_index =
     let zf = t.zf in
     let words = t.words in
     let stride = t.stride in
-    if t.loop_prevention then begin
-      let key = Bytes.sub_string zf 0 t.data_len in
-      (match loop_cache_find t key with
-      | Some cached ->
-        if obs then bump t.obs.mhits;
-        if in_link_index >= 0 && cached <> in_link_index then
-          d.drop <- drop_loop
-      | None -> ());
-      if d.drop = no_drop then begin
-        let risky = ref false in
-        let itab = t.in_tags.(table) in
-        for p = 0 to t.n_ports - 1 do
-          if t.out_index.(p) <> in_link_index then
-            if subset_entry itab ~off:(p * stride) zf ~words then risky := true
-        done;
-        if !risky then begin
-          d.loop_suspected <- true;
-          if obs then bump t.obs.msusp;
-          if in_link_index >= 0 then loop_cache_add t key in_link_index
-        end
-      end
-    end;
+    if t.loop_prevention then
+      (begin
+         let key = Bytes.sub_string zf 0 t.data_len in
+         (match loop_cache_find t key with
+         | Some cached ->
+           if obs then bump t.obs.mhits;
+           if in_link_index >= 0 && cached <> in_link_index then
+             d.drop <- drop_loop
+         | None -> ());
+         if d.drop = no_drop then begin
+           let risky = ref false in
+           let itab = t.in_tags.(table) in
+           for p = 0 to t.n_ports - 1 do
+             if t.out_index.(p) <> in_link_index then
+               if subset_entry itab ~off:(p * stride) zf ~words then
+                 risky := true
+           done;
+           if !risky then begin
+             d.loop_suspected <- true;
+             if obs then bump t.obs.msusp;
+             if in_link_index >= 0 then loop_cache_add t key in_link_index
+           end
+         end
+       end
+      [@lipsin.allow_alloc
+        "loop-prevention cache key (5-word Bytes.sub_string) and FIFO \
+         bookkeeping; engines benchmarked for zero allocation run with \
+         loop_prevention off"]);
     if d.drop <> no_drop then begin
       if obs then bump t.obs.mloop;
       d
@@ -526,10 +532,14 @@ let decide t ~table ~zfilter ~in_link_index =
     end
   end
 
-let decide_batch t ~table inputs ~f =
-  Array.iteri
-    (fun i (zfilter, in_link_index) -> f i (decide t ~table ~zfilter ~in_link_index))
-    inputs
+let[@lipsin.noalloc] decide_batch t ~table inputs ~f =
+  (* for-loop rather than [Array.iteri]: the iteration closure would be
+     the only allocation in an otherwise alloc-free batch. *)
+  for i = 0 to Array.length inputs - 1 do
+    let zfilter, in_link_index = inputs.(i) in
+    (f i (decide t ~table ~zfilter ~in_link_index)
+    [@lipsin.allow_alloc "sink callback supplied by the caller"])
+  done
 
 let drop_reason d =
   if d.drop = no_drop then None

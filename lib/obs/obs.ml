@@ -123,7 +123,10 @@ type local_table = { mutable tbl : cell option array; mutable ring : ring option
 
 let dls = Domain.DLS.new_key (fun () -> { tbl = [||]; ring = None })
 
-let local_cell it =
+let[@lipsin.allow_alloc
+     "first-touch registration allocates the per-domain cell; \
+      steady-state lookups return the cached cell (checked at 0 \
+      words/op by bench --alloc)"] local_cell it =
   let lt = Domain.DLS.get dls in
   let n = Array.length lt.tbl in
   if it.id >= n then begin
@@ -152,13 +155,13 @@ module Counter = struct
      once: bump index 0 with plain int stores. *)
   let local t = (local_cell t).ints
 
-  let add t n =
+  let[@lipsin.noalloc] add t n =
     if Atomic.get live then begin
       let c = (local_cell t).ints in
       c.(0) <- c.(0) + n
     end
 
-  let incr t = add t 1
+  let[@lipsin.noalloc] incr t = add t 1
 
   let value t = List.fold_left (fun acc c -> acc + c.ints.(0)) 0 (cells_of t)
 
@@ -166,27 +169,46 @@ module Counter = struct
     v_name : string;
     v_help : string;
     v_label : string;
+    v_mu : Mutex.t;  (* guards v_cells growth and slot initialisation *)
     mutable v_cells : t option array;
   }
 
   let vec ?(help = "") name ~label =
-    { v_name = name; v_help = help; v_label = label; v_cells = Array.make 8 None }
+    {
+      v_name = name;
+      v_help = help;
+      v_label = label;
+      v_mu = Mutex.create ();
+      v_cells = Array.make 8 None;
+    }
 
+  (* The unlocked fast-path read is safe under the OCaml memory model
+     (no tearing of mutable-field reads); a stale miss just falls
+     through to the locked slow path.  [v_mu] nests outside the
+     registry's [mu] (taken by [make]) and never the other way, so
+     there is no lock-order cycle. *)
   let cell v i =
     let i = max 0 i in
-    if i >= Array.length v.v_cells then begin
-      let grown = Array.make (i + 8) None in
-      Array.blit v.v_cells 0 grown 0 (Array.length v.v_cells);
-      v.v_cells <- grown
-    end;
-    match v.v_cells.(i) with
+    match if i < Array.length v.v_cells then v.v_cells.(i) else None with
     | Some c -> c
     | None ->
-      let c =
-        make ~help:v.v_help ~labels:[ (v.v_label, string_of_int i) ] v.v_name
-      in
-      v.v_cells.(i) <- Some c;
-      c
+      Mutex.protect v.v_mu (fun () ->
+          if i >= Array.length v.v_cells then begin
+            let grown = Array.make (i + 8) None in
+            Array.blit v.v_cells 0 grown 0 (Array.length v.v_cells);
+            v.v_cells <- grown
+          end;
+          match v.v_cells.(i) with
+          | Some c -> c
+          | None ->
+            let c =
+              make
+                ~help:v.v_help
+                ~labels:[ (v.v_label, string_of_int i) ]
+                v.v_name
+            in
+            v.v_cells.(i) <- Some c;
+            c)
 end
 
 module Gauge = struct
@@ -251,7 +273,7 @@ module Histogram = struct
      The unsafe accesses are covered by construction: [bucket_of] clamps
      to [0, n_buckets) and cells carry [n_buckets + pad] ints and [pad]
      floats. *)
-  let record c v =
+  let[@lipsin.noalloc] record c v =
     let i = bucket_of v in
     Array.unsafe_set c.ints i (Array.unsafe_get c.ints i + 1);
     Array.unsafe_set c.floats 0 (Array.unsafe_get c.floats 0 +. v);
@@ -260,7 +282,7 @@ module Histogram = struct
   (* The per-decision fast lane: hop counts and admitted-link counts are
      small non-negative ints, so the bucket is one table load and no
      float rounding runs at all. *)
-  let record_int c n =
+  let[@lipsin.noalloc] record_int c n =
     let i =
       if n <= 0 then 0
       else if n <= 1024 then Array.unsafe_get small n

@@ -153,7 +153,7 @@ let prop_filter_mutation_flagged =
       let s = part.Partition.stages.(si) in
       let bv = Bitvec.copy (Zfilter.to_bitvec s.Partition.filter) in
       let set = Bitvec.set_positions bv in
-      let bytes = List.sort_uniq compare (List.map (fun p -> p / 8) set) in
+      let bytes = List.sort_uniq Int.compare (List.map (fun p -> p / 8) set) in
       match bytes with
       | [] -> true (* an empty filter has nothing to corrupt *)
       | _ ->

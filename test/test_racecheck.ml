@@ -1,0 +1,230 @@
+(* Tests for Lipsin_linter.Racecheck — the Domain.spawn shared-state
+   classifier behind `lipsin_lint --races`.
+
+   Fixtures are typed in memory with Typed.type_impl, seeding the
+   violations the pass must flag (unsynchronized shared ref counter,
+   Array.set on a captured array from two domains, writes reached
+   through a call chain with parameter re-rooting) and the sanctioned
+   shapes it must pass (domain-local state, Atomic, Mutex.protect,
+   Domain.DLS).  The qcheck property pins the suppression contract
+   for [@lipsin.allow_race]. *)
+
+module Typed = Lipsin_linter.Typed
+module Racecheck = Lipsin_linter.Racecheck
+module Finding = Lipsin_linter.Finding
+
+let counter = ref 0
+
+let check text =
+  incr counter;
+  let name = Printf.sprintf "Racefix%d" !counter in
+  let u = Typed.type_impl ~name text in
+  Racecheck.run_units [ u ]
+
+let messages findings =
+  List.map (fun (f : Finding.t) -> f.Finding.message) findings
+
+let has_finding ~substr findings =
+  List.exists
+    (fun m ->
+      let n = String.length substr in
+      let rec scan i =
+        i + n <= String.length m
+        && (String.equal (String.sub m i n) substr || scan (i + 1))
+      in
+      scan 0)
+    (messages findings)
+
+let test_shared_ref_counter () =
+  let sites, findings =
+    check
+      "let c = ref 0\n\
+       let d () = Domain.spawn (fun () -> incr c)\n"
+  in
+  Alcotest.(check int) "one spawn site" 1 sites;
+  Alcotest.(check int) "one finding" 1 (List.length findings);
+  Alcotest.(check bool) "witness names the counter" true
+    (has_finding ~substr:"to c" findings)
+
+let test_array_set_two_domains () =
+  let sites, findings =
+    check
+      "let a = Array.make 4 0\n\
+       let d () =\n\
+      \  let t1 = Domain.spawn (fun () -> a.(0) <- 1) in\n\
+      \  let t2 = Domain.spawn (fun () -> a.(1) <- 2) in\n\
+      \  Domain.join t1;\n\
+      \  Domain.join t2\n"
+  in
+  Alcotest.(check int) "two spawn sites" 2 sites;
+  Alcotest.(check int) "both writes flagged" 2 (List.length findings);
+  Alcotest.(check bool) "witness names the array" true
+    (has_finding ~substr:"to a" findings)
+
+let test_domain_local_clean () =
+  let sites, findings =
+    check
+      "let d () =\n\
+      \  Domain.spawn (fun () ->\n\
+      \      let local = ref 0 in\n\
+      \      let buf = Array.make 8 0 in\n\
+      \      for i = 0 to 7 do\n\
+      \        buf.(i) <- i;\n\
+      \        local := !local + buf.(i)\n\
+      \      done;\n\
+      \      !local)\n"
+  in
+  Alcotest.(check int) "one spawn site" 1 sites;
+  Alcotest.(check int) "domain-local state is clean" 0
+    (List.length findings)
+
+let test_atomic_clean () =
+  let sites, findings =
+    check
+      "let hits = Atomic.make 0\n\
+       let d () = Domain.spawn (fun () -> Atomic.incr hits)\n"
+  in
+  Alcotest.(check int) "one spawn site" 1 sites;
+  Alcotest.(check int) "atomic writes are sanctioned" 0
+    (List.length findings)
+
+let test_mutex_guarded_clean () =
+  let sites, findings =
+    check
+      "let mu = Mutex.create ()\n\
+       let total = ref 0\n\
+       let d () =\n\
+      \  Domain.spawn (fun () -> Mutex.protect mu (fun () -> incr total))\n"
+  in
+  Alcotest.(check int) "one spawn site" 1 sites;
+  Alcotest.(check int) "mutex-guarded writes are sanctioned" 0
+    (List.length findings)
+
+let test_dls_clean () =
+  let sites, findings =
+    check
+      "let k = Domain.DLS.new_key (fun () -> 0)\n\
+       let d () = Domain.spawn (fun () -> Domain.DLS.set k 1)\n"
+  in
+  Alcotest.(check int) "one spawn site" 1 sites;
+  Alcotest.(check int) "DLS writes are sanctioned" 0 (List.length findings)
+
+let test_callchain_capture () =
+  let _sites, findings =
+    check
+      "let c = ref 0\n\
+       let bump () = incr c\n\
+       let d () = Domain.spawn (fun () -> bump ())\n"
+  in
+  Alcotest.(check int) "write behind a call is found" 1
+    (List.length findings);
+  Alcotest.(check bool) "chain names the callee" true
+    (has_finding ~substr:"bump" findings)
+
+let test_param_rerooting () =
+  let _sites, findings =
+    check
+      "let set_slot arr i v = arr.(i) <- v\n\
+       let jobs = Array.make 8 0\n\
+       let d () = Domain.spawn (fun () -> set_slot jobs 0 1)\n"
+  in
+  Alcotest.(check int) "parameter write re-roots to the captured array" 1
+    (List.length findings);
+  Alcotest.(check bool) "root names the captured array" true
+    (has_finding ~substr:"jobs" findings);
+  (* the same helper fed a freshly built array stays domain-local *)
+  let _sites, clean =
+    check
+      "let set_slot arr i v = arr.(i) <- v\n\
+       let d () =\n\
+      \  Domain.spawn (fun () -> set_slot (Array.make 8 0) 0 1)\n"
+  in
+  Alcotest.(check int) "fresh argument keeps the write local" 0
+    (List.length clean)
+
+let test_no_spawn_no_findings () =
+  let sites, findings =
+    check "let c = ref 0\nlet d () = incr c\n"
+  in
+  Alcotest.(check int) "no spawn sites" 0 sites;
+  Alcotest.(check int) "single-domain writes are out of scope" 0
+    (List.length findings)
+
+let test_suppression () =
+  let _sites, findings =
+    check
+      "let c = ref 0\n\
+       let d () =\n\
+      \  Domain.spawn (fun () ->\n\
+      \      (incr c [@lipsin.allow_race \"test-only counter\"]))\n"
+  in
+  Alcotest.(check int) "allow_race suppresses the write" 0
+    (List.length findings);
+  let _sites, findings =
+    check
+      "let c = ref 0\n\
+       let[@lipsin.allow_race \"documented benign race\"] bump () = incr c\n\
+       let d () = Domain.spawn (fun () -> bump ())\n"
+  in
+  Alcotest.(check int) "binding-level allow_race suppresses the callee" 0
+    (List.length findings)
+
+(* Property: a [@lipsin.allow_race]-marked site never reports, whatever
+   shared-write shape is seeded; the same fixture without the attribute
+   always does. *)
+let racy_writes =
+  [| "incr shared"; "shared := !shared + 1"; "decr shared" |]
+
+let prop_suppressed_never_reports =
+  QCheck.Test.make ~name:"allow_race-marked sites never report" ~count:30
+    QCheck.(pair (int_bound (Array.length racy_writes - 1)) small_nat)
+    (fun (pick, salt) ->
+      let reason = Printf.sprintf "seeded reason %d" salt in
+      let w = racy_writes.(pick) in
+      let suppressed =
+        check
+          (Printf.sprintf
+             "let shared = ref 0\n\
+              let d () =\n\
+             \  Domain.spawn (fun () -> ((%s) [@lipsin.allow_race %S]))\n"
+             w reason)
+      in
+      let bare =
+        check
+          (Printf.sprintf
+             "let shared = ref 0\n\
+              let d () = Domain.spawn (fun () -> %s)\n"
+             w)
+      in
+      List.length (snd suppressed) = 0 && List.length (snd bare) > 0)
+
+let () =
+  Alcotest.run "racecheck"
+    [
+      ( "violations",
+        [
+          Alcotest.test_case "shared ref counter" `Quick
+            test_shared_ref_counter;
+          Alcotest.test_case "Array.set from two domains" `Quick
+            test_array_set_two_domains;
+          Alcotest.test_case "call-chain capture" `Quick
+            test_callchain_capture;
+          Alcotest.test_case "parameter re-rooting" `Quick
+            test_param_rerooting;
+        ] );
+      ( "sanctioned",
+        [
+          Alcotest.test_case "domain-local state" `Quick
+            test_domain_local_clean;
+          Alcotest.test_case "atomics" `Quick test_atomic_clean;
+          Alcotest.test_case "mutex-guarded" `Quick test_mutex_guarded_clean;
+          Alcotest.test_case "domain-local storage" `Quick test_dls_clean;
+          Alcotest.test_case "no spawn, no findings" `Quick
+            test_no_spawn_no_findings;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "site and binding" `Quick test_suppression;
+          QCheck_alcotest.to_alcotest prop_suppressed_never_reports;
+        ] );
+    ]
