@@ -868,6 +868,222 @@ let run_partition_sweep () =
     exit 1
   end
 
+(* --bounds: the runtime half of the bounds certificate.  Every kernel
+   Boundscheck certifies runs twice — once with dynamic index checks on
+   (Idx.set_checking, the LIPSIN_SAFE_INDEX path) and once unchecked —
+   and must agree bit for bit: Bitvec kernels on random vectors, both
+   engines and the batch entry point verdict-for-verdict over a degree
+   sweep.  Then both modes are timed; the certificate is pointless
+   unless dropping the checks is at least free, so the gate fails on
+   any divergence or on the unchecked mode running slower than the
+   checked one (beyond 2% timing noise) at >= 64 ports.  Emits
+   BENCH_PR8.json for the CI artifact. *)
+let bounds_mode = Array.exists (fun a -> a = "--bounds") Sys.argv
+
+let run_bounds () =
+  let module Stats = Lipsin_util.Stats in
+  let module Idx = Lipsin_bitvec.Idx in
+  let was_checking = Idx.is_checking () in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* Bitvec kernel differential: random vectors through every certified
+     kernel, both modes, structural equality of all results. *)
+  let kernel_trials = if smoke then 100 else 1_000 in
+  let rng = Rng.of_int 0xb04d5 in
+  for _ = 1 to kernel_trials do
+    let bits = 1 + Rng.int rng 300 in
+    let a = Bitvec.create bits and b = Bitvec.create bits in
+    for _ = 0 to bits / 4 do
+      Bitvec.set a (Rng.int rng bits);
+      Bitvec.set b (Rng.int rng bits)
+    done;
+    let run () =
+      let seen = ref [] in
+      Bitvec.iter_set a (fun i -> seen := i :: !seen);
+      let u = Bitvec.copy a in
+      Bitvec.logor_into ~dst:u b;
+      ( Bitvec.popcount a, Bitvec.popcount u, Bitvec.subset a ~of_:u,
+        Bitvec.intersects a b, Bitvec.hash a, Bitvec.get a (bits - 1),
+        !seen )
+    in
+    Idx.set_checking true;
+    let safe = run () in
+    Idx.set_checking false;
+    let unsafe = run () in
+    if safe <> unsafe then
+      fail "bitvec kernels: checked and unchecked results diverge at %d bits"
+        bits
+  done;
+  (* Engine differential + timing over the same star-hub degree sweep
+     as BENCH_PR5, restricted to the certified decision kernels. *)
+  let degrees = [| 16; 64; 256; 1024 |] in
+  let rounds = 5 in
+  let iters = if smoke then 200 else 2_000 in
+  let results =
+    Array.map
+      (fun deg ->
+        let g = Graph.create ~nodes:(deg + 1) in
+        for leaf = 1 to deg do
+          Graph.add_edge g 0 leaf
+        done;
+        let asg = Assignment.make Lit.default (Rng.of_int (deg + 7)) g in
+        let engine = Node_engine.create ~loop_prevention:false asg 0 in
+        let fp = Fastpath.compile engine in
+        let bs = Bitsliced.compile engine in
+        let out = Array.of_list (Graph.out_links g 0) in
+        let rng = Rng.of_int (0xb0c4 + deg) in
+        let n_pool = 64 in
+        let pool =
+          Array.init n_pool (fun _ ->
+              let nsel = min 16 deg in
+              let picks = Rng.sample rng nsel deg in
+              Zfilter.of_tags ~m:Lit.default.Lit.m
+                (Array.to_list
+                   (Array.map
+                      (fun i -> Assignment.tag asg out.(i) ~table:0)
+                      picks)))
+        in
+        let batch = Array.map (fun z -> (z, -1)) pool in
+        let verdicts_fast () =
+          Array.map
+            (fun z ->
+              Fastpath.verdict fp
+                (Fastpath.decide fp ~table:0 ~zfilter:z ~in_link_index:(-1)))
+            pool
+        in
+        let verdicts_bits () =
+          Array.map
+            (fun z ->
+              Bitsliced.verdict bs
+                (Bitsliced.decide bs ~table:0 ~zfilter:z ~in_link_index:(-1)))
+            pool
+        in
+        let verdicts_batch () =
+          let acc = Array.make n_pool None in
+          Bitsliced.decide_batch bs ~table:0 batch ~f:(fun i d ->
+              acc.(i) <- Some (Bitsliced.verdict bs d));
+          Array.map (function Some v -> v | None -> assert false) acc
+        in
+        let differential name f =
+          Idx.set_checking true;
+          let safe = f () in
+          Idx.set_checking false;
+          let unsafe = f () in
+          if safe <> unsafe then
+            fail "%s: checked and unchecked verdicts diverge at %d ports"
+              name deg
+        in
+        differential "fastpath.decide" verdicts_fast;
+        differential "bitsliced.decide" verdicts_bits;
+        differential "bitsliced.decide_batch" verdicts_batch;
+        (* Interleave checked/unchecked rounds (cancels thermal and
+           scheduler drift) and keep the minimum per mode: the noise
+           floor is the honest estimate when asking "is the unchecked
+           mode at least as fast". *)
+        let once f =
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to iters do
+            f ()
+          done;
+          (Unix.gettimeofday () -. t0) /. float_of_int (iters * n_pool) *. 1e9
+        in
+        let fast_all () =
+          Array.iter
+            (fun z ->
+              ignore
+                (Fastpath.decide fp ~table:0 ~zfilter:z ~in_link_index:(-1)))
+            pool
+        in
+        let bits_all () =
+          Array.iter
+            (fun z ->
+              ignore
+                (Bitsliced.decide bs ~table:0 ~zfilter:z ~in_link_index:(-1)))
+            pool
+        in
+        let batch_all () =
+          Bitsliced.decide_batch bs ~table:0 batch ~f:(fun _ _ -> ())
+        in
+        (* Per-round adjacent checked/unchecked ratios: the two slices
+           run back to back, so drift cancels inside each ratio and the
+           median over rounds is robust to the odd descheduled slice. *)
+        let measure f =
+          let best_s = ref infinity and best_u = ref infinity in
+          let ratios =
+            Array.init rounds (fun _ ->
+                Idx.set_checking true;
+                let s = once f in
+                Idx.set_checking false;
+                let u = once f in
+                if s < !best_s then best_s := s;
+                if u < !best_u then best_u := u;
+                u /. s)
+          in
+          (!best_s, !best_u, Stats.percentile ratios 50.0)
+        in
+        let f_s, f_u, f_r = measure fast_all in
+        let b_s, b_u, b_r = measure bits_all in
+        let t_s, t_u, t_r = measure batch_all in
+        (deg, (f_s, f_u, f_r), (b_s, b_u, b_r), (t_s, t_u, t_r)))
+      degrees
+  in
+
+  Idx.set_checking was_checking;
+  Printf.printf
+    "bounds differential (%d bitvec kernel trials) and safe/unsafe sweep \
+     (%d zFilters x %d iters, best of %d interleaved rounds)\n"
+    kernel_trials 64 iters rounds;
+  Printf.printf "%6s %10s %10s %6s %10s %10s %6s %10s %10s %6s\n" "ports"
+    "fast chk" "fast un" "ratio" "bits chk" "bits un" "ratio" "batch chk"
+    "batch un" "ratio";
+  Array.iter
+    (fun (deg, (f_s, f_u, f_r), (b_s, b_u, b_r), (t_s, t_u, t_r)) ->
+      Printf.printf
+        "%6d %10.1f %10.1f %6.3f %10.1f %10.1f %6.3f %10.1f %10.1f %6.3f\n%!"
+        deg f_s f_u f_r b_s b_u b_r t_s t_u t_r)
+    results;
+  let oc = open_out "BENCH_PR8.json" in
+  Printf.fprintf oc "{\n  \"kernel_trials\": %d,\n  \"sweep\": [\n"
+    kernel_trials;
+  Array.iteri
+    (fun i (deg, (f_s, f_u, f_r), (b_s, b_u, b_r), (t_s, t_u, t_r)) ->
+      Printf.fprintf oc
+        "    { \"ports\": %d, \"fastpath_checked_ns\": %.1f, \
+         \"fastpath_unchecked_ns\": %.1f, \"fastpath_ratio\": %.3f, \
+         \"bitsliced_checked_ns\": %.1f, \"bitsliced_unchecked_ns\": %.1f, \
+         \"bitsliced_ratio\": %.3f, \"batch_checked_ns\": %.1f, \
+         \"batch_unchecked_ns\": %.1f, \"batch_ratio\": %.3f }%s\n"
+        deg f_s f_u f_r b_s b_u b_r t_s t_u t_r
+        (if i = Array.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ],\n  \"agree\": %b\n}\n" (!failures = []);
+  close_out oc;
+  (* The unchecked mode still reads the [checking] flag, so the true
+     delta is the elided compares only — a few percent.  Gate on the
+     median adjacent-pair ratio with a 5% noise allowance: unchecked
+     must never be meaningfully slower than checked at >= 64 ports. *)
+  Array.iter
+    (fun (deg, (_, _, f_r), (_, _, b_r), (_, _, t_r)) ->
+      if deg >= 64 then begin
+        let tolerance = 1.05 in
+        if f_r > tolerance then
+          fail "fastpath.decide unchecked slower than checked at %d ports \
+                (ratio %.3f)" deg f_r;
+        if b_r > tolerance then
+          fail "bitsliced.decide unchecked slower than checked at %d ports \
+                (ratio %.3f)" deg b_r;
+        if t_r > tolerance then
+          fail "bitsliced.decide_batch unchecked slower than checked at %d \
+                ports (ratio %.3f)" deg t_r
+      end)
+    results;
+  if !failures <> [] then begin
+    List.iter (Printf.printf "FAIL: %s\n") (List.rev !failures);
+    Printf.printf "FAIL: bounds certificate gate (%d violation(s))\n%!"
+      (List.length !failures);
+    exit 1
+  end
+
 let benchmark tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -891,6 +1107,7 @@ let print_results results =
 
 let () =
   if alloc_mode then run_alloc ()
+  else if bounds_mode then run_bounds ()
   else if obs_mode then run_obs ()
   else if sweep_mode then begin
     run_sweep ();

@@ -84,6 +84,12 @@ let whitelist =
       ( "Atomic",
         [ "get"; "set"; "exchange"; "compare_and_set"; "fetch_and_add";
           "incr"; "decr" ] );
+      (* Certified index primitives (PR 8): thin [@inline always]
+         wrappers over the unsafe stdlib accessors above; the int64 pair
+         compiles unboxed in straight-line code like Bytes.get_int64_le *)
+      ( "Idx",
+        [ "get"; "set"; "bget"; "bset"; "bget_i64"; "bset_i64";
+          "is_checking" ] );
       ("Hashtbl", [ "mem"; "length" ]);
       ("Queue", [ "length"; "is_empty" ]);
       ("Domain", [ "is_main_domain" ]);

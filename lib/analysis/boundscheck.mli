@@ -1,0 +1,35 @@
+(** Index-bounds certifier over typed trees (.cmt files).
+
+    Discharges an in-bounds obligation for every index expression
+    reachable from a [@lipsin.inbounds] root, by abstract interpretation
+    in a domain of linear (degree <= 2) integer inequalities: control
+    flow contributes comparison facts, let-bindings contribute
+    substitutions or shape facts (lsr / land / mod / min), and the blob
+    layout invariants the Audit pass enforces at runtime (stride = 8 *
+    words, plane widths, table counts) are trusted as environment facts
+    keyed by record type.  Writes invalidate facts sign-aware, so
+    monotone counters keep their lower bounds across loop bodies.
+
+    Unprovable accesses are findings with a witness access path;
+    suppression is [@lipsin.allow_unchecked "reason"] (a reason string
+    is mandatory, at expression or binding granularity).  Any binding
+    that uses unsafe accessors without being reachable from a root is
+    itself a finding, so the certificate covers every unchecked access
+    in the tree, not just the annotated ones. *)
+
+val rule : string
+
+type stats = {
+  st_roots : string list;  (** [@lipsin.inbounds] roots, sorted *)
+  st_obligations : int;  (** index obligations encountered *)
+  st_proved : int;
+  st_suppressed : int;  (** discharged by a reasoned suppression *)
+}
+
+val run : roots:string list -> stats * Finding.t list
+(** Load every .cmt under [roots]; returns proof statistics and the
+    findings (empty when every obligation is proved or justified). *)
+
+val run_units : Typed.unit_info list -> stats * Finding.t list
+(** Same, over already-loaded units (used by tests with in-memory
+    fixtures). *)

@@ -26,6 +26,12 @@ val type_impl : name:string -> string -> unit_info
 
 val flatten_path : Path.t -> string list
 
+val key_of_segments :
+  aliases:(string, string list) Hashtbl.t -> string list -> string
+(** [key_of_path] on an already-flattened segment list (used when the
+    segments come from somewhere other than a [Path.t], e.g. a type
+    constructor name). *)
+
 val key_of_path : aliases:(string, string list) Hashtbl.t -> Path.t -> string
 (** Canonical dotted key for a path: segments de-mangled, leading
     [Stdlib] / dune wrapper modules dropped, local module aliases
@@ -61,6 +67,8 @@ val attr_payload_string : string -> Parsetree.attributes -> string option
 val noalloc_attr : string
 val allow_alloc_attr : string
 val allow_race_attr : string
+val inbounds_attr : string
+val allow_unchecked_attr : string
 
 val finding_of_loc :
   file:string -> rule:string -> Location.t -> string -> Finding.t

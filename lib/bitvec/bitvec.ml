@@ -17,27 +17,27 @@ let copy t = { bits = t.bits; data = Bytes.copy t.data }
 let check_index t i =
   if i < 0 || i >= t.bits then invalid_arg "Bitvec: index out of range"
 
-let get t i =
+let[@lipsin.inbounds] get t i =
   check_index t i;
-  Char.code (Bytes.get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  Char.code (Idx.bget t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
-let set t i =
-  check_index t i;
-  let b = i lsr 3 in
-  Bytes.set t.data b (Char.chr (Char.code (Bytes.get t.data b) lor (1 lsl (i land 7))))
-
-let clear t i =
+let[@lipsin.inbounds] set t i =
   check_index t i;
   let b = i lsr 3 in
-  Bytes.set t.data b (Char.chr (Char.code (Bytes.get t.data b) land lnot (1 lsl (i land 7)) land 0xff))
+  Idx.bset t.data b (Char.chr (Char.code (Idx.bget t.data b) lor (1 lsl (i land 7))))
 
-let mask_padding t =
+let[@lipsin.inbounds] clear t i =
+  check_index t i;
+  let b = i lsr 3 in
+  Idx.bset t.data b (Char.chr (Char.code (Idx.bget t.data b) land lnot (1 lsl (i land 7)) land 0xff))
+
+let[@lipsin.inbounds] mask_padding t =
   (* Keep bits beyond [t.bits] in the last byte at zero. *)
   let rem = t.bits land 7 in
   if rem <> 0 then begin
     let last = Bytes.length t.data - 1 in
     let m = (1 lsl rem) - 1 in
-    Bytes.set t.data last (Char.chr (Char.code (Bytes.get t.data last) land m))
+    Idx.bset t.data last (Char.chr (Char.code (Idx.bget t.data last) land m))
   end
 
 let set_all t =
@@ -68,24 +68,25 @@ let[@inline always] [@lipsin.noalloc] popcount56 x =
   let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F in
   ((x * 0x01010101010101) lsr 48) land 0xff
 
-let[@lipsin.noalloc] popcount_bytes b ~pos ~len =
+let[@lipsin.noalloc] [@lipsin.inbounds] popcount_bytes b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
     invalid_arg "Bitvec.popcount_bytes: range out of bounds";
   let words = len lsr 3 in
   let count = ref 0 in
   for w = 0 to words - 1 do
-    count := !count + popcount64 (Bytes.get_int64_le b (pos + (w lsl 3)))
+    count := !count + popcount64 (Idx.bget_i64 b (pos + (w lsl 3)))
   done;
   (* Assemble the <8-byte tail into one native int and SWAR it too,
      rather than walking it byte by byte. *)
   let tail = ref 0 and shift = ref 0 in
   for i = pos + (words lsl 3) to pos + len - 1 do
-    tail := !tail lor (Char.code (Bytes.get b i) lsl !shift);
+    tail := !tail lor (Char.code (Idx.bget b i) lsl !shift);
     shift := !shift + 8
   done;
   !count + popcount56 !tail
 
-let[@lipsin.noalloc] popcount t = popcount_bytes t.data ~pos:0 ~len:(Bytes.length t.data)
+let[@lipsin.noalloc] [@lipsin.inbounds] popcount t =
+  popcount_bytes t.data ~pos:0 ~len:(Bytes.length t.data)
 
 let fill_ratio t = float_of_int (popcount t) /. float_of_int t.bits
 
@@ -110,14 +111,14 @@ let logand a b =
   done;
   out
 
-let logor_into ~dst src =
+let[@lipsin.inbounds] logor_into ~dst src =
   check_same_length dst src;
   for i = 0 to Bytes.length dst.data - 1 do
-    Bytes.set dst.data i
-      (Char.chr (Char.code (Bytes.get dst.data i) lor Char.code (Bytes.get src.data i)))
+    Idx.bset dst.data i
+      (Char.chr (Char.code (Idx.bget dst.data i) lor Char.code (Idx.bget src.data i)))
   done
 
-let[@lipsin.noalloc] subset a ~of_ =
+let[@lipsin.noalloc] [@lipsin.inbounds] subset a ~of_ =
   check_same_length a of_;
   let n = Bytes.length a.data in
   let words = n / 8 in
@@ -126,21 +127,21 @@ let[@lipsin.noalloc] subset a ~of_ =
   let ok = ref true in
   let w = ref 0 in
   while !ok && !w < words do
-    let x = Bytes.get_int64_le a.data (8 * !w) in
-    let y = Bytes.get_int64_le of_.data (8 * !w) in
+    let x = Idx.bget_i64 a.data (8 * !w) in
+    let y = Idx.bget_i64 of_.data (8 * !w) in
     if Int64.logand x y <> x then ok := false;
     incr w
   done;
   let i = ref (8 * words) in
   while !ok && !i < n do
-    let x = Char.code (Bytes.get a.data !i) in
-    let y = Char.code (Bytes.get of_.data !i) in
+    let x = Char.code (Idx.bget a.data !i) in
+    let y = Char.code (Idx.bget of_.data !i) in
     if x land y <> x then ok := false;
     incr i
   done;
   !ok
 
-let[@lipsin.noalloc] intersects a b =
+let[@lipsin.noalloc] [@lipsin.inbounds] intersects a b =
   check_same_length a b;
   let n = Bytes.length a.data in
   let words = n / 8 in
@@ -149,15 +150,15 @@ let[@lipsin.noalloc] intersects a b =
   while (not !hit) && !w < words do
     if
       Int64.logand
-        (Bytes.get_int64_le a.data (8 * !w))
-        (Bytes.get_int64_le b.data (8 * !w))
+        (Idx.bget_i64 a.data (8 * !w))
+        (Idx.bget_i64 b.data (8 * !w))
       <> 0L
     then hit := true;
     incr w
   done;
   let i = ref (8 * words) in
   while (not !hit) && !i < n do
-    if Char.code (Bytes.get a.data !i) land Char.code (Bytes.get b.data !i) <> 0 then
+    if Char.code (Idx.bget a.data !i) land Char.code (Idx.bget b.data !i) <> 0 then
       hit := true;
     incr i
   done;
@@ -169,9 +170,9 @@ let compare a b =
   let c = Int.compare a.bits b.bits in
   if c <> 0 then c else Bytes.compare a.data b.data
 
-let iter_set t f =
+let[@lipsin.inbounds] iter_set t f =
   for i = 0 to t.bits - 1 do
-    if Char.code (Bytes.get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+    if Char.code (Idx.bget t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
   done
 
 let set_positions t =
@@ -237,12 +238,12 @@ let of_bytes n b =
 let fnv_offset = 0xcbf29ce484222
 let fnv_prime = 0x100000001b3
 
-let[@lipsin.noalloc] hash t =
+let[@lipsin.noalloc] [@lipsin.inbounds] hash t =
   let h = ref fnv_offset in
   h := (!h lxor (t.bits land 0xff)) * fnv_prime;
   h := (!h lxor ((t.bits lsr 8) land 0xff)) * fnv_prime;
   for i = 0 to Bytes.length t.data - 1 do
-    h := (!h lxor Char.code (Bytes.get t.data i)) * fnv_prime
+    h := (!h lxor Char.code (Idx.bget t.data i)) * fnv_prime
   done;
   !h land max_int
 

@@ -1,0 +1,81 @@
+(* lint: allow domain-safety — [checking] is written once at startup
+   (env) or from the single-domain differential bench before any domain
+   spawns; delivery domains only ever read it, and a stale read merely
+   re-enables a bounds check. *)
+
+(* Certified index primitives.
+
+   Every hot-path access that Boundscheck has proved in range goes
+   through this module instead of the stdlib accessors.  The default
+   implementation is the unchecked one — the static certificate
+   (`lipsin_lint --bounds`, exit 6) is what stands between us and
+   undefined behaviour.  Setting LIPSIN_SAFE_INDEX=1 in the environment
+   (or calling [set_checking true]) re-enables dynamic checks on every
+   access, which the differential suite in `bench --bounds` uses to
+   cross-validate the certificate at runtime: both modes must agree
+   bit-for-bit and the unchecked mode must not be slower.
+
+   The flag is a runtime ref rather than a compile-time constant so a
+   single process can compare both modes (bench needs that); the branch
+   on an immutable-in-practice ref predicts perfectly and costs far
+   less than the two-sided compare of a real bounds check. *)
+
+let checking = ref (Sys.getenv_opt "LIPSIN_SAFE_INDEX" = Some "1")
+let set_checking b = checking := b
+let is_checking () = !checking
+
+let[@inline always][@lipsin.allow_unchecked "primitive layer: call sites carry the obligation via the accessor table; this body is the unchecked implementation itself"] get a i =
+  if !checking && (i < 0 || i >= Array.length a) then
+    invalid_arg "Idx.get: index out of range";
+  Array.unsafe_get a i
+
+let[@inline always][@lipsin.allow_unchecked "primitive layer: call sites carry the obligation via the accessor table; this body is the unchecked implementation itself"] set a i v =
+  if !checking && (i < 0 || i >= Array.length a) then
+    invalid_arg "Idx.set: index out of range";
+  Array.unsafe_set a i v
+
+let[@inline always][@lipsin.allow_unchecked "primitive layer: call sites carry the obligation via the accessor table; this body is the unchecked implementation itself"] bget b i =
+  if !checking && (i < 0 || i >= Bytes.length b) then
+    invalid_arg "Idx.bget: index out of range";
+  Bytes.unsafe_get b i
+
+let[@inline always][@lipsin.allow_unchecked "primitive layer: call sites carry the obligation via the accessor table; this body is the unchecked implementation itself"] bset b i c =
+  if !checking && (i < 0 || i >= Bytes.length b) then
+    invalid_arg "Idx.bset: index out of range";
+  Bytes.unsafe_set b i c
+
+(* 64-bit loads/stores read 8 bytes, so the last valid offset is
+   [Bytes.length b - 8].  The unchecked variants go through
+   Bytes.get_int64_ne/set_int64_ne on an unsafe re-dispatch: OCaml has
+   no public unsafe_get_int64, so we reuse the checked primitive when
+   checking and the %caml_bytes_get64u primitive otherwise. *)
+external unsafe_get_int64_ne : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_int64_ne : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+let[@inline always] swap64 x = if Sys.big_endian then Int64.(
+    let b = logand x 0xffL in
+    let x = shift_right_logical x 8 in
+    let b = logor (shift_left b 8) (logand x 0xffL) in
+    let x = shift_right_logical x 8 in
+    let b = logor (shift_left b 8) (logand x 0xffL) in
+    let x = shift_right_logical x 8 in
+    let b = logor (shift_left b 8) (logand x 0xffL) in
+    let x = shift_right_logical x 8 in
+    let b = logor (shift_left b 8) (logand x 0xffL) in
+    let x = shift_right_logical x 8 in
+    let b = logor (shift_left b 8) (logand x 0xffL) in
+    let x = shift_right_logical x 8 in
+    let b = logor (shift_left b 8) (logand x 0xffL) in
+    let x = shift_right_logical x 8 in
+    logor (shift_left b 8) (logand x 0xffL))
+  else x
+
+let[@inline always][@lipsin.allow_unchecked "primitive layer: call sites carry the obligation via the accessor table; this body is the unchecked implementation itself"] bget_i64 b i =
+  if !checking && (i < 0 || i > Bytes.length b - 8) then
+    invalid_arg "Idx.bget_i64: index out of range";
+  swap64 (unsafe_get_int64_ne b i)
+
+let[@inline always][@lipsin.allow_unchecked "primitive layer: call sites carry the obligation via the accessor table; this body is the unchecked implementation itself"] bset_i64 b i v =
+  if !checking && (i < 0 || i > Bytes.length b - 8) then
+    invalid_arg "Idx.bset_i64: index out of range";
+  unsafe_set_int64_ne b i (swap64 v)

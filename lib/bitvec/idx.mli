@@ -1,0 +1,36 @@
+(** Certified index primitives.
+
+    Accessors that skip the dynamic bounds check by default; the static
+    certificate produced by [lipsin_lint --bounds] (Boundscheck over the
+    typed trees, exit 6 on any unproven site) is what makes that safe.
+    Setting the environment variable [LIPSIN_SAFE_INDEX=1] — or calling
+    {!set_checking}[ true] at runtime — restores a full check on every
+    access, which the [bench --bounds] differential suite uses to
+    cross-validate the certificate. *)
+
+val set_checking : bool -> unit
+(** Toggle dynamic checking at runtime (used by the differential bench
+    to compare both modes in one process). *)
+
+val is_checking : unit -> bool
+(** Whether accesses are currently dynamically checked. *)
+
+val get : 'a array -> int -> 'a
+(** [get a i] is [a.(i)] without the bounds check (unless checking). *)
+
+val set : 'a array -> int -> 'a -> unit
+(** [set a i v] is [a.(i) <- v] without the bounds check. *)
+
+val bget : Bytes.t -> int -> char
+(** [bget b i] is [Bytes.get b i] without the bounds check. *)
+
+val bset : Bytes.t -> int -> char -> unit
+(** [bset b i c] is [Bytes.set b i c] without the bounds check. *)
+
+val bget_i64 : Bytes.t -> int -> int64
+(** [bget_i64 b i] is [Bytes.get_int64_le b i] without the bounds
+    check; valid offsets are [0 .. Bytes.length b - 8]. *)
+
+val bset_i64 : Bytes.t -> int -> int64 -> unit
+(** [bset_i64 b i v] is [Bytes.set_int64_le b i v] without the bounds
+    check; valid offsets are [0 .. Bytes.length b - 8]. *)

@@ -1,3 +1,4 @@
+module Idx = Lipsin_bitvec.Idx
 module Bitvec = Lipsin_bitvec.Bitvec
 module Lit = Lipsin_bloom.Lit
 module Zfilter = Lipsin_bloom.Zfilter
@@ -90,7 +91,7 @@ let make_meters () =
     hadm = Obs.Histogram.local h_admitted;
   }
 
-let bump c = c.(0) <- c.(0) + 1
+let bump c = Idx.set c 0 (Idx.get c 0 + 1)
 
 type decision = {
   mutable forward : int array;
@@ -110,13 +111,17 @@ let drop_fill = 1
 let drop_loop = 2
 let drop_bad_table = 3
 
-(* Engine crossover: the BENCH_PR5 sweep put the scalar fast path ahead
-   at 8 ports (0.78x) and the bit-sliced engine ahead from 64 ports up
-   (2.6x), with the crossover between 12 and 16 ports.  [`Auto] picks
-   the bit-sliced engine from [auto_threshold] ports; the byte-plane
-   (8-bit sweep) layout only pays for itself once the sweep dominates,
-   from [byte_plane_threshold] ports — one full column block. *)
-let auto_threshold = 16
+(* Engine crossover, re-measured after the certified-index conversion
+   (BENCH_PR8): dropping the bounds checks sped the scalar fast path up
+   more at low degree — its per-port row loop is all compares — moving
+   the crossover from the (12, 16] bracket of the BENCH_PR5 sweep to
+   (16, 32]: at 16 ports the scalar engine now wins (0.88x) and the
+   bit-sliced engine leads from 32 ports up (1.18x at 32, ~2x at 64+).
+   [`Auto] picks the bit-sliced engine from [auto_threshold] ports, set
+   mid-bracket; the byte-plane (8-bit sweep) layout only pays for
+   itself once the sweep dominates, from [byte_plane_threshold] ports —
+   one full column block. *)
+let auto_threshold = 24
 let byte_plane_threshold = 64
 
 (* ------------------------------------------------------------------ *)
@@ -611,11 +616,11 @@ let[@lipsin.noalloc] subset_entry blob ~off zf ~zoff ~words =
   let ok = ref true in
   let w = ref 0 in
   while !ok && !w < words do
-    let lw = Bytes.get_int64_le blob (off + (!w lsl 3)) in
+    let lw = Idx.bget_i64 blob (off + (!w lsl 3)) in
     if
       not
         (Int64.equal lw
-           (Int64.logand lw (Bytes.get_int64_le zf (zoff + (!w lsl 3)))))
+           (Int64.logand lw (Idx.bget_i64 zf (zoff + (!w lsl 3)))))
     then ok := false;
     incr w
   done;
@@ -628,72 +633,89 @@ let tz_table =
   [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8; 31; 27; 13;
      23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
 
-let ctz32 x = tz_table.((((x land (-x)) * 0x077CB531) land 0xFFFFFFFF) lsr 27)
+let ctz32 x = Idx.get tz_table ((((x land (-x)) * 0x077CB531) land 0xFFFFFFFF) lsr 27)
 
 let fill_vals ~bits ~stride zf ~zoff vals ~voff =
   if bits = 8 then
     for i = 0 to stride - 1 do
-      vals.(voff + i) <- Char.code (Bytes.get zf (zoff + i))
+      Idx.set vals (voff + i) (Char.code (Idx.bget zf (zoff + i)))
     done
   else
-    for i = 0 to stride - 1 do
-      let b = Char.code (Bytes.get zf (zoff + i)) in
-      vals.(voff + (i lsl 1)) <- b land 0xF;
-      vals.(voff + (i lsl 1) + 1) <- b lsr 4
-    done
+    (for i = 0 to stride - 1 do
+       let b = Char.code (Idx.bget zf (zoff + i)) in
+       Idx.set vals (voff + (i lsl 1)) (b land 0xF);
+       Idx.set vals (voff + (i lsl 1) + 1) (b lsr 4)
+     done
+    [@lipsin.allow_unchecked
+      "nibble planes: this branch runs only when plane_bits = 4, where \
+       npos = 2 * stride exactly; npos = 8 * stride / plane_bits is a \
+       division the affine layout facts cannot carry, so only npos >= \
+       stride is available statically"])
 
 (* The column sweep: OR one plane row per active position into the dead
    masks.  Specialised for the one- and two-sub-block shapes (<= 64
    entries) so the accumulators live in registers. *)
-let sweep ~bits sl vals ~voff dead ~doff =
+let[@lipsin.allow_unchecked
+     "column sweep: build_slice sizes each plane row set as npos * \
+      2^plane_bits * sl_sub, every position in sl_active is < npos, and \
+      the packed (pos lsl bits) lor value row index plus the dead-mask \
+      scratch (sized to the largest sl_sub at build time) are bit-level \
+      invariants the affine domain cannot carry; Audit checks the plane \
+      geometry and used maps"] sweep ~bits sl vals ~voff dead ~doff =
   let plane = sl.sl_plane in
   let act = sl.sl_active in
   let n_act = Array.length act in
   match sl.sl_sub with
   | 0 -> ()
   | 1 ->
-    let acc = ref dead.(doff) in
+    let acc = ref (Idx.get dead doff) in
     for i = 0 to n_act - 1 do
-      let pos = act.(i) in
-      acc := !acc lor plane.((pos lsl bits) lor vals.(voff + pos))
+      let pos = Idx.get act i in
+      acc := !acc lor Idx.get plane ((pos lsl bits) lor Idx.get vals (voff + pos))
     done;
-    dead.(doff) <- !acc
+    Idx.set dead doff !acc
   | 2 ->
-    let a0 = ref dead.(doff) and a1 = ref dead.(doff + 1) in
+    let a0 = ref (Idx.get dead doff) and a1 = ref (Idx.get dead (doff + 1)) in
     for i = 0 to n_act - 1 do
-      let pos = act.(i) in
-      let base = ((pos lsl bits) lor vals.(voff + pos)) lsl 1 in
-      a0 := !a0 lor plane.(base);
-      a1 := !a1 lor plane.(base + 1)
+      let pos = Idx.get act i in
+      let base = ((pos lsl bits) lor Idx.get vals (voff + pos)) lsl 1 in
+      a0 := !a0 lor Idx.get plane base;
+      a1 := !a1 lor Idx.get plane (base + 1)
     done;
-    dead.(doff) <- !a0;
-    dead.(doff + 1) <- !a1
+    Idx.set dead doff !a0;
+    Idx.set dead (doff + 1) !a1
   | sub ->
     for i = 0 to n_act - 1 do
-      let pos = act.(i) in
-      let base = ((pos lsl bits) lor vals.(voff + pos)) * sub in
+      let pos = Idx.get act i in
+      let base = ((pos lsl bits) lor Idx.get vals (voff + pos)) * sub in
       for s = 0 to sub - 1 do
-        dead.(doff + s) <- dead.(doff + s) lor plane.(base + s)
+        Idx.set dead (doff + s) (Idx.get dead (doff + s) lor Idx.get plane (base + s))
       done
     done
 
 (* Position-outer sweep over a chunk of packets: each plane row is
    reused across the whole chunk before moving on — the batch
    amortisation of the column sweep. *)
-let sweep_batch ~bits sl batch_vals ~npos batch_dead ~len ok =
+let[@lipsin.allow_unchecked
+     "batch column sweep: the same plane-row and dead-scratch geometry \
+      as [sweep], with per-packet offsets i * npos and i * sl_sub that \
+      stay inside the batch_cap-sized compile scratch; Audit checks the \
+      plane geometry and used maps"] sweep_batch ~bits sl batch_vals
+    ~npos batch_dead ~len ok =
   let plane = sl.sl_plane in
   let act = sl.sl_active in
   let sub = sl.sl_sub in
   if sub > 0 then
     for ai = 0 to Array.length act - 1 do
-      let pos = act.(ai) in
+      let pos = Idx.get act ai in
       let prow = (pos lsl bits) * sub in
       for i = 0 to len - 1 do
-        if ok.(i) then begin
-          let base = prow + (batch_vals.((i * npos) + pos) * sub) in
+        if Idx.get ok i then begin
+          let base = prow + (Idx.get batch_vals ((i * npos) + pos) * sub) in
           let doff = i * sub in
           for s = 0 to sub - 1 do
-            batch_dead.(doff + s) <- batch_dead.(doff + s) lor plane.(base + s)
+            Idx.set batch_dead (doff + s)
+              (Idx.get batch_dead (doff + s) lor Idx.get plane (base + s))
           done
         end
       done
@@ -718,16 +740,25 @@ let finish t ~obs ~table ~in_link_index ~zf ~zoff ~vals ~voff ~pdead ~pdoff
            d.drop <- drop_loop
        | None -> ());
        if d.drop = no_drop then begin
-         let sl = t.sl_in.(table) in
+         let sl = Idx.get t.sl_in table in
          let risky = ref false in
-         for s = 0 to sl.sl_sub - 1 do
-           let a = ref (sl.sl_valid.(s) land lnot idead.(idoff + s)) in
-           while !a <> 0 do
-             let p = (s lsl 5) + ctz32 !a in
-             a := !a land (!a - 1);
-             if t.out_index.(p) <> in_link_index then risky := true
-           done
-         done;
+         (for s = 0 to sl.sl_sub - 1 do
+            let a =
+              ref (Idx.get sl.sl_valid s land lnot (Idx.get idead (idoff + s)))
+            in
+            while !a <> 0 do
+              let p = (s lsl 5) + ctz32 !a in
+              a := !a land (!a - 1);
+              if Idx.get t.out_index p <> in_link_index then risky := true
+            done
+          done
+         [@lipsin.allow_unchecked
+           "survivor recovery: the dead scratch is sized to the largest \
+            sl_sub across tables (and batch_cap chunks) at build time, \
+            and p = 32 s + ctz32 mask stays below n_ports because \
+            sl_valid only populates bits for real entries (Audit checks \
+            the valid masks); both are bit-mask facts outside the affine \
+            domain"]);
          if !risky then begin
            d.loop_suspected <- true;
            if obs then bump t.obs.msusp;
@@ -747,81 +778,108 @@ let finish t ~obs ~table ~in_link_index ~zf ~zoff ~vals ~voff ~pdead ~pdoff
     t.gen <- t.gen + 1;
     let gen = t.gen in
     d.tests <- t.n_ports + t.n_virt;
-    let sl = t.sl_phys.(table) in
-    let btab = t.blocks.(table) in
-    let boff = t.block_off.(table) in
-    for s = 0 to sl.sl_sub - 1 do
-      let a = ref (sl.sl_valid.(s) land lnot pdead.(pdoff + s)) in
-      while !a <> 0 do
-        let p = (s lsl 5) + ctz32 !a in
-        a := !a land (!a - 1);
-        let blocked = ref false in
-        for b = boff.(p) to boff.(p + 1) - 1 do
-          if subset_entry btab ~off:(b * t.stride) zf ~zoff ~words:t.words then
-            blocked := true
-        done;
-        if obs && !blocked then bump t.obs.mveto;
-        if (not !blocked) && t.seen.(p) <> gen then begin
-          t.seen.(p) <- gen;
-          d.forward.(d.n_forward) <- p;
-          d.n_forward <- d.n_forward + 1
-        end
-      done
-    done;
-    let slv = t.sl_virt.(table) in
+    let sl = Idx.get t.sl_phys table in
+    let btab = Idx.get t.blocks table in
+    let boff = Idx.get t.block_off table in
+    (for s = 0 to sl.sl_sub - 1 do
+       let a =
+         ref (Idx.get sl.sl_valid s land lnot (Idx.get pdead (pdoff + s)))
+       in
+       while !a <> 0 do
+         let p = (s lsl 5) + ctz32 !a in
+         a := !a land (!a - 1);
+         let blocked = ref false in
+         for b = Idx.get boff p to Idx.get boff (p + 1) - 1 do
+           if subset_entry btab ~off:(b * t.stride) zf ~zoff ~words:t.words
+           then blocked := true
+         done;
+         if obs && !blocked then bump t.obs.mveto;
+         if (not !blocked) && Idx.get t.seen p <> gen then begin
+           Idx.set t.seen p gen;
+           Idx.set d.forward d.n_forward p;
+           d.n_forward <- d.n_forward + 1
+         end
+       done
+     done
+    [@lipsin.allow_unchecked
+      "survivor recovery: p = 32 s + ctz32 mask is < n_ports via the \
+       audited valid masks and the dead scratch is sized to the largest \
+       sl_sub at build time; boff rows are monotone offsets into the \
+       per-table blocks blob of boff.(n_ports) stride-wide entries \
+       (Audit invariant), seen has at least n_ports entries, and \
+       forward holds at most n_ports entries because the seen \
+       generation stamp admits each port once per decision"]);
+    let slv = Idx.get t.sl_virt table in
     if slv.sl_n > 0 then begin
       Array.fill t.dead_aux 0 slv.sl_sub 0;
       sweep ~bits slv vals ~voff t.dead_aux ~doff:0;
-      for s = 0 to slv.sl_sub - 1 do
-        let a = ref (slv.sl_valid.(s) land lnot t.dead_aux.(s)) in
-        while !a <> 0 do
-          let v = (s lsl 5) + ctz32 !a in
-          a := !a land (!a - 1);
-          for j = t.v_out_off.(v) to t.v_out_off.(v + 1) - 1 do
-            let p = t.v_out_ports.(j) in
-            if t.up.(p) && t.seen.(p) <> gen then begin
-              t.seen.(p) <- gen;
-              d.forward.(d.n_forward) <- p;
-              d.n_forward <- d.n_forward + 1
-            end
-          done
-        done
-      done
+      (for s = 0 to slv.sl_sub - 1 do
+         let a = ref (Idx.get slv.sl_valid s land lnot (Idx.get t.dead_aux s)) in
+         while !a <> 0 do
+           let v = (s lsl 5) + ctz32 !a in
+           a := !a land (!a - 1);
+           for j = Idx.get t.v_out_off v to Idx.get t.v_out_off (v + 1) - 1 do
+             let p = Idx.get t.v_out_ports j in
+             if Idx.get t.up p && Idx.get t.seen p <> gen then begin
+               Idx.set t.seen p gen;
+               Idx.set d.forward d.n_forward p;
+               d.n_forward <- d.n_forward + 1
+             end
+           done
+         done
+       done
+      [@lipsin.allow_unchecked
+        "virtual-link recovery: v = 32 s + ctz32 mask is < n_virt via \
+         the audited valid masks, v_out_off carries n_virt + 1 monotone \
+         offsets bounding j inside v_out_ports, and every port read \
+         from v_out_ports is < n_ports (Audit checks the indirection); \
+         all content-dependent"])
     end;
-    d.deliver_local <- subset_entry t.local.(table) ~off:0 zf ~zoff ~words:t.words;
-    let sls = t.sl_svc.(table) in
+    d.deliver_local <-
+      subset_entry (Idx.get t.local table) ~off:0 zf ~zoff ~words:t.words;
+    let sls = Idx.get t.sl_svc table in
     if sls.sl_n > 0 then begin
       Array.fill t.dead_aux 0 sls.sl_sub 0;
       sweep ~bits sls vals ~voff t.dead_aux ~doff:0;
-      for s = 0 to sls.sl_sub - 1 do
-        let a = ref (sls.sl_valid.(s) land lnot t.dead_aux.(s)) in
-        while !a <> 0 do
-          let sv = (s lsl 5) + ctz32 !a in
-          a := !a land (!a - 1);
-          d.services.(d.n_services) <- sv;
-          d.n_services <- d.n_services + 1
-        done
-      done
+      (for s = 0 to sls.sl_sub - 1 do
+         let a = ref (Idx.get sls.sl_valid s land lnot (Idx.get t.dead_aux s)) in
+         while !a <> 0 do
+           let sv = (s lsl 5) + ctz32 !a in
+           a := !a land (!a - 1);
+           Idx.set d.services d.n_services sv;
+           d.n_services <- d.n_services + 1
+         done
+       done
+      [@lipsin.allow_unchecked
+        "service recovery: sv = 32 s + ctz32 mask is < sl_n <= length \
+         svc_names via the audited valid masks, and services holds \
+         sl_n entries because each valid bit is drained once per \
+         decision; content-dependent"])
     end;
-    let slx = t.sl_stitch.(table) in
+    let slx = Idx.get t.sl_stitch table in
     if slx.sl_n > 0 then begin
       Array.fill t.dead_aux 0 slx.sl_sub 0;
       sweep ~bits slx vals ~voff t.dead_aux ~doff:0;
-      for s = 0 to slx.sl_sub - 1 do
-        let a = ref (slx.sl_valid.(s) land lnot t.dead_aux.(s)) in
-        while !a <> 0 do
-          let sx = (s lsl 5) + ctz32 !a in
-          a := !a land (!a - 1);
-          d.stitches.(d.n_stitch) <- sx;
-          d.n_stitch <- d.n_stitch + 1
-        done
-      done
+      (for s = 0 to slx.sl_sub - 1 do
+         let a = ref (Idx.get slx.sl_valid s land lnot (Idx.get t.dead_aux s)) in
+         while !a <> 0 do
+           let sx = (s lsl 5) + ctz32 !a in
+           a := !a land (!a - 1);
+           Idx.set d.stitches d.n_stitch sx;
+           d.n_stitch <- d.n_stitch + 1
+         done
+       done
+      [@lipsin.allow_unchecked
+        "stitch recovery: sx = 32 s + ctz32 mask is < sl_n <= length \
+         stitch_next via the audited valid masks, and stitches holds \
+         sl_n entries because each valid bit is drained once per \
+         decision; content-dependent"])
     end;
     if obs then begin
       Obs.Histogram.record_int t.obs.hadm d.n_forward;
       if d.deliver_local then bump t.obs.mlocal;
-      t.obs.msvc.(0) <- t.obs.msvc.(0) + d.n_services;
-      t.obs.mstitch.(0) <- t.obs.mstitch.(0) + d.n_stitch
+      Idx.set t.obs.msvc 0 (Idx.get t.obs.msvc 0 + d.n_services);
+      Idx.set t.obs.mstitch 0 (Idx.get t.obs.mstitch 0 + d.n_stitch)
     end;
     d
   end
@@ -835,7 +893,7 @@ let reset_decision d =
   d.drop <- no_drop;
   d.tests <- 0
 
-let[@lipsin.noalloc] decide t ~table ~zfilter ~in_link_index =
+let[@lipsin.noalloc] [@lipsin.inbounds] decide t ~table ~zfilter ~in_link_index =
   let obs = Obs.enabled () in
   if obs then bump t.obs.md;
   let d = t.decision in
@@ -855,11 +913,11 @@ let[@lipsin.noalloc] decide t ~table ~zfilter ~in_link_index =
   else begin
     Bitvec.blit_into (Zfilter.to_bitvec zfilter) t.zf ~pos:0;
     fill_vals ~bits:t.plane_bits ~stride:t.stride t.zf ~zoff:0 t.vals ~voff:0;
-    let slp = t.sl_phys.(table) in
+    let slp = Idx.get t.sl_phys table in
     Array.fill t.dead_phys 0 slp.sl_sub 0;
     sweep ~bits:t.plane_bits slp t.vals ~voff:0 t.dead_phys ~doff:0;
     if t.loop_prevention then begin
-      let sli = t.sl_in.(table) in
+      let sli = Idx.get t.sl_in table in
       Array.fill t.dead_in 0 sli.sl_sub 0;
       sweep ~bits:t.plane_bits sli t.vals ~voff:0 t.dead_in ~doff:0
     end;
@@ -867,16 +925,16 @@ let[@lipsin.noalloc] decide t ~table ~zfilter ~in_link_index =
       ~pdead:t.dead_phys ~pdoff:0 ~idead:t.dead_in ~idoff:0
   end
 
-let[@lipsin.noalloc] decide_batch t ~table inputs ~f =
+let[@lipsin.noalloc] [@lipsin.inbounds] decide_batch t ~table inputs ~f =
   if table < 0 || table >= t.d then
     for i = 0 to Array.length inputs - 1 do
-      let zfilter, in_link_index = inputs.(i) in
+      let zfilter, in_link_index = Idx.get inputs i in
       (f i (decide t ~table ~zfilter ~in_link_index)
       [@lipsin.allow_alloc "sink callback supplied by the caller"])
     done
   else begin
-    let slp = t.sl_phys.(table) in
-    let sli = t.sl_in.(table) in
+    let slp = Idx.get t.sl_phys table in
+    let sli = Idx.get t.sl_in table in
     let npos = t.npos in
     let n = Array.length inputs in
     let start = ref 0 in
@@ -887,11 +945,17 @@ let[@lipsin.noalloc] decide_batch t ~table inputs ~f =
          entry point in phase 2, which re-checks (and raises or drops)
          at its proper sequential position. *)
       for i = 0 to len - 1 do
-        let zfilter, _ = inputs.(!start + i) in
+        let zfilter, _ =
+          (Idx.get inputs (!start + i)
+          [@lipsin.allow_unchecked
+            "chunk cursor: start advances by len = min batch_cap (n - \
+             start) >= 1 and stays inside [0, n); the non-constant step \
+             defeats the monotone-counter write classification"])
+        in
         let ok =
           Zfilter.m zfilter = t.m && Zfilter.popcount zfilter <= t.fill_threshold
         in
-        t.batch_ok.(i) <- ok;
+        Idx.set t.batch_ok i ok;
         if ok then begin
           Bitvec.blit_into (Zfilter.to_bitvec zfilter) t.batch_zf
             ~pos:(i * t.stride);
@@ -910,8 +974,14 @@ let[@lipsin.noalloc] decide_batch t ~table inputs ~f =
       (* Phase 2: sequential decisions off the precomputed masks, so
          loop-cache evolution matches packet-by-packet semantics. *)
       for i = 0 to len - 1 do
-        let zfilter, in_link_index = inputs.(!start + i) in
-        if not t.batch_ok.(i) then
+        let zfilter, in_link_index =
+          (Idx.get inputs (!start + i)
+          [@lipsin.allow_unchecked
+            "chunk cursor: start advances by len = min batch_cap (n - \
+             start) >= 1 and stays inside [0, n); the non-constant step \
+             defeats the monotone-counter write classification"])
+        in
+        if not (Idx.get t.batch_ok i) then
           (f (!start + i) (decide t ~table ~zfilter ~in_link_index)
           [@lipsin.allow_alloc "sink callback supplied by the caller"])
         else begin

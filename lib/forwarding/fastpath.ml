@@ -1,3 +1,4 @@
+module Idx = Lipsin_bitvec.Idx
 module Bitvec = Lipsin_bitvec.Bitvec
 module Lit = Lipsin_bloom.Lit
 module Zfilter = Lipsin_bloom.Zfilter
@@ -95,7 +96,7 @@ let make_meters () =
     hadm = Obs.Histogram.local h_admitted;
   }
 
-let bump c = c.(0) <- c.(0) + 1
+let bump c = Idx.set c 0 (Idx.get c 0 + 1)
 
 type decision = {
   mutable forward : int array;
@@ -404,14 +405,14 @@ let[@lipsin.noalloc] subset_entry blob ~off zf ~words =
   let ok = ref true in
   let w = ref 0 in
   while !ok && !w < words do
-    let lw = Bytes.get_int64_le blob (off + (!w lsl 3)) in
-    if not (Int64.equal lw (Int64.logand lw (Bytes.get_int64_le zf (!w lsl 3))))
+    let lw = Idx.bget_i64 blob (off + (!w lsl 3)) in
+    if not (Int64.equal lw (Int64.logand lw (Idx.bget_i64 zf (!w lsl 3))))
     then ok := false;
     incr w
   done;
   !ok
 
-let[@lipsin.noalloc] decide t ~table ~zfilter ~in_link_index =
+let[@lipsin.noalloc] [@lipsin.inbounds] decide t ~table ~zfilter ~in_link_index =
   let obs = Obs.enabled () in
   if obs then bump t.obs.md;
   let d = t.decision in
@@ -453,9 +454,9 @@ let[@lipsin.noalloc] decide t ~table ~zfilter ~in_link_index =
          | None -> ());
          if d.drop = no_drop then begin
            let risky = ref false in
-           let itab = t.in_tags.(table) in
+           let itab = Idx.get t.in_tags table in
            for p = 0 to t.n_ports - 1 do
-             if t.out_index.(p) <> in_link_index then
+             if Idx.get t.out_index p <> in_link_index then
                if subset_entry itab ~off:(p * stride) zf ~words then
                  risky := true
            done;
@@ -478,65 +479,91 @@ let[@lipsin.noalloc] decide t ~table ~zfilter ~in_link_index =
       t.gen <- t.gen + 1;
       let gen = t.gen in
       d.tests <- t.n_ports + t.n_virt;
-      let ptab = t.phys.(table) in
-      let btab = t.blocks.(table) in
-      let boff = t.block_off.(table) in
+      let ptab = Idx.get t.phys table in
+      let btab = Idx.get t.blocks table in
+      let boff = Idx.get t.block_off table in
       for p = 0 to t.n_ports - 1 do
         if subset_entry ptab ~off:(p * stride) zf ~words then begin
           let blocked = ref false in
-          for b = boff.(p) to boff.(p + 1) - 1 do
-            if subset_entry btab ~off:(b * stride) zf ~words then blocked := true
+          for b = Idx.get boff p to Idx.get boff (p + 1) - 1 do
+            if
+              (subset_entry btab ~off:(b * stride) zf ~words
+              [@lipsin.allow_unchecked
+                "audit invariant: block_off rows are monotone offsets into                  the block blob (Audit checks offsets and blob length =                  block_off.(n_ports) * stride), so b * stride stays inside                  btab; the offsets live in array content, outside the                  affine domain"])
+            then blocked := true
           done;
           if obs && !blocked then bump t.obs.mveto;
-          if (not !blocked) && t.seen.(p) <> gen then begin
-            t.seen.(p) <- gen;
-            d.forward.(d.n_forward) <- p;
+          if (not !blocked) && Idx.get t.seen p <> gen then begin
+            Idx.set t.seen p gen;
+            (Idx.set d.forward d.n_forward p
+            [@lipsin.allow_unchecked
+              "capacity invariant: forward holds max 1 n_ports entries                (compile) and the seen generation stamp admits each port at                most once per decide, so n_forward < n_ports here"]);
             d.n_forward <- d.n_forward + 1
           end
         end
       done;
-      let vtab = t.virt.(table) in
+      let vtab = Idx.get t.virt table in
       for v = 0 to t.n_virt - 1 do
         if subset_entry vtab ~off:(v * stride) zf ~words then
-          for j = t.v_out_off.(v) to t.v_out_off.(v + 1) - 1 do
-            let p = t.v_out_ports.(j) in
-            if t.up.(p) && t.seen.(p) <> gen then begin
-              t.seen.(p) <- gen;
-              d.forward.(d.n_forward) <- p;
+          for j = Idx.get t.v_out_off v to Idx.get t.v_out_off (v + 1) - 1 do
+            let p =
+              (Idx.get t.v_out_ports j
+              [@lipsin.allow_unchecked
+                "audit invariant: v_out_off is a monotone offset table with                  v_out_off.(n_virt) = length v_out_ports (compile), so j                  stays inside v_out_ports; offsets live in array content,                  outside the affine domain"])
+            in
+            if
+              (Idx.get t.up p
+              [@lipsin.allow_unchecked
+                "compile invariant: v_out_ports entries are valid port                  indices < n_ports by construction; the port value is array                  content, outside the affine domain"])
+              && (Idx.get t.seen p
+                 [@lipsin.allow_unchecked
+                   "compile invariant: v_out_ports entries are valid port                     indices < n_ports by construction"])
+                 <> gen
+            then begin
+              (Idx.set t.seen p gen
+              [@lipsin.allow_unchecked
+                "compile invariant: v_out_ports entries are valid port                  indices < n_ports by construction"]);
+              (Idx.set d.forward d.n_forward p
+              [@lipsin.allow_unchecked
+                "capacity invariant: forward holds max 1 n_ports entries                  and the seen stamp admits each port at most once per                  decide"]);
               d.n_forward <- d.n_forward + 1
             end
           done
       done;
-      d.deliver_local <- subset_entry t.local.(table) ~off:0 zf ~words;
-      let stab = t.svc.(table) in
+      d.deliver_local <- subset_entry (Idx.get t.local table) ~off:0 zf ~words;
+      let stab = Idx.get t.svc table in
       for s = 0 to Array.length t.svc_names - 1 do
         if subset_entry stab ~off:(s * stride) zf ~words then begin
-          d.services.(d.n_services) <- s;
+          (Idx.set d.services d.n_services s
+          [@lipsin.allow_unchecked
+            "capacity invariant: services holds max 1 (length svc_names)              entries (compile) and s ranges over svc_names, each matched              at most once"]);
           d.n_services <- d.n_services + 1
         end
       done;
-      let xtab = t.stitch.(table) in
+      let xtab = Idx.get t.stitch table in
       for s = 0 to Array.length t.stitch_next - 1 do
         if subset_entry xtab ~off:(s * stride) zf ~words then begin
-          d.stitches.(d.n_stitch) <- s;
+          (Idx.set d.stitches d.n_stitch s
+          [@lipsin.allow_unchecked
+            "capacity invariant: stitches holds max 1 (length stitch_next)              entries (compile) and s ranges over stitch_next, each matched              at most once"]);
           d.n_stitch <- d.n_stitch + 1
         end
       done;
       if obs then begin
         Obs.Histogram.record_int t.obs.hadm d.n_forward;
         if d.deliver_local then bump t.obs.mlocal;
-        t.obs.msvc.(0) <- t.obs.msvc.(0) + d.n_services;
-        t.obs.mstitch.(0) <- t.obs.mstitch.(0) + d.n_stitch
+        Idx.set t.obs.msvc 0 (Idx.get t.obs.msvc 0 + d.n_services);
+        Idx.set t.obs.mstitch 0 (Idx.get t.obs.mstitch 0 + d.n_stitch)
       end;
       d
     end
   end
 
-let[@lipsin.noalloc] decide_batch t ~table inputs ~f =
+let[@lipsin.noalloc] [@lipsin.inbounds] decide_batch t ~table inputs ~f =
   (* for-loop rather than [Array.iteri]: the iteration closure would be
      the only allocation in an otherwise alloc-free batch. *)
   for i = 0 to Array.length inputs - 1 do
-    let zfilter, in_link_index = inputs.(i) in
+    let zfilter, in_link_index = Idx.get inputs i in
     (f i (decide t ~table ~zfilter ~in_link_index)
     [@lipsin.allow_alloc "sink callback supplied by the caller"])
   done

@@ -1,0 +1,334 @@
+(* Tests for Lipsin_linter.Boundscheck — the typed-tree index-safety
+   prover behind `lipsin_lint --bounds`.
+
+   Fixtures are typed in memory with Typed.type_impl against the
+   stdlib-only initial environment, seeded with the violations the
+   checker must catch (off-by-one loop bounds, bad stride arithmetic,
+   content-dependent indexes) and the idioms it must prove clean
+   (length-bounded for/while loops, guard refinement, stride walks).
+   The qcheck properties pin the suppression contract at binding
+   granularity and the runtime half of the certificate: the checked and
+   unchecked Idx modes agree bit for bit on every certified Bitvec
+   kernel. *)
+
+module Typed = Lipsin_linter.Typed
+module Boundscheck = Lipsin_linter.Boundscheck
+module Finding = Lipsin_linter.Finding
+module Idx = Lipsin_bitvec.Idx
+module Bitvec = Lipsin_bitvec.Bitvec
+module Rng = Lipsin_util.Rng
+
+let counter = ref 0
+
+let check text =
+  (* unique unit names: the compiler-libs persistent env caches typed
+     units by module name *)
+  incr counter;
+  let name = Printf.sprintf "Boundsfix%d" !counter in
+  let u = Typed.type_impl ~name text in
+  let _stats, findings = Boundscheck.run_units [ u ] in
+  findings
+
+let stats_of text =
+  incr counter;
+  let name = Printf.sprintf "Boundsfix%d" !counter in
+  let u = Typed.type_impl ~name text in
+  let stats, _findings = Boundscheck.run_units [ u ] in
+  stats
+
+let messages findings =
+  List.map (fun (f : Finding.t) -> f.Finding.message) findings
+
+let has_finding ~substr findings =
+  List.exists
+    (fun m ->
+      let n = String.length substr in
+      let rec scan i =
+        i + n <= String.length m
+        && (String.equal (String.sub m i n) substr || scan (i + 1))
+      in
+      scan 0)
+    (messages findings)
+
+(* ---------------------------------------------------------------- *)
+(* Clean fixtures: what the prover must discharge without help.      *)
+
+let test_clean_length_loop () =
+  let findings =
+    check
+      "let[@lipsin.inbounds] sum a =\n\
+      \  let acc = ref 0 in\n\
+      \  for i = 0 to Array.length a - 1 do\n\
+      \    acc := !acc + Array.unsafe_get a i\n\
+      \  done;\n\
+      \  !acc\n"
+  in
+  Alcotest.(check int) "length-bounded for loop proves clean" 0
+    (List.length findings)
+
+let test_clean_while_counter () =
+  let findings =
+    check
+      "let[@lipsin.inbounds] scan a =\n\
+      \  let acc = ref 0 in\n\
+      \  let i = ref 0 in\n\
+      \  let n = Array.length a in\n\
+      \  while !i < n do\n\
+      \    acc := !acc lxor Array.unsafe_get a !i;\n\
+      \    incr i\n\
+      \  done;\n\
+      \  !acc\n"
+  in
+  Alcotest.(check int) "monotone while counter proves clean" 0
+    (List.length findings)
+
+let test_clean_guard_refinement () =
+  let findings =
+    check
+      "let[@lipsin.inbounds] get_guarded a i =\n\
+      \  if i < 0 || i >= Array.length a then 0\n\
+      \  else Array.unsafe_get a i\n"
+  in
+  Alcotest.(check int) "range guard refines the else branch" 0
+    (List.length findings)
+
+let test_clean_stride_walk () =
+  let findings =
+    check
+      "let[@lipsin.inbounds] words b =\n\
+      \  let n = Bytes.length b / 8 in\n\
+      \  let acc = ref 0L in\n\
+      \  for w = 0 to n - 1 do\n\
+      \    acc := Int64.logxor !acc (Bytes.get_int64_le b (w * 8))\n\
+      \  done;\n\
+      \  !acc\n"
+  in
+  Alcotest.(check int) "8-byte stride walk proves clean" 0
+    (List.length findings)
+
+let test_clean_helper_via_inlining () =
+  (* the helper has no annotation of its own: the obligation is
+     discharged per call site, under the caller's facts *)
+  let findings =
+    check
+      "let read a i = Array.unsafe_get a i\n\
+       let[@lipsin.inbounds] total a =\n\
+      \  let acc = ref 0 in\n\
+      \  for i = 0 to Array.length a - 1 do\n\
+      \    acc := !acc + read a i\n\
+      \  done;\n\
+      \  !acc\n"
+  in
+  Alcotest.(check int) "helper certified through its caller" 0
+    (List.length findings)
+
+(* ---------------------------------------------------------------- *)
+(* Seeded violations: every corruption must be flagged statically.   *)
+
+let test_off_by_one_loop () =
+  let findings =
+    check
+      "let[@lipsin.inbounds] sum a =\n\
+      \  let acc = ref 0 in\n\
+      \  for i = 0 to Array.length a do\n\
+      \    acc := !acc + Array.unsafe_get a i\n\
+      \  done;\n\
+      \  !acc\n"
+  in
+  Alcotest.(check bool) "inclusive length bound reported" true
+    (has_finding ~substr:"unproven bounds" findings)
+
+let test_bad_stride_arithmetic () =
+  let findings =
+    check
+      "let[@lipsin.inbounds] words b =\n\
+      \  let n = Bytes.length b / 8 in\n\
+      \  let acc = ref 0L in\n\
+      \  for w = 0 to n - 1 do\n\
+      \    acc := Int64.logxor !acc (Bytes.get_int64_le b ((w * 8) + 1))\n\
+      \  done;\n\
+      \  !acc\n"
+  in
+  Alcotest.(check bool) "misaligned 8-byte read reported" true
+    (has_finding ~substr:"unproven bounds" findings)
+
+let test_dynamic_index () =
+  let findings =
+    check
+      "let[@lipsin.inbounds] pick a idx i =\n\
+      \  if i >= 0 && i < Array.length idx then\n\
+      \    Array.unsafe_get a (Array.unsafe_get idx i)\n\
+      \  else 0\n"
+  in
+  Alcotest.(check bool) "content-dependent index reported" true
+    (has_finding ~substr:"unproven bounds" findings);
+  (* only the outer read is unprovable: the guarded idx read is fine *)
+  Alcotest.(check int) "exactly the outer read reported" 1
+    (List.length findings)
+
+let test_missing_lower_bound () =
+  let findings =
+    check
+      "let[@lipsin.inbounds] last a i =\n\
+      \  if i < Array.length a then Array.unsafe_get a i else 0\n"
+  in
+  Alcotest.(check bool) "missing nonnegativity reported" true
+    (has_finding ~substr:"unproven bounds" findings)
+
+let test_violation_through_helper () =
+  let findings =
+    check
+      "let read a i = Array.unsafe_get a i\n\
+       let[@lipsin.inbounds] total a =\n\
+      \  let acc = ref 0 in\n\
+      \  for i = 0 to Array.length a do\n\
+      \    acc := !acc + read a i\n\
+      \  done;\n\
+      \  !acc\n"
+  in
+  Alcotest.(check bool) "violation reported through the inline chain" true
+    (has_finding ~substr:"unproven bounds" findings);
+  Alcotest.(check bool) "finding names the helper chain" true
+    (has_finding ~substr:"read" findings)
+
+(* ---------------------------------------------------------------- *)
+(* Coverage and suppression policy.                                  *)
+
+let test_uncertified_unsafe () =
+  let findings = check "let f a i = Array.unsafe_get a i\n" in
+  Alcotest.(check bool) "unreachable unsafe binding reported" true
+    (has_finding ~substr:"uncertified unsafe access" findings)
+
+let test_reasonless_suppression () =
+  let findings =
+    check
+      "let[@lipsin.inbounds] f a =\n\
+      \  (Array.unsafe_get a 0 [@lipsin.allow_unchecked])\n"
+  in
+  Alcotest.(check bool) "reasonless suppression reported" true
+    (has_finding ~substr:"a reason string is required" findings)
+
+let test_reasoned_suppression_counts () =
+  let stats =
+    stats_of
+      "let[@lipsin.inbounds] f a i =\n\
+      \  (Array.unsafe_get a i [@lipsin.allow_unchecked \"test fixture\"])\n"
+  in
+  Alcotest.(check int) "suppressed obligation counted" 1
+    stats.Boundscheck.st_suppressed;
+  Alcotest.(check int) "one root found" 1
+    (List.length stats.Boundscheck.st_roots)
+
+let test_binding_granular_suppression () =
+  (* suppression is per binding: the marked twin is silent, the bare
+     twin still reports *)
+  let findings =
+    check
+      "let[@lipsin.allow_unchecked \"fixture: checked by caller\"] f a i =\n\
+      \  Array.unsafe_get a i\n\
+       let g a i = Array.unsafe_set a i 0\n"
+  in
+  Alcotest.(check int) "only the unmarked binding reports" 1
+    (List.length findings);
+  Alcotest.(check bool) "the finding is g's" true
+    (has_finding ~substr:"g" findings)
+
+(* Property: whatever unchecked accessor is seeded and whatever the
+   reason string says, a reasoned suppression silences exactly its own
+   binding and never its bare twin. *)
+let unsafe_bodies =
+  [|
+    "Array.unsafe_get a i";
+    "Array.unsafe_set a i 0; 0";
+    "Char.code (String.unsafe_get \"abcd\" i)";
+    "Char.code (Bytes.unsafe_get (Bytes.create 4) i)";
+  |]
+
+let prop_binding_granular =
+  QCheck.Test.make ~name:"allow_unchecked is binding-granular" ~count:24
+    QCheck.(pair (int_bound (Array.length unsafe_bodies - 1)) small_nat)
+    (fun (pick, salt) ->
+      let reason = Printf.sprintf "seeded reason %d" salt in
+      let body = unsafe_bodies.(pick) in
+      let text =
+        Printf.sprintf
+          "let[@lipsin.allow_unchecked %S] f (a : int array) i = %s\n\
+           let g (a : int array) i = %s\n"
+          reason body body
+      in
+      let findings = check text in
+      (* exactly one finding, and it is not attributed to [f] *)
+      List.length findings = 1 && has_finding ~substr:"g" findings)
+
+(* ---------------------------------------------------------------- *)
+(* Runtime half: checked and unchecked Idx agree bit for bit.        *)
+
+let prop_modes_agree =
+  QCheck.Test.make ~name:"checked and unchecked kernels agree" ~count:60
+    QCheck.(pair (int_bound 1000) (int_bound 290))
+    (fun (seed, extra) ->
+      let was = Idx.is_checking () in
+      let bits = 1 + extra in
+      let rng = Rng.of_int (seed + (bits * 7919)) in
+      let a = Bitvec.create bits and b = Bitvec.create bits in
+      for _ = 0 to bits / 3 do
+        Bitvec.set a (Rng.int rng bits);
+        Bitvec.set b (Rng.int rng bits)
+      done;
+      let run () =
+        let seen = ref [] in
+        Bitvec.iter_set a (fun i -> seen := i :: !seen);
+        let u = Bitvec.copy a in
+        Bitvec.logor_into ~dst:u b;
+        ( Bitvec.popcount a,
+          Bitvec.popcount u,
+          Bitvec.subset a ~of_:u,
+          Bitvec.intersects a b,
+          Bitvec.hash a,
+          Bitvec.get a (bits - 1),
+          !seen )
+      in
+      Idx.set_checking true;
+      let safe = run () in
+      Idx.set_checking false;
+      let unsafe = run () in
+      Idx.set_checking was;
+      safe = unsafe)
+
+let () =
+  Alcotest.run "boundscheck"
+    [
+      ( "proofs",
+        [
+          Alcotest.test_case "length loop" `Quick test_clean_length_loop;
+          Alcotest.test_case "while counter" `Quick test_clean_while_counter;
+          Alcotest.test_case "guard refinement" `Quick
+            test_clean_guard_refinement;
+          Alcotest.test_case "stride walk" `Quick test_clean_stride_walk;
+          Alcotest.test_case "helper via inlining" `Quick
+            test_clean_helper_via_inlining;
+        ] );
+      ( "violations",
+        [
+          Alcotest.test_case "off-by-one loop" `Quick test_off_by_one_loop;
+          Alcotest.test_case "bad stride" `Quick test_bad_stride_arithmetic;
+          Alcotest.test_case "dynamic index" `Quick test_dynamic_index;
+          Alcotest.test_case "missing lower bound" `Quick
+            test_missing_lower_bound;
+          Alcotest.test_case "violation through helper" `Quick
+            test_violation_through_helper;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "uncertified unsafe" `Quick
+            test_uncertified_unsafe;
+          Alcotest.test_case "reasonless suppression" `Quick
+            test_reasonless_suppression;
+          Alcotest.test_case "reasoned suppression counts" `Quick
+            test_reasoned_suppression_counts;
+          Alcotest.test_case "binding granularity" `Quick
+            test_binding_granular_suppression;
+          QCheck_alcotest.to_alcotest prop_binding_granular;
+        ] );
+      ("differential", [ QCheck_alcotest.to_alcotest prop_modes_agree ]);
+    ]
