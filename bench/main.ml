@@ -510,6 +510,7 @@ let run_obs () =
     done;
     Unix.gettimeofday () -. t0
   in
+  let sample_every = 1024 in
   let configure = function
     | `Noop -> Obs.Sink.set Obs.Sink.Noop
     | `Counters ->
@@ -517,23 +518,30 @@ let run_obs () =
       Obs.Trace.set_recording false
     | `Traced ->
       Obs.Sink.set Obs.Sink.Memory;
-      Obs.Trace.set_recording true
+      Obs.Trace.set_recording true;
+      Obs.Trace.set_sampling 1
+    | `Sampled ->
+      Obs.Sink.set Obs.Sink.Memory;
+      Obs.Trace.set_recording true;
+      Obs.Trace.set_sampling sample_every
   in
-  let configs = [| `Noop; `Counters; `Traced |] in
-  let samples = Array.make_matrix 3 rounds 0.0 in
+  let configs = [| `Noop; `Counters; `Traced; `Sampled |] in
+  let n_cfg = Array.length configs in
+  let samples = Array.make_matrix n_cfg rounds 0.0 in
   (* Warm every sink (engine compiles, Obs cells, trace ring). *)
   Array.iter (fun c -> configure c; ignore (time_slice ())) configs;
   (* Shuffle the order within each round: with a fixed order, slice i
      always inherits slice i-1's GC debt and the comparison tilts. *)
   let order_rng = Rng.of_int 0x0b5 in
   for r = 0 to rounds - 1 do
-    let order = Rng.sample order_rng 3 3 in
+    let order = Rng.sample order_rng n_cfg n_cfg in
     Array.iter
       (fun i ->
         configure configs.(i);
         samples.(i).(r) <- time_slice ())
       order
   done;
+  Obs.Trace.set_sampling 1;
   let median xs = Stats.percentile xs 50.0 in
   let ratios i =
     median (Array.init rounds (fun r -> samples.(i).(r) /. samples.(0).(r)))
@@ -541,6 +549,7 @@ let run_obs () =
   let noop = median samples.(0) /. float_of_int iters *. 1e9 in
   let counters = noop *. ratios 1 in
   let traced = noop *. ratios 2 in
+  let sampled = noop *. ratios 3 in
   (* Per-delivery latency distribution and allocation rate, measured
      with the instrumented (counters) configuration. *)
   configure `Counters;
@@ -558,11 +567,26 @@ let run_obs () =
   let p99 = Stats.percentile lat 99.0 in
   let overhead_counters = 100.0 *. ((counters -. noop) /. noop) in
   let overhead_traced = 100.0 *. ((traced -. noop) /. noop) in
+  let overhead_sampled = 100.0 *. ((sampled -. noop) /. noop) in
   Printf.printf "telemetry overhead (deliver-16-users-fast, %d iters x %d rounds)\n" iters rounds;
   Printf.printf "  noop sink      %12.1f ns/op\n" noop;
   Printf.printf "  counters       %12.1f ns/op  (%+.2f%%)\n" counters overhead_counters;
   Printf.printf "  counters+trace %12.1f ns/op  (%+.2f%%)\n" traced overhead_traced;
+  Printf.printf "  sampled 1/%-4d %12.1f ns/op  (%+.2f%%)\n" sample_every sampled
+    overhead_sampled;
   Printf.printf "  p99 latency    %12.1f ns     minor words/op %.1f\n%!" p99 minor_per_op;
+  (* `overhead` rows (config, ratio-vs-noop) are the shape lipsin_report
+     extracts conclusions from; both files carry them. *)
+  let overhead_rows =
+    Printf.sprintf
+      "  \"overhead\": [\n\
+      \    { \"config\": \"counters\", \"ratio\": %.5f, \"ns_per_op\": %.1f },\n\
+      \    { \"config\": \"traced\", \"ratio\": %.5f, \"ns_per_op\": %.1f },\n\
+      \    { \"config\": \"sampled-1-in-%d\", \"ratio\": %.5f, \"ns_per_op\": %.1f }\n\
+      \  ]"
+      (counters /. noop) counters (traced /. noop) traced sample_every
+      (sampled /. noop) sampled
+  in
   let oc = open_out "BENCH_PR4.json" in
   Printf.fprintf oc
     "{\n\
@@ -576,15 +600,35 @@ let run_obs () =
     \  \"p99_ns\": %.1f,\n\
     \  \"minor_words_per_op\": %.1f,\n\
     \  \"overhead_counters_pct\": %.3f,\n\
-    \  \"overhead_traced_pct\": %.3f\n\
+    \  \"overhead_traced_pct\": %.3f,\n\
+     %s\n\
      }\n"
     iters rounds noop counters traced
     (1e9 /. counters)
-    p99 minor_per_op overhead_counters overhead_traced;
+    p99 minor_per_op overhead_counters overhead_traced overhead_rows;
+  close_out oc;
+  let oc = open_out "BENCH_PR9.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"deliver-16-users-fast\",\n\
+    \  \"iters_per_round\": %d,\n\
+    \  \"rounds\": %d,\n\
+    \  \"sample_every\": %d,\n\
+    \  \"noop_ns_per_op\": %.1f,\n\
+     %s,\n\
+    \  \"gate\": \"sampled 1-in-%d tracing ratio < 1.03 vs noop sink\"\n\
+     }\n"
+    iters rounds sample_every noop overhead_rows sample_every;
   close_out oc;
   if overhead_counters > 3.0 then begin
     Printf.printf "FAIL: counters-only telemetry overhead %.2f%% > 3%%\n%!"
       overhead_counters;
+    exit 1
+  end;
+  if sampled /. noop >= 1.03 then begin
+    Printf.printf
+      "FAIL: sampled 1-in-%d tracing overhead %.2f%% breaks the < 3%% gate\n%!"
+      sample_every overhead_sampled;
     exit 1
   end
 

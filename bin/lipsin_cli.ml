@@ -218,66 +218,137 @@ let forward_cmd =
 (* ---- runtime telemetry ---- *)
 
 module Obs = Lipsin_obs.Obs
+module Serve = Lipsin_serve.Serve
 module Bitvec = Lipsin_bitvec.Bitvec
 module Zfilter = Lipsin_bloom.Zfilter
+
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("reference", `Reference); ("fast", `Fast);
+             ("bitsliced", `Bitsliced); ("auto", `Auto) ])
+        `Fast
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Forwarding engine: $(b,reference) (per-link subset test), \
+           $(b,fast) (compiled row-major), $(b,bitsliced) (transposed \
+           word-parallel), or $(b,auto) (bit-sliced at high-degree \
+           nodes, scalar elsewhere).")
+
+let sample_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "sample" ] ~docv:"N"
+        ~doc:
+          "Trace 1-in-$(docv) publications (per-publication sampling; 1 \
+           traces everything, 0 disables the trace ring).")
+
+(* The telemetry workload shared by `metrics` and `serve`: warm the
+   loop-prevention machinery on a side net so the loop-cache series are
+   non-zero, then cycle precomputed delivery jobs through the selected
+   engine, spreading them over all d forwarding tables.  Returns the
+   (workload, net) pair so callers can keep publishing. *)
+let telemetry_workload () =
+  let graph = As_presets.as6461 () in
+  let assignment = Assignment.make Lit.default (Rng.of_int 1) graph in
+  let net = Net.make assignment in
+  let d = Lit.default.Lipsin_bloom.Lit.d in
+  let rng = Rng.of_int 42 in
+  let n_work = 64 in
+  let work =
+    Array.init n_work (fun i ->
+        let users = 4 + (i mod 13) in
+        let picks = Rng.sample rng users (Graph.node_count graph) in
+        let root = picks.(0) in
+        let subs = Array.to_list (Array.sub picks 1 (users - 1)) in
+        let tree = Spt.delivery_tree graph ~root ~subscribers:subs in
+        let table = i mod d in
+        let c = Candidate.build_one assignment ~tree ~table in
+        (root, table, c.Candidate.zfilter, tree))
+  in
+  (net, work)
+
+let warm_loop_cache engine =
+  (* On a small side net with the fill guard relaxed, an all-ones
+     filter matches every port, and TTL mode revisits nodes from
+     different in-links, so the cached out-decision disagrees with the
+     second arrival. *)
+  let all_ones =
+    let bv = Bitvec.create Lit.default.Lipsin_bloom.Lit.m in
+    Bitvec.set_all bv;
+    Zfilter.of_bitvec bv
+  in
+  let loop_net =
+    let g =
+      Generator.pref_attach ~rng:(Rng.of_int 9) ~nodes:16 ~edges:27
+        ~max_degree:6 ()
+    in
+    Net.make ~fill_limit:1.0 (Assignment.make Lit.default (Rng.of_int 9) g)
+  in
+  for _ = 1 to 2 do
+    ignore
+      (Run.deliver ~engine ~mode:(Run.Ttl 6) loop_net ~src:0 ~table:0
+         ~zfilter:all_ones ~tree:[])
+  done
+
+let publish ~engine net work ~publications ~last =
+  let n_work = Array.length work in
+  for i = 0 to publications - 1 do
+    let src, table, zfilter, tree = work.(i mod n_work) in
+    let o = Run.deliver ~engine net ~src ~table ~zfilter ~tree in
+    if o.Run.packet_id >= 0 then last := o.Run.packet_id
+  done
+
+let set_sampling sample =
+  if sample <= 0 then Obs.Trace.set_recording false
+  else Obs.Trace.set_sampling sample
+
+(* Histogram quantile one-liners (p50/p95/p99/p999), appended to the
+   text exposition as comments — the human-readable face of the
+   ROADMAP's p99/p999 soak gates. *)
+let quantile_comments () =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun (name, labels, v) ->
+      match v with
+      | Obs.Export.Vhistogram s when s.Obs.Histogram.count > 0 ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "# quantiles %s%s count=%d p50=%g p95=%g p99=%g p999=%g max=%g\n"
+             name
+             (match labels with
+             | [] -> ""
+             | l ->
+               "{"
+               ^ String.concat ","
+                   (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+               ^ "}")
+             s.Obs.Histogram.count s.Obs.Histogram.p50 s.Obs.Histogram.p95
+             s.Obs.Histogram.p99 s.Obs.Histogram.p999 s.Obs.Histogram.max)
+      | _ -> ())
+    (Obs.Export.samples ());
+  Buffer.contents b
 
 let metrics_cmd =
   let doc =
     "Run a telemetry-instrumented publication workload and print the \
      metrics registry (Prometheus text by default)."
   in
-  let run publications engine json trace_n out =
+  let run publications engine json trace_n sample out =
     Obs.Sink.set Obs.Sink.Memory;
+    set_sampling sample;
     (match out with Some path -> Obs.Export.dump_on_exit ~path | None -> ());
-    let graph = As_presets.as6461 () in
-    let assignment = Assignment.make Lit.default (Rng.of_int 1) graph in
-    let net = Net.make assignment in
-    let d = Lit.default.Lipsin_bloom.Lit.d in
-    (* Exercise the loop-prevention machinery first so the loop-cache
-       series are non-zero: on a small side net with the fill guard
-       relaxed, an all-ones filter matches every port, and TTL mode
-       revisits nodes from different in-links, so the cached
-       out-decision disagrees with the second arrival. *)
-    let all_ones =
-      let bv = Bitvec.create Lit.default.Lipsin_bloom.Lit.m in
-      Bitvec.set_all bv;
-      Zfilter.of_bitvec bv
-    in
-    let loop_net =
-      let g =
-        Generator.pref_attach ~rng:(Rng.of_int 9) ~nodes:16 ~edges:27
-          ~max_degree:6 ()
-      in
-      Net.make ~fill_limit:1.0 (Assignment.make Lit.default (Rng.of_int 9) g)
-    in
-    for _ = 1 to 2 do
-      ignore
-        (Run.deliver ~engine ~mode:(Run.Ttl 6) loop_net ~src:0 ~table:0
-           ~zfilter:all_ones ~tree:[])
-    done;
-    (* The main workload: cycle precomputed delivery jobs through the
-       fast path, spreading them over all d forwarding tables. *)
-    let rng = Rng.of_int 42 in
-    let n_work = 64 in
-    let work =
-      Array.init n_work (fun i ->
-          let users = 4 + (i mod 13) in
-          let picks = Rng.sample rng users (Graph.node_count graph) in
-          let root = picks.(0) in
-          let subs = Array.to_list (Array.sub picks 1 (users - 1)) in
-          let tree = Spt.delivery_tree graph ~root ~subscribers:subs in
-          let table = i mod d in
-          let c = Candidate.build_one assignment ~tree ~table in
-          (root, table, c.Candidate.zfilter, tree))
-    in
+    warm_loop_cache engine;
+    let net, work = telemetry_workload () in
     let last = ref (-1) in
-    for i = 0 to publications - 1 do
-      let src, table, zfilter, tree = work.(i mod n_work) in
-      let o = Run.deliver ~engine net ~src ~table ~zfilter ~tree in
-      last := o.Run.packet_id
-    done;
+    publish ~engine net work ~publications ~last;
     if json then print_string (Obs.Export.json ())
-    else print_string (Obs.Export.prometheus ());
+    else begin
+      print_string (Obs.Export.prometheus ());
+      print_string (quantile_comments ())
+    end;
     if trace_n > 0 then begin
       Printf.printf "# per-hop trace of publication %d (first %d events)\n"
         !last trace_n;
@@ -293,19 +364,7 @@ let metrics_cmd =
           value & opt int 10_000
           & info [ "publications" ] ~docv:"N"
               ~doc:"Publications to deliver through the selected engine.")
-      $ Arg.(
-          value
-          & opt
-              (enum
-                 [ ("reference", `Reference); ("fast", `Fast);
-                   ("bitsliced", `Bitsliced); ("auto", `Auto) ])
-              `Fast
-          & info [ "engine" ] ~docv:"ENGINE"
-              ~doc:
-                "Forwarding engine: $(b,reference) (per-link subset test), \
-                 $(b,fast) (compiled row-major), $(b,bitsliced) (transposed \
-                 word-parallel), or $(b,auto) (bit-sliced at high-degree \
-                 nodes, scalar elsewhere).")
+      $ engine_arg
       $ Arg.(
           value & flag
           & info [ "json" ] ~doc:"Emit the registry as JSON instead.")
@@ -313,10 +372,98 @@ let metrics_cmd =
           value & opt int 0
           & info [ "trace" ] ~docv:"N"
               ~doc:"Also dump up to $(docv) per-hop trace events of the last publication.")
+      $ sample_arg
       $ Arg.(
           value & opt (some string) None
           & info [ "out" ] ~docv:"FILE"
               ~doc:"Also write the Prometheus exposition to $(docv) on exit."))
+
+let serve_cmd =
+  let doc =
+    "Serve live metrics over HTTP (/metrics, /healthz, /snapshot) while \
+     driving the telemetry workload."
+  in
+  let run host port publications engine sample rounds self_check flight_dir =
+    Obs.Sink.set Obs.Sink.Memory;
+    set_sampling sample;
+    (match flight_dir with
+    | Some dir -> Obs.Flight.configure ~dir ()
+    | None -> ());
+    warm_loop_cache engine;
+    let net, work = telemetry_workload () in
+    let state = Serve.make () in
+    let server = Serve.start ~host ~port state in
+    Printf.eprintf "lipsin: serving on %s:%d (sample 1-in-%d)\n%!" host
+      (Serve.port server) (max 1 sample);
+    let last = ref (-1) in
+    if self_check then begin
+      (* CI smoke mode: publish one batch, scrape every endpoint
+         through a real client, lint the exposition payload, exit
+         non-zero on any finding. *)
+      publish ~engine net work ~publications ~last;
+      let results = Serve.self_check server in
+      let failures = ref 0 in
+      List.iter
+        (fun (path, status, body) ->
+          Printf.printf "%s -> %d (%d bytes)\n" path status
+            (String.length body);
+          if status <> 200 then incr failures;
+          if String.equal path "/metrics" then begin
+            let findings = Serve.lint_exposition body in
+            List.iter
+              (fun f ->
+                incr failures;
+                Printf.printf "  exposition lint: %s\n" f)
+              findings;
+            if findings = [] then
+              Printf.printf "  exposition lint: clean\n"
+          end)
+        results;
+      Serve.stop server;
+      if !failures > 0 then exit 1
+    end
+    else begin
+      let forever = rounds <= 0 in
+      let r = ref 0 in
+      while forever || !r < rounds do
+        publish ~engine net work ~publications ~last;
+        incr r;
+        Unix.sleepf 0.05
+      done;
+      Serve.stop server
+    end
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run
+      $ Arg.(
+          value & opt string "127.0.0.1"
+          & info [ "host" ] ~docv:"HOST" ~doc:"Bind address.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "port" ] ~docv:"PORT"
+              ~doc:"Listen port (0 picks an ephemeral port).")
+      $ Arg.(
+          value & opt int 1_000
+          & info [ "publications" ] ~docv:"N"
+              ~doc:"Publications per workload round.")
+      $ engine_arg
+      $ sample_arg
+      $ Arg.(
+          value & opt int 0
+          & info [ "rounds" ] ~docv:"R"
+              ~doc:"Workload rounds before exiting (0 = serve forever).")
+      $ Arg.(
+          value & flag
+          & info [ "self-check" ]
+              ~doc:
+                "Publish one round, scrape every endpoint through a real \
+                 client, lint the /metrics payload, then exit (non-zero on \
+                 findings).")
+      $ Arg.(
+          value & opt (some string) None
+          & info [ "flight-dir" ] ~docv:"DIR"
+              ~doc:"Dump flight-recorder post-mortems into $(docv)."))
 
 let () =
   let info =
@@ -329,6 +476,6 @@ let () =
         recovery; interdomain; workload; ablation; splitting; adaptive;
         caching; congestion; bootstrap; latency; goodput; multipath;
         directory; fec; churn; loops; recursive; all; topo_gen; topo_stats; assign_gen;
-        forward_cmd; metrics_cmd ]
+        forward_cmd; metrics_cmd; serve_cmd ]
   in
   exit (Cmd.eval group)

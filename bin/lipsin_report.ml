@@ -1,0 +1,85 @@
+(* lipsin_report: render the repo's BENCH_PR*.json trajectory (plus an
+   optional Obs snapshot) into one markdown benchmark report, and
+   schema-check the files on the way.  CI runs `--check` over every
+   file and uploads the rendered markdown as an artifact. *)
+
+module Report = Lipsin_reporting.Report
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let bench_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 9
+         && String.equal (String.sub f 0 6) "BENCH_"
+         && Filename.check_suffix f ".json")
+  |> List.sort String.compare
+  |> List.map (Filename.concat dir)
+
+let usage = "lipsin_report [--dir DIR] [--obs FILE] [-o FILE] [--check]"
+
+let () =
+  let dir = ref "." in
+  let obs_file = ref "" in
+  let out_file = ref "" in
+  let check_only = ref false in
+  let explicit = ref [] in
+  Arg.parse
+    [
+      ("--dir", Arg.Set_string dir, "DIR directory holding BENCH_*.json (default .)");
+      ("--obs", Arg.Set_string obs_file, "FILE Obs snapshot to append verbatim");
+      ("-o", Arg.Set_string out_file, "FILE write the markdown here (default stdout)");
+      ("--check", Arg.Set check_only, " schema-check only; non-zero exit on findings");
+    ]
+    (fun f -> explicit := f :: !explicit)
+    usage;
+  let files =
+    match List.rev !explicit with [] -> bench_files !dir | fs -> fs
+  in
+  let parsed, failures =
+    List.fold_left
+      (fun (ok, bad) file ->
+        match Report.Json.parse (read_file file) with
+        | Ok json -> ((file, json) :: ok, bad)
+        | Error msg ->
+          (ok, Printf.sprintf "%s: JSON parse error: %s" file msg :: bad)
+        | exception Sys_error msg -> (ok, (file ^ ": " ^ msg) :: bad))
+      ([], []) files
+  in
+  let parsed = List.rev parsed in
+  let schema_findings =
+    List.concat_map
+      (fun (file, json) -> Report.check_bench ~file json)
+      parsed
+  in
+  let findings = List.rev failures @ schema_findings in
+  List.iter (fun f -> Printf.eprintf "lipsin_report: %s\n" f) findings;
+  if !check_only then begin
+    Printf.printf "%d files checked, %d findings\n" (List.length files)
+      (List.length findings);
+    exit (if findings = [] then 0 else 1)
+  end;
+  let obs_snapshot =
+    if String.equal !obs_file "" then None
+    else
+      match read_file !obs_file with
+      | s -> Some s
+      | exception Sys_error msg ->
+        Printf.eprintf "lipsin_report: %s\n" msg;
+        None
+  in
+  let md = Report.render ?obs_snapshot parsed in
+  if String.equal !out_file "" then print_string md
+  else begin
+    let oc = open_out !out_file in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc md);
+    Printf.printf "wrote %s (%d bench files, %d findings)\n" !out_file
+      (List.length parsed) (List.length findings)
+  end;
+  if findings <> [] then exit 1

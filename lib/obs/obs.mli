@@ -98,6 +98,7 @@ module Histogram : sig
     p50 : float;
     p95 : float;
     p99 : float;
+    p999 : float;
     max : float;
   }
 
@@ -121,6 +122,9 @@ module Trace : sig
     | Drop_loop
     | Drop_bad_table
     | Recovery_activation  (** A VLId/backup-path install, not a hop. *)
+    | Stitch_handoff
+        (** A partitioned-delivery stage boundary: [ev_out_links] names
+            the {e stage} being activated, not dense links. *)
 
   type event = {
     ev_seq : int;  (** Ring-local write index: orders a domain's events. *)
@@ -130,15 +134,56 @@ module Trace : sig
     ev_kind : kind;
     ev_out_links : int array;
         (** Dense indexes of the links a copy actually took (admitted,
-            not deduplicated away, and not lost). *)
+            not deduplicated away, and not lost); for {!Stitch_handoff}
+            the single activated stage. *)
     ev_false_positive : bool;
         (** Some admitted link was off the intended tree. *)
     ev_loop_suspected : bool;
     ev_deliver_local : bool;
     ev_ttl_expired : int;  (** Admitted links the TTL refused. *)
+    ev_table : int;  (** Forwarding table of the decision; -1 unknown. *)
+    ev_engine : int;  (** Engine code ({!engine_reference} etc.); -1 unknown. *)
+    ev_stage : int;  (** Partition stage of a stitched delivery; -1 unstaged. *)
+    ev_depth : int;  (** Hop depth from the (stage) root. *)
   }
 
   type ring
+
+  (** {2 Engine codes}
+
+      Small ints carried in [ev_engine] so the hot path never formats a
+      string. *)
+
+  val engine_reference : int
+  val engine_fast : int
+  val engine_bitsliced : int
+  val engine_name : int -> string
+
+  (** {2 Sampling}
+
+      Per-publication trace contexts: {!start} grants a context to
+      1-in-N publications (N from {!set_sampling}, default 1 = trace
+      everything).  The decision counter is process-wide, so domains
+      share the sampling budget. *)
+
+  type ctx = {
+    tc_packet : int;  (** Publication id; -1 when not sampled. *)
+    tc_sampled : bool;
+  }
+
+  val set_sampling : int -> unit
+  val sampling : unit -> int
+
+  val off : ctx
+  (** The never-sampled context. *)
+
+  val start : unit -> ctx
+  (** Sampling decision for a new publication: a fresh sampled context
+      1-in-N times when {!recording}, {!off} otherwise. *)
+
+  val forced : unit -> ctx
+  (** A sampled context regardless of the sampling rate (tests,
+      anomaly replay). *)
 
   val set_recording : bool -> unit
   (** Tracing on/off independently of the sink (default on): counters
@@ -158,6 +203,10 @@ module Trace : sig
   (** The calling domain's ring (created on first use). *)
 
   val record :
+    ?table:int ->
+    ?engine:int ->
+    ?stage:int ->
+    ?depth:int ->
     ring ->
     packet:int ->
     node:int ->
@@ -188,20 +237,186 @@ module Trace : sig
   val clear : unit -> unit
 end
 
+(** Off-hot-path reconstruction of a sampled publication's trace events
+    into a per-publication span tree, with a runtime cross-check
+    against the expected delivery set — the dynamic twin of
+    [Netcheck.check_partition].  Everything here walks ring snapshots;
+    nothing runs per forwarding decision. *)
+module Span : sig
+  type t = { sp_event : Trace.event; mutable sp_children : t list }
+
+  type anomaly =
+    | Loop of int
+        (** The loop cache vetoed an arrival at this node ([Drop_loop]).
+            The softer [loop_suspected] flag is honest Bloom background
+            and does not raise an anomaly. *)
+    | Revisit of int  (** Node reached more than once within one stage. *)
+    | Duplicate_activation of int  (** Stage handed off more than once. *)
+    | Orphan of int  (** Parent event missing: ring overflow or gap. *)
+
+  type severity = Warning | Error
+
+  val severity : anomaly -> severity
+  (** Loops and duplicate activations are delivery-semantics violations
+      ([Error]); revisits happen under honest Bloom false positives and
+      orphans under ring overflow ([Warning]). *)
+
+  val anomaly_to_string : anomaly -> string
+
+  type tree = {
+    tr_packet : int;
+    tr_roots : t list;
+    tr_events : Trace.event list;
+    tr_anomalies : anomaly list;
+  }
+
+  val reconstruct : Trace.event list -> tree
+  (** Builds the span forest of one publication from its events (in
+      ring order).  An event arriving over link [l] in stage [s]
+      becomes a child of the event that last emitted [l] in [s]; events
+      with no arrival link are stage roots. *)
+
+  val of_packet : int -> tree
+  (** [reconstruct (Trace.packet_events pid)]. *)
+
+  val size : t -> int
+  val depth : t -> int
+  val has_errors : tree -> bool
+
+  type verdict = {
+    vd_ok : bool;
+    vd_complete : bool;
+        (** No orphans: the rings held the publication's whole trace. *)
+    vd_delivered : int list;  (** Sorted nodes the trace reached. *)
+    vd_missing : int list;  (** Expected but not reached. *)
+    vd_unexpected : int list;  (** Reached but not expected. *)
+    vd_anomalies : anomaly list;
+  }
+
+  val crosscheck :
+    dst_of:(int -> int) -> expected:int list -> tree -> verdict
+  (** Replays the tree's events into a delivery set and compares with
+      the intended [expected] nodes; [vd_ok] additionally requires a
+      complete trace and no [Error]-severity anomalies. *)
+
+  val verdict_to_string : verdict -> string
+end
+
 val reset : unit -> unit
 (** Zeroes every cell and gauge and clears all trace rings (packet ids
     keep advancing).  Call only while instrumented code is quiescent. *)
 
 module Export : sig
+  val escape_help : string -> string
+  (** Exposition-format HELP escaping: backslash and newline. *)
+
+  val escape_label : string -> string
+  (** Exposition-format label-value escaping: backslash, double quote
+      and newline. *)
+
   val prometheus : unit -> string
   (** Prometheus text exposition format: counters and gauges as single
       samples, histograms as cumulative [_bucket{le=...}] series plus
-      [_sum]/[_count]. *)
+      [_sum]/[_count].  Families are emitted in deterministic
+      (name, labels) order with one [# TYPE] line each and the HELP of
+      the first member that has one, so exports are diffable. *)
 
   val json : unit -> string
   (** The same registry as one JSON object; histograms carry their
-      quantile summaries. *)
+      quantile summaries (p50/p95/p99/p999). *)
+
+  type value =
+    | Vcounter of int
+    | Vgauge of int
+    | Vhistogram of Histogram.summary
+
+  val samples : unit -> (string * (string * string) list * value) list
+  (** Structured snapshot in the same deterministic order as
+      {!prometheus}; the serve snapshot-diff endpoint feeds on this. *)
+
+  val write_file : path:string -> string -> bool
+  (** Writes [content] to [path], creating missing parent directories;
+      failures are reported on stderr (never raised) and return
+      [false]. *)
 
   val dump_on_exit : path:string -> unit
-  (** Registers an [at_exit] hook writing {!prometheus} to [path]. *)
+  (** Registers an [at_exit] hook writing {!prometheus} to [path] via
+      {!write_file}. *)
+end
+
+(** Anomaly flight recorder: an always-on bounded ring of recent
+    per-publication frames.  A trigger (delivery mismatch, duplicate
+    stage activation, suspected loop, p99 latency jump) freezes the
+    ring — preserving the publications leading up to the incident — and
+    dumps a post-mortem JSON bundle (frames, the offending packet's
+    trace, a full metrics snapshot) for offline replay.  All entry
+    points are gated on {!enabled} and run once per publication, off
+    the per-decision hot path. *)
+module Flight : sig
+  type trigger =
+    | Delivery_mismatch
+    | Duplicate_activation
+    | Loop_detected
+    | Latency_jump
+    | Manual
+
+  val trigger_to_string : trigger -> string
+
+  type frame = {
+    fr_packet : int;  (** -1 when the publication was not sampled. *)
+    fr_latency : float;  (** Seconds for the whole publication. *)
+    fr_events : int;  (** Trace events the publication produced. *)
+    fr_anomalies : string list;
+  }
+
+  type dump = {
+    dm_seq : int;
+    dm_trigger : trigger;
+    dm_packet : int;
+    dm_detail : string;
+    dm_path : string option;
+        (** [None]: no dump dir configured, or the write failed. *)
+  }
+
+  val configure :
+    ?dir:string ->
+    ?capacity:int ->
+    ?latency_factor:float ->
+    ?min_samples:int ->
+    unit ->
+    unit
+  (** [dir]: where post-mortem bundles land (default: in-memory only).
+      [capacity]: frame-ring size (default 512; resets the ring).
+      [latency_factor]: the latency trigger fires at p99 × factor
+      (default 8.0).  [min_samples]: frames required before the latency
+      trigger arms (default 256). *)
+
+  val want_note : unit -> bool
+  (** Lock-free 1-in-16 subsampling decision for untraced publications:
+      callers ask this up front and skip the clock reads and {!note}
+      entirely when it answers [false], keeping the counters-only fast
+      path inside its overhead budget.  Traced publications should
+      always note. *)
+
+  val note :
+    ?anomalies:string list ->
+    ?events:int ->
+    packet:int ->
+    latency:float ->
+    unit ->
+    unit
+  (** Records one publication's frame and evaluates the latency-jump
+      trigger (threshold cached, recomputed every 128 notes). *)
+
+  val fire : ?detail:string -> trigger -> packet:int -> unit
+  (** Freezes the recorder (first trigger wins until {!thaw}) and dumps
+      the post-mortem bundle. *)
+
+  val frames : unit -> frame list
+  val frozen : unit -> bool
+  val thaw : unit -> unit
+  val dumps : unit -> dump list
+  val dump_count : unit -> int
+  val last_dump : unit -> dump option
+  val reset : unit -> unit
 end

@@ -1,0 +1,38 @@
+(** Benchmark-trajectory reporting: parse the repo's [BENCH_PR*.json]
+    files, sanity-check their shape, and render one markdown report so
+    every PR's perf story is auditable at a glance (ROADMAP item 4's
+    reporting half).  Consumed by the [lipsin_report] binary and the CI
+    report/schema steps. *)
+
+(** A dependency-free JSON value and recursive-descent parser covering
+    the subset the bench suite emits. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  val member : string -> t -> t option
+  val to_float : t -> float option
+  val to_string_lit : t -> string option
+end
+
+val check_bench : file:string -> Json.t -> string list
+(** Schema findings for one bench file: top level must be an object,
+    all numbers finite, every array-of-objects table non-empty with
+    row-consistent keys, plus required fields for the known
+    [BENCH_PR<n>.json] shapes.  [[]] is a clean file. *)
+
+val render :
+  ?title:string ->
+  ?obs_snapshot:string ->
+  (string * Json.t) list ->
+  string
+(** Renders the markdown report: file inventory, extracted conclusions
+    for the known files (speedups, gates, overhead ratios), one section
+    of tables per file (arrays of objects become markdown tables), and
+    an optional Obs snapshot appendix. *)

@@ -38,6 +38,7 @@ type summary = {
   loop_drops : int;
   local_deliveries : int;
   nodes_reached : int;
+  sampled_publications : int;
 }
 
 let empty_summary =
@@ -51,6 +52,7 @@ let empty_summary =
     loop_drops = 0;
     local_deliveries = 0;
     nodes_reached = 0;
+    sampled_publications = 0;
   }
 
 let merge a b =
@@ -64,6 +66,7 @@ let merge a b =
     loop_drops = a.loop_drops + b.loop_drops;
     local_deliveries = a.local_deliveries + b.local_deliveries;
     nodes_reached = a.nodes_reached + b.nodes_reached;
+    sampled_publications = a.sampled_publications + b.sampled_publications;
   }
 
 (* Each shard gets a private Net (engines and fast-path compilations are
@@ -95,6 +98,9 @@ let run_shard ~engine ~loop_prevention assignment jobs lo hi =
         loop_drops = !acc.loop_drops + o.Run.loop_drops;
         local_deliveries = !acc.local_deliveries + o.Run.local_deliveries;
         nodes_reached = !acc.nodes_reached + !reached;
+        sampled_publications =
+          (!acc.sampled_publications
+          + if o.Run.packet_id >= 0 then 1 else 0);
       }
   done;
   !acc

@@ -31,6 +31,10 @@ type summary = {
   loop_drops : int;
   local_deliveries : int;
   nodes_reached : int;  (** Sum over jobs of nodes the packet visited. *)
+  sampled_publications : int;
+      (** Jobs that drew a per-publication trace context (1-in-N
+          sampling, {!Lipsin_obs.Obs.Trace.start}); the sampling
+          counter is process-wide, so domains share the budget. *)
 }
 
 val deliver_all :

@@ -84,8 +84,8 @@ let trace_kind_of_drop = function
   | Some Node_engine.Loop_detected -> Obs.Trace.Drop_loop
   | Some Node_engine.Bad_table -> Obs.Trace.Drop_bad_table
 
-let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
-    ~zfilter ~tree =
+let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) ?trace
+    ?(stage = -1) net ~src ~table ~zfilter ~tree =
   (match loss with
   | Some { probability; _ } when probability < 0.0 || probability >= 1.0 ->
     invalid_arg "Run.deliver: loss probability outside [0,1)"
@@ -112,8 +112,16 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
     List.iter (fun (pid, next) -> stitch_hits := (node, pid, next) :: !stitch_hits) targets
   in
   let obs = Obs.enabled () in
-  let tracing = Obs.Trace.recording () in
-  let pid = if tracing then Obs.Trace.next_packet_id () else -1 in
+  (* The caller's trace context wins (one publication id across the
+     stages of a stitched delivery); standalone deliveries take their
+     own 1-in-N sampling decision. *)
+  let ctx = match trace with Some c -> c | None -> Obs.Trace.start () in
+  let tracing = ctx.Obs.Trace.tc_sampled in
+  let pid = ctx.Obs.Trace.tc_packet in
+  (* Traced publications always feed the flight recorder; the rest are
+     subsampled so untimed deliveries skip the clock reads entirely. *)
+  let flight = tracing || (obs && Obs.Flight.want_note ()) in
+  let t0 = if flight then Unix.gettimeofday () else 0.0 in
   let ring = if tracing then Some (Obs.Trace.local ()) else None in
   let lat_cell = if obs then Some (Obs.Histogram.local h_latency) else None in
   let deliveries = ref 0 in
@@ -183,11 +191,12 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
         end
       end
     in
-    let trace ~drop ~loop_suspected ~deliver_local =
+    let trace ~engine_code ~drop ~loop_suspected ~deliver_local =
       match ring with
       | None -> ()
       | Some r ->
-        Obs.Trace.record r ~packet:pid ~node
+        Obs.Trace.record r ~table ~engine:engine_code ~stage ~depth
+          ~packet:pid ~node
           ~in_link:
             (match in_link with None -> -1 | Some l -> l.Graph.index)
           ~kind:(trace_kind_of_drop drop)
@@ -209,7 +218,8 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
       for i = 0 to d.Fastpath.n_forward - 1 do
         propagate (Fastpath.out_link fp d.Fastpath.forward.(i))
       done;
-      trace ~drop:(Fastpath.drop_reason d)
+      trace ~engine_code:Obs.Trace.engine_fast
+        ~drop:(Fastpath.drop_reason d)
         ~loop_suspected:d.Fastpath.loop_suspected
         ~deliver_local:d.Fastpath.deliver_local
     in
@@ -227,7 +237,8 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
       for i = 0 to d.Bitsliced.n_forward - 1 do
         propagate (Bitsliced.out_link bs d.Bitsliced.forward.(i))
       done;
-      trace ~drop:(Bitsliced.drop_reason d)
+      trace ~engine_code:Obs.Trace.engine_bitsliced
+        ~drop:(Bitsliced.drop_reason d)
         ~loop_suspected:d.Bitsliced.loop_suspected
         ~deliver_local:d.Bitsliced.deliver_local
     in
@@ -245,7 +256,8 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
       | Some Node_engine.Bad_table | None -> ());
       note_stitches node verdict.Node_engine.stitches_matched;
       List.iter propagate verdict.Node_engine.forward_on;
-      trace ~drop:verdict.Node_engine.drop
+      trace ~engine_code:Obs.Trace.engine_reference
+        ~drop:verdict.Node_engine.drop
         ~loop_suspected:verdict.Node_engine.loop_suspected
         ~deliver_local:verdict.Node_engine.deliver_local
     | `Fast -> run_fast ()
@@ -269,7 +281,22 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
     Obs.Counter.add m_ttl_expired !ttl_refused_total;
     Obs.Counter.add m_lost !lost_packets;
     Obs.Counter.add m_deliveries !deliveries;
-    Obs.Histogram.observe h_pub_traversals (float_of_int !link_traversals)
+    Obs.Histogram.observe h_pub_traversals (float_of_int !link_traversals);
+    (* One flight-recorder frame per sampled publication: the
+       latency-jump trigger watches the wall time, the anomaly notes
+       give the post-mortem bundle its context. *)
+    if flight then begin
+      let anomalies =
+        if !loop_drops > 0 then
+          [ Printf.sprintf "%d loop drops" !loop_drops ]
+        else []
+      in
+      Obs.Flight.note ~anomalies
+        ~events:(if tracing then !link_traversals + 1 else 0)
+        ~packet:pid
+        ~latency:(Unix.gettimeofday () -. t0)
+        ()
+    end
   end;
   {
     reached;
@@ -284,6 +311,19 @@ let deliver ?(mode = Expand_once) ?loss ?(engine = `Reference) net ~src ~table
     stitch_hits = List.rev !stitch_hits;
     packet_id = pid;
   }
+
+let verify_trace net outcome =
+  if outcome.packet_id < 0 then None
+  else begin
+    let graph = Net.graph net in
+    let dst_of i = (Graph.link graph i).Graph.dst in
+    let expected = ref [] in
+    Array.iteri
+      (fun v r -> if r then expected := v :: !expected)
+      outcome.reached;
+    let tree = Obs.Span.of_packet outcome.packet_id in
+    Some (Obs.Span.crosscheck ~dst_of ~expected:(List.rev !expected) tree)
+  end
 
 let forwarding_efficiency outcome ~tree =
   if outcome.link_traversals = 0 then 1.0

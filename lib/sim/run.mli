@@ -59,6 +59,8 @@ val deliver :
   ?mode:mode ->
   ?loss:loss ->
   ?engine:engine ->
+  ?trace:Lipsin_obs.Obs.Trace.ctx ->
+  ?stage:int ->
   Net.t ->
   src:Lipsin_topology.Graph.node ->
   table:int ->
@@ -70,7 +72,20 @@ val deliver :
     every match as false, e.g. for attack traffic).  With [loss], each
     link traversal is dropped independently with the given probability
     (seeded — repeatable); a lost copy still counts as a traversal
-    (the bandwidth was spent) but does not propagate. *)
+    (the bandwidth was spent) but does not propagate.
+
+    [trace] carries the caller's per-publication trace context — a
+    stitched delivery threads one context through all its stage runs so
+    they share a publication id; without it the delivery takes its own
+    1-in-N sampling decision ({!Lipsin_obs.Obs.Trace.start}).  [stage]
+    tags every recorded event with the partition stage (default [-1] =
+    unstaged). *)
+
+val verify_trace : Net.t -> outcome -> Lipsin_obs.Obs.Span.verdict option
+(** The runtime trace cross-check: reconstructs the publication's span
+    tree from the rings and compares its replayed delivery set against
+    [outcome.reached].  [None] when the publication was not sampled.
+    Call before the next {!Lipsin_obs.Obs.reset} / ring wrap. *)
 
 val forwarding_efficiency : outcome -> tree:Lipsin_topology.Graph.link list -> float
 (** Eq. (3): tree links / links during delivery, in \[0, 1\]; 1.0 when

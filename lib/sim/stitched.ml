@@ -4,6 +4,7 @@ module Graph = Lipsin_topology.Graph
 module Lit = Lipsin_bloom.Lit
 module Partition = Lipsin_bloom.Partition
 module Node_engine = Lipsin_forwarding.Node_engine
+module Obs = Lipsin_obs.Obs
 
 type t = { adaptive : Adaptive.t; nets : (int * Net.t) list }
 
@@ -61,6 +62,8 @@ type outcome = {
   membership_tests : int;
   fill_drops : int;
   loop_drops : int;
+  packet_id : int;
+  trace_anomalies : string list;
 }
 
 let deliver ?mode ?engine t part =
@@ -73,6 +76,13 @@ let deliver ?mode ?engine t part =
   let duplicate = ref 0 and foreign = ref 0 and missed_subs = ref 0 in
   let traversals = ref 0 and fps = ref 0 and tests = ref 0 in
   let fill_drops = ref 0 and loop_drops = ref 0 in
+  (* One trace context for the whole publication: every stage run
+     records under the same packet id, so the reconstructed span forest
+     spans stage boundaries. *)
+  let ctx = Obs.Trace.start () in
+  let tracing = ctx.Obs.Trace.tc_sampled in
+  let packet_id = ctx.Obs.Trace.tc_packet in
+  let ring = if tracing then Some (Obs.Trace.local ()) else None in
   let queue = Queue.create () in
   Queue.add 0 queue;
   activated.(0) <- true;
@@ -82,8 +92,8 @@ let deliver ?mode ?engine t part =
     let n = net t ~m:s.Partition.m in
     let tree = List.map (Graph.link graph) s.Partition.links in
     let o =
-      Run.deliver ?mode ?engine n ~src:s.Partition.root ~table:s.Partition.table
-        ~zfilter:s.Partition.filter ~tree
+      Run.deliver ?mode ?engine ~trace:ctx ~stage:idx n ~src:s.Partition.root
+        ~table:s.Partition.table ~zfilter:s.Partition.filter ~tree
     in
     incr runs;
     order := idx :: !order;
@@ -97,16 +107,64 @@ let deliver ?mode ?engine t part =
     fill_drops := !fill_drops + o.Run.fill_drops;
     loop_drops := !loop_drops + o.Run.loop_drops;
     List.iter
-      (fun (_node, pid, next) ->
+      (fun (node, pid, next) ->
         if pid <> part.Partition.id then incr foreign
-        else if next < 0 || next >= n_stages || activated.(next) then incr duplicate
         else begin
-          activated.(next) <- true;
-          Queue.add next queue
+          (* Record the handoff before duplicate suppression: the span
+             reconstruction counts activations per target stage, so a
+             duplicate the activation cache hides still surfaces as a
+             Duplicate_activation anomaly at runtime. *)
+          (match ring with
+          | Some r ->
+            Obs.Trace.record r ~stage:idx ~packet:packet_id ~node
+              ~in_link:(-1) ~kind:Obs.Trace.Stitch_handoff
+              ~out_links:[| next |] ~false_positive:false
+              ~loop_suspected:false ~deliver_local:false ~ttl_expired:0
+          | None -> ());
+          if next < 0 || next >= n_stages || activated.(next) then
+            incr duplicate
+          else begin
+            activated.(next) <- true;
+            Queue.add next queue
+          end
         end)
       o.Run.stitch_hits
   done;
   let missed = Array.fold_left (fun acc a -> if a then acc else acc + 1) 0 activated in
+  (* Runtime cross-check of the sampled publication — the dynamic twin
+     of [Netcheck.check_partition]: reconstruct the span forest, replay
+     it into a delivery set, compare against what the run reports, and
+     fire the flight recorder on semantics violations. *)
+  let trace_anomalies =
+    if not tracing then []
+    else begin
+      let dst_of i = (Graph.link graph i).Graph.dst in
+      let expected = ref [] in
+      Array.iteri
+        (fun v c -> if c > 0 then expected := v :: !expected)
+        delivered;
+      let span = Obs.Span.of_packet packet_id in
+      let v = Obs.Span.crosscheck ~dst_of ~expected:(List.rev !expected) span
+      in
+      let has p = List.exists p v.Obs.Span.vd_anomalies in
+      if has (function Obs.Span.Duplicate_activation _ -> true | _ -> false)
+      then
+        Obs.Flight.fire Obs.Flight.Duplicate_activation ~packet:packet_id
+          ~detail:(Obs.Span.verdict_to_string v)
+      else if has (function Obs.Span.Loop _ -> true | _ -> false) then
+        Obs.Flight.fire Obs.Flight.Loop_detected ~packet:packet_id
+          ~detail:(Obs.Span.verdict_to_string v)
+      else if
+        v.Obs.Span.vd_complete
+        && (v.Obs.Span.vd_missing <> [] || v.Obs.Span.vd_unexpected <> [])
+      then
+        (* Only with a complete trace: ring overflow would replay a
+           partial delivery set and cry wolf. *)
+        Obs.Flight.fire Obs.Flight.Delivery_mismatch ~packet:packet_id
+          ~detail:(Obs.Span.verdict_to_string v);
+      List.map Obs.Span.anomaly_to_string v.Obs.Span.vd_anomalies
+    end
+  in
   {
     delivered;
     stages_run = !runs;
@@ -120,6 +178,8 @@ let deliver ?mode ?engine t part =
     membership_tests = !tests;
     fill_drops = !fill_drops;
     loop_drops = !loop_drops;
+    packet_id;
+    trace_anomalies;
   }
 
 let exactly_once o part =

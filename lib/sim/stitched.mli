@@ -56,6 +56,19 @@ type outcome = {
   membership_tests : int;
   fill_drops : int;
   loop_drops : int;
+  packet_id : int;
+      (** Publication id shared by every stage run's trace events, or
+          [-1] when the publication was not sampled.  One id per
+          stitched delivery: the reconstructed span forest crosses
+          stage boundaries. *)
+  trace_anomalies : string list;
+      (** Human-readable anomalies from the runtime span cross-check —
+          the dynamic twin of
+          {!Lipsin_analysis.Netcheck.check_partition}.  Duplicate stage
+          activations, suspected loops and (complete-trace) delivery
+          mismatches additionally fire the
+          {!Lipsin_obs.Obs.Flight} recorder.  Empty when not sampled
+          or clean. *)
 }
 
 val deliver :

@@ -134,7 +134,10 @@ let test_histogram_summary () =
         && s.Obs.Histogram.p99 <= s.Obs.Histogram.max);
       (* rank 500 of 1..1000 falls in the (256, 512] bucket *)
       Alcotest.(check bool) "p50 interpolated inside its bucket" true
-        (s.Obs.Histogram.p50 > 256.0 && s.Obs.Histogram.p50 <= 512.0))
+        (s.Obs.Histogram.p50 > 256.0 && s.Obs.Histogram.p50 <= 512.0);
+      Alcotest.(check bool) "p999 between p99 and max" true
+        (s.Obs.Histogram.p99 <= s.Obs.Histogram.p999
+        && s.Obs.Histogram.p999 <= s.Obs.Histogram.max))
 
 (* ---- trace ring ----------------------------------------------------- *)
 
@@ -197,7 +200,59 @@ let test_exporters () =
         (fun needle ->
           Alcotest.(check bool) ("json has " ^ needle) true
             (contains js needle))
-        [ "test_obs_export_total"; "test_obs_export_hist" ])
+        [ "test_obs_export_total"; "test_obs_export_hist"; "\"p999\"" ])
+
+(* Exposition-spec escaping: label values escape backslash, quote and
+   newline; HELP text escapes backslash and newline but not quotes. *)
+let test_export_escaping () =
+  Alcotest.(check string) "label escapes" "a\\\\b\\\"c\\nd"
+    (Obs.Export.escape_label "a\\b\"c\nd");
+  Alcotest.(check string) "help escapes" "a\\\\b\"c\\nd"
+    (Obs.Export.escape_help "a\\b\"c\nd");
+  with_memory (fun () ->
+      let c =
+        Obs.Counter.make ~help:"line one\nline \\two"
+          ~labels:[ ("path", "C:\\tmp\n\"x\"") ]
+          "test_obs_escape_total"
+      in
+      Obs.Counter.add c 1;
+      let prom = Obs.Export.prometheus () in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("prometheus has " ^ needle) true
+            (contains prom needle))
+        [
+          "# HELP test_obs_escape_total line one\\nline \\\\two";
+          "{path=\"C:\\\\tmp\\n\\\"x\\\"\"}";
+        ];
+      (* No raw newline may survive inside any exposition line. *)
+      List.iter
+        (fun line ->
+          if contains line "test_obs_escape" then
+            Alcotest.(check bool) "single physical line" false
+              (String.contains line '\r'))
+        (String.split_on_char '\n' prom))
+
+(* Families render one TYPE line each, before their samples, in
+   deterministic order across repeated renders. *)
+let test_export_family_discipline () =
+  with_memory (fun () ->
+      List.iter
+        (fun l ->
+          Obs.Counter.add
+            (Obs.Counter.make ~labels:[ ("engine", l) ] "test_obs_family_total")
+            1)
+        [ "fast"; "reference"; "bitsliced" ];
+      let prom = Obs.Export.prometheus () in
+      let type_lines =
+        List.filter
+          (fun l -> contains l "# TYPE test_obs_family_total")
+          (String.split_on_char '\n' prom)
+      in
+      Alcotest.(check int) "one TYPE line per family" 1
+        (List.length type_lines);
+      Alcotest.(check string) "render is deterministic" prom
+        (Obs.Export.prometheus ()))
 
 (* ---- property: trace replay reconstructs the delivery set ----------- *)
 
@@ -248,6 +303,96 @@ let replay_test =
     ~name:"trace replay reconstructs Run.deliver's delivery set"
     QCheck.(triple (int_bound 10_000) bool bool)
     replay_case
+
+(* ---- property: span trees replay to exactly the delivery set -------- *)
+
+(* The structured twin of [replay_case]: reconstruct the publication's
+   span tree and let [Run.verify_trace] cross-check it against the
+   delivery set, across all three engines and both propagation modes. *)
+let span_case (seed, ttl_mode, engine_pick) =
+  with_memory (fun () ->
+      Obs.Trace.clear ();
+      Obs.Trace.set_sampling 1;
+      let rng = Rng.of_int (seed + 3) in
+      let nodes = 16 + Rng.int rng 20 in
+      let g =
+        Generator.pref_attach ~rng:(Rng.split rng) ~nodes ~edges:(nodes * 2)
+          ~max_degree:8 ()
+      in
+      let asg = Assignment.make Lit.default (Rng.split rng) g in
+      let net = Net.make asg in
+      let src = Rng.int rng nodes in
+      let subscribers =
+        List.filter
+          (fun s -> s <> src)
+          (List.init (1 + Rng.int rng 5) (fun _ -> Rng.int rng nodes))
+      in
+      let tree = Spt.delivery_tree g ~root:src ~subscribers in
+      let zfilter =
+        if tree = [] then Zfilter.create ~m:Lit.default.Lit.m
+        else (Candidate.build_one asg ~tree ~table:0).Candidate.zfilter
+      in
+      let mode = if ttl_mode then Run.Ttl 10 else Run.Expand_once in
+      let engine =
+        match engine_pick mod 3 with
+        | 0 -> `Reference
+        | 1 -> `Fast
+        | _ -> `Bitsliced
+      in
+      let dropped0 = Obs.Trace.dropped () in
+      let o = Run.deliver ~mode ~engine net ~src ~table:0 ~zfilter ~tree in
+      if Obs.Trace.dropped () > dropped0 then true (* ring overflowed: vacuous *)
+      else
+        match Run.verify_trace net o with
+        | None -> QCheck.Test.fail_report "publication was not sampled"
+        | Some v ->
+          if not v.Obs.Span.vd_complete then
+            QCheck.Test.fail_report "span forest incomplete (orphans)";
+          if v.Obs.Span.vd_delivered <> sorted_reached o then
+            QCheck.Test.fail_reportf
+              "span replay diverges from the delivery set: %s"
+              (Obs.Span.verdict_to_string v);
+          (* Loop errors may only appear when the run really vetoed. *)
+          if not v.Obs.Span.vd_ok && o.Run.loop_drops = 0 then
+            QCheck.Test.fail_reportf "unexpected span errors: %s"
+              (Obs.Span.verdict_to_string v);
+          true)
+
+let span_test =
+  QCheck.Test.make ~count:60
+    ~name:"span trees replay to exactly the delivery set (all engines)"
+    QCheck.(triple (int_bound 10_000) bool (int_bound 2))
+    span_case
+
+(* A span tree's structure is consistent: every event is reachable from
+   a root, and depth/size agree with the event count. *)
+let test_span_shape () =
+  with_memory (fun () ->
+      Obs.Trace.clear ();
+      let rng = Rng.of_int 77 in
+      let g =
+        Generator.pref_attach ~rng:(Rng.split rng) ~nodes:24 ~edges:48
+          ~max_degree:8 ()
+      in
+      let asg = Assignment.make Lit.default (Rng.split rng) g in
+      let net = Net.make asg in
+      let subscribers = [ 3; 7; 11; 13 ] in
+      let tree = Spt.delivery_tree g ~root:0 ~subscribers in
+      let zfilter = (Candidate.build_one asg ~tree ~table:0).Candidate.zfilter in
+      let o = Run.deliver ~engine:`Fast net ~src:0 ~table:0 ~zfilter ~tree in
+      let t = Obs.Span.of_packet o.Run.packet_id in
+      Alcotest.(check int) "packet id" o.Run.packet_id t.Obs.Span.tr_packet;
+      let total =
+        List.fold_left (fun acc r -> acc + Obs.Span.size r) 0 t.Obs.Span.tr_roots
+      in
+      Alcotest.(check int) "every event reachable from a root"
+        (List.length t.Obs.Span.tr_events)
+        total;
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "depth within size" true
+            (Obs.Span.depth r <= Obs.Span.size r))
+        t.Obs.Span.tr_roots)
 
 (* ---- property: both engines produce identical telemetry deltas ------ *)
 
@@ -391,10 +536,18 @@ let () =
       ( "trace",
         [ Alcotest.test_case "ring overflow" `Quick test_trace_ring_overflow ] );
       ( "export",
-        [ Alcotest.test_case "prometheus and json" `Quick test_exporters ] );
+        [
+          Alcotest.test_case "prometheus and json" `Quick test_exporters;
+          Alcotest.test_case "exposition escaping" `Quick test_export_escaping;
+          Alcotest.test_case "family TYPE discipline" `Quick
+            test_export_family_discipline;
+        ] );
+      ( "spans",
+        [ Alcotest.test_case "tree shape" `Quick test_span_shape ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest replay_test;
+          QCheck_alcotest.to_alcotest span_test;
           QCheck_alcotest.to_alcotest parity_test;
         ] );
     ]

@@ -447,6 +447,109 @@ let test_auto_threshold_pinned () =
   Alcotest.(check bool) "at or below the bitsliced-dominant degree (32)" true
     (Bitsliced.auto_threshold <= 32)
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic trace cross-check and the anomaly flight recorder           *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let with_tracing f =
+  Obs.Sink.set Obs.Sink.Memory;
+  Obs.Trace.set_recording true;
+  Obs.Trace.set_sampling 1;
+  Fun.protect ~finally:(fun () -> Obs.Sink.set Obs.Sink.Noop) f
+
+(* Every engine's stitched delivery of the clean hand-built partition
+   reconstructs into an error-free span forest whose events cross all
+   three stage boundaries under one publication id. *)
+let test_stitched_span_crosscheck () =
+  with_tracing (fun () ->
+      let adaptive, part, _, _ = manual_partition () in
+      let st = Stitched.make adaptive in
+      Stitched.install st part;
+      Fun.protect
+        ~finally:(fun () -> Stitched.uninstall st part)
+        (fun () ->
+          List.iter
+            (fun (engine, name) ->
+              let o = Stitched.deliver ~engine st part in
+              Alcotest.(check bool) (name ^ " sampled") true
+                (o.Stitched.packet_id >= 0);
+              let tree = Obs.Span.of_packet o.Stitched.packet_id in
+              Alcotest.(check bool) (name ^ " span forest is error-free")
+                false (Obs.Span.has_errors tree);
+              let stages =
+                List.sort_uniq Int.compare
+                  (List.filter_map
+                     (fun e ->
+                       if e.Obs.Trace.ev_stage >= 0 then
+                         Some e.Obs.Trace.ev_stage
+                       else None)
+                     tree.Obs.Span.tr_events)
+              in
+              Alcotest.(check (list int))
+                (name ^ " spans cross all three stages")
+                [ 0; 1; 2 ] stages;
+              Alcotest.(check (list string)) (name ^ " no anomalies") []
+                o.Stitched.trace_anomalies)
+            [ (`Reference, "reference"); (`Fast, "fast");
+              (`Bitsliced, "bitsliced") ]))
+
+(* The dynamic twin of [test_injected_cross_stage_duplicate]: running
+   the corrupted partition (stage 0's filter falsely contains stage 1's
+   egress tag) makes stage 2 activate twice at runtime.  The span
+   cross-check must flag it and the flight recorder must freeze and
+   dump a post-mortem file, creating parent directories on the way. *)
+let test_flight_fires_on_injected_duplicate () =
+  with_tracing (fun () ->
+      let adaptive, part, etag, (_, n1, _) = manual_partition () in
+      let part' = with_extra_tag part 0 (etag n1) in
+      let st = Stitched.make adaptive in
+      Stitched.install st part';
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "lipsin-flight-%d/nested" (Unix.getpid ()))
+      in
+      Obs.Flight.reset ();
+      Obs.Flight.configure ~dir ();
+      Fun.protect
+        ~finally:(fun () ->
+          Stitched.uninstall st part';
+          Obs.Flight.reset ())
+        (fun () ->
+          let o = Stitched.deliver ~engine:`Fast st part' in
+          Alcotest.(check bool) "duplicate handoff suppressed at runtime"
+            true
+            (o.Stitched.duplicate_handoffs > 0);
+          Alcotest.(check bool) "span cross-check reports the duplicate"
+            true
+            (List.exists
+               (fun s -> contains s "activated more than once")
+               o.Stitched.trace_anomalies);
+          Alcotest.(check bool) "recorder froze" true (Obs.Flight.frozen ());
+          match Obs.Flight.last_dump () with
+          | None -> Alcotest.fail "flight recorder did not dump"
+          | Some d ->
+            Alcotest.(check bool) "duplicate-activation trigger" true
+              (d.Obs.Flight.dm_trigger = Obs.Flight.Duplicate_activation);
+            (match d.Obs.Flight.dm_path with
+            | None -> Alcotest.fail "post-mortem file was not written"
+            | Some p ->
+              Alcotest.(check bool) "post-mortem file exists" true
+                (Sys.file_exists p);
+              let ic = open_in p in
+              let body =
+                Fun.protect
+                  ~finally:(fun () -> close_in ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              in
+              Alcotest.(check bool) "dump names the trigger" true
+                (contains body "duplicate-activation"))))
+
 let () =
   Alcotest.run "partition"
     [
@@ -486,5 +589,12 @@ let () =
             test_single_filter_fill_limit_regression;
           Alcotest.test_case "auto threshold pinned to bench bracket" `Quick
             test_auto_threshold_pinned;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "stitched spans cross-check clean" `Quick
+            test_stitched_span_crosscheck;
+          Alcotest.test_case "recorder fires on injected duplicate" `Quick
+            test_flight_fires_on_injected_duplicate;
         ] );
     ]
