@@ -1128,6 +1128,281 @@ let run_bounds () =
     exit 1
   end
 
+(* --soak: the sustained-throughput gate.  Drives the persistent
+   forwarding service (Service: long-lived domain pool, work-stealing
+   shards, arena-recycled zero-alloc delivery) with the exact PR4
+   workload shape — the deliver-16-users-fast publication — for tens of
+   millions of publications in one process.  Warmup is excluded; the
+   measured run is split into trajectory windows so drift (a leak, a
+   degrading pool) shows up as a trend, not an average.  Gates:
+
+   - ops/sec >= 2x BENCH_PR4's sequential deliver-16-users-fast
+     ops_per_sec (the spawn-free pool must beat one core by more than
+     the core count excuse);
+   - minor words/op <= 64 on the steady-state path (vs ~6.8k/op for
+     the allocating Run.deliver the arena replaced) — worker Gc deltas
+     plus dispatcher-side allocation, nothing exempted;
+   - service counter totals bit-for-bit equal measured_ops x the
+     sequential Run.deliver counters for the same publication (a
+     silent-corruption tripwire at scale).
+
+   Emits BENCH_PR10.json (trajectory + summary + gates) for the CI
+   artifact.  Smoke mode runs ~150k publications in 1-2 s; env
+   overrides: LIPSIN_SOAK_OPS, LIPSIN_SOAK_WORKERS. *)
+let soak_mode = Array.exists (fun a -> a = "--soak") Sys.argv
+
+let getenv_pos_int name default =
+  match Sys.getenv_opt name with
+  | Some s ->
+    (match int_of_string_opt s with Some v when v > 0 -> v | _ -> default)
+  | None -> default
+
+let run_soak () =
+  let module Obs = Lipsin_obs.Obs in
+  let module Service = Lipsin_sim.Service in
+  let module Json = Lipsin_reporting.Report.Json in
+  Obs.Sink.set Obs.Sink.Memory;
+  Obs.Trace.set_recording true;
+  Obs.Trace.set_sampling 1024;
+  let workers =
+    getenv_pos_int "LIPSIN_SOAK_WORKERS" (Domain.recommended_domain_count ())
+  in
+  let total_ops =
+    getenv_pos_int "LIPSIN_SOAK_OPS" (if smoke then 150_000 else 10_000_000)
+  in
+  let batch = 8_192 in
+  let windows = 10 in
+  let warmup = max batch (min (total_ops / 20) 100_000) in
+  let jobs =
+    Array.make batch
+      {
+        Service.job_src = src16;
+        job_table = 0;
+        job_zfilter = zfilter16;
+        job_tree = tree16;
+      }
+  in
+  (* The sequential ground truth for the correctness tripwire: every
+     soak job is this exact publication, so service totals must be
+     measured_ops multiples of these counters. *)
+  let seq =
+    Run.deliver ~engine:`Fast net ~src:src16 ~table:0 ~zfilter:zfilter16
+      ~tree:tree16
+  in
+  let seq_reached =
+    Array.fold_left (fun n r -> if r then n + 1 else n) 0 seq.Run.reached
+  in
+  (* Registration is idempotent per (name, labels): this is the same
+     histogram the service's workers feed 1-in-64 job timings into. *)
+  let h_job = Obs.Histogram.make "lipsin_service_job_seconds" in
+  let svc = Service.create ~workers ~engine:`Fast assignment in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* One measured block of [ops] publications: wall time, worker minor
+     words (summed Gc deltas) plus the dispatcher's own delta — the
+     words/op gate exempts nothing — and the outcome counter sums. *)
+  let run_ops ops =
+    let remaining = ref ops in
+    let n_jobs = ref 0 and steals = ref 0 and sampled = ref 0 in
+    let traversals = ref 0 and fps = ref 0 and tests = ref 0 in
+    let fills = ref 0 and loops = ref 0 and locals = ref 0 in
+    let reached = ref 0 in
+    let words = ref 0.0 in
+    let minor0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    while !remaining > 0 do
+      let n = min batch !remaining in
+      let arr = if n = batch then jobs else Array.sub jobs 0 n in
+      let st = Service.run svc arr in
+      remaining := !remaining - n;
+      n_jobs := !n_jobs + st.Service.st_jobs;
+      steals := !steals + st.Service.st_steals;
+      sampled := !sampled + st.Service.st_sampled;
+      traversals := !traversals + st.Service.st_link_traversals;
+      fps := !fps + st.Service.st_false_positives;
+      tests := !tests + st.Service.st_membership_tests;
+      fills := !fills + st.Service.st_fill_drops;
+      loops := !loops + st.Service.st_loop_drops;
+      locals := !locals + st.Service.st_local_deliveries;
+      reached := !reached + st.Service.st_nodes_reached;
+      words := !words +. st.Service.st_minor_words
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    let all_words = !words +. (Gc.minor_words () -. minor0) in
+    ( !n_jobs, wall, all_words, !steals, !sampled,
+      (!traversals, !fps, !tests, !fills, !loops, !locals, !reached) )
+  in
+  Printf.printf
+    "soak: deliver-16-users-fast via the persistent service (%d workers, \
+     %d warmup + %d measured publications, %d-job batches)\n%!"
+    workers warmup total_ops batch;
+  ignore (run_ops warmup);
+  (* Drop warmup's histogram observations and counters so every
+     reported number covers the measured run only.  The pool is idle
+     between batches, so instrumented code is quiescent here. *)
+  Obs.reset ();
+  let per_window = (total_ops + windows - 1) / windows in
+  let rows = ref [] in
+  let t_jobs = ref 0 and t_steals = ref 0 and t_sampled = ref 0 in
+  let t_wall = ref 0.0 and t_words = ref 0.0 in
+  let t_trav = ref 0 and t_fps = ref 0 and t_tests = ref 0 in
+  let t_fills = ref 0 and t_loops = ref 0 and t_locals = ref 0 in
+  let t_reached = ref 0 in
+  Printf.printf "%7s %12s %12s %14s %10s %10s\n" "window" "ops"
+    "ops/sec" "minor w/op" "p99 us" "p999 us";
+  for w = 1 to windows do
+    let ops = min per_window (total_ops - !t_jobs) in
+    if ops > 0 then begin
+      let n, wall, words, steals, sampled, (trav, fps, tests, fills, loops, locals, reached) =
+        run_ops ops
+      in
+      t_jobs := !t_jobs + n;
+      t_wall := !t_wall +. wall;
+      t_words := !t_words +. words;
+      t_steals := !t_steals + steals;
+      t_sampled := !t_sampled + sampled;
+      t_trav := !t_trav + trav;
+      t_fps := !t_fps + fps;
+      t_tests := !t_tests + tests;
+      t_fills := !t_fills + fills;
+      t_loops := !t_loops + loops;
+      t_locals := !t_locals + locals;
+      t_reached := !t_reached + reached;
+      (* The histogram is cumulative over the measured run: the
+         trajectory shows the tail settling, not per-window tails. *)
+      let s = Obs.Histogram.summary h_job in
+      let ops_s = float_of_int n /. wall in
+      let wpo = words /. float_of_int n in
+      let p99 = s.Obs.Histogram.p99 *. 1e6 in
+      let p999 = s.Obs.Histogram.p999 *. 1e6 in
+      Printf.printf "%7d %12d %12.1f %14.2f %10.1f %10.1f\n%!" w n ops_s
+        wpo p99 p999;
+      rows := (w, n, ops_s, wpo, p99, p999) :: !rows
+    end
+  done;
+  Service.shutdown svc;
+  let ops_per_sec = float_of_int !t_jobs /. !t_wall in
+  let words_per_op = !t_words /. float_of_int !t_jobs in
+  let s = Obs.Histogram.summary h_job in
+  let p99_us = s.Obs.Histogram.p99 *. 1e6 in
+  let p999_us = s.Obs.Histogram.p999 *. 1e6 in
+  (* The counter tripwire: totals must be exact multiples of the
+     sequential outcome. *)
+  let expect name total per =
+    if total <> !t_jobs * per then
+      fail "%s: service total %d <> %d ops x %d sequential" name total
+        !t_jobs per
+  in
+  expect "link_traversals" !t_trav seq.Run.link_traversals;
+  expect "false_positives" !t_fps seq.Run.false_positives;
+  expect "membership_tests" !t_tests seq.Run.membership_tests;
+  expect "fill_drops" !t_fills seq.Run.fill_drops;
+  expect "loop_drops" !t_loops seq.Run.loop_drops;
+  expect "local_deliveries" !t_locals seq.Run.local_deliveries;
+  expect "nodes_reached" !t_reached seq_reached;
+  let counters_ok = !failures = [] in
+  (* Baseline gates from the committed BENCH_PR4.json (the sequential
+     deliver-16-users-fast measurement this PR doubles). *)
+  let baseline =
+    let read path =
+      try
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Some s
+      with Sys_error _ -> None
+    in
+    match read "BENCH_PR4.json" with
+    | None -> None
+    | Some text ->
+      (match Json.parse text with
+      | Error _ -> None
+      | Ok j ->
+        let f k = Option.bind (Json.member k j) Json.to_float in
+        (match (f "ops_per_sec", f "minor_words_per_op") with
+        | Some o, Some m -> Some (o, m)
+        | _ -> None))
+  in
+  let words_budget = 64.0 in
+  (match baseline with
+  | Some (base_ops, _) ->
+    if ops_per_sec < 2.0 *. base_ops then
+      fail
+        "ops/sec %.1f below 2x the BENCH_PR4 sequential baseline %.1f"
+        ops_per_sec base_ops
+  | None ->
+    Printf.printf
+      "  (BENCH_PR4.json missing or unparsable: ops/sec gate skipped)\n%!");
+  if words_per_op > words_budget then
+    fail "minor words/op %.2f over the %.0f steady-state budget"
+      words_per_op words_budget;
+  Printf.printf
+    "  total: %d ops in %.2f s = %.1f ops/sec, %.2f minor words/op, \
+     p99 %.1f us, p999 %.1f us, %d steals, %d sampled\n%!"
+    !t_jobs !t_wall ops_per_sec words_per_op p99_us p999_us !t_steals
+    !t_sampled;
+  let oc = open_out "BENCH_PR10.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"soak-deliver-16-users-fast\",\n\
+    \  \"workers\": %d,\n\
+    \  \"batch_jobs\": %d,\n\
+    \  \"warmup_ops\": %d,\n\
+    \  \"trajectory\": [\n"
+    workers batch warmup;
+  let rows = List.rev !rows in
+  List.iteri
+    (fun i (w, n, ops_s, wpo, p99, p999) ->
+      Printf.fprintf oc
+        "    { \"window\": %d, \"ops\": %d, \"ops_per_sec\": %.1f, \
+         \"minor_words_per_op\": %.2f, \"p99_us\": %.1f, \
+         \"p999_us\": %.1f }%s\n"
+        w n ops_s wpo p99 p999
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"summary\": {\n\
+    \    \"measured_ops\": %d,\n\
+    \    \"elapsed_s\": %.3f,\n\
+    \    \"ops_per_sec\": %.1f,\n\
+    \    \"minor_words_per_op\": %.2f,\n\
+    \    \"p99_us\": %.1f,\n\
+    \    \"p999_us\": %.1f,\n\
+    \    \"steals\": %d,\n\
+    \    \"sampled_publications\": %d,\n\
+    \    \"counters_match_sequential\": %b%s\n\
+    \  },\n\
+    \  \"gates\": [\n\
+    \    \"ops_per_sec >= 2x BENCH_PR4 deliver-16-users-fast\",\n\
+    \    \"minor_words_per_op <= %.0f\",\n\
+    \    \"counter totals == measured_ops x sequential Run.deliver\"\n\
+    \  ]\n\
+     }\n"
+    !t_jobs !t_wall ops_per_sec words_per_op p99_us p999_us !t_steals
+    !t_sampled counters_ok
+    (match baseline with
+    | Some (base_ops, base_words) ->
+      Printf.sprintf
+        ",\n\
+        \    \"baseline_ops_per_sec\": %.1f,\n\
+        \    \"speedup_vs_pr4\": %.2f,\n\
+        \    \"pr4_minor_words_per_op\": %.1f,\n\
+        \    \"alloc_reduction_x\": %.1f"
+        base_ops (ops_per_sec /. base_ops) base_words
+        (if words_per_op > 0.0 then base_words /. words_per_op else 0.0)
+    | None -> "")
+    words_budget;
+  close_out oc;
+  if !failures <> [] then begin
+    List.iter (Printf.printf "FAIL: %s\n") (List.rev !failures);
+    Printf.printf "FAIL: soak gate (%d violation(s))\n%!"
+      (List.length !failures);
+    exit 1
+  end;
+  Printf.printf "soak OK: gates hold over %d publications\n%!" !t_jobs
+
 let benchmark tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -1151,6 +1426,7 @@ let print_results results =
 
 let () =
   if alloc_mode then run_alloc ()
+  else if soak_mode then run_soak ()
   else if bounds_mode then run_bounds ()
   else if obs_mode then run_obs ()
   else if sweep_mode then begin

@@ -245,11 +245,11 @@ let sample_arg =
           "Trace 1-in-$(docv) publications (per-publication sampling; 1 \
            traces everything, 0 disables the trace ring).")
 
-(* The telemetry workload shared by `metrics` and `serve`: warm the
-   loop-prevention machinery on a side net so the loop-cache series are
-   non-zero, then cycle precomputed delivery jobs through the selected
-   engine, spreading them over all d forwarding tables.  Returns the
-   (workload, net) pair so callers can keep publishing. *)
+(* The telemetry workload shared by `metrics`, `serve` and `soak`: warm
+   the loop-prevention machinery on a side net so the loop-cache series
+   are non-zero, then cycle precomputed delivery jobs through the
+   selected engine, spreading them over all d forwarding tables.
+   Returns the assignment too so `soak` can build a service over it. *)
 let telemetry_workload () =
   let graph = As_presets.as6461 () in
   let assignment = Assignment.make Lit.default (Rng.of_int 1) graph in
@@ -268,7 +268,7 @@ let telemetry_workload () =
         let c = Candidate.build_one assignment ~tree ~table in
         (root, table, c.Candidate.zfilter, tree))
   in
-  (net, work)
+  (assignment, net, work)
 
 let warm_loop_cache engine =
   (* On a small side net with the fill guard relaxed, an all-ones
@@ -341,7 +341,7 @@ let metrics_cmd =
     set_sampling sample;
     (match out with Some path -> Obs.Export.dump_on_exit ~path | None -> ());
     warm_loop_cache engine;
-    let net, work = telemetry_workload () in
+    let _, net, work = telemetry_workload () in
     let last = ref (-1) in
     publish ~engine net work ~publications ~last;
     if json then print_string (Obs.Export.json ())
@@ -390,7 +390,7 @@ let serve_cmd =
     | Some dir -> Obs.Flight.configure ~dir ()
     | None -> ());
     warm_loop_cache engine;
-    let net, work = telemetry_workload () in
+    let _, net, work = telemetry_workload () in
     let state = Serve.make () in
     let server = Serve.start ~host ~port state in
     Printf.eprintf "lipsin: serving on %s:%d (sample 1-in-%d)\n%!" host
@@ -465,6 +465,76 @@ let serve_cmd =
           & info [ "flight-dir" ] ~docv:"DIR"
               ~doc:"Dump flight-recorder post-mortems into $(docv)."))
 
+let soak_cmd =
+  let doc =
+    "Sustained-throughput soak: drive the telemetry workload through \
+     the persistent forwarding service (long-lived domain pool, \
+     work-stealing shards, arena-recycled delivery)."
+  in
+  let run publications engine workers batch sample =
+    Obs.Sink.set Obs.Sink.Memory;
+    set_sampling sample;
+    let assignment, _net, work = telemetry_workload () in
+    let n_work = Array.length work in
+    let job_of i =
+      let src, table, zfilter, tree = work.(i mod n_work) in
+      { Lipsin_sim.Service.job_src = src; job_table = table;
+        job_zfilter = zfilter; job_tree = tree }
+    in
+    let svc = Lipsin_sim.Service.create ?workers ~engine assignment in
+    Printf.printf
+      "soak: %d publications through %d workers (%d-job batches)\n%!"
+      publications
+      (Lipsin_sim.Service.workers svc)
+      batch;
+    let sent = ref 0 in
+    let steals = ref 0 in
+    let sampled = ref 0 in
+    let minor = ref 0.0 in
+    let t0 = Unix.gettimeofday () in
+    while !sent < publications do
+      let count = min batch (publications - !sent) in
+      let jobs = Array.init count (fun i -> job_of (!sent + i)) in
+      let st = Lipsin_sim.Service.run svc jobs in
+      sent := !sent + st.Lipsin_sim.Service.st_jobs;
+      steals := !steals + st.Lipsin_sim.Service.st_steals;
+      sampled := !sampled + st.Lipsin_sim.Service.st_sampled;
+      minor := !minor +. st.Lipsin_sim.Service.st_minor_words
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Lipsin_sim.Service.shutdown svc;
+    Printf.printf
+      "  %d publications in %.2f s = %.1f ops/sec, %.2f minor words/op, \
+       %d steals, %d trace-sampled\n"
+      !sent dt
+      (float_of_int !sent /. dt)
+      (!minor /. float_of_int (max 1 !sent))
+      !steals !sampled;
+    print_string (quantile_comments ())
+  in
+  Cmd.v (Cmd.info "soak" ~doc)
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int 200_000
+          & info [ "publications" ] ~docv:"N"
+              ~doc:"Publications to deliver through the service.")
+      $ engine_arg
+      $ Arg.(
+          value & opt (some int) None
+          & info [ "workers" ] ~docv:"W"
+              ~doc:"Pool size (default: recommended domain count).")
+      $ Arg.(
+          value & opt int 8192
+          & info [ "batch" ] ~docv:"B" ~doc:"Jobs per dispatched batch.")
+      $ Arg.(
+          value & opt int 1024
+          & info [ "sample" ] ~docv:"N"
+              ~doc:
+                "Trace 1-in-$(docv) publications (sampled jobs take the \
+                 full allocating path; the rest run the zero-alloc \
+                 arena loop).  0 disables the trace ring."))
+
 let () =
   let info =
     Cmd.info "lipsin_cli" ~version:"1.0.0"
@@ -476,6 +546,6 @@ let () =
         recovery; interdomain; workload; ablation; splitting; adaptive;
         caching; congestion; bootstrap; latency; goodput; multipath;
         directory; fec; churn; loops; recursive; all; topo_gen; topo_stats; assign_gen;
-        forward_cmd; metrics_cmd; serve_cmd ]
+        forward_cmd; metrics_cmd; serve_cmd; soak_cmd ]
   in
   exit (Cmd.eval group)

@@ -88,8 +88,8 @@ let whitelist =
          wrappers over the unsafe stdlib accessors above; the int64 pair
          compiles unboxed in straight-line code like Bytes.get_int64_le *)
       ( "Idx",
-        [ "get"; "set"; "bget"; "bset"; "bget_i64"; "bset_i64";
-          "is_checking" ] );
+        [ "get"; "set"; "bget"; "bset"; "bget_u32"; "bget_i64";
+          "bset_i64"; "is_checking" ] );
       ("Hashtbl", [ "mem"; "length" ]);
       ("Queue", [ "length"; "is_empty" ]);
       ("Domain", [ "is_main_domain" ]);

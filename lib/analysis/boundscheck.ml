@@ -295,6 +295,8 @@ let layout_table : (string * (string -> fact list * (string * lin) list)) list
     @ gef (fld b "data_len") lzero
     @ gef (fld b "stride") (fld b "data_len")
     @ eqf (flen b "zf") (fld b "stride")
+    @ eqf (flen b "zlo") (fld b "words")
+    @ eqf (flen b "zhi") (fld b "words")
     @ gef (flen b "seen") (fld b "n_ports")
     @ List.concat_map
         (fun f -> eqf (flen b f) (fld b "d"))
@@ -778,6 +780,7 @@ let accessor_table =
     ("Bytes.get_int8", (0, 1, 1));
     ("Idx.get", (0, 1, 1)); ("Idx.set", (0, 1, 1));
     ("Idx.bget", (0, 1, 1)); ("Idx.bset", (0, 1, 1));
+    ("Idx.bget_u32", (0, 1, 4));
     ("Idx.bget_i64", (0, 1, 8)); ("Idx.bset_i64", (0, 1, 8));
   ]
 
@@ -795,8 +798,8 @@ let unsafe_family bare =
   || starts_with ~prefix:"Bytes.unsafe_" bare
   || starts_with ~prefix:"String.unsafe_" bare
   || List.mem bare
-       [ "Idx.get"; "Idx.set"; "Idx.bget"; "Idx.bset"; "Idx.bget_i64";
-         "Idx.bset_i64" ]
+       [ "Idx.get"; "Idx.set"; "Idx.bget"; "Idx.bset"; "Idx.bget_u32";
+         "Idx.bget_i64"; "Idx.bset_i64" ]
 
 let via_of chain =
   match chain with

@@ -46,22 +46,13 @@ let set_all t =
 
 let reset t = Bytes.fill t.data 0 (Bytes.length t.data) '\000'
 
-(* [@inline always]: without inlining, every call would box its int64
-   argument (a 3-word custom block per call); inlined into straight-line
-   code, cmmgen keeps the whole SWAR chain in registers. *)
-let[@inline always] [@lipsin.noalloc] popcount64 x =
-  (* SWAR popcount on a 64-bit word. *)
-  let open Int64 in
-  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
-  let x = add (logand x 0x3333333333333333L)
-            (logand (shift_right_logical x 2) 0x3333333333333333L) in
-  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
-  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
-
 (* SWAR popcount on a native int holding at most 56 significant bits
-   (the widest value a 7-byte tail can assemble).  The masks fit OCaml's
-   63-bit int range, and the final multiply folds the per-byte counts
-   into the top byte. *)
+   (a 4-byte group from Idx.bget_u32 or a <4-byte tail).  Native int
+   throughout: the int64 SWAR this replaced boxed one 3-word block per
+   word read on non-flambda ocamlopt, which was the entire allocation
+   budget of the forwarding hot path.  The masks fit OCaml's 63-bit int
+   range, and the final multiply folds the per-byte counts into the top
+   byte. *)
 let[@inline always] [@lipsin.noalloc] popcount56 x =
   let x = x - ((x lsr 1) land 0x55555555555555) in
   let x = (x land 0x33333333333333) + ((x lsr 2) land 0x33333333333333) in
@@ -71,15 +62,15 @@ let[@inline always] [@lipsin.noalloc] popcount56 x =
 let[@lipsin.noalloc] [@lipsin.inbounds] popcount_bytes b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
     invalid_arg "Bitvec.popcount_bytes: range out of bounds";
-  let words = len lsr 3 in
+  let words = len lsr 2 in
   let count = ref 0 in
   for w = 0 to words - 1 do
-    count := !count + popcount64 (Idx.bget_i64 b (pos + (w lsl 3)))
+    count := !count + popcount56 (Idx.bget_u32 b (pos + (w lsl 2)))
   done;
-  (* Assemble the <8-byte tail into one native int and SWAR it too,
+  (* Assemble the <4-byte tail into one native int and SWAR it too,
      rather than walking it byte by byte. *)
   let tail = ref 0 and shift = ref 0 in
-  for i = pos + (words lsl 3) to pos + len - 1 do
+  for i = pos + (words lsl 2) to pos + len - 1 do
     tail := !tail lor (Char.code (Idx.bget b i) lsl !shift);
     shift := !shift + 8
   done;
@@ -121,18 +112,20 @@ let[@lipsin.inbounds] logor_into ~dst src =
 let[@lipsin.noalloc] [@lipsin.inbounds] subset a ~of_ =
   check_same_length a of_;
   let n = Bytes.length a.data in
-  let words = n / 8 in
+  let words = n / 4 in
   (* while/ref loops instead of local recursive functions: the closures
-     those allocate are the only heap traffic on this path. *)
+     those allocate are the only heap traffic on this path.  Native-int
+     4-byte groups (Idx.bget_u32): the int64 reads this replaced boxed
+     on non-flambda ocamlopt. *)
   let ok = ref true in
   let w = ref 0 in
   while !ok && !w < words do
-    let x = Idx.bget_i64 a.data (8 * !w) in
-    let y = Idx.bget_i64 of_.data (8 * !w) in
-    if Int64.logand x y <> x then ok := false;
+    let x = Idx.bget_u32 a.data (4 * !w) in
+    let y = Idx.bget_u32 of_.data (4 * !w) in
+    if x land y <> x then ok := false;
     incr w
   done;
-  let i = ref (8 * words) in
+  let i = ref (4 * words) in
   while !ok && !i < n do
     let x = Char.code (Idx.bget a.data !i) in
     let y = Char.code (Idx.bget of_.data !i) in
@@ -144,19 +137,15 @@ let[@lipsin.noalloc] [@lipsin.inbounds] subset a ~of_ =
 let[@lipsin.noalloc] [@lipsin.inbounds] intersects a b =
   check_same_length a b;
   let n = Bytes.length a.data in
-  let words = n / 8 in
+  let words = n / 4 in
   let hit = ref false in
   let w = ref 0 in
   while (not !hit) && !w < words do
-    if
-      Int64.logand
-        (Idx.bget_i64 a.data (8 * !w))
-        (Idx.bget_i64 b.data (8 * !w))
-      <> 0L
+    if Idx.bget_u32 a.data (4 * !w) land Idx.bget_u32 b.data (4 * !w) <> 0
     then hit := true;
     incr w
   done;
-  let i = ref (8 * words) in
+  let i = ref (4 * words) in
   while (not !hit) && !i < n do
     if Char.code (Idx.bget a.data !i) land Char.code (Idx.bget b.data !i) <> 0 then
       hit := true;

@@ -70,6 +70,22 @@ let[@inline always] swap64 x = if Sys.big_endian then Int64.(
     logor (shift_left b 8) (logand x 0xffL))
   else x
 
+(* 16-bit loads are compiler primitives returning a tagged native int,
+   so — unlike the int64 pair below — no OCaml compiler, flambda or
+   not, ever boxes their result. *)
+external unsafe_get16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
+
+(* A 32-bit group assembled from two 16-bit reads into one native int.
+   The group's internal byte order is platform-dependent (native-endian
+   16-bit halves), which the bitwise kernels (subset / intersects /
+   popcount) never observe: both operands of every kernel go through
+   this same accessor, and the operations are bit-order independent.
+   Do not use it where the numeric value of the word matters. *)
+let[@inline always][@lipsin.allow_unchecked "primitive layer: call sites carry the obligation via the accessor table; this body is the unchecked implementation itself"] bget_u32 b i =
+  if !checking && (i < 0 || i > Bytes.length b - 4) then
+    invalid_arg "Idx.bget_u32: index out of range";
+  unsafe_get16 b i lor (unsafe_get16 b (i + 2) lsl 16)
+
 let[@inline always][@lipsin.allow_unchecked "primitive layer: call sites carry the obligation via the accessor table; this body is the unchecked implementation itself"] bget_i64 b i =
   if !checking && (i < 0 || i > Bytes.length b - 8) then
     invalid_arg "Idx.bget_i64: index out of range";

@@ -27,6 +27,15 @@ val bget : Bytes.t -> int -> char
 val bset : Bytes.t -> int -> char -> unit
 (** [bset b i c] is [Bytes.set b i c] without the bounds check. *)
 
+val bget_u32 : Bytes.t -> int -> int
+(** [bget_u32 b i] reads the 4 bytes at [i .. i + 3] into one native
+    int (two native-endian 16-bit halves) — a tagged value no compiler
+    boxes, unlike the int64 accessors.  The in-word byte order is
+    platform-dependent: use it only in bitwise kernels where both
+    operands come through this accessor and bit order cancels out
+    (subset, intersects, popcount), never where the numeric value
+    matters.  Valid offsets are [0 .. Bytes.length b - 4]. *)
+
 val bget_i64 : Bytes.t -> int -> int64
 (** [bget_i64 b i] is [Bytes.get_int64_le b i] without the bounds
     check; valid offsets are [0 .. Bytes.length b - 8]. *)

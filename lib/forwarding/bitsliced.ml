@@ -585,6 +585,12 @@ let node t = t.node
 let table_count t = t.d
 let port_count t = t.n_ports
 let out_link t p = t.out_links.(p)
+
+(* Scalar port views for zero-alloc consumers, mirroring Fastpath. *)
+let[@lipsin.noalloc] out_index t p = Array.get t.out_index p
+
+let[@lipsin.noalloc] out_dst t p =
+  (Array.get t.out_links p).Graph.dst
 let plane_bits t = t.plane_bits
 let tick t = t.tick_count <- t.tick_count + 1
 
@@ -611,16 +617,18 @@ let loop_cache_find t key =
   | None -> None
 
 (* Row-wise Algorithm 1, for the (sparse) entry kinds the sweep does
-   not cover: block vetoes and the node-local LIT. *)
+   not cover: block vetoes and the node-local LIT.  Native-int 4-byte
+   groups ([words] counts 8-byte row words): the int64 reads this
+   replaced boxed one block per load on non-flambda ocamlopt. *)
 let[@lipsin.noalloc] subset_entry blob ~off zf ~zoff ~words =
   let ok = ref true in
   let w = ref 0 in
   while !ok && !w < words do
-    let lw = Idx.bget_i64 blob (off + (!w lsl 3)) in
+    let lo = Idx.bget_u32 blob (off + (!w lsl 3)) in
+    let hi = Idx.bget_u32 blob (off + (!w lsl 3) + 4) in
     if
-      not
-        (Int64.equal lw
-           (Int64.logand lw (Idx.bget_i64 zf (zoff + (!w lsl 3)))))
+      lo land Idx.bget_u32 zf (zoff + (!w lsl 3)) <> lo
+      || hi land Idx.bget_u32 zf (zoff + (!w lsl 3) + 4) <> hi
     then ok := false;
     incr w
   done;

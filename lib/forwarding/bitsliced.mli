@@ -81,6 +81,13 @@ val port_count : t -> int
 val out_link : t -> int -> Lipsin_topology.Graph.link
 (** The physical link behind a port index from [decision.forward]. *)
 
+val out_index : t -> int -> int
+(** The dense link index behind a port; allocation-free (see
+    {!Fastpath.out_index}). *)
+
+val out_dst : t -> int -> int
+(** The destination node behind a port; allocation-free. *)
+
 val plane_bits : t -> int
 (** Sweep granularity chosen at compile: 4 (nibble planes) or 8 (byte
     planes). *)

@@ -151,6 +151,8 @@ type t = {
   loop_ttl : int;
   mutable tick_count : int;
   zf : Bytes.t;  (* scratch: the current zFilter widened to stride bytes *)
+  zlo : int array;  (* scratch: zf's even 4-byte groups as native ints *)
+  zhi : int array;  (* scratch: zf's odd 4-byte groups as native ints *)
   seen : int array;  (* per-decision dedup stamps *)
   mutable gen : int;
   decision : decision;
@@ -349,6 +351,8 @@ let compile engine =
     loop_ttl = st.Node_engine.state_loop_ttl;
     tick_count = st.Node_engine.state_tick;
     zf = Bytes.make stride '\000';
+    zlo = Array.make words 0;
+    zhi = Array.make words 0;
     seen = Array.make (max 1 n_ports) 0;
     gen = 0;
     decision =
@@ -375,6 +379,14 @@ let node t = t.node
 let table_count t = t.d
 let port_count t = t.n_ports
 let out_link t p = t.out_links.(p)
+
+(* Reuse-friendly scalar views of a port for zero-alloc consumers
+   (Arena's recycled delivery loop): the dense link index and the
+   destination node without touching the link record through a list. *)
+let[@lipsin.noalloc] out_index t p = Array.get t.out_index p
+
+let[@lipsin.noalloc] out_dst t p =
+  (Array.get t.out_links p).Graph.dst
 let tick t = t.tick_count <- t.tick_count + 1
 
 (* The same FIFO + tick-TTL cache as Node_engine's, entry for entry, so
@@ -400,14 +412,26 @@ let loop_cache_find t key =
   | None -> None
 
 (* Algorithm 1 on one padded entry: every word of the LIT must be
-   covered by the corresponding zFilter word. *)
-let[@lipsin.noalloc] subset_entry blob ~off zf ~words =
+   covered by the corresponding zFilter word.  Native-int 4-byte groups
+   ([words] counts 8-byte row words, so [2 * words] groups): the int64
+   reads this replaced boxed one block per load on non-flambda
+   ocamlopt, the allocation the soak gate caught.  The zFilter side
+   arrives pre-hoisted into the [zlo]/[zhi] scratch arrays ([decide]
+   fills them once per call), so each group costs one bytes read and
+   one array load instead of two bytes reads. *)
+let[@lipsin.noalloc] subset_entry blob ~off zlo zhi ~words =
   let ok = ref true in
   let w = ref 0 in
   while !ok && !w < words do
-    let lw = Idx.bget_i64 blob (off + (!w lsl 3)) in
-    if not (Int64.equal lw (Int64.logand lw (Idx.bget_i64 zf (!w lsl 3))))
-    then ok := false;
+    let lo = Idx.bget_u32 blob (off + (!w lsl 3)) in
+    if lo land Idx.get zlo !w <> lo then ok := false
+    else begin
+      (* Only read the odd group once the even one is covered: most
+         non-matching entries miss on group 0, so the second bytes read
+         never happens on the reject path. *)
+      let hi = Idx.bget_u32 blob (off + (!w lsl 3) + 4) in
+      if hi land Idx.get zhi !w <> hi then ok := false
+    end;
     incr w
   done;
   !ok
@@ -430,132 +454,147 @@ let[@lipsin.noalloc] [@lipsin.inbounds] decide t ~table ~zfilter ~in_link_index 
   end
   else if Zfilter.m zfilter <> t.m then
     invalid_arg "Fastpath.decide: zFilter width mismatch"
-  (* Integer stand-in for [within_fill_limit]: the threshold was
-     precomputed at compile with the same float comparison, and
-     [Zfilter.popcount] runs on the shared SWAR helper. *)
-  else if Zfilter.popcount zfilter > t.fill_threshold then begin
-    d.drop <- drop_fill;
-    if obs then bump t.obs.mfill;
-    d
-  end
   else begin
     Bitvec.blit_into (Zfilter.to_bitvec zfilter) t.zf ~pos:0;
     let zf = t.zf in
     let words = t.words in
-    let stride = t.stride in
-    if t.loop_prevention then
-      (begin
-         let key = Bytes.sub_string zf 0 t.data_len in
-         (match loop_cache_find t key with
-         | Some cached ->
-           if obs then bump t.obs.mhits;
-           if in_link_index >= 0 && cached <> in_link_index then
-             d.drop <- drop_loop
-         | None -> ());
-         if d.drop = no_drop then begin
-           let risky = ref false in
-           let itab = Idx.get t.in_tags table in
-           for p = 0 to t.n_ports - 1 do
-             if Idx.get t.out_index p <> in_link_index then
-               if subset_entry itab ~off:(p * stride) zf ~words then
-                 risky := true
-           done;
-           if !risky then begin
-             d.loop_suspected <- true;
-             if obs then bump t.obs.msusp;
-             if in_link_index >= 0 then loop_cache_add t key in_link_index
-           end
-         end
-       end
-      [@lipsin.allow_alloc
-        "loop-prevention cache key (5-word Bytes.sub_string) and FIFO \
-         bookkeeping; engines benchmarked for zero allocation run with \
-         loop_prevention off"]);
-    if d.drop <> no_drop then begin
-      if obs then bump t.obs.mloop;
+    let zlo = t.zlo in
+    let zhi = t.zhi in
+    (* One pass hoists the zFilter's 4-byte groups into native-int
+       scratch for the subset kernels below and counts the set bits on
+       the way: the padded tail of [zf] is all-zero, so the sum equals
+       [Zfilter.popcount zfilter] and decides the fill gate with the
+       same integer stand-in for [within_fill_limit] (the threshold was
+       precomputed at compile with the same float comparison). *)
+    let pop = ref 0 in
+    for w = 0 to words - 1 do
+      let lo = Idx.bget_u32 zf (w lsl 3) in
+      let hi = Idx.bget_u32 zf ((w lsl 3) + 4) in
+      Idx.set zlo w lo;
+      Idx.set zhi w hi;
+      pop := !pop + Bitvec.popcount56 lo + Bitvec.popcount56 hi
+    done;
+    if !pop > t.fill_threshold then begin
+      d.drop <- drop_fill;
+      if obs then bump t.obs.mfill;
       d
     end
     else begin
-      t.gen <- t.gen + 1;
-      let gen = t.gen in
-      d.tests <- t.n_ports + t.n_virt;
-      let ptab = Idx.get t.phys table in
-      let btab = Idx.get t.blocks table in
-      let boff = Idx.get t.block_off table in
-      for p = 0 to t.n_ports - 1 do
-        if subset_entry ptab ~off:(p * stride) zf ~words then begin
-          let blocked = ref false in
-          for b = Idx.get boff p to Idx.get boff (p + 1) - 1 do
-            if
-              (subset_entry btab ~off:(b * stride) zf ~words
-              [@lipsin.allow_unchecked
-                "audit invariant: block_off rows are monotone offsets into                  the block blob (Audit checks offsets and blob length =                  block_off.(n_ports) * stride), so b * stride stays inside                  btab; the offsets live in array content, outside the                  affine domain"])
-            then blocked := true
-          done;
-          if obs && !blocked then bump t.obs.mveto;
-          if (not !blocked) && Idx.get t.seen p <> gen then begin
-            Idx.set t.seen p gen;
-            (Idx.set d.forward d.n_forward p
-            [@lipsin.allow_unchecked
-              "capacity invariant: forward holds max 1 n_ports entries                (compile) and the seen generation stamp admits each port at                most once per decide, so n_forward < n_ports here"]);
-            d.n_forward <- d.n_forward + 1
-          end
-        end
-      done;
-      let vtab = Idx.get t.virt table in
-      for v = 0 to t.n_virt - 1 do
-        if subset_entry vtab ~off:(v * stride) zf ~words then
-          for j = Idx.get t.v_out_off v to Idx.get t.v_out_off (v + 1) - 1 do
-            let p =
-              (Idx.get t.v_out_ports j
-              [@lipsin.allow_unchecked
-                "audit invariant: v_out_off is a monotone offset table with                  v_out_off.(n_virt) = length v_out_ports (compile), so j                  stays inside v_out_ports; offsets live in array content,                  outside the affine domain"])
-            in
-            if
-              (Idx.get t.up p
-              [@lipsin.allow_unchecked
-                "compile invariant: v_out_ports entries are valid port                  indices < n_ports by construction; the port value is array                  content, outside the affine domain"])
-              && (Idx.get t.seen p
-                 [@lipsin.allow_unchecked
-                   "compile invariant: v_out_ports entries are valid port                     indices < n_ports by construction"])
-                 <> gen
-            then begin
-              (Idx.set t.seen p gen
-              [@lipsin.allow_unchecked
-                "compile invariant: v_out_ports entries are valid port                  indices < n_ports by construction"]);
+      let stride = t.stride in
+      if t.loop_prevention then
+        (begin
+           let key = Bytes.sub_string zf 0 t.data_len in
+           (match loop_cache_find t key with
+           | Some cached ->
+             if obs then bump t.obs.mhits;
+             if in_link_index >= 0 && cached <> in_link_index then
+               d.drop <- drop_loop
+           | None -> ());
+           if d.drop = no_drop then begin
+             let risky = ref false in
+             let itab = Idx.get t.in_tags table in
+             for p = 0 to t.n_ports - 1 do
+               if Idx.get t.out_index p <> in_link_index then
+                 if subset_entry itab ~off:(p * stride) zlo zhi ~words then
+                   risky := true
+             done;
+             if !risky then begin
+               d.loop_suspected <- true;
+               if obs then bump t.obs.msusp;
+               if in_link_index >= 0 then loop_cache_add t key in_link_index
+             end
+           end
+         end
+        [@lipsin.allow_alloc
+          "loop-prevention cache key (5-word Bytes.sub_string) and FIFO \
+           bookkeeping; engines benchmarked for zero allocation run with \
+           loop_prevention off"]);
+      if d.drop <> no_drop then begin
+        if obs then bump t.obs.mloop;
+        d
+      end
+      else begin
+        t.gen <- t.gen + 1;
+        let gen = t.gen in
+        d.tests <- t.n_ports + t.n_virt;
+        let ptab = Idx.get t.phys table in
+        let btab = Idx.get t.blocks table in
+        let boff = Idx.get t.block_off table in
+        for p = 0 to t.n_ports - 1 do
+          if subset_entry ptab ~off:(p * stride) zlo zhi ~words then begin
+            let blocked = ref false in
+            for b = Idx.get boff p to Idx.get boff (p + 1) - 1 do
+              if
+                (subset_entry btab ~off:(b * stride) zlo zhi ~words
+                [@lipsin.allow_unchecked
+                  "audit invariant: block_off rows are monotone offsets into                  the block blob (Audit checks offsets and blob length =                  block_off.(n_ports) * stride), so b * stride stays inside                  btab; the offsets live in array content, outside the                  affine domain"])
+              then blocked := true
+            done;
+            if obs && !blocked then bump t.obs.mveto;
+            if (not !blocked) && Idx.get t.seen p <> gen then begin
+              Idx.set t.seen p gen;
               (Idx.set d.forward d.n_forward p
               [@lipsin.allow_unchecked
-                "capacity invariant: forward holds max 1 n_ports entries                  and the seen stamp admits each port at most once per                  decide"]);
+                "capacity invariant: forward holds max 1 n_ports entries                (compile) and the seen generation stamp admits each port at                most once per decide, so n_forward < n_ports here"]);
               d.n_forward <- d.n_forward + 1
             end
-          done
-      done;
-      d.deliver_local <- subset_entry (Idx.get t.local table) ~off:0 zf ~words;
-      let stab = Idx.get t.svc table in
-      for s = 0 to Array.length t.svc_names - 1 do
-        if subset_entry stab ~off:(s * stride) zf ~words then begin
-          (Idx.set d.services d.n_services s
-          [@lipsin.allow_unchecked
-            "capacity invariant: services holds max 1 (length svc_names)              entries (compile) and s ranges over svc_names, each matched              at most once"]);
-          d.n_services <- d.n_services + 1
-        end
-      done;
-      let xtab = Idx.get t.stitch table in
-      for s = 0 to Array.length t.stitch_next - 1 do
-        if subset_entry xtab ~off:(s * stride) zf ~words then begin
-          (Idx.set d.stitches d.n_stitch s
-          [@lipsin.allow_unchecked
-            "capacity invariant: stitches holds max 1 (length stitch_next)              entries (compile) and s ranges over stitch_next, each matched              at most once"]);
-          d.n_stitch <- d.n_stitch + 1
-        end
-      done;
-      if obs then begin
-        Obs.Histogram.record_int t.obs.hadm d.n_forward;
-        if d.deliver_local then bump t.obs.mlocal;
-        Idx.set t.obs.msvc 0 (Idx.get t.obs.msvc 0 + d.n_services);
-        Idx.set t.obs.mstitch 0 (Idx.get t.obs.mstitch 0 + d.n_stitch)
-      end;
-      d
+          end
+        done;
+        let vtab = Idx.get t.virt table in
+        for v = 0 to t.n_virt - 1 do
+          if subset_entry vtab ~off:(v * stride) zlo zhi ~words then
+            for j = Idx.get t.v_out_off v to Idx.get t.v_out_off (v + 1) - 1 do
+              let p =
+                (Idx.get t.v_out_ports j
+                [@lipsin.allow_unchecked
+                  "audit invariant: v_out_off is a monotone offset table with                  v_out_off.(n_virt) = length v_out_ports (compile), so j                  stays inside v_out_ports; offsets live in array content,                  outside the affine domain"])
+              in
+              if
+                (Idx.get t.up p
+                [@lipsin.allow_unchecked
+                  "compile invariant: v_out_ports entries are valid port                  indices < n_ports by construction; the port value is array                  content, outside the affine domain"])
+                && (Idx.get t.seen p
+                   [@lipsin.allow_unchecked
+                     "compile invariant: v_out_ports entries are valid port                     indices < n_ports by construction"])
+                   <> gen
+              then begin
+                (Idx.set t.seen p gen
+                [@lipsin.allow_unchecked
+                  "compile invariant: v_out_ports entries are valid port                  indices < n_ports by construction"]);
+                (Idx.set d.forward d.n_forward p
+                [@lipsin.allow_unchecked
+                  "capacity invariant: forward holds max 1 n_ports entries                  and the seen stamp admits each port at most once per                  decide"]);
+                d.n_forward <- d.n_forward + 1
+              end
+            done
+        done;
+        d.deliver_local <- subset_entry (Idx.get t.local table) ~off:0 zlo zhi ~words;
+        let stab = Idx.get t.svc table in
+        for s = 0 to Array.length t.svc_names - 1 do
+          if subset_entry stab ~off:(s * stride) zlo zhi ~words then begin
+            (Idx.set d.services d.n_services s
+            [@lipsin.allow_unchecked
+              "capacity invariant: services holds max 1 (length svc_names)              entries (compile) and s ranges over svc_names, each matched              at most once"]);
+            d.n_services <- d.n_services + 1
+          end
+        done;
+        let xtab = Idx.get t.stitch table in
+        for s = 0 to Array.length t.stitch_next - 1 do
+          if subset_entry xtab ~off:(s * stride) zlo zhi ~words then begin
+            (Idx.set d.stitches d.n_stitch s
+            [@lipsin.allow_unchecked
+              "capacity invariant: stitches holds max 1 (length stitch_next)              entries (compile) and s ranges over stitch_next, each matched              at most once"]);
+            d.n_stitch <- d.n_stitch + 1
+          end
+        done;
+        if obs then begin
+          Obs.Histogram.record_int t.obs.hadm d.n_forward;
+          if d.deliver_local then bump t.obs.mlocal;
+          Idx.set t.obs.msvc 0 (Idx.get t.obs.msvc 0 + d.n_services);
+          Idx.set t.obs.mstitch 0 (Idx.get t.obs.mstitch 0 + d.n_stitch)
+        end;
+        d
+      end
     end
   end
 

@@ -63,6 +63,15 @@ val port_count : t -> int
 val out_link : t -> int -> Lipsin_topology.Graph.link
 (** The physical link behind a port index from [decision.forward]. *)
 
+val out_index : t -> int -> int
+(** The dense link index behind a port — [
+    (out_link t p).index] without the record hop; allocation-free, for
+    recycled-buffer delivery loops. *)
+
+val out_dst : t -> int -> int
+(** The destination node behind a port — [(out_link t p).dst];
+    allocation-free. *)
+
 val tick : t -> unit
 (** Advances the loop-cache clock (mirror of {!Node_engine.tick}). *)
 

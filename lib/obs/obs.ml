@@ -223,6 +223,49 @@ module Gauge = struct
   let make ?help ?labels name = register Kgauge ?help ?labels name
   let set t n = if Atomic.get live then Atomic.set t.gauge n
   let value t = Atomic.get t.gauge
+
+  type vec = {
+    v_name : string;
+    v_help : string;
+    v_label : string;
+    v_mu : Mutex.t;  (* guards v_cells growth and slot initialisation *)
+    mutable v_cells : t option array;
+  }
+
+  let vec ?(help = "") name ~label =
+    {
+      v_name = name;
+      v_help = help;
+      v_label = label;
+      v_mu = Mutex.create ();
+      v_cells = Array.make 8 None;
+    }
+
+  (* Same discipline as {!Counter.cell}: unlocked fast-path read, locked
+     grow + registration on miss; [v_mu] nests outside the registry's
+     [mu] only. *)
+  let cell v i =
+    let i = max 0 i in
+    match if i < Array.length v.v_cells then v.v_cells.(i) else None with
+    | Some c -> c
+    | None ->
+      Mutex.protect v.v_mu (fun () ->
+          if i >= Array.length v.v_cells then begin
+            let grown = Array.make (i + 8) None in
+            Array.blit v.v_cells 0 grown 0 (Array.length v.v_cells);
+            v.v_cells <- grown
+          end;
+          match v.v_cells.(i) with
+          | Some c -> c
+          | None ->
+            let c =
+              make
+                ~help:v.v_help
+                ~labels:[ (v.v_label, string_of_int i) ]
+                v.v_name
+            in
+            v.v_cells.(i) <- Some c;
+            c)
 end
 
 (* ---- histograms ----------------------------------------------------- *)
@@ -1123,7 +1166,12 @@ module Flight = struct
 
   (* Recomputed every 128 notes so the per-publication cost stays O(1)
      amortised: sort the live frame latencies once, cache p99 * factor. *)
-  let recompute_threshold_locked () =
+  let[@lipsin.allow_race
+       "fl_threshold is written only here and in [reset], both under \
+        fl_mu; the _locked suffix is the calling convention ([note] \
+        holds the mutex at the only call site), which the lexical \
+        guard analysis cannot see across the call"] recompute_threshold_locked
+      () =
     let cap = Array.length state.fl_frames in
     let n = min state.fl_written cap in
     if n >= state.fl_min_samples then begin

@@ -67,6 +67,14 @@ module Gauge : sig
   val make : ?help:string -> ?labels:(string * string) list -> string -> t
   val set : t -> int -> unit
   val value : t -> int
+
+  type vec
+  (** A gauge family keyed by a small integer label (e.g. the shard
+      index of a forwarding-service queue). *)
+
+  val vec : ?help:string -> string -> label:string -> vec
+  val cell : vec -> int -> t
+  (** [cell v i] is the gauge labelled [{label="i"}], memoized. *)
 end
 
 (** Log-scale histograms: 64 power-of-two buckets spanning

@@ -287,6 +287,8 @@ let check_bench ~file json =
     else if
       String.equal base "BENCH_PR4.json" || String.equal base "BENCH_PR9.json"
     then require_fields file json [ "overhead" ] findings
+    else if String.equal base "BENCH_PR10.json" then
+      require_fields file json [ "trajectory"; "summary" ] findings
     else findings
   in
   List.rev findings
@@ -470,6 +472,28 @@ let known_conclusion ~file json =
         Some
           ("Observability overhead vs the no-op sink: "
           ^ String.concat ", " parts ^ ".")
+    | _ -> None
+  else if String.equal base "BENCH_PR10.json" then
+    match Json.member "summary" json with
+    | Some summary ->
+      (match
+         ( fnum (Json.member "measured_ops" summary),
+           fnum (Json.member "ops_per_sec" summary),
+           fnum (Json.member "minor_words_per_op" summary) )
+       with
+      | Some ops, Some rate, Some words ->
+        Some
+          (Printf.sprintf
+             "The persistent service sustained %.0f publications at %.0f \
+              ops/sec and %.1f minor words/op%s%s."
+             ops rate words
+             (match fnum (Json.member "speedup_vs_pr4" summary) with
+             | Some s -> Printf.sprintf " (%.2fx the spawn-per-batch PR4 baseline)" s
+             | None -> "")
+             (match Json.member "counters_match_sequential" summary with
+             | Some (Json.Bool true) -> ", counters bit-for-bit sequential"
+             | _ -> ""))
+      | _ -> None)
     | _ -> None
   else None
 

@@ -33,6 +33,9 @@ type t = {
   engines : Node_engine.t option array;
   fastpaths : Fastpath.t option array;
   bitsliceds : Bitsliced.t option array;
+  mutable generation : int;
+      (* bumped whenever a cached compilation is dropped, so holders of
+         compiled-engine snapshots (Arena) can detect staleness cheaply *)
 }
 
 let make ?fill_limit ?(loop_prevention = true) assignment =
@@ -44,10 +47,13 @@ let make ?fill_limit ?(loop_prevention = true) assignment =
     engines = Array.make n None;
     fastpaths = Array.make n None;
     bitsliceds = Array.make n None;
+    generation = 0;
   }
 
 let assignment t = t.assignment
 let graph t = Assignment.graph t.assignment
+let generation t = t.generation
+let loop_prevention t = t.loop_prevention
 
 let engine t node =
   match t.engines.(node) with
@@ -115,7 +121,8 @@ let invalidate_fastpath t node =
   if t.fastpaths.(node) <> None || t.bitsliceds.(node) <> None then
     Obs.Counter.incr m_invalidations;
   t.fastpaths.(node) <- None;
-  t.bitsliceds.(node) <- None
+  t.bitsliceds.(node) <- None;
+  t.generation <- t.generation + 1
 
 let tick t =
   Obs.Counter.incr m_ticks;

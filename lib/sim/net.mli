@@ -21,6 +21,17 @@ val make :
 val assignment : t -> Lipsin_core.Assignment.t
 val graph : t -> Lipsin_topology.Graph.t
 
+val generation : t -> int
+(** Monotone invalidation stamp: bumped every time a cached compilation
+    is dropped ({!invalidate_fastpath}, {!fail_link}, {!restore_link}).
+    Holders of compiled-engine snapshots ({!Arena}) compare stamps to
+    detect staleness without re-reading every cache slot. *)
+
+val loop_prevention : t -> bool
+(** Whether engines created by this net keep a loop-prevention cache
+    (couples decisions across publications; the arena fast path defers
+    to {!Run.deliver} when set). *)
+
 val engine : t -> Lipsin_topology.Graph.node -> Lipsin_forwarding.Node_engine.t
 (** The node's engine (created on first use). *)
 

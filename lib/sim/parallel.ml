@@ -1,3 +1,7 @@
+(* lint: allow domain-safety — the pooled Service cache below is
+   dispatcher-side state: deliver_all is documented as a single-thread
+   entry point and the cache is only read/written between batches, never
+   from worker domains. *)
 module Graph = Lipsin_topology.Graph
 module Assignment = Lipsin_core.Assignment
 module Obs = Lipsin_obs.Obs
@@ -21,7 +25,7 @@ let h_shard =
   Obs.Histogram.make ~help:"Jobs per shard in parallel batches"
     "lipsin_parallel_shard_jobs"
 
-type job = {
+type job = Service.job = {
   job_src : Graph.node;
   job_table : int;
   job_zfilter : Lipsin_bloom.Zfilter.t;
@@ -113,6 +117,82 @@ let warm_graph g =
   done;
   if Graph.link_count g > 0 then ignore (Graph.link g 0)
 
+(* ---- pooled dispatch -------------------------------------------------
+
+   deliver_all used to spawn fresh domains (and fresh Nets, compiles and
+   scratch) on every call.  It now routes batches through one cached
+   persistent {!Service} pool keyed by (assignment, worker count,
+   engine, loop_prevention); the pool is torn down and respawned only
+   when the key changes, and joined at exit.  Set [LIPSIN_PARALLEL_SPAWN=1]
+   to force the historical spawn-per-batch path (comparison runs). *)
+
+let spawn_mode () =
+  match Sys.getenv_opt "LIPSIN_PARALLEL_SPAWN" with
+  | None | Some "" -> false
+  | Some _ -> true
+
+let engine_equal (a : Run.engine) (b : Run.engine) =
+  match (a, b) with
+  | `Reference, `Reference | `Fast, `Fast | `Bitsliced, `Bitsliced
+  | `Auto, `Auto ->
+    true
+  | (`Reference | `Fast | `Bitsliced | `Auto), _ -> false
+
+type pool_key = {
+  pk_assignment : Assignment.t;
+  pk_workers : int;
+  pk_engine : Run.engine;
+  pk_loop : bool;
+}
+
+let pool : (pool_key * Service.t) option ref = ref None
+let pool_exit_hooked = ref false
+
+let pooled_service assignment ~workers ~engine ~loop_prevention =
+  let want =
+    {
+      pk_assignment = assignment;
+      pk_workers = workers;
+      pk_engine = engine;
+      pk_loop = loop_prevention;
+    }
+  in
+  match !pool with
+  | Some (k, s)
+    when k.pk_assignment == want.pk_assignment
+         && k.pk_workers = want.pk_workers
+         && engine_equal k.pk_engine want.pk_engine
+         && Bool.equal k.pk_loop want.pk_loop ->
+    s
+  | prev ->
+    (match prev with Some (_, s) -> Service.shutdown s | None -> ());
+    let s = Service.create ~workers ~engine ~loop_prevention assignment in
+    pool := Some (want, s);
+    if not !pool_exit_hooked then begin
+      pool_exit_hooked := true;
+      at_exit (fun () ->
+          match !pool with
+          | Some (_, s) ->
+            pool := None;
+            Service.shutdown s
+          | None -> ())
+    end;
+    s
+
+let summary_of_stats (st : Service.stats) ~domains_used =
+  {
+    jobs = st.Service.st_jobs;
+    domains_used;
+    link_traversals = st.Service.st_link_traversals;
+    false_positives = st.Service.st_false_positives;
+    membership_tests = st.Service.st_membership_tests;
+    fill_drops = st.Service.st_fill_drops;
+    loop_drops = st.Service.st_loop_drops;
+    local_deliveries = st.Service.st_local_deliveries;
+    nodes_reached = st.Service.st_nodes_reached;
+    sampled_publications = st.Service.st_sampled;
+  }
+
 let deliver_all ?domains ?(engine = `Fast) ?(loop_prevention = false) assignment
     jobs =
   let n = Array.length jobs in
@@ -132,7 +212,7 @@ let deliver_all ?domains ?(engine = `Fast) ?(loop_prevention = false) assignment
   if dcount = 1 then
     { (run_shard ~engine ~loop_prevention assignment jobs 0 n) with
       domains_used = 1 }
-  else begin
+  else if spawn_mode () then begin
     let chunk = (n + dcount - 1) / dcount in
     let bounds =
       Array.init dcount (fun i -> (i * chunk, min n ((i + 1) * chunk)))
@@ -150,4 +230,12 @@ let deliver_all ?domains ?(engine = `Fast) ?(loop_prevention = false) assignment
       Array.fold_left (fun acc w -> merge acc (Domain.join w)) first workers
     in
     { total with domains_used = dcount }
+  end
+  else begin
+    if Obs.enabled () then Obs.Counter.add m_jobs n;
+    let s =
+      pooled_service assignment ~workers:requested ~engine ~loop_prevention
+    in
+    let st = Service.run s jobs in
+    summary_of_stats st ~domains_used:dcount
   end

@@ -1,18 +1,26 @@
 (** Domain-parallel delivery: shard a workload's packets across cores.
 
-    The first step toward the ROADMAP's sharded serving architecture:
-    a batch of independent publications is split into contiguous shards,
-    one OCaml 5 [Domain] per shard, each with its {e own} {!Net} (engines
-    and fast-path compilations are mutable and domain-local) over the
-    {e shared, read-only} LIT assignment, graph and zFilters.
+    Batches now route through one cached persistent {!Service} pool
+    (keyed by assignment, worker count, engine and loop prevention):
+    worker domains, their private {!Net}s, compiled engines and
+    arena-recycled delivery scratch all persist across [deliver_all]
+    calls, so repeated batches pay dispatch cost only.  Set the
+    [LIPSIN_PARALLEL_SPAWN=1] environment variable to force the
+    historical spawn-domains-per-batch path for comparison;
+    single-domain batches always run inline.
 
     With [loop_prevention] off (the default here) deliveries are
     independent, so the merged summary is deterministic — identical for
-    any [domains] count.  With it on, loop-cache state couples packets
-    that land in the same shard, so totals can vary with the sharding;
-    enable it only when that is the point of the experiment. *)
+    any [domains] count, spawn or pooled.  With it on, loop-cache state
+    couples packets that land in the same shard (and, under the pool,
+    persists across batches on the same worker), so totals can vary
+    with the sharding; enable it only when that is the point of the
+    experiment.
 
-type job = {
+    [deliver_all] is a single-dispatcher entry point: call it from one
+    thread at a time. *)
+
+type job = Service.job = {
   job_src : Lipsin_topology.Graph.node;
   job_table : int;
   job_zfilter : Lipsin_bloom.Zfilter.t;

@@ -81,6 +81,32 @@ val deliver :
     tags every recorded event with the partition stage (default [-1] =
     unstaged). *)
 
+val deliver_into :
+  ?mode:mode ->
+  ?loss:loss ->
+  ?engine:engine ->
+  ?trace:Lipsin_obs.Obs.Trace.ctx ->
+  Arena.t ->
+  src:Lipsin_topology.Graph.node ->
+  table:int ->
+  zfilter:Lipsin_bloom.Zfilter.t ->
+  tree:Lipsin_topology.Graph.link list ->
+  unit
+(** {!deliver} into recycled scratch: the steady-state path of the
+    forwarding service.  Writes the delivery set and all outcome tallies
+    into [scratch] instead of allocating an {!outcome}.
+
+    Expand-once publications on the compiled engines ([`Fast],
+    [`Bitsliced], [`Auto]) with no loss and no sampled trace context run
+    the arena's certified zero-allocation loop ({!Arena.deliver}) —
+    ~0 minor words per op versus ~6.8k for {!deliver} (BENCH_PR4 vs
+    BENCH_PR10).  Anything else (reference engine, TTL mode, loss,
+    [trace] with [tc_sampled]) transparently falls back to {!deliver}
+    and absorbs the outcome into [scratch], so callers read one shape
+    either way.  Counter totals and the delivery set are bit-for-bit
+    identical to {!deliver} on the same inputs — the differential suite
+    in [test/test_service.ml] pins this. *)
+
 val verify_trace : Net.t -> outcome -> Lipsin_obs.Obs.Span.verdict option
 (** The runtime trace cross-check: reconstructs the publication's span
     tree from the rings and compares its replayed delivery set against

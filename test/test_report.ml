@@ -74,17 +74,39 @@ let test_check_bench () =
    with
   | [] -> Alcotest.fail "inconsistent table keys not flagged"
   | _ -> ());
-  match
-    Report.check_bench ~file:"BENCH_PR5.json"
-      (parse_exn {| {"sweep": [{"ports": 1e999}]} |})
-  with
+  (match
+     Report.check_bench ~file:"BENCH_PR5.json"
+       (parse_exn {| {"sweep": [{"ports": 1e999}]} |})
+   with
   | [] -> Alcotest.fail "non-finite number not flagged"
-  | _ -> ()
+  | _ -> ());
+  match
+    Report.check_bench ~file:"BENCH_PR10.json"
+      (parse_exn {| {"trajectory": [{"window": 1}]} |})
+  with
+  | [] -> Alcotest.fail "missing soak summary not flagged"
+  | findings ->
+    Alcotest.(check bool) "names the field" true
+      (List.exists (fun f -> contains f "summary") findings)
 
 (* ---- renderer ------------------------------------------------------- *)
 
+let pr10 =
+  {| {"benchmark": "soak-deliver-16-users-fast",
+      "trajectory": [
+        {"window": 1, "ops": 100, "ops_per_sec": 50000.0,
+         "minor_words_per_op": 8.0, "p99_us": 40.0, "p999_us": 90.0}],
+      "summary": {"measured_ops": 100, "ops_per_sec": 52000.0,
+        "minor_words_per_op": 8.2, "speedup_vs_pr4": 2.1,
+        "counters_match_sequential": true}} |}
+
 let test_render () =
-  let files = [ ("bench/BENCH_PR9.json", parse_exn pr9) ] in
+  let files =
+    [
+      ("bench/BENCH_PR9.json", parse_exn pr9);
+      ("bench/BENCH_PR10.json", parse_exn pr10);
+    ]
+  in
   let md = Report.render ~obs_snapshot:"{\"scrape\":1}" files in
   List.iter
     (fun needle ->
@@ -95,6 +117,10 @@ let test_render () =
       "sampled-1-in-1024";
       "Observability overhead vs the no-op sink";
       "{\"scrape\":1}";
+      "## BENCH_PR10.json";
+      "The persistent service sustained 100 publications";
+      "2.10x the spawn-per-batch PR4 baseline";
+      "counters bit-for-bit sequential";
     ]
 
 let () =
